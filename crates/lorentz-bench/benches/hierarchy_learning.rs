@@ -1,0 +1,30 @@
+//! Hierarchy-learning kernels: the HALO strength matrix and chain
+//! traversal behind Figure 5 and the hierarchical provisioner.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorentz_bench::bench_fleet;
+use lorentz_hierarchy::{hierarchy_strength_matrix, learn_hierarchy, HierarchyConfig};
+
+fn bench_strength_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy/strength_matrix");
+    for n in [200usize, 800] {
+        let synth = bench_fleet(n);
+        let table = synth.fleet.profiles().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, table| {
+            b.iter(|| hierarchy_strength_matrix(black_box(table)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let synth = bench_fleet(800);
+    let table = synth.fleet.profiles().clone();
+    let cfg = HierarchyConfig::default();
+    c.bench_function("hierarchy/learn_chain_800rows", |b| {
+        b.iter(|| learn_hierarchy(black_box(&table), &cfg).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_strength_matrix, bench_chain);
+criterion_main!(benches);

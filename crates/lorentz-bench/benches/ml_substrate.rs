@@ -1,0 +1,84 @@
+//! ML substrate kernels: quantile binning, histogram tree fitting, and
+//! gradient boosting — the §3.3 model internals.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorentz_ml::{
+    Binner, Dataset, DecisionTree, GradientBoosting, GradientBoostingConfig, TreeConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_dataset(rows: usize, features: usize) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let columns: Vec<Vec<f64>> = (0..features)
+        .map(|_| (0..rows).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let labels: Vec<f64> = (0..rows)
+        .map(|r| {
+            let x0 = columns[0][r];
+            let x1 = columns[features.min(2) - 1][r];
+            x0 * 0.5 + (x1 * 0.3).sin() * 2.0 + rng.gen_range(-0.1..0.1)
+        })
+        .collect();
+    let names = (0..features).map(|i| format!("f{i}")).collect();
+    Dataset::new(names, columns, labels).unwrap()
+}
+
+fn bench_binner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml/binner_fit");
+    for rows in [1_000usize, 10_000] {
+        let data = synthetic_dataset(rows, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &data, |b, data| {
+            b.iter(|| Binner::fit(black_box(data), 256).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml/tree_fit_depth5");
+    for rows in [1_000usize, 10_000] {
+        let data = synthetic_dataset(rows, 7);
+        let cfg = TreeConfig {
+            max_depth: 5,
+            ..TreeConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &data, |b, data| {
+            b.iter(|| DecisionTree::fit(black_box(data), &cfg).unwrap())
+        });
+    }
+    group.finish();
+
+    let data = synthetic_dataset(10_000, 7);
+    let tree = DecisionTree::fit(
+        &data,
+        &TreeConfig {
+            max_depth: 5,
+            ..TreeConfig::default()
+        },
+    )
+    .unwrap();
+    let row = data.row(0);
+    c.bench_function("ml/tree_predict_row", |b| {
+        b.iter(|| tree.predict_row(black_box(&row)))
+    });
+}
+
+fn bench_boosting(c: &mut Criterion) {
+    let data = synthetic_dataset(2_000, 7);
+    let cfg = GradientBoostingConfig {
+        n_trees: 50,
+        ..GradientBoostingConfig::default()
+    };
+    c.bench_function("ml/gbdt_fit_2000rows_50trees", |b| {
+        b.iter(|| GradientBoosting::fit(black_box(&data), &cfg).unwrap())
+    });
+    let model = GradientBoosting::fit(&data, &cfg).unwrap();
+    let row = data.row(0);
+    c.bench_function("ml/gbdt_predict_row", |b| {
+        b.iter(|| model.predict_row(black_box(&row)))
+    });
+}
+
+criterion_group!(benches, bench_binner, bench_tree, bench_boosting);
+criterion_main!(benches);

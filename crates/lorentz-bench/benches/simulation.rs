@@ -1,0 +1,70 @@
+//! Simulation kernels: synthetic fleet generation, workload synthesis,
+//! §5.2 upscaling, and §5.3 personalization-simulation steps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorentz_simdata::fleet::FleetConfig;
+use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
+use lorentz_simdata::upscale::{upscale_fleet, UpscaleConfig};
+use lorentz_telemetry::generators::{SamplingConfig, WorkloadGenerator};
+use lorentz_telemetry::WorkloadSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::typical_oltp(4.0);
+    let cfg = SamplingConfig {
+        duration_secs: 86_400.0,
+        mean_interval_secs: 60.0,
+        jitter_frac: 0.2,
+    };
+    c.bench_function("sim/generate_1day_workload", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            spec.generate(black_box(&cfg), &mut rng)
+        })
+    });
+}
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/fleet_generate");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        let cfg = FleetConfig {
+            n_servers: n,
+            sampling: SamplingConfig {
+                duration_secs: 86_400.0,
+                mean_interval_secs: 60.0,
+                jitter_frac: 0.2,
+            },
+            ..FleetConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| cfg.generate().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_upscale(c: &mut Criterion) {
+    let base = lorentz_bench::bench_fleet(200);
+    c.bench_function("sim/upscale_200_servers", |b| {
+        b.iter(|| {
+            let mut fleet = base.clone();
+            upscale_fleet(black_box(&mut fleet), &UpscaleConfig::default()).unwrap()
+        })
+    });
+}
+
+fn bench_persim_step(c: &mut Criterion) {
+    let mut sim = PersonalizationSim::new(PersonalizationSimConfig::default()).unwrap();
+    c.bench_function("sim/persim_step", |b| b.iter(|| black_box(sim.step())));
+}
+
+criterion_group!(
+    benches,
+    bench_workload_generation,
+    bench_fleet_generation,
+    bench_upscale,
+    bench_persim_step
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Stage-1 kernels: the slack/throttling statistics (Eq. 3–6) and the
+//! complete rightsizing optimizer (Eq. 9) that regenerate Figures 1, 2, 4,
+//! and 9.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorentz_bench::bench_fleet;
+use lorentz_core::{Rightsizer, RightsizerConfig};
+use lorentz_types::{Capacity, ServerOffering, SkuCatalog};
+
+fn bench_statistics(c: &mut Criterion) {
+    let fleet = bench_fleet(64);
+    let sizer = Rightsizer::new(RightsizerConfig::default()).unwrap();
+    let trace = &fleet.ground_truth[0];
+    let cap = Capacity::scalar(8.0);
+
+    c.bench_function("stage1/throttling_1day_trace", |b| {
+        b.iter(|| sizer.throttling(black_box(trace), black_box(&cap)).unwrap())
+    });
+    c.bench_function("stage1/slack_ratio_1day_trace", |b| {
+        b.iter(|| sizer.slack_ratio(black_box(trace), black_box(&cap)).unwrap())
+    });
+}
+
+fn bench_rightsize(c: &mut Criterion) {
+    let fleet = bench_fleet(64);
+    let sizer = Rightsizer::new(RightsizerConfig::default()).unwrap();
+    let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+    let trace = &fleet.fleet.traces()[0];
+    let user = &fleet.fleet.user_capacities()[0];
+
+    c.bench_function("stage1/rightsize_single_workload", |b| {
+        b.iter(|| {
+            sizer
+                .rightsize(black_box(trace), black_box(user), black_box(&catalog))
+                .unwrap()
+        })
+    });
+
+    let mut group = c.benchmark_group("stage1/rightsize_fleet");
+    for n in [16usize, 64] {
+        let fleet = bench_fleet(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fleet, |b, fleet| {
+            b.iter(|| {
+                for i in 0..fleet.fleet.len() {
+                    let cat = SkuCatalog::azure_postgres(fleet.fleet.offerings()[i]);
+                    sizer
+                        .rightsize(
+                            &fleet.fleet.traces()[i],
+                            &fleet.fleet.user_capacities()[i],
+                            &cat,
+                        )
+                        .unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statistics, bench_rightsize);
+criterion_main!(benches);

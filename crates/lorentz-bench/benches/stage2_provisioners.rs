@@ -1,0 +1,104 @@
+//! Stage-2 kernels: training and inference of both provisioners — the
+//! models behind Figures 10–12 — plus the full per-offering pipeline train.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lorentz_bench::bench_fleet;
+use lorentz_core::{
+    HierarchicalConfig, HierarchicalProvisioner, LorentzConfig, LorentzPipeline, Provisioner,
+    TargetEncodingProvisioner,
+};
+use lorentz_core::provisioner::TargetEncodingConfig;
+use lorentz_ml::GradientBoostingConfig;
+use lorentz_types::{ServerOffering, SkuCatalog};
+
+fn training_data(
+    n: usize,
+) -> (
+    lorentz_types::ProfileTable,
+    Vec<f64>,
+    SkuCatalog,
+) {
+    let synth = bench_fleet(n);
+    let config = LorentzConfig::paper_defaults();
+    let trained = LorentzPipeline::new(config)
+        .unwrap()
+        .train(&synth.fleet)
+        .unwrap();
+    let rows = synth.fleet.rows_for_offering(ServerOffering::GeneralPurpose);
+    let table = synth.fleet.profiles().subset(&rows);
+    let labels: Vec<f64> = rows.iter().map(|&r| trained.labels()[r]).collect();
+    (
+        table,
+        labels,
+        SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose),
+    )
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let (table, labels, catalog) = training_data(400);
+    let cfg = HierarchicalConfig {
+        min_bucket: 5,
+        ..HierarchicalConfig::default()
+    };
+    c.bench_function("stage2/hierarchical_fit_200rows", |b| {
+        b.iter(|| {
+            HierarchicalProvisioner::fit(
+                black_box(&table),
+                black_box(&labels),
+                catalog.clone(),
+                cfg,
+            )
+            .unwrap()
+        })
+    });
+    let model = HierarchicalProvisioner::fit(&table, &labels, catalog, cfg).unwrap();
+    let x = table.row(0);
+    c.bench_function("stage2/hierarchical_recommend", |b| {
+        b.iter(|| model.recommend(black_box(&x)).unwrap())
+    });
+}
+
+fn bench_target_encoding(c: &mut Criterion) {
+    let (table, labels, catalog) = training_data(400);
+    let cfg = TargetEncodingConfig {
+        boosting: GradientBoostingConfig {
+            n_trees: 50,
+            ..GradientBoostingConfig::default()
+        },
+        ..TargetEncodingConfig::default()
+    };
+    c.bench_function("stage2/target_encoding_fit_200rows_50trees", |b| {
+        b.iter(|| {
+            TargetEncodingProvisioner::fit(
+                black_box(&table),
+                black_box(&labels),
+                catalog.clone(),
+                cfg,
+            )
+            .unwrap()
+        })
+    });
+    let model = TargetEncodingProvisioner::fit(&table, &labels, catalog, cfg).unwrap();
+    let x = table.row(0);
+    c.bench_function("stage2/target_encoding_recommend", |b| {
+        b.iter(|| model.recommend(black_box(&x)).unwrap())
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let synth = bench_fleet(200);
+    let mut config = LorentzConfig::paper_defaults();
+    config.target_encoding.boosting.n_trees = 25;
+    let pipeline = LorentzPipeline::new(config).unwrap();
+    c.bench_function("stage2/pipeline_train_200_servers", |b| {
+        b.iter(|| pipeline.train(black_box(&synth.fleet)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hierarchical,
+    bench_target_encoding,
+    bench_full_pipeline
+);
+criterion_main!(benches);

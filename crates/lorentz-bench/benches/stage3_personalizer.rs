@@ -1,0 +1,65 @@
+//! Stage-3 kernels: Algorithm-1 signal propagation across customer
+//! profiles of varying size, and the Eq. 14 adjustment — the machinery
+//! behind Figures 13 and 14.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorentz_core::{Personalizer, PersonalizerConfig, SatisfactionSignal};
+use lorentz_types::{
+    CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
+};
+
+fn build_personalizer(subs: u32, rgs_per_sub: u32) -> Personalizer {
+    let mut p = Personalizer::new(PersonalizerConfig::default()).unwrap();
+    for s in 0..subs {
+        for r in 0..rgs_per_sub {
+            p.register(ResourcePath::new(
+                CustomerId(1),
+                SubscriptionId(s),
+                ResourceGroupId(s * rgs_per_sub + r),
+            ));
+        }
+    }
+    p
+}
+
+fn bench_apply_signal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage3/apply_signal");
+    for (subs, rgs) in [(3u32, 3u32), (10, 10), (50, 20)] {
+        let profiles = subs * rgs;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{profiles}_rgs")),
+            &(subs, rgs),
+            |b, &(subs, rgs)| {
+                let mut p = build_personalizer(subs, rgs);
+                let signal = SatisfactionSignal::new(
+                    ResourcePath::new(CustomerId(1), SubscriptionId(0), ResourceGroupId(0)),
+                    ServerOffering::GeneralPurpose,
+                    1.0,
+                )
+                .unwrap();
+                b.iter(|| p.apply_signal(black_box(&signal)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_adjust(c: &mut Criterion) {
+    let mut p = build_personalizer(3, 3);
+    let path = ResourcePath::new(CustomerId(1), SubscriptionId(0), ResourceGroupId(0));
+    p.set_lambda(path, ServerOffering::GeneralPurpose, 1.3);
+    let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+    c.bench_function("stage3/lambda_adjust", |b| {
+        b.iter(|| {
+            p.adjust(
+                black_box(4.0),
+                black_box(&path),
+                ServerOffering::GeneralPurpose,
+                &catalog,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_apply_signal, bench_adjust);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared fixtures for the Criterion benchmark suites.
+//!
+//! Bench coverage maps to the paper's evaluation as follows:
+//!
+//! | suite | paper artifact | kernel benchmarked |
+//! |---|---|---|
+//! | `stage1_rightsizer` | Figures 1, 2, 4, 9 | throttling/slack statistics and the Eq. 9 optimizer |
+//! | `stage2_provisioners` | Figures 10, 11, 12 | hierarchical & target-encoding fit + inference |
+//! | `stage3_personalizer` | Figures 13, 14 | Algorithm 1 signal propagation and λ adjustment |
+//! | `ml_substrate` | §3.3 model internals | binning, tree fitting, boosting |
+//! | `hierarchy_learning` | Fig. 5 | HALO strength matrix and chain traversal |
+//! | `simulation` | §5 data generation | fleet synthesis, upscaling, §5.3 sim steps |
+
+use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
+use lorentz_telemetry::generators::SamplingConfig;
+
+/// A deterministic mid-sized fleet shared by the benches.
+pub fn bench_fleet(n_servers: usize) -> SyntheticFleet {
+    FleetConfig {
+        n_servers,
+        seed: 99,
+        base_demand: 1.2,
+        sampling: SamplingConfig {
+            duration_secs: 86_400.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.2,
+        },
+        ..FleetConfig::default()
+    }
+    .generate()
+    .expect("bench fleet config is valid")
+}

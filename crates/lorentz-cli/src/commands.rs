@@ -1,0 +1,360 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use lorentz_core::personalizer::signals::{classify_ticket, CriTicket};
+use lorentz_core::provisioner::{OfferingRecommender, OfferingRecommenderConfig};
+use lorentz_core::{
+    FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, Rightsizer,
+    TrainedLorentz,
+};
+use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
+use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
+use lorentz_telemetry::generators::SamplingConfig;
+use lorentz_types::{
+    CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
+};
+use std::fs;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lorentz — learned SKU recommendation from profile data (SIGMOD 2024 reproduction)
+
+USAGE:
+  lorentz generate  --servers N --seed S --out fleet.json [--base-demand X]
+  lorentz rightsize --fleet fleet.json
+  lorentz train     --fleet fleet.json --out model.json [--trees N] [--min-bucket N]
+  lorentz recommend --model model.json --offering burstable|general_purpose|memory_optimized
+                    --profile \"Feature=value,Feature=value\" [--source hierarchical|target-encoding|store]
+                    [--customer N --subscription N --resource-group N]
+  lorentz report    --fleet fleet.json
+  lorentz offering  --fleet fleet.json --profile \"Feature=value,...\"
+  lorentz ticket    [--symptoms S] [--subject S] [--resolution S]
+  lorentz persim    [--iters N] [--signal-rate X] [--signal-noise X] [--sigma X] [--seed N]
+  lorentz help
+";
+
+/// `lorentz generate`: synthesize a fleet and write it to JSON.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let config = FleetConfig {
+        n_servers: args.get_parse_or("servers", 500usize)?,
+        seed: args.get_parse_or("seed", 42u64)?,
+        base_demand: args.get_parse_or("base-demand", 1.2f64)?,
+        sampling: SamplingConfig {
+            duration_secs: args.get_parse_or("duration-hours", 24.0f64)? * 3600.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.2,
+        },
+        ..FleetConfig::default()
+    };
+    let synthetic = config.generate().map_err(|e| e.to_string())?;
+    let json = serde_json::to_string(&synthetic).map_err(|e| e.to_string())?;
+    fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {} servers ({} profile features) to {out}",
+        synthetic.fleet.len(),
+        synthetic.fleet.profiles().schema().len()
+    );
+    Ok(())
+}
+
+fn load_fleet(path: &str) -> Result<SyntheticFleet, String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut synthetic: SyntheticFleet =
+        serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+    synthetic.fleet.rebuild_indexes();
+    Ok(synthetic)
+}
+
+/// `lorentz rightsize`: print the Stage-1 summary of a fleet.
+pub fn rightsize(args: &Args) -> Result<(), String> {
+    let synthetic = load_fleet(args.require("fleet")?)?;
+    let config = LorentzConfig::paper_defaults();
+    let rightsizer = Rightsizer::new(config.rightsizer).map_err(|e| e.to_string())?;
+    let fleet: &FleetDataset = &synthetic.fleet;
+    let mut well = 0usize;
+    let mut over = 0usize;
+    let mut under = 0usize;
+    let mut censored = 0usize;
+    for i in 0..fleet.len() {
+        let catalog = SkuCatalog::azure_postgres(fleet.offerings()[i]);
+        let outcome = rightsizer
+            .rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], &catalog)
+            .map_err(|e| e.to_string())?;
+        match outcome.verdict {
+            lorentz_core::ProvisioningVerdict::WellProvisioned => well += 1,
+            lorentz_core::ProvisioningVerdict::OverProvisioned => over += 1,
+            lorentz_core::ProvisioningVerdict::UnderProvisioned => under += 1,
+        }
+        if outcome.censored {
+            censored += 1;
+        }
+    }
+    let n = fleet.len() as f64;
+    println!("servers: {}", fleet.len());
+    println!("well provisioned:  {:5.1}%", 100.0 * well as f64 / n);
+    println!("over provisioned:  {:5.1}%", 100.0 * over as f64 / n);
+    println!("under provisioned: {:5.1}%", 100.0 * under as f64 / n);
+    println!("censored (throttled at selection): {:5.1}%", 100.0 * censored as f64 / n);
+    Ok(())
+}
+
+/// `lorentz train`: train the three-stage pipeline and save the deployment.
+pub fn train(args: &Args) -> Result<(), String> {
+    let synthetic = load_fleet(args.require("fleet")?)?;
+    let out = args.require("out")?;
+    let mut config = LorentzConfig::paper_defaults();
+    config.target_encoding.boosting.n_trees = args.get_parse_or("trees", 100usize)?;
+    config.hierarchical.min_bucket = args.get_parse_or("min-bucket", 10usize)?;
+    let trained = LorentzPipeline::new(config)
+        .map_err(|e| e.to_string())?
+        .train(&synthetic.fleet)
+        .map_err(|e| e.to_string())?;
+    fs::write(out, trained.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "trained on {} servers; prediction store v{} with {} keys -> {out}",
+        synthetic.fleet.len(),
+        trained.store().version(),
+        trained.store().len()
+    );
+    Ok(())
+}
+
+fn parse_offering(name: &str) -> Result<ServerOffering, String> {
+    ServerOffering::ALL
+        .iter()
+        .copied()
+        .find(|o| o.name() == name)
+        .ok_or_else(|| format!("unknown offering '{name}' (use burstable, general_purpose, or memory_optimized)"))
+}
+
+/// Maps `"Feature=value,Feature=value"` to schema order.
+fn parse_profile<'a>(
+    spec: &'a str,
+    schema: &lorentz_types::ProfileSchema,
+) -> Result<Vec<Option<&'a str>>, String> {
+    let mut profile: Vec<Option<&str>> = vec![None; schema.len()];
+    if spec.is_empty() {
+        return Ok(profile);
+    }
+    for pair in spec.split(',') {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("profile entry '{pair}' is not Feature=value"))?;
+        let feature = schema
+            .feature_id(key.trim())
+            .ok_or_else(|| format!("unknown profile feature '{key}' (schema: {:?})", schema.names()))?;
+        profile[feature.index()] = Some(value.trim());
+    }
+    Ok(profile)
+}
+
+/// `lorentz recommend`: serve one recommendation from a saved deployment.
+pub fn recommend(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model")?;
+    let json = fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let trained = TrainedLorentz::from_json(&json).map_err(|e| e.to_string())?;
+    let offering = parse_offering(args.get_or("offering", "general_purpose"))?;
+    let spec = args.get_or("profile", "").to_owned();
+    let profile = parse_profile(&spec, trained.profiles().schema())?;
+    let path = ResourcePath::new(
+        CustomerId(args.get_parse_or("customer", 0u32)?),
+        SubscriptionId(args.get_parse_or("subscription", 0u32)?),
+        ResourceGroupId(args.get_parse_or("resource-group", 0u32)?),
+    );
+    let request = RecommendRequest {
+        profile,
+        offering,
+        path,
+    };
+    let rec = match args.get_or("source", "hierarchical") {
+        "hierarchical" => trained.recommend(&request, ModelKind::Hierarchical),
+        "target-encoding" => trained.recommend(&request, ModelKind::TargetEncoding),
+        "store" => trained.recommend_from_store(&request),
+        other => return Err(format!("unknown source '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+    if args.has_switch("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rec).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{rec}");
+    }
+    Ok(())
+}
+
+/// `lorentz offering`: recommend a server offering (future-work extension).
+pub fn offering(args: &Args) -> Result<(), String> {
+    let synthetic = load_fleet(args.require("fleet")?)?;
+    let recommender = OfferingRecommender::fit(
+        synthetic.fleet.profiles(),
+        synthetic.fleet.offerings(),
+        OfferingRecommenderConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let spec = args.get_or("profile", "").to_owned();
+    let profile = parse_profile(&spec, synthetic.fleet.profiles().schema())?;
+    let x = synthetic
+        .fleet
+        .profiles()
+        .encode_row(&profile)
+        .map_err(|e| e.to_string())?;
+    let rec = recommender.recommend(&x).map_err(|e| e.to_string())?;
+    println!(
+        "offering: {} (confidence {:.0}%, {} reference instances{})",
+        rec.offering,
+        100.0 * rec.confidence,
+        rec.bucket_size,
+        rec.matched_feature
+            .map(|f| format!(", matched on {f}"))
+            .unwrap_or_else(|| ", fleet-wide prior".into())
+    );
+    Ok(())
+}
+
+/// `lorentz report`: render a markdown fleet health report.
+pub fn report(args: &Args) -> Result<(), String> {
+    let synthetic = load_fleet(args.require("fleet")?)?;
+    let report = lorentz_core::fleet_report(
+        &LorentzConfig::paper_defaults(),
+        &lorentz_core::CostModel::default(),
+        &synthetic.fleet,
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}
+
+/// `lorentz ticket`: classify a CRI ticket with the Table-1 filters.
+pub fn ticket(args: &Args) -> Result<(), String> {
+    let t = CriTicket::new(
+        args.get_or("symptoms", ""),
+        args.get_or("subject", ""),
+        args.get_or("resolution", ""),
+    );
+    let gamma = classify_ticket(&t);
+    let label = match gamma as i8 {
+        1 => "performance-sensitive (+1)",
+        -1 => "price-sensitive (-1)",
+        _ => "neutral (0)",
+    };
+    println!("{label}");
+    Ok(())
+}
+
+/// `lorentz persim`: run the §5.3 personalization simulation.
+pub fn persim(args: &Args) -> Result<(), String> {
+    let config = PersonalizationSimConfig {
+        signal_rate: args.get_parse_or("signal-rate", 0.4f64)?,
+        signal_noise: args.get_parse_or("signal-noise", 0.13f64)?,
+        stage2_sigma: args.get_parse_or("sigma", 0.1f64)?,
+        seed: args.get_parse_or("seed", 0u64)?,
+        ..PersonalizationSimConfig::default()
+    };
+    let iters = args.get_parse_or("iters", 40usize)?;
+    let mut sim = PersonalizationSim::new(config).map_err(|e| e.to_string())?;
+    println!("{:>5} {:>8} {:>8} {:>10}", "iter", "rmse", "p80", "% correct");
+    for i in 1..=iters {
+        let m = sim.step();
+        if i == 1 || i % 5 == 0 {
+            println!(
+                "{i:>5} {:>8.3} {:>8.3} {:>10.1}",
+                m.rmse,
+                m.p80_abs_error,
+                100.0 * m.correctly_provisioned
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("lorentz-cli-test-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn generate_train_recommend_round_trip() {
+        let fleet_path = tmp("fleet.json");
+        let model_path = tmp("model.json");
+        generate(&args(&[
+            "generate",
+            "--servers",
+            "120",
+            "--seed",
+            "3",
+            "--out",
+            &fleet_path,
+        ]))
+        .unwrap();
+        rightsize(&args(&["rightsize", "--fleet", &fleet_path])).unwrap();
+        train(&args(&[
+            "train",
+            "--fleet",
+            &fleet_path,
+            "--out",
+            &model_path,
+            "--trees",
+            "10",
+            "--min-bucket",
+            "3",
+        ]))
+        .unwrap();
+        recommend(&args(&[
+            "recommend",
+            "--model",
+            &model_path,
+            "--offering",
+            "general_purpose",
+            "--profile",
+            "SegmentName=segmentname-0",
+            "--source",
+            "store",
+        ]))
+        .unwrap();
+        offering(&args(&[
+            "offering",
+            "--fleet",
+            &fleet_path,
+            "--profile",
+            "SegmentName=segmentname-0",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&fleet_path);
+        let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn recommend_rejects_bad_inputs() {
+        assert!(recommend(&args(&["recommend"])).is_err()); // missing --model
+        assert!(parse_offering("huge").is_err());
+        assert!(parse_offering("burstable").is_ok());
+        let schema = lorentz_types::ProfileSchema::azure_postgres();
+        assert!(parse_profile("NotAFeature=x", &schema).is_err());
+        assert!(parse_profile("garbage", &schema).is_err());
+        let p = parse_profile("VerticalName=v1, SegmentName=s1", &schema).unwrap();
+        assert_eq!(p[0], Some("s1"));
+        assert_eq!(p[2], Some("v1"));
+        assert_eq!(p[6], None);
+        assert_eq!(parse_profile("", &schema).unwrap(), vec![None; 7]);
+    }
+
+    #[test]
+    fn ticket_classifies_without_files() {
+        ticket(&args(&["ticket", "--symptoms", "high cpu usage"])).unwrap();
+        ticket(&args(&["ticket"])).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! `lorentz` — command-line interface for the Lorentz SKU recommender.
+//!
+//! ```text
+//! lorentz generate  --servers 800 --seed 7 --out fleet.json
+//! lorentz rightsize --fleet fleet.json
+//! lorentz train     --fleet fleet.json --out model.json [--trees 100] [--min-bucket 10]
+//! lorentz recommend --model model.json --offering general_purpose \
+//!                   --profile "SegmentName=segmentname-0,VerticalName=verticalname-2" \
+//!                   [--source hierarchical|target-encoding|store]
+//! lorentz offering  --fleet fleet.json --profile "IndustryName=industryname-1"
+//! lorentz ticket    --symptoms "high cpu usage" --resolution "scaled up"
+//! lorentz persim    [--iters 40] [--signal-rate 0.4] [--signal-noise 0.13]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => commands::generate(&args),
+        Some("rightsize") => commands::rightsize(&args),
+        Some("train") => commands::train(&args),
+        Some("recommend") => commands::recommend(&args),
+        Some("offering") => commands::offering(&args),
+        Some("report") => commands::report(&args),
+        Some("ticket") => commands::ticket(&args),
+        Some("persim") => commands::persim(&args),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Hyperparameter configuration (paper Table 2).
+
+use crate::personalizer::PersonalizerConfig;
+use crate::provisioner::{HierarchicalConfig, TargetEncodingConfig};
+use lorentz_types::LorentzError;
+use serde::{Deserialize, Serialize};
+
+/// Stage-1 rightsizer hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RightsizerConfig {
+    /// Binning width `T` in seconds (Table 2: `T = 5 min`).
+    pub bin_seconds: f64,
+    /// Per-dimension utilization threshold `η_r` above which a bin counts as
+    /// throttled (Table 2: 0.95). One entry per resource dimension; a single
+    /// entry is broadcast.
+    pub eta: Vec<f64>,
+    /// Per-dimension slack target `s*_r` (Table 2: `s*_CPU = 0.5`). A single
+    /// entry is broadcast.
+    pub slack_target: Vec<f64>,
+    /// Maximum tolerated throttling probability `τ` (Table 2: 0).
+    pub tau: f64,
+    /// Censored-workload scale-up exponent `K`: a throttled workload is
+    /// rightsized to at least `2^K · c⁰` (Table 2: 1).
+    pub k: u32,
+}
+
+impl Default for RightsizerConfig {
+    fn default() -> Self {
+        Self {
+            bin_seconds: 300.0,
+            eta: vec![0.95],
+            slack_target: vec![0.5],
+            tau: 0.0,
+            k: 1,
+        }
+    }
+}
+
+impl RightsizerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if !self.bin_seconds.is_finite() || self.bin_seconds <= 0.0 {
+            return Err(LorentzError::InvalidConfig(format!(
+                "bin_seconds must be positive, got {}",
+                self.bin_seconds
+            )));
+        }
+        if self.eta.is_empty() || self.slack_target.is_empty() {
+            return Err(LorentzError::InvalidConfig(
+                "eta and slack_target must have at least one entry".into(),
+            ));
+        }
+        for &e in &self.eta {
+            if !e.is_finite() || e <= 0.0 || e > 1.0 {
+                return Err(LorentzError::InvalidConfig(format!(
+                    "eta entries must be in (0, 1], got {e}"
+                )));
+            }
+        }
+        for &s in &self.slack_target {
+            if !s.is_finite() || !(0.0..1.0).contains(&s) {
+                return Err(LorentzError::InvalidConfig(format!(
+                    "slack targets must be in [0, 1), got {s}"
+                )));
+            }
+        }
+        if !self.tau.is_finite() || !(0.0..=1.0).contains(&self.tau) {
+            return Err(LorentzError::InvalidConfig(format!(
+                "tau must be in [0, 1], got {}",
+                self.tau
+            )));
+        }
+        Ok(())
+    }
+
+    /// The `η` threshold for dimension `r` (broadcasting a single entry).
+    pub fn eta_for(&self, r: usize) -> f64 {
+        if self.eta.len() == 1 {
+            self.eta[0]
+        } else {
+            self.eta[r]
+        }
+    }
+
+    /// The slack target for dimension `r` (broadcasting a single entry).
+    pub fn slack_target_for(&self, r: usize) -> f64 {
+        if self.slack_target.len() == 1 {
+            self.slack_target[0]
+        } else {
+            self.slack_target[r]
+        }
+    }
+}
+
+/// The full Lorentz configuration: one section per stage, mirroring Table 2.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LorentzConfig {
+    /// Stage 1: rightsizer.
+    pub rightsizer: RightsizerConfig,
+    /// Stage 2: hierarchical provisioner.
+    pub hierarchical: HierarchicalConfig,
+    /// Stage 2: target-encoding provisioner.
+    pub target_encoding: TargetEncodingConfig,
+    /// Stage 3: personalizer.
+    pub personalizer: PersonalizerConfig,
+}
+
+impl LorentzConfig {
+    /// The exact hyperparameters of the paper's Table 2.
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Validates every section.
+    ///
+    /// # Errors
+    /// Returns the first section's [`LorentzError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        self.rightsizer.validate()?;
+        self.hierarchical.validate()?;
+        self.target_encoding.validate()?;
+        self.personalizer.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let c = LorentzConfig::paper_defaults();
+        assert_eq!(c.rightsizer.bin_seconds, 300.0); // T = 5 min
+        assert_eq!(c.rightsizer.eta, vec![0.95]);
+        assert_eq!(c.rightsizer.slack_target, vec![0.5]);
+        assert_eq!(c.rightsizer.tau, 0.0);
+        assert_eq!(c.rightsizer.k, 1);
+        assert_eq!(c.hierarchical.percentile, 50.0); // p = 50
+        assert_eq!(c.hierarchical.hierarchy.threshold, 0.6); // γ = 0.6
+        assert_eq!(c.target_encoding.boosting.n_trees, 100); // 100 trees
+        assert_eq!(c.personalizer.learning_rate, 0.3);
+        assert_eq!(c.personalizer.rho_stratification, 0.25); // signal decay
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rightsizer_validation_catches_bad_values() {
+        let cases = [
+            RightsizerConfig { eta: vec![1.5], ..RightsizerConfig::default() },
+            RightsizerConfig { slack_target: vec![1.0], ..RightsizerConfig::default() },
+            RightsizerConfig { tau: -0.1, ..RightsizerConfig::default() },
+            RightsizerConfig { bin_seconds: 0.0, ..RightsizerConfig::default() },
+            RightsizerConfig { eta: vec![], ..RightsizerConfig::default() },
+        ];
+        for c in cases {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn eta_and_slack_broadcast_single_entries() {
+        let c = RightsizerConfig::default();
+        assert_eq!(c.eta_for(0), 0.95);
+        assert_eq!(c.eta_for(3), 0.95);
+        let c = RightsizerConfig {
+            eta: vec![0.9, 0.8],
+            slack_target: vec![0.5, 0.3],
+            ..RightsizerConfig::default()
+        };
+        assert_eq!(c.eta_for(1), 0.8);
+        assert_eq!(c.slack_target_for(1), 0.3);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let c = LorentzConfig::paper_defaults();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: LorentzConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

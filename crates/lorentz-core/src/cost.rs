@@ -1,0 +1,171 @@
+//! Fleet cost accounting.
+//!
+//! The business case for Lorentz is COGS: "Lorentz reduces wasted capacity
+//! by over 60% without increasing throttling" and, in §5.2, "27%
+//! (Hierarchical) and 8% (Target Encoding) reduction in cost compared to
+//! user selection", measured as aggregate vCores provisioned and hours
+//! throttled, extrapolated from the test set to 67k servers. This module
+//! provides that accounting: a linear [`CostModel`] ("resource costs
+//! generally scale linearly with capacity", §5.1) and per-capacity-set
+//! [`FleetBill`]s.
+
+use crate::rightsizer::Rightsizer;
+use lorentz_types::{Capacity, LorentzError};
+use lorentz_telemetry::UsageTrace;
+use serde::{Deserialize, Serialize};
+
+/// A linear capacity-hours price model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price per provisioned vCore-hour (arbitrary currency unit).
+    pub price_per_vcore_hour: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Ballpark of a general-purpose cloud vCore with bundled memory.
+        Self {
+            price_per_vcore_hour: 0.06,
+        }
+    }
+}
+
+/// Aggregate cost/throttling accounting for one capacity assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetBill {
+    /// Servers billed.
+    pub servers: usize,
+    /// Total provisioned vCore-hours.
+    pub vcore_hours: f64,
+    /// Total hours in which a server was throttled.
+    pub hours_throttled: f64,
+    /// Monetary cost under the model.
+    pub cost: f64,
+}
+
+impl FleetBill {
+    /// Scales every aggregate to a target fleet size (the paper
+    /// extrapolates its test split to 67k servers).
+    pub fn extrapolated_to(&self, servers: usize) -> FleetBill {
+        let factor = servers as f64 / self.servers.max(1) as f64;
+        FleetBill {
+            servers,
+            vcore_hours: self.vcore_hours * factor,
+            hours_throttled: self.hours_throttled * factor,
+            cost: self.cost * factor,
+        }
+    }
+
+    /// Relative cost reduction versus a baseline bill.
+    pub fn cost_reduction_vs(&self, baseline: &FleetBill) -> f64 {
+        if baseline.cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.cost / baseline.cost
+    }
+}
+
+/// Bills one capacity per workload over the workloads' duration: provisioned
+/// vCore-hours on the primary dimension, plus throttled hours measured
+/// against the given rightsizer's `η` thresholds.
+///
+/// # Errors
+/// Returns [`LorentzError`] on length or arity mismatches.
+pub fn bill_fleet(
+    model: &CostModel,
+    rightsizer: &Rightsizer,
+    traces: &[UsageTrace],
+    capacities: &[Capacity],
+) -> Result<FleetBill, LorentzError> {
+    if traces.len() != capacities.len() {
+        return Err(LorentzError::Model(format!(
+            "{} traces vs {} capacities",
+            traces.len(),
+            capacities.len()
+        )));
+    }
+    if traces.is_empty() {
+        return Err(LorentzError::Model("nothing to bill".into()));
+    }
+    let mut vcore_hours = 0.0;
+    let mut hours_throttled = 0.0;
+    for (trace, cap) in traces.iter().zip(capacities) {
+        cap.check_space(trace.space())?;
+        let hours = trace.bins() as f64 * trace.bin_seconds() / 3600.0;
+        vcore_hours += cap.primary() * hours;
+        hours_throttled += rightsizer.throttling(trace, cap)? * hours;
+    }
+    Ok(FleetBill {
+        servers: traces.len(),
+        vcore_hours,
+        hours_throttled,
+        cost: vcore_hours * model.price_per_vcore_hour,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RightsizerConfig;
+    use lorentz_telemetry::RegularSeries;
+
+    fn trace(values: &[f64]) -> UsageTrace {
+        UsageTrace::single(RegularSeries::new(3600.0, values.to_vec()).unwrap())
+    }
+
+    fn sizer() -> Rightsizer {
+        Rightsizer::new(RightsizerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bills_vcore_hours_and_throttled_hours() {
+        let model = CostModel {
+            price_per_vcore_hour: 1.0,
+        };
+        // Two servers, 2 hours each (2 bins of 1h): 4 vCores and 8 vCores.
+        let traces = vec![trace(&[1.0, 3.9]), trace(&[2.0, 2.0])];
+        let caps = vec![Capacity::scalar(4.0), Capacity::scalar(8.0)];
+        let bill = bill_fleet(&model, &sizer(), &traces, &caps).unwrap();
+        assert_eq!(bill.servers, 2);
+        assert!((bill.vcore_hours - (4.0 * 2.0 + 8.0 * 2.0)).abs() < 1e-9);
+        // First server throttles in its second hour (3.9 > 0.95*4).
+        assert!((bill.hours_throttled - 1.0).abs() < 1e-9);
+        assert!((bill.cost - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_scales_linearly() {
+        let model = CostModel::default();
+        let traces = vec![trace(&[1.0]), trace(&[1.0])];
+        let caps = vec![Capacity::scalar(2.0), Capacity::scalar(4.0)];
+        let bill = bill_fleet(&model, &sizer(), &traces, &caps).unwrap();
+        let big = bill.extrapolated_to(20);
+        assert_eq!(big.servers, 20);
+        assert!((big.vcore_hours - bill.vcore_hours * 10.0).abs() < 1e-9);
+        assert!((big.cost - bill.cost * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_reduction_is_relative() {
+        let a = FleetBill {
+            servers: 10,
+            vcore_hours: 100.0,
+            hours_throttled: 0.0,
+            cost: 50.0,
+        };
+        let b = FleetBill {
+            cost: 100.0,
+            ..a
+        };
+        assert!((a.cost_reduction_vs(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.cost_reduction_vs(&FleetBill { cost: 0.0, ..a }), 0.0);
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let model = CostModel::default();
+        let traces = vec![trace(&[1.0])];
+        assert!(bill_fleet(&model, &sizer(), &traces, &[]).is_err());
+        assert!(bill_fleet(&model, &sizer(), &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Evaluation utilities for §5: slack/throttling measurement, Pareto
+//! sweeps, and baseline construction.
+//!
+//! All §5.2 evaluations score a *capacity assignment* (one capacity per
+//! workload) against ground-truth demand traces by two fleet-level numbers:
+//!
+//! * **mean absolute slack** `mean_w(S_w(c_w) · c_w)` on the primary
+//!   dimension — wasted provisioned volume, the business cost metric;
+//! * **throttling ratio** — the fraction of workloads with `T_w(c_w) > τ`.
+//!
+//! Pareto curves are produced by scaling a model's raw predictions by
+//! powers of two before discretization; the default-value baseline assigns
+//! one fixed catalog capacity to every workload.
+
+use crate::rightsizer::Rightsizer;
+use lorentz_types::{Capacity, LorentzError, SkuCatalog};
+use lorentz_telemetry::UsageTrace;
+use serde::{Deserialize, Serialize};
+
+/// Fleet-level slack/throttling evaluation of one capacity assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlackThrottle {
+    /// Mean absolute slack on the primary dimension, across workloads.
+    pub mean_abs_slack: f64,
+    /// Fraction of workloads throttled beyond `τ`.
+    pub throttling_ratio: f64,
+}
+
+/// One point of a Pareto sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// The log2 scale applied to predictions before discretization
+    /// (0 = unscaled model output), or the default capacity used for
+    /// baseline points.
+    pub scale_log2: f64,
+    /// Fleet metrics at this point.
+    pub metrics: SlackThrottle,
+}
+
+/// Scores one capacity per workload against ground-truth traces.
+///
+/// # Errors
+/// Returns [`LorentzError`] on length or arity mismatches.
+pub fn slack_throttle(
+    rightsizer: &Rightsizer,
+    traces: &[UsageTrace],
+    capacities: &[Capacity],
+    tau: f64,
+) -> Result<SlackThrottle, LorentzError> {
+    if traces.len() != capacities.len() {
+        return Err(LorentzError::Model(format!(
+            "{} traces vs {} capacities",
+            traces.len(),
+            capacities.len()
+        )));
+    }
+    if traces.is_empty() {
+        return Err(LorentzError::Model("nothing to evaluate".into()));
+    }
+    let mut slack_sum = 0.0;
+    let mut throttled = 0usize;
+    for (trace, cap) in traces.iter().zip(capacities) {
+        slack_sum += rightsizer.absolute_slack(trace, cap)?[0];
+        if rightsizer.throttling(trace, cap)? > tau {
+            throttled += 1;
+        }
+    }
+    Ok(SlackThrottle {
+        mean_abs_slack: slack_sum / traces.len() as f64,
+        throttling_ratio: throttled as f64 / traces.len() as f64,
+    })
+}
+
+/// Per-workload absolute slack values (primary dimension) — the
+/// distributions plotted in Figures 9 and 11.
+///
+/// # Errors
+/// Returns [`LorentzError`] on length or arity mismatches.
+pub fn slack_distribution(
+    rightsizer: &Rightsizer,
+    traces: &[UsageTrace],
+    capacities: &[Capacity],
+) -> Result<Vec<f64>, LorentzError> {
+    if traces.len() != capacities.len() {
+        return Err(LorentzError::Model(format!(
+            "{} traces vs {} capacities",
+            traces.len(),
+            capacities.len()
+        )));
+    }
+    traces
+        .iter()
+        .zip(capacities)
+        .map(|(t, c)| Ok(rightsizer.absolute_slack(t, c)?[0]))
+        .collect()
+}
+
+/// Builds the Pareto curve of a provisioner from its raw per-workload
+/// predictions: each `scale_log2` exponent multiplies every prediction by
+/// `2^scale` before snapping to the catalog (§5.2 "scaling all
+/// recommendations up and down by varying powers of two").
+///
+/// # Errors
+/// Returns [`LorentzError`] on mismatched inputs.
+pub fn prediction_pareto(
+    rightsizer: &Rightsizer,
+    traces: &[UsageTrace],
+    raw_predictions: &[f64],
+    catalog: &SkuCatalog,
+    scale_exponents: &[f64],
+    tau: f64,
+) -> Result<Vec<EvalPoint>, LorentzError> {
+    if traces.len() != raw_predictions.len() {
+        return Err(LorentzError::Model(format!(
+            "{} traces vs {} predictions",
+            traces.len(),
+            raw_predictions.len()
+        )));
+    }
+    scale_exponents
+        .iter()
+        .map(|&scale| {
+            let capacities: Vec<Capacity> = raw_predictions
+                .iter()
+                .map(|&p| {
+                    catalog
+                        .nearest_log2(&Capacity::scalar((p * scale.exp2()).max(f64::MIN_POSITIVE)))
+                        .capacity
+                        .clone()
+                })
+                .collect();
+            Ok(EvalPoint {
+                scale_log2: scale,
+                metrics: slack_throttle(rightsizer, traces, &capacities, tau)?,
+            })
+        })
+        .collect()
+}
+
+/// The default-value baseline (§5.2): one point per catalog candidate,
+/// assigning that candidate to *every* workload. `scale_log2` of each point
+/// records the default's log2 capacity for reference.
+///
+/// # Errors
+/// Returns [`LorentzError`] on evaluation failures.
+pub fn default_baseline_pareto(
+    rightsizer: &Rightsizer,
+    traces: &[UsageTrace],
+    catalog: &SkuCatalog,
+    tau: f64,
+) -> Result<Vec<EvalPoint>, LorentzError> {
+    catalog
+        .capacities()
+        .map(|c| {
+            let capacities = vec![c.clone(); traces.len()];
+            Ok(EvalPoint {
+                scale_log2: c.primary().log2(),
+                metrics: slack_throttle(rightsizer, traces, &capacities, tau)?,
+            })
+        })
+        .collect()
+}
+
+/// Selects the point minimizing slack subject to a throttling bound — the
+/// Figure-11 operating point ("minimizes slack with a throttling ratio
+/// < 10%").
+pub fn min_slack_under_throttle_bound(
+    points: &[EvalPoint],
+    max_throttling: f64,
+) -> Option<EvalPoint> {
+    points
+        .iter()
+        .filter(|p| p.metrics.throttling_ratio < max_throttling)
+        .min_by(|a, b| {
+            a.metrics
+                .mean_abs_slack
+                .partial_cmp(&b.metrics.mean_abs_slack)
+                .expect("finite slack")
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RightsizerConfig;
+    use lorentz_telemetry::RegularSeries;
+    use lorentz_types::ServerOffering;
+
+    fn sizer() -> Rightsizer {
+        Rightsizer::new(RightsizerConfig::default()).unwrap()
+    }
+
+    fn trace(values: &[f64]) -> UsageTrace {
+        UsageTrace::single(RegularSeries::new(300.0, values.to_vec()).unwrap())
+    }
+
+    fn catalog() -> SkuCatalog {
+        SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose)
+    }
+
+    #[test]
+    fn slack_throttle_combines_fleet() {
+        let traces = vec![trace(&[1.0, 1.0]), trace(&[7.9, 7.9])];
+        let caps = vec![Capacity::scalar(4.0), Capacity::scalar(8.0)];
+        let st = slack_throttle(&sizer(), &traces, &caps, 0.0).unwrap();
+        // Slack: (4-1)=3 and (8-7.9)=0.1 -> mean 1.55.
+        assert!((st.mean_abs_slack - 1.55).abs() < 1e-9);
+        // Second workload throttles (7.9 > 0.95*8=7.6): ratio 0.5.
+        assert_eq!(st.throttling_ratio, 0.5);
+    }
+
+    #[test]
+    fn slack_distribution_is_per_workload() {
+        let traces = vec![trace(&[1.0]), trace(&[2.0])];
+        let caps = vec![Capacity::scalar(4.0), Capacity::scalar(4.0)];
+        let d = slack_distribution(&sizer(), &traces, &caps).unwrap();
+        assert_eq!(d, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn pareto_scaling_trades_slack_for_throttling() {
+        // Workloads with peak ~3; perfect prediction = 4.
+        let traces: Vec<UsageTrace> = (0..10).map(|_| trace(&[3.0, 2.0, 1.0])).collect();
+        let raw = vec![4.0; 10];
+        let points = prediction_pareto(
+            &sizer(),
+            &traces,
+            &raw,
+            &catalog(),
+            &[-2.0, 0.0, 2.0],
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        // Scaling down reduces slack but throttles everything.
+        assert!(points[0].metrics.mean_abs_slack < points[1].metrics.mean_abs_slack);
+        assert!(points[0].metrics.throttling_ratio > points[1].metrics.throttling_ratio);
+        // Scaling up adds slack with no throttling change at the top.
+        assert!(points[2].metrics.mean_abs_slack > points[1].metrics.mean_abs_slack);
+        assert_eq!(points[2].metrics.throttling_ratio, 0.0);
+    }
+
+    #[test]
+    fn default_baseline_covers_every_catalog_entry() {
+        let traces = vec![trace(&[1.0]), trace(&[10.0])];
+        let points = default_baseline_pareto(&sizer(), &traces, &catalog(), 0.0).unwrap();
+        assert_eq!(points.len(), catalog().len());
+        // The 2-vCore default throttles the 10-vCore workload.
+        assert_eq!(points[0].metrics.throttling_ratio, 0.5);
+        // The 128-vCore default throttles nothing but wastes heavily.
+        let last = points.last().unwrap();
+        assert_eq!(last.metrics.throttling_ratio, 0.0);
+        assert!(last.metrics.mean_abs_slack > 100.0);
+    }
+
+    #[test]
+    fn operating_point_selection_respects_bound() {
+        let points = vec![
+            EvalPoint {
+                scale_log2: -1.0,
+                metrics: SlackThrottle {
+                    mean_abs_slack: 1.0,
+                    throttling_ratio: 0.5,
+                },
+            },
+            EvalPoint {
+                scale_log2: 0.0,
+                metrics: SlackThrottle {
+                    mean_abs_slack: 2.0,
+                    throttling_ratio: 0.05,
+                },
+            },
+            EvalPoint {
+                scale_log2: 1.0,
+                metrics: SlackThrottle {
+                    mean_abs_slack: 4.0,
+                    throttling_ratio: 0.0,
+                },
+            },
+        ];
+        let p = min_slack_under_throttle_bound(&points, 0.1).unwrap();
+        assert_eq!(p.scale_log2, 0.0);
+        assert!(min_slack_under_throttle_bound(&points, 0.001).is_some());
+        assert!(min_slack_under_throttle_bound(&[], 0.1).is_none());
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let traces = vec![trace(&[1.0])];
+        let caps = vec![Capacity::scalar(2.0), Capacity::scalar(2.0)];
+        assert!(slack_throttle(&sizer(), &traces, &caps, 0.0).is_err());
+        assert!(slack_distribution(&sizer(), &traces, &caps).is_err());
+        assert!(prediction_pareto(&sizer(), &traces, &[1.0, 2.0], &catalog(), &[0.0], 0.0)
+            .is_err());
+        assert!(slack_throttle(&sizer(), &[], &[], 0.0).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Recommendation explanations (challenge C3).
+//!
+//! Every Lorentz recommendation carries the rationale behind it: which
+//! "similar customers" bucket was matched (and its capacity distribution),
+//! or which target-encoded statistics drove the model — plus the λ
+//! personalization that was applied. The paper surfaces exactly this
+//! "search result" to users so they can judge recommendation fidelity (§1
+//! C3, §4).
+
+use lorentz_types::Sku;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of the reference capacities behind a recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSummary {
+    /// Number of reference instances in the bucket.
+    pub size: usize,
+    /// Minimum observed rightsized capacity.
+    pub min: f64,
+    /// Median observed rightsized capacity.
+    pub median: f64,
+    /// Maximum observed rightsized capacity.
+    pub max: f64,
+}
+
+impl BucketSummary {
+    /// Builds a summary from a *sorted* slice of capacities.
+    pub fn from_sorted(sorted: &[f64]) -> Self {
+        let size = sorted.len();
+        Self {
+            size,
+            min: sorted.first().copied().unwrap_or(f64::NAN),
+            median: if size == 0 {
+                f64::NAN
+            } else {
+                sorted[size / 2]
+            },
+            max: sorted.last().copied().unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Why Stage 2 produced its capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Explanation {
+    /// The hierarchical provisioner matched a bucket at some hierarchy
+    /// level.
+    HierarchicalBucket {
+        /// Name of the matched profile feature (e.g. `VerticalName`).
+        feature: String,
+        /// The matched feature value (e.g. `Insurance`).
+        value: String,
+        /// Level within the hierarchy chain (0 = coarsest).
+        level: usize,
+        /// The percentile used for the recommendation.
+        percentile: f64,
+        /// Distribution of reference capacities in the bucket.
+        bucket: BucketSummary,
+    },
+    /// No bucket was large enough; the global capacity distribution was
+    /// used.
+    GlobalFallback {
+        /// The percentile used for the recommendation.
+        percentile: f64,
+        /// Distribution of all reference capacities.
+        bucket: BucketSummary,
+    },
+    /// The target-encoding model produced the prediction from these encoded
+    /// feature values.
+    TargetEncoding {
+        /// `(feature name, encoded value)` pairs fed to the tree ensemble —
+        /// each encoded value is itself a label statistic of similar
+        /// instances, so it doubles as the reference information.
+        encoded_features: Vec<(String, f64)>,
+        /// Model output in `ξ = log2` space before inversion.
+        prediction_log2: f64,
+    },
+    /// A precomputed prediction-store entry answered the request (§4 batch
+    /// serving path).
+    StoreLookup {
+        /// The `[hierarchy level, feature value]` key that matched.
+        key: String,
+        /// Whether this was the store's default (no key matched).
+        is_default: bool,
+    },
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Explanation::HierarchicalBucket {
+                feature,
+                value,
+                level,
+                percentile,
+                bucket,
+            } => write!(
+                f,
+                "matched {feature}='{value}' (level {level}): p{percentile} of {} similar instances (capacities {}..{}, median {})",
+                bucket.size, bucket.min, bucket.max, bucket.median
+            ),
+            Explanation::GlobalFallback { percentile, bucket } => write!(
+                f,
+                "no sufficiently large bucket; p{percentile} of all {} reference instances",
+                bucket.size
+            ),
+            Explanation::TargetEncoding {
+                encoded_features,
+                prediction_log2,
+            } => {
+                write!(f, "target-encoded features [")?;
+                for (i, (name, v)) in encoded_features.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{name}={v:.3}")?;
+                }
+                write!(f, "] -> log2 capacity {prediction_log2:.3}")
+            }
+            Explanation::StoreLookup { key, is_default } => {
+                if *is_default {
+                    write!(f, "prediction store default (no key matched)")
+                } else {
+                    write!(f, "prediction store hit on key [{key}]")
+                }
+            }
+        }
+    }
+}
+
+/// A complete, personalized recommendation (the §4 output surface).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The final SKU after personalization and discretization (`c**`).
+    pub sku: Sku,
+    /// Stage 2's capacity before personalization (`c*`, primary dimension).
+    pub stage2_capacity: f64,
+    /// The cost/performance sensitivity score applied (Eq. 13), surfaced so
+    /// the user can inspect and adjust their perceived preference.
+    pub lambda: f64,
+    /// The rationale (C3).
+    pub explanation: Explanation,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (stage-2 capacity {:.2}, lambda {:+.2}; {})",
+            self.sku, self.stage2_capacity, self.lambda, self.explanation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::Capacity;
+
+    #[test]
+    fn bucket_summary_from_sorted() {
+        let b = BucketSummary::from_sorted(&[2.0, 4.0, 4.0, 8.0, 16.0]);
+        assert_eq!(b.size, 5);
+        assert_eq!(b.min, 2.0);
+        assert_eq!(b.median, 4.0);
+        assert_eq!(b.max, 16.0);
+        let empty = BucketSummary::from_sorted(&[]);
+        assert_eq!(empty.size, 0);
+        assert!(empty.min.is_nan());
+    }
+
+    #[test]
+    fn explanations_render_readably() {
+        let e = Explanation::HierarchicalBucket {
+            feature: "VerticalName".into(),
+            value: "Insurance".into(),
+            level: 2,
+            percentile: 50.0,
+            bucket: BucketSummary::from_sorted(&[2.0, 4.0, 8.0]),
+        };
+        let s = e.to_string();
+        assert!(s.contains("VerticalName='Insurance'"));
+        assert!(s.contains("3 similar instances"));
+
+        let e = Explanation::GlobalFallback {
+            percentile: 50.0,
+            bucket: BucketSummary::from_sorted(&[2.0]),
+        };
+        assert!(e.to_string().contains("no sufficiently large bucket"));
+
+        let e = Explanation::TargetEncoding {
+            encoded_features: vec![("SegmentName".into(), 1.5)],
+            prediction_log2: 2.0,
+        };
+        assert!(e.to_string().contains("SegmentName=1.500"));
+
+        let e = Explanation::StoreLookup {
+            key: "VerticalName=Insurance".into(),
+            is_default: false,
+        };
+        assert!(e.to_string().contains("store hit"));
+    }
+
+    #[test]
+    fn recommendation_displays_all_parts() {
+        let r = Recommendation {
+            sku: Sku::new("gp-8vc", Capacity::scalar(8.0)),
+            stage2_capacity: 4.0,
+            lambda: 1.0,
+            explanation: Explanation::GlobalFallback {
+                percentile: 50.0,
+                bucket: BucketSummary::from_sorted(&[4.0]),
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("gp-8vc"));
+        assert!(s.contains("+1.00"));
+    }
+
+    #[test]
+    fn explanation_serde_round_trip() {
+        let e = Explanation::TargetEncoding {
+            encoded_features: vec![("a".into(), 0.5)],
+            prediction_log2: 1.25,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Explanation = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,254 @@
+//! The training-data container: a fleet of existing provisioned DBs.
+//!
+//! One record per DB/VM, aligned across parallel vectors: profile row,
+//! server offering (stratification), user-selected capacity `c⁰`, usage
+//! trace `w[n]` (censored at `c⁰`, exactly as real telemetry is — Eq. 1),
+//! and the customer-hierarchy path for personalization.
+
+use lorentz_types::{
+    Capacity, LorentzError, ProfileTable, ResourcePath, ServerId, ServerOffering,
+};
+use lorentz_telemetry::UsageTrace;
+use serde::{Deserialize, Serialize};
+
+/// A fleet of existing DBs used to train Lorentz.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetDataset {
+    profiles: ProfileTable,
+    offerings: Vec<ServerOffering>,
+    user_capacities: Vec<Capacity>,
+    traces: Vec<UsageTrace>,
+    paths: Vec<ResourcePath>,
+    server_ids: Vec<ServerId>,
+}
+
+impl FleetDataset {
+    /// Creates an empty fleet whose profile rows follow `profiles`'s schema.
+    pub fn new(profiles: ProfileTable) -> Self {
+        Self {
+            profiles,
+            offerings: Vec::new(),
+            user_capacities: Vec::new(),
+            traces: Vec::new(),
+            paths: Vec::new(),
+            server_ids: Vec::new(),
+        }
+    }
+
+    /// Appends one DB record. The profile row is appended to the fleet's
+    /// profile table.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] if the profile row mismatches the schema or
+    /// the capacity mismatches the trace's resource space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        server_id: ServerId,
+        path: ResourcePath,
+        offering: ServerOffering,
+        profile_row: &[Option<&str>],
+        user_capacity: Capacity,
+        trace: UsageTrace,
+    ) -> Result<usize, LorentzError> {
+        user_capacity.check_space(trace.space())?;
+        let row = self.profiles.push_row(profile_row)?;
+        self.offerings.push(offering);
+        self.user_capacities.push(user_capacity);
+        self.traces.push(trace);
+        self.paths.push(path);
+        self.server_ids.push(server_id);
+        Ok(row)
+    }
+
+    /// Number of DBs.
+    pub fn len(&self) -> usize {
+        self.offerings.len()
+    }
+
+    /// Whether the fleet has no records.
+    pub fn is_empty(&self) -> bool {
+        self.offerings.is_empty()
+    }
+
+    /// The profile table (one row per DB).
+    pub fn profiles(&self) -> &ProfileTable {
+        &self.profiles
+    }
+
+    /// Per-DB server offerings.
+    pub fn offerings(&self) -> &[ServerOffering] {
+        &self.offerings
+    }
+
+    /// Per-DB user-selected capacities `c⁰`.
+    pub fn user_capacities(&self) -> &[Capacity] {
+        &self.user_capacities
+    }
+
+    /// Per-DB usage traces.
+    pub fn traces(&self) -> &[UsageTrace] {
+        &self.traces
+    }
+
+    /// Per-DB customer-hierarchy paths.
+    pub fn paths(&self) -> &[ResourcePath] {
+        &self.paths
+    }
+
+    /// Per-DB server ids.
+    pub fn server_ids(&self) -> &[ServerId] {
+        &self.server_ids
+    }
+
+    /// Row indices belonging to one offering.
+    pub fn rows_for_offering(&self, offering: ServerOffering) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.offerings[i] == offering)
+            .collect()
+    }
+
+    /// Extracts a sub-fleet of the given rows (vocabularies preserved, so
+    /// encoded profile ids stay comparable across subsets).
+    pub fn subset(&self, rows: &[usize]) -> FleetDataset {
+        FleetDataset {
+            profiles: self.profiles.subset(rows),
+            offerings: rows.iter().map(|&r| self.offerings[r]).collect(),
+            user_capacities: rows.iter().map(|&r| self.user_capacities[r].clone()).collect(),
+            traces: rows.iter().map(|&r| self.traces[r].clone()).collect(),
+            paths: rows.iter().map(|&r| self.paths[r]).collect(),
+            server_ids: rows.iter().map(|&r| self.server_ids[r]).collect(),
+        }
+    }
+
+    /// Replaces a record's trace (used by the §5.2 workload upscaling, which
+    /// rescales usage in place and then re-rightsizes).
+    ///
+    /// # Errors
+    /// Returns a dimension mismatch if the new trace disagrees with the
+    /// record's capacity arity.
+    pub fn replace_trace(&mut self, row: usize, trace: UsageTrace) -> Result<(), LorentzError> {
+        self.user_capacities[row].check_space(trace.space())?;
+        self.traces[row] = trace;
+        Ok(())
+    }
+
+    /// Rebuilds the profile vocabularies' lookup indexes after
+    /// deserialization (see
+    /// [`ProfileTable::rebuild_indexes`](lorentz_types::ProfileTable::rebuild_indexes)).
+    pub fn rebuild_indexes(&mut self) {
+        self.profiles.rebuild_indexes();
+    }
+
+    /// Replaces a record's user capacity (upscaling also lifts user choices).
+    ///
+    /// # Errors
+    /// Returns a dimension mismatch on arity disagreement.
+    pub fn replace_user_capacity(
+        &mut self,
+        row: usize,
+        capacity: Capacity,
+    ) -> Result<(), LorentzError> {
+        capacity.check_space(self.traces[row].space())?;
+        self.user_capacities[row] = capacity;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_telemetry::RegularSeries;
+    use lorentz_types::{CustomerId, ProfileSchema, ResourceGroupId, SubscriptionId};
+
+    fn trace(values: &[f64]) -> UsageTrace {
+        UsageTrace::single(RegularSeries::new(300.0, values.to_vec()).unwrap())
+    }
+
+    fn path(i: u32) -> ResourcePath {
+        ResourcePath::new(CustomerId(i), SubscriptionId(i), ResourceGroupId(i))
+    }
+
+    fn small_fleet() -> FleetDataset {
+        let schema = ProfileSchema::new(vec!["industry"]).unwrap();
+        let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+        for i in 0..4 {
+            let offering = if i % 2 == 0 {
+                ServerOffering::Burstable
+            } else {
+                ServerOffering::GeneralPurpose
+            };
+            fleet
+                .push(
+                    ServerId(i),
+                    path(i),
+                    offering,
+                    &[Some("retail")],
+                    Capacity::scalar(4.0),
+                    trace(&[1.0, 2.0]),
+                )
+                .unwrap();
+        }
+        fleet
+    }
+
+    #[test]
+    fn push_aligns_all_vectors() {
+        let fleet = small_fleet();
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet.profiles().rows(), 4);
+        assert_eq!(fleet.traces().len(), 4);
+        assert_eq!(fleet.paths().len(), 4);
+        assert!(!fleet.is_empty());
+    }
+
+    #[test]
+    fn capacity_trace_arity_checked_at_push() {
+        let schema = ProfileSchema::new(vec!["industry"]).unwrap();
+        let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+        let err = fleet.push(
+            ServerId(0),
+            path(0),
+            ServerOffering::Burstable,
+            &[Some("x")],
+            Capacity::new(vec![4.0, 16.0]).unwrap(), // 2 dims vs 1-dim trace
+            trace(&[1.0]),
+        );
+        assert!(err.is_err());
+        assert!(fleet.is_empty(), "failed push must not partially append");
+    }
+
+    #[test]
+    fn rows_for_offering_filters() {
+        let fleet = small_fleet();
+        assert_eq!(fleet.rows_for_offering(ServerOffering::Burstable), vec![0, 2]);
+        assert_eq!(
+            fleet.rows_for_offering(ServerOffering::GeneralPurpose),
+            vec![1, 3]
+        );
+        assert!(fleet.rows_for_offering(ServerOffering::MemoryOptimized).is_empty());
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let fleet = small_fleet();
+        let sub = fleet.subset(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.server_ids()[0], ServerId(3));
+        assert_eq!(sub.offerings()[0], ServerOffering::GeneralPurpose);
+        assert_eq!(sub.profiles().rows(), 2);
+    }
+
+    #[test]
+    fn replace_trace_and_capacity_validate_arity() {
+        let mut fleet = small_fleet();
+        assert!(fleet.replace_trace(0, trace(&[5.0, 6.0])).is_ok());
+        assert_eq!(fleet.traces()[0].resource(0).values(), &[5.0, 6.0]);
+        assert!(fleet
+            .replace_user_capacity(0, Capacity::scalar(8.0))
+            .is_ok());
+        assert!(fleet
+            .replace_user_capacity(0, Capacity::new(vec![1.0, 2.0]).unwrap())
+            .is_err());
+    }
+}

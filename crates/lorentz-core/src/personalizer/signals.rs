@@ -1,0 +1,216 @@
+//! Satisfaction-signal extraction from Customer Reported Incidents (CRIs).
+//!
+//! The paper labels CRI tickets with a manually-crafted keyword search over
+//! three fields — *symptoms*, *subject/title*, and *resolution* — mapping
+//! each ticket to `γ ∈ {-1, 0, +1}` (§3.4.2, Table 1). Table 1 gives the
+//! throttle (performance-sensitivity, +1) filters; the cost-sensitivity
+//! (−1) filters are our symmetric extension, since the production list is
+//! not published (the paper reports only 5 of ~4,400 tickets were
+//! price-sensitive).
+
+use serde::{Deserialize, Serialize};
+
+/// A support ticket with the three fields the classifier inspects.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriTicket {
+    /// Free-text symptom description.
+    pub symptoms: String,
+    /// Ticket subject / title.
+    pub subject: String,
+    /// Resolution notes.
+    pub resolution: String,
+}
+
+impl CriTicket {
+    /// Convenience constructor.
+    pub fn new(
+        symptoms: impl Into<String>,
+        subject: impl Into<String>,
+        resolution: impl Into<String>,
+    ) -> Self {
+        Self {
+            symptoms: symptoms.into(),
+            subject: subject.into(),
+            resolution: resolution.into(),
+        }
+    }
+}
+
+/// Per-field keyword lists for one sentiment direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldFilters {
+    /// Keywords searched in `symptoms`.
+    pub symptoms: Vec<String>,
+    /// Keywords searched in `subject`.
+    pub subject: Vec<String>,
+    /// Keywords searched in `resolution`.
+    pub resolution: Vec<String>,
+}
+
+impl FieldFilters {
+    fn matches(&self, ticket: &CriTicket) -> bool {
+        let hit = |haystack: &str, needles: &[String]| {
+            let lower = haystack.to_lowercase();
+            needles.iter().any(|n| lower.contains(n.as_str()))
+        };
+        hit(&ticket.symptoms, &self.symptoms)
+            || hit(&ticket.subject, &self.subject)
+            || hit(&ticket.resolution, &self.resolution)
+    }
+}
+
+/// The keyword classifier mapping tickets to γ.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeywordClassifier {
+    /// Performance-sensitivity (+1) filters.
+    pub performance: FieldFilters,
+    /// Cost-sensitivity (−1) filters.
+    pub cost: FieldFilters,
+}
+
+impl Default for KeywordClassifier {
+    fn default() -> Self {
+        Self::paper_filters()
+    }
+}
+
+impl KeywordClassifier {
+    /// The Table-1 throttle filters plus symmetric cost filters.
+    pub fn paper_filters() -> Self {
+        let cpu = [
+            "high cpu",
+            "high cpu usage",
+            "high cpu utilization",
+            "high cpu utilisation",
+        ];
+        Self {
+            performance: FieldFilters {
+                symptoms: to_vec(&cpu),
+                subject: to_vec(&[
+                    "high cpu",
+                    "high cpu usage",
+                    "high cpu utilization",
+                    "high cpu utilisation",
+                    "100%",
+                    "99%",
+                    "95%",
+                    "90%",
+                    "throttl",
+                ]),
+                resolution: to_vec(&["increas", "throttl", "scale up", "scaling up", "scaled up"]),
+            },
+            cost: FieldFilters {
+                symptoms: to_vec(&["too expensive", "high cost", "high bill", "overprovisioned"]),
+                subject: to_vec(&["cost", "billing", "expensive", "downgrade"]),
+                resolution: to_vec(&[
+                    "decreas",
+                    "scale down",
+                    "scaling down",
+                    "scaled down",
+                    "downgrade",
+                ]),
+            },
+        }
+    }
+
+    /// Classifies a ticket to a satisfaction signal `γ`:
+    /// `+1` performance-sensitive, `−1` cost-sensitive, `0` neutral or
+    /// ambiguous (both directions matched).
+    pub fn classify(&self, ticket: &CriTicket) -> f64 {
+        let perf = self.performance.matches(ticket);
+        let cost = self.cost.matches(ticket);
+        match (perf, cost) {
+            (true, false) => 1.0,
+            (false, true) => -1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+fn to_vec(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// Classifies with the default paper filters.
+pub fn classify_ticket(ticket: &CriTicket) -> f64 {
+    KeywordClassifier::paper_filters().classify(ticket)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttling_complaints_are_performance_sensitive() {
+        let t = CriTicket::new(
+            "Database shows HIGH CPU utilization during peak hours",
+            "Performance degradation",
+            "Advised customer to scale up to the next tier",
+        );
+        assert_eq!(classify_ticket(&t), 1.0);
+    }
+
+    #[test]
+    fn subject_percent_markers_match() {
+        let t = CriTicket::new("", "CPU pegged at 100% for hours", "");
+        assert_eq!(classify_ticket(&t), 1.0);
+    }
+
+    #[test]
+    fn resolution_stem_matching_catches_increase_variants() {
+        for res in ["increased vCores", "increasing capacity", "throttling removed by resize"] {
+            let t = CriTicket::new("", "", res);
+            assert_eq!(classify_ticket(&t), 1.0, "{res}");
+        }
+    }
+
+    #[test]
+    fn cost_complaints_are_cost_sensitive() {
+        let t = CriTicket::new(
+            "Bill is too expensive for this workload",
+            "Monthly cost question",
+            "Scaled down from 16 to 8 vCores",
+        );
+        assert_eq!(classify_ticket(&t), -1.0);
+    }
+
+    #[test]
+    fn neutral_tickets_score_zero() {
+        let t = CriTicket::new(
+            "Cannot connect from new VNet",
+            "Connectivity issue",
+            "Fixed firewall rule",
+        );
+        assert_eq!(classify_ticket(&t), 0.0);
+    }
+
+    #[test]
+    fn ambiguous_tickets_score_zero() {
+        // Both directions matched -> neutral.
+        let t = CriTicket::new(
+            "high cpu but also too expensive",
+            "",
+            "",
+        );
+        assert_eq!(classify_ticket(&t), 0.0);
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let t = CriTicket::new("HIGH CPU USAGE", "", "");
+        assert_eq!(classify_ticket(&t), 1.0);
+    }
+
+    #[test]
+    fn empty_ticket_is_neutral() {
+        assert_eq!(classify_ticket(&CriTicket::default()), 0.0);
+    }
+
+    #[test]
+    fn classifier_serde_round_trip() {
+        let c = KeywordClassifier::paper_filters();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: KeywordClassifier = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

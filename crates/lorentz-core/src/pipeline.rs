@@ -1,0 +1,680 @@
+//! The end-to-end Lorentz pipeline (Fig. 8): Stage-1 rightsizing over a
+//! fleet, per-offering Stage-2 model training, prediction-store publishing,
+//! and personalized serving.
+//!
+//! [`LorentzPipeline::train`] is the daily batch job (A→B of Fig. 8);
+//! [`TrainedLorentz`] is the serving surface, answering
+//! [`RecommendRequest`]s through either live models or the precomputed
+//! [`PredictionStore`] (C), always applying the Stage-3 λ adjustment.
+
+use crate::config::LorentzConfig;
+use crate::explain::Recommendation;
+use crate::fleet::FleetDataset;
+use crate::personalizer::{Personalizer, SatisfactionSignal};
+use crate::personalizer::signals::{classify_ticket, CriTicket};
+use crate::provisioner::{
+    HierarchicalProvisioner, Provisioner, TargetEncodingProvisioner,
+};
+use crate::rightsizer::{Rightsizer, RightsizeOutcome};
+use crate::store::{PredictionStore, PublishBatch};
+use lorentz_types::{
+    LorentzError, ProfileTable, ResourcePath, ServerOffering, SkuCatalog,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which Stage-2 model serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The hierarchical bucket provisioner.
+    Hierarchical,
+    /// The target-encoding + GBDT provisioner.
+    TargetEncoding,
+}
+
+/// A capacity request for a *new* (not yet provisioned) resource.
+#[derive(Debug, Clone)]
+pub struct RecommendRequest<'a> {
+    /// Raw profile feature values in schema order (`None` = missing tag).
+    pub profile: Vec<Option<&'a str>>,
+    /// The pre-selected server offering.
+    pub offering: ServerOffering,
+    /// Customer / subscription / resource group the resource will live in.
+    pub path: ResourcePath,
+}
+
+/// The batch trainer.
+///
+/// ```
+/// use lorentz_core::{
+///     FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest,
+/// };
+/// use lorentz_telemetry::{RegularSeries, UsageTrace};
+/// use lorentz_types::{
+///     Capacity, CustomerId, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath,
+///     ServerId, ServerOffering, SubscriptionId,
+/// };
+///
+/// // A toy fleet: "retail" DBs need ~2 vCores, "banking" ~16. (The
+/// // hierarchy learner needs at least two profile features to form a
+/// // chain, so the schema nests customers under industries.)
+/// let schema = ProfileSchema::new(vec!["industry", "customer"])?;
+/// let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+/// for i in 0..40u32 {
+///     let (industry, demand) = if i % 2 == 0 { ("retail", 1.0) } else { ("banking", 8.0) };
+///     let customer = format!("c{}", i % 8);
+///     fleet.push(
+///         ServerId(i),
+///         ResourcePath::new(CustomerId(i % 4), SubscriptionId(i % 8), ResourceGroupId(i)),
+///         ServerOffering::GeneralPurpose,
+///         &[Some(industry), Some(customer.as_str())],
+///         Capacity::scalar(8.0),
+///         UsageTrace::single(RegularSeries::new(300.0, vec![demand; 12])?),
+///     )?;
+/// }
+///
+/// let mut config = LorentzConfig::paper_defaults();
+/// config.hierarchical.min_bucket = 5;
+/// config.target_encoding.boosting.n_trees = 10;
+/// let trained = LorentzPipeline::new(config)?.train(&fleet)?;
+///
+/// // A brand-new banking DB gets a banking-sized recommendation.
+/// let recommendation = trained.recommend(
+///     &RecommendRequest {
+///         profile: vec![Some("banking"), Some("brand-new-customer")],
+///         offering: ServerOffering::GeneralPurpose,
+///         path: ResourcePath::new(CustomerId(99), SubscriptionId(1), ResourceGroupId(1)),
+///     },
+///     ModelKind::Hierarchical,
+/// )?;
+/// assert_eq!(recommendation.sku.capacity.primary(), 16.0);
+/// # Ok::<(), lorentz_types::LorentzError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LorentzPipeline {
+    config: LorentzConfig,
+    catalogs: BTreeMap<ServerOffering, SkuCatalog>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OfferingModels {
+    hierarchical: HierarchicalProvisioner,
+    target_encoding: TargetEncodingProvisioner,
+}
+
+/// A trained Lorentz deployment: rightsized labels, per-offering Stage-2
+/// models, the published prediction store, and the Stage-3 personalizer.
+///
+/// Serializable: the production pipeline "stores the trained model and its
+/// performance metrics for offline experimentation" (§4) — use
+/// [`TrainedLorentz::to_json`] / [`TrainedLorentz::from_json`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedLorentz {
+    config: LorentzConfig,
+    rightsizer: Rightsizer,
+    catalogs: BTreeMap<ServerOffering, SkuCatalog>,
+    profiles: ProfileTable,
+    outcomes: Vec<RightsizeOutcome>,
+    labels: Vec<f64>,
+    models: BTreeMap<ServerOffering, OfferingModels>,
+    store: PredictionStore,
+    personalizer: Personalizer,
+}
+
+impl LorentzPipeline {
+    /// Creates a pipeline over the Azure PostgreSQL catalogs.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for invalid configs.
+    pub fn new(config: LorentzConfig) -> Result<Self, LorentzError> {
+        let catalogs = ServerOffering::ALL
+            .iter()
+            .map(|&o| (o, SkuCatalog::azure_postgres(o)))
+            .collect();
+        Self::with_catalogs(config, catalogs)
+    }
+
+    /// Creates a pipeline with custom per-offering catalogs.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for invalid configs or an
+    /// empty catalog map.
+    pub fn with_catalogs(
+        config: LorentzConfig,
+        catalogs: BTreeMap<ServerOffering, SkuCatalog>,
+    ) -> Result<Self, LorentzError> {
+        config.validate()?;
+        if catalogs.is_empty() {
+            return Err(LorentzError::InvalidConfig(
+                "at least one offering catalog required".into(),
+            ));
+        }
+        Ok(Self { config, catalogs })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LorentzConfig {
+        &self.config
+    }
+
+    /// Runs the full batch job: rightsize every fleet record (Stage 1),
+    /// train both provisioners per offering on the rightsized labels
+    /// (Stage 2), publish the prediction store, and initialize the
+    /// personalizer with every observed customer path.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] if the fleet is empty, contains an offering
+    /// without a catalog, or any stage fails to fit.
+    pub fn train(&self, fleet: &FleetDataset) -> Result<TrainedLorentz, LorentzError> {
+        if fleet.is_empty() {
+            return Err(LorentzError::Model("cannot train on an empty fleet".into()));
+        }
+        let rightsizer = Rightsizer::new(self.config.rightsizer.clone())?;
+
+        // Stage 1: rightsize everything.
+        let mut outcomes = Vec::with_capacity(fleet.len());
+        let mut labels = Vec::with_capacity(fleet.len());
+        for i in 0..fleet.len() {
+            let offering = fleet.offerings()[i];
+            let catalog = self.catalogs.get(&offering).ok_or_else(|| {
+                LorentzError::InvalidConfig(format!("no catalog for offering {offering}"))
+            })?;
+            let outcome =
+                rightsizer.rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], catalog)?;
+            labels.push(outcome.capacity.primary());
+            outcomes.push(outcome);
+        }
+
+        // Stage 2: per-offering stratified models (§2.1).
+        let mut models = BTreeMap::new();
+        let mut batch = PublishBatch::default();
+        for (&offering, catalog) in &self.catalogs {
+            let rows = fleet.rows_for_offering(offering);
+            if rows.is_empty() {
+                continue;
+            }
+            let sub_table = fleet.profiles().subset(&rows);
+            let sub_labels: Vec<f64> = rows.iter().map(|&r| labels[r]).collect();
+            let hierarchical = HierarchicalProvisioner::fit(
+                &sub_table,
+                &sub_labels,
+                catalog.clone(),
+                self.config.hierarchical,
+            )?;
+            let target_encoding = TargetEncodingProvisioner::fit(
+                &sub_table,
+                &sub_labels,
+                catalog.clone(),
+                self.config.target_encoding,
+            )?;
+
+            // Publish this offering's precomputed predictions (Fig. 8 C).
+            let (entries, default) = hierarchical.export_store_entries();
+            batch.entries.extend(
+                entries
+                    .into_iter()
+                    .map(|(f, v, c)| (offering, f, v, c)),
+            );
+            batch.defaults.push((offering, default));
+
+            models.insert(
+                offering,
+                OfferingModels {
+                    hierarchical,
+                    target_encoding,
+                },
+            );
+        }
+        if models.is_empty() {
+            return Err(LorentzError::Model(
+                "no offering had any training rows".into(),
+            ));
+        }
+        let mut store = PredictionStore::new();
+        store.publish(batch)?;
+
+        // Stage 3: a fresh profile per observed customer path (λ = 0).
+        let mut personalizer = Personalizer::new(self.config.personalizer)?;
+        for &path in fleet.paths() {
+            personalizer.register(path);
+        }
+
+        Ok(TrainedLorentz {
+            config: self.config.clone(),
+            rightsizer,
+            catalogs: self.catalogs.clone(),
+            profiles: fleet.profiles().clone(),
+            outcomes,
+            labels,
+            models,
+            store,
+            personalizer,
+        })
+    }
+}
+
+impl TrainedLorentz {
+    /// The configuration this deployment was trained with.
+    pub fn config(&self) -> &LorentzConfig {
+        &self.config
+    }
+
+    /// The Stage-1 rightsizer (shared definitions of slack/throttling).
+    pub fn rightsizer(&self) -> &Rightsizer {
+        &self.rightsizer
+    }
+
+    /// Per-record rightsizing outcomes, aligned with the training fleet.
+    pub fn outcomes(&self) -> &[RightsizeOutcome] {
+        &self.outcomes
+    }
+
+    /// Rightsized primary capacities (the Stage-2 training labels).
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// The training profile table (vocabulary reference for new requests).
+    pub fn profiles(&self) -> &ProfileTable {
+        &self.profiles
+    }
+
+    /// The published prediction store.
+    pub fn store(&self) -> &PredictionStore {
+        &self.store
+    }
+
+    /// The personalizer (read access).
+    pub fn personalizer(&self) -> &Personalizer {
+        &self.personalizer
+    }
+
+    /// The personalizer (mutable, e.g. to let a user override their λ).
+    pub fn personalizer_mut(&mut self) -> &mut Personalizer {
+        &mut self.personalizer
+    }
+
+    /// The catalog for an offering.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::NotFound`] for unknown offerings.
+    pub fn catalog(&self, offering: ServerOffering) -> Result<&SkuCatalog, LorentzError> {
+        self.catalogs
+            .get(&offering)
+            .ok_or_else(|| LorentzError::NotFound(format!("no catalog for {offering}")))
+    }
+
+    /// Direct access to a fitted Stage-2 model.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::NotFound`] if the offering had no training
+    /// rows.
+    pub fn provisioner(
+        &self,
+        offering: ServerOffering,
+        kind: ModelKind,
+    ) -> Result<&dyn Provisioner, LorentzError> {
+        let models = self.models.get(&offering).ok_or_else(|| {
+            LorentzError::NotFound(format!("no model trained for offering {offering}"))
+        })?;
+        Ok(match kind {
+            ModelKind::Hierarchical => &models.hierarchical,
+            ModelKind::TargetEncoding => &models.target_encoding,
+        })
+    }
+
+    /// The hierarchical model for an offering (for chain inspection).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::NotFound`] if the offering had no training
+    /// rows.
+    pub fn hierarchical(
+        &self,
+        offering: ServerOffering,
+    ) -> Result<&HierarchicalProvisioner, LorentzError> {
+        self.models
+            .get(&offering)
+            .map(|m| &m.hierarchical)
+            .ok_or_else(|| LorentzError::NotFound(format!("no model for {offering}")))
+    }
+
+    /// Serves a recommendation through a live Stage-2 model, then applies
+    /// the Stage-3 λ adjustment (Eq. 13) and re-discretizes.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for unknown offerings or malformed profiles.
+    pub fn recommend(
+        &self,
+        request: &RecommendRequest<'_>,
+        kind: ModelKind,
+    ) -> Result<Recommendation, LorentzError> {
+        let x = self.profiles.encode_row(&request.profile)?;
+        let provisioner = self.provisioner(request.offering, kind)?;
+        let (stage2_sku, explanation) = provisioner.recommend(&x)?;
+        let stage2_capacity = stage2_sku.capacity.primary();
+        let lambda = self.personalizer.lambda(&request.path, request.offering);
+        let catalog = self.catalog(request.offering)?;
+        let sku = self
+            .personalizer
+            .adjust(stage2_capacity, &request.path, request.offering, catalog);
+        Ok(Recommendation {
+            sku,
+            stage2_capacity,
+            lambda,
+            explanation,
+        })
+    }
+
+    /// Serves a recommendation from the precomputed prediction store (the
+    /// low-latency §4 path), falling back most-granular-first along the
+    /// learned hierarchy, then applies the λ adjustment.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for unknown offerings, malformed profiles,
+    /// or an empty store.
+    pub fn recommend_from_store(
+        &self,
+        request: &RecommendRequest<'_>,
+    ) -> Result<Recommendation, LorentzError> {
+        if request.profile.len() != self.profiles.schema().len() {
+            return Err(LorentzError::InvalidProfile(format!(
+                "request has {} features, schema has {}",
+                request.profile.len(),
+                self.profiles.schema().len()
+            )));
+        }
+        let hierarchical = self.hierarchical(request.offering)?;
+        // Build (feature name, value) pairs finest-first along the chain.
+        let schema = self.profiles.schema();
+        let mut levels: Vec<(&str, &str)> = Vec::new();
+        for feature in hierarchical.chain().fine_to_coarse() {
+            if let Some(value) = request.profile[feature.index()] {
+                levels.push((schema.name(feature), value));
+            }
+        }
+        let (stage2_capacity, explanation) = self.store.lookup(request.offering, &levels)?;
+        let lambda = self.personalizer.lambda(&request.path, request.offering);
+        let catalog = self.catalog(request.offering)?;
+        let sku = self
+            .personalizer
+            .adjust(stage2_capacity, &request.path, request.offering, catalog);
+        Ok(Recommendation {
+            sku,
+            stage2_capacity,
+            lambda,
+            explanation,
+        })
+    }
+
+    /// Routes one satisfaction signal into the personalizer.
+    pub fn apply_signal(&mut self, signal: &SatisfactionSignal) {
+        self.personalizer.apply_signal(signal);
+    }
+
+    /// Serializes the full deployment (models, store, personalizer,
+    /// training metadata) to JSON.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, LorentzError> {
+        serde_json::to_string(self)
+            .map_err(|e| LorentzError::Model(format!("serialization failed: {e}")))
+    }
+
+    /// Restores a deployment from [`TrainedLorentz::to_json`] output,
+    /// rebuilding the profile vocabularies' derived lookup indexes.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, LorentzError> {
+        let mut deployment: TrainedLorentz = serde_json::from_str(json)
+            .map_err(|e| LorentzError::Model(format!("deserialization failed: {e}")))?;
+        deployment.profiles.rebuild_indexes();
+        Ok(deployment)
+    }
+
+    /// Classifies a CRI ticket (Table-1 keyword filters) and, when the
+    /// sentiment is non-neutral, routes it as a satisfaction signal.
+    /// Returns the classified γ.
+    pub fn apply_ticket(
+        &mut self,
+        path: ResourcePath,
+        offering: ServerOffering,
+        ticket: &CriTicket,
+    ) -> f64 {
+        let gamma = classify_ticket(ticket);
+        if gamma != 0.0 {
+            let signal = SatisfactionSignal::new(path, offering, gamma)
+                .expect("classifier output is in [-1, 1]");
+            self.personalizer.apply_signal(&signal);
+        }
+        gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_telemetry::{RegularSeries, UsageTrace};
+    use lorentz_types::{
+        Capacity, CustomerId, ProfileSchema, ResourceGroupId, ServerId, SubscriptionId,
+    };
+
+    fn path(i: u32) -> ResourcePath {
+        ResourcePath::new(CustomerId(i % 5), SubscriptionId(i % 10), ResourceGroupId(i))
+    }
+
+    fn steady_trace(level: f64) -> UsageTrace {
+        UsageTrace::single(RegularSeries::new(300.0, vec![level; 12]).unwrap())
+    }
+
+    /// 60 GP servers: industry i0 needs ~2 vCores, i1 needs ~16; customers
+    /// nest under industries.
+    fn fleet() -> FleetDataset {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+        for i in 0..60u32 {
+            let big = i % 2 == 1;
+            let industry = if big { "i1" } else { "i0" };
+            let customer = format!("c{}", i % 12);
+            // True demand: ~1 vCore for i0 (rightsized to 2), ~8 for i1
+            // (rightsized to 16); users picked 8 for everything.
+            let demand = if big { 8.0 } else { 1.0 };
+            fleet
+                .push(
+                    ServerId(i),
+                    path(i),
+                    ServerOffering::GeneralPurpose,
+                    &[Some(industry), Some(customer.as_str())],
+                    Capacity::scalar(8.0),
+                    steady_trace(demand),
+                )
+                .unwrap();
+        }
+        fleet
+    }
+
+    fn quick_config() -> LorentzConfig {
+        let mut c = LorentzConfig::paper_defaults();
+        c.target_encoding.boosting.n_trees = 20;
+        c.target_encoding.boosting.learning_rate = 0.3;
+        c.hierarchical.min_bucket = 5;
+        c
+    }
+
+    fn trained() -> TrainedLorentz {
+        LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&fleet())
+            .unwrap()
+    }
+
+    #[test]
+    fn training_rightsizes_every_record() {
+        let t = trained();
+        assert_eq!(t.labels().len(), 60);
+        assert_eq!(t.outcomes().len(), 60);
+        // i0 records (even): steady 1.0 under 8 vCores -> rightsized to 2.
+        assert_eq!(t.labels()[0], 2.0);
+        // i1 records (odd): steady 8.0 at 8 vCores -> throttled (8 > 7.6),
+        // censored branch scales to >= 16.
+        assert_eq!(t.labels()[1], 16.0);
+        assert!(t.outcomes()[1].censored);
+    }
+
+    #[test]
+    fn both_models_recommend_by_industry() {
+        let t = trained();
+        for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+            let req = RecommendRequest {
+                profile: vec![Some("i0"), Some("c99-new")],
+                offering: ServerOffering::GeneralPurpose,
+                path: path(999),
+            };
+            let rec = t.recommend(&req, kind).unwrap();
+            assert_eq!(rec.sku.capacity.primary(), 2.0, "{kind:?}");
+            assert_eq!(rec.lambda, 0.0);
+
+            let req = RecommendRequest {
+                profile: vec![Some("i1"), Some("c98-new")],
+                offering: ServerOffering::GeneralPurpose,
+                path: path(998),
+            };
+            let rec = t.recommend(&req, kind).unwrap();
+            assert_eq!(rec.sku.capacity.primary(), 16.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn store_path_matches_live_hierarchical_model() {
+        let t = trained();
+        assert!(t.store().version() >= 1);
+        assert!(!t.store().is_empty());
+        let req = RecommendRequest {
+            profile: vec![Some("i1"), Some("brand-new-customer")],
+            offering: ServerOffering::GeneralPurpose,
+            path: path(997),
+        };
+        let live = t.recommend(&req, ModelKind::Hierarchical).unwrap();
+        let stored = t.recommend_from_store(&req).unwrap();
+        assert_eq!(live.sku.capacity, stored.sku.capacity);
+    }
+
+    #[test]
+    fn store_serves_default_for_fully_unknown_profiles() {
+        let t = trained();
+        let req = RecommendRequest {
+            profile: vec![Some("unknown"), Some("unknown")],
+            offering: ServerOffering::GeneralPurpose,
+            path: path(996),
+        };
+        let rec = t.recommend_from_store(&req).unwrap();
+        assert!(rec.explanation.to_string().contains("default"));
+        assert!(rec.sku.capacity.primary() >= 2.0);
+    }
+
+    #[test]
+    fn personalization_shifts_recommendations() {
+        let mut t = trained();
+        let p = path(1); // existing customer path (registered at train time)
+        let req = RecommendRequest {
+            profile: vec![Some("i1"), None],
+            offering: ServerOffering::GeneralPurpose,
+            path: p,
+        };
+        let before = t.recommend(&req, ModelKind::Hierarchical).unwrap();
+        assert_eq!(before.sku.capacity.primary(), 16.0);
+
+        // A strong performance signal stream raises λ for this RG.
+        for _ in 0..5 {
+            let sig =
+                SatisfactionSignal::new(p, ServerOffering::GeneralPurpose, 1.0).unwrap();
+            t.apply_signal(&sig);
+        }
+        let after = t.recommend(&req, ModelKind::Hierarchical).unwrap();
+        assert!(after.lambda > 0.0);
+        assert!(after.sku.capacity.primary() > 16.0);
+        assert_eq!(after.stage2_capacity, 16.0, "stage-2 output unchanged");
+    }
+
+    #[test]
+    fn tickets_route_through_the_classifier() {
+        let mut t = trained();
+        let p = path(2);
+        let gamma = t.apply_ticket(
+            p,
+            ServerOffering::GeneralPurpose,
+            &CriTicket::new("high cpu usage all day", "", "scaled up the server"),
+        );
+        assert_eq!(gamma, 1.0);
+        assert!(t.personalizer().lambda(&p, ServerOffering::GeneralPurpose) > 0.0);
+        // Neutral tickets change nothing.
+        let gamma = t.apply_ticket(
+            p,
+            ServerOffering::GeneralPurpose,
+            &CriTicket::new("login issue", "", "reset password"),
+        );
+        assert_eq!(gamma, 0.0);
+    }
+
+    #[test]
+    fn unknown_offering_and_empty_fleet_are_errors() {
+        let t = trained();
+        let req = RecommendRequest {
+            profile: vec![Some("i0"), None],
+            offering: ServerOffering::Burstable, // no Burstable training rows
+            path: path(1),
+        };
+        assert!(t.recommend(&req, ModelKind::Hierarchical).is_err());
+
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let empty = FleetDataset::new(ProfileTable::new(schema));
+        assert!(LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&empty)
+            .is_err());
+    }
+
+    #[test]
+    fn deployment_persists_and_restores() {
+        let mut t = trained();
+        let p = path(3);
+        // Put some personalization state in before saving.
+        let sig = SatisfactionSignal::new(p, ServerOffering::GeneralPurpose, 1.0).unwrap();
+        t.apply_signal(&sig);
+        let json = t.to_json().unwrap();
+        let restored = TrainedLorentz::from_json(&json).unwrap();
+
+        // Restored deployment serves identical recommendations — including
+        // for request profiles that must be re-encoded against the restored
+        // vocabularies (the index-rebuild path).
+        let req = RecommendRequest {
+            profile: vec![Some("i1"), Some("c3")],
+            offering: ServerOffering::GeneralPurpose,
+            path: p,
+        };
+        for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+            let a = t.recommend(&req, kind).unwrap();
+            let b = restored.recommend(&req, kind).unwrap();
+            assert_eq!(a.sku.capacity, b.sku.capacity, "{kind:?}");
+            assert_eq!(a.lambda, b.lambda);
+        }
+        let a = t.recommend_from_store(&req).unwrap();
+        let b = restored.recommend_from_store(&req).unwrap();
+        assert_eq!(a.sku.capacity, b.sku.capacity);
+        assert_eq!(restored.store().version(), t.store().version());
+        assert!(TrainedLorentz::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn malformed_request_profile_rejected() {
+        let t = trained();
+        let req = RecommendRequest {
+            profile: vec![Some("i0")], // wrong arity
+            offering: ServerOffering::GeneralPurpose,
+            path: path(1),
+        };
+        assert!(t.recommend(&req, ModelKind::Hierarchical).is_err());
+        assert!(t.recommend_from_store(&req).is_err());
+    }
+}

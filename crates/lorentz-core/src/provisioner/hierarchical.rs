@@ -1,0 +1,429 @@
+//! The hierarchical provisioner (§3.3, Eq. 10–12; Fig. 5).
+//!
+//! Training: learn the profile-feature hierarchy chain, then populate one
+//! bucket per (chain level, feature value) with the rightsized capacities of
+//! the existing VMs carrying that value (Eq. 10). Buckets are indexed by a
+//! single hierarchy level, not the full prefix, which suppresses mis-entry
+//! noise in coarser features (paper footnote 1).
+//!
+//! Inference: walk the chain from finest to coarsest, stop at the first
+//! bucket with at least `N` reference instances, and return its `p`-th
+//! percentile (Eq. 11–12). If no bucket qualifies, fall back to the global
+//! capacity distribution.
+
+use crate::explain::{BucketSummary, Explanation};
+use crate::provisioner::{discretize, Provisioner};
+use lorentz_hierarchy::{learn_hierarchy, HierarchyChain, HierarchyConfig};
+use lorentz_telemetry::aggregate::percentile_of_sorted;
+use lorentz_types::{
+    FeatureId, LorentzError, ProfileTable, ProfileVector, Sku, SkuCatalog, Vocab,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hierarchical provisioner hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalConfig {
+    /// The percentile `p` returned from the matched bucket (Table 2: 50 —
+    /// "a balanced, outlier-robust choice").
+    pub percentile: f64,
+    /// The minimum bucket size `N` required to recommend from a level
+    /// (Eq. 11).
+    pub min_bucket: usize,
+    /// Hierarchy-learning parameters (γ = 0.6 in Table 2).
+    pub hierarchy: HierarchyConfig,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        Self {
+            percentile: 50.0,
+            min_bucket: 10,
+            hierarchy: HierarchyConfig::default(),
+        }
+    }
+}
+
+impl HierarchicalConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if !self.percentile.is_finite() || !(0.0..=100.0).contains(&self.percentile) {
+            return Err(LorentzError::InvalidConfig(format!(
+                "percentile must be in [0, 100], got {}",
+                self.percentile
+            )));
+        }
+        if self.min_bucket == 0 {
+            return Err(LorentzError::InvalidConfig(
+                "min_bucket must be >= 1".into(),
+            ));
+        }
+        self.hierarchy.validate()
+    }
+}
+
+/// A fitted hierarchical provisioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchicalProvisioner {
+    config: HierarchicalConfig,
+    catalog: SkuCatalog,
+    chain: HierarchyChain,
+    /// Feature names aligned with the chain levels (for explanations).
+    chain_names: Vec<String>,
+    /// Vocabularies of the chain features (value id → string).
+    chain_vocabs: Vec<Vocab>,
+    /// `buckets[level][value id]` = sorted rightsized capacities.
+    buckets: Vec<HashMap<u32, Vec<f64>>>,
+    /// All training capacities, sorted (global fallback).
+    global: Vec<f64>,
+    n_features: usize,
+}
+
+impl HierarchicalProvisioner {
+    /// Fits the provisioner on existing VMs' profiles and their rightsized
+    /// capacities (primary dimension).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on invalid configs, empty/mismatched
+    /// training data, or non-positive labels.
+    pub fn fit(
+        table: &ProfileTable,
+        labels: &[f64],
+        catalog: SkuCatalog,
+        config: HierarchicalConfig,
+    ) -> Result<Self, LorentzError> {
+        config.validate()?;
+        if table.rows() != labels.len() {
+            return Err(LorentzError::Model(format!(
+                "{} profile rows vs {} labels",
+                table.rows(),
+                labels.len()
+            )));
+        }
+        if table.is_empty() {
+            return Err(LorentzError::Model("empty training table".into()));
+        }
+        if let Some(bad) = labels.iter().find(|l| !l.is_finite() || **l <= 0.0) {
+            return Err(LorentzError::Model(format!(
+                "labels must be positive capacities, got {bad}"
+            )));
+        }
+
+        let chain = learn_hierarchy(table, &config.hierarchy)?;
+
+        // Populate buckets along the chain (Eq. 10).
+        let mut buckets: Vec<HashMap<u32, Vec<f64>>> = vec![HashMap::new(); chain.len()];
+        for (level, &feature) in chain.features().iter().enumerate() {
+            let column = table.column(feature);
+            for (row, value) in column.iter().enumerate() {
+                if let Some(v) = value {
+                    buckets[level].entry(*v).or_default().push(labels[row]);
+                }
+            }
+        }
+        for level in &mut buckets {
+            for capacities in level.values_mut() {
+                capacities.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+            }
+        }
+        let mut global = labels.to_vec();
+        global.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+
+        let chain_names = chain
+            .features()
+            .iter()
+            .map(|&f| table.schema().name(f).to_owned())
+            .collect();
+        let chain_vocabs = chain
+            .features()
+            .iter()
+            .map(|&f| table.vocab(f).clone())
+            .collect();
+
+        Ok(Self {
+            config,
+            catalog,
+            chain,
+            chain_names,
+            chain_vocabs,
+            buckets,
+            global,
+            n_features: table.schema().len(),
+        })
+    }
+
+    /// The learned hierarchy chain.
+    pub fn chain(&self) -> &HierarchyChain {
+        &self.chain
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> &HierarchicalConfig {
+        &self.config
+    }
+
+    /// Number of populated buckets at `level` (0 = coarsest).
+    pub fn buckets_at_level(&self, level: usize) -> usize {
+        self.buckets[level].len()
+    }
+
+    /// Exports the batch-serving entries of §4: one discretized
+    /// recommendation per `[hierarchy level, feature value]` key whose
+    /// bucket qualifies, plus the global-percentile default. This is what a
+    /// daily training run publishes to the online prediction store.
+    pub fn export_store_entries(&self) -> (Vec<(String, String, f64)>, f64) {
+        let mut entries = Vec::new();
+        for (level, buckets) in self.buckets.iter().enumerate() {
+            for (&value, capacities) in buckets {
+                if capacities.len() >= self.config.min_bucket {
+                    let raw = percentile_of_sorted(capacities, self.config.percentile);
+                    entries.push((
+                        self.chain_names[level].clone(),
+                        self.chain_vocabs[level].value(value).to_owned(),
+                        discretize(&self.catalog, raw).capacity.primary(),
+                    ));
+                }
+            }
+        }
+        entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let default_raw = percentile_of_sorted(&self.global, self.config.percentile);
+        let default = discretize(&self.catalog, default_raw).capacity.primary();
+        (entries, default)
+    }
+
+    /// Finds the most granular qualifying bucket for `x` (Eq. 11).
+    /// Returns `(level, value id, capacities)` or `None` for global
+    /// fallback.
+    fn match_bucket(&self, x: &ProfileVector) -> Option<(usize, u32, &Vec<f64>)> {
+        // Finest level = last chain entry; walk upward.
+        for level in (0..self.chain.len()).rev() {
+            let feature: FeatureId = self.chain.features()[level];
+            if let Some(v) = x.get(feature) {
+                if let Some(capacities) = self.buckets[level].get(&v) {
+                    if capacities.len() >= self.config.min_bucket {
+                        return Some((level, v, capacities));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn check_arity(&self, x: &ProfileVector) -> Result<(), LorentzError> {
+        if x.len() != self.n_features {
+            return Err(LorentzError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Provisioner for HierarchicalProvisioner {
+    fn predict_raw(&self, x: &ProfileVector) -> Result<f64, LorentzError> {
+        self.check_arity(x)?;
+        let sorted = match self.match_bucket(x) {
+            Some((_, _, capacities)) => capacities,
+            None => &self.global,
+        };
+        Ok(percentile_of_sorted(sorted, self.config.percentile))
+    }
+
+    fn recommend(&self, x: &ProfileVector) -> Result<(Sku, Explanation), LorentzError> {
+        self.check_arity(x)?;
+        let (raw, explanation) = match self.match_bucket(x) {
+            Some((level, value, capacities)) => (
+                percentile_of_sorted(capacities, self.config.percentile),
+                Explanation::HierarchicalBucket {
+                    feature: self.chain_names[level].clone(),
+                    value: self.chain_vocabs[level].value(value).to_owned(),
+                    level,
+                    percentile: self.config.percentile,
+                    bucket: BucketSummary::from_sorted(capacities),
+                },
+            ),
+            None => (
+                percentile_of_sorted(&self.global, self.config.percentile),
+                Explanation::GlobalFallback {
+                    percentile: self.config.percentile,
+                    bucket: BucketSummary::from_sorted(&self.global),
+                },
+            ),
+        };
+        Ok((discretize(&self.catalog, raw), explanation))
+    }
+
+    fn catalog(&self) -> &SkuCatalog {
+        &self.catalog
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::{ProfileSchema, ServerOffering};
+
+    /// industry > customer hierarchy; industry i0 needs small DBs (2),
+    /// industry i1 needs large ones (16). 40 rows.
+    fn training() -> (ProfileTable, Vec<f64>) {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let industry = if i % 2 == 0 { "i0" } else { "i1" };
+            let customer = format!("c{}", i % 8);
+            t.push_row(&[Some(industry), Some(customer.as_str())]).unwrap();
+            labels.push(if i % 2 == 0 { 2.0 } else { 16.0 });
+        }
+        (t, labels)
+    }
+
+    fn catalog() -> SkuCatalog {
+        SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose)
+    }
+
+    fn fit(min_bucket: usize) -> (HierarchicalProvisioner, ProfileTable) {
+        let (t, labels) = training();
+        let cfg = HierarchicalConfig {
+            min_bucket,
+            ..HierarchicalConfig::default()
+        };
+        let p = HierarchicalProvisioner::fit(&t, &labels, catalog(), cfg).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn learns_two_level_chain_and_buckets() {
+        let (p, t) = fit(3);
+        assert_eq!(p.chain().len(), 2);
+        assert_eq!(t.schema().name(p.chain().features()[0]), "industry");
+        assert_eq!(p.buckets_at_level(0), 2);
+        assert_eq!(p.buckets_at_level(1), 8);
+    }
+
+    #[test]
+    fn recommends_from_finest_sufficient_bucket() {
+        let (p, t) = fit(3);
+        // Customer c0 appears 5 times, all industry i0 (even rows).
+        let x = t.encode_row(&[Some("i0"), Some("c0")]).unwrap();
+        let (sku, expl) = p.recommend(&x).unwrap();
+        assert_eq!(sku.capacity.primary(), 2.0);
+        match expl {
+            Explanation::HierarchicalBucket { feature, value, level, .. } => {
+                assert_eq!(feature, "customer");
+                assert_eq!(value, "c0");
+                assert_eq!(level, 1);
+            }
+            other => panic!("expected bucket explanation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traverses_up_when_fine_bucket_too_small() {
+        // min_bucket 10: per-customer buckets (5 rows) fail, industry (20
+        // rows) qualifies.
+        let (p, t) = fit(10);
+        let x = t.encode_row(&[Some("i1"), Some("c1")]).unwrap();
+        let (sku, expl) = p.recommend(&x).unwrap();
+        assert_eq!(sku.capacity.primary(), 16.0);
+        match expl {
+            Explanation::HierarchicalBucket { feature, .. } => assert_eq!(feature, "industry"),
+            other => panic!("expected bucket explanation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unseen_profile_falls_back_to_global() {
+        let (p, t) = fit(3);
+        let x = t.encode_row(&[Some("new-industry"), Some("new-customer")]).unwrap();
+        let (sku, expl) = p.recommend(&x).unwrap();
+        assert!(matches!(expl, Explanation::GlobalFallback { .. }));
+        // Global median of interleaved {2, 16} labels discretized to the
+        // ladder.
+        assert!(sku.capacity.primary() >= 2.0);
+    }
+
+    #[test]
+    fn missing_fine_feature_uses_coarser_level() {
+        let (p, t) = fit(3);
+        let x = t.encode_row(&[Some("i1"), None]).unwrap();
+        let (sku, expl) = p.recommend(&x).unwrap();
+        assert_eq!(sku.capacity.primary(), 16.0);
+        match expl {
+            Explanation::HierarchicalBucket { feature, .. } => assert_eq!(feature, "industry"),
+            other => panic!("expected bucket explanation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_controls_aggressiveness() {
+        let (t, labels) = training();
+        let mk = |percentile| {
+            HierarchicalProvisioner::fit(
+                &t,
+                &labels,
+                catalog(),
+                HierarchicalConfig {
+                    percentile,
+                    min_bucket: 50, // force global fallback
+                    ..HierarchicalConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let x = t.encode_row(&[Some("i0"), Some("c0")]).unwrap();
+        let low = mk(10.0).predict_raw(&x).unwrap();
+        let high = mk(90.0).predict_raw(&x).unwrap();
+        assert!(low < high);
+        assert_eq!(low, 2.0);
+        assert_eq!(high, 16.0);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (t, labels) = training();
+        let cfg = HierarchicalConfig::default();
+        assert!(HierarchicalProvisioner::fit(&t, &labels[..5], catalog(), cfg).is_err());
+        let mut bad_labels = labels.clone();
+        bad_labels[0] = -2.0;
+        assert!(HierarchicalProvisioner::fit(&t, &bad_labels, catalog(), cfg).is_err());
+        let bad_cfg = HierarchicalConfig {
+            percentile: 150.0,
+            ..HierarchicalConfig::default()
+        };
+        assert!(HierarchicalProvisioner::fit(&t, &labels, catalog(), bad_cfg).is_err());
+        let bad_cfg = HierarchicalConfig {
+            min_bucket: 0,
+            ..HierarchicalConfig::default()
+        };
+        assert!(HierarchicalProvisioner::fit(&t, &labels, catalog(), bad_cfg).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_at_inference() {
+        let (p, _) = fit(3);
+        let short = ProfileVector::new(vec![Some(0)]);
+        assert!(p.predict_raw(&short).is_err());
+        assert!(p.recommend(&short).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_recommendations() {
+        let (p, t) = fit(3);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: HierarchicalProvisioner = serde_json::from_str(&json).unwrap();
+        let x = t.encode_row(&[Some("i0"), Some("c0")]).unwrap();
+        assert_eq!(
+            p.recommend(&x).unwrap().0.capacity,
+            back.recommend(&x).unwrap().0.capacity
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Stage 2: capacity recommenders ("provisioners", §3.3).
+//!
+//! Provisioners map a profile feature vector `x` (no telemetry!) to a
+//! capacity recommendation `c* = f(x)`, trained on the rightsized capacities
+//! `ĉ⁰` that Stage 1 produced for existing workloads. Two models are
+//! provided, matching the paper:
+//!
+//! * [`HierarchicalProvisioner`] — explainable percentile buckets along the
+//!   learned profile hierarchy; robust with little data (Fig. 12);
+//! * [`TargetEncodingProvisioner`] — target encoding + gradient-boosted
+//!   trees in `log2` space; finer-grained Pareto control with ample data.
+
+mod hierarchical;
+pub mod offering;
+mod target_encoding;
+pub mod trace_augmented;
+
+pub use hierarchical::{HierarchicalConfig, HierarchicalProvisioner};
+pub use offering::{OfferingRecommendation, OfferingRecommender, OfferingRecommenderConfig};
+pub use target_encoding::{TargetEncodingConfig, TargetEncodingProvisioner};
+pub use trace_augmented::{TraceAugmentedConfig, TraceAugmentedProvisioner, TraceFeatures};
+
+use crate::explain::Explanation;
+use lorentz_types::{LorentzError, ProfileVector, Sku, SkuCatalog};
+
+/// A Stage-2 capacity recommender.
+pub trait Provisioner {
+    /// The raw (continuous, linear-space) primary-dimension capacity
+    /// prediction for a profile vector, before discretization to the SKU
+    /// catalog. The Pareto sweeps of §5.2 scale this value by powers of two
+    /// before discretizing.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] if the vector has the wrong arity.
+    fn predict_raw(&self, x: &ProfileVector) -> Result<f64, LorentzError>;
+
+    /// The discretized SKU recommendation plus its explanation.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] if the vector has the wrong arity.
+    fn recommend(&self, x: &ProfileVector) -> Result<(Sku, Explanation), LorentzError>;
+
+    /// The catalog this provisioner recommends from.
+    fn catalog(&self) -> &SkuCatalog;
+
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Discretizes a raw capacity prediction to the catalog SKU nearest in log2
+/// space — shared by both provisioners and by the λ adjustment (§5.3
+/// "discretized to C").
+pub(crate) fn discretize(catalog: &SkuCatalog, raw: f64) -> Sku {
+    catalog
+        .nearest_log2(&lorentz_types::Capacity::scalar(raw.max(f64::MIN_POSITIVE)))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::ServerOffering;
+
+    #[test]
+    fn discretize_snaps_to_ladder() {
+        let cat = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+        assert_eq!(discretize(&cat, 3.0).capacity.primary(), 4.0); // log2(3)=1.58 is nearer 2.0 than 1.0
+        assert_eq!(discretize(&cat, 2.0).capacity.primary(), 2.0);
+        assert_eq!(discretize(&cat, 500.0).capacity.primary(), 128.0);
+        assert_eq!(discretize(&cat, 0.0).capacity.primary(), 2.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Server-offering recommendation (the paper's §7 future work:
+//! "incorporating more entries of profile data features could ... enable
+//! recommendations of suitable server offerings among different types").
+//!
+//! Lorentz assumes the offering (Burstable / General Purpose / Memory
+//! Optimized) is pre-selected by the user; this extension removes that
+//! assumption with the same similar-customers machinery: walk the learned
+//! hierarchy from finest to coarsest and recommend the majority offering
+//! among the most specific sufficiently-populated bucket of existing
+//! resources, falling back to the fleet-wide prior.
+
+use lorentz_hierarchy::{learn_hierarchy, HierarchyChain, HierarchyConfig};
+use lorentz_types::{
+    FeatureId, LorentzError, ProfileTable, ProfileVector, ServerOffering,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Offering-recommender configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfferingRecommenderConfig {
+    /// Minimum bucket size to recommend from a level.
+    pub min_bucket: usize,
+    /// Hierarchy-learning parameters.
+    pub hierarchy: HierarchyConfig,
+}
+
+impl Default for OfferingRecommenderConfig {
+    fn default() -> Self {
+        Self {
+            min_bucket: 10,
+            hierarchy: HierarchyConfig::default(),
+        }
+    }
+}
+
+/// Per-offering vote counts of a matched bucket.
+type OfferingCounts = [usize; 3];
+
+/// An offering recommendation with its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfferingRecommendation {
+    /// The majority offering.
+    pub offering: ServerOffering,
+    /// Vote share of the majority offering within the matched bucket.
+    pub confidence: f64,
+    /// The matched feature name, or `None` for the global prior.
+    pub matched_feature: Option<String>,
+    /// Bucket size the vote was taken over.
+    pub bucket_size: usize,
+}
+
+/// A fitted offering recommender.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfferingRecommender {
+    config: OfferingRecommenderConfig,
+    chain: HierarchyChain,
+    chain_names: Vec<String>,
+    /// `buckets[level][value id]` = offering counts.
+    buckets: Vec<HashMap<u32, OfferingCounts>>,
+    global: OfferingCounts,
+    n_features: usize,
+}
+
+impl OfferingRecommender {
+    /// Fits on existing resources' profiles and their offerings.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on mismatched inputs or invalid configs.
+    pub fn fit(
+        table: &ProfileTable,
+        offerings: &[ServerOffering],
+        config: OfferingRecommenderConfig,
+    ) -> Result<Self, LorentzError> {
+        if config.min_bucket == 0 {
+            return Err(LorentzError::InvalidConfig("min_bucket must be >= 1".into()));
+        }
+        if table.rows() != offerings.len() {
+            return Err(LorentzError::Model(format!(
+                "{} profile rows vs {} offerings",
+                table.rows(),
+                offerings.len()
+            )));
+        }
+        if table.is_empty() {
+            return Err(LorentzError::Model("empty training table".into()));
+        }
+        let chain = learn_hierarchy(table, &config.hierarchy)?;
+
+        let index_of = |o: ServerOffering| {
+            ServerOffering::ALL.iter().position(|&x| x == o).expect("known offering")
+        };
+        let mut buckets: Vec<HashMap<u32, OfferingCounts>> = vec![HashMap::new(); chain.len()];
+        let mut global = [0usize; 3];
+        for (row, &offering) in offerings.iter().enumerate() {
+            global[index_of(offering)] += 1;
+            for (level, &feature) in chain.features().iter().enumerate() {
+                if let Some(v) = table.value_id(row, feature) {
+                    buckets[level].entry(v).or_insert([0; 3])[index_of(offering)] += 1;
+                }
+            }
+        }
+        let chain_names = chain
+            .features()
+            .iter()
+            .map(|&f| table.schema().name(f).to_owned())
+            .collect();
+        Ok(Self {
+            config,
+            chain,
+            chain_names,
+            buckets,
+            global,
+            n_features: table.schema().len(),
+        })
+    }
+
+    /// Recommends an offering for a profile vector.
+    ///
+    /// # Errors
+    /// Returns a dimension mismatch on arity disagreement.
+    pub fn recommend(&self, x: &ProfileVector) -> Result<OfferingRecommendation, LorentzError> {
+        if x.len() != self.n_features {
+            return Err(LorentzError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        for level in (0..self.chain.len()).rev() {
+            let feature: FeatureId = self.chain.features()[level];
+            if let Some(v) = x.get(feature) {
+                if let Some(counts) = self.buckets[level].get(&v) {
+                    let total: usize = counts.iter().sum();
+                    if total >= self.config.min_bucket {
+                        return Ok(verdict(counts, Some(self.chain_names[level].clone())));
+                    }
+                }
+            }
+        }
+        Ok(verdict(&self.global, None))
+    }
+}
+
+fn verdict(counts: &OfferingCounts, matched_feature: Option<String>) -> OfferingRecommendation {
+    let total: usize = counts.iter().sum();
+    let (best_idx, &best) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .expect("three offerings");
+    OfferingRecommendation {
+        offering: ServerOffering::ALL[best_idx],
+        confidence: if total > 0 {
+            best as f64 / total as f64
+        } else {
+            0.0
+        },
+        matched_feature,
+        bucket_size: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::ProfileSchema;
+
+    /// Industry i0 runs Burstable dev boxes; i1 runs Memory-Optimized
+    /// production.
+    fn training() -> (ProfileTable, Vec<ServerOffering>) {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        let mut offerings = Vec::new();
+        for i in 0..60 {
+            let (industry, offering) = if i % 2 == 0 {
+                ("i0", ServerOffering::Burstable)
+            } else {
+                ("i1", ServerOffering::MemoryOptimized)
+            };
+            let customer = format!("c{}", i % 10);
+            t.push_row(&[Some(industry), Some(customer.as_str())]).unwrap();
+            offerings.push(offering);
+        }
+        (t, offerings)
+    }
+
+    #[test]
+    fn recommends_the_bucket_majority() {
+        let (t, offerings) = training();
+        let r = OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default())
+            .unwrap();
+        let x = t.encode_row(&[Some("i0"), Some("brand-new")]).unwrap();
+        let rec = r.recommend(&x).unwrap();
+        assert_eq!(rec.offering, ServerOffering::Burstable);
+        assert_eq!(rec.confidence, 1.0);
+        assert_eq!(rec.matched_feature.as_deref(), Some("industry"));
+        assert_eq!(rec.bucket_size, 30);
+    }
+
+    #[test]
+    fn unknown_profiles_fall_back_to_the_global_prior() {
+        let (t, offerings) = training();
+        let r = OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default())
+            .unwrap();
+        let x = t.encode_row(&[Some("i-new"), Some("c-new")]).unwrap();
+        let rec = r.recommend(&x).unwrap();
+        assert!(rec.matched_feature.is_none());
+        assert_eq!(rec.bucket_size, 60);
+        assert_eq!(rec.confidence, 0.5);
+    }
+
+    #[test]
+    fn finer_buckets_win_when_populated() {
+        let (t, offerings) = training();
+        let cfg = OfferingRecommenderConfig {
+            min_bucket: 3, // per-customer buckets (6 rows) qualify
+            ..OfferingRecommenderConfig::default()
+        };
+        let r = OfferingRecommender::fit(&t, &offerings, cfg).unwrap();
+        let x = t.encode_row(&[Some("i0"), Some("c0")]).unwrap();
+        let rec = r.recommend(&x).unwrap();
+        assert_eq!(rec.matched_feature.as_deref(), Some("customer"));
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (t, offerings) = training();
+        assert!(OfferingRecommender::fit(
+            &t,
+            &offerings[..5],
+            OfferingRecommenderConfig::default()
+        )
+        .is_err());
+        let bad = OfferingRecommenderConfig {
+            min_bucket: 0,
+            ..OfferingRecommenderConfig::default()
+        };
+        assert!(OfferingRecommender::fit(&t, &offerings, bad).is_err());
+        let r = OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default())
+            .unwrap();
+        let short = ProfileVector::new(vec![Some(0)]);
+        assert!(r.recommend(&short).is_err());
+    }
+}

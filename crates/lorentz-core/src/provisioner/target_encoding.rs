@@ -1,0 +1,337 @@
+//! The target-encoding provisioner (§3.3 "Target encoding provisioner").
+//!
+//! Every categorical profile feature is replaced by a statistic of the
+//! rightsized capacities of the training rows sharing its value
+//! (`TE(x_h) = ψ({ĉ⁰_n | X_{n,h} = v})`), and a gradient-boosted tree
+//! ensemble is regressed on the encoded features — all in `ξ = log2` space
+//! to tame the exponential capacity ladder. Missing and unseen values are
+//! encoded as the global label mean, the policy the paper found necessary
+//! (§3.3 "Missing data").
+
+use crate::explain::Explanation;
+use crate::provisioner::{discretize, Provisioner};
+use lorentz_ml::{
+    GradientBoosting, GradientBoostingConfig, MissingPolicy, TargetEncoder, TargetStatistic,
+};
+use lorentz_types::{LorentzError, ProfileTable, ProfileVector, Sku, SkuCatalog};
+use serde::{Deserialize, Serialize};
+
+/// Target-encoding provisioner hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetEncodingConfig {
+    /// The aggregation `ψ` for the encoder.
+    pub statistic: TargetStatistic,
+    /// Missing-value policy (paper: global mean; `-999` sentinel available
+    /// for the ablation).
+    pub missing: MissingPolicy,
+    /// m-estimate smoothing strength for small value groups (0 = paper
+    /// behaviour).
+    pub smoothing: f64,
+    /// The tree-ensemble configuration (Table 2: 100 trees).
+    pub boosting: GradientBoostingConfig,
+}
+
+impl Default for TargetEncodingConfig {
+    fn default() -> Self {
+        Self {
+            statistic: TargetStatistic::Mean,
+            missing: MissingPolicy::GlobalMean,
+            smoothing: 0.0,
+            boosting: GradientBoostingConfig::default(),
+        }
+    }
+}
+
+impl TargetEncodingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if !self.smoothing.is_finite() || self.smoothing < 0.0 {
+            return Err(LorentzError::InvalidConfig(format!(
+                "smoothing must be finite and >= 0, got {}",
+                self.smoothing
+            )));
+        }
+        if let TargetStatistic::Percentile(p) = self.statistic {
+            if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+                return Err(LorentzError::InvalidConfig(format!(
+                    "encoder percentile must be in [0, 100], got {p}"
+                )));
+            }
+        }
+        self.boosting.validate()
+    }
+}
+
+/// A fitted target-encoding provisioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetEncodingProvisioner {
+    config: TargetEncodingConfig,
+    catalog: SkuCatalog,
+    encoder: TargetEncoder,
+    model: GradientBoosting,
+    feature_names: Vec<String>,
+    n_features: usize,
+}
+
+impl TargetEncodingProvisioner {
+    /// Fits the encoder and boosted ensemble on existing VMs' profiles and
+    /// their rightsized capacities (primary dimension, linear space).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on invalid configs, mismatched training
+    /// data, or non-positive labels.
+    pub fn fit(
+        table: &ProfileTable,
+        labels: &[f64],
+        catalog: SkuCatalog,
+        config: TargetEncodingConfig,
+    ) -> Result<Self, LorentzError> {
+        config.validate()?;
+        if table.rows() != labels.len() {
+            return Err(LorentzError::Model(format!(
+                "{} profile rows vs {} labels",
+                table.rows(),
+                labels.len()
+            )));
+        }
+        // ξ transform: fit everything in log2 space (§3.3 Transformations).
+        let labels_log2 = lorentz_ml::transform::xi_slice(labels)?;
+        let encoder = TargetEncoder::fit(
+            table,
+            &labels_log2,
+            config.statistic,
+            config.missing,
+            config.smoothing,
+        )?;
+        let dataset = encoder.encode_table(table, labels_log2)?;
+        let model = GradientBoosting::fit(&dataset, &config.boosting)?;
+        Ok(Self {
+            config,
+            catalog,
+            encoder,
+            model,
+            feature_names: table.schema().names().to_vec(),
+            n_features: table.schema().len(),
+        })
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> &TargetEncodingConfig {
+        &self.config
+    }
+
+    /// The fitted encoder (exposed for ablations and explanations).
+    pub fn encoder(&self) -> &TargetEncoder {
+        &self.encoder
+    }
+
+    fn check_arity(&self, x: &ProfileVector) -> Result<(), LorentzError> {
+        if x.len() != self.n_features {
+            return Err(LorentzError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn predict_log2(&self, x: &ProfileVector) -> Result<f64, LorentzError> {
+        self.check_arity(x)?;
+        let row = self.encoder.encode_vector(x);
+        Ok(self.model.predict_row(&row))
+    }
+}
+
+impl Provisioner for TargetEncodingProvisioner {
+    fn predict_raw(&self, x: &ProfileVector) -> Result<f64, LorentzError> {
+        Ok(self.predict_log2(x)?.exp2())
+    }
+
+    fn recommend(&self, x: &ProfileVector) -> Result<(Sku, Explanation), LorentzError> {
+        let row = {
+            self.check_arity(x)?;
+            self.encoder.encode_vector(x)
+        };
+        let prediction_log2 = self.model.predict_row(&row);
+        let explanation = Explanation::TargetEncoding {
+            encoded_features: self
+                .feature_names
+                .iter()
+                .cloned()
+                .zip(row.iter().copied())
+                .collect(),
+            prediction_log2,
+        };
+        Ok((discretize(&self.catalog, prediction_log2.exp2()), explanation))
+    }
+
+    fn catalog(&self) -> &SkuCatalog {
+        &self.catalog
+    }
+
+    fn name(&self) -> &'static str {
+        "target_encoding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::{ProfileSchema, ServerOffering};
+
+    /// Two informative features: industry determines scale (2 vs 16),
+    /// env adds a 2x factor for "prod".
+    fn training() -> (ProfileTable, Vec<f64>) {
+        let schema = ProfileSchema::new(vec!["industry", "env"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let industry = if i % 2 == 0 { "retail" } else { "banking" };
+            let env = if i % 4 < 2 { "dev" } else { "prod" };
+            t.push_row(&[Some(industry), Some(env)]).unwrap();
+            let base = if i % 2 == 0 { 2.0 } else { 16.0 };
+            let mult = if i % 4 < 2 { 1.0 } else { 2.0 };
+            labels.push(base * mult);
+        }
+        (t, labels)
+    }
+
+    fn catalog() -> SkuCatalog {
+        SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose)
+    }
+
+    fn quick_config() -> TargetEncodingConfig {
+        TargetEncodingConfig {
+            boosting: GradientBoostingConfig {
+                n_trees: 30,
+                learning_rate: 0.3,
+                ..GradientBoostingConfig::default()
+            },
+            ..TargetEncodingConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_multiplicative_structure() {
+        let (t, labels) = training();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let cases = [
+            (Some("retail"), Some("dev"), 2.0),
+            (Some("retail"), Some("prod"), 4.0),
+            (Some("banking"), Some("dev"), 16.0),
+            (Some("banking"), Some("prod"), 32.0),
+        ];
+        for (industry, env, expected) in cases {
+            let x = t.encode_row(&[industry, env]).unwrap();
+            let (sku, _) = p.recommend(&x).unwrap();
+            assert_eq!(
+                sku.capacity.primary(),
+                expected,
+                "industry={industry:?} env={env:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_values_fall_back_to_global_mean_prediction() {
+        let (t, labels) = training();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let x = t.encode_row(&[Some("space-tourism"), Some("staging")]).unwrap();
+        let raw = p.predict_raw(&x).unwrap();
+        // Both features encode to the global log2 mean (3.0), which the
+        // trees route to whatever leaf covers it — the guarantee is that the
+        // prediction stays inside the observed label range instead of
+        // collapsing the way a -999 sentinel does.
+        assert!((2.0..=32.0).contains(&raw), "raw={raw}");
+    }
+
+    #[test]
+    fn explanation_exposes_encoded_features() {
+        let (t, labels) = training();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let x = t.encode_row(&[Some("retail"), Some("dev")]).unwrap();
+        let (_, expl) = p.recommend(&x).unwrap();
+        match expl {
+            Explanation::TargetEncoding {
+                encoded_features,
+                prediction_log2,
+            } => {
+                assert_eq!(encoded_features.len(), 2);
+                assert_eq!(encoded_features[0].0, "industry");
+                // retail rows have log2 labels {1, 2}, mean 1.5.
+                assert!((encoded_features[0].1 - 1.5).abs() < 1e-9);
+                assert!(prediction_log2.is_finite());
+            }
+            other => panic!("expected TE explanation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sentinel_missing_policy_underestimates() {
+        // Reproduce the §3.3 observation in miniature: a -999 sentinel
+        // drags predictions for rows with missing values far below truth.
+        let schema = ProfileSchema::new(vec!["industry"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            let industry = if i % 10 == 0 {
+                None // 10% missing
+            } else if i % 2 == 0 {
+                Some("retail")
+            } else {
+                Some("banking")
+            };
+            t.push_row(&[industry]).unwrap();
+            labels.push(if i % 2 == 0 { 8.0 } else { 16.0 });
+        }
+        let mk = |missing| TargetEncodingConfig {
+            missing,
+            ..quick_config()
+        };
+        let global =
+            TargetEncodingProvisioner::fit(&t, &labels, catalog(), mk(MissingPolicy::GlobalMean))
+                .unwrap();
+        let x = t.encode_row(&[None]).unwrap();
+        let g = global.predict_raw(&x).unwrap();
+        assert!((8.0..=16.0).contains(&g), "global-mean policy stays in range, got {g}");
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (t, labels) = training();
+        assert!(
+            TargetEncodingProvisioner::fit(&t, &labels[..5], catalog(), quick_config()).is_err()
+        );
+        let mut bad = labels.clone();
+        bad[0] = 0.0; // log2 undefined
+        assert!(TargetEncodingProvisioner::fit(&t, &bad, catalog(), quick_config()).is_err());
+        let bad_cfg = TargetEncodingConfig {
+            smoothing: -1.0,
+            ..quick_config()
+        };
+        assert!(TargetEncodingProvisioner::fit(&t, &labels, catalog(), bad_cfg).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_at_inference() {
+        let (t, labels) = training();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let short = ProfileVector::new(vec![Some(0)]);
+        assert!(p.predict_raw(&short).is_err());
+    }
+
+    #[test]
+    fn predictions_scale_continuously_for_pareto_sweeps() {
+        let (t, labels) = training();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let x = t.encode_row(&[Some("retail"), Some("prod")]).unwrap();
+        let raw = p.predict_raw(&x).unwrap();
+        // The raw prediction is continuous (not snapped to the ladder).
+        assert!(raw > 0.0);
+        let scaled = raw * 2.0f64.powf(-2.5);
+        assert!(scaled < raw);
+    }
+}

@@ -1,0 +1,295 @@
+//! The trace-augmented provisioner (§3.3 "Extension to include trace
+//! data").
+//!
+//! Once a resource has been provisioned and starts producing telemetry,
+//! Lorentz "can serve as a predictive tool to assist in decision-making
+//! for autoscaling": both provisioner families can take additional
+//! features as inputs. This model extends the target-encoding provisioner
+//! with numeric trace-derived features — peak, mean, p95 utilization, and
+//! a burstiness ratio — so that re-provisioning decisions for *existing*
+//! resources use both profile and usage information.
+
+use crate::explain::Explanation;
+use crate::provisioner::discretize;
+use lorentz_ml::{Dataset, GradientBoosting, TargetEncoder};
+use lorentz_telemetry::aggregate::percentile;
+use lorentz_telemetry::UsageTrace;
+use lorentz_types::{LorentzError, ProfileTable, ProfileVector, Sku, SkuCatalog};
+use serde::{Deserialize, Serialize};
+
+/// The numeric features extracted from a usage trace (primary dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceFeatures {
+    /// Peak binned utilization.
+    pub peak: f64,
+    /// Mean binned utilization.
+    pub mean: f64,
+    /// 95th percentile of binned utilization.
+    pub p95: f64,
+    /// Peak-to-mean ratio (1 = perfectly flat; large = bursty).
+    pub burstiness: f64,
+}
+
+impl TraceFeatures {
+    /// Extracts features from a trace's primary dimension.
+    pub fn from_trace(trace: &UsageTrace) -> Self {
+        let values = trace.resource(0).values();
+        let peak = trace.peak()[0];
+        let mean = trace.mean()[0];
+        Self {
+            peak,
+            mean,
+            p95: percentile(values, 95.0),
+            burstiness: if mean > 0.0 { peak / mean } else { 1.0 },
+        }
+    }
+
+    fn names() -> [&'static str; 4] {
+        ["trace_peak", "trace_mean", "trace_p95", "trace_burstiness"]
+    }
+
+    fn as_row(&self) -> [f64; 4] {
+        [self.peak, self.mean, self.p95, self.burstiness]
+    }
+}
+
+/// Configuration: reuses the target-encoding provisioner's knobs.
+pub type TraceAugmentedConfig = super::TargetEncodingConfig;
+
+/// A provisioner over profile features *plus* trace features, for
+/// re-provisioning / autoscaling of already-running resources.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceAugmentedProvisioner {
+    catalog: SkuCatalog,
+    encoder: TargetEncoder,
+    model: GradientBoosting,
+    feature_names: Vec<String>,
+    n_profile_features: usize,
+}
+
+impl TraceAugmentedProvisioner {
+    /// Fits on profiles, traces, and rightsized labels (primary-dimension
+    /// capacities).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on mismatched inputs or fit failures.
+    pub fn fit(
+        table: &ProfileTable,
+        traces: &[UsageTrace],
+        labels: &[f64],
+        catalog: SkuCatalog,
+        config: TraceAugmentedConfig,
+    ) -> Result<Self, LorentzError> {
+        config.validate()?;
+        if table.rows() != labels.len() || traces.len() != labels.len() {
+            return Err(LorentzError::Model(format!(
+                "{} profiles / {} traces / {} labels",
+                table.rows(),
+                traces.len(),
+                labels.len()
+            )));
+        }
+        let labels_log2 = lorentz_ml::transform::xi_slice(labels)?;
+        let encoder = TargetEncoder::fit(
+            table,
+            &labels_log2,
+            config.statistic,
+            config.missing,
+            config.smoothing,
+        )?;
+
+        // Encoded categorical columns + numeric trace columns.
+        let base = encoder.encode_table(table, labels_log2.clone())?;
+        let mut columns: Vec<Vec<f64>> = (0..base.features())
+            .map(|f| base.column(f).to_vec())
+            .collect();
+        let mut feature_names: Vec<String> = base.feature_names().to_vec();
+        for (i, name) in TraceFeatures::names().iter().enumerate() {
+            feature_names.push((*name).to_owned());
+            columns.push(
+                traces
+                    .iter()
+                    .map(|t| TraceFeatures::from_trace(t).as_row()[i])
+                    .collect(),
+            );
+        }
+        let dataset = Dataset::new(feature_names.clone(), columns, labels_log2)?;
+        let model = GradientBoosting::fit(&dataset, &config.boosting)?;
+        Ok(Self {
+            catalog,
+            encoder,
+            model,
+            feature_names,
+            n_profile_features: table.schema().len(),
+        })
+    }
+
+    fn feature_row(&self, x: &ProfileVector, trace: &UsageTrace) -> Result<Vec<f64>, LorentzError> {
+        if x.len() != self.n_profile_features {
+            return Err(LorentzError::DimensionMismatch {
+                expected: self.n_profile_features,
+                got: x.len(),
+            });
+        }
+        let mut row = self.encoder.encode_vector(x);
+        row.extend(TraceFeatures::from_trace(trace).as_row());
+        Ok(row)
+    }
+
+    /// Raw (continuous) capacity prediction given profile *and* telemetry.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on arity mismatches.
+    pub fn predict_raw_with_trace(
+        &self,
+        x: &ProfileVector,
+        trace: &UsageTrace,
+    ) -> Result<f64, LorentzError> {
+        Ok(self.model.predict_row(&self.feature_row(x, trace)?).exp2())
+    }
+
+    /// Discretized re-provisioning recommendation with explanation.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on arity mismatches.
+    pub fn recommend_with_trace(
+        &self,
+        x: &ProfileVector,
+        trace: &UsageTrace,
+    ) -> Result<(Sku, Explanation), LorentzError> {
+        let row = self.feature_row(x, trace)?;
+        let prediction_log2 = self.model.predict_row(&row);
+        let explanation = Explanation::TargetEncoding {
+            encoded_features: self
+                .feature_names
+                .iter()
+                .cloned()
+                .zip(row.iter().copied())
+                .collect(),
+            prediction_log2,
+        };
+        Ok((discretize(&self.catalog, prediction_log2.exp2()), explanation))
+    }
+
+    /// Gain-based importance over all (profile + trace) features, paired
+    /// with their names.
+    pub fn feature_importance(&self) -> Vec<(String, f64)> {
+        self.feature_names
+            .iter()
+            .cloned()
+            .zip(self.model.feature_importance(self.feature_names.len()))
+            .collect()
+    }
+
+    /// The catalog recommendations snap to.
+    pub fn catalog(&self) -> &SkuCatalog {
+        &self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_ml::{GradientBoostingConfig, MissingPolicy, TargetStatistic};
+    use lorentz_telemetry::RegularSeries;
+    use lorentz_types::{ProfileSchema, ServerOffering};
+
+    fn trace(values: &[f64]) -> UsageTrace {
+        UsageTrace::single(RegularSeries::new(300.0, values.to_vec()).unwrap())
+    }
+
+    /// Profiles are uninformative; the trace tells everything. The
+    /// trace-augmented model must learn from telemetry what the pure
+    /// profile model cannot.
+    fn training() -> (ProfileTable, Vec<UsageTrace>, Vec<f64>) {
+        let schema = ProfileSchema::new(vec!["industry"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        let mut traces = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            t.push_row(&[Some("same-industry")]).unwrap();
+            let level = f64::from(1 << (i % 4)); // 1, 2, 4, 8
+            traces.push(trace(&[level, level * 0.6, level]));
+            labels.push(level * 2.0); // rightsized ~2x peak
+        }
+        (t, traces, labels)
+    }
+
+    fn config() -> TraceAugmentedConfig {
+        TraceAugmentedConfig {
+            boosting: GradientBoostingConfig {
+                n_trees: 40,
+                learning_rate: 0.3,
+                ..GradientBoostingConfig::default()
+            },
+            statistic: TargetStatistic::Mean,
+            missing: MissingPolicy::GlobalMean,
+            smoothing: 0.0,
+        }
+    }
+
+    #[test]
+    fn learns_from_telemetry_when_profiles_are_uninformative() {
+        let (t, traces, labels) = training();
+        let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+        let m = TraceAugmentedProvisioner::fit(&t, &traces, &labels, catalog, config()).unwrap();
+        let x = t.encode_row(&[Some("same-industry")]).unwrap();
+        // A flat 4-vCore workload should be re-provisioned near 8.
+        let (sku, _) = m.recommend_with_trace(&x, &trace(&[4.0, 2.4, 4.0])).unwrap();
+        assert_eq!(sku.capacity.primary(), 8.0);
+        // A 1-vCore workload lands at the small end.
+        let (sku, _) = m.recommend_with_trace(&x, &trace(&[1.0, 0.6, 1.0])).unwrap();
+        assert!(sku.capacity.primary() <= 2.0);
+    }
+
+    #[test]
+    fn trace_features_dominate_importance_here() {
+        let (t, traces, labels) = training();
+        let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+        let m = TraceAugmentedProvisioner::fit(&t, &traces, &labels, catalog, config()).unwrap();
+        let imp = m.feature_importance();
+        let profile_imp: f64 = imp
+            .iter()
+            .filter(|(n, _)| !n.starts_with("trace_"))
+            .map(|(_, v)| v)
+            .sum();
+        let trace_imp: f64 = imp
+            .iter()
+            .filter(|(n, _)| n.starts_with("trace_"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(
+            trace_imp > profile_imp,
+            "trace {trace_imp} vs profile {profile_imp}"
+        );
+    }
+
+    #[test]
+    fn trace_features_are_sane() {
+        let f = TraceFeatures::from_trace(&trace(&[1.0, 2.0, 4.0, 1.0]));
+        assert_eq!(f.peak, 4.0);
+        assert_eq!(f.mean, 2.0);
+        assert!(f.p95 > 3.0 && f.p95 <= 4.0);
+        assert_eq!(f.burstiness, 2.0);
+        // Idle trace: burstiness defined as 1.
+        let idle = TraceFeatures::from_trace(&trace(&[0.0, 0.0]));
+        assert_eq!(idle.burstiness, 1.0);
+    }
+
+    #[test]
+    fn fit_validates_input_alignment() {
+        let (t, traces, labels) = training();
+        let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+        assert!(TraceAugmentedProvisioner::fit(
+            &t,
+            &traces[..10],
+            &labels,
+            catalog.clone(),
+            config()
+        )
+        .is_err());
+        let m = TraceAugmentedProvisioner::fit(&t, &traces, &labels, catalog, config()).unwrap();
+        let short = ProfileVector::new(vec![Some(0), Some(0)]);
+        assert!(m.predict_raw_with_trace(&short, &trace(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Deployment validation (§4, Fig. 8 step B).
+//!
+//! Before publishing, the production pipeline "confirms that the new
+//! model's performance on a validation dataset is acceptable" and stores
+//! the metrics alongside the model. [`validate_deployment`] scores a
+//! trained deployment against a held-out fleet, and a [`PublishGate`]
+//! decides whether the fresh model may replace the serving one.
+
+use crate::evaluate::{self, SlackThrottle};
+use crate::fleet::FleetDataset;
+use crate::pipeline::{ModelKind, TrainedLorentz};
+use lorentz_types::LorentzError;
+use serde::{Deserialize, Serialize};
+
+/// Validation metrics of one deployment on one held-out fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentReport {
+    /// RMSE between the model's `log2` capacity predictions and the
+    /// rightsized labels of the validation fleet.
+    pub label_rmse_log2: f64,
+    /// Slack/throttling of the model's discretized recommendations against
+    /// the validation fleet's observed workloads.
+    pub recommended: SlackThrottle,
+    /// Slack/throttling of the Stage-1 rightsized capacities on the same
+    /// workloads — the best any Stage-2 model could do.
+    pub rightsized: SlackThrottle,
+    /// Validation rows scored.
+    pub rows: usize,
+}
+
+impl DeploymentReport {
+    /// How much of the rightsizer's slack level the model attains
+    /// (1 = as tight as Stage 1; larger = looser).
+    pub fn slack_overhead(&self) -> f64 {
+        if self.rightsized.mean_abs_slack <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.recommended.mean_abs_slack / self.rightsized.mean_abs_slack
+    }
+}
+
+/// Scores a deployment's Stage-2 model on a held-out validation fleet.
+///
+/// # Errors
+/// Returns [`LorentzError`] if the validation fleet is empty, contains an
+/// offering the deployment has no model for, or scoring fails.
+pub fn validate_deployment(
+    deployment: &TrainedLorentz,
+    validation: &FleetDataset,
+    kind: ModelKind,
+) -> Result<DeploymentReport, LorentzError> {
+    if validation.is_empty() {
+        return Err(LorentzError::Model("empty validation fleet".into()));
+    }
+    let rightsizer = deployment.rightsizer();
+
+    let mut predictions_log2 = Vec::with_capacity(validation.len());
+    let mut labels_log2 = Vec::with_capacity(validation.len());
+    let mut recommended_caps = Vec::with_capacity(validation.len());
+    let mut rightsized_caps = Vec::with_capacity(validation.len());
+    for row in 0..validation.len() {
+        let offering = validation.offerings()[row];
+        let catalog = deployment.catalog(offering)?;
+        let outcome = rightsizer.rightsize(
+            &validation.traces()[row],
+            &validation.user_capacities()[row],
+            catalog,
+        )?;
+        let model = deployment.provisioner(offering, kind)?;
+        let x = validation.profiles().row(row);
+        let raw = model.predict_raw(&x)?;
+        predictions_log2.push(raw.max(f64::MIN_POSITIVE).log2());
+        labels_log2.push(outcome.capacity.primary().log2());
+        let (sku, _) = model.recommend(&x)?;
+        recommended_caps.push(sku.capacity);
+        rightsized_caps.push(outcome.capacity);
+    }
+
+    let tau = deployment.config().rightsizer.tau;
+    let recommended = evaluate::slack_throttle(
+        rightsizer,
+        validation.traces(),
+        &recommended_caps,
+        tau,
+    )?;
+    let rightsized: SlackThrottle = evaluate::slack_throttle(
+        rightsizer,
+        validation.traces(),
+        &rightsized_caps,
+        tau,
+    )?;
+    Ok(DeploymentReport {
+        label_rmse_log2: lorentz_ml::metrics::rmse(&predictions_log2, &labels_log2),
+        recommended,
+        rightsized,
+        rows: validation.len(),
+    })
+}
+
+/// Acceptance thresholds for publishing a fresh model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PublishGate {
+    /// Maximum tolerated throttling ratio of the recommendations on the
+    /// validation workloads.
+    pub max_throttling: f64,
+    /// Maximum tolerated label RMSE in log2 space (1.0 = one ladder step).
+    pub max_label_rmse_log2: f64,
+}
+
+impl Default for PublishGate {
+    fn default() -> Self {
+        Self {
+            max_throttling: 0.10,
+            max_label_rmse_log2: 1.5,
+        }
+    }
+}
+
+impl PublishGate {
+    /// Whether a report clears the gate.
+    pub fn admits(&self, report: &DeploymentReport) -> bool {
+        report.recommended.throttling_ratio <= self.max_throttling
+            && report.label_rmse_log2 <= self.max_label_rmse_log2
+    }
+
+    /// Picks the better of two reports (used to decide between the fresh
+    /// model and yesterday's): lower throttling wins, slack breaks ties.
+    pub fn better<'a>(
+        &self,
+        a: &'a DeploymentReport,
+        b: &'a DeploymentReport,
+    ) -> &'a DeploymentReport {
+        match (self.admits(a), self.admits(b)) {
+            (true, false) => a,
+            (false, true) => b,
+            _ => {
+                if a.recommended.mean_abs_slack <= b.recommended.mean_abs_slack {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LorentzConfig;
+    use crate::fleet::FleetDataset;
+    use crate::pipeline::LorentzPipeline;
+    use lorentz_telemetry::{RegularSeries, UsageTrace};
+    use lorentz_types::{
+        Capacity, CustomerId, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath,
+        ServerId, ServerOffering, SubscriptionId,
+    };
+
+    fn fleet(seed_offset: u32, n: u32) -> FleetDataset {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+        for i in 0..n {
+            let big = (i + seed_offset) % 2 == 1;
+            let industry = if big { "i1" } else { "i0" };
+            let customer = format!("c{}", i % 8);
+            let demand = if big { 8.0 } else { 1.0 };
+            let trace =
+                UsageTrace::single(RegularSeries::new(300.0, vec![demand; 12]).unwrap());
+            fleet
+                .push(
+                    ServerId(i),
+                    ResourcePath::new(
+                        CustomerId(i % 4),
+                        SubscriptionId(i % 6),
+                        ResourceGroupId(i),
+                    ),
+                    ServerOffering::GeneralPurpose,
+                    &[Some(industry), Some(customer.as_str())],
+                    Capacity::scalar(16.0),
+                    trace,
+                )
+                .unwrap();
+        }
+        fleet
+    }
+
+    fn quick_config() -> LorentzConfig {
+        let mut c = LorentzConfig::paper_defaults();
+        c.hierarchical.min_bucket = 5;
+        c.target_encoding.boosting.n_trees = 20;
+        c
+    }
+
+    #[test]
+    fn good_model_passes_the_gate() {
+        let train = fleet(0, 60);
+        let validation = fleet(0, 40);
+        let deployment = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&train)
+            .unwrap();
+        let report =
+            validate_deployment(&deployment, &validation, ModelKind::Hierarchical).unwrap();
+        assert_eq!(report.rows, 40);
+        // The validation fleet has the same industry->capacity mapping, so
+        // predictions should match labels almost exactly.
+        assert!(report.label_rmse_log2 < 0.3, "rmse {}", report.label_rmse_log2);
+        assert!(report.recommended.throttling_ratio <= 0.10);
+        assert!(PublishGate::default().admits(&report));
+        assert!(report.slack_overhead() < 1.5);
+    }
+
+    #[test]
+    fn shifted_world_fails_the_gate() {
+        let train = fleet(0, 60);
+        // Validation world with flipped industry->capacity mapping: the
+        // trained model now recommends small SKUs for big workloads.
+        let validation = fleet(1, 40);
+        let deployment = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&train)
+            .unwrap();
+        let report =
+            validate_deployment(&deployment, &validation, ModelKind::Hierarchical).unwrap();
+        assert!(report.label_rmse_log2 > 1.5, "rmse {}", report.label_rmse_log2);
+        assert!(!PublishGate::default().admits(&report));
+    }
+
+    #[test]
+    fn gate_prefers_the_admitted_report() {
+        let good = DeploymentReport {
+            label_rmse_log2: 0.2,
+            recommended: SlackThrottle {
+                mean_abs_slack: 3.0,
+                throttling_ratio: 0.02,
+            },
+            rightsized: SlackThrottle {
+                mean_abs_slack: 2.0,
+                throttling_ratio: 0.0,
+            },
+            rows: 10,
+        };
+        let bad = DeploymentReport {
+            label_rmse_log2: 2.5,
+            recommended: SlackThrottle {
+                mean_abs_slack: 1.0,
+                throttling_ratio: 0.5,
+            },
+            ..good
+        };
+        let gate = PublishGate::default();
+        assert!(std::ptr::eq(gate.better(&good, &bad), &good));
+        assert!(std::ptr::eq(gate.better(&bad, &good), &good));
+        // Both admitted: lower slack wins.
+        let tighter = DeploymentReport {
+            recommended: SlackThrottle {
+                mean_abs_slack: 2.5,
+                throttling_ratio: 0.02,
+            },
+            ..good
+        };
+        assert!(std::ptr::eq(gate.better(&good, &tighter), &tighter));
+    }
+
+    #[test]
+    fn empty_validation_rejected() {
+        let train = fleet(0, 60);
+        let deployment = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&train)
+            .unwrap();
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let empty = FleetDataset::new(ProfileTable::new(schema));
+        assert!(validate_deployment(&deployment, &empty, ModelKind::Hierarchical).is_err());
+    }
+}

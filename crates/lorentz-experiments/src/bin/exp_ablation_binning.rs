@@ -1,0 +1,5 @@
+//! Regenerates the binning & K ablation.
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::ablations::binning(scale);
+}

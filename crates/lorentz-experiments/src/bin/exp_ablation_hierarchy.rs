@@ -1,0 +1,5 @@
+//! Regenerates the hierarchy-threshold ablation.
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::ablations::hierarchy(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the missing-data encoding ablation.
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::ablations::missing_data(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the model-family ablation.
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::ablations::model_family(scale);
+}

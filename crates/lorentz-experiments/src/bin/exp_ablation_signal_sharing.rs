@@ -1,0 +1,5 @@
+//! Regenerates the signal-sharing ablation.
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::ablations::signal_sharing(scale);
+}

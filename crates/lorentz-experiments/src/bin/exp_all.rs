@@ -1,0 +1,24 @@
+//! Runs every experiment in paper order.
+fn main() {
+    use lorentz_experiments as exp;
+    let scale = exp::Scale::from_args();
+    exp::tab02::run(scale);
+    exp::fig01::run(scale);
+    exp::fig02::run(scale);
+    exp::fig04::run(scale);
+    exp::tab01::run(scale);
+    exp::fig09::run(scale);
+    exp::sec52::run(scale);
+    exp::sec52_cost::run(scale);
+    exp::fig10::run(scale);
+    exp::fig11::run(scale);
+    exp::fig12::run(scale);
+    exp::fig13::run(scale);
+    exp::fig14::run(scale);
+    exp::ablations::missing_data(scale);
+    exp::ablations::signal_sharing(scale);
+    exp::ablations::binning(scale);
+    exp::ablations::hierarchy(scale);
+    exp::ablations::model_family(scale);
+    println!("\nAll experiments complete.");
+}

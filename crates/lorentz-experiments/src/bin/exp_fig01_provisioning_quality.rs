@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (user provisioning quality).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig01::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (capacity distributions).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig02::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (slack/throttling examples).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig04::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (rightsizing gains).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig09::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (Pareto frontiers).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig10::run(scale);
+}

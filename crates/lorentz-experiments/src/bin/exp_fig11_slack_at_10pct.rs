@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (slack at <10% throttling).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig11::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (10% training set robustness).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig12::run(scale);
+}

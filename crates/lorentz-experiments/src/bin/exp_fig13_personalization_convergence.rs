@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (personalization convergence).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig13::run(scale);
+}

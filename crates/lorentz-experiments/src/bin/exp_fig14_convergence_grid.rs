@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 (convergence grid).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::fig14::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Section 5.2 aggregate-cost evaluation (67k-server extrapolation).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::sec52_cost::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Section 5.2 upscaling statistics.
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::sec52::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (throttle filters).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::tab01::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (hyperparameters).
+fn main() {
+    let scale = lorentz_experiments::Scale::from_args();
+    lorentz_experiments::tab02::run(scale);
+}

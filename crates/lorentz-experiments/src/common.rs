@@ -1,0 +1,221 @@
+//! Shared experiment infrastructure: fleet presets, splits, rightsizing
+//! sweeps, and plain-text rendering helpers.
+
+use lorentz_core::{
+    FleetDataset, LorentzConfig, Rightsizer, RightsizeOutcome,
+};
+use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
+use lorentz_simdata::upscale::{upscale_fleet, UpscaleConfig, UpscaleReport};
+use lorentz_telemetry::generators::SamplingConfig;
+use lorentz_telemetry::UsageTrace;
+use lorentz_types::{LorentzError, SkuCatalog};
+
+/// Experiment size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: ~800 servers, 1-day traces. Seconds per experiment.
+    Quick,
+    /// Paper-sized shape: several thousand servers, 7-day traces.
+    Full,
+}
+
+impl Scale {
+    /// Parses process args: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Fleet size at this scale.
+    pub fn n_servers(self) -> usize {
+        match self {
+            Scale::Quick => 800,
+            Scale::Full => 6000,
+        }
+    }
+
+    /// Telemetry window at this scale.
+    pub fn sampling(self) -> SamplingConfig {
+        match self {
+            Scale::Quick => SamplingConfig {
+                duration_secs: 86_400.0,
+                mean_interval_secs: 60.0,
+                jitter_frac: 0.2,
+            },
+            Scale::Full => SamplingConfig::paper_default(),
+        }
+    }
+
+    /// Simulation repetitions for the §5.3 experiments.
+    pub fn sim_repeats(self) -> usize {
+        match self {
+            Scale::Quick => 20,
+            Scale::Full => 100,
+        }
+    }
+}
+
+/// The standard synthetic fleet: calibrated to the §5.2 starting point
+/// (mean max utilization ≈ 1.2 vCores, the rightsizer picking the smallest
+/// SKUs for the vast majority of DBs). Used by the provisioner experiments
+/// and as the upscaling input.
+pub fn standard_fleet(scale: Scale, seed: u64) -> SyntheticFleet {
+    FleetConfig {
+        n_servers: scale.n_servers(),
+        seed,
+        sampling: scale.sampling(),
+        ..lorentz_simdata::scenarios::paper_section52()
+    }
+    .generate()
+    .expect("standard fleet config is valid")
+}
+
+/// The fleet calibrated to the §2.2 / Figure-1 provisioning statistics:
+/// demand sits near the smallest SKUs' capacity so that the minimum default
+/// is the right choice only about half the time — the regime in which the
+/// paper's 43% well / 19% over / 38% under mix arises. (The paper's own
+/// §2.2 and §5.2 numbers describe the same production fleet from these two
+/// angles; a single synthetic calibration cannot hit both exactly, so the
+/// dataset-statistics experiments use this preset and the provisioner
+/// experiments use [`standard_fleet`]. See EXPERIMENTS.md.)
+pub fn stats_fleet(scale: Scale, seed: u64) -> SyntheticFleet {
+    FleetConfig {
+        n_servers: scale.n_servers(),
+        seed,
+        sampling: scale.sampling(),
+        ..lorentz_simdata::scenarios::paper_section22()
+    }
+    .generate()
+    .expect("stats fleet config is valid")
+}
+
+/// The §5.2 upscaled fleet (standard fleet + paper upscaling).
+pub fn upscaled_fleet(scale: Scale, seed: u64) -> (SyntheticFleet, UpscaleReport) {
+    let mut fleet = standard_fleet(scale, seed);
+    let report =
+        upscale_fleet(&mut fleet, &UpscaleConfig::default()).expect("upscale config is valid");
+    (fleet, report)
+}
+
+/// The experiment-wide Lorentz configuration: Table 2 defaults, with a
+/// trimmed tree count at `Quick` scale to keep CI fast.
+pub fn experiment_config(scale: Scale) -> LorentzConfig {
+    let mut config = LorentzConfig::paper_defaults();
+    if scale == Scale::Quick {
+        config.target_encoding.boosting.n_trees = 50;
+        // The paper's N is sized for a 77k-server fleet; scale the minimum
+        // bucket size down with the CI-sized fleet.
+        config.hierarchical.min_bucket = 5;
+    }
+    config
+}
+
+/// Rightsizes every record of a fleet, returning per-record outcomes.
+///
+/// # Errors
+/// Propagates rightsizing failures.
+pub fn rightsize_fleet(
+    config: &LorentzConfig,
+    fleet: &FleetDataset,
+) -> Result<Vec<RightsizeOutcome>, LorentzError> {
+    let rightsizer = Rightsizer::new(config.rightsizer.clone())?;
+    (0..fleet.len())
+        .map(|i| {
+            let catalog = SkuCatalog::azure_postgres(fleet.offerings()[i]);
+            rightsizer.rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], &catalog)
+        })
+        .collect()
+}
+
+/// Splits fleet rows 80/10/10, returning `(train, val, test)` row sets.
+pub fn split_rows(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let s = lorentz_ml::three_way_split(n, 0.8, 0.1, 0.1, seed).expect("n large enough");
+    (s.train, s.val, s.test)
+}
+
+/// Selects ground-truth traces for the given rows.
+pub fn traces_for(rows: &[usize], ground_truth: &[UsageTrace]) -> Vec<UsageTrace> {
+    rows.iter().map(|&r| ground_truth[r].clone()).collect()
+}
+
+/// Renders a unit-interval value as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders a compact ASCII histogram of `values` over the given bucket
+/// edges (`<edge0`, `[edge0, edge1)`, ..., `>= last`).
+pub fn ascii_histogram(values: &[f64], edges: &[f64], width: usize) -> String {
+    let mut counts = vec![0usize; edges.len() + 1];
+    for &v in values {
+        let idx = edges.partition_point(|&e| e <= v);
+        counts[idx] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let label = if i == 0 {
+            format!("      < {:>6.1}", edges[0])
+        } else if i == edges.len() {
+            format!("     >= {:>6.1}", edges[edges.len() - 1])
+        } else {
+            format!("{:>6.1}-{:>6.1}", edges[i - 1], edges[i])
+        };
+        let bar_len = c * width / max;
+        out.push_str(&format!(
+            "{label} | {:<width$} {c}\n",
+            "#".repeat(bar_len),
+            width = width
+        ));
+    }
+    out
+}
+
+/// Renders a two-column table with a header.
+pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {
+    let key_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(4);
+    let mut out = format!("== {title} ==\n");
+    for (k, v) in rows {
+        out.push_str(&format!("  {k:<key_w$}  {v}\n"));
+    }
+    out
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, description: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{id}: {description}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fleet_builds() {
+        let f = standard_fleet(Scale::Quick, 1);
+        assert_eq!(f.fleet.len(), Scale::Quick.n_servers());
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let h = ascii_histogram(&[0.5, 1.5, 2.5, 10.0], &[1.0, 2.0, 4.0], 20);
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains('#'));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.4321), "43.2%");
+    }
+
+    #[test]
+    fn split_rows_partitions() {
+        let (tr, va, te) = split_rows(100, 0);
+        assert_eq!(tr.len() + va.len() + te.len(), 100);
+    }
+}

@@ -1,0 +1,163 @@
+//! Figure 1 / §2.2 dataset statistics: how well users provision.
+//!
+//! Paper findings on the production fleet: users pick the ideal capacity
+//! only 43% of the time (19% over-, 38% under-provision, relative to the
+//! rightsized capacities); dev DBs are under-provisioned 54% and
+//! over-provisioned only 6% of the time; 80% of dev DBs sit on the minimum
+//! (default) capacity but it is appropriate for only 38% of them; 63% of
+//! all users select the minimum.
+
+use crate::common::{self, Scale};
+use lorentz_core::rightsizer::ProvisioningVerdict;
+use lorentz_types::SkuCatalog;
+use serde::{Deserialize, Serialize};
+
+/// Verdict shares for one population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerdictShares {
+    /// Fraction correctly provisioned.
+    pub well: f64,
+    /// Fraction over-provisioned.
+    pub over: f64,
+    /// Fraction under-provisioned.
+    pub under: f64,
+}
+
+impl VerdictShares {
+    fn from_verdicts(verdicts: &[ProvisioningVerdict]) -> Self {
+        let n = verdicts.len().max(1) as f64;
+        let count = |v: ProvisioningVerdict| {
+            verdicts.iter().filter(|&&x| x == v).count() as f64 / n
+        };
+        Self {
+            well: count(ProvisioningVerdict::WellProvisioned),
+            over: count(ProvisioningVerdict::OverProvisioned),
+            under: count(ProvisioningVerdict::UnderProvisioned),
+        }
+    }
+}
+
+/// The Figure-1 reproduction result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig01Result {
+    /// All servers.
+    pub overall: VerdictShares,
+    /// Development (Burstable) servers.
+    pub dev: VerdictShares,
+    /// Production (General Purpose + Memory Optimized) servers.
+    pub prod: VerdictShares,
+    /// Fraction of all users selecting the minimum (default) SKU.
+    pub picked_minimum: f64,
+    /// Fraction of dev users selecting the minimum SKU.
+    pub dev_picked_minimum: f64,
+    /// Among dev servers on the minimum SKU, the fraction for which the
+    /// minimum is actually the rightsized choice.
+    pub dev_minimum_appropriate: f64,
+}
+
+/// Runs the experiment and prints the figure's rows.
+pub fn run(scale: Scale) -> Fig01Result {
+    common::banner(
+        "Figure 1",
+        "users improperly provision many resources (user vs rightsized)",
+    );
+    let synth = common::stats_fleet(scale, 101);
+    let config = common::experiment_config(scale);
+    let outcomes = common::rightsize_fleet(&config, &synth.fleet).expect("rightsizing succeeds");
+
+    let verdicts: Vec<ProvisioningVerdict> = outcomes.iter().map(|o| o.verdict).collect();
+    let dev_rows: Vec<usize> = (0..synth.fleet.len())
+        .filter(|&i| synth.fleet.offerings()[i].is_development())
+        .collect();
+    let prod_rows: Vec<usize> = (0..synth.fleet.len())
+        .filter(|&i| !synth.fleet.offerings()[i].is_development())
+        .collect();
+    let pick = |rows: &[usize]| -> Vec<ProvisioningVerdict> {
+        rows.iter().map(|&r| verdicts[r]).collect()
+    };
+
+    let minimums: Vec<bool> = (0..synth.fleet.len())
+        .map(|i| {
+            let cat = SkuCatalog::azure_postgres(synth.fleet.offerings()[i]);
+            synth.fleet.user_capacities()[i] == cat.minimum().capacity
+        })
+        .collect();
+    let picked_minimum =
+        minimums.iter().filter(|&&m| m).count() as f64 / synth.fleet.len() as f64;
+    let dev_picked_minimum = if dev_rows.is_empty() {
+        0.0
+    } else {
+        dev_rows.iter().filter(|&&r| minimums[r]).count() as f64 / dev_rows.len() as f64
+    };
+    let dev_on_min: Vec<usize> = dev_rows.iter().copied().filter(|&r| minimums[r]).collect();
+    let dev_minimum_appropriate = if dev_on_min.is_empty() {
+        0.0
+    } else {
+        dev_on_min
+            .iter()
+            .filter(|&&r| verdicts[r] == ProvisioningVerdict::WellProvisioned)
+            .count() as f64
+            / dev_on_min.len() as f64
+    };
+
+    let result = Fig01Result {
+        overall: VerdictShares::from_verdicts(&verdicts),
+        dev: VerdictShares::from_verdicts(&pick(&dev_rows)),
+        prod: VerdictShares::from_verdicts(&pick(&prod_rows)),
+        picked_minimum,
+        dev_picked_minimum,
+        dev_minimum_appropriate,
+    };
+
+    let fmt = |s: VerdictShares| {
+        format!(
+            "well {} / over {} / under {}",
+            common::pct(s.well),
+            common::pct(s.over),
+            common::pct(s.under)
+        )
+    };
+    println!(
+        "{}",
+        common::kv_table(
+            "provisioning quality (paper: 43% / 19% / 38% overall)",
+            &[
+                ("overall".into(), fmt(result.overall)),
+                ("dev (Burstable)".into(), fmt(result.dev)),
+                ("prod (GP + MO)".into(), fmt(result.prod)),
+                (
+                    "picked minimum SKU (paper 63%)".into(),
+                    common::pct(result.picked_minimum),
+                ),
+                (
+                    "dev picked minimum (paper 80%)".into(),
+                    common::pct(result.dev_picked_minimum),
+                ),
+                (
+                    "minimum appropriate for dev pickers (paper 38%)".into(),
+                    common::pct(result.dev_minimum_appropriate),
+                ),
+            ],
+        )
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_and_misprovisioning_dominates() {
+        let r = run(Scale::Quick);
+        for s in [r.overall, r.dev, r.prod] {
+            assert!((s.well + s.over + s.under - 1.0).abs() < 1e-9);
+        }
+        // The headline claim's shape: a majority of users misprovision.
+        assert!(r.overall.well < 0.65, "well={}", r.overall.well);
+        assert!(r.overall.under > 0.15, "under={}", r.overall.under);
+        // Minimum-default behaviour matches the calibrated generator.
+        assert!(r.picked_minimum > 0.4);
+        assert!(r.dev_picked_minimum > 0.6);
+    }
+}

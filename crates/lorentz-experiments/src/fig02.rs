@@ -1,0 +1,101 @@
+//! Figure 2: user-selected vs rightsized vCore capacity distributions.
+//!
+//! The paper shows rightsizing focusing the capacity distribution — mass
+//! moves off both the too-small default and the oversized picks toward the
+//! capacities workloads actually need.
+
+use crate::common::{self, Scale};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The two capacity histograms (key = vCores ×10 to stay integral).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig02Result {
+    /// Count of servers per user-selected vCore capacity.
+    pub user_selected: BTreeMap<u32, usize>,
+    /// Count of servers per rightsized vCore capacity.
+    pub rightsized: BTreeMap<u32, usize>,
+}
+
+impl Fig02Result {
+    /// Distinct capacities used by a distribution.
+    pub fn support(dist: &BTreeMap<u32, usize>) -> usize {
+        dist.len()
+    }
+
+    /// Mean capacity of a distribution (vCores).
+    pub fn mean(dist: &BTreeMap<u32, usize>) -> f64 {
+        let total: usize = dist.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        dist.iter()
+            .map(|(&k, &c)| (f64::from(k) / 10.0) * c as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+fn key(vcores: f64) -> u32 {
+    (vcores * 10.0).round() as u32
+}
+
+/// Runs the experiment and prints both distributions.
+pub fn run(scale: Scale) -> Fig02Result {
+    common::banner(
+        "Figure 2",
+        "rightsizing focuses the vCore capacity distribution",
+    );
+    let synth = common::stats_fleet(scale, 101);
+    let config = common::experiment_config(scale);
+    let outcomes = common::rightsize_fleet(&config, &synth.fleet).expect("rightsizing succeeds");
+
+    let mut user_selected: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut rightsized: BTreeMap<u32, usize> = BTreeMap::new();
+    for (cap, outcome) in synth.fleet.user_capacities().iter().zip(&outcomes) {
+        *user_selected.entry(key(cap.primary())).or_insert(0) += 1;
+        *rightsized
+            .entry(key(outcome.capacity.primary()))
+            .or_insert(0) += 1;
+    }
+    let result = Fig02Result {
+        user_selected,
+        rightsized,
+    };
+
+    let render = |title: &str, dist: &BTreeMap<u32, usize>| {
+        let max = dist.values().copied().max().unwrap_or(1).max(1);
+        println!("-- {title} --");
+        for (&k, &c) in dist {
+            println!(
+                "{:>6.1} vCores | {:<40} {c}",
+                f64::from(k) / 10.0,
+                "#".repeat(c * 40 / max)
+            );
+        }
+    };
+    render("(a) user-selected capacities", &result.user_selected);
+    render("(b) rightsized capacities", &result.rightsized);
+    println!(
+        "mean capacity: user {:.2} vCores -> rightsized {:.2} vCores",
+        Fig02Result::mean(&result.user_selected),
+        Fig02Result::mean(&result.rightsized)
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_cover_the_fleet_and_rightsizing_shifts_mass() {
+        let r = run(Scale::Quick);
+        let n_user: usize = r.user_selected.values().sum();
+        let n_right: usize = r.rightsized.values().sum();
+        assert_eq!(n_user, n_right);
+        assert_eq!(n_user, Scale::Quick.n_servers());
+        // The distributions differ (rightsizing changes picks).
+        assert_ne!(r.user_selected, r.rightsized);
+    }
+}

@@ -1,0 +1,159 @@
+//! Figure 9: capacity rightsizing vs user selections.
+//!
+//! Paper result: evaluated on the observed workloads `W`, rightsized
+//! capacities eliminate throttling entirely while reducing (absolute)
+//! slack by 34%; the absolute-slack distribution is modal around powers of
+//! two because the candidate capacities are.
+//!
+//! The paper's evaluation necessarily runs on *observed* (capacity-
+//! censored) telemetry — that is all production has. We reproduce that
+//! protocol, and additionally report the same metrics against the
+//! uncensored ground-truth demand (which only a simulator can see) as an
+//! honesty check: censoring hides residual throttling of workloads whose
+//! true demand exceeds even the `2^K`-scaled capacity.
+
+use crate::common::{self, Scale};
+use lorentz_core::evaluate;
+use lorentz_core::Rightsizer;
+use lorentz_types::Capacity;
+use serde::{Deserialize, Serialize};
+
+/// Slack/throttling for user vs rightsized capacities on one view of the
+/// workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViewMetrics {
+    /// Mean absolute slack of user selections.
+    pub user_slack: f64,
+    /// Mean absolute slack of rightsized capacities.
+    pub rightsized_slack: f64,
+    /// Fraction of workloads throttled under user selections.
+    pub user_throttling: f64,
+    /// Fraction of workloads throttled under rightsized capacities.
+    pub rightsized_throttling: f64,
+    /// Relative slack reduction.
+    pub slack_reduction: f64,
+}
+
+/// The Figure-9 reproduction result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig09Result {
+    /// The paper's protocol: observed (censored) workloads.
+    pub observed: ViewMetrics,
+    /// The simulator-only honesty check: uncensored demand.
+    pub ground_truth: ViewMetrics,
+}
+
+fn view(
+    rightsizer: &Rightsizer,
+    traces: &[lorentz_telemetry::UsageTrace],
+    user: &[Capacity],
+    right: &[Capacity],
+    tau: f64,
+) -> ViewMetrics {
+    let u = evaluate::slack_throttle(rightsizer, traces, user, tau).expect("evaluation succeeds");
+    let r = evaluate::slack_throttle(rightsizer, traces, right, tau).expect("evaluation succeeds");
+    ViewMetrics {
+        user_slack: u.mean_abs_slack,
+        rightsized_slack: r.mean_abs_slack,
+        user_throttling: u.throttling_ratio,
+        rightsized_throttling: r.throttling_ratio,
+        slack_reduction: 1.0 - r.mean_abs_slack / u.mean_abs_slack,
+    }
+}
+
+fn print_view(title: &str, v: &ViewMetrics) {
+    println!(
+        "{}",
+        common::kv_table(
+            title,
+            &[
+                ("mean abs slack (user)".into(), format!("{:.2} vCores", v.user_slack)),
+                (
+                    "mean abs slack (rightsized)".into(),
+                    format!("{:.2} vCores", v.rightsized_slack),
+                ),
+                ("slack reduction (paper 34%)".into(), common::pct(v.slack_reduction)),
+                ("throttling ratio (user)".into(), common::pct(v.user_throttling)),
+                (
+                    "throttling ratio (rightsized, paper 0%)".into(),
+                    common::pct(v.rightsized_throttling),
+                ),
+            ],
+        )
+    );
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig09Result {
+    common::banner(
+        "Figure 9",
+        "rightsizing reduces slack and throttling over user selections",
+    );
+    let synth = common::stats_fleet(scale, 101);
+    let config = common::experiment_config(scale);
+    let outcomes = common::rightsize_fleet(&config, &synth.fleet).expect("rightsizing succeeds");
+    let rightsizer = Rightsizer::new(config.rightsizer.clone()).expect("valid config");
+
+    let user_caps: Vec<Capacity> = synth.fleet.user_capacities().to_vec();
+    let right_caps: Vec<Capacity> = outcomes.iter().map(|o| o.capacity.clone()).collect();
+    let tau = config.rightsizer.tau;
+
+    let observed = view(
+        &rightsizer,
+        synth.fleet.traces(),
+        &user_caps,
+        &right_caps,
+        tau,
+    );
+    let ground_truth = view(
+        &rightsizer,
+        &synth.ground_truth,
+        &user_caps,
+        &right_caps,
+        tau,
+    );
+    print_view("observed workloads (the paper's protocol)", &observed);
+    print_view("uncensored ground truth (simulator honesty check)", &ground_truth);
+
+    // Absolute-slack distributions on the observed workloads (the figure's
+    // histograms; modal near powers of two).
+    let user_dist = evaluate::slack_distribution(&rightsizer, synth.fleet.traces(), &user_caps)
+        .expect("evaluation succeeds");
+    let right_dist = evaluate::slack_distribution(&rightsizer, synth.fleet.traces(), &right_caps)
+        .expect("evaluation succeeds");
+    let edges = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    println!("-- absolute slack distribution (user) --");
+    print!("{}", common::ascii_histogram(&user_dist, &edges, 40));
+    println!("-- absolute slack distribution (rightsized) --");
+    print!("{}", common::ascii_histogram(&right_dist, &edges, 40));
+
+    Fig09Result {
+        observed,
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rightsizing_cuts_slack_and_eliminates_observed_throttling() {
+        let r = run(Scale::Quick);
+        // Paper protocol: throttling eliminated entirely on observed data...
+        assert_eq!(
+            r.observed.rightsized_throttling, 0.0,
+            "rightsizing must eliminate observed throttling"
+        );
+        assert!(r.observed.user_throttling > 0.05);
+        // ...with a meaningful slack reduction.
+        assert!(
+            r.observed.slack_reduction > 0.15,
+            "observed slack reduction {}",
+            r.observed.slack_reduction
+        );
+        // Honesty check: against true demand, rightsizing still throttles
+        // far less than user selections.
+        assert!(r.ground_truth.rightsized_throttling < r.ground_truth.user_throttling);
+    }
+}

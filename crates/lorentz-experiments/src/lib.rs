@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every table and figure of the Lorentz
+//! paper (§5 plus the dataset statistics of §2.2).
+//!
+//! Each module implements one experiment as a library function returning a
+//! serializable result (so integration tests can assert on the headline
+//! claims), and a thin binary under `src/bin/` prints it. Run everything
+//! with:
+//!
+//! ```text
+//! cargo run -p lorentz-experiments --release --bin exp_all
+//! ```
+//!
+//! Scale: experiments accept a [`Scale`] — `Quick` for CI-sized runs,
+//! `Full` for paper-sized runs (pass `--full` to any binary).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod common;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod sec52;
+pub mod sec52_cost;
+pub mod tab01;
+pub mod tab02;
+
+pub use common::Scale;

@@ -1,0 +1,135 @@
+//! §5.2 upscaling statistics.
+//!
+//! Paper numbers: before upscaling, mean max utilization is 1.2 vCores and
+//! the rightsizer picks the minimum capacity for 86% of DBs (one of the two
+//! smallest 95%); after upscaling, mean max utilization rises to 9.0 vCores
+//! and only 55% of workloads rightsize to one of the two smallest choices.
+
+use crate::common::{self, Scale};
+use lorentz_core::FleetDataset;
+use lorentz_simdata::fleet::SyntheticFleet;
+use lorentz_types::SkuCatalog;
+use serde::{Deserialize, Serialize};
+
+/// Rightsized-label concentration statistics for one fleet state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Mean of per-workload maximum (ground-truth) utilization, vCores.
+    pub mean_max_utilization: f64,
+    /// Fraction of workloads rightsized to the minimum catalog choice.
+    pub rightsized_to_minimum: f64,
+    /// Fraction rightsized to one of the two smallest choices.
+    pub rightsized_to_two_smallest: f64,
+}
+
+/// Before/after comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sec52Result {
+    /// Original fleet.
+    pub before: FleetStats,
+    /// Upscaled fleet.
+    pub after: FleetStats,
+    /// Mean χ across workloads.
+    pub mean_chi: f64,
+}
+
+fn stats(scale: Scale, fleet: &FleetDataset, ground_truth: &[lorentz_telemetry::UsageTrace]) -> FleetStats {
+    let config = common::experiment_config(scale);
+    let outcomes = common::rightsize_fleet(&config, fleet).expect("rightsizing succeeds");
+    let n = fleet.len() as f64;
+    let mean_max = ground_truth.iter().map(|t| t.peak()[0]).sum::<f64>() / n;
+    let mut minimum = 0usize;
+    let mut two_smallest = 0usize;
+    for (i, o) in outcomes.iter().enumerate() {
+        let cat = SkuCatalog::azure_postgres(fleet.offerings()[i]);
+        let idx = cat.index_of(&o.capacity).expect("rightsized SKU in catalog");
+        if idx == 0 {
+            minimum += 1;
+        }
+        if idx <= 1 {
+            two_smallest += 1;
+        }
+    }
+    FleetStats {
+        mean_max_utilization: mean_max,
+        rightsized_to_minimum: minimum as f64 / n,
+        rightsized_to_two_smallest: two_smallest as f64 / n,
+    }
+}
+
+fn print_stats(label: &str, s: &FleetStats) {
+    println!(
+        "{}",
+        common::kv_table(
+            label,
+            &[
+                (
+                    "mean max utilization".into(),
+                    format!("{:.2} vCores", s.mean_max_utilization),
+                ),
+                (
+                    "rightsized to minimum".into(),
+                    common::pct(s.rightsized_to_minimum),
+                ),
+                (
+                    "rightsized to two smallest".into(),
+                    common::pct(s.rightsized_to_two_smallest),
+                ),
+            ],
+        )
+    );
+}
+
+/// Runs the experiment on the standard and upscaled fleets.
+pub fn run(scale: Scale) -> Sec52Result {
+    common::banner(
+        "Section 5.2 stats",
+        "synthetic workload upscaling diversifies the label set",
+    );
+    let before_fleet: SyntheticFleet = common::standard_fleet(scale, 101);
+    let before = stats(scale, &before_fleet.fleet, &before_fleet.ground_truth);
+
+    let (after_fleet, report) = common::upscaled_fleet(scale, 101);
+    let after = stats(scale, &after_fleet.fleet, &after_fleet.ground_truth);
+
+    print_stats(
+        "before upscaling (paper: 1.2 vCores mean max, 86% minimum, 95% two smallest)",
+        &before,
+    );
+    print_stats(
+        "after upscaling (paper: 9.0 vCores mean max, 55% two smallest)",
+        &after,
+    );
+    println!("mean chi = {:.2} (max {})", report.mean_chi, report.max_chi);
+
+    Sec52Result {
+        before,
+        after,
+        mean_chi: report.mean_chi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upscaling_diversifies_labels() {
+        let r = run(Scale::Quick);
+        // Left-skewed original: most workloads rightsize small.
+        assert!(
+            r.before.rightsized_to_two_smallest > 0.6,
+            "before: {}",
+            r.before.rightsized_to_two_smallest
+        );
+        // Upscaling raises demand and spreads the labels.
+        assert!(r.after.mean_max_utilization > 2.0 * r.before.mean_max_utilization);
+        assert!(
+            r.after.rightsized_to_two_smallest < r.before.rightsized_to_two_smallest,
+            "after {} !< before {}",
+            r.after.rightsized_to_two_smallest,
+            r.before.rightsized_to_two_smallest
+        );
+        assert!(r.mean_chi > 0.5 && r.mean_chi < 3.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 1: the throttle keyword filters, exercised on a synthetic CRI
+//! corpus with the paper's sentiment mix (§2.2: ≈2,400 neutral, ≈2,000
+//! performance-sensitive, 5 price-sensitive of ≈4,400 tickets).
+
+use crate::common::{self, Scale};
+use lorentz_core::personalizer::signals::KeywordClassifier;
+use lorentz_simdata::cri::{generate_corpus, CriCorpusConfig};
+use serde::{Deserialize, Serialize};
+
+/// The Table-1 reproduction result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tab01Result {
+    /// Tickets classified neutral (paper ≈ 2,400).
+    pub neutral: usize,
+    /// Tickets classified performance-sensitive (paper ≈ 2,000).
+    pub performance: usize,
+    /// Tickets classified price-sensitive (paper = 5).
+    pub price: usize,
+    /// Agreement with the corpus ground truth.
+    pub accuracy: f64,
+}
+
+/// Prints the filters and classifies the paper-mix corpus.
+pub fn run(_scale: Scale) -> Tab01Result {
+    common::banner("Table 1", "throttle filters + classification of the CRI corpus");
+    let classifier = KeywordClassifier::paper_filters();
+    println!("-- performance (throttle) filters --");
+    println!("  symptoms:   {:?}", classifier.performance.symptoms);
+    println!("  subject:    {:?}", classifier.performance.subject);
+    println!("  resolution: {:?}", classifier.performance.resolution);
+    println!("-- cost filters (our symmetric extension) --");
+    println!("  symptoms:   {:?}", classifier.cost.symptoms);
+    println!("  subject:    {:?}", classifier.cost.subject);
+    println!("  resolution: {:?}", classifier.cost.resolution);
+
+    let corpus = generate_corpus(&CriCorpusConfig::paper_mix());
+    let mut neutral = 0usize;
+    let mut performance = 0usize;
+    let mut price = 0usize;
+    let mut correct = 0usize;
+    for t in &corpus {
+        let gamma = classifier.classify(&t.ticket);
+        match gamma as i8 {
+            0 => neutral += 1,
+            1 => performance += 1,
+            _ => price += 1,
+        }
+        if gamma as i8 == t.sentiment {
+            correct += 1;
+        }
+    }
+    let result = Tab01Result {
+        neutral,
+        performance,
+        price,
+        accuracy: correct as f64 / corpus.len() as f64,
+    };
+    println!(
+        "{}",
+        common::kv_table(
+            "classification of 4,405 synthetic tickets (paper: ~2,400 / ~2,000 / 5)",
+            &[
+                ("neutral (0)".into(), result.neutral.to_string()),
+                ("performance (+1)".into(), result.performance.to_string()),
+                ("price (-1)".into(), result.price.to_string()),
+                ("accuracy vs ground truth".into(), common::pct(result.accuracy)),
+            ],
+        )
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_classification_matches_the_paper_mix() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.neutral, 2400);
+        assert_eq!(r.performance, 2000);
+        assert_eq!(r.price, 5);
+        assert_eq!(r.accuracy, 1.0);
+    }
+}

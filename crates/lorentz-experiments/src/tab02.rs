@@ -1,0 +1,90 @@
+//! Table 2: the hyperparameters of every stage, echoed from the live
+//! configuration object so the printed table can never drift from what the
+//! code actually runs.
+
+use crate::common::{self, Scale};
+use lorentz_core::LorentzConfig;
+use serde::{Deserialize, Serialize};
+
+/// The Table-2 reproduction result (the configuration itself).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tab02Result {
+    /// The configuration used across the experiment suite.
+    pub config: LorentzConfig,
+}
+
+/// Prints the hyperparameter table.
+pub fn run(_scale: Scale) -> Tab02Result {
+    common::banner("Table 2", "hyperparameters");
+    let config = LorentzConfig::paper_defaults();
+    println!(
+        "{}",
+        common::kv_table(
+            "Stage 1: Rightsizer",
+            &[
+                ("T".into(), format!("{} s (5 min)", config.rightsizer.bin_seconds)),
+                ("eta".into(), format!("{:?}", config.rightsizer.eta)),
+                (
+                    "s*_CPU".into(),
+                    format!("{:?}", config.rightsizer.slack_target),
+                ),
+                ("tau".into(), config.rightsizer.tau.to_string()),
+                ("K".into(), config.rightsizer.k.to_string()),
+            ],
+        )
+    );
+    println!(
+        "{}",
+        common::kv_table(
+            "Stage 2: Capacity recommenders (train/val/test = 80/10/10)",
+            &[
+                (
+                    "hierarchical p".into(),
+                    config.hierarchical.percentile.to_string(),
+                ),
+                (
+                    "hierarchical gamma".into(),
+                    config.hierarchical.hierarchy.threshold.to_string(),
+                ),
+                (
+                    "hierarchical N (min bucket)".into(),
+                    config.hierarchical.min_bucket.to_string(),
+                ),
+                (
+                    "target encoder # trees".into(),
+                    config.target_encoding.boosting.n_trees.to_string(),
+                ),
+                ("target encoder xi".into(), "log2".into()),
+            ],
+        )
+    );
+    println!(
+        "{}",
+        common::kv_table(
+            "Stage 3: Personalizer",
+            &[
+                (
+                    "learning rate".into(),
+                    config.personalizer.learning_rate.to_string(),
+                ),
+                (
+                    "signal decay (rho)".into(),
+                    config.personalizer.rho_stratification.to_string(),
+                ),
+            ],
+        )
+    );
+    Tab02Result { config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echoed_config_is_the_paper_default() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.config, LorentzConfig::paper_defaults());
+        assert!(r.config.validate().is_ok());
+    }
+}

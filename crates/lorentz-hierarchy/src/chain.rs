@@ -1,0 +1,340 @@
+//! Hierarchy-chain learning (§3.3 "Hierarchical provisioner", step 1).
+//!
+//! From the thresholded strength matrix we build a DAG whose edges run from
+//! coarser features to the finer features that determine them, select the
+//! node with the highest out-degree as the root `h₀`, and greedily walk to
+//! the highest-out-degree neighbor until reaching a node with out-degree 0.
+//! The visited sequence is the hierarchy chain `h` (Fig. 5:
+//! `SegmentName > IndustryName > ... > ServerName`).
+
+use crate::strength::{hierarchy_strength_matrix, StrengthMatrix};
+use lorentz_types::{FeatureId, LorentzError, ProfileTable};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for hierarchy learning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Strength threshold `γ`: HI(parent ← child) ≥ γ becomes a DAG edge.
+    /// Paper value: 0.6 (Table 2), "empirically selected to include only the
+    /// observed group of strong hierarchies".
+    pub threshold: f64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self { threshold: 0.6 }
+    }
+}
+
+impl HierarchyConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] if the threshold is outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if !self.threshold.is_finite() || self.threshold <= 0.0 || self.threshold > 1.0 {
+            return Err(LorentzError::InvalidConfig(format!(
+                "hierarchy threshold must be in (0, 1], got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A learned hierarchy chain, ordered coarsest → finest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyChain {
+    features: Vec<FeatureId>,
+    excluded: Vec<FeatureId>,
+}
+
+impl HierarchyChain {
+    /// Features in the chain, coarsest first.
+    pub fn features(&self) -> &[FeatureId] {
+        &self.features
+    }
+
+    /// Features that did not join the chain (no strong hierarchical
+    /// relationship at the configured threshold).
+    pub fn excluded(&self) -> &[FeatureId] {
+        &self.excluded
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Levels from *finest to coarsest* — the traversal order of the bucket
+    /// lookup (start specific, generalize upward).
+    pub fn fine_to_coarse(&self) -> impl Iterator<Item = FeatureId> + '_ {
+        self.features.iter().rev().copied()
+    }
+
+    /// Position of a feature within the chain (0 = coarsest).
+    pub fn level_of(&self, feature: FeatureId) -> Option<usize> {
+        self.features.iter().position(|&f| f == feature)
+    }
+}
+
+/// Learns the hierarchy chain of a profile table.
+///
+/// ```
+/// use lorentz_hierarchy::{learn_hierarchy, HierarchyConfig};
+/// use lorentz_types::{ProfileSchema, ProfileTable};
+///
+/// // 2 industries, each with 3 exclusive customers.
+/// let schema = ProfileSchema::new(vec!["industry", "customer"])?;
+/// let mut table = ProfileTable::new(schema);
+/// for i in 0..60 {
+///     let industry = if i % 6 < 3 { "retail" } else { "banking" };
+///     let customer = format!("c{}", i % 6);
+///     table.push_row(&[Some(industry), Some(customer.as_str())])?;
+/// }
+///
+/// let chain = learn_hierarchy(&table, &HierarchyConfig::default())?;
+/// let names: Vec<&str> = chain
+///     .features()
+///     .iter()
+///     .map(|&f| table.schema().name(f))
+///     .collect();
+/// assert_eq!(names, ["industry", "customer"]); // coarse -> fine
+/// # Ok::<(), lorentz_types::LorentzError>(())
+/// ```
+///
+/// # Errors
+/// Returns [`LorentzError`] for invalid configs or an empty table.
+pub fn learn_hierarchy(
+    table: &ProfileTable,
+    config: &HierarchyConfig,
+) -> Result<HierarchyChain, LorentzError> {
+    config.validate()?;
+    if table.is_empty() {
+        return Err(LorentzError::InvalidProfile(
+            "cannot learn hierarchy from an empty table".into(),
+        ));
+    }
+    let matrix = hierarchy_strength_matrix(table);
+    Ok(chain_from_matrix(&matrix, table, config.threshold))
+}
+
+/// Chain construction from a precomputed strength matrix (exposed for tests
+/// and for reuse when the matrix is reported to users for explainability).
+pub fn chain_from_matrix(
+    matrix: &StrengthMatrix,
+    table: &ProfileTable,
+    threshold: f64,
+) -> HierarchyChain {
+    let n = matrix.len();
+
+    // Adjacency: edge coarser → finer. `parent ← child` strength ≥ γ means
+    // the child determines the parent, i.e. parent is coarser, so the edge
+    // runs parent → child. Mutual determination (1:1 features) is broken by
+    // cardinality (fewer distinct values = coarser), then by column order.
+    let coarser_than = |a: usize, b: usize| -> bool {
+        let a_det_by_b = matrix.get(FeatureId(a), FeatureId(b)) >= threshold;
+        if !a_det_by_b {
+            return false;
+        }
+        let b_det_by_a = matrix.get(FeatureId(b), FeatureId(a)) >= threshold;
+        if !b_det_by_a {
+            return true;
+        }
+        let ca = table.cardinality(FeatureId(a));
+        let cb = table.cardinality(FeatureId(b));
+        ca < cb || (ca == cb && a < b)
+    };
+
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, edges) in out_edges.iter_mut().enumerate() {
+        for b in 0..n {
+            if a != b && coarser_than(a, b) {
+                edges.push(b);
+            }
+        }
+    }
+
+    // Root: highest out-degree (ties by column order).
+    let root = (0..n).max_by_key(|&f| out_edges[f].len());
+    let mut features = Vec::new();
+    let mut visited = vec![false; n];
+    if let Some(root) = root {
+        if !out_edges[root].is_empty() {
+            let mut current = root;
+            loop {
+                visited[current] = true;
+                features.push(FeatureId(current));
+                // Highest-out-degree unvisited neighbor.
+                let next = out_edges[current]
+                    .iter()
+                    .copied()
+                    .filter(|&f| !visited[f])
+                    .max_by_key(|&f| out_edges[f].len());
+                match next {
+                    Some(f) => current = f,
+                    None => break,
+                }
+            }
+        }
+    }
+    // A single isolated "chain" of one node is no hierarchy at all.
+    if features.len() < 2 {
+        features.clear();
+    }
+    let excluded = (0..n)
+        .map(FeatureId)
+        .filter(|f| !features.contains(f))
+        .collect();
+    HierarchyChain { features, excluded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::ProfileSchema;
+
+    /// segment > industry > customer, plus an unrelated `region` feature.
+    /// Columns deliberately shuffled so the learner cannot rely on order.
+    fn table() -> ProfileTable {
+        let schema =
+            ProfileSchema::new(vec!["customer", "segment", "region", "industry"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        // 2 segments -> 4 industries -> 12 customers; region independent.
+        for i in 0..120 {
+            let customer = format!("c{}", i % 12);
+            let industry = format!("i{}", i % 12 / 3);
+            let segment = format!("s{}", i % 12 / 6);
+            let region = format!("r{}", i % 5);
+            t.push_row(&[
+                Some(customer.as_str()),
+                Some(segment.as_str()),
+                Some(region.as_str()),
+                Some(industry.as_str()),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn learns_coarse_to_fine_chain() {
+        let t = table();
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        let names: Vec<&str> = chain
+            .features()
+            .iter()
+            .map(|&f| t.schema().name(f))
+            .collect();
+        assert_eq!(names, vec!["segment", "industry", "customer"]);
+    }
+
+    #[test]
+    fn unrelated_feature_is_excluded() {
+        let t = table();
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        let region = t.schema().feature_id("region").unwrap();
+        assert!(chain.excluded().contains(&region));
+        assert_eq!(chain.level_of(region), None);
+    }
+
+    #[test]
+    fn fine_to_coarse_reverses_the_chain() {
+        let t = table();
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        let fine_first: Vec<&str> = chain
+            .fine_to_coarse()
+            .map(|f| t.schema().name(f))
+            .collect();
+        assert_eq!(fine_first, vec!["customer", "industry", "segment"]);
+    }
+
+    #[test]
+    fn level_of_is_chain_position() {
+        let t = table();
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        let segment = t.schema().feature_id("segment").unwrap();
+        let customer = t.schema().feature_id("customer").unwrap();
+        assert_eq!(chain.level_of(segment), Some(0));
+        assert_eq!(chain.level_of(customer), Some(2));
+    }
+
+    #[test]
+    fn no_hierarchy_yields_empty_chain() {
+        let schema = ProfileSchema::new(vec!["a", "b"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        for (a, b) in [("0", "0"), ("0", "1"), ("1", "0"), ("1", "1")] {
+            for _ in 0..5 {
+                t.push_row(&[Some(a), Some(b)]).unwrap();
+            }
+        }
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        assert!(chain.is_empty());
+        assert_eq!(chain.excluded().len(), 2);
+    }
+
+    #[test]
+    fn noisy_hierarchy_still_found_below_strict_threshold() {
+        // 1% mis-entry noise: strict HI would fail a γ=1 threshold but the
+        // paper's γ=0.6 keeps the edge.
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        for i in 0..200 {
+            let customer = format!("c{}", i % 20);
+            let industry = if i == 7 {
+                "iX".to_string() // mis-entry
+            } else {
+                format!("i{}", i % 20 / 5)
+            };
+            t.push_row(&[Some(industry.as_str()), Some(customer.as_str())])
+                .unwrap();
+        }
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(t.schema().name(chain.features()[0]), "industry");
+    }
+
+    #[test]
+    fn one_to_one_features_tie_break_by_cardinality_then_order() {
+        // a and b are 1:1 — both determine each other; a comes first.
+        let schema = ProfileSchema::new(vec!["a", "b", "c"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        for i in 0..40 {
+            let a = format!("a{}", i % 4);
+            let b = format!("b{}", i % 4);
+            let c = format!("c{}", i % 8);
+            t.push_row(&[Some(a.as_str()), Some(b.as_str()), Some(c.as_str())])
+                .unwrap();
+        }
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        let names: Vec<&str> = chain
+            .features()
+            .iter()
+            .map(|&f| t.schema().name(f))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let t = table();
+        for thr in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(learn_hierarchy(&t, &HierarchyConfig { threshold: thr }).is_err());
+        }
+    }
+
+    #[test]
+    fn chain_serde_round_trip() {
+        let t = table();
+        let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
+        let json = serde_json::to_string(&chain).unwrap();
+        let back: HierarchyChain = serde_json::from_str(&json).unwrap();
+        assert_eq!(chain, back);
+    }
+}

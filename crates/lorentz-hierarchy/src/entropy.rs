@@ -1,0 +1,139 @@
+//! Entropy primitives over interned categorical columns.
+//!
+//! All computations skip rows where either column is missing: the paper
+//! notes hierarchies are *nearly* strict due to user mis-entry, and missing
+//! tags would otherwise register as a spurious shared "value".
+
+use std::collections::HashMap;
+
+/// Shannon entropy `H(X)` in bits of a categorical column, ignoring missing
+/// entries. Returns 0 for an all-missing or constant column.
+pub fn entropy(column: &[Option<u32>]) -> f64 {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    let mut n = 0usize;
+    for v in column.iter().flatten() {
+        *counts.entry(*v).or_insert(0) += 1;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Conditional entropy `H(X | Y)` in bits, over rows where both columns are
+/// present. Returns 0 if no such rows exist.
+pub fn conditional_entropy(x: &[Option<u32>], y: &[Option<u32>]) -> f64 {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    // joint[(y, x)] and marginal[y] counts over complete pairs.
+    let mut joint: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut marginal: HashMap<u32, usize> = HashMap::new();
+    let mut n = 0usize;
+    for (xv, yv) in x.iter().zip(y.iter()) {
+        if let (Some(xv), Some(yv)) = (xv, yv) {
+            *joint.entry((*yv, *xv)).or_insert(0) += 1;
+            *marginal.entry(*yv).or_insert(0) += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    // H(X|Y) = -sum p(x,y) log2( p(x,y) / p(y) ).
+    joint
+        .iter()
+        .map(|(&(yv, _), &c)| {
+            let p_xy = c as f64 / n;
+            let p_y = marginal[&yv] as f64 / n;
+            -p_xy * (p_xy / p_y).log2()
+        })
+        .sum()
+}
+
+/// Entropy of `x` restricted to rows where both `x` and `y` are present —
+/// the proper normalizer for `H(X|Y)` so that the two are computed on the
+/// same support.
+pub fn entropy_on_joint_support(x: &[Option<u32>], y: &[Option<u32>]) -> f64 {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    let filtered: Vec<Option<u32>> = x
+        .iter()
+        .zip(y.iter())
+        .map(|(xv, yv)| if yv.is_some() { *xv } else { None })
+        .collect();
+    entropy(&filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[i64]) -> Vec<Option<u32>> {
+        vals.iter()
+            .map(|&v| if v < 0 { None } else { Some(v as u32) })
+            .collect()
+    }
+
+    #[test]
+    fn entropy_of_uniform_binary_is_one_bit() {
+        let c = col(&[0, 1, 0, 1]);
+        assert!((entropy(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(entropy(&col(&[3, 3, 3])), 0.0);
+        assert_eq!(entropy(&col(&[-1, -1])), 0.0); // all missing
+    }
+
+    #[test]
+    fn entropy_ignores_missing() {
+        let with_missing = col(&[0, 1, -1, 0, 1, -1]);
+        let without = col(&[0, 1, 0, 1]);
+        assert!((entropy(&with_missing) - entropy(&without)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_zero_when_determined() {
+        // y fully determines x (strict hierarchy child -> parent).
+        let x = col(&[0, 0, 1, 1]); // parent
+        let y = col(&[10, 11, 12, 13]); // child, unique per row
+        assert!(conditional_entropy(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_equals_marginal_when_independent() {
+        // x and y independent uniform binary over all 4 combinations.
+        let x = col(&[0, 0, 1, 1]);
+        let y = col(&[0, 1, 0, 1]);
+        assert!((conditional_entropy(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_never_increases_entropy() {
+        let x = col(&[0, 1, 2, 0, 1, 2, 0, 0]);
+        let y = col(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        assert!(conditional_entropy(&x, &y) <= entropy(&x) + 1e-12);
+    }
+
+    #[test]
+    fn joint_support_normalizer_matches_filtered_rows() {
+        let x = col(&[0, 1, 0, 1]);
+        let y = col(&[5, -1, 6, -1]);
+        // Only rows 0 and 2 have y present; x there is constant 0.
+        assert_eq!(entropy_on_joint_support(&x, &y), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_panic() {
+        conditional_entropy(&col(&[0]), &col(&[0, 1]));
+    }
+}

@@ -1,0 +1,20 @@
+//! HALO-style hierarchy learning over categorical profile features.
+//!
+//! The hierarchical provisioner (§3.3) needs to know that, e.g.,
+//! `SegmentName > IndustryName > ... > ServerName`: which features are
+//! coarse and which are fine. Following the paper (and HALO, Zhang et al.
+//! KDD'21), this crate measures the *hierarchy strength* between every pair
+//! of features from their co-occurrence entropy, thresholds it into a
+//! weighted DAG whose edges run from coarser to finer features, picks the
+//! node with the highest out-degree as the root, and greedily traverses to
+//! produce the hierarchy chain `h`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod entropy;
+pub mod strength;
+
+pub use chain::{learn_hierarchy, HierarchyChain, HierarchyConfig};
+pub use strength::{hierarchy_strength_matrix, StrengthMatrix};

@@ -1,0 +1,178 @@
+//! Pairwise hierarchy strength.
+//!
+//! For an ordered feature pair `(parent, child)` the *hierarchy strength*
+//! (HI) is the uncertainty coefficient
+//!
+//! ```text
+//! HI(parent ← child) = 1 − H(parent | child) / H(parent)
+//! ```
+//!
+//! computed on the rows where both features are present. HI is 1 exactly
+//! when every child value maps to a single parent value — a strict
+//! hierarchy edge — and near 0 when the features are unrelated. User
+//! mis-entry in real profile data pushes strict edges slightly below 1
+//! (§3.3, footnote 1), which is why the chain learner thresholds at
+//! `γ < 1`.
+
+use crate::entropy::{conditional_entropy, entropy_on_joint_support};
+use lorentz_types::{FeatureId, ProfileTable};
+
+/// Hierarchy strength of `parent ← child` on a pair of interned columns.
+///
+/// Degenerate cases: a constant (or all-missing) parent is trivially
+/// determined by anything, so its strength is defined as 1.
+pub fn hierarchy_strength(parent: &[Option<u32>], child: &[Option<u32>]) -> f64 {
+    let h_parent = entropy_on_joint_support(parent, child);
+    if h_parent == 0.0 {
+        return 1.0;
+    }
+    let h_cond = conditional_entropy(parent, child);
+    (1.0 - h_cond / h_parent).clamp(0.0, 1.0)
+}
+
+/// All pairwise hierarchy strengths of a profile table.
+///
+/// `get(parent, child)` is HI(parent ← child); the diagonal is 1 by
+/// definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrengthMatrix {
+    n: usize,
+    /// Row-major `values[parent * n + child]`.
+    values: Vec<f64>,
+}
+
+impl StrengthMatrix {
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// HI(parent ← child).
+    pub fn get(&self, parent: FeatureId, child: FeatureId) -> f64 {
+        self.values[parent.0 * self.n + child.0]
+    }
+}
+
+/// Computes the full [`StrengthMatrix`] for a table.
+pub fn hierarchy_strength_matrix(table: &ProfileTable) -> StrengthMatrix {
+    let n = table.schema().len();
+    let mut values = vec![1.0; n * n];
+    for p in 0..n {
+        for c in 0..n {
+            if p != c {
+                values[p * n + c] =
+                    hierarchy_strength(table.column(FeatureId(p)), table.column(FeatureId(c)));
+            }
+        }
+    }
+    StrengthMatrix { n, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::ProfileSchema;
+
+    /// industry -> customer -> server: a 2-level strict hierarchy with
+    /// 2 industries x 6 customers x 2 servers each.
+    fn strict_table() -> ProfileTable {
+        let schema = ProfileSchema::new(vec!["industry", "customer", "server"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        for i in 0..24 {
+            let industry = if i % 12 < 6 { "Retail" } else { "Banking" };
+            let customer = format!("cust{}", i % 12);
+            let server = format!("s{i}");
+            t.push_row(&[Some(industry), Some(customer.as_str()), Some(server.as_str())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn strict_child_determines_parent() {
+        let t = strict_table();
+        let industry = t.column(FeatureId(0));
+        let customer = t.column(FeatureId(1));
+        let server = t.column(FeatureId(2));
+        assert_eq!(hierarchy_strength(industry, customer), 1.0);
+        assert_eq!(hierarchy_strength(industry, server), 1.0);
+        assert_eq!(hierarchy_strength(customer, server), 1.0);
+    }
+
+    #[test]
+    fn parent_does_not_determine_child() {
+        let t = strict_table();
+        let industry = t.column(FeatureId(0));
+        let customer = t.column(FeatureId(1));
+        // Knowing the industry leaves customer uncertainty.
+        assert!(hierarchy_strength(customer, industry) < 0.5);
+    }
+
+    #[test]
+    fn unrelated_features_have_low_strength() {
+        let schema = ProfileSchema::new(vec!["a", "b"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        // a and b independent: all 4 combinations equally often.
+        for (a, b) in [("0", "0"), ("0", "1"), ("1", "0"), ("1", "1")] {
+            for _ in 0..5 {
+                t.push_row(&[Some(a), Some(b)]).unwrap();
+            }
+        }
+        let s = hierarchy_strength(t.column(FeatureId(0)), t.column(FeatureId(1)));
+        assert!(s < 1e-9, "independent features should have ~0 strength, got {s}");
+    }
+
+    #[test]
+    fn mis_entry_noise_reduces_but_preserves_strength() {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        for i in 0..100 {
+            let customer = format!("c{}", i % 10);
+            // Customers 0-4 are Retail, 5-9 Banking — except one noisy row.
+            let industry = if i == 0 {
+                "Banking" // mis-entered: c0 is otherwise Retail
+            } else if i % 10 < 5 {
+                "Retail"
+            } else {
+                "Banking"
+            };
+            t.push_row(&[Some(industry), Some(customer.as_str())]).unwrap();
+        }
+        let s = hierarchy_strength(t.column(FeatureId(0)), t.column(FeatureId(1)));
+        assert!(s < 1.0, "noise must reduce strength below 1, got {s}");
+        assert!(s > 0.9, "one bad row should barely dent strength, got {s}");
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one_and_matches_pairwise() {
+        let t = strict_table();
+        let m = hierarchy_strength_matrix(&t);
+        assert_eq!(m.len(), 3);
+        for f in 0..3 {
+            assert_eq!(m.get(FeatureId(f), FeatureId(f)), 1.0);
+        }
+        assert_eq!(
+            m.get(FeatureId(0), FeatureId(2)),
+            hierarchy_strength(t.column(FeatureId(0)), t.column(FeatureId(2)))
+        );
+    }
+
+    #[test]
+    fn constant_parent_is_trivially_determined() {
+        let schema = ProfileSchema::new(vec!["const", "x"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        for i in 0..4 {
+            let x = format!("v{i}");
+            t.push_row(&[Some("same"), Some(x.as_str())]).unwrap();
+        }
+        assert_eq!(
+            hierarchy_strength(t.column(FeatureId(0)), t.column(FeatureId(1))),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Numeric tabular datasets.
+
+use lorentz_types::LorentzError;
+use serde::{Deserialize, Serialize};
+
+/// A column-major feature matrix with one numeric label per row.
+///
+/// Missing feature values are represented as `NaN` (trees route them to the
+/// left child; the target encoder usually eliminates them before this layer).
+/// Labels must be finite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    /// `columns[f][row]`.
+    columns: Vec<Vec<f64>>,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset from columns and labels.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] if there are no features, columns have
+    /// unequal lengths, lengths disagree with labels, names don't match the
+    /// column count, or any label is non-finite.
+    pub fn new(
+        feature_names: Vec<String>,
+        columns: Vec<Vec<f64>>,
+        labels: Vec<f64>,
+    ) -> Result<Self, LorentzError> {
+        if columns.is_empty() {
+            return Err(LorentzError::Model("dataset has no features".into()));
+        }
+        if feature_names.len() != columns.len() {
+            return Err(LorentzError::Model(format!(
+                "{} feature names for {} columns",
+                feature_names.len(),
+                columns.len()
+            )));
+        }
+        let rows = labels.len();
+        for (f, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(LorentzError::Model(format!(
+                    "column {f} has {} rows, labels have {rows}",
+                    col.len()
+                )));
+            }
+        }
+        if let Some(bad) = labels.iter().find(|l| !l.is_finite()) {
+            return Err(LorentzError::Model(format!("non-finite label {bad}")));
+        }
+        Ok(Self {
+            feature_names,
+            columns,
+            labels,
+        })
+    }
+
+    /// Builds a dataset from row-major features (convenient in tests).
+    ///
+    /// # Errors
+    /// See [`Dataset::new`].
+    pub fn from_rows(
+        feature_names: Vec<String>,
+        rows: &[Vec<f64>],
+        labels: Vec<f64>,
+    ) -> Result<Self, LorentzError> {
+        let n_features = feature_names.len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); n_features];
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n_features {
+                return Err(LorentzError::Model(format!(
+                    "row {i} has {} values for {n_features} features",
+                    row.len()
+                )));
+            }
+            for (f, &v) in row.iter().enumerate() {
+                columns[f].push(v);
+            }
+        }
+        Self::new(feature_names, columns, labels)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of feature columns.
+    pub fn features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Column `f`.
+    pub fn column(&self, f: usize) -> &[f64] {
+        &self.columns[f]
+    }
+
+    /// Labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// The feature value at (`row`, `f`).
+    pub fn value(&self, row: usize, f: usize) -> f64 {
+        self.columns[f][row]
+    }
+
+    /// Extracts row `row` as an owned vector (feature order).
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Copies row `row` into `buf` without allocating (feature order).
+    /// Prediction loops over many rows should reuse one buffer instead of
+    /// calling [`Dataset::row`] per row.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != self.features()`.
+    pub fn fill_row(&self, row: usize, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.features(), "buffer arity mismatch");
+        for (slot, column) in buf.iter_mut().zip(&self.columns) {
+            *slot = column[row];
+        }
+    }
+
+    /// Mean label (the boosting base score).
+    pub fn label_mean(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().sum::<f64>() / self.labels.len() as f64
+    }
+
+    /// A new dataset containing only `rows` (in the given order).
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| rows.iter().map(|&r| c[r]).collect())
+                .collect(),
+            labels: rows.iter().map(|&r| self.labels[r]).collect(),
+        }
+    }
+
+    /// A copy with labels replaced (used when boosting on residuals).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] on length mismatch or non-finite
+    /// labels.
+    pub fn with_labels(&self, labels: Vec<f64>) -> Result<Dataset, LorentzError> {
+        if labels.len() != self.rows() {
+            return Err(LorentzError::Model(format!(
+                "{} labels for {} rows",
+                labels.len(),
+                self.rows()
+            )));
+        }
+        if let Some(bad) = labels.iter().find(|l| !l.is_finite()) {
+            return Err(LorentzError::Model(format!("non-finite label {bad}")));
+        }
+        Ok(Dataset {
+            feature_names: self.feature_names.clone(),
+            columns: self.columns.clone(),
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert!(Dataset::new(vec![], vec![], vec![]).is_err());
+        assert!(Dataset::new(names(1), vec![vec![1.0]], vec![1.0, 2.0]).is_err());
+        assert!(Dataset::new(names(2), vec![vec![1.0]], vec![1.0]).is_err());
+        assert!(Dataset::new(names(1), vec![vec![1.0]], vec![f64::NAN]).is_err());
+        let d = Dataset::new(names(1), vec![vec![1.0, 2.0]], vec![0.5, 1.5]).unwrap();
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.features(), 1);
+        assert_eq!(d.label_mean(), 1.0);
+    }
+
+    #[test]
+    fn from_rows_transposes() {
+        let d = Dataset::from_rows(
+            names(2),
+            &[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]],
+            vec![0.0, 1.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(d.column(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.column(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(d.row(1), vec![2.0, 20.0]);
+        assert_eq!(d.value(2, 1), 30.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_rows() {
+        assert!(Dataset::from_rows(names(2), &[vec![1.0]], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn subset_selects_and_reorders() {
+        let d = Dataset::from_rows(
+            names(1),
+            &[vec![1.0], vec![2.0], vec![3.0]],
+            vec![10.0, 20.0, 30.0],
+        )
+        .unwrap();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.column(0), &[3.0, 1.0]);
+        assert_eq!(s.labels(), &[30.0, 10.0]);
+    }
+
+    #[test]
+    fn with_labels_replaces_labels_only() {
+        let d = Dataset::from_rows(names(1), &[vec![1.0], vec![2.0]], vec![1.0, 2.0]).unwrap();
+        let r = d.with_labels(vec![0.5, -0.5]).unwrap();
+        assert_eq!(r.labels(), &[0.5, -0.5]);
+        assert_eq!(r.column(0), d.column(0));
+        assert!(d.with_labels(vec![1.0]).is_err());
+        assert!(d.with_labels(vec![f64::INFINITY, 0.0]).is_err());
+    }
+
+    #[test]
+    fn nan_features_are_allowed() {
+        let d = Dataset::from_rows(names(1), &[vec![f64::NAN], vec![1.0]], vec![0.0, 1.0]);
+        assert!(d.is_ok());
+    }
+}

@@ -1,0 +1,400 @@
+//! Target encoding of categorical profile features (§3.3).
+//!
+//! Target encoding replaces each categorical value with a statistic of the
+//! training labels over the rows carrying that value:
+//! `TE(x_h) = ψ({ĉ⁰_n | X_{n,h} = v})`, where `ψ` is a mean or percentile.
+//! High-cardinality profile tags (subscription ids, resource groups) become
+//! single informative numeric columns that tree ensembles split on directly,
+//! instead of exploding into one-hot indicator blocks.
+//!
+//! Missing tags matter: the paper found that encoding "missing" as an
+//! invalid sentinel (e.g. `-999`) made both random forests and
+//! gradient-boosted trees severely under-predict, while replacing it with
+//! the global label mean removed the problem (§3.3 "Missing data"). Both
+//! policies are implemented so the ablation can reproduce the comparison.
+
+use crate::dataset::Dataset;
+use lorentz_types::{FeatureId, LorentzError, ProfileTable, ProfileVector};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The aggregation `ψ` applied to each value's label subset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetStatistic {
+    /// Arithmetic mean of the labels.
+    Mean,
+    /// A percentile of the labels, `p ∈ [0, 100]`.
+    Percentile(f64),
+}
+
+impl TargetStatistic {
+    fn apply(self, sorted_values: &[f64]) -> f64 {
+        match self {
+            TargetStatistic::Mean => {
+                sorted_values.iter().sum::<f64>() / sorted_values.len() as f64
+            }
+            TargetStatistic::Percentile(p) => percentile_sorted(sorted_values, p),
+        }
+    }
+}
+
+/// How to encode a missing (or unseen-at-inference) categorical value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MissingPolicy {
+    /// Replace with the global label statistic — the paper's recommended
+    /// policy.
+    GlobalMean,
+    /// Replace with a fixed sentinel such as `-999.0` — the policy the paper
+    /// shows to fail (kept for the ablation).
+    Sentinel(f64),
+}
+
+/// A fitted target encoder: one value→statistic map per profile feature.
+///
+/// ```
+/// use lorentz_ml::{MissingPolicy, TargetEncoder, TargetStatistic};
+/// use lorentz_types::{FeatureId, ProfileSchema, ProfileTable};
+///
+/// let schema = ProfileSchema::new(vec!["segment"])?;
+/// let mut table = ProfileTable::new(schema);
+/// table.push_row(&[Some("Beverage")])?;
+/// table.push_row(&[Some("Beverage")])?;
+/// table.push_row(&[Some("Banking")])?;
+///
+/// let encoder = TargetEncoder::fit(
+///     &table,
+///     &[4.0, 8.0, 32.0],
+///     TargetStatistic::Mean,
+///     MissingPolicy::GlobalMean,
+///     0.0,
+/// )?;
+/// // "Beverage" encodes to the mean label of its rows: (4 + 8) / 2.
+/// let beverage = table.vocab(FeatureId(0)).get("Beverage").unwrap();
+/// assert_eq!(encoder.encode_value(FeatureId(0), Some(beverage)), 6.0);
+/// // Missing/unseen values encode to the global mean.
+/// assert!((encoder.encode_value(FeatureId(0), None) - 44.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), lorentz_types::LorentzError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetEncoder {
+    statistic: TargetStatistic,
+    missing: MissingPolicy,
+    /// m-estimate smoothing strength: encoded value is
+    /// `(n·stat + m·global) / (n + m)`. 0 = raw per-value statistic.
+    smoothing: f64,
+    global: f64,
+    maps: Vec<HashMap<u32, f64>>,
+    feature_names: Vec<String>,
+}
+
+impl TargetEncoder {
+    /// Fits an encoder on training profile rows and labels.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] if lengths mismatch, the table is
+    /// empty, or `smoothing` is negative/non-finite.
+    pub fn fit(
+        table: &ProfileTable,
+        labels: &[f64],
+        statistic: TargetStatistic,
+        missing: MissingPolicy,
+        smoothing: f64,
+    ) -> Result<Self, LorentzError> {
+        if table.rows() != labels.len() {
+            return Err(LorentzError::Model(format!(
+                "{} profile rows vs {} labels",
+                table.rows(),
+                labels.len()
+            )));
+        }
+        if table.is_empty() {
+            return Err(LorentzError::Model("cannot fit encoder on empty table".into()));
+        }
+        if !smoothing.is_finite() || smoothing < 0.0 {
+            return Err(LorentzError::Model(format!(
+                "smoothing must be finite and >= 0, got {smoothing}"
+            )));
+        }
+
+        let mut sorted_all: Vec<f64> = labels.to_vec();
+        sorted_all.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+        let global = statistic.apply(&sorted_all);
+
+        let schema = table.schema();
+        let mut maps = Vec::with_capacity(schema.len());
+        for f in schema.feature_ids() {
+            let mut groups: HashMap<u32, Vec<f64>> = HashMap::new();
+            for (row, value) in table.column(f).iter().enumerate() {
+                if let Some(v) = value {
+                    groups.entry(*v).or_default().push(labels[row]);
+                }
+            }
+            let map: HashMap<u32, f64> = groups
+                .into_iter()
+                .map(|(v, mut ls)| {
+                    ls.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+                    let stat = statistic.apply(&ls);
+                    let n = ls.len() as f64;
+                    let smoothed = if smoothing > 0.0 {
+                        (n * stat + smoothing * global) / (n + smoothing)
+                    } else {
+                        stat
+                    };
+                    (v, smoothed)
+                })
+                .collect();
+            maps.push(map);
+        }
+
+        Ok(Self {
+            statistic,
+            missing,
+            smoothing,
+            global,
+            maps,
+            feature_names: schema.names().to_vec(),
+        })
+    }
+
+    /// The global label statistic (fallback for missing/unseen values under
+    /// [`MissingPolicy::GlobalMean`]).
+    pub fn global(&self) -> f64 {
+        self.global
+    }
+
+    /// The numeric value a single (feature, value) pair encodes to.
+    pub fn encode_value(&self, feature: FeatureId, value: Option<u32>) -> f64 {
+        match value.and_then(|v| self.maps[feature.0].get(&v)) {
+            Some(&stat) => stat,
+            None => match self.missing {
+                MissingPolicy::GlobalMean => self.global,
+                MissingPolicy::Sentinel(s) => s,
+            },
+        }
+    }
+
+    /// Encodes one profile vector into a numeric feature row.
+    pub fn encode_vector(&self, vector: &ProfileVector) -> Vec<f64> {
+        (0..vector.len())
+            .map(|f| self.encode_value(FeatureId(f), vector.get(FeatureId(f))))
+            .collect()
+    }
+
+    /// Encodes a whole table into a [`Dataset`] with the given labels.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] on length mismatch.
+    pub fn encode_table(
+        &self,
+        table: &ProfileTable,
+        labels: Vec<f64>,
+    ) -> Result<Dataset, LorentzError> {
+        if table.rows() != labels.len() {
+            return Err(LorentzError::Model(format!(
+                "{} profile rows vs {} labels",
+                table.rows(),
+                labels.len()
+            )));
+        }
+        let columns: Vec<Vec<f64>> = table
+            .schema()
+            .feature_ids()
+            .map(|f| {
+                table
+                    .column(f)
+                    .iter()
+                    .map(|v| self.encode_value(f, *v))
+                    .collect()
+            })
+            .collect();
+        Dataset::new(self.feature_names.clone(), columns, labels)
+    }
+
+    /// Number of distinct encoded values for feature `f`.
+    pub fn cardinality(&self, feature: FeatureId) -> usize {
+        self.maps[feature.0].len()
+    }
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::ProfileSchema;
+
+    fn table() -> (ProfileTable, Vec<f64>) {
+        let schema = ProfileSchema::new(vec!["segment", "customer"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        t.push_row(&[Some("Beverage"), Some("coke")]).unwrap();
+        t.push_row(&[Some("Beverage"), Some("pepsi")]).unwrap();
+        t.push_row(&[Some("Banking"), Some("acme")]).unwrap();
+        t.push_row(&[None, Some("acme")]).unwrap();
+        let labels = vec![4.0, 8.0, 32.0, 16.0];
+        (t, labels)
+    }
+
+    #[test]
+    fn mean_encoding_matches_group_means() {
+        let (t, labels) = table();
+        let enc = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        let seg = FeatureId(0);
+        let beverage = t.vocab(seg).get("Beverage").unwrap();
+        let banking = t.vocab(seg).get("Banking").unwrap();
+        assert_eq!(enc.encode_value(seg, Some(beverage)), 6.0); // (4+8)/2
+        assert_eq!(enc.encode_value(seg, Some(banking)), 32.0);
+        // Global mean = (4+8+32+16)/4 = 15.
+        assert_eq!(enc.global(), 15.0);
+        assert_eq!(enc.encode_value(seg, None), 15.0);
+    }
+
+    #[test]
+    fn sentinel_policy_emits_sentinel() {
+        let (t, labels) = table();
+        let enc = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::Sentinel(-999.0),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(enc.encode_value(FeatureId(0), None), -999.0);
+        // Unseen ids also hit the missing path.
+        assert_eq!(enc.encode_value(FeatureId(0), Some(12345)), -999.0);
+    }
+
+    #[test]
+    fn percentile_statistic() {
+        let (t, labels) = table();
+        let enc = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Percentile(50.0),
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        let seg = FeatureId(0);
+        let beverage = t.vocab(seg).get("Beverage").unwrap();
+        assert_eq!(enc.encode_value(seg, Some(beverage)), 6.0); // median of {4, 8}
+        // Global median of {4, 8, 16, 32} = 12.
+        assert_eq!(enc.global(), 12.0);
+    }
+
+    #[test]
+    fn smoothing_shrinks_small_groups_toward_global() {
+        let (t, labels) = table();
+        let raw = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        let smooth = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            10.0,
+        )
+        .unwrap();
+        let seg = FeatureId(0);
+        let banking = t.vocab(seg).get("Banking").unwrap();
+        let raw_v = raw.encode_value(seg, Some(banking)); // 32, n=1
+        let smooth_v = smooth.encode_value(seg, Some(banking));
+        assert!(smooth_v < raw_v);
+        assert!(smooth_v > raw.global()); // shrunk toward, not past, global
+    }
+
+    #[test]
+    fn encode_table_produces_dataset() {
+        let (t, labels) = table();
+        let enc = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        let d = enc.encode_table(&t, labels.clone()).unwrap();
+        assert_eq!(d.rows(), 4);
+        assert_eq!(d.features(), 2);
+        assert_eq!(d.labels(), labels.as_slice());
+        // Row 3 has a missing segment -> global mean in column 0.
+        assert_eq!(d.value(3, 0), 15.0);
+    }
+
+    #[test]
+    fn encode_vector_handles_unseen() {
+        let (t, labels) = table();
+        let enc = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        let v = t.encode_row(&[Some("SpaceTourism"), Some("coke")]).unwrap();
+        let row = enc.encode_vector(&v);
+        assert_eq!(row[0], enc.global()); // unseen segment
+        assert_eq!(row[1], 4.0); // coke's mean label
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (t, labels) = table();
+        assert!(TargetEncoder::fit(
+            &t,
+            &labels[..2],
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0
+        )
+        .is_err());
+        assert!(TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            -1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cardinality_reports_distinct_values() {
+        let (t, labels) = table();
+        let enc = TargetEncoder::fit(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(enc.cardinality(FeatureId(0)), 2);
+        assert_eq!(enc.cardinality(FeatureId(1)), 3);
+    }
+}

@@ -1,0 +1,262 @@
+//! Random forest regression (bagged trees + feature subsampling).
+//!
+//! §3.3's missing-data study compares random forest and gradient-boosted
+//! trees; this is the forest side. Trees are grown on bootstrap resamples of
+//! the rows with a per-tree random feature subset, and predictions are
+//! averaged.
+
+use crate::binning::Binner;
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use lorentz_types::LorentzError;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Fraction of features offered to each tree, in `(0, 1]`. The classic
+    /// regression default is 1/3; 1.0 disables feature subsampling.
+    pub feature_fraction: f64,
+    /// Whether each tree trains on a bootstrap resample (with replacement)
+    /// of the rows.
+    pub bootstrap: bool,
+    /// Per-tree growth parameters.
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            feature_fraction: 1.0 / 3.0,
+            bootstrap: true,
+            tree: TreeConfig {
+                max_depth: 12,
+                min_samples_leaf: 2,
+                ..TreeConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+impl RandomForestConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if self.n_trees == 0 {
+            return Err(LorentzError::InvalidConfig("n_trees must be >= 1".into()));
+        }
+        if !self.feature_fraction.is_finite()
+            || self.feature_fraction <= 0.0
+            || self.feature_fraction > 1.0
+        {
+            return Err(LorentzError::InvalidConfig(format!(
+                "feature_fraction must be in (0, 1], got {}",
+                self.feature_fraction
+            )));
+        }
+        self.tree.validate()
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for invalid configs or an empty dataset.
+    pub fn fit(data: &Dataset, config: &RandomForestConfig) -> Result<Self, LorentzError> {
+        config.validate()?;
+        if data.is_empty() {
+            return Err(LorentzError::Model("cannot fit on an empty dataset".into()));
+        }
+        let binner = Binner::fit(data, config.tree.max_bins)?;
+        let binned = binner.bin_dataset(data);
+        let n_features = data.features();
+        let n_offered = ((n_features as f64 * config.feature_fraction).ceil() as usize)
+            .clamp(1, n_features);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let all_features: Vec<usize> = (0..n_features).collect();
+
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                let rows: Vec<u32> = if config.bootstrap {
+                    let mut rows: Vec<u32> = (0..data.rows())
+                        .map(|_| rng.gen_range(0..data.rows()) as u32)
+                        .collect();
+                    rows.sort_unstable();
+                    rows
+                } else {
+                    (0..data.rows() as u32).collect()
+                };
+                let features: Vec<usize> = if n_offered == n_features {
+                    all_features.clone()
+                } else {
+                    let mut f: Vec<usize> = all_features
+                        .choose_multiple(&mut rng, n_offered)
+                        .copied()
+                        .collect();
+                    f.sort_unstable();
+                    f
+                };
+                DecisionTree::fit_prebinned(
+                    &binner,
+                    &binned,
+                    data.labels(),
+                    rows,
+                    &features,
+                    &config.tree,
+                )
+            })
+            .collect();
+
+        Ok(Self { trees })
+    }
+
+    /// Predicts one row (ensemble mean).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        let mut row_buf = vec![0.0; data.features()];
+        (0..data.rows())
+            .map(|r| {
+                data.fill_row(r, &mut row_buf);
+                self.predict_row(&row_buf)
+            })
+            .collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Gain-based feature importance aggregated over all trees, normalized
+    /// to sum to 1.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f64> {
+        let mut imp = vec![0.0; n_features];
+        for tree in &self.trees {
+            tree.accumulate_importance(&mut imp);
+        }
+        crate::tree::normalize_importance(imp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{r2, rmse};
+
+    fn noisy_linear(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x0 = (i % 53) as f64 / 53.0;
+                let x1 = (i % 31) as f64 / 31.0;
+                let x2 = ((i * 7) % 11) as f64 / 11.0; // irrelevant
+                vec![x0, x1, x2]
+            })
+            .collect();
+        let labels: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+        Dataset::from_rows(vec!["a".into(), "b".into(), "c".into()], &rows, labels).unwrap()
+    }
+
+    #[test]
+    fn forest_fits_a_linear_signal_well() {
+        let d = noisy_linear(600);
+        let m = RandomForest::fit(
+            &d,
+            &RandomForestConfig {
+                n_trees: 30,
+                feature_fraction: 2.0 / 3.0,
+                ..RandomForestConfig::default()
+            },
+        )
+        .unwrap();
+        let score = r2(&m.predict(&d), d.labels());
+        assert!(score > 0.9, "r2={score}");
+    }
+
+    #[test]
+    fn averaging_more_trees_stabilizes_predictions() {
+        let d = noisy_linear(300);
+        let mk = |n_trees, seed| RandomForestConfig {
+            n_trees,
+            seed,
+            ..RandomForestConfig::default()
+        };
+        // With many trees, two different seeds give much closer predictions
+        // than with one tree (variance reduction by averaging).
+        let one_a = RandomForest::fit(&d, &mk(1, 1)).unwrap().predict(&d);
+        let one_b = RandomForest::fit(&d, &mk(1, 2)).unwrap().predict(&d);
+        let many_a = RandomForest::fit(&d, &mk(40, 1)).unwrap().predict(&d);
+        let many_b = RandomForest::fit(&d, &mk(40, 2)).unwrap().predict(&d);
+        let dist_one = rmse(&one_a, &one_b);
+        let dist_many = rmse(&many_a, &many_b);
+        assert!(
+            dist_many < dist_one,
+            "many-tree seeds differ by {dist_many}, single-tree by {dist_one}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = noisy_linear(100);
+        let cfg = RandomForestConfig {
+            n_trees: 5,
+            seed: 9,
+            ..RandomForestConfig::default()
+        };
+        let a = RandomForest::fit(&d, &cfg).unwrap();
+        let b = RandomForest::fit(&d, &cfg).unwrap();
+        assert_eq!(a.predict(&d), b.predict(&d));
+    }
+
+    #[test]
+    fn no_bootstrap_full_features_single_tree_equals_plain_tree() {
+        let d = noisy_linear(100);
+        let cfg = RandomForestConfig {
+            n_trees: 1,
+            feature_fraction: 1.0,
+            bootstrap: false,
+            tree: TreeConfig::default(),
+            seed: 0,
+        };
+        let forest = RandomForest::fit(&d, &cfg).unwrap();
+        let tree = DecisionTree::fit(&d, &TreeConfig::default()).unwrap();
+        assert_eq!(forest.predict(&d), tree.predict(&d));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        for ff in [0.0, -0.5, 1.5] {
+            let cfg = RandomForestConfig {
+                feature_fraction: ff,
+                ..RandomForestConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "ff={ff}");
+        }
+        let cfg = RandomForestConfig {
+            n_trees: 0,
+            ..RandomForestConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

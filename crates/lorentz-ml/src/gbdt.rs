@@ -1,0 +1,322 @@
+//! Gradient-boosted regression trees (squared loss).
+//!
+//! The paper's target-encoding provisioner fits LightGBM with 100 trees
+//! (Table 2). This is the equivalent ensemble: a mean base score followed by
+//! shrinkage-weighted trees fitted to residuals, with optional row
+//! subsampling (stochastic gradient boosting). Feature binning is computed
+//! once and shared across all trees.
+
+use crate::binning::Binner;
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use lorentz_types::LorentzError;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Gradient boosting hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradientBoostingConfig {
+    /// Number of boosting rounds (trees). Paper: 100.
+    pub n_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled (without replacement) per round; 1.0
+    /// disables subsampling.
+    pub subsample: f64,
+    /// Per-tree growth parameters.
+    pub tree: TreeConfig,
+    /// RNG seed for row subsampling.
+    pub seed: u64,
+}
+
+impl Default for GradientBoostingConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            learning_rate: 0.1,
+            subsample: 1.0,
+            tree: TreeConfig {
+                max_depth: 5,
+                min_samples_leaf: 5,
+                ..TreeConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+impl GradientBoostingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if self.n_trees == 0 {
+            return Err(LorentzError::InvalidConfig("n_trees must be >= 1".into()));
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 || self.learning_rate > 1.0
+        {
+            return Err(LorentzError::InvalidConfig(format!(
+                "learning_rate must be in (0, 1], got {}",
+                self.learning_rate
+            )));
+        }
+        if !self.subsample.is_finite() || self.subsample <= 0.0 || self.subsample > 1.0 {
+            return Err(LorentzError::InvalidConfig(format!(
+                "subsample must be in (0, 1], got {}",
+                self.subsample
+            )));
+        }
+        self.tree.validate()
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+///
+/// ```
+/// use lorentz_ml::{Dataset, GradientBoosting, GradientBoostingConfig};
+///
+/// // y = 3x on a small grid.
+/// let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+/// let labels: Vec<f64> = (0..50).map(|i| 3.0 * f64::from(i)).collect();
+/// let data = Dataset::from_rows(vec!["x".into()], &rows, labels)?;
+///
+/// let model = GradientBoosting::fit(
+///     &data,
+///     &GradientBoostingConfig { n_trees: 40, learning_rate: 0.3, ..Default::default() },
+/// )?;
+/// let prediction = model.predict_row(&[20.0]);
+/// assert!((prediction - 60.0).abs() < 3.0);
+/// # Ok::<(), lorentz_types::LorentzError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientBoosting {
+    base_score: f64,
+    learning_rate: f64,
+    trees: Vec<DecisionTree>,
+}
+
+impl GradientBoosting {
+    /// Fits the ensemble.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for invalid configs or an empty dataset.
+    pub fn fit(data: &Dataset, config: &GradientBoostingConfig) -> Result<Self, LorentzError> {
+        config.validate()?;
+        if data.is_empty() {
+            return Err(LorentzError::Model("cannot fit on an empty dataset".into()));
+        }
+        let binner = Binner::fit(data, config.tree.max_bins)?;
+        let binned = binner.bin_dataset(data);
+        let features: Vec<usize> = (0..data.features()).collect();
+        let all_rows: Vec<u32> = (0..data.rows() as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        let base_score = data.label_mean();
+        let mut predictions = vec![base_score; data.rows()];
+        let mut residuals = vec![0.0; data.rows()];
+        let mut row_buf = vec![0.0; data.features()];
+        let mut trees = Vec::with_capacity(config.n_trees);
+
+        let sample_size = ((data.rows() as f64 * config.subsample).round() as usize)
+            .clamp(1, data.rows());
+
+        for _ in 0..config.n_trees {
+            for (r, res) in residuals.iter_mut().enumerate() {
+                *res = data.labels()[r] - predictions[r];
+            }
+            let rows: Vec<u32> = if sample_size == data.rows() {
+                all_rows.clone()
+            } else {
+                let mut sampled: Vec<u32> = all_rows
+                    .choose_multiple(&mut rng, sample_size)
+                    .copied()
+                    .collect();
+                sampled.sort_unstable();
+                sampled
+            };
+            let tree =
+                DecisionTree::fit_prebinned(&binner, &binned, &residuals, rows, &features, &config.tree);
+            for (r, pred) in predictions.iter_mut().enumerate() {
+                data.fill_row(r, &mut row_buf);
+                *pred += config.learning_rate * tree.predict_row(&row_buf);
+            }
+            trees.push(tree);
+        }
+
+        Ok(Self {
+            base_score,
+            learning_rate: config.learning_rate,
+            trees,
+        })
+    }
+
+    /// Predicts one row of raw feature values.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_row(row))
+                    .sum::<f64>()
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        let mut row_buf = vec![0.0; data.features()];
+        (0..data.rows())
+            .map(|r| {
+                data.fill_row(r, &mut row_buf);
+                self.predict_row(&row_buf)
+            })
+            .collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Gain-based feature importance aggregated over all trees, normalized
+    /// to sum to 1.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f64> {
+        let mut imp = vec![0.0; n_features];
+        for tree in &self.trees {
+            tree.accumulate_importance(&mut imp);
+        }
+        crate::tree::normalize_importance(imp)
+    }
+
+    /// The constant base score (training label mean).
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn friedman_like(n: usize) -> Dataset {
+        // Smooth nonlinear target on two features.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x0 = (i % 37) as f64 / 37.0;
+                let x1 = (i % 23) as f64 / 23.0;
+                vec![x0, x1]
+            })
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] * r[0] + (4.0 * r[1]).sin())
+            .collect();
+        Dataset::from_rows(vec!["x0".into(), "x1".into()], &rows, labels).unwrap()
+    }
+
+    #[test]
+    fn boosting_beats_a_single_tree() {
+        let d = friedman_like(500);
+        let single = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        let cfg = GradientBoostingConfig {
+            n_trees: 50,
+            learning_rate: 0.2,
+            tree: TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            ..GradientBoostingConfig::default()
+        };
+        let boosted = GradientBoosting::fit(&d, &cfg).unwrap();
+        let rmse_single = rmse(&single.predict(&d), d.labels());
+        let rmse_boost = rmse(&boosted.predict(&d), d.labels());
+        assert!(
+            rmse_boost < rmse_single / 2.0,
+            "boosted {rmse_boost} vs single {rmse_single}"
+        );
+    }
+
+    #[test]
+    fn more_trees_reduce_training_error() {
+        let d = friedman_like(300);
+        let mk = |n_trees| GradientBoostingConfig {
+            n_trees,
+            learning_rate: 0.1,
+            ..GradientBoostingConfig::default()
+        };
+        let few = GradientBoosting::fit(&d, &mk(5)).unwrap();
+        let many = GradientBoosting::fit(&d, &mk(80)).unwrap();
+        assert!(
+            rmse(&many.predict(&d), d.labels()) < rmse(&few.predict(&d), d.labels())
+        );
+    }
+
+    #[test]
+    fn zero_trees_rejected_and_base_score_is_mean() {
+        let d = friedman_like(50);
+        let bad = GradientBoostingConfig {
+            n_trees: 0,
+            ..GradientBoostingConfig::default()
+        };
+        assert!(GradientBoosting::fit(&d, &bad).is_err());
+        let m = GradientBoosting::fit(
+            &d,
+            &GradientBoostingConfig {
+                n_trees: 1,
+                ..GradientBoostingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!((m.base_score() - d.label_mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_per_seed() {
+        let d = friedman_like(200);
+        let mk = |seed| GradientBoostingConfig {
+            n_trees: 10,
+            subsample: 0.5,
+            seed,
+            ..GradientBoostingConfig::default()
+        };
+        let a = GradientBoosting::fit(&d, &mk(1)).unwrap();
+        let b = GradientBoosting::fit(&d, &mk(1)).unwrap();
+        let c = GradientBoosting::fit(&d, &mk(2)).unwrap();
+        assert_eq!(a.predict(&d), b.predict(&d));
+        assert_ne!(a.predict(&d), c.predict(&d));
+    }
+
+    #[test]
+    fn invalid_hyperparameters_rejected() {
+        let ok = GradientBoostingConfig::default();
+        assert!(ok.validate().is_ok());
+        for (lr, sub) in [(0.0, 1.0), (1.5, 1.0), (0.1, 0.0), (0.1, 1.5)] {
+            let cfg = GradientBoostingConfig {
+                learning_rate: lr,
+                subsample: sub,
+                ..GradientBoostingConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "lr={lr} sub={sub}");
+        }
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, vec![7.0; 50]).unwrap();
+        let m = GradientBoosting::fit(&d, &GradientBoostingConfig::default()).unwrap();
+        for r in 0..d.rows() {
+            assert!((m.predict_row(&d.row(r)) - 7.0).abs() < 1e-9);
+        }
+    }
+}

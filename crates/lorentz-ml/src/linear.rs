@@ -1,0 +1,240 @@
+//! Ridge-regularized linear regression.
+//!
+//! A simple closed-form baseline for the tree ensembles: the paper's §3.3
+//! framework "technically admits arbitrary ... regression/classification
+//! methods", and a linear model over target-encoded features is the
+//! natural sanity-check comparator (it can only express additive structure
+//! in log2 space, which is exactly the multiplicative structure of
+//! capacity needs).
+
+use crate::dataset::Dataset;
+use lorentz_types::LorentzError;
+use serde::{Deserialize, Serialize};
+
+/// Ridge regression hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RidgeConfig {
+    /// L2 penalty λ ≥ 0 on the weights (the intercept is unpenalized).
+    pub l2: f64,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        Self { l2: 1e-3 }
+    }
+}
+
+/// A fitted ridge regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    intercept: f64,
+    weights: Vec<f64>,
+    /// Per-feature means used to center inputs (keeps the normal equations
+    /// well-conditioned and the intercept unpenalized).
+    feature_means: Vec<f64>,
+}
+
+impl RidgeRegression {
+    /// Fits the model by solving the (centered) normal equations with
+    /// Gaussian elimination.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::Model`] for empty data, non-finite features,
+    /// a negative penalty, or a singular system (possible at `l2 = 0` with
+    /// collinear features).
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix index math reads clearer
+    pub fn fit(data: &Dataset, config: &RidgeConfig) -> Result<Self, LorentzError> {
+        if data.is_empty() {
+            return Err(LorentzError::Model("cannot fit on an empty dataset".into()));
+        }
+        if !config.l2.is_finite() || config.l2 < 0.0 {
+            return Err(LorentzError::Model(format!(
+                "l2 must be finite and >= 0, got {}",
+                config.l2
+            )));
+        }
+        let n = data.rows();
+        let d = data.features();
+        for f in 0..d {
+            if data.column(f).iter().any(|v| !v.is_finite()) {
+                return Err(LorentzError::Model(format!(
+                    "feature {f} contains non-finite values; impute before fitting"
+                )));
+            }
+        }
+
+        let feature_means: Vec<f64> = (0..d)
+            .map(|f| data.column(f).iter().sum::<f64>() / n as f64)
+            .collect();
+        let label_mean = data.label_mean();
+
+        // Gram matrix X'X + λI and moment vector X'y on centered data.
+        let mut gram = vec![vec![0.0f64; d]; d];
+        let mut moment = vec![0.0f64; d];
+        for r in 0..n {
+            let y = data.labels()[r] - label_mean;
+            for i in 0..d {
+                let xi = data.value(r, i) - feature_means[i];
+                moment[i] += xi * y;
+                for j in i..d {
+                    let xj = data.value(r, j) - feature_means[j];
+                    gram[i][j] += xi * xj;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                gram[i][j] = gram[j][i];
+            }
+            gram[i][i] += config.l2;
+        }
+
+        let weights = solve(gram, moment).ok_or_else(|| {
+            LorentzError::Model("singular normal equations; increase l2".into())
+        })?;
+        let intercept = label_mean;
+        Ok(Self {
+            intercept,
+            weights,
+            feature_means,
+        })
+    }
+
+    /// Predicts one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .zip(&self.feature_means)
+                .map(|((w, x), m)| w * (x - m))
+                .sum::<f64>()
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.rows())
+            .map(|r| self.predict_row(&data.row(r)))
+            .collect()
+    }
+
+    /// The fitted weights (aligned with the dataset's feature order).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The intercept (label mean of the training data).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Gaussian elimination with partial pivoting; `None` if singular.
+#[allow(clippy::needless_range_loop)] // pivoting needs raw indices
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn linear_data(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 13) as f64, ((i * 3) % 7) as f64])
+            .collect();
+        let labels: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 3.0).collect();
+        Dataset::from_rows(vec!["a".into(), "b".into()], &rows, labels).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let d = linear_data(100);
+        let m = RidgeRegression::fit(&d, &RidgeConfig { l2: 0.0 }).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-9);
+        assert!((m.weights()[1] + 0.5).abs() < 1e-9);
+        assert!(rmse(&m.predict(&d), d.labels()) < 1e-9);
+        // Out-of-sample point.
+        assert!((m.predict_row(&[20.0, 10.0]) - (40.0 - 5.0 + 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let d = linear_data(100);
+        let free = RidgeRegression::fit(&d, &RidgeConfig { l2: 0.0 }).unwrap();
+        let heavy = RidgeRegression::fit(&d, &RidgeConfig { l2: 1e4 }).unwrap();
+        assert!(heavy.weights()[0].abs() < free.weights()[0].abs());
+        // The intercept stays at the label mean (unpenalized).
+        assert!((heavy.intercept() - d.label_mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_features_need_regularization() {
+        // Duplicate column: singular at l2 = 0, solvable at l2 > 0.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, i as f64]).collect();
+        let labels: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, labels).unwrap();
+        assert!(RidgeRegression::fit(&d, &RidgeConfig { l2: 0.0 }).is_err());
+        let m = RidgeRegression::fit(&d, &RidgeConfig { l2: 1e-6 }).unwrap();
+        assert!(rmse(&m.predict(&d), d.labels()) < 1e-3);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let d = linear_data(10);
+        assert!(RidgeRegression::fit(&d, &RidgeConfig { l2: -1.0 }).is_err());
+        let nan = Dataset::from_rows(
+            vec!["a".into()],
+            &[vec![f64::NAN], vec![1.0]],
+            vec![0.0, 1.0],
+        )
+        .unwrap();
+        assert!(RidgeRegression::fit(&nan, &RidgeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn constant_feature_is_ignored_via_centering() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![5.0, i as f64]).collect();
+        let labels: Vec<f64> = (0..30).map(|i| 3.0 * i as f64).collect();
+        let d = Dataset::from_rows(vec!["c".into(), "x".into()], &rows, labels).unwrap();
+        let m = RidgeRegression::fit(&d, &RidgeConfig { l2: 1e-6 }).unwrap();
+        assert!(rmse(&m.predict(&d), d.labels()) < 1e-6);
+    }
+}

@@ -1,0 +1,165 @@
+//! Regression metrics.
+
+/// Root mean squared error. Returns `NaN` for empty inputs.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    let mse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>()
+        / predictions.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error. Returns `NaN` for empty inputs.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| (p - y).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination R². 1 is perfect; 0 matches the mean
+/// predictor; negative is worse than the mean predictor. Returns `NaN` for
+/// empty inputs or zero-variance targets.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn r2(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|y| (y - mean) * (y - mean)).sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Pinball (quantile) loss at quantile `q ∈ (0, 1)` — lower is better.
+/// Useful when evaluating percentile-style recommenders. Returns `NaN` for
+/// empty inputs.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pinball(predictions: &[f64], targets: &[f64], q: f64) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| {
+            let d = y - p;
+            if d >= 0.0 {
+                q * d
+            } else {
+                (q - 1.0) * d
+            }
+        })
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Fraction of predictions whose value exactly matches the target within
+/// `tol` — "exact SKU hit rate" when both sides are discretized capacities.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn exact_match_rate(predictions: &[f64], targets: &[f64], tol: f64) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    let hits = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, y)| (*p - *y).abs() <= tol)
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_and_mae_basics() {
+        let p = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&p, &y), 0.0);
+        assert_eq!(mae(&p, &y), 0.0);
+        let p = [0.0, 0.0];
+        let y = [3.0, 4.0];
+        assert!((rmse(&p, &y) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&p, &y), 3.5);
+    }
+
+    #[test]
+    fn r2_reference_points() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2(&y, &y), 1.0);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&mean_pred, &y).abs() < 1e-12);
+        let bad = [4.0, 3.0, 2.0, 1.0];
+        assert!(r2(&bad, &y) < 0.0);
+        assert!(r2(&[1.0], &[1.0]).is_nan()); // zero variance
+    }
+
+    #[test]
+    fn pinball_is_asymmetric() {
+        // Under-prediction is penalized q, over-prediction (1-q).
+        let under = pinball(&[0.0], &[1.0], 0.9);
+        let over = pinball(&[1.0], &[0.0], 0.9);
+        assert!((under - 0.9).abs() < 1e-12);
+        assert!((over - 0.1).abs() < 1e-12);
+        assert_eq!(pinball(&[1.0], &[1.0], 0.9), 0.0);
+    }
+
+    #[test]
+    fn exact_match_rate_counts_hits() {
+        let p = [2.0, 4.0, 8.0, 8.0];
+        let y = [2.0, 8.0, 8.0, 4.0];
+        assert_eq!(exact_match_rate(&p, &y, 1e-9), 0.5);
+    }
+
+    #[test]
+    fn empty_inputs_give_nan() {
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+        assert!(r2(&[], &[]).is_nan());
+        assert!(pinball(&[], &[], 0.5).is_nan());
+        assert!(exact_match_rate(&[], &[], 0.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

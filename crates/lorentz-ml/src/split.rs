@@ -1,0 +1,119 @@
+//! Seeded dataset splitting.
+
+use lorentz_types::LorentzError;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Row indices of a train/validation/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitIndices {
+    /// Training rows.
+    pub train: Vec<usize>,
+    /// Validation rows.
+    pub val: Vec<usize>,
+    /// Test rows.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` rows into train/validation/test partitions by fraction
+/// (the paper uses 80/10/10), shuffled with the given seed.
+///
+/// Fractions must be positive and sum to at most 1; any remainder rows go to
+/// the training partition so nothing is silently dropped.
+///
+/// # Errors
+/// Returns [`LorentzError::InvalidConfig`] for invalid fractions or if any
+/// partition would be empty.
+pub fn three_way_split(
+    n: usize,
+    train_frac: f64,
+    val_frac: f64,
+    test_frac: f64,
+    seed: u64,
+) -> Result<SplitIndices, LorentzError> {
+    for (name, f) in [("train", train_frac), ("val", val_frac), ("test", test_frac)] {
+        if !f.is_finite() || f <= 0.0 || f >= 1.0 {
+            return Err(LorentzError::InvalidConfig(format!(
+                "{name} fraction must be in (0, 1), got {f}"
+            )));
+        }
+    }
+    let total = train_frac + val_frac + test_frac;
+    if total > 1.0 + 1e-9 {
+        return Err(LorentzError::InvalidConfig(format!(
+            "split fractions sum to {total} > 1"
+        )));
+    }
+
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut SmallRng::seed_from_u64(seed));
+
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let n_test = (n as f64 * test_frac).round() as usize;
+    if n_val == 0 || n_test == 0 || n_val + n_test >= n {
+        return Err(LorentzError::InvalidConfig(format!(
+            "cannot split {n} rows into non-empty partitions at {train_frac}/{val_frac}/{test_frac}"
+        )));
+    }
+
+    let test = indices.split_off(n - n_test);
+    let val = indices.split_off(n - n_test - n_val);
+    Ok(SplitIndices {
+        train: indices,
+        val,
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = three_way_split(1000, 0.8, 0.1, 0.1, 7).unwrap();
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 1000);
+        let all: HashSet<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        assert_eq!(all.len(), 1000);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.test.len(), 100);
+        assert_eq!(s.train.len(), 800);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = three_way_split(100, 0.8, 0.1, 0.1, 1).unwrap();
+        let b = three_way_split(100, 0.8, 0.1, 0.1, 1).unwrap();
+        let c = three_way_split(100, 0.8, 0.1, 0.1, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_shuffles_rows() {
+        let s = three_way_split(1000, 0.8, 0.1, 0.1, 3).unwrap();
+        // A sorted train partition would mean no shuffling happened.
+        assert!(s.train.windows(2).any(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        assert!(three_way_split(100, 0.0, 0.5, 0.5, 0).is_err());
+        assert!(three_way_split(100, 0.9, 0.2, 0.1, 0).is_err());
+        assert!(three_way_split(100, 0.8, f64::NAN, 0.1, 0).is_err());
+        assert!(three_way_split(100, 1.0, 0.1, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_inputs_rejected_rather_than_empty_partitions() {
+        assert!(three_way_split(3, 0.8, 0.1, 0.1, 0).is_err());
+    }
+}

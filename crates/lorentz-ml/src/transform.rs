@@ -1,0 +1,84 @@
+//! The label transform `ξ` and its inverse (§3.3 "Transformations").
+//!
+//! Compute capacities live on an exponential ladder (1, 2, 4, 8, ...), which
+//! makes untransformed regression heteroskedastic: errors on large SKUs
+//! dwarf errors on small ones. Fitting in `ξ = log2` space makes the ladder
+//! uniform and turns the personalization adjustment `λ` into "how many
+//! powers of 2 to shift by" (Eq. 14).
+
+use lorentz_types::LorentzError;
+
+/// `ξ(c) = log2(c)`.
+///
+/// # Errors
+/// Returns [`LorentzError::Model`] if `c` is not strictly positive and
+/// finite.
+pub fn xi(c: f64) -> Result<f64, LorentzError> {
+    if !c.is_finite() || c <= 0.0 {
+        return Err(LorentzError::Model(format!(
+            "log2 transform requires positive finite input, got {c}"
+        )));
+    }
+    Ok(c.log2())
+}
+
+/// `ξ⁻¹(z) = 2^z`.
+///
+/// # Errors
+/// Returns [`LorentzError::Model`] if `z` is not finite.
+pub fn xi_inv(z: f64) -> Result<f64, LorentzError> {
+    if !z.is_finite() {
+        return Err(LorentzError::Model(format!(
+            "inverse log2 transform requires finite input, got {z}"
+        )));
+    }
+    Ok(z.exp2())
+}
+
+/// Applies `ξ` to a slice of capacities.
+///
+/// # Errors
+/// Fails on the first invalid entry.
+pub fn xi_slice(values: &[f64]) -> Result<Vec<f64>, LorentzError> {
+    values.iter().map(|&v| xi(v)).collect()
+}
+
+/// Applies `ξ⁻¹` to a slice of transformed values.
+///
+/// # Errors
+/// Fails on the first invalid entry.
+pub fn xi_inv_slice(values: &[f64]) -> Result<Vec<f64>, LorentzError> {
+    values.iter().map(|&v| xi_inv(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_round_trips() {
+        for c in [1.0, 2.0, 4.0, 20.0, 128.0, 3.7] {
+            let z = xi(c).unwrap();
+            let back = xi_inv(z).unwrap();
+            assert!((back - c).abs() < 1e-12, "{c}");
+        }
+    }
+
+    #[test]
+    fn xi_makes_the_ladder_uniform() {
+        let ladder = [2.0, 4.0, 8.0, 16.0];
+        let transformed = xi_slice(&ladder).unwrap();
+        let gaps: Vec<f64> = transformed.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.iter().all(|&g| (g - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(xi(0.0).is_err());
+        assert!(xi(-2.0).is_err());
+        assert!(xi(f64::NAN).is_err());
+        assert!(xi_inv(f64::INFINITY).is_err());
+        assert!(xi_slice(&[2.0, 0.0]).is_err());
+        assert!(xi_inv_slice(&[1.0, f64::NAN]).is_err());
+    }
+}

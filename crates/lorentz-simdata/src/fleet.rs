@@ -1,0 +1,708 @@
+//! Synthetic fleet generation.
+//!
+//! Builds a fleet of "existing" DBs whose telemetry, profile data, and user
+//! SKU selections statistically resemble the Azure PostgreSQL population of
+//! §2.2:
+//!
+//! * a strict-ish profile hierarchy (`SegmentName > IndustryName > ... >
+//!   ResourceGroup`) with configurable branching, value-popularity skew,
+//!   mis-entry noise and missing tags;
+//! * *capacity-need factors* attached to hierarchy nodes, so that servers
+//!   sharing a vertical or customer genuinely need similar capacities —
+//!   the causal assumption behind profile-based recommendation (§1: "Coca-
+//!   Cola and Pepsi might have similar needs");
+//! * left-skewed demand (most DBs are tiny; the paper's mean max
+//!   utilization is 1.2 vCores);
+//! * a user-selection behaviour model calibrated to the paper's findings
+//!   (users pick the minimum default 63% of the time overall and 80% for
+//!   dev servers; the rest guess near their demand with ladder noise);
+//! * telemetry censored at the user-selected capacity (Eq. 1), while the
+//!   uncensored ground-truth demand is kept separately for evaluation.
+
+use lorentz_core::FleetDataset;
+use lorentz_telemetry::generators::{SamplingConfig, WorkloadGenerator};
+use lorentz_telemetry::{Aggregator, EmptyBinPolicy, UsageTrace, WorkloadSpec};
+use lorentz_types::{
+    Capacity, CustomerId, LorentzError, ProfileSchema, ProfileTable, ResourceGroupId,
+    ResourcePath, ResourceSpace, ServerId, ServerOffering, SkuCatalog, SubscriptionId,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One level of the synthetic profile hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyLevel {
+    /// Feature name (e.g. `IndustryName`).
+    pub name: String,
+    /// Children per parent node.
+    pub branching: usize,
+    /// Standard deviation of the node's log2 capacity-need factor. Larger
+    /// values make this level more predictive of demand.
+    pub need_sigma: f64,
+}
+
+/// The hierarchy shape: levels from coarsest to finest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchySpec {
+    /// Levels, coarsest first. The 5th-from-last, 2nd-from-last, and last
+    /// levels are interpreted as customer, subscription, and resource group
+    /// for [`ResourcePath`] construction when present.
+    pub levels: Vec<HierarchyLevel>,
+    /// Zipf-like skew of child popularity (0 = uniform).
+    pub skew: f64,
+}
+
+impl HierarchySpec {
+    /// The seven-feature Azure PostgreSQL hierarchy (Fig. 5 shape) at a
+    /// scale suitable for a few thousand servers.
+    pub fn azure_like() -> Self {
+        let mk = |name: &str, branching, need_sigma| HierarchyLevel {
+            name: name.to_owned(),
+            branching,
+            need_sigma,
+        };
+        Self {
+            levels: vec![
+                mk("SegmentName", 3, 0.3),
+                mk("IndustryName", 2, 0.4),
+                mk("VerticalName", 2, 0.5),
+                mk("VerticalCategoryName", 2, 0.2),
+                mk("CloudCustomerGuid", 2, 0.4),
+                mk("SubscriptionId", 2, 0.2),
+                mk("ResourceGroup", 2, 0.2),
+            ],
+            skew: 0.7,
+        }
+    }
+
+    /// Total number of distinct values at level `l`.
+    pub fn values_at(&self, l: usize) -> usize {
+        self.levels[..=l].iter().map(|lv| lv.branching).product()
+    }
+
+    fn schema(&self) -> ProfileSchema {
+        ProfileSchema::new(self.levels.iter().map(|l| l.name.clone()).collect::<Vec<_>>())
+            .expect("hierarchy levels have unique names")
+    }
+}
+
+/// How users pick their initial SKU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserBehavior {
+    /// Probability of blindly accepting the minimum (default) SKU on a
+    /// production offering (§2.2: 63% pick the minimum overall).
+    pub p_default_prod: f64,
+    /// Probability of accepting the default on the dev (Burstable)
+    /// offering (§2.2: 80%).
+    pub p_default_dev: f64,
+    /// For informed guesses: probability of landing one ladder step below
+    /// the demand-covering SKU (under-provisioning).
+    pub p_under: f64,
+    /// Probability of landing one ladder step above (over-provisioning).
+    pub p_over: f64,
+}
+
+impl Default for UserBehavior {
+    fn default() -> Self {
+        Self {
+            p_default_prod: 0.55,
+            p_default_dev: 0.80,
+            p_under: 0.20,
+            p_over: 0.35,
+        }
+    }
+}
+
+impl UserBehavior {
+    fn validate(&self) -> Result<(), LorentzError> {
+        for (name, p) in [
+            ("p_default_prod", self.p_default_prod),
+            ("p_default_dev", self.p_default_dev),
+            ("p_under", self.p_under),
+            ("p_over", self.p_over),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(LorentzError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if self.p_under + self.p_over > 1.0 {
+            return Err(LorentzError::InvalidConfig(
+                "p_under + p_over must be <= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fleet generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of servers to generate.
+    pub n_servers: usize,
+    /// Master RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Telemetry sampling window.
+    pub sampling: SamplingConfig,
+    /// Bin width for the produced [`UsageTrace`]s, seconds (match the
+    /// rightsizer's `T`).
+    pub bin_seconds: f64,
+    /// Hierarchy shape.
+    pub hierarchy: HierarchySpec,
+    /// Probability a profile cell is mis-entered (replaced by a random
+    /// other value of the same feature) — makes hierarchies nearly-strict.
+    pub mis_entry_rate: f64,
+    /// Probability a profile cell is missing.
+    pub missing_rate: f64,
+    /// User SKU-selection behaviour.
+    pub user: UserBehavior,
+    /// Median peak demand of the smallest workloads, in vCores. The fleet
+    /// is left-skewed around this (paper: mean max utilization 1.2 vCores).
+    pub base_demand: f64,
+    /// Log2 standard deviation of per-server idiosyncratic demand noise.
+    pub server_sigma: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            n_servers: 1000,
+            seed: 42,
+            sampling: SamplingConfig {
+                duration_secs: 86_400.0,
+                mean_interval_secs: 60.0,
+                jitter_frac: 0.2,
+            },
+            bin_seconds: 300.0,
+            hierarchy: HierarchySpec::azure_like(),
+            mis_entry_rate: 0.01,
+            missing_rate: 0.03,
+            user: UserBehavior::default(),
+            base_demand: 0.5,
+            server_sigma: 0.5,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if self.n_servers == 0 {
+            return Err(LorentzError::InvalidConfig("n_servers must be >= 1".into()));
+        }
+        if self.hierarchy.levels.is_empty() {
+            return Err(LorentzError::InvalidConfig(
+                "hierarchy needs at least one level".into(),
+            ));
+        }
+        for (name, p) in [
+            ("mis_entry_rate", self.mis_entry_rate),
+            ("missing_rate", self.missing_rate),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(LorentzError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !self.base_demand.is_finite() || self.base_demand <= 0.0 {
+            return Err(LorentzError::InvalidConfig(
+                "base_demand must be positive".into(),
+            ));
+        }
+        self.user.validate()
+    }
+
+    /// Generates the fleet.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] on invalid configuration.
+    pub fn generate(&self) -> Result<SyntheticFleet, LorentzError> {
+        self.validate()?;
+        Generator::new(self).run()
+    }
+}
+
+/// A generated fleet: the training view (telemetry censored at user
+/// capacities, Eq. 1) plus the evaluation view (uncensored ground-truth
+/// demand).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticFleet {
+    /// The training fleet (profiles, user capacities, censored telemetry).
+    pub fleet: FleetDataset,
+    /// Uncensored demand traces, aligned with the fleet rows.
+    pub ground_truth: Vec<UsageTrace>,
+    /// The workload shape of each server.
+    pub specs: Vec<WorkloadSpec>,
+    /// The latent per-server demand scale (peak vCores before shaping).
+    pub needs: Vec<f64>,
+}
+
+struct Generator<'a> {
+    config: &'a FleetConfig,
+    rng: SmallRng,
+}
+
+impl<'a> Generator<'a> {
+    fn new(config: &'a FleetConfig) -> Self {
+        Self {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+        }
+    }
+
+    fn run(mut self) -> Result<SyntheticFleet, LorentzError> {
+        let schema = self.config.hierarchy.schema();
+        let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+        let mut ground_truth = Vec::with_capacity(self.config.n_servers);
+        let mut specs = Vec::with_capacity(self.config.n_servers);
+        let mut needs = Vec::with_capacity(self.config.n_servers);
+
+        for i in 0..self.config.n_servers {
+            let offering = self.draw_offering();
+            let chain = self.draw_chain();
+            let need = self.need_for(&chain, offering);
+            let spec = self.shape_for(offering, need);
+
+            // Ground-truth demand (uncensored).
+            let raw = spec.generate(&self.config.sampling, &mut self.rng);
+            let catalog = SkuCatalog::azure_postgres(offering);
+            let user_capacity = self.user_choice(&catalog, raw.max_value(), offering);
+
+            // Telemetry view: censored at the user-selected capacity.
+            let censored = raw.censored(user_capacity.primary());
+            let truth_trace = UsageTrace::from_raw(
+                ResourceSpace::vcores_only(),
+                &[raw],
+                self.config.bin_seconds,
+                Aggregator::Max,
+                EmptyBinPolicy::HoldLast,
+            )?;
+            let telemetry = UsageTrace::from_raw(
+                ResourceSpace::vcores_only(),
+                &[censored],
+                self.config.bin_seconds,
+                Aggregator::Max,
+                EmptyBinPolicy::HoldLast,
+            )?;
+
+            let path = self.path_for(&chain);
+            let profile = self.profile_row(&chain);
+            let profile_refs: Vec<Option<&str>> =
+                profile.iter().map(|v| v.as_deref()).collect();
+            fleet.push(
+                ServerId(i as u32),
+                path,
+                offering,
+                &profile_refs,
+                user_capacity,
+                telemetry,
+            )?;
+            ground_truth.push(truth_trace);
+            specs.push(spec);
+            needs.push(need);
+        }
+
+        Ok(SyntheticFleet {
+            fleet,
+            ground_truth,
+            specs,
+            needs,
+        })
+    }
+
+    fn draw_offering(&mut self) -> ServerOffering {
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for &o in &ServerOffering::ALL {
+            acc += o.fleet_share();
+            if u < acc {
+                return o;
+            }
+        }
+        ServerOffering::MemoryOptimized
+    }
+
+    /// Draws a hierarchy chain as per-level value indices (value index at
+    /// level l is global within that level).
+    fn draw_chain(&mut self) -> Vec<usize> {
+        let mut chain = Vec::with_capacity(self.config.hierarchy.levels.len());
+        let mut parent = 0usize;
+        for level in &self.config.hierarchy.levels {
+            let child = self.skewed_child(level.branching);
+            let value = parent * level.branching + child;
+            chain.push(value);
+            parent = value;
+        }
+        chain
+    }
+
+    fn skewed_child(&mut self, branching: usize) -> usize {
+        if branching == 1 {
+            return 0;
+        }
+        let skew = self.config.hierarchy.skew;
+        let weights: Vec<f64> = (0..branching)
+            .map(|j| 1.0 / ((j + 1) as f64).powf(skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut u: f64 = self.rng.gen_range(0.0..total);
+        for (j, w) in weights.iter().enumerate() {
+            if u < *w {
+                return j;
+            }
+            u -= w;
+        }
+        branching - 1
+    }
+
+    /// The latent peak demand: base × hierarchy-node factors × per-server
+    /// noise × offering scale. Node factors are deterministic in
+    /// (seed, level, value) so every server under the same node shares
+    /// them — the signal the provisioners learn.
+    fn need_for(&mut self, chain: &[usize], offering: ServerOffering) -> f64 {
+        let mut log2_need = self.config.base_demand.log2();
+        for (l, &value) in chain.iter().enumerate() {
+            let sigma = self.config.hierarchy.levels[l].need_sigma;
+            if sigma > 0.0 {
+                log2_need += sigma * node_gauss(self.config.seed, l, value);
+            }
+        }
+        log2_need += self.config.server_sigma * gauss(&mut self.rng);
+        let offering_scale = match offering {
+            ServerOffering::Burstable => 0.5,
+            ServerOffering::GeneralPurpose => 1.0,
+            ServerOffering::MemoryOptimized => 1.6,
+        };
+        (log2_need.exp2() * offering_scale).clamp(0.02, 160.0)
+    }
+
+    fn shape_for(&mut self, offering: ServerOffering, need: f64) -> WorkloadSpec {
+        match offering {
+            ServerOffering::Burstable => WorkloadSpec::dev_box(need),
+            ServerOffering::GeneralPurpose => {
+                if self.rng.gen_bool(0.7) {
+                    WorkloadSpec::typical_oltp(need)
+                } else {
+                    WorkloadSpec::Bursty {
+                        low: 0.1 * need,
+                        high: need,
+                        mean_on_secs: 3600.0,
+                        mean_off_secs: 7200.0,
+                    }
+                }
+            }
+            ServerOffering::MemoryOptimized => {
+                if self.rng.gen_bool(0.5) {
+                    WorkloadSpec::typical_oltp(need)
+                } else {
+                    WorkloadSpec::Sum(vec![
+                        WorkloadSpec::Constant { level: 0.4 * need },
+                        WorkloadSpec::Spiky {
+                            base: 0.0,
+                            spike_height: 0.6 * need,
+                            spikes_per_day: 12.0,
+                            spike_duration_secs: 1800.0,
+                        },
+                    ])
+                }
+            }
+        }
+    }
+
+    /// The user's SKU choice, calibrated to §2.2 (default-happy users plus
+    /// noisy informed guesses).
+    fn user_choice(
+        &mut self,
+        catalog: &SkuCatalog,
+        peak_demand: f64,
+        offering: ServerOffering,
+    ) -> Capacity {
+        let p_default = if offering.is_development() {
+            self.config.user.p_default_dev
+        } else {
+            self.config.user.p_default_prod
+        };
+        if self.rng.gen_bool(p_default) {
+            return catalog.minimum().capacity.clone();
+        }
+        // Informed guess: the SKU covering the peak, shifted by ladder
+        // noise. Over-provisioning is heavy-tailed — "safety buyers" take
+        // two or three rungs extra (the production fleet's Fig. 2 shows
+        // users on 32-64 vCores for single-vCore workloads).
+        let covering = catalog
+            .round_up(&Capacity::scalar(peak_demand.max(0.01)))
+            .map(|s| catalog.index_of(&s.capacity).expect("sku from catalog"))
+            .unwrap_or(catalog.len() - 1);
+        let u: f64 = self.rng.gen();
+        let offset: i64 = if u < self.config.user.p_under {
+            -1
+        } else if u < self.config.user.p_under + self.config.user.p_over {
+            let v: f64 = self.rng.gen();
+            if v < 0.5 {
+                1
+            } else if v < 0.8 {
+                2
+            } else {
+                3
+            }
+        } else {
+            0
+        };
+        let idx = (covering as i64 + offset).clamp(0, catalog.len() as i64 - 1) as usize;
+        catalog.get(idx).capacity.clone()
+    }
+
+    fn path_for(&self, chain: &[usize]) -> ResourcePath {
+        let n = chain.len();
+        // Customer / subscription / RG are the 3rd-from-last, 2nd-from-last,
+        // and last levels when the hierarchy is deep enough.
+        let pick = |back: usize| -> u32 {
+            if n > back {
+                chain[n - 1 - back] as u32
+            } else {
+                chain[0] as u32
+            }
+        };
+        ResourcePath::new(
+            CustomerId(pick(2)),
+            SubscriptionId(pick(1)),
+            ResourceGroupId(pick(0)),
+        )
+    }
+
+    /// Renders the chain as profile strings with mis-entry and missing
+    /// noise applied.
+    fn profile_row(&mut self, chain: &[usize]) -> Vec<Option<String>> {
+        let levels = &self.config.hierarchy.levels;
+        chain
+            .iter()
+            .enumerate()
+            .map(|(l, &value)| {
+                if self.rng.gen_bool(self.config.missing_rate) {
+                    return None;
+                }
+                let v = if self.rng.gen_bool(self.config.mis_entry_rate) {
+                    // Mis-entry: a random other value of this feature.
+                    self.rng.gen_range(0..self.config.hierarchy.values_at(l))
+                } else {
+                    value
+                };
+                Some(format!("{}-{v}", levels[l].name.to_lowercase()))
+            })
+            .collect()
+    }
+}
+
+/// Deterministic standard-normal value for a hierarchy node, derived from
+/// (seed, level, value) by hashing — every server under the node sees the
+/// same factor.
+fn node_gauss(seed: u64, level: usize, value: usize) -> f64 {
+    let mixed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((level as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((value as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    let mut rng = SmallRng::seed_from_u64(mixed);
+    gauss(&mut rng)
+}
+
+fn gauss(rng: &mut SmallRng) -> f64 {
+    lorentz_telemetry::generators::gaussian(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            n_servers: 120,
+            sampling: SamplingConfig {
+                duration_secs: 7200.0,
+                mean_interval_secs: 60.0,
+                jitter_frac: 0.2,
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_aligned_fleet() {
+        let f = small_config().generate().unwrap();
+        assert_eq!(f.fleet.len(), 120);
+        assert_eq!(f.ground_truth.len(), 120);
+        assert_eq!(f.specs.len(), 120);
+        assert_eq!(f.needs.len(), 120);
+        assert_eq!(f.fleet.profiles().schema().len(), 7);
+    }
+
+    #[test]
+    fn telemetry_is_censored_at_user_capacity() {
+        let f = small_config().generate().unwrap();
+        for i in 0..f.fleet.len() {
+            let cap = f.fleet.user_capacities()[i].primary();
+            let peak = f.fleet.traces()[i].peak()[0];
+            assert!(
+                peak <= cap + 1e-9,
+                "server {i}: telemetry peak {peak} exceeds capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_can_exceed_user_capacity() {
+        // The default calibration is the concentrated §5.2 starting point,
+        // so use a demand level near the minimum SKU to exercise
+        // under-provisioning.
+        let f = FleetConfig {
+            base_demand: 1.3,
+            ..small_config()
+        }
+        .generate()
+        .unwrap();
+        let throttled = (0..f.fleet.len())
+            .filter(|&i| f.ground_truth[i].peak()[0] > f.fleet.user_capacities()[i].primary())
+            .count();
+        assert!(
+            throttled > 10,
+            "default-happy users should under-provision some servers, got {throttled}"
+        );
+    }
+
+    #[test]
+    fn user_capacities_are_catalog_values() {
+        let f = small_config().generate().unwrap();
+        for i in 0..f.fleet.len() {
+            let off = f.fleet.offerings()[i];
+            let cat = SkuCatalog::azure_postgres(off);
+            assert!(
+                cat.index_of(&f.fleet.user_capacities()[i]).is_some(),
+                "server {i} capacity not in catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn many_users_pick_the_minimum_default() {
+        let f = FleetConfig {
+            n_servers: 400,
+            ..small_config()
+        }
+        .generate()
+        .unwrap();
+        let minimums = (0..f.fleet.len())
+            .filter(|&i| {
+                let cat = SkuCatalog::azure_postgres(f.fleet.offerings()[i]);
+                f.fleet.user_capacities()[i] == cat.minimum().capacity
+            })
+            .count();
+        let share = minimums as f64 / f.fleet.len() as f64;
+        // §2.2: 63% overall pick the minimum; informed guesses of tiny
+        // workloads also land there, so expect a solid majority.
+        assert!(share > 0.45 && share < 0.95, "share={share}");
+    }
+
+    #[test]
+    fn hierarchy_values_nest() {
+        let f = small_config().generate().unwrap();
+        let t = f.fleet.profiles();
+        let schema = t.schema();
+        let seg = schema.feature_id("SegmentName").unwrap();
+        let ind = schema.feature_id("IndustryName").unwrap();
+        // For rows without noise, each industry value should imply one
+        // segment value; with 1% mis-entry + 3% missing a handful of
+        // exceptions exist. Check determinism holds for >= 90% of pairs.
+        let mut mapping: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut consistent = 0usize;
+        let mut total = 0usize;
+        for row in 0..t.rows() {
+            if let (Some(s), Some(i)) = (t.value_id(row, seg), t.value_id(row, ind)) {
+                total += 1;
+                match mapping.get(&i) {
+                    Some(&expect) if expect == s => consistent += 1,
+                    Some(_) => {}
+                    None => {
+                        mapping.insert(i, s);
+                        consistent += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            consistent as f64 / total as f64 > 0.9,
+            "hierarchy too noisy: {consistent}/{total}"
+        );
+    }
+
+    #[test]
+    fn need_factors_cluster_by_hierarchy_node() {
+        // Two servers in the same vertical share node factors, so their
+        // needs correlate more than across verticals on average. Check via
+        // the generator's determinism: same seed -> same needs.
+        let a = small_config().generate().unwrap();
+        let b = small_config().generate().unwrap();
+        assert_eq!(a.needs, b.needs, "generation must be deterministic");
+        let c = FleetConfig {
+            seed: 43,
+            ..small_config()
+        }
+        .generate()
+        .unwrap();
+        assert_ne!(a.needs, c.needs);
+    }
+
+    #[test]
+    fn demand_is_left_skewed() {
+        let f = FleetConfig {
+            n_servers: 300,
+            ..small_config()
+        }
+        .generate()
+        .unwrap();
+        let mut peaks: Vec<f64> = f.ground_truth.iter().map(|t| t.peak()[0]).collect();
+        peaks.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = peaks[peaks.len() / 2];
+        let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
+        assert!(mean > median, "left-skew means mean {mean} > median {median}");
+        assert!(median < 4.0, "most DBs are small, median={median}");
+    }
+
+    #[test]
+    fn offering_mix_roughly_matches_shares() {
+        let f = FleetConfig {
+            n_servers: 1000,
+            ..small_config()
+        }
+        .generate()
+        .unwrap();
+        let gp = f
+            .fleet
+            .offerings()
+            .iter()
+            .filter(|&&o| o == ServerOffering::GeneralPurpose)
+            .count() as f64
+            / 1000.0;
+        assert!((gp - 0.49).abs() < 0.08, "gp share={gp}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = small_config();
+        c.n_servers = 0;
+        assert!(c.validate().is_err());
+        let mut c = small_config();
+        c.missing_rate = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = small_config();
+        c.user.p_under = 0.8;
+        c.user.p_over = 0.8;
+        assert!(c.validate().is_err());
+        assert!(small_config().validate().is_ok());
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic data for the Lorentz reproduction.
+//!
+//! The paper evaluates on 77,584 production Azure PostgreSQL DBs with
+//! telemetry, billing-team profile hierarchies, and ~4,400 CRI tickets —
+//! none of which are public. This crate builds the closest synthetic
+//! equivalents so every experiment still runs end-to-end:
+//!
+//! * [`fleet`] — a configurable fleet generator: profile hierarchies with
+//!   mis-entry noise, hierarchy-node capacity-need factors that causally
+//!   link profile values to workload scale, per-offering workload shapes,
+//!   a calibrated user SKU-selection behaviour model, and telemetry
+//!   censoring at the user-selected capacity (Eq. 1);
+//! * [`upscale`] — the paper's own §5.2 synthetic workload upscaling,
+//!   reimplemented step by step;
+//! * [`persim`] — the §5.3 personalization simulation world (three
+//!   customers × three subscriptions × RGs × resources, signal rate/noise,
+//!   Stage-2 error σ);
+//! * [`cri`] — a synthetic CRI-ticket generator matching the paper's
+//!   sentiment mix for exercising the Table-1 keyword classifier.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cri;
+pub mod fleet;
+pub mod persim;
+pub mod scenarios;
+pub mod upscale;
+
+pub use fleet::{FleetConfig, HierarchySpec, SyntheticFleet, UserBehavior};
+pub use persim::{PersonalizationSim, PersonalizationSimConfig, SimMetrics};
+pub use upscale::{upscale_fleet, UpscaleConfig, UpscaleReport};

@@ -1,0 +1,478 @@
+//! The §5.3 personalization simulation.
+//!
+//! Three customers (Alice λ=0, Bob λ=1.5, Charlie λ=−1.5), each with three
+//! subscriptions ("Dev" λ=−1, "Prod1" λ=0.5, "Prod2" λ=1.5); the true
+//! sensitivity of a resource is the sum of its customer's and
+//! subscription's λ. Each subscription holds three resource groups with
+//! 1–5 resources each; every resource gets a random Stage-2 recommendation
+//! `c*` from `C = {1, 2, 4, ..., 128}` and a log-normal Stage-2 error ε
+//! (`log2 ε ~ N(0, σ²)`), making the customer-optimal capacity
+//! `c̄** = 2^λtrue (c* + ε)`.
+//!
+//! The simulation loop (Steps 1–3 of §5.3): generate ±1 signals for
+//! mis-provisioned resources (subject to a signal rate and sign-flipping
+//! noise), propagate them through the personalizer (Algorithm 1), and
+//! recompute predictions `c_t** = 2^λ̂ c*` discretized to `C`.
+
+use lorentz_core::{Personalizer, PersonalizerConfig, SatisfactionSignal};
+use lorentz_types::{
+    Capacity, CustomerId, LorentzError, ResourceGroupId, ResourcePath, ResourceSpace,
+    ServerOffering, Sku, SkuCatalog, SubscriptionId,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters (§5.3 defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersonalizationSimConfig {
+    /// True per-customer sensitivities (paper: Alice 0, Bob 1.5, Charlie
+    /// −1.5).
+    pub customer_lambdas: Vec<f64>,
+    /// True per-subscription sensitivities (paper: Dev −1, Prod1 0.5,
+    /// Prod2 1.5).
+    pub subscription_lambdas: Vec<f64>,
+    /// Resource groups per subscription.
+    pub resource_groups: usize,
+    /// Resources per resource group are drawn uniformly from
+    /// `1..=max_resources`.
+    pub max_resources: usize,
+    /// Stage-2 error σ: `log2 ε ~ N(0, σ²)`.
+    pub stage2_sigma: f64,
+    /// Half-width of an additional per-resource-group preference offset,
+    /// drawn uniformly from `[-spread, +spread]` and added to the
+    /// customer + subscription λ. The paper's §5.3 world sets this to 0
+    /// (all RGs in a subscription share one preference); the
+    /// signal-sharing ablation uses it to create the "RG-specific
+    /// preferences" of §3.4.2 under which ρ_S > 0 hurts convergence.
+    pub rg_lambda_spread: f64,
+    /// Probability a mis-provisioned resource emits a signal each
+    /// iteration.
+    pub signal_rate: f64,
+    /// Probability an emitted signal has its sign flipped.
+    pub signal_noise: f64,
+    /// Personalizer hyperparameters (Table 2: lr 0.3, decay 0.25).
+    pub personalizer: PersonalizerConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PersonalizationSimConfig {
+    fn default() -> Self {
+        Self {
+            customer_lambdas: vec![0.0, 1.5, -1.5],
+            subscription_lambdas: vec![-1.0, 0.5, 1.5],
+            resource_groups: 3,
+            max_resources: 5,
+            stage2_sigma: 0.1,
+            rg_lambda_spread: 0.0,
+            signal_rate: 0.4,
+            signal_noise: 0.13,
+            // §3.4.2: "as signals become more common, it may be preferable
+            // to set ρ_S = 0 ... allowing better convergence of λ to the
+            // true preference in each RG". The §5.3 simulation emits
+            // signals at a 40% rate — common — and the true λ differs per
+            // subscription, so cross-RG/subscription sharing would bias
+            // λ̂ toward the customer mean and stall below the paper's
+            // reported accuracy. Stratification decay keeps Table 2's 0.25.
+            personalizer: PersonalizerConfig {
+                rho_resource_group: 0.0,
+                rho_subscription: 0.0,
+                ..PersonalizerConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+impl PersonalizationSimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<(), LorentzError> {
+        if self.customer_lambdas.is_empty() || self.subscription_lambdas.is_empty() {
+            return Err(LorentzError::InvalidConfig(
+                "need at least one customer and one subscription".into(),
+            ));
+        }
+        if self.resource_groups == 0 || self.max_resources == 0 {
+            return Err(LorentzError::InvalidConfig(
+                "resource_groups and max_resources must be >= 1".into(),
+            ));
+        }
+        for (name, p) in [("signal_rate", self.signal_rate), ("signal_noise", self.signal_noise)]
+        {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(LorentzError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !self.stage2_sigma.is_finite() || self.stage2_sigma < 0.0 {
+            return Err(LorentzError::InvalidConfig(
+                "stage2_sigma must be finite and >= 0".into(),
+            ));
+        }
+        if !self.rg_lambda_spread.is_finite() || self.rg_lambda_spread < 0.0 {
+            return Err(LorentzError::InvalidConfig(
+                "rg_lambda_spread must be finite and >= 0".into(),
+            ));
+        }
+        self.personalizer.validate()
+    }
+}
+
+/// One simulated resource.
+#[derive(Debug, Clone)]
+struct SimResource {
+    path: ResourcePath,
+    offering: ServerOffering,
+    /// Stage-2 recommendation `c*`.
+    c_star: f64,
+    /// Customer-optimal capacity `c̄**` (continuous).
+    c_opt: f64,
+    /// True sensitivity `λ*` for error reporting.
+    lambda_true: f64,
+}
+
+/// Per-iteration convergence metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// RMSE of `λ̂ − λ*` across resources.
+    pub rmse: f64,
+    /// 80th percentile of `|λ̂ − λ*|`.
+    pub p80_abs_error: f64,
+    /// Fraction of resources whose discretized prediction equals the
+    /// discretized optimal capacity.
+    pub correctly_provisioned: f64,
+    /// Signals emitted this iteration.
+    pub signals: usize,
+}
+
+/// The simulation world.
+pub struct PersonalizationSim {
+    config: PersonalizationSimConfig,
+    catalog: SkuCatalog,
+    resources: Vec<SimResource>,
+    personalizer: Personalizer,
+    rng: SmallRng,
+}
+
+impl PersonalizationSim {
+    /// Builds the world: customers × subscriptions × resource groups ×
+    /// resources, with random `c*` and Stage-2 error.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for invalid configs.
+    pub fn new(config: PersonalizationSimConfig) -> Result<Self, LorentzError> {
+        config.validate()?;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let catalog = sim_catalog();
+        let mut personalizer = Personalizer::new(config.personalizer)?;
+        let mut resources = Vec::new();
+
+        for (ci, &cl) in config.customer_lambdas.iter().enumerate() {
+            for (si, &sl) in config.subscription_lambdas.iter().enumerate() {
+                for rg in 0..config.resource_groups {
+                    let rg_offset = if config.rg_lambda_spread > 0.0 {
+                        rng.gen_range(-config.rg_lambda_spread..=config.rg_lambda_spread)
+                    } else {
+                        0.0
+                    };
+                    let lambda_true = cl + sl + rg_offset;
+                    let path = ResourcePath::new(
+                        CustomerId(ci as u32),
+                        SubscriptionId((ci * config.subscription_lambdas.len() + si) as u32),
+                        ResourceGroupId(
+                            (ci * config.subscription_lambdas.len() * config.resource_groups
+                                + si * config.resource_groups
+                                + rg) as u32,
+                        ),
+                    );
+                    personalizer.register(path);
+                    let n_resources = rng.gen_range(1..=config.max_resources);
+                    for _ in 0..n_resources {
+                        let c_star = *catalog
+                            .skus()
+                            .get(rng.gen_range(0..catalog.len()))
+                            .map(|s| &s.capacity)
+                            .expect("catalog non-empty")
+                            .as_slice()
+                            .first()
+                            .expect("scalar capacity");
+                        // ε: log2 ε ~ N(0, σ²) — ε multiplies c* (the paper
+                        // writes c* + ε with ε log-normal; a multiplicative
+                        // log-normal error is the consistent reading in
+                        // log2 space).
+                        let eps = (config.stage2_sigma * gauss(&mut rng)).exp2();
+                        let offering = ServerOffering::ALL[rng.gen_range(0..3)];
+                        let c_opt = lambda_true.exp2() * c_star * eps;
+                        resources.push(SimResource {
+                            path,
+                            offering,
+                            c_star,
+                            c_opt,
+                            lambda_true,
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            config,
+            catalog,
+            resources,
+            personalizer,
+            rng,
+        })
+    }
+
+    /// Number of simulated resources.
+    pub fn resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Read access to the evolving personalizer.
+    pub fn personalizer(&self) -> &Personalizer {
+        &self.personalizer
+    }
+
+    /// The current discretized prediction for resource `i`
+    /// (`c_t** = 2^λ̂ c*`, snapped to `C`).
+    fn predicted(&self, r: &SimResource) -> Sku {
+        self.personalizer
+            .adjust(r.c_star, &r.path, r.offering, &self.catalog)
+    }
+
+    /// Runs one simulation iteration (Steps 1–3) and returns the metrics
+    /// *after* the profile update.
+    pub fn step(&mut self) -> SimMetrics {
+        // Step 1: generate signals for mis-provisioned resources.
+        let mut signals = Vec::new();
+        for r in &self.resources {
+            // §5.3 Step 1: over-provisioned (c_t** > c̄**) yields −1,
+            // under-provisioned (c_t** < c̄**) yields +1. We compare in
+            // continuous space (2^λ̂ · c* vs c̄**): comparing the
+            // *discretized* prediction either freezes λ̂ up to half a
+            // ladder step away from the preference (silencing on nearest-
+            // SKU equality) or diverges at the catalog edges (never
+            // silencing, since a saturated prediction stays "under" for
+            // ever). The continuous comparison makes λ̂ oscillate with
+            // amplitude ≈ lr/2 around the true preference, which is what
+            // reproduces the paper's reported resting RMSE ≈ 0.15.
+            let lambda_hat = self.personalizer.lambda(&r.path, r.offering);
+            let continuous_pred = lambda_hat.exp2() * r.c_star;
+            let direction = if continuous_pred > r.c_opt {
+                -1.0
+            } else if continuous_pred < r.c_opt {
+                1.0
+            } else {
+                continue;
+            };
+            if !self.rng.gen_bool(self.config.signal_rate) {
+                continue;
+            }
+            let gamma = if self.rng.gen_bool(self.config.signal_noise) {
+                -direction
+            } else {
+                direction
+            };
+            signals.push(
+                SatisfactionSignal::new(r.path, r.offering, gamma)
+                    .expect("gamma is ±1"),
+            );
+        }
+        // Step 2: update profiles.
+        let emitted = signals.len();
+        self.personalizer.apply_signals(&signals);
+        // Step 3 metrics: recompute predictions and errors.
+        let mut m = self.metrics();
+        m.signals = emitted;
+        m
+    }
+
+    /// Current error metrics without advancing the simulation.
+    pub fn metrics(&self) -> SimMetrics {
+        let mut sq = 0.0;
+        let mut abs: Vec<f64> = Vec::with_capacity(self.resources.len());
+        let mut correct = 0usize;
+        for r in &self.resources {
+            let lambda_hat = self.personalizer.lambda(&r.path, r.offering);
+            let err = lambda_hat - r.lambda_true;
+            sq += err * err;
+            abs.push(err.abs());
+            let predicted = self.predicted(r).capacity.primary();
+            let optimal = self
+                .catalog
+                .nearest_log2(&Capacity::scalar(r.c_opt))
+                .capacity
+                .primary();
+            if (predicted - optimal).abs() < 1e-9 {
+                correct += 1;
+            }
+        }
+        abs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = self.resources.len();
+        SimMetrics {
+            rmse: (sq / n as f64).sqrt(),
+            p80_abs_error: lorentz_telemetry::aggregate::percentile_of_sorted(&abs, 80.0),
+            correctly_provisioned: correct as f64 / n as f64,
+            signals: 0,
+        }
+    }
+
+    /// Runs until the convergence criterion of §5.3 is met — the first
+    /// iteration where the 80th percentile of `|λ̂ − λ*|` drops to ≤ 0.5 —
+    /// or `max_iters` is reached. Returns `(iterations, trace of metrics)`;
+    /// `iterations == max_iters` means no convergence.
+    pub fn run_to_convergence(&mut self, max_iters: usize) -> (usize, Vec<SimMetrics>) {
+        let mut trace = Vec::with_capacity(max_iters);
+        for iter in 1..=max_iters {
+            let m = self.step();
+            let converged = m.p80_abs_error <= 0.5;
+            trace.push(m);
+            if converged {
+                return (iter, trace);
+            }
+        }
+        (max_iters, trace)
+    }
+}
+
+/// The §5.3 candidate set `C = {1, 2, 4, ..., 128}`.
+fn sim_catalog() -> SkuCatalog {
+    let space = ResourceSpace::vcores_only();
+    let skus = (0..8)
+        .map(|e| {
+            let c = f64::from(1u32 << e);
+            Sku::new(format!("sim-{c}vc"), Capacity::scalar(c))
+        })
+        .collect();
+    SkuCatalog::new(ServerOffering::GeneralPurpose, space, skus)
+        .expect("sim catalog is valid")
+}
+
+fn gauss(rng: &mut SmallRng) -> f64 {
+    lorentz_telemetry::generators::gaussian(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(seed: u64) -> PersonalizationSim {
+        PersonalizationSim::new(PersonalizationSimConfig {
+            seed,
+            ..PersonalizationSimConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn world_has_paper_structure() {
+        let s = sim(0);
+        // 3 customers x 3 subscriptions x 3 RGs, 1-5 resources each.
+        assert!(s.resources() >= 27 && s.resources() <= 27 * 5);
+        assert_eq!(s.personalizer().profiles(), 27);
+    }
+
+    #[test]
+    fn initial_error_reflects_true_lambdas() {
+        let s = sim(1);
+        let m = s.metrics();
+        // λ̂ starts at 0; true λ ranges over {-2.5 .. 3}; RMSE must be
+        // substantial.
+        assert!(m.rmse > 1.0, "rmse={}", m.rmse);
+        assert!(m.p80_abs_error > 0.5);
+    }
+
+    #[test]
+    fn converges_with_paper_settings() {
+        let mut s = sim(2);
+        let (iters, trace) = s.run_to_convergence(100);
+        assert!(iters < 100, "did not converge in 100 iterations");
+        let final_m = trace.last().unwrap();
+        assert!(final_m.p80_abs_error <= 0.5);
+        // Error decreased monotonically-ish: final much lower than start.
+        assert!(final_m.rmse < trace[0].rmse / 2.0);
+    }
+
+    #[test]
+    fn perfect_signals_converge_faster_than_noisy() {
+        let mk = |noise, rate| {
+            let mut s = PersonalizationSim::new(PersonalizationSimConfig {
+                signal_noise: noise,
+                signal_rate: rate,
+                seed: 3,
+                ..PersonalizationSimConfig::default()
+            })
+            .unwrap();
+            s.run_to_convergence(300).0
+        };
+        let clean = mk(0.0, 1.0);
+        let noisy = mk(0.4, 0.4);
+        assert!(
+            clean < noisy,
+            "clean={clean} should converge faster than noisy={noisy}"
+        );
+    }
+
+    #[test]
+    fn no_signals_means_no_learning() {
+        let mut s = PersonalizationSim::new(PersonalizationSimConfig {
+            signal_rate: 0.0,
+            seed: 4,
+            ..PersonalizationSimConfig::default()
+        })
+        .unwrap();
+        let before = s.metrics();
+        let after = s.step();
+        assert_eq!(after.signals, 0);
+        assert!((before.rmse - after.rmse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correctly_provisioned_share_rises() {
+        let mut s = sim(5);
+        let start = s.metrics().correctly_provisioned;
+        for _ in 0..50 {
+            s.step();
+        }
+        let end = s.metrics().correctly_provisioned;
+        assert!(end > start, "{start} -> {end}");
+        assert!(end > 0.6, "end={end}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = sim(6);
+        let mut b = sim(6);
+        for _ in 0..5 {
+            let ma = a.step();
+            let mb = b.step();
+            assert_eq!(ma, mb);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_rate = PersonalizationSimConfig {
+            signal_rate: 1.5,
+            ..PersonalizationSimConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let no_customers = PersonalizationSimConfig {
+            customer_lambdas: vec![],
+            ..PersonalizationSimConfig::default()
+        };
+        assert!(no_customers.validate().is_err());
+        let bad_sigma = PersonalizationSimConfig {
+            stage2_sigma: -0.1,
+            ..PersonalizationSimConfig::default()
+        };
+        assert!(bad_sigma.validate().is_err());
+        assert!(PersonalizationSimConfig::default().validate().is_ok());
+    }
+}

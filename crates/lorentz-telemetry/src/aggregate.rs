@@ -1,0 +1,138 @@
+//! Bin aggregators.
+//!
+//! Eq. 2 aggregates each `T`-minute bin of raw samples into a single
+//! observation. The paper selects `max(·)` "to measure worst-case performance
+//! thus avoiding under-provisioning", but alternative aggregators are useful
+//! for ablations (see `exp_ablation_binning`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How to collapse the raw samples falling into one bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Aggregator {
+    /// Worst case within the bin — the paper's default.
+    Max,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum (best case; mostly useful in tests).
+    Min,
+    /// An arbitrary percentile in `[0, 100]`, e.g. `Percentile(95.0)`.
+    Percentile(f64),
+}
+
+impl Aggregator {
+    /// Aggregates a non-empty slice of values.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `values` is empty — callers must apply an
+    /// [`EmptyBinPolicy`](crate::EmptyBinPolicy) first.
+    pub fn apply(self, values: &[f64]) -> f64 {
+        debug_assert!(!values.is_empty(), "aggregator applied to empty bin");
+        match self {
+            Aggregator::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregator::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregator::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregator::Percentile(p) => percentile(values, p),
+        }
+    }
+}
+
+impl fmt::Display for Aggregator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregator::Max => f.write_str("max"),
+            Aggregator::Mean => f.write_str("mean"),
+            Aggregator::Min => f.write_str("min"),
+            Aggregator::Percentile(p) => write!(f, "p{p}"),
+        }
+    }
+}
+
+/// The `p`th percentile (`p ∈ [0, 100]`) of `values` using linear
+/// interpolation between order statistics — the `%ile(·, p)` primitive of
+/// Eq. 12, shared by the hierarchical provisioner.
+///
+/// `p` is clamped to `[0, 100]`; an empty slice returns `NaN`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted slice (ascending). See [`percentile`].
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_aggregators() {
+        let v = [1.0, 3.0, 2.0];
+        assert_eq!(Aggregator::Max.apply(&v), 3.0);
+        assert_eq!(Aggregator::Min.apply(&v), 1.0);
+        assert_eq!(Aggregator::Mean.apply(&v), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        let v = [3.0, 1.0, 2.0, 4.0]; // unsorted input is fine
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Out-of-range p is clamped.
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], -5.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_aggregator_matches_free_function() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(Aggregator::Percentile(50.0).apply(&v), percentile(&v, 50.0));
+    }
+
+    #[test]
+    fn median_is_outlier_robust() {
+        // One huge outlier barely moves the median — the reason the
+        // hierarchical provisioner uses p=50 (§5, Table 2 discussion).
+        let without = [2.0, 2.0, 2.0, 4.0, 4.0];
+        let with = [2.0, 2.0, 2.0, 4.0, 128.0];
+        assert_eq!(percentile(&without, 50.0), percentile(&with, 50.0));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Aggregator::Max.to_string(), "max");
+        assert_eq!(Aggregator::Percentile(95.0).to_string(), "p95");
+    }
+}

@@ -1,0 +1,214 @@
+//! Workload-trace diagnostics.
+//!
+//! Summary statistics and shape detection over binned utilization signals:
+//! used by the fleet reports (to characterize what kinds of workloads
+//! dominate a fleet) and handy when deciding per-dimension rightsizing
+//! policies (a strongly periodic workload tolerates a tighter slack target
+//! than a bursty one).
+
+use crate::series::RegularSeries;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one binned utilization signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of bins.
+    pub bins: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Peak-to-mean ratio (1 = flat; large = bursty). Defined as 1 for an
+    /// all-idle signal.
+    pub burstiness: f64,
+    /// Coefficient of variation (σ/μ; 0 for an all-idle signal).
+    pub cv: f64,
+}
+
+impl TraceSummary {
+    /// Computes the summary of a signal.
+    pub fn of(series: &RegularSeries) -> Self {
+        let values = series.values();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std_dev = var.sqrt();
+        Self {
+            bins: values.len(),
+            min,
+            mean,
+            max,
+            std_dev,
+            burstiness: if mean > 0.0 { max / mean } else { 1.0 },
+            cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
+        }
+    }
+}
+
+/// Sample autocorrelation of a signal at a bin lag, in `[-1, 1]`.
+/// Returns 0 for constant signals or lags that leave fewer than two
+/// overlapping points.
+pub fn autocorrelation(series: &RegularSeries, lag: usize) -> f64 {
+    let values = series.values();
+    let n = values.len();
+    if lag + 2 > n {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (values[i] - mean) * (values[i + lag] - mean))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    (cov / var).clamp(-1.0, 1.0)
+}
+
+/// Detects the dominant period of a signal by scanning autocorrelation over
+/// candidate lags (from 2 bins to half the signal) and returning the *first*
+/// local autocorrelation peak exceeding `threshold` — the fundamental
+/// period; higher harmonics (2×, 3×) peak just as high but later.
+///
+/// Returns the period in *seconds*.
+pub fn dominant_period_seconds(series: &RegularSeries, threshold: f64) -> Option<f64> {
+    let n = series.len();
+    if n < 8 {
+        return None;
+    }
+    let mut prev = autocorrelation(series, 1);
+    let mut rising = false;
+    for lag in 2..=n / 2 {
+        let ac = autocorrelation(series, lag);
+        if ac < prev {
+            // Just passed a local maximum at lag-1 while rising.
+            if rising && prev >= threshold {
+                return Some((lag - 1) as f64 * series.bin_seconds());
+            }
+            rising = false;
+        } else {
+            rising = ac > prev;
+        }
+        prev = ac;
+    }
+    None
+}
+
+/// Coarse workload-shape classification from the diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadShape {
+    /// Near-constant utilization (CV < 0.15).
+    Steady,
+    /// Strong periodic structure (dominant period detected).
+    Periodic,
+    /// High peak-to-mean ratio without periodic structure.
+    Bursty,
+    /// Everything else.
+    Irregular,
+}
+
+/// Classifies a signal's shape.
+pub fn classify_shape(series: &RegularSeries) -> WorkloadShape {
+    let summary = TraceSummary::of(series);
+    if summary.cv < 0.15 {
+        return WorkloadShape::Steady;
+    }
+    if dominant_period_seconds(series, 0.3).is_some() {
+        return WorkloadShape::Periodic;
+    }
+    if summary.burstiness > 3.0 {
+        return WorkloadShape::Bursty;
+    }
+    WorkloadShape::Irregular
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(values: Vec<f64>) -> RegularSeries {
+        RegularSeries::new(300.0, values).unwrap()
+    }
+
+    fn sine(n: usize, period: usize, base: f64, amp: f64) -> RegularSeries {
+        reg((0..n)
+            .map(|i| {
+                base + amp
+                    * (1.0 + (std::f64::consts::TAU * i as f64 / period as f64).sin())
+                    / 2.0
+            })
+            .collect())
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = TraceSummary::of(&reg(vec![1.0, 2.0, 3.0, 2.0]));
+        assert_eq!(s.bins, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.burstiness - 1.5).abs() < 1e-12);
+        assert!((s.std_dev - (0.5f64).sqrt()).abs() < 1e-12);
+        // Idle signal conventions.
+        let idle = TraceSummary::of(&reg(vec![0.0, 0.0]));
+        assert_eq!(idle.burstiness, 1.0);
+        assert_eq!(idle.cv, 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_finds_periodicity() {
+        let s = sine(288, 48, 1.0, 2.0);
+        // Full-period lag correlates strongly; half-period anticorrelates.
+        assert!(autocorrelation(&s, 48) > 0.9);
+        assert!(autocorrelation(&s, 24) < -0.5);
+        // Constant signal: zero by convention.
+        assert_eq!(autocorrelation(&reg(vec![2.0; 50]), 5), 0.0);
+        // Lag too large for the window: zero.
+        assert_eq!(autocorrelation(&reg(vec![1.0, 2.0, 1.0]), 10), 0.0);
+    }
+
+    #[test]
+    fn dominant_period_recovers_the_cycle() {
+        let s = sine(288, 48, 1.0, 2.0); // 48 bins x 300 s = 4 h period
+        let period = dominant_period_seconds(&s, 0.3).unwrap();
+        assert!(
+            (period - 48.0 * 300.0).abs() <= 2.0 * 300.0,
+            "period {period}"
+        );
+        // White-ish noise (LCG stream) has no dominant period at a high
+        // threshold.
+        let mut state = 12345u64;
+        let noise = reg((0..100)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 100) as f64
+            })
+            .collect());
+        assert_eq!(dominant_period_seconds(&noise, 0.5), None);
+        // Too-short signals return None.
+        assert_eq!(dominant_period_seconds(&reg(vec![1.0; 4]), 0.3), None);
+    }
+
+    #[test]
+    fn shape_classification() {
+        assert_eq!(classify_shape(&reg(vec![2.0; 50])), WorkloadShape::Steady);
+        assert_eq!(
+            classify_shape(&sine(288, 48, 0.5, 3.0)),
+            WorkloadShape::Periodic
+        );
+        // One huge spike over a tiny base: bursty.
+        let mut spiky = vec![0.2; 60];
+        spiky[30] = 5.0;
+        spiky[31] = 5.0;
+        assert_eq!(classify_shape(&reg(spiky)), WorkloadShape::Bursty);
+    }
+}

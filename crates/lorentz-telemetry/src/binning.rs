@@ -1,0 +1,174 @@
+//! Temporal binning (Eq. 2).
+//!
+//! `w[n] = agg({u(t) | n <= t/T < n+1})` — irregular samples are grouped into
+//! `T`-wide bins anchored at the series' first timestamp and each bin is
+//! collapsed with an [`Aggregator`].
+
+use crate::aggregate::Aggregator;
+use crate::series::{RawSeries, RegularSeries};
+use lorentz_types::LorentzError;
+use serde::{Deserialize, Serialize};
+
+/// What value an empty bin receives (possible with sparse/irregular
+/// sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmptyBinPolicy {
+    /// Repeat the previous bin's value (zero if the first bin is empty).
+    /// Default: utilization is a level signal, holding is the least-surprise
+    /// interpolation.
+    HoldLast,
+    /// Treat the resource as idle.
+    Zero,
+    /// Fail with [`LorentzError::InvalidTelemetry`] — for pipelines that
+    /// require gap-free telemetry.
+    Error,
+}
+
+/// Bins an irregular series into a regular one (Eq. 2).
+///
+/// Bins are anchored at the first sample's timestamp; the result has
+/// `ceil((end - start) / bin) ` bins (at least one).
+///
+/// # Errors
+/// Returns [`LorentzError::InvalidTelemetry`] if `bin_seconds` is not
+/// positive, or a bin is empty under [`EmptyBinPolicy::Error`].
+pub fn bin_series(
+    raw: &RawSeries,
+    bin_seconds: f64,
+    aggregator: Aggregator,
+    empty_policy: EmptyBinPolicy,
+) -> Result<RegularSeries, LorentzError> {
+    if !bin_seconds.is_finite() || bin_seconds <= 0.0 {
+        return Err(LorentzError::InvalidTelemetry(format!(
+            "invalid bin width {bin_seconds}"
+        )));
+    }
+    let start = raw.start();
+    let span = raw.end() - start;
+    let n_bins = ((span / bin_seconds).floor() as usize + 1).max(1);
+
+    // Single pass: samples are time-ordered, so bins fill monotonically.
+    let mut values = Vec::with_capacity(n_bins);
+    let mut bucket: Vec<f64> = Vec::new();
+    let mut current_bin = 0usize;
+    let mut last = 0.0_f64;
+
+    let flush = |bucket: &mut Vec<f64>, last: &mut f64| -> Result<f64, LorentzError> {
+        let v = if bucket.is_empty() {
+            match empty_policy {
+                EmptyBinPolicy::HoldLast => *last,
+                EmptyBinPolicy::Zero => 0.0,
+                EmptyBinPolicy::Error => {
+                    return Err(LorentzError::InvalidTelemetry("empty bin".into()))
+                }
+            }
+        } else {
+            aggregator.apply(bucket)
+        };
+        bucket.clear();
+        *last = v;
+        Ok(v)
+    };
+
+    for &(t, v) in raw.samples() {
+        let mut bin = ((t - start) / bin_seconds).floor() as usize;
+        // The final sample lands exactly on the right edge; fold it into the
+        // last bin rather than opening a new one.
+        if bin >= n_bins {
+            bin = n_bins - 1;
+        }
+        while current_bin < bin {
+            let fv = flush(&mut bucket, &mut last)?;
+            values.push(fv);
+            current_bin += 1;
+        }
+        bucket.push(v);
+    }
+    // Flush the bin holding the final samples plus any trailing empties.
+    while values.len() < n_bins {
+        let fv = flush(&mut bucket, &mut last)?;
+        values.push(fv);
+    }
+
+    RegularSeries::new(bin_seconds, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(samples: &[(f64, f64)]) -> RawSeries {
+        RawSeries::new(samples.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn max_binning_matches_eq2() {
+        // Two 60s bins: [1, 3] and [2].
+        let r = raw(&[(0.0, 1.0), (30.0, 3.0), (60.0, 2.0)]);
+        let w = bin_series(&r, 60.0, Aggregator::Max, EmptyBinPolicy::Zero).unwrap();
+        assert_eq!(w.values(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn bins_are_anchored_at_first_sample() {
+        let r = raw(&[(1000.0, 1.0), (1030.0, 5.0), (1090.0, 2.0)]);
+        let w = bin_series(&r, 60.0, Aggregator::Max, EmptyBinPolicy::Zero).unwrap();
+        assert_eq!(w.values(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_bins_hold_last_value() {
+        // Samples at t=0 and t=150 with 60s bins: bins [0,60) [60,120) [120,180).
+        let r = raw(&[(0.0, 4.0), (150.0, 1.0)]);
+        let w = bin_series(&r, 60.0, Aggregator::Max, EmptyBinPolicy::HoldLast).unwrap();
+        assert_eq!(w.values(), &[4.0, 4.0, 1.0]);
+        let z = bin_series(&r, 60.0, Aggregator::Max, EmptyBinPolicy::Zero).unwrap();
+        assert_eq!(z.values(), &[4.0, 0.0, 1.0]);
+        assert!(bin_series(&r, 60.0, Aggregator::Max, EmptyBinPolicy::Error).is_err());
+    }
+
+    #[test]
+    fn single_sample_yields_single_bin() {
+        let r = raw(&[(42.0, 2.5)]);
+        let w = bin_series(&r, 300.0, Aggregator::Max, EmptyBinPolicy::Error).unwrap();
+        assert_eq!(w.values(), &[2.5]);
+        assert_eq!(w.bin_seconds(), 300.0);
+    }
+
+    #[test]
+    fn sample_on_right_edge_joins_last_bin() {
+        // end - start == exactly 2 bins worth; the t=120 sample must not
+        // create a third bin.
+        let r = raw(&[(0.0, 1.0), (60.0, 2.0), (120.0, 9.0)]);
+        let w = bin_series(&r, 60.0, Aggregator::Max, EmptyBinPolicy::Error).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.values(), &[1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn mean_binning() {
+        let r = raw(&[(0.0, 1.0), (10.0, 3.0), (70.0, 10.0)]);
+        let w = bin_series(&r, 60.0, Aggregator::Mean, EmptyBinPolicy::Zero).unwrap();
+        assert_eq!(w.values(), &[2.0, 10.0]);
+    }
+
+    #[test]
+    fn rejects_bad_bin_width() {
+        let r = raw(&[(0.0, 1.0)]);
+        assert!(bin_series(&r, 0.0, Aggregator::Max, EmptyBinPolicy::Zero).is_err());
+        assert!(bin_series(&r, -5.0, Aggregator::Max, EmptyBinPolicy::Zero).is_err());
+        assert!(bin_series(&r, f64::NAN, Aggregator::Max, EmptyBinPolicy::Zero).is_err());
+    }
+
+    #[test]
+    fn max_binning_never_loses_the_peak() {
+        // The global max of the binned signal equals the raw max regardless
+        // of bin width — the property that makes max the throttling-safe
+        // aggregator.
+        let r = raw(&[(0.0, 1.0), (13.0, 7.5), (100.0, 2.0), (350.0, 3.0)]);
+        for bin in [10.0, 60.0, 300.0, 1000.0] {
+            let w = bin_series(&r, bin, Aggregator::Max, EmptyBinPolicy::HoldLast).unwrap();
+            assert_eq!(w.max_value(), r.max_value(), "bin={bin}");
+        }
+    }
+}

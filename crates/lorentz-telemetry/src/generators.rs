@@ -1,0 +1,607 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on 7-day production traces sampled roughly once per
+//! minute (§2.2). Those traces are not public, so the simulator crates build
+//! fleets from these generator shapes instead: each produces an irregularly
+//! sampled [`RawSeries`] the rest of the pipeline cannot distinguish from
+//! real telemetry (the rightsizer only ever sees binned aggregates).
+//!
+//! Shapes provided:
+//!
+//! * [`WorkloadSpec::Constant`] — steady demand (idle dev boxes, batch
+//!   feeders);
+//! * [`WorkloadSpec::Diurnal`] — sinusoidal day/night cycle (user-facing
+//!   OLTP);
+//! * [`WorkloadSpec::Bursty`] — two-state Markov on/off demand (ETL, CI);
+//! * [`WorkloadSpec::Spiky`] — Poisson-arriving short spikes over a base
+//!   (reporting queries);
+//! * [`WorkloadSpec::Ramp`] — linear growth over the window (onboarding
+//!   services);
+//! * [`WorkloadSpec::OuNoise`] — mean-reverting Ornstein–Uhlenbeck jitter;
+//! * [`WorkloadSpec::Sum`] / [`WorkloadSpec::Scaled`] — composition.
+
+use crate::series::RawSeries;
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// How a workload window is sampled into telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Total window length in seconds (paper: up to 7 days).
+    pub duration_secs: f64,
+    /// Mean spacing between samples (paper: ≈60 s).
+    pub mean_interval_secs: f64,
+    /// Relative jitter on each spacing, in `[0, 1)`; `0.2` means intervals
+    /// vary uniformly within ±20% — making the series irregular like real
+    /// telemetry.
+    pub jitter_frac: f64,
+}
+
+impl SamplingConfig {
+    /// Seven days at one-minute sampling with 20% jitter — the paper's
+    /// telemetry profile.
+    pub fn paper_default() -> Self {
+        Self {
+            duration_secs: 7.0 * 24.0 * 3600.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.2,
+        }
+    }
+
+    /// A short window for tests: one hour at one-minute sampling.
+    pub fn short() -> Self {
+        Self {
+            duration_secs: 3600.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.2,
+        }
+    }
+}
+
+/// Anything that can synthesize an irregular utilization series.
+pub trait WorkloadGenerator {
+    /// Generates one telemetry window.
+    fn generate(&self, cfg: &SamplingConfig, rng: &mut dyn RngCore) -> RawSeries;
+}
+
+/// A serializable description of a workload shape. See the module docs for
+/// the catalog.
+///
+/// ```
+/// use lorentz_telemetry::generators::{SamplingConfig, WorkloadGenerator};
+/// use lorentz_telemetry::WorkloadSpec;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let spec = WorkloadSpec::Diurnal {
+///     base: 1.0,
+///     amplitude: 3.0,
+///     period_secs: 86_400.0,
+///     phase: 0.0,
+/// };
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let series = spec.generate(&SamplingConfig::short(), &mut rng);
+/// assert!(series.len() > 50); // ~one sample per minute for an hour
+/// assert!(series.max_value() <= spec.nominal_peak());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Steady demand at `level`.
+    Constant {
+        /// Demand level (resource units, e.g. vCores).
+        level: f64,
+    },
+    /// `base + amplitude * (1 + sin(2πt/period + phase))/2` — peaks at
+    /// `base + amplitude`.
+    Diurnal {
+        /// Off-peak demand floor.
+        base: f64,
+        /// Peak-to-floor swing.
+        amplitude: f64,
+        /// Cycle length in seconds (86 400 for a day).
+        period_secs: f64,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// Two-state Markov process alternating between `low` and `high` with
+    /// exponentially distributed dwell times.
+    Bursty {
+        /// Demand in the off state.
+        low: f64,
+        /// Demand in the on state.
+        high: f64,
+        /// Mean dwell time in the on state, seconds.
+        mean_on_secs: f64,
+        /// Mean dwell time in the off state, seconds.
+        mean_off_secs: f64,
+    },
+    /// Base demand plus Poisson-arriving rectangular spikes.
+    Spiky {
+        /// Background demand.
+        base: f64,
+        /// Extra demand while a spike is active.
+        spike_height: f64,
+        /// Expected spikes per day.
+        spikes_per_day: f64,
+        /// Spike length in seconds.
+        spike_duration_secs: f64,
+    },
+    /// Linear ramp from `start` to `end` across the window.
+    Ramp {
+        /// Demand at t = 0.
+        start: f64,
+        /// Demand at t = duration.
+        end: f64,
+    },
+    /// Mean-reverting Ornstein–Uhlenbeck noise around `mean` (clamped at 0).
+    OuNoise {
+        /// Long-run mean demand.
+        mean: f64,
+        /// Stationary standard deviation.
+        sigma: f64,
+        /// Mean-reversion rate (1/seconds); larger snaps back faster.
+        theta: f64,
+    },
+    /// Point-wise sum of sub-workloads.
+    Sum(Vec<WorkloadSpec>),
+    /// A sub-workload with every value multiplied by `factor`.
+    Scaled {
+        /// Multiplier applied to the inner shape.
+        factor: f64,
+        /// The shape being scaled.
+        inner: Box<WorkloadSpec>,
+    },
+}
+
+impl WorkloadSpec {
+    /// A typical small production OLTP shape: diurnal cycle plus OU noise.
+    pub fn typical_oltp(scale: f64) -> Self {
+        WorkloadSpec::Sum(vec![
+            WorkloadSpec::Diurnal {
+                base: 0.3 * scale,
+                amplitude: 0.9 * scale,
+                period_secs: 86_400.0,
+                phase: 0.0,
+            },
+            WorkloadSpec::OuNoise {
+                mean: 0.1 * scale,
+                sigma: 0.05 * scale,
+                theta: 1.0 / 1800.0,
+            },
+        ])
+    }
+
+    /// A mostly-idle development DB with occasional activity spikes.
+    pub fn dev_box(scale: f64) -> Self {
+        WorkloadSpec::Sum(vec![
+            WorkloadSpec::Constant { level: 0.05 * scale },
+            WorkloadSpec::Spiky {
+                base: 0.0,
+                spike_height: 0.6 * scale,
+                spikes_per_day: 6.0,
+                spike_duration_secs: 900.0,
+            },
+        ])
+    }
+
+    /// The deterministic peak demand of the shape (ignoring unbounded noise
+    /// tails, for which 3σ is used). Useful when pairing a shape with a
+    /// capacity in simulations.
+    pub fn nominal_peak(&self) -> f64 {
+        match self {
+            WorkloadSpec::Constant { level } => *level,
+            WorkloadSpec::Diurnal { base, amplitude, .. } => base + amplitude,
+            WorkloadSpec::Bursty { low, high, .. } => low.max(*high),
+            WorkloadSpec::Spiky {
+                base, spike_height, ..
+            } => base + spike_height,
+            WorkloadSpec::Ramp { start, end } => start.max(*end),
+            WorkloadSpec::OuNoise { mean, sigma, .. } => mean + 3.0 * sigma,
+            WorkloadSpec::Sum(parts) => {
+                parts.iter().map(WorkloadSpec::nominal_peak).sum()
+            }
+            WorkloadSpec::Scaled { factor, inner } => factor * inner.nominal_peak(),
+        }
+    }
+
+    fn sampler(&self, duration_secs: f64) -> Box<dyn Sampler> {
+        match self {
+            WorkloadSpec::Constant { level } => Box::new(ConstSampler { level: *level }),
+            WorkloadSpec::Diurnal {
+                base,
+                amplitude,
+                period_secs,
+                phase,
+            } => Box::new(DiurnalSampler {
+                base: *base,
+                amplitude: *amplitude,
+                period: *period_secs,
+                phase: *phase,
+            }),
+            WorkloadSpec::Bursty {
+                low,
+                high,
+                mean_on_secs,
+                mean_off_secs,
+            } => Box::new(BurstySampler {
+                low: *low,
+                high: *high,
+                mean_on: mean_on_secs.max(1.0),
+                mean_off: mean_off_secs.max(1.0),
+                on: false,
+                until: 0.0,
+            }),
+            WorkloadSpec::Spiky {
+                base,
+                spike_height,
+                spikes_per_day,
+                spike_duration_secs,
+            } => Box::new(SpikySampler {
+                base: *base,
+                height: *spike_height,
+                rate_per_sec: spikes_per_day / 86_400.0,
+                duration: *spike_duration_secs,
+                spike_until: f64::NEG_INFINITY,
+            }),
+            WorkloadSpec::Ramp { start, end } => Box::new(RampSampler {
+                start: *start,
+                end: *end,
+                duration: duration_secs.max(1.0),
+            }),
+            WorkloadSpec::OuNoise { mean, sigma, theta } => Box::new(OuSampler {
+                mean: *mean,
+                sigma: *sigma,
+                theta: *theta,
+                state: *mean,
+            }),
+            WorkloadSpec::Sum(parts) => Box::new(SumSampler {
+                parts: parts.iter().map(|p| p.sampler(duration_secs)).collect(),
+            }),
+            WorkloadSpec::Scaled { factor, inner } => Box::new(ScaledSampler {
+                factor: *factor,
+                inner: inner.sampler(duration_secs),
+            }),
+        }
+    }
+}
+
+impl WorkloadGenerator for WorkloadSpec {
+    fn generate(&self, cfg: &SamplingConfig, rng: &mut dyn RngCore) -> RawSeries {
+        let mut sampler = self.sampler(cfg.duration_secs);
+        let jitter = cfg.jitter_frac.clamp(0.0, 0.99);
+        let mut samples = Vec::with_capacity(
+            (cfg.duration_secs / cfg.mean_interval_secs).ceil() as usize + 1,
+        );
+        let mut t = 0.0;
+        let mut prev_t = 0.0;
+        while t <= cfg.duration_secs {
+            let dt = t - prev_t;
+            let v = sampler.value_at(t, dt, rng).max(0.0);
+            samples.push((t, v));
+            prev_t = t;
+            let step = if jitter > 0.0 {
+                cfg.mean_interval_secs * (1.0 + rng.gen_range(-jitter..jitter))
+            } else {
+                cfg.mean_interval_secs
+            };
+            t += step.max(1e-3);
+        }
+        RawSeries::new(samples).expect("generated samples are valid by construction")
+    }
+}
+
+/// A stateful point sampler; `dt` is the elapsed time since the previous
+/// sample (0 for the first).
+trait Sampler {
+    fn value_at(&mut self, t: f64, dt: f64, rng: &mut dyn RngCore) -> f64;
+}
+
+struct ConstSampler {
+    level: f64,
+}
+impl Sampler for ConstSampler {
+    fn value_at(&mut self, _t: f64, _dt: f64, _rng: &mut dyn RngCore) -> f64 {
+        self.level
+    }
+}
+
+struct DiurnalSampler {
+    base: f64,
+    amplitude: f64,
+    period: f64,
+    phase: f64,
+}
+impl Sampler for DiurnalSampler {
+    fn value_at(&mut self, t: f64, _dt: f64, _rng: &mut dyn RngCore) -> f64 {
+        let cycle = (std::f64::consts::TAU * t / self.period + self.phase).sin();
+        self.base + self.amplitude * (1.0 + cycle) / 2.0
+    }
+}
+
+struct BurstySampler {
+    low: f64,
+    high: f64,
+    mean_on: f64,
+    mean_off: f64,
+    on: bool,
+    until: f64,
+}
+impl Sampler for BurstySampler {
+    fn value_at(&mut self, t: f64, _dt: f64, rng: &mut dyn RngCore) -> f64 {
+        while t >= self.until {
+            self.on = !self.on;
+            let mean = if self.on { self.mean_on } else { self.mean_off };
+            // Exponential dwell via inverse CDF; bounded away from 0.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            self.until = t + (-u.ln()) * mean;
+        }
+        if self.on {
+            self.high
+        } else {
+            self.low
+        }
+    }
+}
+
+struct SpikySampler {
+    base: f64,
+    height: f64,
+    rate_per_sec: f64,
+    duration: f64,
+    spike_until: f64,
+}
+impl Sampler for SpikySampler {
+    fn value_at(&mut self, t: f64, dt: f64, rng: &mut dyn RngCore) -> f64 {
+        if t < self.spike_until {
+            return self.base + self.height;
+        }
+        // Poisson arrival within the elapsed interval.
+        let p = 1.0 - (-self.rate_per_sec * dt).exp();
+        if dt > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)) {
+            self.spike_until = t + self.duration;
+            self.base + self.height
+        } else {
+            self.base
+        }
+    }
+}
+
+struct RampSampler {
+    start: f64,
+    end: f64,
+    duration: f64,
+}
+impl Sampler for RampSampler {
+    fn value_at(&mut self, t: f64, _dt: f64, _rng: &mut dyn RngCore) -> f64 {
+        let frac = (t / self.duration).clamp(0.0, 1.0);
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+struct OuSampler {
+    mean: f64,
+    sigma: f64,
+    theta: f64,
+    state: f64,
+}
+impl Sampler for OuSampler {
+    fn value_at(&mut self, _t: f64, dt: f64, rng: &mut dyn RngCore) -> f64 {
+        if dt > 0.0 {
+            // Exact discretization of the OU process.
+            let decay = (-self.theta * dt).exp();
+            let noise_std = self.sigma * (1.0 - decay * decay).sqrt();
+            let z = gaussian(rng);
+            self.state = self.mean + (self.state - self.mean) * decay + noise_std * z;
+        }
+        self.state.max(0.0)
+    }
+}
+
+struct SumSampler {
+    parts: Vec<Box<dyn Sampler>>,
+}
+impl Sampler for SumSampler {
+    fn value_at(&mut self, t: f64, dt: f64, rng: &mut dyn RngCore) -> f64 {
+        self.parts.iter_mut().map(|p| p.value_at(t, dt, rng)).sum()
+    }
+}
+
+struct ScaledSampler {
+    factor: f64,
+    inner: Box<dyn Sampler>,
+}
+impl Sampler for ScaledSampler {
+    fn value_at(&mut self, t: f64, dt: f64, rng: &mut dyn RngCore) -> f64 {
+        self.factor * self.inner.value_at(t, dt, rng)
+    }
+}
+
+/// Standard normal draw via Box–Muller (avoids a rand_distr dependency in
+/// the hot sampler path). Shared by the simulator crates.
+pub fn gaussian(rng: &mut dyn RngCore) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_generates_flat_series() {
+        let spec = WorkloadSpec::Constant { level: 2.0 };
+        let s = spec.generate(&SamplingConfig::short(), &mut rng());
+        assert!(s.samples().iter().all(|&(_, v)| v == 2.0));
+        assert!(s.len() > 50, "about one sample per minute for an hour");
+    }
+
+    #[test]
+    fn sampling_respects_duration_and_jitter() {
+        let spec = WorkloadSpec::Constant { level: 1.0 };
+        let cfg = SamplingConfig {
+            duration_secs: 600.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.3,
+        };
+        let s = spec.generate(&cfg, &mut rng());
+        assert!(s.end() <= 600.0 + 60.0 * 1.3);
+        let gaps: Vec<f64> = s.samples().windows(2).map(|w| w[1].0 - w[0].0).collect();
+        assert!(gaps.iter().any(|&g| (g - 60.0).abs() > 1.0), "jitter present");
+        assert!(gaps.iter().all(|&g| g > 60.0 * 0.69 && g < 60.0 * 1.31));
+    }
+
+    #[test]
+    fn diurnal_oscillates_within_band() {
+        let spec = WorkloadSpec::Diurnal {
+            base: 1.0,
+            amplitude: 2.0,
+            period_secs: 3600.0,
+            phase: 0.0,
+        };
+        let s = spec.generate(&SamplingConfig::short(), &mut rng());
+        let max = s.max_value();
+        let min = s.samples().iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        assert!(max <= 3.0 + 1e-9 && max > 2.5, "max={max}");
+        assert!((1.0 - 1e-9..1.5).contains(&min), "min={min}");
+    }
+
+    #[test]
+    fn bursty_visits_both_states() {
+        let spec = WorkloadSpec::Bursty {
+            low: 0.5,
+            high: 4.0,
+            mean_on_secs: 300.0,
+            mean_off_secs: 300.0,
+        };
+        let s = spec.generate(&SamplingConfig::short(), &mut rng());
+        let lows = s.samples().iter().filter(|&&(_, v)| v == 0.5).count();
+        let highs = s.samples().iter().filter(|&&(_, v)| v == 4.0).count();
+        assert!(lows > 0 && highs > 0);
+        assert_eq!(lows + highs, s.len());
+    }
+
+    #[test]
+    fn spiky_produces_occasional_spikes() {
+        let spec = WorkloadSpec::Spiky {
+            base: 0.2,
+            spike_height: 3.0,
+            spikes_per_day: 200.0,
+            spike_duration_secs: 300.0,
+        };
+        let cfg = SamplingConfig {
+            duration_secs: 86_400.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.1,
+        };
+        let s = spec.generate(&cfg, &mut rng());
+        let spiking = s.samples().iter().filter(|&&(_, v)| v > 3.0).count();
+        assert!(spiking > 10, "expected spikes, got {spiking}");
+        assert!(spiking < s.len() / 2, "spikes should not dominate");
+    }
+
+    #[test]
+    fn ramp_grows_monotonically() {
+        let spec = WorkloadSpec::Ramp {
+            start: 0.0,
+            end: 10.0,
+        };
+        let s = spec.generate(&SamplingConfig::short(), &mut rng());
+        let first = s.samples()[0].1;
+        let last = s.samples()[s.len() - 1].1;
+        assert!(first < 0.5);
+        assert!(last > 9.0);
+        assert!(s
+            .samples()
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 - 1e-9));
+    }
+
+    #[test]
+    fn ou_noise_stays_near_mean() {
+        let spec = WorkloadSpec::OuNoise {
+            mean: 2.0,
+            sigma: 0.2,
+            theta: 1.0 / 600.0,
+        };
+        let cfg = SamplingConfig {
+            duration_secs: 86_400.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.0,
+        };
+        let s = spec.generate(&cfg, &mut rng());
+        let mean = s.mean_value();
+        assert!((mean - 2.0).abs() < 0.3, "mean={mean}");
+        assert!(s.max_value() < 4.0);
+    }
+
+    #[test]
+    fn sum_and_scale_compose() {
+        let spec = WorkloadSpec::Scaled {
+            factor: 2.0,
+            inner: Box::new(WorkloadSpec::Sum(vec![
+                WorkloadSpec::Constant { level: 1.0 },
+                WorkloadSpec::Constant { level: 0.5 },
+            ])),
+        };
+        let s = spec.generate(&SamplingConfig::short(), &mut rng());
+        assert!(s.samples().iter().all(|&(_, v)| (v - 3.0).abs() < 1e-12));
+        assert_eq!(spec.nominal_peak(), 3.0);
+    }
+
+    #[test]
+    fn nominal_peak_bounds_generated_values_for_bounded_shapes() {
+        for spec in [
+            WorkloadSpec::Constant { level: 2.0 },
+            WorkloadSpec::Diurnal {
+                base: 1.0,
+                amplitude: 3.0,
+                period_secs: 3600.0,
+                phase: 1.0,
+            },
+            WorkloadSpec::Bursty {
+                low: 0.1,
+                high: 5.0,
+                mean_on_secs: 60.0,
+                mean_off_secs: 60.0,
+            },
+            WorkloadSpec::Ramp {
+                start: 2.0,
+                end: 0.5,
+            },
+        ] {
+            let cfg = SamplingConfig::short();
+            let s = spec.generate(&cfg, &mut rng());
+            assert!(
+                s.max_value() <= spec.nominal_peak() + 1e-9,
+                "{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::typical_oltp(4.0);
+        let cfg = SamplingConfig::short();
+        let a = spec.generate(&cfg, &mut SmallRng::seed_from_u64(7));
+        let b = spec.generate(&cfg, &mut SmallRng::seed_from_u64(7));
+        let c = spec.generate(&cfg, &mut SmallRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_spec_serde_round_trip() {
+        let spec = WorkloadSpec::dev_box(2.0);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,267 @@
+//! Raw (irregular) and regular (binned) utilization series.
+
+use lorentz_types::LorentzError;
+use serde::{Deserialize, Serialize};
+
+/// An irregularly sampled utilization series `u(t)` for one resource
+/// dimension: `(timestamp_seconds, value)` pairs with non-decreasing
+/// timestamps and non-negative finite values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawSeries {
+    samples: Vec<(f64, f64)>,
+}
+
+impl RawSeries {
+    /// Creates a series from `(t, value)` samples.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidTelemetry`] if there are no samples,
+    /// timestamps decrease, or any value/timestamp is non-finite or a value
+    /// is negative.
+    pub fn new(samples: Vec<(f64, f64)>) -> Result<Self, LorentzError> {
+        if samples.is_empty() {
+            return Err(LorentzError::InvalidTelemetry("no samples".into()));
+        }
+        let mut prev_t = f64::NEG_INFINITY;
+        for &(t, v) in &samples {
+            if !t.is_finite() || !v.is_finite() {
+                return Err(LorentzError::InvalidTelemetry(format!(
+                    "non-finite sample ({t}, {v})"
+                )));
+            }
+            if v < 0.0 {
+                return Err(LorentzError::InvalidTelemetry(format!(
+                    "negative utilization {v} at t={t}"
+                )));
+            }
+            if t < prev_t {
+                return Err(LorentzError::InvalidTelemetry(format!(
+                    "timestamps decrease at t={t}"
+                )));
+            }
+            prev_t = t;
+        }
+        Ok(Self { samples })
+    }
+
+    /// The samples, in time order.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Timestamp of the first sample.
+    pub fn start(&self) -> f64 {
+        self.samples[0].0
+    }
+
+    /// Timestamp of the last sample.
+    pub fn end(&self) -> f64 {
+        self.samples[self.samples.len() - 1].0
+    }
+
+    /// Maximum observed value.
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Mean observed value (unweighted by sample spacing).
+    pub fn mean_value(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Returns a copy with every value censored at `cap` — what telemetry
+    /// actually records when the VM is capped at the user-selected capacity
+    /// (Eq. 1: `u_r(t) <= c⁰_r`).
+    pub fn censored(&self, cap: f64) -> RawSeries {
+        RawSeries {
+            samples: self
+                .samples
+                .iter()
+                .map(|&(t, v)| (t, v.min(cap)))
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with every value multiplied by `factor` (the §5.2
+    /// upscaling step `2^χ_w · w[n]` operates on raw usage too).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidTelemetry`] if the factor is negative
+    /// or non-finite.
+    pub fn scaled(&self, factor: f64) -> Result<RawSeries, LorentzError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(LorentzError::InvalidTelemetry(format!(
+                "invalid scale factor {factor}"
+            )));
+        }
+        Ok(RawSeries {
+            samples: self
+                .samples
+                .iter()
+                .map(|&(t, v)| (t, v * factor))
+                .collect(),
+        })
+    }
+}
+
+/// A regular, binned utilization signal `w[n]` (Eq. 2): one value per
+/// `bin_seconds`-wide bin, starting at time zero of the source series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegularSeries {
+    bin_seconds: f64,
+    values: Vec<f64>,
+}
+
+impl RegularSeries {
+    /// Creates a regular series.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidTelemetry`] if the bin width is not
+    /// positive, there are no bins, or any value is negative/non-finite.
+    pub fn new(bin_seconds: f64, values: Vec<f64>) -> Result<Self, LorentzError> {
+        if !bin_seconds.is_finite() || bin_seconds <= 0.0 {
+            return Err(LorentzError::InvalidTelemetry(format!(
+                "invalid bin width {bin_seconds}"
+            )));
+        }
+        if values.is_empty() {
+            return Err(LorentzError::InvalidTelemetry("no bins".into()));
+        }
+        for &v in &values {
+            if !v.is_finite() || v < 0.0 {
+                return Err(LorentzError::InvalidTelemetry(format!(
+                    "invalid binned value {v}"
+                )));
+            }
+        }
+        Ok(Self {
+            bin_seconds,
+            values,
+        })
+    }
+
+    /// Bin width in seconds (`T` in Eq. 2, expressed in seconds).
+    pub fn bin_seconds(&self) -> f64 {
+        self.bin_seconds
+    }
+
+    /// The binned values `w[n]`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no bins (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Maximum binned value — the peak demand the rightsizer must cover.
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean binned value.
+    pub fn mean_value(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Censors the signal at `cap` (see [`RawSeries::censored`]).
+    pub fn censored(&self, cap: f64) -> RegularSeries {
+        RegularSeries {
+            bin_seconds: self.bin_seconds,
+            values: self.values.iter().map(|&v| v.min(cap)).collect(),
+        }
+    }
+
+    /// Scales every bin by `factor`.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidTelemetry`] if the factor is negative
+    /// or non-finite.
+    pub fn scaled(&self, factor: f64) -> Result<RegularSeries, LorentzError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(LorentzError::InvalidTelemetry(format!(
+                "invalid scale factor {factor}"
+            )));
+        }
+        Ok(RegularSeries {
+            bin_seconds: self.bin_seconds,
+            values: self.values.iter().map(|&v| v * factor).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_series_validates_samples() {
+        assert!(RawSeries::new(vec![]).is_err());
+        assert!(RawSeries::new(vec![(0.0, -1.0)]).is_err());
+        assert!(RawSeries::new(vec![(0.0, f64::NAN)]).is_err());
+        assert!(RawSeries::new(vec![(1.0, 0.0), (0.0, 0.0)]).is_err());
+        assert!(RawSeries::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_ok()); // ties allowed
+    }
+
+    #[test]
+    fn raw_series_stats() {
+        let s = RawSeries::new(vec![(0.0, 1.0), (60.0, 3.0), (120.0, 2.0)]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.start(), 0.0);
+        assert_eq!(s.end(), 120.0);
+        assert_eq!(s.max_value(), 3.0);
+        assert_eq!(s.mean_value(), 2.0);
+    }
+
+    #[test]
+    fn censoring_caps_values() {
+        let s = RawSeries::new(vec![(0.0, 1.0), (60.0, 5.0)]).unwrap();
+        let c = s.censored(2.0);
+        assert_eq!(c.samples(), &[(0.0, 1.0), (60.0, 2.0)]);
+        // Censoring is idempotent.
+        assert_eq!(c.censored(2.0), c);
+    }
+
+    #[test]
+    fn scaling_raw_series() {
+        let s = RawSeries::new(vec![(0.0, 1.0), (60.0, 2.0)]).unwrap();
+        let up = s.scaled(2.0).unwrap();
+        assert_eq!(up.max_value(), 4.0);
+        assert!(s.scaled(f64::NAN).is_err());
+        assert!(s.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn regular_series_validates() {
+        assert!(RegularSeries::new(0.0, vec![1.0]).is_err());
+        assert!(RegularSeries::new(60.0, vec![]).is_err());
+        assert!(RegularSeries::new(60.0, vec![-0.1]).is_err());
+        let s = RegularSeries::new(300.0, vec![1.0, 2.0, 0.5]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), 2.0);
+        assert!((s.mean_value() - 3.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_series_censor_and_scale() {
+        let s = RegularSeries::new(300.0, vec![1.0, 4.0]).unwrap();
+        assert_eq!(s.censored(2.0).values(), &[1.0, 2.0]);
+        assert_eq!(s.scaled(0.5).unwrap().values(), &[0.5, 2.0]);
+    }
+}

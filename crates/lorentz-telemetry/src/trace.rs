@@ -1,0 +1,217 @@
+//! Multi-resource usage traces.
+
+use crate::aggregate::Aggregator;
+use crate::binning::{bin_series, EmptyBinPolicy};
+use crate::series::{RawSeries, RegularSeries};
+use lorentz_types::{Capacity, LorentzError, ResourceSpace};
+use serde::{Deserialize, Serialize};
+
+/// The regular usage signal `w[n]` of one DB across all resource dimensions
+/// of a [`ResourceSpace`]: one aligned [`RegularSeries`] per dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageTrace {
+    space: ResourceSpace,
+    series: Vec<RegularSeries>,
+}
+
+impl UsageTrace {
+    /// Bundles per-dimension regular series into a trace.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] if the series count does not match the space,
+    /// or the series disagree on bin width or length.
+    pub fn new(space: ResourceSpace, series: Vec<RegularSeries>) -> Result<Self, LorentzError> {
+        if series.len() != space.len() {
+            return Err(LorentzError::DimensionMismatch {
+                expected: space.len(),
+                got: series.len(),
+            });
+        }
+        let bin = series[0].bin_seconds();
+        let len = series[0].len();
+        for s in &series[1..] {
+            if (s.bin_seconds() - bin).abs() > 1e-9 || s.len() != len {
+                return Err(LorentzError::InvalidTelemetry(
+                    "trace series must share bin width and length".into(),
+                ));
+            }
+        }
+        Ok(Self { space, series })
+    }
+
+    /// Bins one raw series per dimension into an aligned trace (Eq. 2 applied
+    /// per resource).
+    ///
+    /// # Errors
+    /// Propagates binning failures; also fails if the binned series end up
+    /// with different lengths (raw series covering different spans).
+    pub fn from_raw(
+        space: ResourceSpace,
+        raw: &[RawSeries],
+        bin_seconds: f64,
+        aggregator: Aggregator,
+        empty_policy: EmptyBinPolicy,
+    ) -> Result<Self, LorentzError> {
+        if raw.len() != space.len() {
+            return Err(LorentzError::DimensionMismatch {
+                expected: space.len(),
+                got: raw.len(),
+            });
+        }
+        let series = raw
+            .iter()
+            .map(|r| bin_series(r, bin_seconds, aggregator, empty_policy))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(space, series)
+    }
+
+    /// A single-dimension (vCores) trace — the paper's evaluation setting.
+    pub fn single(series: RegularSeries) -> Self {
+        Self {
+            space: ResourceSpace::vcores_only(),
+            series: vec![series],
+        }
+    }
+
+    /// The resource space.
+    pub fn space(&self) -> &ResourceSpace {
+        &self.space
+    }
+
+    /// The signal for dimension index `r`.
+    pub fn resource(&self, r: usize) -> &RegularSeries {
+        &self.series[r]
+    }
+
+    /// Number of resource dimensions.
+    pub fn dims(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of time bins.
+    pub fn bins(&self) -> usize {
+        self.series[0].len()
+    }
+
+    /// Bin width in seconds.
+    pub fn bin_seconds(&self) -> f64 {
+        self.series[0].bin_seconds()
+    }
+
+    /// Per-dimension peak usage — the tightest capacity that would never
+    /// throttle at `η = 1`.
+    pub fn peak(&self) -> Vec<f64> {
+        self.series.iter().map(RegularSeries::max_value).collect()
+    }
+
+    /// Per-dimension mean usage.
+    pub fn mean(&self) -> Vec<f64> {
+        self.series.iter().map(RegularSeries::mean_value).collect()
+    }
+
+    /// Censors every dimension at the corresponding capacity entry (Eq. 1).
+    ///
+    /// # Errors
+    /// Returns a dimension mismatch if `cap` has the wrong arity.
+    pub fn censored(&self, cap: &Capacity) -> Result<UsageTrace, LorentzError> {
+        cap.check_space(&self.space)?;
+        Ok(UsageTrace {
+            space: self.space.clone(),
+            series: self
+                .series
+                .iter()
+                .enumerate()
+                .map(|(r, s)| s.censored(cap.get(r)))
+                .collect(),
+        })
+    }
+
+    /// Scales every dimension by `factor` (§5.2 upscaling).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidTelemetry`] for invalid factors.
+    pub fn scaled(&self, factor: f64) -> Result<UsageTrace, LorentzError> {
+        Ok(UsageTrace {
+            space: self.space.clone(),
+            series: self
+                .series
+                .iter()
+                .map(|s| s.scaled(factor))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(values: &[f64]) -> RegularSeries {
+        RegularSeries::new(300.0, values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn trace_requires_aligned_series() {
+        let space = ResourceSpace::vcores_memory();
+        assert!(UsageTrace::new(space.clone(), vec![reg(&[1.0])]).is_err());
+        let mismatched_len = vec![reg(&[1.0, 2.0]), reg(&[1.0])];
+        assert!(UsageTrace::new(space.clone(), mismatched_len).is_err());
+        let mismatched_bin = vec![
+            reg(&[1.0]),
+            RegularSeries::new(60.0, vec![1.0]).unwrap(),
+        ];
+        assert!(UsageTrace::new(space.clone(), mismatched_bin).is_err());
+        assert!(UsageTrace::new(space, vec![reg(&[1.0]), reg(&[2.0])]).is_ok());
+    }
+
+    #[test]
+    fn peak_and_mean_per_dimension() {
+        let t = UsageTrace::new(
+            ResourceSpace::vcores_memory(),
+            vec![reg(&[1.0, 3.0]), reg(&[8.0, 4.0])],
+        )
+        .unwrap();
+        assert_eq!(t.peak(), vec![3.0, 8.0]);
+        assert_eq!(t.mean(), vec![2.0, 6.0]);
+        assert_eq!(t.dims(), 2);
+        assert_eq!(t.bins(), 2);
+    }
+
+    #[test]
+    fn censoring_uses_matching_capacity_dims() {
+        let t = UsageTrace::new(
+            ResourceSpace::vcores_memory(),
+            vec![reg(&[1.0, 3.0]), reg(&[8.0, 4.0])],
+        )
+        .unwrap();
+        let cap = Capacity::new(vec![2.0, 5.0]).unwrap();
+        let c = t.censored(&cap).unwrap();
+        assert_eq!(c.resource(0).values(), &[1.0, 2.0]);
+        assert_eq!(c.resource(1).values(), &[5.0, 4.0]);
+        assert!(t.censored(&Capacity::scalar(2.0)).is_err());
+    }
+
+    #[test]
+    fn from_raw_bins_each_dimension() {
+        let space = ResourceSpace::vcores_memory();
+        let cpu = RawSeries::new(vec![(0.0, 1.0), (30.0, 2.0), (60.0, 0.5)]).unwrap();
+        let mem = RawSeries::new(vec![(0.0, 4.0), (30.0, 3.0), (60.0, 8.0)]).unwrap();
+        let t = UsageTrace::from_raw(
+            space,
+            &[cpu, mem],
+            60.0,
+            Aggregator::Max,
+            EmptyBinPolicy::HoldLast,
+        )
+        .unwrap();
+        assert_eq!(t.resource(0).values(), &[2.0, 0.5]);
+        assert_eq!(t.resource(1).values(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn single_trace_is_vcores_only() {
+        let t = UsageTrace::single(reg(&[1.0, 2.0]));
+        assert_eq!(t.dims(), 1);
+        assert_eq!(t.space(), &ResourceSpace::vcores_only());
+    }
+}

@@ -1,0 +1,66 @@
+//! The shared error type for the Lorentz workspace.
+
+use thiserror::Error;
+
+/// Errors surfaced by Lorentz components.
+#[derive(Debug, Error)]
+pub enum LorentzError {
+    /// A capacity vector was structurally invalid (empty, non-positive, or
+    /// non-finite entries).
+    #[error("invalid capacity: {0}")]
+    InvalidCapacity(String),
+
+    /// A capacity or usage vector did not match the resource space arity.
+    #[error("dimension mismatch: expected {expected} dimensions, got {got}")]
+    DimensionMismatch {
+        /// Dimensions required by the resource space.
+        expected: usize,
+        /// Dimensions actually provided.
+        got: usize,
+    },
+
+    /// An SKU catalog was empty or malformed.
+    #[error("invalid SKU catalog: {0}")]
+    InvalidCatalog(String),
+
+    /// A telemetry trace was unusable (no samples, unordered timestamps, ...).
+    #[error("invalid telemetry: {0}")]
+    InvalidTelemetry(String),
+
+    /// Profile data was inconsistent with its schema.
+    #[error("invalid profile data: {0}")]
+    InvalidProfile(String),
+
+    /// A model was asked to predict before being trained, or trained on an
+    /// unusable dataset.
+    #[error("model error: {0}")]
+    Model(String),
+
+    /// The rightsizing optimizer had no feasible candidate.
+    #[error("rightsizing infeasible: {0}")]
+    Infeasible(String),
+
+    /// A configuration value was out of its valid range.
+    #[error("invalid configuration: {0}")]
+    InvalidConfig(String),
+
+    /// A lookup key was absent from a store.
+    #[error("not found: {0}")]
+    NotFound(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = LorentzError::DimensionMismatch {
+            expected: 2,
+            got: 1,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 2 dimensions, got 1");
+        let e = LorentzError::InvalidCapacity("x".into());
+        assert!(e.to_string().contains("invalid capacity"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed identifiers for the customer / subscription / resource-group /
+//! server hierarchy.
+//!
+//! The paper structures both profile data (§2.2) and the personalization
+//! store (§3.4.2) along the chain
+//! `CloudCustomerGuid > SubscriptionId > ResourceGroup > Server`. Newtype
+//! wrappers keep those id spaces from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw numeric id.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{:06}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A cloud customer account (the paper's `CloudCustomerGuid`).
+    CustomerId,
+    "cust"
+);
+id_type!(
+    /// A billing subscription owned by a customer.
+    SubscriptionId,
+    "sub"
+);
+id_type!(
+    /// A resource group within a subscription, usually created per
+    /// application or project.
+    ResourceGroupId,
+    "rg"
+);
+id_type!(
+    /// A provisioned server / DB instance (one VM).
+    ServerId,
+    "srv"
+);
+
+/// Fully-qualified location of a provisioned resource in the customer
+/// hierarchy, used as the routing key for personalization signals
+/// (Algorithm 1's `CU, SU, RG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourcePath {
+    /// Owning customer.
+    pub customer: CustomerId,
+    /// Owning subscription.
+    pub subscription: SubscriptionId,
+    /// Owning resource group.
+    pub resource_group: ResourceGroupId,
+}
+
+impl ResourcePath {
+    /// Creates a path from its components.
+    pub fn new(
+        customer: CustomerId,
+        subscription: SubscriptionId,
+        resource_group: ResourceGroupId,
+    ) -> Self {
+        Self {
+            customer,
+            subscription,
+            resource_group,
+        }
+    }
+}
+
+impl fmt::Display for ResourcePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}",
+            self.customer, self.subscription, self.resource_group
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(CustomerId(7).to_string(), "cust-000007");
+        assert_eq!(SubscriptionId(42).to_string(), "sub-000042");
+        assert_eq!(ResourceGroupId(1).to_string(), "rg-000001");
+        assert_eq!(ServerId(123456).to_string(), "srv-123456");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(CustomerId(1));
+        set.insert(CustomerId(1));
+        set.insert(CustomerId(2));
+        assert_eq!(set.len(), 2);
+        assert!(CustomerId(1) < CustomerId(2));
+    }
+
+    #[test]
+    fn resource_path_display_joins_components() {
+        let p = ResourcePath::new(CustomerId(1), SubscriptionId(2), ResourceGroupId(3));
+        assert_eq!(p.to_string(), "cust-000001/sub-000002/rg-000003");
+    }
+
+    #[test]
+    fn from_u32_round_trips() {
+        let id: ServerId = 9u32.into();
+        assert_eq!(id.raw(), 9);
+    }
+}

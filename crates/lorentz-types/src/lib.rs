@@ -1,0 +1,42 @@
+//! Shared domain types for the Lorentz SKU recommender.
+//!
+//! This crate defines the vocabulary that every other Lorentz crate speaks:
+//!
+//! * [`ResourceKind`] / [`ResourceSpace`] — the resource dimensions a capacity
+//!   spans (vCores, memory, IOPS, ...);
+//! * [`Capacity`] — a point in resource space, e.g. `[4 vCores, 16 GB]`;
+//! * [`Sku`] / [`SkuCatalog`] — the discrete candidate capacities a cloud
+//!   service offers, stratified by [`ServerOffering`];
+//! * typed identifiers ([`CustomerId`], [`SubscriptionId`],
+//!   [`ResourceGroupId`], [`ServerId`]);
+//! * [`ProfileSchema`] / [`ProfileTable`] — categorical customer/server
+//!   profile data with per-column value interning;
+//! * [`LorentzError`] — the shared error type.
+//!
+//! The types follow §2 of the paper: Azure PostgreSQL DB (flexible server)
+//! exposes three server offerings with fixed vCore ladders, and capacity for
+//! memory is provisioned proportionally to vCores (4 GB per vCore), so most
+//! analyses reduce to the vCores dimension while the API remains
+//! multi-resource.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod error;
+pub mod ids;
+pub mod offering;
+pub mod profile;
+pub mod resource;
+pub mod sku;
+
+pub use capacity::Capacity;
+pub use error::LorentzError;
+pub use ids::{CustomerId, ResourceGroupId, ResourcePath, ServerId, SubscriptionId};
+pub use offering::ServerOffering;
+pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};
+pub use resource::{ResourceKind, ResourceSpace};
+pub use sku::{Sku, SkuCatalog};
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, LorentzError>;

@@ -1,0 +1,127 @@
+//! Server offerings (stratification).
+//!
+//! Azure PostgreSQL DB stratifies services into three *server offerings*
+//! (§2.1), each with its own ladder of candidate vCore capacities. Lorentz
+//! trains a distinct parameter set per offering and assumes the offering is
+//! pre-selected by the user.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A server offering ("stratification") of the database service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServerOffering {
+    /// Development / burstable workloads (5% of the fleet in §2.1).
+    Burstable,
+    /// Small production workloads (49% of the fleet).
+    GeneralPurpose,
+    /// Large production workloads (46% of the fleet).
+    MemoryOptimized,
+}
+
+impl ServerOffering {
+    /// All offerings in canonical order.
+    pub const ALL: [ServerOffering; 3] = [
+        ServerOffering::Burstable,
+        ServerOffering::GeneralPurpose,
+        ServerOffering::MemoryOptimized,
+    ];
+
+    /// The candidate vCore capacities for this offering (§2.1).
+    pub fn vcore_options(self) -> &'static [f64] {
+        match self {
+            ServerOffering::Burstable => &[1.0, 2.0, 4.0, 8.0, 20.0],
+            ServerOffering::GeneralPurpose => {
+                &[2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0]
+            }
+            ServerOffering::MemoryOptimized => {
+                &[2.0, 4.0, 8.0, 16.0, 20.0, 32.0, 48.0, 64.0, 96.0, 128.0]
+            }
+        }
+    }
+
+    /// Fraction of the analyzed fleet provisioned under this offering
+    /// (§2.1: 5% / 49% / 46%). Used to calibrate the synthetic fleet.
+    pub fn fleet_share(self) -> f64 {
+        match self {
+            ServerOffering::Burstable => 0.05,
+            ServerOffering::GeneralPurpose => 0.49,
+            ServerOffering::MemoryOptimized => 0.46,
+        }
+    }
+
+    /// GiB of memory provisioned per vCore for this offering (the flexible
+    /// server ladder couples memory to vCores; Memory-Optimized doubles the
+    /// ratio).
+    pub fn memory_gb_per_vcore(self) -> f64 {
+        match self {
+            ServerOffering::Burstable => 2.0,
+            ServerOffering::GeneralPurpose => 4.0,
+            ServerOffering::MemoryOptimized => 8.0,
+        }
+    }
+
+    /// Whether this offering hosts development (vs production) workloads —
+    /// the dev/prod breakdown of §2.2 treats Burstable as dev.
+    pub fn is_development(self) -> bool {
+        matches!(self, ServerOffering::Burstable)
+    }
+
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerOffering::Burstable => "burstable",
+            ServerOffering::GeneralPurpose => "general_purpose",
+            ServerOffering::MemoryOptimized => "memory_optimized",
+        }
+    }
+}
+
+impl fmt::Display for ServerOffering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcore_ladders_match_the_paper() {
+        assert_eq!(
+            ServerOffering::Burstable.vcore_options(),
+            &[1.0, 2.0, 4.0, 8.0, 20.0]
+        );
+        assert_eq!(ServerOffering::GeneralPurpose.vcore_options().len(), 9);
+        assert_eq!(ServerOffering::MemoryOptimized.vcore_options().len(), 10);
+        // Memory-Optimized adds the 20-vCore step General Purpose lacks.
+        assert!(ServerOffering::MemoryOptimized
+            .vcore_options()
+            .contains(&20.0));
+        assert!(!ServerOffering::GeneralPurpose
+            .vcore_options()
+            .contains(&20.0));
+    }
+
+    #[test]
+    fn ladders_are_strictly_increasing() {
+        for off in ServerOffering::ALL {
+            let opts = off.vcore_options();
+            assert!(opts.windows(2).all(|w| w[0] < w[1]), "{off} not sorted");
+        }
+    }
+
+    #[test]
+    fn fleet_shares_sum_to_one() {
+        let total: f64 = ServerOffering::ALL.iter().map(|o| o.fleet_share()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burstable_is_the_dev_offering() {
+        assert!(ServerOffering::Burstable.is_development());
+        assert!(!ServerOffering::GeneralPurpose.is_development());
+        assert!(!ServerOffering::MemoryOptimized.is_development());
+    }
+}

@@ -1,0 +1,485 @@
+//! Categorical profile data.
+//!
+//! *Profile data* is any categorical variable describing a customer or DB
+//! instance (§2.2): industry and segment names, subscription ids, resource
+//! groups, software versions, region tags. Lorentz consumes it as the feature
+//! matrix `X` (one row per DB) and as per-request feature vectors `x`.
+//!
+//! Values are interned per feature into compact `u32` ids via [`Vocab`] so
+//! that the hierarchy learner, bucket index, and target encoder can operate
+//! on integers. Missing tags (user mis-entry, absent metadata) are first-class
+//! and represented as `None`.
+
+use crate::error::LorentzError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a feature (column) within a [`ProfileSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FeatureId(pub usize);
+
+impl FeatureId {
+    /// The raw column index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "feature#{}", self.0)
+    }
+}
+
+/// The ordered set of profile features a table (and all vectors drawn from
+/// it) carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSchema {
+    names: Vec<String>,
+}
+
+impl ProfileSchema {
+    /// Creates a schema from feature names.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidProfile`] if names are empty or
+    /// duplicated.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Result<Self, LorentzError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(LorentzError::InvalidProfile("schema has no features".into()));
+        }
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(LorentzError::InvalidProfile(format!(
+                    "duplicate feature name '{n}'"
+                )));
+            }
+        }
+        Ok(Self { names })
+    }
+
+    /// The seven-feature schema used for the Azure PostgreSQL DB evaluation
+    /// (§2.2 and Fig. 5), from coarsest to finest granularity.
+    pub fn azure_postgres() -> Self {
+        Self::new(vec![
+            "SegmentName",
+            "IndustryName",
+            "VerticalName",
+            "VerticalCategoryName",
+            "CloudCustomerGuid",
+            "SubscriptionId",
+            "ResourceGroup",
+        ])
+        .expect("builtin schema is valid")
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema has no features (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Feature names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The name of feature `id`.
+    pub fn name(&self, id: FeatureId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a feature up by name.
+    pub fn feature_id(&self, name: &str) -> Option<FeatureId> {
+        self.names.iter().position(|n| n == name).map(FeatureId)
+    }
+
+    /// Iterator over all feature ids.
+    pub fn feature_ids(&self) -> impl Iterator<Item = FeatureId> {
+        (0..self.names.len()).map(FeatureId)
+    }
+}
+
+/// Per-feature string-value interner.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its id (existing or fresh).
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("vocab exceeds u32 ids");
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of a known value without interning.
+    pub fn get(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// The string for a value id.
+    pub fn value(&self, id: u32) -> &str {
+        &self.values[id as usize]
+    }
+
+    /// Number of distinct values (the feature's cardinality).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Rebuilds the lookup index (needed after deserialization, since the
+    /// index is derived state and skipped by serde).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+    }
+}
+
+/// One row of profile data: an interned value (or `None` when missing) per
+/// schema feature. Ids are only meaningful relative to the
+/// [`ProfileTable`] that produced the vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileVector {
+    values: Vec<Option<u32>>,
+}
+
+impl ProfileVector {
+    /// Creates a vector from raw per-feature ids.
+    pub fn new(values: Vec<Option<u32>>) -> Self {
+        Self { values }
+    }
+
+    /// Value id at feature `id`, `None` if missing.
+    pub fn get(&self, id: FeatureId) -> Option<u32> {
+        self.values[id.0]
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has no features.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values slice.
+    pub fn values(&self) -> &[Option<u32>] {
+        &self.values
+    }
+
+    /// Count of missing entries.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_none()).count()
+    }
+}
+
+/// Columnar profile matrix `X`: one interned column per schema feature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileTable {
+    schema: ProfileSchema,
+    vocabs: Vec<Vocab>,
+    columns: Vec<Vec<Option<u32>>>,
+    rows: usize,
+}
+
+impl ProfileTable {
+    /// Creates an empty table for `schema`.
+    pub fn new(schema: ProfileSchema) -> Self {
+        let n = schema.len();
+        Self {
+            schema,
+            vocabs: vec![Vocab::new(); n],
+            columns: vec![Vec::new(); n],
+            rows: 0,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &ProfileSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a row of string values (`None` = missing tag), interning as
+    /// needed, and returns its row index.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidProfile`] on arity mismatch.
+    pub fn push_row(&mut self, values: &[Option<&str>]) -> Result<usize, LorentzError> {
+        if values.len() != self.schema.len() {
+            return Err(LorentzError::InvalidProfile(format!(
+                "row has {} values, schema has {} features",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        for (f, v) in values.iter().enumerate() {
+            let id = v.map(|s| self.vocabs[f].intern(s));
+            self.columns[f].push(id);
+        }
+        self.rows += 1;
+        Ok(self.rows - 1)
+    }
+
+    /// Appends an already-encoded row (ids must come from this table's
+    /// vocabularies).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidProfile`] on arity mismatch or an id
+    /// outside the corresponding vocabulary.
+    pub fn push_encoded_row(&mut self, row: &ProfileVector) -> Result<usize, LorentzError> {
+        if row.len() != self.schema.len() {
+            return Err(LorentzError::InvalidProfile(format!(
+                "row has {} values, schema has {} features",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        for (f, v) in row.values().iter().enumerate() {
+            if let Some(id) = v {
+                if *id as usize >= self.vocabs[f].len() {
+                    return Err(LorentzError::InvalidProfile(format!(
+                        "value id {id} out of range for {}",
+                        self.schema.name(FeatureId(f))
+                    )));
+                }
+            }
+            self.columns[f].push(*v);
+        }
+        self.rows += 1;
+        Ok(self.rows - 1)
+    }
+
+    /// The interned value at (`row`, `feature`).
+    pub fn value_id(&self, row: usize, feature: FeatureId) -> Option<u32> {
+        self.columns[feature.0][row]
+    }
+
+    /// The string value at (`row`, `feature`), `None` if missing.
+    pub fn value_str(&self, row: usize, feature: FeatureId) -> Option<&str> {
+        self.value_id(row, feature)
+            .map(|id| self.vocabs[feature.0].value(id))
+    }
+
+    /// The whole interned column for `feature`.
+    pub fn column(&self, feature: FeatureId) -> &[Option<u32>] {
+        &self.columns[feature.0]
+    }
+
+    /// The vocabulary for `feature`.
+    pub fn vocab(&self, feature: FeatureId) -> &Vocab {
+        &self.vocabs[feature.0]
+    }
+
+    /// Cardinality (distinct observed values) of `feature`.
+    pub fn cardinality(&self, feature: FeatureId) -> usize {
+        self.vocabs[feature.0].len()
+    }
+
+    /// Extracts row `row` as an owned [`ProfileVector`].
+    pub fn row(&self, row: usize) -> ProfileVector {
+        ProfileVector::new(self.columns.iter().map(|c| c[row]).collect())
+    }
+
+    /// Encodes an external row of strings against this table's vocabularies
+    /// without mutating them. Unseen values become `None` (they match no
+    /// bucket and carry no target statistics — exactly how a brand-new
+    /// customer appears to the provisioners).
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidProfile`] on arity mismatch.
+    pub fn encode_row(&self, values: &[Option<&str>]) -> Result<ProfileVector, LorentzError> {
+        if values.len() != self.schema.len() {
+            return Err(LorentzError::InvalidProfile(format!(
+                "row has {} values, schema has {} features",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        Ok(ProfileVector::new(
+            values
+                .iter()
+                .enumerate()
+                .map(|(f, v)| v.and_then(|s| self.vocabs[f].get(s)))
+                .collect(),
+        ))
+    }
+
+    /// Builds a new table containing only the given rows (same schema and
+    /// vocabularies). Used for train/validation/test splitting.
+    pub fn subset(&self, rows: &[usize]) -> ProfileTable {
+        let mut columns: Vec<Vec<Option<u32>>> = vec![Vec::with_capacity(rows.len()); self.columns.len()];
+        for &r in rows {
+            for (f, col) in self.columns.iter().enumerate() {
+                columns[f].push(col[r]);
+            }
+        }
+        ProfileTable {
+            schema: self.schema.clone(),
+            vocabs: self.vocabs.clone(),
+            columns,
+            rows: rows.len(),
+        }
+    }
+
+    /// Rebuilds every vocabulary's lookup index. Required after
+    /// deserializing a table (the indexes are derived state skipped by
+    /// serde); [`ProfileTable::encode_row`] would otherwise see every value
+    /// as unseen.
+    pub fn rebuild_indexes(&mut self) {
+        for v in &mut self.vocabs {
+            v.rebuild_index();
+        }
+    }
+
+    /// Fraction of cells that are missing.
+    pub fn missing_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let missing: usize = self
+            .columns
+            .iter()
+            .map(|c| c.iter().filter(|v| v.is_none()).count())
+            .sum();
+        missing as f64 / (self.rows * self.columns.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> ProfileTable {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut t = ProfileTable::new(schema);
+        t.push_row(&[Some("Retail"), Some("acme")]).unwrap();
+        t.push_row(&[Some("Retail"), Some("globex")]).unwrap();
+        t.push_row(&[Some("Banking"), None]).unwrap();
+        t
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(ProfileSchema::new(vec!["a", "a"]).is_err());
+        assert!(ProfileSchema::new(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn azure_schema_has_seven_features_coarse_to_fine() {
+        let s = ProfileSchema::azure_postgres();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.names()[0], "SegmentName");
+        assert_eq!(s.names()[6], "ResourceGroup");
+        assert_eq!(s.feature_id("VerticalName"), Some(FeatureId(2)));
+        assert_eq!(s.feature_id("nope"), None);
+    }
+
+    #[test]
+    fn interning_reuses_ids() {
+        let t = small_table();
+        let industry = FeatureId(0);
+        assert_eq!(t.value_id(0, industry), t.value_id(1, industry));
+        assert_ne!(t.value_id(0, industry), t.value_id(2, industry));
+        assert_eq!(t.cardinality(industry), 2);
+        assert_eq!(t.value_str(2, industry), Some("Banking"));
+    }
+
+    #[test]
+    fn missing_values_are_preserved() {
+        let t = small_table();
+        assert_eq!(t.value_id(2, FeatureId(1)), None);
+        assert_eq!(t.row(2).missing_count(), 1);
+        let expect = 1.0 / 6.0;
+        assert!((t.missing_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_row_maps_unseen_to_none_without_interning() {
+        let t = small_table();
+        let card_before = t.cardinality(FeatureId(0));
+        let v = t.encode_row(&[Some("SpaceTourism"), Some("acme")]).unwrap();
+        assert_eq!(v.get(FeatureId(0)), None);
+        assert!(v.get(FeatureId(1)).is_some());
+        assert_eq!(t.cardinality(FeatureId(0)), card_before);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut t = small_table();
+        assert!(t.push_row(&[Some("x")]).is_err());
+        assert!(t.encode_row(&[Some("x")]).is_err());
+    }
+
+    #[test]
+    fn subset_preserves_vocabs_and_selects_rows() {
+        let t = small_table();
+        let s = t.subset(&[2, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.value_str(0, FeatureId(0)), Some("Banking"));
+        assert_eq!(s.value_str(1, FeatureId(0)), Some("Retail"));
+        // Vocabularies identical => encoded ids stay comparable.
+        assert_eq!(s.vocab(FeatureId(0)).len(), t.vocab(FeatureId(0)).len());
+    }
+
+    #[test]
+    fn push_encoded_row_validates_ids() {
+        let mut t = small_table();
+        let ok = t.row(0);
+        assert!(t.push_encoded_row(&ok).is_ok());
+        let bad = ProfileVector::new(vec![Some(99), None]);
+        assert!(t.push_encoded_row(&bad).is_err());
+    }
+
+    #[test]
+    fn vocab_rebuild_index_restores_lookup() {
+        let mut v = Vocab::new();
+        v.intern("a");
+        v.intern("b");
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("a"), None); // index skipped by serde
+        back.rebuild_index();
+        assert_eq!(back.get("a"), Some(0));
+        assert_eq!(back.get("b"), Some(1));
+    }
+}

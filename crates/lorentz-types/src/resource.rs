@@ -1,0 +1,190 @@
+//! Resource dimensions and resource spaces.
+//!
+//! A *resource dimension* is one axis of a compute capacity — virtual cores,
+//! memory, IOPS, disk. The paper indexes these with `r` (Eq. 1). A
+//! [`ResourceSpace`] fixes an ordered set of dimensions so that capacities and
+//! usage traces can be stored as plain vectors aligned by index.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One resource dimension of a compute capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Virtual CPU cores. The dominant dimension for Azure PostgreSQL DB
+    /// (§3.2: "CPU constraints mostly dominate").
+    VCores,
+    /// Memory in GiB. Provisioned proportionally to vCores on Azure
+    /// PostgreSQL DB (e.g. 4 GiB per vCore).
+    MemoryGb,
+    /// I/O operations per second.
+    Iops,
+    /// Disk capacity in GiB.
+    DiskGb,
+}
+
+impl ResourceKind {
+    /// All supported resource kinds, in canonical order.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::VCores,
+        ResourceKind::MemoryGb,
+        ResourceKind::Iops,
+        ResourceKind::DiskGb,
+    ];
+
+    /// Short lowercase name used in reports and serialized output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::VCores => "vcores",
+            ResourceKind::MemoryGb => "memory_gb",
+            ResourceKind::Iops => "iops",
+            ResourceKind::DiskGb => "disk_gb",
+        }
+    }
+
+    /// Whether throttling on this resource typically cancels work (memory:
+    /// OOM kills) rather than merely delaying it (CPU). Used to pick stricter
+    /// default throttling thresholds per dimension (§3.2 "Throttling").
+    pub fn throttling_is_destructive(self) -> bool {
+        matches!(self, ResourceKind::MemoryGb)
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered set of resource dimensions.
+///
+/// All [`Capacity`](crate::Capacity) vectors and usage traces created against
+/// a space store one entry per dimension, in this order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceSpace {
+    dims: Vec<ResourceKind>,
+}
+
+impl ResourceSpace {
+    /// Creates a space over the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains duplicates; a space without
+    /// dimensions (or with an ambiguous index) is never meaningful.
+    pub fn new(dims: Vec<ResourceKind>) -> Self {
+        assert!(!dims.is_empty(), "resource space must have >= 1 dimension");
+        for (i, d) in dims.iter().enumerate() {
+            assert!(
+                !dims[..i].contains(d),
+                "duplicate resource dimension {d} in resource space"
+            );
+        }
+        Self { dims }
+    }
+
+    /// The single-dimension space over vCores used throughout the paper's
+    /// Azure PostgreSQL DB evaluation.
+    pub fn vcores_only() -> Self {
+        Self::new(vec![ResourceKind::VCores])
+    }
+
+    /// The two-dimension (vCores, memory) space used by the multi-resource
+    /// examples.
+    pub fn vcores_memory() -> Self {
+        Self::new(vec![ResourceKind::VCores, ResourceKind::MemoryGb])
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the space is empty (never true for a constructed space).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The dimensions, in index order.
+    pub fn dims(&self) -> &[ResourceKind] {
+        &self.dims
+    }
+
+    /// Index of a dimension within this space, if present.
+    pub fn index_of(&self, kind: ResourceKind) -> Option<usize> {
+        self.dims.iter().position(|&d| d == kind)
+    }
+
+    /// Whether this space contains the given dimension.
+    pub fn contains(&self, kind: ResourceKind) -> bool {
+        self.index_of(kind).is_some()
+    }
+}
+
+impl fmt::Display for ResourceSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_kind_names_are_unique() {
+        let names: Vec<_> = ResourceKind::ALL.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn memory_throttling_is_destructive_cpu_is_not() {
+        assert!(ResourceKind::MemoryGb.throttling_is_destructive());
+        assert!(!ResourceKind::VCores.throttling_is_destructive());
+    }
+
+    #[test]
+    fn space_indexing_round_trips() {
+        let s = ResourceSpace::vcores_memory();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of(ResourceKind::VCores), Some(0));
+        assert_eq!(s.index_of(ResourceKind::MemoryGb), Some(1));
+        assert_eq!(s.index_of(ResourceKind::Iops), None);
+        assert!(s.contains(ResourceKind::VCores));
+        assert!(!s.contains(ResourceKind::DiskGb));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate resource dimension")]
+    fn duplicate_dimensions_rejected() {
+        ResourceSpace::new(vec![ResourceKind::VCores, ResourceKind::VCores]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 dimension")]
+    fn empty_space_rejected() {
+        ResourceSpace::new(vec![]);
+    }
+
+    #[test]
+    fn display_joins_dimensions() {
+        let s = ResourceSpace::vcores_memory();
+        assert_eq!(s.to_string(), "vcores+memory_gb");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = ResourceSpace::vcores_memory();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ResourceSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,307 @@
+//! SKUs and SKU catalogs.
+//!
+//! A [`SkuCatalog`] is the discrete candidate set `C` from which the
+//! rightsizer (Eq. 7–9) and the provisioners (Eq. 11–12) pick capacities. It
+//! is ordered by primary-dimension capacity, which lets callers round
+//! arbitrary real-valued predictions to valid SKUs.
+
+use crate::capacity::Capacity;
+use crate::error::LorentzError;
+use crate::offering::ServerOffering;
+use crate::resource::ResourceSpace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One purchasable configuration: a named capacity point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sku {
+    /// Marketing / catalog name, e.g. `Standard_D4ds_v4`.
+    pub name: String,
+    /// The capacity this SKU provisions.
+    pub capacity: Capacity,
+}
+
+impl Sku {
+    /// Creates an SKU.
+    pub fn new(name: impl Into<String>, capacity: Capacity) -> Self {
+        Self {
+            name: name.into(),
+            capacity,
+        }
+    }
+}
+
+impl fmt::Display for Sku {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.capacity)
+    }
+}
+
+/// The ordered candidate capacity set `C` for one server offering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkuCatalog {
+    offering: ServerOffering,
+    space: ResourceSpace,
+    skus: Vec<Sku>,
+}
+
+impl SkuCatalog {
+    /// Builds a catalog from explicit SKUs.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidCatalog`] if the SKU list is empty, any
+    /// capacity has the wrong arity for `space`, or primary capacities are
+    /// not strictly increasing.
+    pub fn new(
+        offering: ServerOffering,
+        space: ResourceSpace,
+        skus: Vec<Sku>,
+    ) -> Result<Self, LorentzError> {
+        if skus.is_empty() {
+            return Err(LorentzError::InvalidCatalog("no SKUs".into()));
+        }
+        for sku in &skus {
+            sku.capacity
+                .check_space(&space)
+                .map_err(|e| LorentzError::InvalidCatalog(format!("sku {}: {e}", sku.name)))?;
+        }
+        if !skus
+            .windows(2)
+            .all(|w| w[0].capacity.primary() < w[1].capacity.primary())
+        {
+            return Err(LorentzError::InvalidCatalog(
+                "SKUs must be strictly increasing in primary capacity".into(),
+            ));
+        }
+        Ok(Self {
+            offering,
+            space,
+            skus,
+        })
+    }
+
+    /// The paper's Azure PostgreSQL DB flexible-server catalog for an
+    /// offering, over the vCores-only space (§2.1).
+    pub fn azure_postgres(offering: ServerOffering) -> Self {
+        let space = ResourceSpace::vcores_only();
+        let skus = offering
+            .vcore_options()
+            .iter()
+            .map(|&v| Sku::new(format!("{}-{v}vc", offering.name()), Capacity::scalar(v)))
+            .collect();
+        Self::new(offering, space, skus).expect("builtin catalog is valid")
+    }
+
+    /// A two-dimensional (vCores, memory) variant of the Azure catalog where
+    /// memory scales with the offering's per-vCore ratio. Used by the
+    /// multi-resource examples and tests.
+    pub fn azure_postgres_with_memory(offering: ServerOffering) -> Self {
+        let space = ResourceSpace::vcores_memory();
+        let ratio = offering.memory_gb_per_vcore();
+        let skus = offering
+            .vcore_options()
+            .iter()
+            .map(|&v| {
+                Sku::new(
+                    format!("{}-{v}vc", offering.name()),
+                    Capacity::new(vec![v, v * ratio]).expect("positive"),
+                )
+            })
+            .collect();
+        Self::new(offering, space, skus).expect("builtin catalog is valid")
+    }
+
+    /// The offering this catalog belongs to.
+    pub fn offering(&self) -> ServerOffering {
+        self.offering
+    }
+
+    /// The resource space the SKU capacities span.
+    pub fn space(&self) -> &ResourceSpace {
+        &self.space
+    }
+
+    /// The SKUs in increasing primary-capacity order.
+    pub fn skus(&self) -> &[Sku] {
+        &self.skus
+    }
+
+    /// The candidate capacities in increasing primary order.
+    pub fn capacities(&self) -> impl Iterator<Item = &Capacity> {
+        self.skus.iter().map(|s| &s.capacity)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.skus.len()
+    }
+
+    /// Whether the catalog is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.skus.is_empty()
+    }
+
+    /// The smallest (default) SKU — what the Azure PostgreSQL configuration
+    /// tool presents to users today (§1).
+    pub fn minimum(&self) -> &Sku {
+        &self.skus[0]
+    }
+
+    /// The largest SKU.
+    pub fn maximum(&self) -> &Sku {
+        &self.skus[self.skus.len() - 1]
+    }
+
+    /// Index of the exact capacity, if present (compared on the primary
+    /// dimension, which uniquely identifies an SKU within a catalog).
+    pub fn index_of(&self, capacity: &Capacity) -> Option<usize> {
+        self.skus
+            .iter()
+            .position(|s| (s.capacity.primary() - capacity.primary()).abs() < 1e-9)
+    }
+
+    /// The smallest SKU whose capacity dominates `target` in every
+    /// dimension; `None` if even the largest SKU is insufficient.
+    ///
+    /// This is the "round up to a valid SKU" step applied to model
+    /// predictions and λ-adjusted capacities.
+    pub fn round_up(&self, target: &Capacity) -> Option<&Sku> {
+        self.skus.iter().find(|s| s.capacity.dominates(target))
+    }
+
+    /// The largest SKU that `target` dominates (round down); `None` if the
+    /// target is below the minimum SKU.
+    pub fn round_down(&self, target: &Capacity) -> Option<&Sku> {
+        self.skus
+            .iter()
+            .rev()
+            .find(|s| target.dominates(&s.capacity))
+    }
+
+    /// The SKU nearest to `target` in log2 space on the primary dimension —
+    /// the discretization used when personalization rescales predictions
+    /// (§5.3 "discretized to C").
+    pub fn nearest_log2(&self, target: &Capacity) -> &Sku {
+        let t = target.primary().max(f64::MIN_POSITIVE).log2();
+        self.skus
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.capacity.primary().log2() - t).abs();
+                let db = (b.capacity.primary().log2() - t).abs();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("catalog is non-empty")
+    }
+
+    /// The SKU at `index`.
+    pub fn get(&self, index: usize) -> &Sku {
+        &self.skus[index]
+    }
+}
+
+impl fmt::Display for SkuCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} catalog ({} SKUs)", self.offering, self.skus.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp() -> SkuCatalog {
+        SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose)
+    }
+
+    #[test]
+    fn azure_catalogs_match_offering_ladders() {
+        for off in ServerOffering::ALL {
+            let cat = SkuCatalog::azure_postgres(off);
+            let primaries: Vec<f64> = cat.capacities().map(|c| c.primary()).collect();
+            assert_eq!(primaries, off.vcore_options());
+            assert_eq!(cat.offering(), off);
+        }
+    }
+
+    #[test]
+    fn minimum_and_maximum() {
+        let cat = gp();
+        assert_eq!(cat.minimum().capacity.primary(), 2.0);
+        assert_eq!(cat.maximum().capacity.primary(), 128.0);
+    }
+
+    #[test]
+    fn round_up_finds_smallest_dominating_sku() {
+        let cat = gp();
+        assert_eq!(
+            cat.round_up(&Capacity::scalar(3.0)).unwrap().capacity.primary(),
+            4.0
+        );
+        assert_eq!(
+            cat.round_up(&Capacity::scalar(4.0)).unwrap().capacity.primary(),
+            4.0
+        );
+        assert_eq!(
+            cat.round_up(&Capacity::scalar(0.5)).unwrap().capacity.primary(),
+            2.0
+        );
+        assert!(cat.round_up(&Capacity::scalar(1000.0)).is_none());
+    }
+
+    #[test]
+    fn round_down_finds_largest_dominated_sku() {
+        let cat = gp();
+        assert_eq!(
+            cat.round_down(&Capacity::scalar(5.0)).unwrap().capacity.primary(),
+            4.0
+        );
+        assert!(cat.round_down(&Capacity::scalar(1.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_log2_picks_geometric_neighbor() {
+        let cat = gp();
+        // 5.6 is closer to 4 than to 8 in linear space, but log2(5.6)=2.49,
+        // which is closer to 8 (log2=3 at distance .51 vs 4 at .49) -> 4.
+        assert_eq!(
+            cat.nearest_log2(&Capacity::scalar(5.6)).capacity.primary(),
+            4.0
+        );
+        assert_eq!(
+            cat.nearest_log2(&Capacity::scalar(5.7)).capacity.primary(),
+            8.0
+        );
+        assert_eq!(
+            cat.nearest_log2(&Capacity::scalar(0.001)).capacity.primary(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn catalog_rejects_unsorted_or_mismatched_skus() {
+        let space = ResourceSpace::vcores_only();
+        let unsorted = vec![
+            Sku::new("b", Capacity::scalar(4.0)),
+            Sku::new("a", Capacity::scalar(2.0)),
+        ];
+        assert!(SkuCatalog::new(ServerOffering::Burstable, space.clone(), unsorted).is_err());
+        let wrong_arity = vec![Sku::new("a", Capacity::new(vec![2.0, 8.0]).unwrap())];
+        assert!(SkuCatalog::new(ServerOffering::Burstable, space.clone(), wrong_arity).is_err());
+        assert!(SkuCatalog::new(ServerOffering::Burstable, space, vec![]).is_err());
+    }
+
+    #[test]
+    fn memory_catalog_couples_memory_to_vcores() {
+        let cat = SkuCatalog::azure_postgres_with_memory(ServerOffering::GeneralPurpose);
+        for sku in cat.skus() {
+            assert_eq!(sku.capacity.get(1), sku.capacity.get(0) * 4.0);
+        }
+    }
+
+    #[test]
+    fn index_of_matches_primary_capacity() {
+        let cat = gp();
+        assert_eq!(cat.index_of(&Capacity::scalar(8.0)), Some(2));
+        assert_eq!(cat.index_of(&Capacity::scalar(9.0)), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Explainability (challenge C3): every Lorentz recommendation ships with
+//! the "search result" behind it — which similar customers were consulted,
+//! what they were provisioned, and what λ adjustment was applied — and the
+//! user can override their λ.
+//!
+//! ```text
+//! cargo run --release --example explain_recommendation
+//! ```
+
+use lorentz::core::{Explanation, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest};
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::types::{
+    CustomerId, FeatureId, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
+};
+
+fn main() {
+    let synthetic = FleetConfig {
+        n_servers: 800,
+        seed: 21,
+        base_demand: 1.3,
+        server_sigma: 0.7,
+        ..FleetConfig::default()
+    }
+    .generate()
+    .expect("fleet generation succeeds");
+
+    let mut config = LorentzConfig::paper_defaults();
+    config.hierarchical.min_bucket = 5;
+    config.target_encoding.boosting.n_trees = 40;
+    let mut trained = LorentzPipeline::new(config)
+        .expect("config is valid")
+        .train(&synthetic.fleet)
+        .expect("training succeeds");
+
+    // The learned hierarchy itself is part of the explanation surface.
+    let hierarchical = trained
+        .hierarchical(ServerOffering::GeneralPurpose)
+        .expect("model trained");
+    let schema = synthetic.fleet.profiles().schema();
+    let chain: Vec<&str> = hierarchical
+        .chain()
+        .features()
+        .iter()
+        .map(|&f| schema.name(f))
+        .collect();
+    println!("learned profile hierarchy (coarse -> fine): {}", chain.join(" > "));
+
+    // A request from a known vertical but an unknown customer.
+    let vertical = synthetic.fleet.profiles().value_str(0, FeatureId(2));
+    let segment = synthetic.fleet.profiles().value_str(0, FeatureId(0));
+    let industry = synthetic.fleet.profiles().value_str(0, FeatureId(1));
+    let profile: Vec<Option<&str>> = vec![
+        segment,
+        industry,
+        vertical,
+        None,                    // VerticalCategoryName missing
+        Some("unknown-customer"),
+        Some("unknown-subscription"),
+        Some("unknown-rg"),
+    ];
+    let path = ResourcePath::new(CustomerId(4242), SubscriptionId(7), ResourceGroupId(3));
+    let request = RecommendRequest {
+        profile,
+        offering: ServerOffering::GeneralPurpose,
+        path,
+    };
+
+    println!("\n--- hierarchical recommendation ---");
+    let rec = trained
+        .recommend(&request, ModelKind::Hierarchical)
+        .expect("recommendation succeeds");
+    println!("SKU: {}", rec.sku);
+    println!("why: {}", rec.explanation);
+    if let Explanation::HierarchicalBucket { bucket, .. } = &rec.explanation {
+        println!(
+            "reference instances: {} similar DBs, rightsized to {}..{} vCores (median {})",
+            bucket.size, bucket.min, bucket.max, bucket.median
+        );
+    }
+
+    println!("\n--- target-encoding recommendation ---");
+    let rec = trained
+        .recommend(&request, ModelKind::TargetEncoding)
+        .expect("recommendation succeeds");
+    println!("SKU: {}", rec.sku);
+    println!("why: {}", rec.explanation);
+
+    // The user disagrees: they want more headroom. §4 lets them adjust
+    // their perceived cost/performance preference directly.
+    println!("\n--- user overrides lambda to +1 (one ladder step up) ---");
+    trained
+        .personalizer_mut()
+        .set_lambda(path, ServerOffering::GeneralPurpose, 1.0);
+    let rec = trained
+        .recommend(&request, ModelKind::Hierarchical)
+        .expect("recommendation succeeds");
+    println!(
+        "SKU: {} (stage-2 said {:.0} vCores, lambda {:+.1})",
+        rec.sku, rec.stage2_capacity, rec.lambda
+    );
+}

@@ -1,0 +1,76 @@
+//! Compares Lorentz across fleet regimes: the paper's two calibrations, a
+//! data-scarce startup, and a clean enterprise estate — showing where each
+//! provisioner earns its keep.
+//!
+//! ```text
+//! cargo run --release --example scenario_comparison
+//! ```
+
+use lorentz::core::validation::validate_deployment;
+use lorentz::core::{fleet_report, CostModel, LorentzConfig, LorentzPipeline, ModelKind};
+use lorentz::ml::three_way_split;
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::simdata::scenarios;
+use lorentz::telemetry::generators::SamplingConfig;
+
+fn sized(mut config: FleetConfig) -> FleetConfig {
+    config.n_servers = 400;
+    config.seed = 31;
+    config.sampling = SamplingConfig {
+        duration_secs: 6.0 * 3600.0,
+        mean_interval_secs: 60.0,
+        jitter_frac: 0.2,
+    };
+    config
+}
+
+fn main() {
+    let mut lorentz_config = LorentzConfig::paper_defaults();
+    lorentz_config.hierarchical.min_bucket = 5;
+    lorentz_config.target_encoding.boosting.n_trees = 40;
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>14}",
+        "scenario", "savings", "censored", "hier RMSE", "te RMSE"
+    );
+    for (name, scenario) in [
+        ("paper-5.2", scenarios::paper_section52()),
+        ("paper-2.2", scenarios::paper_section22()),
+        ("startup (scarce)", scenarios::data_scarce_startup()),
+        ("enterprise (clean)", scenarios::enterprise()),
+    ] {
+        let synth = sized(scenario).generate().expect("generation succeeds");
+
+        // Fleet health: projected rightsizing savings.
+        let report = fleet_report(&lorentz_config, &CostModel::default(), &synth.fleet)
+            .expect("report builds");
+
+        // Train on 80%, validate the provisioners on the 10% test split.
+        let split = three_way_split(synth.fleet.len(), 0.8, 0.1, 0.1, 31).expect("splits");
+        let deployment = LorentzPipeline::new(lorentz_config.clone())
+            .expect("config valid")
+            .train(&synth.fleet.subset(&split.train))
+            .expect("training succeeds");
+        let validation = synth.fleet.subset(&split.test);
+        let rmse = |kind: ModelKind| -> String {
+            validate_deployment(&deployment, &validation, kind)
+                .map(|r| format!("{:.3}", r.label_rmse_log2))
+                .unwrap_or_else(|_| "n/a".into())
+        };
+
+        println!(
+            "{name:<22} {:>9.1}% {:>11.1}% {:>14} {:>14}",
+            100.0 * report.projected_savings,
+            100.0 * report.censored as f64 / report.servers as f64,
+            rmse(ModelKind::Hierarchical),
+            rmse(ModelKind::TargetEncoding),
+        );
+    }
+    println!(
+        "\nRMSE = held-out log2 error vs rightsized labels; lower is better.\n\
+         The concentrated paper-5.2 fleet is near-trivially predictable (most\n\
+         labels are the minimum SKU); regimes with diverse demand are harder\n\
+         but also waste more, so rightsizing saves the most where prediction\n\
+         is hardest."
+    );
+}

@@ -1,0 +1,38 @@
+//! # Lorentz
+//!
+//! A Rust implementation of **Lorentz: Learned SKU Recommendation Using
+//! Profile Data** (SIGMOD 2024). Lorentz recommends the initial SKU
+//! (capacity) for newly-provisioned cloud resources *before any telemetry
+//! exists*, using only customer/server profile data, through three stages:
+//!
+//! 1. **Rightsizing** existing workloads into training labels
+//!    ([`core::rightsizer`]);
+//! 2. **Provisioning** capacities for new resources from profile data via a
+//!    hierarchical bucket model or target encoding + gradient-boosted trees
+//!    ([`core::provisioner`]);
+//! 3. **Personalizing** recommendations with learned cost/performance
+//!    sensitivity scores λ ([`core::personalizer`]).
+//!
+//! This facade crate re-exports the entire workspace under stable module
+//! names; see the README for a tour and `examples/` for runnable programs.
+//!
+//! ```
+//! use lorentz::types::{Capacity, ServerOffering, SkuCatalog};
+//!
+//! let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+//! let sku = catalog.round_up(&Capacity::scalar(3.0)).unwrap();
+//! assert_eq!(sku.capacity.primary(), 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lorentz_core as core;
+pub use lorentz_hierarchy as hierarchy;
+pub use lorentz_ml as ml;
+pub use lorentz_simdata as simdata;
+pub use lorentz_telemetry as telemetry;
+pub use lorentz_types as types;
+
+/// The crate version, for experiment provenance lines.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

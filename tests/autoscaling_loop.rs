@@ -1,0 +1,161 @@
+//! The §3.3 extension end-to-end: a resource is first provisioned from
+//! profile data alone (no telemetry exists), then — once telemetry
+//! accumulates — re-provisioned by the trace-augmented model, which should
+//! land closer to the rightsized capacity than the profile-only guess.
+
+use lorentz::core::provisioner::{TraceAugmentedProvisioner, TraceAugmentedConfig};
+use lorentz::core::{LorentzConfig, LorentzPipeline, ModelKind, Rightsizer};
+use lorentz::ml::GradientBoostingConfig;
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::telemetry::generators::SamplingConfig;
+use lorentz::types::{ServerOffering, SkuCatalog};
+
+#[test]
+fn trace_augmentation_improves_on_profile_only_provisioning() {
+    // A fleet where per-server demand varies widely *within* profile
+    // buckets (high server sigma): profile-only models can only predict
+    // the bucket center, telemetry identifies the individual server.
+    let synth = FleetConfig {
+        n_servers: 500,
+        seed: 77,
+        base_demand: 1.5,
+        server_sigma: 1.2, // large idiosyncratic spread
+        sampling: SamplingConfig {
+            duration_secs: 6.0 * 3600.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.2,
+        },
+        ..FleetConfig::default()
+    }
+    .generate()
+    .unwrap();
+
+    let mut config = LorentzConfig::paper_defaults();
+    config.hierarchical.min_bucket = 5;
+    config.target_encoding.boosting.n_trees = 40;
+    let trained = LorentzPipeline::new(config)
+        .unwrap()
+        .train(&synth.fleet)
+        .unwrap();
+
+    // Fit the trace-augmented model on the General Purpose stratum.
+    let rows = synth.fleet.rows_for_offering(ServerOffering::GeneralPurpose);
+    assert!(rows.len() > 100);
+    let (train_rows, test_rows) = rows.split_at(rows.len() * 8 / 10);
+    let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+
+    let train_table = synth.fleet.profiles().subset(train_rows);
+    let train_traces: Vec<_> = train_rows
+        .iter()
+        .map(|&r| synth.fleet.traces()[r].clone())
+        .collect();
+    let train_labels: Vec<f64> = train_rows.iter().map(|&r| trained.labels()[r]).collect();
+    let augmented = TraceAugmentedProvisioner::fit(
+        &train_table,
+        &train_traces,
+        &train_labels,
+        catalog.clone(),
+        TraceAugmentedConfig {
+            boosting: GradientBoostingConfig {
+                n_trees: 40,
+                learning_rate: 0.3,
+                ..GradientBoostingConfig::default()
+            },
+            ..TraceAugmentedConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Compare squared log2 errors against the rightsized labels on the
+    // held-out rows: day-2 (trace-augmented) must beat day-0
+    // (profile-only).
+    let profile_model = trained
+        .provisioner(ServerOffering::GeneralPurpose, ModelKind::TargetEncoding)
+        .unwrap();
+    let mut profile_sq = 0.0;
+    let mut augmented_sq = 0.0;
+    for &r in test_rows {
+        let truth = trained.labels()[r].log2();
+        let x = synth.fleet.profiles().row(r);
+        let p0 = profile_model.predict_raw(&x).unwrap().log2();
+        let p1 = augmented
+            .predict_raw_with_trace(&x, &synth.fleet.traces()[r])
+            .unwrap()
+            .log2();
+        profile_sq += (p0 - truth) * (p0 - truth);
+        augmented_sq += (p1 - truth) * (p1 - truth);
+    }
+    let n = test_rows.len() as f64;
+    let profile_rmse = (profile_sq / n).sqrt();
+    let augmented_rmse = (augmented_sq / n).sqrt();
+    assert!(
+        augmented_rmse < profile_rmse * 0.8,
+        "telemetry should cut log2 RMSE by >20%: profile {profile_rmse:.3} vs augmented {augmented_rmse:.3}"
+    );
+}
+
+#[test]
+fn rightsizer_and_trace_model_agree_on_steady_workloads() {
+    // For a steady workload the trace-augmented prediction and the direct
+    // rightsizer should pick capacities within one ladder step.
+    let synth = FleetConfig {
+        n_servers: 300,
+        seed: 78,
+        base_demand: 1.5,
+        sampling: SamplingConfig {
+            duration_secs: 4.0 * 3600.0,
+            mean_interval_secs: 60.0,
+            jitter_frac: 0.2,
+        },
+        ..FleetConfig::default()
+    }
+    .generate()
+    .unwrap();
+    let mut config = LorentzConfig::paper_defaults();
+    config.hierarchical.min_bucket = 5;
+    config.target_encoding.boosting.n_trees = 30;
+    let trained = LorentzPipeline::new(config.clone())
+        .unwrap()
+        .train(&synth.fleet)
+        .unwrap();
+    let rows = synth.fleet.rows_for_offering(ServerOffering::GeneralPurpose);
+    let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+    let table = synth.fleet.profiles().subset(&rows);
+    let traces: Vec<_> = rows.iter().map(|&r| synth.fleet.traces()[r].clone()).collect();
+    let labels: Vec<f64> = rows.iter().map(|&r| trained.labels()[r]).collect();
+    let augmented = TraceAugmentedProvisioner::fit(
+        &table,
+        &traces,
+        &labels,
+        catalog.clone(),
+        TraceAugmentedConfig {
+            boosting: GradientBoostingConfig {
+                n_trees: 30,
+                learning_rate: 0.3,
+                ..GradientBoostingConfig::default()
+            },
+            ..TraceAugmentedConfig::default()
+        },
+    )
+    .unwrap();
+    let rightsizer = Rightsizer::new(config.rightsizer).unwrap();
+
+    let mut within_one_step = 0usize;
+    for (i, &r) in rows.iter().enumerate() {
+        let (sku, _) = augmented
+            .recommend_with_trace(&table.row(i), &traces[i])
+            .unwrap();
+        let outcome = rightsizer
+            .rightsize(&traces[i], &synth.fleet.user_capacities()[r], &catalog)
+            .unwrap();
+        let steps = (sku.capacity.primary().log2() - outcome.capacity.primary().log2()).abs();
+        if steps <= 1.0 + 1e-9 {
+            within_one_step += 1;
+        }
+    }
+    let share = within_one_step as f64 / rows.len() as f64;
+    assert!(
+        share > 0.9,
+        "trace-augmented recommendations should track the rightsizer, got {share:.2}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the ML substrate: trees, ensembles, encodings,
+//! and the ξ transform.
+
+use lorentz::ml::{
+    metrics, transform, Dataset, DecisionTree, GradientBoosting, GradientBoostingConfig,
+    MissingPolicy, TargetEncoder, TargetStatistic, TreeConfig,
+};
+use lorentz::types::{ProfileSchema, ProfileTable};
+use proptest::prelude::*;
+
+/// Arbitrary small regression dataset: 1-3 features, 8-64 rows.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..=3, 8usize..=64).prop_flat_map(|(n_features, n_rows)| {
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, n_features),
+            n_rows,
+        );
+        let labels = proptest::collection::vec(-50.0f64..50.0, n_rows);
+        (rows, labels).prop_map(move |(rows, labels)| {
+            let names = (0..n_features).map(|i| format!("f{i}")).collect();
+            Dataset::from_rows(names, &rows, labels).unwrap()
+        })
+    })
+}
+
+proptest! {
+    /// Tree predictions on training rows lie within the label range
+    /// (leaves are label means).
+    #[test]
+    fn tree_predictions_bounded_by_labels(data in dataset()) {
+        let tree = DecisionTree::fit(&data, &TreeConfig::default()).unwrap();
+        let min = data.labels().iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.labels().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for p in tree.predict(&data) {
+            prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+        }
+    }
+
+    /// Deeper trees never fit training data worse (squared loss is
+    /// monotone in nesting).
+    #[test]
+    fn deeper_trees_fit_no_worse(data in dataset()) {
+        let shallow = DecisionTree::fit(&data, &TreeConfig { max_depth: 2, ..TreeConfig::default() }).unwrap();
+        let deep = DecisionTree::fit(&data, &TreeConfig { max_depth: 8, ..TreeConfig::default() }).unwrap();
+        let r_shallow = metrics::rmse(&shallow.predict(&data), data.labels());
+        let r_deep = metrics::rmse(&deep.predict(&data), data.labels());
+        prop_assert!(r_deep <= r_shallow + 1e-9);
+    }
+
+    /// Boosting training error decreases (weakly) with more rounds.
+    #[test]
+    fn boosting_error_nonincreasing_in_rounds(data in dataset()) {
+        let mk = |n_trees| GradientBoostingConfig {
+            n_trees,
+            learning_rate: 0.3,
+            seed: 1,
+            ..GradientBoostingConfig::default()
+        };
+        let few = GradientBoosting::fit(&data, &mk(3)).unwrap();
+        let many = GradientBoosting::fit(&data, &mk(30)).unwrap();
+        let r_few = metrics::rmse(&few.predict(&data), data.labels());
+        let r_many = metrics::rmse(&many.predict(&data), data.labels());
+        prop_assert!(r_many <= r_few + 1e-6);
+    }
+
+    /// ξ and ξ⁻¹ are inverse bijections on positive capacities.
+    #[test]
+    fn xi_round_trip(c in 0.01f64..1e6) {
+        let z = transform::xi(c).unwrap();
+        let back = transform::xi_inv(z).unwrap();
+        prop_assert!((back - c).abs() / c < 1e-12);
+    }
+
+    /// Target encoding of any seen value lies within the label range, and
+    /// the global statistic is used for unseen/missing values.
+    #[test]
+    fn target_encoding_bounded(labels in proptest::collection::vec(0.5f64..128.0, 4..40)) {
+        let schema = ProfileSchema::new(vec!["k"]).unwrap();
+        let mut table = ProfileTable::new(schema);
+        for i in 0..labels.len() {
+            let v = format!("v{}", i % 5);
+            table.push_row(&[Some(v.as_str())]).unwrap();
+        }
+        let enc = TargetEncoder::fit(
+            &table,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            0.0,
+        )
+        .unwrap();
+        let min = labels.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = labels.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for row in 0..table.rows() {
+            let encoded = enc.encode_vector(&table.row(row));
+            prop_assert!(encoded[0] >= min - 1e-9 && encoded[0] <= max + 1e-9);
+        }
+        let missing = enc.encode_value(lorentz::types::FeatureId(0), None);
+        prop_assert!((missing - enc.global()).abs() < 1e-12);
+    }
+
+    /// R² of the label mean predictor is ~0; R² of perfect predictions is 1.
+    #[test]
+    fn r2_reference_properties(labels in proptest::collection::vec(-10.0f64..10.0, 3..30)) {
+        let mean = labels.iter().sum::<f64>() / labels.len() as f64;
+        let variance: f64 = labels.iter().map(|l| (l - mean) * (l - mean)).sum();
+        prop_assume!(variance > 1e-6);
+        let mean_preds = vec![mean; labels.len()];
+        prop_assert!(metrics::r2(&mean_preds, &labels).abs() < 1e-9);
+        prop_assert!((metrics::r2(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of Algorithm 1 (message propagation) and the λ
+//! adjustment (Eq. 13-14).
+
+use lorentz::core::{Personalizer, PersonalizerConfig, SatisfactionSignal};
+use lorentz::types::{
+    CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
+};
+use proptest::prelude::*;
+
+fn path(c: u32, s: u32, r: u32) -> ResourcePath {
+    ResourcePath::new(CustomerId(c), SubscriptionId(s), ResourceGroupId(r))
+}
+
+fn config_strategy() -> impl Strategy<Value = PersonalizerConfig> {
+    (0.05f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(lr, r, s, c)| {
+        PersonalizerConfig {
+            learning_rate: lr,
+            rho_stratification: r,
+            rho_resource_group: s,
+            rho_subscription: c,
+            lambda_clamp: 50.0,
+        }
+    })
+}
+
+fn gamma_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(-1.0), Just(1.0), -1.0f64..1.0]
+}
+
+proptest! {
+    /// The propagation respects the locality ordering of Algorithm 1
+    /// whenever the decays themselves are ordered (ρ_S >= ρ_C, the natural
+    /// configuration): |update(same RG)| >= |update(same subscription)| >=
+    /// |update(other subscription)|, and other customers receive nothing.
+    #[test]
+    fn propagation_locality_ordering(cfg in config_strategy(), gamma in gamma_strategy()) {
+        prop_assume!(cfg.rho_resource_group >= cfg.rho_subscription);
+        let mut p = Personalizer::new(cfg).unwrap();
+        let origin = path(1, 1, 11);
+        let sibling_rg = path(1, 1, 12);
+        let other_sub = path(1, 2, 21);
+        let other_customer = path(2, 9, 91);
+        for loc in [origin, sibling_rg, other_sub, other_customer] {
+            p.register(loc);
+        }
+        let st = ServerOffering::GeneralPurpose;
+        p.apply_signal(&SatisfactionSignal::new(origin, st, gamma).unwrap());
+
+        let at = |loc: &ResourcePath| p.lambda(loc, st).abs();
+        prop_assert!(at(&origin) >= at(&sibling_rg) - 1e-12);
+        prop_assert!(at(&sibling_rg) >= at(&other_sub) - 1e-12);
+        prop_assert_eq!(p.lambda(&other_customer, st), 0.0);
+    }
+
+    /// Signal sign determines update sign everywhere it propagates.
+    #[test]
+    fn update_sign_matches_signal(cfg in config_strategy(), gamma in gamma_strategy()) {
+        prop_assume!(gamma != 0.0);
+        let mut p = Personalizer::new(cfg).unwrap();
+        let origin = path(1, 1, 1);
+        let sibling = path(1, 1, 2);
+        p.register(origin);
+        p.register(sibling);
+        let st = ServerOffering::Burstable;
+        p.apply_signal(&SatisfactionSignal::new(origin, st, gamma).unwrap());
+        for loc in [origin, sibling] {
+            for off in ServerOffering::ALL {
+                let l = p.lambda(&loc, off);
+                prop_assert!(l * gamma >= 0.0, "lambda {l} disagrees with gamma {gamma}");
+            }
+        }
+    }
+
+    /// Opposite signals of equal magnitude cancel exactly.
+    #[test]
+    fn opposite_signals_cancel(cfg in config_strategy(), gamma in 0.05f64..1.0) {
+        let mut p = Personalizer::new(cfg).unwrap();
+        let origin = path(3, 3, 3);
+        p.register(origin);
+        p.register(path(3, 3, 4));
+        p.register(path(3, 5, 6));
+        let st = ServerOffering::MemoryOptimized;
+        p.apply_signal(&SatisfactionSignal::new(origin, st, gamma).unwrap());
+        p.apply_signal(&SatisfactionSignal::new(origin, st, -gamma).unwrap());
+        for (loc, off, l) in p.iter() {
+            prop_assert!(l.abs() < 1e-9, "{loc} [{off}] kept residual {l}");
+        }
+    }
+
+    /// λ values never exceed the clamp regardless of signal volume.
+    #[test]
+    fn lambda_is_clamped(signals in proptest::collection::vec(gamma_strategy(), 1..60)) {
+        let cfg = PersonalizerConfig { lambda_clamp: 2.0, ..PersonalizerConfig::default() };
+        let mut p = Personalizer::new(cfg).unwrap();
+        let origin = path(1, 1, 1);
+        p.register(origin);
+        let st = ServerOffering::GeneralPurpose;
+        for g in signals {
+            p.apply_signal(&SatisfactionSignal::new(origin, st, g).unwrap());
+            let l = p.lambda(&origin, st);
+            prop_assert!(l.abs() <= 2.0 + 1e-12);
+        }
+    }
+
+    /// Eq. 14: the adjusted capacity is the catalog point nearest
+    /// 2^λ · c* in log space, and λ = 0 is the identity on catalog values.
+    #[test]
+    fn adjustment_matches_eq14(
+        lambda in -4.0f64..4.0,
+        c_star_idx in 0usize..9,
+    ) {
+        let cat = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+        let c_star = cat.get(c_star_idx).capacity.primary();
+        let mut p = Personalizer::new(PersonalizerConfig::default()).unwrap();
+        let loc = path(1, 1, 1);
+        p.set_lambda(loc, ServerOffering::GeneralPurpose, lambda);
+        let adjusted = p.adjust(c_star, &loc, ServerOffering::GeneralPurpose, &cat);
+        let expect = cat
+            .nearest_log2(&lorentz::types::Capacity::scalar(lambda.exp2() * c_star))
+            .capacity
+            .primary();
+        prop_assert_eq!(adjusted.capacity.primary(), expect);
+        if lambda.abs() < 1e-12 {
+            prop_assert_eq!(adjusted.capacity.primary(), c_star);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the Stage-1 rightsizer invariants (Eq. 3–9)
+//! against arbitrary workloads.
+
+use lorentz::core::{Rightsizer, RightsizerConfig};
+use lorentz::telemetry::{RegularSeries, UsageTrace};
+use lorentz::types::{Capacity, ServerOffering, SkuCatalog};
+use proptest::prelude::*;
+
+fn sizer() -> Rightsizer {
+    Rightsizer::new(RightsizerConfig::default()).unwrap()
+}
+
+fn catalog() -> SkuCatalog {
+    SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose)
+}
+
+/// Arbitrary bounded workload: 4–64 bins of usage in [0, 140).
+fn workload() -> impl Strategy<Value = UsageTrace> {
+    proptest::collection::vec(0.0f64..140.0, 4..64).prop_map(|values| {
+        UsageTrace::single(RegularSeries::new(300.0, values).unwrap())
+    })
+}
+
+/// Catalog capacities to test against.
+fn capacity() -> impl Strategy<Value = Capacity> {
+    prop_oneof![
+        Just(2.0),
+        Just(4.0),
+        Just(8.0),
+        Just(16.0),
+        Just(32.0),
+        Just(48.0),
+        Just(64.0),
+        Just(96.0),
+        Just(128.0),
+    ]
+    .prop_map(Capacity::scalar)
+}
+
+proptest! {
+    /// Throttling is monotone non-increasing in capacity (Eq. 3-4).
+    #[test]
+    fn throttling_decreases_with_capacity(trace in workload()) {
+        let s = sizer();
+        let mut prev = f64::INFINITY;
+        for c in catalog().capacities() {
+            let t = s.throttling(&trace, c).unwrap();
+            prop_assert!((0.0..=1.0).contains(&t));
+            prop_assert!(t <= prev + 1e-12, "throttling must not grow with capacity");
+            prev = t;
+        }
+    }
+
+    /// Mean slack ratio is monotone non-decreasing in capacity and bounded
+    /// above by 1 (Eq. 5-6).
+    #[test]
+    fn slack_increases_with_capacity(trace in workload()) {
+        let s = sizer();
+        let mut prev = f64::NEG_INFINITY;
+        for c in catalog().capacities() {
+            let slack = s.slack_ratio(&trace, c).unwrap()[0];
+            prop_assert!(slack <= 1.0 + 1e-12);
+            prop_assert!(slack >= prev - 1e-12, "slack must not shrink with capacity");
+            prev = slack;
+        }
+    }
+
+    /// The complete optimizer (Eq. 9) always returns a catalog SKU, never
+    /// throttles the observed workload when uncensored, and scales up at
+    /// least 2^K when censored.
+    #[test]
+    fn rightsize_respects_eq9(trace in workload(), user in capacity()) {
+        let s = sizer();
+        let cat = catalog();
+        // Telemetry is physically censored at the user capacity (Eq. 1).
+        let observed = trace.censored(&user).unwrap();
+        let out = s.rightsize(&observed, &user, &cat).unwrap();
+        prop_assert!(cat.index_of(&out.capacity).is_some());
+        if out.censored {
+            let k = f64::from(2u32.pow(s.config().k));
+            let saturated = (out.capacity.primary() - cat.maximum().capacity.primary()).abs() < 1e-9;
+            prop_assert!(
+                out.capacity.primary() >= k * user.primary() - 1e-9 || saturated,
+                "censored branch must scale up 2^K or saturate: got {} for user {}",
+                out.capacity.primary(),
+                user.primary()
+            );
+        } else {
+            let t = s.throttling(&observed, &out.capacity).unwrap();
+            prop_assert!(t <= s.config().tau + 1e-12, "uncensored branch must respect tau");
+        }
+    }
+
+    /// Rightsizing is idempotent on uncensored workloads: re-rightsizing at
+    /// the chosen capacity returns the same capacity.
+    #[test]
+    fn rightsize_is_idempotent_when_uncensored(trace in workload()) {
+        let s = sizer();
+        let cat = catalog();
+        let user = cat.maximum().capacity.clone(); // never censored at 128? may still throttle
+        let observed = trace.censored(&user).unwrap();
+        let first = s.rightsize(&observed, &user, &cat).unwrap();
+        if !first.censored {
+            // The workload fits under the chosen capacity's telemetry too.
+            let observed2 = trace.censored(&first.capacity).unwrap();
+            let second = s.rightsize(&observed2, &first.capacity, &cat).unwrap();
+            if !second.censored {
+                prop_assert_eq!(first.capacity, second.capacity);
+            }
+        }
+    }
+
+    /// Absolute slack equals slack ratio times capacity.
+    #[test]
+    fn absolute_slack_consistency(trace in workload(), c in capacity()) {
+        let s = sizer();
+        let ratio = s.slack_ratio(&trace, &c).unwrap()[0];
+        let abs = s.absolute_slack(&trace, &c).unwrap()[0];
+        prop_assert!((abs - ratio * c.primary()).abs() < 1e-9);
+    }
+}

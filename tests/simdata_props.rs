@@ -1,0 +1,108 @@
+//! Property-based tests of the synthetic fleet generator: any valid
+//! configuration must yield a physically consistent fleet.
+
+use lorentz::simdata::fleet::{FleetConfig, UserBehavior};
+use lorentz::telemetry::generators::SamplingConfig;
+use lorentz::types::SkuCatalog;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = FleetConfig> {
+    (
+        20usize..80,
+        any::<u64>(),
+        0.2f64..4.0,
+        0.0f64..1.0,
+        0.0f64..0.1,
+        0.0f64..0.2,
+        0.0f64..0.9,
+    )
+        .prop_map(
+            |(n, seed, base, sigma, mis_entry, missing, p_default)| FleetConfig {
+                n_servers: n,
+                seed,
+                base_demand: base,
+                server_sigma: sigma,
+                mis_entry_rate: mis_entry,
+                missing_rate: missing,
+                user: UserBehavior {
+                    p_default_prod: p_default,
+                    p_default_dev: (p_default + 0.1).min(1.0),
+                    p_under: 0.2,
+                    p_over: 0.3,
+                },
+                sampling: SamplingConfig {
+                    duration_secs: 3600.0,
+                    mean_interval_secs: 60.0,
+                    jitter_frac: 0.2,
+                },
+                ..FleetConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated fleet satisfies the physical invariants: telemetry
+    /// censored at the selected capacity (Eq. 1), capacities drawn from the
+    /// offering's catalog, aligned vectors, and schema-conformant profiles.
+    #[test]
+    fn generated_fleets_are_physically_consistent(config in config_strategy()) {
+        let synth = config.generate().unwrap();
+        prop_assert_eq!(synth.fleet.len(), config.n_servers);
+        prop_assert_eq!(synth.ground_truth.len(), config.n_servers);
+        prop_assert_eq!(synth.fleet.profiles().rows(), config.n_servers);
+        for i in 0..synth.fleet.len() {
+            let cap = &synth.fleet.user_capacities()[i];
+            let catalog = SkuCatalog::azure_postgres(synth.fleet.offerings()[i]);
+            prop_assert!(catalog.index_of(cap).is_some(), "server {i} off-catalog");
+            // Eq. 1: observed telemetry never exceeds the selected capacity.
+            prop_assert!(
+                synth.fleet.traces()[i].peak()[0] <= cap.primary() + 1e-9,
+                "server {i} telemetry exceeds capacity"
+            );
+            // Telemetry is the censored ground truth: equal wherever demand
+            // fits under the cap.
+            let truth = synth.ground_truth[i].resource(0).values();
+            let seen = synth.fleet.traces()[i].resource(0).values();
+            prop_assert_eq!(truth.len(), seen.len());
+            for (t, s) in truth.iter().zip(seen) {
+                prop_assert!(*s <= *t + 1e-9, "censoring can only reduce");
+                if *t <= cap.primary() {
+                    prop_assert!((t - s).abs() < 1e-9, "uncensored bins must match");
+                }
+            }
+        }
+    }
+
+    /// Generation is a pure function of the configuration.
+    #[test]
+    fn generation_is_deterministic(config in config_strategy()) {
+        let a = config.generate().unwrap();
+        let b = config.generate().unwrap();
+        prop_assert_eq!(a.needs, b.needs);
+        for i in 0..a.fleet.len() {
+            prop_assert_eq!(&a.fleet.user_capacities()[i], &b.fleet.user_capacities()[i]);
+        }
+    }
+
+    /// The profile hierarchy stays learnable across the configuration space
+    /// as long as mis-entry noise is mild: the chain contains at least the
+    /// coarse half of the schema.
+    #[test]
+    fn hierarchy_remains_learnable(config in config_strategy()) {
+        prop_assume!(config.mis_entry_rate < 0.05 && config.missing_rate < 0.1);
+        prop_assume!(config.n_servers >= 40);
+        let synth = config.generate().unwrap();
+        let chain = lorentz::hierarchy::learn_hierarchy(
+            synth.fleet.profiles(),
+            &lorentz::hierarchy::HierarchyConfig::default(),
+        )
+        .unwrap();
+        prop_assert!(
+            chain.len() >= 3,
+            "chain length {} too short for a 7-level hierarchy",
+            chain.len()
+        );
+    }
+}

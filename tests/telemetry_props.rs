@@ -1,0 +1,109 @@
+//! Property-based tests of the telemetry substrate: binning, censoring,
+//! and catalog rounding.
+
+use lorentz::telemetry::aggregate::percentile;
+use lorentz::telemetry::{bin_series, Aggregator, EmptyBinPolicy, RawSeries};
+use lorentz::types::{Capacity, ServerOffering, SkuCatalog};
+use proptest::prelude::*;
+
+/// Arbitrary irregular series: increasing timestamps, bounded values.
+fn raw_series() -> impl Strategy<Value = RawSeries> {
+    proptest::collection::vec((0.1f64..120.0, 0.0f64..64.0), 1..80).prop_map(|steps| {
+        let mut t = 0.0;
+        let samples: Vec<(f64, f64)> = steps
+            .into_iter()
+            .map(|(dt, v)| {
+                t += dt;
+                (t, v)
+            })
+            .collect();
+        RawSeries::new(samples).unwrap()
+    })
+}
+
+proptest! {
+    /// Max binning preserves the global peak exactly for any bin width.
+    #[test]
+    fn max_binning_preserves_peak(raw in raw_series(), bin in 30.0f64..3600.0) {
+        let w = bin_series(&raw, bin, Aggregator::Max, EmptyBinPolicy::HoldLast).unwrap();
+        prop_assert!((w.max_value() - raw.max_value()).abs() < 1e-9);
+    }
+
+    /// Mean binning never exceeds max binning, bin by bin.
+    #[test]
+    fn mean_binning_below_max_binning(raw in raw_series(), bin in 30.0f64..3600.0) {
+        let wm = bin_series(&raw, bin, Aggregator::Mean, EmptyBinPolicy::Zero).unwrap();
+        let wx = bin_series(&raw, bin, Aggregator::Max, EmptyBinPolicy::Zero).unwrap();
+        prop_assert_eq!(wm.len(), wx.len());
+        for (m, x) in wm.values().iter().zip(wx.values()) {
+            prop_assert!(m <= &(x + 1e-9));
+        }
+    }
+
+    /// Censoring commutes with max binning: bin(min(u, c)) == min(bin(u), c).
+    #[test]
+    fn censoring_commutes_with_max_binning(raw in raw_series(), cap in 0.5f64..64.0) {
+        let censored_first =
+            bin_series(&raw.censored(cap), 300.0, Aggregator::Max, EmptyBinPolicy::HoldLast)
+                .unwrap();
+        let binned_first =
+            bin_series(&raw, 300.0, Aggregator::Max, EmptyBinPolicy::HoldLast)
+                .unwrap()
+                .censored(cap);
+        prop_assert_eq!(censored_first.len(), binned_first.len());
+        for (a, b) in censored_first.values().iter().zip(binned_first.values()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Censoring is a contraction: values never grow, and censoring at the
+    /// peak is the identity.
+    #[test]
+    fn censoring_contracts(raw in raw_series(), cap in 0.0f64..64.0) {
+        let c = raw.censored(cap);
+        for ((_, a), (_, b)) in raw.samples().iter().zip(c.samples()) {
+            prop_assert!(b <= a);
+            prop_assert!(*b <= cap + 1e-12);
+        }
+        let identity = raw.censored(raw.max_value());
+        prop_assert_eq!(identity, raw.clone());
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentiles_monotone(values in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let q = percentile(&values, p);
+            prop_assert!(q >= prev - 1e-12);
+            prev = q;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((percentile(&values, 0.0) - min).abs() < 1e-12);
+        prop_assert!((percentile(&values, 100.0) - max).abs() < 1e-12);
+    }
+
+    /// Catalog rounding invariants: round_up dominates the target, round_up
+    /// is the inverse of membership, and nearest_log2 returns a catalog SKU.
+    #[test]
+    fn catalog_rounding(target in 0.1f64..200.0) {
+        for offering in ServerOffering::ALL {
+            let cat = SkuCatalog::azure_postgres(offering);
+            let t = Capacity::scalar(target);
+            if let Some(sku) = cat.round_up(&t) {
+                prop_assert!(sku.capacity.primary() >= target);
+                // No smaller catalog SKU also dominates.
+                if let Some(idx) = cat.index_of(&sku.capacity) {
+                    if idx > 0 {
+                        prop_assert!(cat.get(idx - 1).capacity.primary() < target);
+                    }
+                }
+            } else {
+                prop_assert!(target > cat.maximum().capacity.primary());
+            }
+            let nearest = cat.nearest_log2(&t);
+            prop_assert!(cat.index_of(&nearest.capacity).is_some());
+        }
+    }
+}

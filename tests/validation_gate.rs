@@ -1,0 +1,85 @@
+//! Cross-crate test of the Fig. 8-B validation gate: a model trained on one
+//! fleet regime must pass validation on a fresh fleet from the same regime
+//! and be flagged when the world drifts.
+
+use lorentz::core::validation::{validate_deployment, PublishGate};
+use lorentz::core::{LorentzConfig, LorentzPipeline, ModelKind};
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::simdata::scenarios;
+use lorentz::telemetry::generators::SamplingConfig;
+
+fn sized(mut config: FleetConfig, seed: u64) -> FleetConfig {
+    config.n_servers = 300;
+    config.seed = seed;
+    config.sampling = SamplingConfig {
+        duration_secs: 4.0 * 3600.0,
+        mean_interval_secs: 60.0,
+        jitter_frac: 0.2,
+    };
+    config
+}
+
+fn quick_config() -> LorentzConfig {
+    let mut c = LorentzConfig::paper_defaults();
+    c.hierarchical.min_bucket = 5;
+    c.target_encoding.boosting.n_trees = 30;
+    c
+}
+
+#[test]
+fn same_regime_passes_drifted_regime_scores_worse() {
+    // Train on one §2.2-calibrated fleet...
+    let train = sized(scenarios::paper_section22(), 1).generate().unwrap();
+    let deployment = LorentzPipeline::new(quick_config())
+        .unwrap()
+        .train(&train.fleet)
+        .unwrap();
+
+    // ...validate on a fresh fleet from the same generator (new seed, same
+    // hierarchy-node need factors — the same "world").
+    let same = sized(scenarios::paper_section22(), 1).generate().unwrap();
+    let same_report =
+        validate_deployment(&deployment, &same.fleet, ModelKind::Hierarchical).unwrap();
+
+    // ...and on a *drifted* world: a different master seed redraws every
+    // hierarchy node's capacity-need factor, so the learned profile→capacity
+    // mapping no longer applies.
+    let drifted = sized(scenarios::paper_section22(), 999).generate().unwrap();
+    let drifted_report =
+        validate_deployment(&deployment, &drifted.fleet, ModelKind::Hierarchical).unwrap();
+
+    assert!(
+        same_report.label_rmse_log2 < drifted_report.label_rmse_log2,
+        "same-world RMSE {:.3} must beat drifted-world RMSE {:.3}",
+        same_report.label_rmse_log2,
+        drifted_report.label_rmse_log2
+    );
+
+    // The gate prefers the same-world report.
+    let gate = PublishGate::default();
+    let better = gate.better(&same_report, &drifted_report);
+    assert_eq!(better.label_rmse_log2, same_report.label_rmse_log2);
+}
+
+#[test]
+fn gate_holds_across_scenarios() {
+    // A model trained on the clean enterprise scenario validates well on
+    // enterprise data.
+    let train = sized(scenarios::enterprise(), 5).generate().unwrap();
+    let deployment = LorentzPipeline::new(quick_config())
+        .unwrap()
+        .train(&train.fleet)
+        .unwrap();
+    let validation = sized(scenarios::enterprise(), 5).generate().unwrap();
+    let report =
+        validate_deployment(&deployment, &validation.fleet, ModelKind::TargetEncoding).unwrap();
+    assert!(report.rows == 300);
+    assert!(
+        report.label_rmse_log2 < 1.0,
+        "enterprise profiles are clean; RMSE {:.3}",
+        report.label_rmse_log2
+    );
+    // Stage-2 recommendations can't beat Stage 1, but must be in its
+    // neighborhood on a learnable fleet.
+    assert!(report.slack_overhead() < 3.0, "{}", report.slack_overhead());
+}
