@@ -1,0 +1,112 @@
+//! Serving-path kernels: prediction-store lookups and the single vs
+//! batched recommend entry points (Fig. 8 step D, the online half).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lorentz_bench::bench_fleet;
+use lorentz_core::{LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, TrainedLorentz};
+use lorentz_types::{FeatureId, ResourcePath, ServerOffering, ValueId};
+
+const BATCH: usize = 256;
+
+/// An owned request (profile strings decoded back out of the fleet's
+/// vocabularies) so the borrowed `RecommendRequest`s can be rebuilt cheaply.
+struct OwnedRequest {
+    profile: Vec<Option<String>>,
+    offering: ServerOffering,
+    path: ResourcePath,
+}
+
+fn serving_fixture() -> (TrainedLorentz, Vec<OwnedRequest>) {
+    let synth = bench_fleet(300);
+    let table = synth.fleet.profiles();
+    let requests: Vec<OwnedRequest> = (0..BATCH)
+        .map(|i| {
+            let row = i % table.rows();
+            let x = table.row(row);
+            let profile = table
+                .schema()
+                .feature_ids()
+                .map(|f| x.get(f).map(|id| table.vocab(f).value(id).to_owned()))
+                .collect();
+            OwnedRequest {
+                profile,
+                offering: synth.fleet.offerings()[row],
+                path: synth.fleet.paths()[row],
+            }
+        })
+        .collect();
+    let trained = LorentzPipeline::new(LorentzConfig::paper_defaults())
+        .unwrap()
+        .train(&synth.fleet)
+        .unwrap();
+    (trained, requests)
+}
+
+fn borrow<'a>(owned: &'a [OwnedRequest]) -> Vec<RecommendRequest<'a>> {
+    owned
+        .iter()
+        .map(|r| RecommendRequest {
+            profile: r.profile.iter().map(|v| v.as_deref()).collect(),
+            offering: r.offering,
+            path: r.path,
+        })
+        .collect()
+}
+
+fn bench_store_lookup(c: &mut Criterion) {
+    let (trained, _) = serving_fixture();
+    let store = trained.store();
+    // A fully-specified level stack: fine-to-coarse ids 0..n. Misses on the
+    // fine levels and falls through — the worst-case probe count.
+    let levels: Vec<(FeatureId, ValueId)> = (0..trained.profiles().schema().len())
+        .map(|i| (FeatureId(i), ValueId(0)))
+        .collect();
+    c.bench_function("serve/store_lookup_packed", |b| {
+        b.iter(|| {
+            store
+                .lookup(
+                    black_box(ServerOffering::GeneralPurpose),
+                    black_box(&levels),
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let (trained, owned) = serving_fixture();
+    let requests = borrow(&owned);
+    c.bench_function("serve/recommend_single_x256", |b| {
+        b.iter(|| {
+            for r in &requests {
+                let _ = black_box(trained.recommend(black_box(r), ModelKind::Hierarchical));
+            }
+        })
+    });
+    c.bench_function("serve/recommend_batch_256", |b| {
+        b.iter(|| trained.recommend_batch(black_box(&requests), ModelKind::Hierarchical))
+    });
+}
+
+fn bench_recommend_store_path(c: &mut Criterion) {
+    let (trained, owned) = serving_fixture();
+    let requests = borrow(&owned);
+    c.bench_function("serve/store_single_x256", |b| {
+        b.iter(|| {
+            for r in &requests {
+                let _ = black_box(trained.recommend_from_store(black_box(r)));
+            }
+        })
+    });
+    c.bench_function("serve/store_batch_256", |b| {
+        b.iter(|| trained.recommend_batch_from_store(black_box(&requests)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_store_lookup,
+    bench_recommend,
+    bench_recommend_store_path
+);
+criterion_main!(benches);

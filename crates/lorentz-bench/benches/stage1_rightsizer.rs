@@ -9,7 +9,7 @@ use lorentz_types::{Capacity, ServerOffering, SkuCatalog};
 
 fn bench_statistics(c: &mut Criterion) {
     let fleet = bench_fleet(64);
-    let sizer = Rightsizer::new(RightsizerConfig::default()).unwrap();
+    let sizer = Rightsizer::new(&RightsizerConfig::default()).unwrap();
     let trace = &fleet.ground_truth[0];
     let cap = Capacity::scalar(8.0);
 
@@ -17,13 +17,17 @@ fn bench_statistics(c: &mut Criterion) {
         b.iter(|| sizer.throttling(black_box(trace), black_box(&cap)).unwrap())
     });
     c.bench_function("stage1/slack_ratio_1day_trace", |b| {
-        b.iter(|| sizer.slack_ratio(black_box(trace), black_box(&cap)).unwrap())
+        b.iter(|| {
+            sizer
+                .slack_ratio(black_box(trace), black_box(&cap))
+                .unwrap()
+        })
     });
 }
 
 fn bench_rightsize(c: &mut Criterion) {
     let fleet = bench_fleet(64);
-    let sizer = Rightsizer::new(RightsizerConfig::default()).unwrap();
+    let sizer = Rightsizer::new(&RightsizerConfig::default()).unwrap();
     let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
     let trace = &fleet.fleet.traces()[0];
     let user = &fleet.fleet.user_capacities()[0];

@@ -3,28 +3,24 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lorentz_bench::bench_fleet;
+use lorentz_core::provisioner::TargetEncodingConfig;
 use lorentz_core::{
     HierarchicalConfig, HierarchicalProvisioner, LorentzConfig, LorentzPipeline, Provisioner,
     TargetEncodingProvisioner,
 };
-use lorentz_core::provisioner::TargetEncodingConfig;
 use lorentz_ml::GradientBoostingConfig;
 use lorentz_types::{ServerOffering, SkuCatalog};
 
-fn training_data(
-    n: usize,
-) -> (
-    lorentz_types::ProfileTable,
-    Vec<f64>,
-    SkuCatalog,
-) {
+fn training_data(n: usize) -> (lorentz_types::ProfileTable, Vec<f64>, SkuCatalog) {
     let synth = bench_fleet(n);
     let config = LorentzConfig::paper_defaults();
     let trained = LorentzPipeline::new(config)
         .unwrap()
         .train(&synth.fleet)
         .unwrap();
-    let rows = synth.fleet.rows_for_offering(ServerOffering::GeneralPurpose);
+    let rows = synth
+        .fleet
+        .rows_for_offering(ServerOffering::GeneralPurpose);
     let table = synth.fleet.profiles().subset(&rows);
     let labels: Vec<f64> = rows.iter().map(|&r| trained.labels()[r]).collect();
     (
@@ -45,13 +41,13 @@ fn bench_hierarchical(c: &mut Criterion) {
             HierarchicalProvisioner::fit(
                 black_box(&table),
                 black_box(&labels),
-                catalog.clone(),
+                black_box(&catalog),
                 cfg,
             )
             .unwrap()
         })
     });
-    let model = HierarchicalProvisioner::fit(&table, &labels, catalog, cfg).unwrap();
+    let model = HierarchicalProvisioner::fit(&table, &labels, &catalog, cfg).unwrap();
     let x = table.row(0);
     c.bench_function("stage2/hierarchical_recommend", |b| {
         b.iter(|| model.recommend(black_box(&x)).unwrap())
@@ -72,13 +68,13 @@ fn bench_target_encoding(c: &mut Criterion) {
             TargetEncodingProvisioner::fit(
                 black_box(&table),
                 black_box(&labels),
-                catalog.clone(),
+                black_box(&catalog),
                 cfg,
             )
             .unwrap()
         })
     });
-    let model = TargetEncodingProvisioner::fit(&table, &labels, catalog, cfg).unwrap();
+    let model = TargetEncodingProvisioner::fit(&table, &labels, &catalog, cfg).unwrap();
     let x = table.row(0);
     c.bench_function("stage2/target_encoding_recommend", |b| {
         b.iter(|| model.recommend(black_box(&x)).unwrap())
@@ -91,7 +87,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     config.target_encoding.boosting.n_trees = 25;
     let pipeline = LorentzPipeline::new(config).unwrap();
     c.bench_function("stage2/pipeline_train_200_servers", |b| {
-        b.iter(|| pipeline.train(black_box(&synth.fleet)).unwrap())
+        b.iter(|| pipeline.clone().train(black_box(&synth.fleet)).unwrap())
     });
 }
 

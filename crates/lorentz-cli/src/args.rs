@@ -61,7 +61,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// Parsed numeric flag with a default.

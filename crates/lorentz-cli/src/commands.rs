@@ -26,6 +26,10 @@ USAGE:
   lorentz recommend --model model.json --offering burstable|general_purpose|memory_optimized
                     --profile \"Feature=value,Feature=value\" [--source hierarchical|target-encoding|store]
                     [--customer N --subscription N --resource-group N]
+  lorentz recommend --model model.json --batch requests.json
+                    [--source hierarchical|target-encoding|store] [--json]
+                    (requests.json: array of {\"offering\", \"profile\": {Feature: value},
+                     \"customer\", \"subscription\", \"resource_group\"}; all fields optional)
   lorentz report    --fleet fleet.json
   lorentz offering  --fleet fleet.json --profile \"Feature=value,...\"
   lorentz ticket    [--symptoms S] [--subject S] [--resolution S]
@@ -70,7 +74,7 @@ fn load_fleet(path: &str) -> Result<SyntheticFleet, String> {
 pub fn rightsize(args: &Args) -> Result<(), String> {
     let synthetic = load_fleet(args.require("fleet")?)?;
     let config = LorentzConfig::paper_defaults();
-    let rightsizer = Rightsizer::new(config.rightsizer).map_err(|e| e.to_string())?;
+    let rightsizer = Rightsizer::new(&config.rightsizer).map_err(|e| e.to_string())?;
     let fleet: &FleetDataset = &synthetic.fleet;
     let mut well = 0usize;
     let mut over = 0usize;
@@ -95,7 +99,10 @@ pub fn rightsize(args: &Args) -> Result<(), String> {
     println!("well provisioned:  {:5.1}%", 100.0 * well as f64 / n);
     println!("over provisioned:  {:5.1}%", 100.0 * over as f64 / n);
     println!("under provisioned: {:5.1}%", 100.0 * under as f64 / n);
-    println!("censored (throttled at selection): {:5.1}%", 100.0 * censored as f64 / n);
+    println!(
+        "censored (throttled at selection): {:5.1}%",
+        100.0 * censored as f64 / n
+    );
     Ok(())
 }
 
@@ -122,11 +129,8 @@ pub fn train(args: &Args) -> Result<(), String> {
 }
 
 fn parse_offering(name: &str) -> Result<ServerOffering, String> {
-    ServerOffering::ALL
-        .iter()
-        .copied()
-        .find(|o| o.name() == name)
-        .ok_or_else(|| format!("unknown offering '{name}' (use burstable, general_purpose, or memory_optimized)"))
+    name.parse()
+        .map_err(|e: lorentz_types::LorentzError| e.to_string())
 }
 
 /// Maps `"Feature=value,Feature=value"` to schema order.
@@ -142,19 +146,142 @@ fn parse_profile<'a>(
         let (key, value) = pair
             .split_once('=')
             .ok_or_else(|| format!("profile entry '{pair}' is not Feature=value"))?;
-        let feature = schema
-            .feature_id(key.trim())
-            .ok_or_else(|| format!("unknown profile feature '{key}' (schema: {:?})", schema.names()))?;
+        let feature = schema.feature_id(key.trim()).ok_or_else(|| {
+            format!(
+                "unknown profile feature '{key}' (schema: {:?})",
+                schema.names()
+            )
+        })?;
         profile[feature.index()] = Some(value.trim());
     }
     Ok(profile)
 }
 
-/// `lorentz recommend`: serve one recommendation from a saved deployment.
+/// One owned request parsed from a `--batch` file entry.
+struct BatchSpec {
+    profile: Vec<Option<String>>,
+    offering: ServerOffering,
+    path: ResourcePath,
+}
+
+/// Parses a `--batch` file: a JSON array of request objects. Every field is
+/// optional — `offering` defaults to `general_purpose`, `profile` entries
+/// default to missing, and the path ids default to 0.
+fn parse_batch_file(
+    json: &str,
+    schema: &lorentz_types::ProfileSchema,
+) -> Result<Vec<BatchSpec>, String> {
+    use serde::Deserialize;
+    let value = serde_json::parse(json).map_err(|e| e.to_string())?;
+    let items = value
+        .as_seq()
+        .ok_or("batch file must be a JSON array of request objects")?;
+    let mut specs = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let ctx = |msg: String| format!("request #{i}: {msg}");
+        if item.as_map().is_none() {
+            return Err(ctx("must be a JSON object".into()));
+        }
+        let offering = match item.get_field("offering") {
+            None => ServerOffering::GeneralPurpose,
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| ctx("offering must be a string".into()))?
+                .parse()
+                .map_err(|e: lorentz_types::LorentzError| ctx(e.to_string()))?,
+        };
+        let mut profile: Vec<Option<String>> = vec![None; schema.len()];
+        if let Some(p) = item.get_field("profile") {
+            let entries = p
+                .as_map()
+                .ok_or_else(|| ctx("profile must be an object of Feature: value".into()))?;
+            for (name, v) in entries {
+                let feature = schema.feature_id(name).ok_or_else(|| {
+                    ctx(format!(
+                        "unknown profile feature '{name}' (schema: {:?})",
+                        schema.names()
+                    ))
+                })?;
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| ctx(format!("profile value for '{name}' must be a string")))?;
+                profile[feature.index()] = Some(s.to_owned());
+            }
+        }
+        let id = |field: &str| -> Result<u32, String> {
+            match item.get_field(field) {
+                None => Ok(0),
+                Some(v) => {
+                    u32::from_value(v).map_err(|_| ctx(format!("{field} must be an integer")))
+                }
+            }
+        };
+        specs.push(BatchSpec {
+            profile,
+            offering,
+            path: ResourcePath::new(
+                CustomerId(id("customer")?),
+                SubscriptionId(id("subscription")?),
+                ResourceGroupId(id("resource_group")?),
+            ),
+        });
+    }
+    Ok(specs)
+}
+
+/// Serves every request in a `--batch` file through one batched call.
+fn recommend_batch(args: &Args, trained: &TrainedLorentz, batch_path: &str) -> Result<(), String> {
+    use serde::Serialize;
+    let json = fs::read_to_string(batch_path).map_err(|e| format!("{batch_path}: {e}"))?;
+    let specs = parse_batch_file(&json, trained.profiles().schema())?;
+    let requests: Vec<RecommendRequest<'_>> = specs
+        .iter()
+        .map(|s| RecommendRequest {
+            profile: s.profile.iter().map(|v| v.as_deref()).collect(),
+            offering: s.offering,
+            path: s.path,
+        })
+        .collect();
+    let results = match args.get_or("source", "hierarchical") {
+        "hierarchical" => trained.recommend_batch(&requests, ModelKind::Hierarchical),
+        "target-encoding" => trained.recommend_batch(&requests, ModelKind::TargetEncoding),
+        "store" => trained.recommend_batch_from_store(&requests),
+        other => return Err(format!("unknown source '{other}'")),
+    };
+    if args.has_switch("json") {
+        let rows: Vec<serde::Value> = results
+            .iter()
+            .map(|r| match r {
+                Ok(rec) => serde::Value::Map(vec![("ok".into(), rec.to_value())]),
+                Err(e) => {
+                    serde::Value::Map(vec![("error".into(), serde::Value::Str(e.to_string()))])
+                }
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Seq(rows)).map_err(|e| e.to_string())?
+        );
+    } else {
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Ok(rec) => println!("[{i}] {rec}"),
+                Err(e) => println!("[{i}] error: {e}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `lorentz recommend`: serve one recommendation (or a `--batch` file of
+/// them) from a saved deployment.
 pub fn recommend(args: &Args) -> Result<(), String> {
     let model_path = args.require("model")?;
     let json = fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
     let trained = TrainedLorentz::from_json(&json).map_err(|e| e.to_string())?;
+    if let Some(batch_path) = args.get("batch") {
+        return recommend_batch(args, &trained, batch_path);
+    }
     let offering = parse_offering(args.get_or("offering", "general_purpose"))?;
     let spec = args.get_or("profile", "").to_owned();
     let profile = parse_profile(&spec, trained.profiles().schema())?;
@@ -256,7 +383,10 @@ pub fn persim(args: &Args) -> Result<(), String> {
     };
     let iters = args.get_parse_or("iters", 40usize)?;
     let mut sim = PersonalizationSim::new(config).map_err(|e| e.to_string())?;
-    println!("{:>5} {:>8} {:>8} {:>10}", "iter", "rmse", "p80", "% correct");
+    println!(
+        "{:>5} {:>8} {:>8} {:>10}",
+        "iter", "rmse", "p80", "% correct"
+    );
     for i in 1..=iters {
         let m = sim.step();
         if i == 1 || i % 5 == 0 {
@@ -333,8 +463,68 @@ mod tests {
             "SegmentName=segmentname-0",
         ]))
         .unwrap();
+        let batch_path = tmp("requests.json");
+        std::fs::write(
+            &batch_path,
+            r#"[
+              {"offering": "general_purpose",
+               "profile": {"SegmentName": "segmentname-0"},
+               "customer": 1, "subscription": 2, "resource_group": 3},
+              {"profile": {"VerticalName": "verticalname-1"}},
+              {}
+            ]"#,
+        )
+        .unwrap();
+        for source in ["hierarchical", "target-encoding", "store"] {
+            recommend(&args(&[
+                "recommend",
+                "--model",
+                &model_path,
+                "--batch",
+                &batch_path,
+                "--source",
+                source,
+            ]))
+            .unwrap();
+        }
+        recommend(&args(&[
+            "recommend",
+            "--model",
+            &model_path,
+            "--batch",
+            &batch_path,
+            "--json",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&batch_path);
         let _ = std::fs::remove_file(&fleet_path);
         let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn batch_file_parsing_rejects_bad_requests() {
+        let schema = lorentz_types::ProfileSchema::azure_postgres();
+        assert!(parse_batch_file("not json", &schema).is_err());
+        assert!(parse_batch_file(r#"{"a": 1}"#, &schema).is_err()); // not an array
+        assert!(parse_batch_file(r#"[1]"#, &schema).is_err()); // entry not an object
+        assert!(parse_batch_file(r#"[{"offering": "huge"}]"#, &schema).is_err());
+        assert!(parse_batch_file(r#"[{"profile": {"NotAFeature": "x"}}]"#, &schema).is_err());
+        assert!(parse_batch_file(r#"[{"profile": {"SegmentName": 4}}]"#, &schema).is_err());
+        assert!(parse_batch_file(r#"[{"customer": "not-a-number"}]"#, &schema).is_err());
+
+        let specs = parse_batch_file(
+            r#"[{"offering": "burstable", "profile": {"SegmentName": "s1"},
+                 "customer": 7, "subscription": 8, "resource_group": 9}, {}]"#,
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].offering, ServerOffering::Burstable);
+        assert_eq!(specs[0].profile[0].as_deref(), Some("s1"));
+        assert_eq!(specs[0].path.customer, CustomerId(7));
+        assert_eq!(specs[1].offering, ServerOffering::GeneralPurpose);
+        assert_eq!(specs[1].profile, vec![None; schema.len()]);
+        assert_eq!(specs[1].path.customer, CustomerId(0));
     }
 
     #[test]

@@ -149,11 +149,26 @@ mod tests {
     #[test]
     fn rightsizer_validation_catches_bad_values() {
         let cases = [
-            RightsizerConfig { eta: vec![1.5], ..RightsizerConfig::default() },
-            RightsizerConfig { slack_target: vec![1.0], ..RightsizerConfig::default() },
-            RightsizerConfig { tau: -0.1, ..RightsizerConfig::default() },
-            RightsizerConfig { bin_seconds: 0.0, ..RightsizerConfig::default() },
-            RightsizerConfig { eta: vec![], ..RightsizerConfig::default() },
+            RightsizerConfig {
+                eta: vec![1.5],
+                ..RightsizerConfig::default()
+            },
+            RightsizerConfig {
+                slack_target: vec![1.0],
+                ..RightsizerConfig::default()
+            },
+            RightsizerConfig {
+                tau: -0.1,
+                ..RightsizerConfig::default()
+            },
+            RightsizerConfig {
+                bin_seconds: 0.0,
+                ..RightsizerConfig::default()
+            },
+            RightsizerConfig {
+                eta: vec![],
+                ..RightsizerConfig::default()
+            },
         ];
         for c in cases {
             assert!(c.validate().is_err(), "{c:?}");

@@ -10,8 +10,8 @@
 //! [`FleetBill`]s.
 
 use crate::rightsizer::Rightsizer;
-use lorentz_types::{Capacity, LorentzError};
 use lorentz_telemetry::UsageTrace;
+use lorentz_types::{Capacity, LorentzError};
 use serde::{Deserialize, Serialize};
 
 /// A linear capacity-hours price model.
@@ -114,7 +114,7 @@ mod tests {
     }
 
     fn sizer() -> Rightsizer {
-        Rightsizer::new(RightsizerConfig::default()).unwrap()
+        Rightsizer::new(&RightsizerConfig::default()).unwrap()
     }
 
     #[test]
@@ -153,10 +153,7 @@ mod tests {
             hours_throttled: 0.0,
             cost: 50.0,
         };
-        let b = FleetBill {
-            cost: 100.0,
-            ..a
-        };
+        let b = FleetBill { cost: 100.0, ..a };
         assert!((a.cost_reduction_vs(&b) - 0.5).abs() < 1e-12);
         assert_eq!(a.cost_reduction_vs(&FleetBill { cost: 0.0, ..a }), 0.0);
     }

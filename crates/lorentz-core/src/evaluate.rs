@@ -13,8 +13,8 @@
 //! one fixed catalog capacity to every workload.
 
 use crate::rightsizer::Rightsizer;
-use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use lorentz_telemetry::UsageTrace;
+use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use serde::{Deserialize, Serialize};
 
 /// Fleet-level slack/throttling evaluation of one capacity assignment.
@@ -188,7 +188,7 @@ mod tests {
     use lorentz_types::ServerOffering;
 
     fn sizer() -> Rightsizer {
-        Rightsizer::new(RightsizerConfig::default()).unwrap()
+        Rightsizer::new(&RightsizerConfig::default()).unwrap()
     }
 
     fn trace(values: &[f64]) -> UsageTrace {
@@ -223,15 +223,8 @@ mod tests {
         // Workloads with peak ~3; perfect prediction = 4.
         let traces: Vec<UsageTrace> = (0..10).map(|_| trace(&[3.0, 2.0, 1.0])).collect();
         let raw = vec![4.0; 10];
-        let points = prediction_pareto(
-            &sizer(),
-            &traces,
-            &raw,
-            &catalog(),
-            &[-2.0, 0.0, 2.0],
-            0.0,
-        )
-        .unwrap();
+        let points =
+            prediction_pareto(&sizer(), &traces, &raw, &catalog(), &[-2.0, 0.0, 2.0], 0.0).unwrap();
         assert_eq!(points.len(), 3);
         // Scaling down reduces slack but throttles everything.
         assert!(points[0].metrics.mean_abs_slack < points[1].metrics.mean_abs_slack);
@@ -291,8 +284,9 @@ mod tests {
         let caps = vec![Capacity::scalar(2.0), Capacity::scalar(2.0)];
         assert!(slack_throttle(&sizer(), &traces, &caps, 0.0).is_err());
         assert!(slack_distribution(&sizer(), &traces, &caps).is_err());
-        assert!(prediction_pareto(&sizer(), &traces, &[1.0, 2.0], &catalog(), &[0.0], 0.0)
-            .is_err());
+        assert!(
+            prediction_pareto(&sizer(), &traces, &[1.0, 2.0], &catalog(), &[0.0], 0.0).is_err()
+        );
         assert!(slack_throttle(&sizer(), &[], &[], 0.0).is_err());
     }
 }

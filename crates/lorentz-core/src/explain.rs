@@ -7,7 +7,7 @@
 //! "search result" to users so they can judge recommendation fidelity (§1
 //! C3, §4).
 
-use lorentz_types::Sku;
+use lorentz_types::{ServerOffering, Sku, StoreKey};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -79,10 +79,11 @@ pub enum Explanation {
     /// A precomputed prediction-store entry answered the request (§4 batch
     /// serving path).
     StoreLookup {
-        /// The `[hierarchy level, feature value]` key that matched.
-        key: String,
-        /// Whether this was the store's default (no key matched).
-        is_default: bool,
+        /// The typed `[offering, hierarchy feature, interned value]` key
+        /// that matched, or `None` if the per-offering default was served.
+        key: Option<StoreKey>,
+        /// The server offering the lookup ran against.
+        offering: ServerOffering,
     },
 }
 
@@ -118,13 +119,10 @@ impl fmt::Display for Explanation {
                 }
                 write!(f, "] -> log2 capacity {prediction_log2:.3}")
             }
-            Explanation::StoreLookup { key, is_default } => {
-                if *is_default {
-                    write!(f, "prediction store default (no key matched)")
-                } else {
-                    write!(f, "prediction store hit on key [{key}]")
-                }
-            }
+            Explanation::StoreLookup { key, offering } => match key {
+                None => write!(f, "prediction store default for {offering} (no key matched)"),
+                Some(key) => write!(f, "prediction store hit on key [{key}]"),
+            },
         }
     }
 }
@@ -196,10 +194,21 @@ mod tests {
         assert!(e.to_string().contains("SegmentName=1.500"));
 
         let e = Explanation::StoreLookup {
-            key: "VerticalName=Insurance".into(),
-            is_default: false,
+            key: Some(StoreKey::new(
+                ServerOffering::GeneralPurpose,
+                lorentz_types::FeatureId(1),
+                lorentz_types::ValueId(3),
+            )),
+            offering: ServerOffering::GeneralPurpose,
         };
         assert!(e.to_string().contains("store hit"));
+        assert!(e.to_string().contains("general_purpose|1|3"));
+
+        let e = Explanation::StoreLookup {
+            key: None,
+            offering: ServerOffering::Burstable,
+        };
+        assert!(e.to_string().contains("default"));
     }
 
     #[test]

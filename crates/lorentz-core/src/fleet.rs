@@ -5,10 +5,8 @@
 //! trace `w[n]` (censored at `c⁰`, exactly as real telemetry is — Eq. 1),
 //! and the customer-hierarchy path for personalization.
 
-use lorentz_types::{
-    Capacity, LorentzError, ProfileTable, ResourcePath, ServerId, ServerOffering,
-};
 use lorentz_telemetry::UsageTrace;
+use lorentz_types::{Capacity, LorentzError, ProfileTable, ResourcePath, ServerId, ServerOffering};
 use serde::{Deserialize, Serialize};
 
 /// A fleet of existing DBs used to train Lorentz.
@@ -114,7 +112,10 @@ impl FleetDataset {
         FleetDataset {
             profiles: self.profiles.subset(rows),
             offerings: rows.iter().map(|&r| self.offerings[r]).collect(),
-            user_capacities: rows.iter().map(|&r| self.user_capacities[r].clone()).collect(),
+            user_capacities: rows
+                .iter()
+                .map(|&r| self.user_capacities[r].clone())
+                .collect(),
             traces: rows.iter().map(|&r| self.traces[r].clone()).collect(),
             paths: rows.iter().map(|&r| self.paths[r]).collect(),
             server_ids: rows.iter().map(|&r| self.server_ids[r]).collect(),
@@ -221,12 +222,17 @@ mod tests {
     #[test]
     fn rows_for_offering_filters() {
         let fleet = small_fleet();
-        assert_eq!(fleet.rows_for_offering(ServerOffering::Burstable), vec![0, 2]);
+        assert_eq!(
+            fleet.rows_for_offering(ServerOffering::Burstable),
+            vec![0, 2]
+        );
         assert_eq!(
             fleet.rows_for_offering(ServerOffering::GeneralPurpose),
             vec![1, 3]
         );
-        assert!(fleet.rows_for_offering(ServerOffering::MemoryOptimized).is_empty());
+        assert!(fleet
+            .rows_for_offering(ServerOffering::MemoryOptimized)
+            .is_empty());
     }
 
     #[test]

@@ -44,11 +44,11 @@ pub use explain::{Explanation, Recommendation};
 pub use fleet::FleetDataset;
 pub use personalizer::{Personalizer, PersonalizerConfig, SatisfactionSignal};
 pub use pipeline::{LorentzPipeline, ModelKind, RecommendRequest, TrainedLorentz};
-pub use report::{fleet_report, FleetReport};
 pub use provisioner::{
     HierarchicalConfig, HierarchicalProvisioner, OfferingRecommender, Provisioner,
     TargetEncodingConfig, TargetEncodingProvisioner, TraceAugmentedProvisioner,
 };
-pub use rightsizer::{ProvisioningVerdict, Rightsizer, RightsizeOutcome};
+pub use report::{fleet_report, FleetReport};
+pub use rightsizer::{ProvisioningVerdict, RightsizeOutcome, Rightsizer};
 pub use store::{PredictionStore, SharedPredictionStore};
 pub use validation::{validate_deployment, DeploymentReport, PublishGate};

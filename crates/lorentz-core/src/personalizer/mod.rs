@@ -218,7 +218,8 @@ impl Personalizer {
             .and_then(|subs| subs.get_mut(&path.subscription))
             .and_then(|rgs| rgs.get_mut(&path.resource_group))
             .expect("registered above");
-        slot[strat_index(offering)] = value.clamp(-self.config.lambda_clamp, self.config.lambda_clamp);
+        slot[strat_index(offering)] =
+            value.clamp(-self.config.lambda_clamp, self.config.lambda_clamp);
     }
 
     /// Applies one satisfaction signal with message propagation
@@ -338,8 +339,8 @@ mod tests {
     fn figure_7_update_example() {
         let mut p = fig7_personalizer();
         // Signal γ=1 for GeneralPurpose on subscription 2 / RG 21.
-        let sig = SatisfactionSignal::new(path(1, 2, 21), ServerOffering::GeneralPurpose, 1.0)
-            .unwrap();
+        let sig =
+            SatisfactionSignal::new(path(1, 2, 21), ServerOffering::GeneralPurpose, 1.0).unwrap();
         p.apply_signal(&sig);
 
         let g = ServerOffering::GeneralPurpose;
@@ -361,17 +362,19 @@ mod tests {
     fn signals_do_not_cross_customers() {
         let mut p = fig7_personalizer();
         p.register(path(9, 1, 1)); // another customer
-        let sig = SatisfactionSignal::new(path(1, 2, 21), ServerOffering::GeneralPurpose, 1.0)
-            .unwrap();
+        let sig =
+            SatisfactionSignal::new(path(1, 2, 21), ServerOffering::GeneralPurpose, 1.0).unwrap();
         p.apply_signal(&sig);
-        assert_eq!(p.lambda(&path(9, 1, 1), ServerOffering::GeneralPurpose), 0.0);
+        assert_eq!(
+            p.lambda(&path(9, 1, 1), ServerOffering::GeneralPurpose),
+            0.0
+        );
     }
 
     #[test]
     fn cost_signal_decreases_lambda() {
         let mut p = Personalizer::new(PersonalizerConfig::default()).unwrap();
-        let sig =
-            SatisfactionSignal::new(path(1, 1, 1), ServerOffering::Burstable, -1.0).unwrap();
+        let sig = SatisfactionSignal::new(path(1, 1, 1), ServerOffering::Burstable, -1.0).unwrap();
         p.apply_signal(&sig);
         let l = p.lambda(&path(1, 1, 1), ServerOffering::Burstable);
         assert!((l + 0.3).abs() < 1e-12); // -lr
@@ -390,7 +393,10 @@ mod tests {
             SatisfactionSignal::new(path(1, 1, 1), ServerOffering::GeneralPurpose, 1.0).unwrap();
         p.apply_signal(&sig);
         assert!(p.lambda(&path(1, 1, 1), ServerOffering::GeneralPurpose) > 0.0);
-        assert_eq!(p.lambda(&path(1, 1, 2), ServerOffering::GeneralPurpose), 0.0);
+        assert_eq!(
+            p.lambda(&path(1, 1, 2), ServerOffering::GeneralPurpose),
+            0.0
+        );
     }
 
     #[test]
@@ -420,8 +426,7 @@ mod tests {
         let mut p = Personalizer::new(cfg).unwrap();
         let loc = path(1, 1, 1);
         for _ in 0..10 {
-            let sig =
-                SatisfactionSignal::new(loc, ServerOffering::GeneralPurpose, 1.0).unwrap();
+            let sig = SatisfactionSignal::new(loc, ServerOffering::GeneralPurpose, 1.0).unwrap();
             p.apply_signal(&sig);
         }
         assert_eq!(p.lambda(&loc, ServerOffering::GeneralPurpose), 1.0); // clamped
@@ -430,8 +435,9 @@ mod tests {
     #[test]
     fn signal_validation() {
         assert!(SatisfactionSignal::new(path(1, 1, 1), ServerOffering::Burstable, 1.5).is_err());
-        assert!(SatisfactionSignal::new(path(1, 1, 1), ServerOffering::Burstable, f64::NAN)
-            .is_err());
+        assert!(
+            SatisfactionSignal::new(path(1, 1, 1), ServerOffering::Burstable, f64::NAN).is_err()
+        );
         assert!(SatisfactionSignal::new(path(1, 1, 1), ServerOffering::Burstable, -1.0).is_ok());
     }
 
@@ -467,8 +473,8 @@ mod tests {
     #[test]
     fn personalizer_serde_round_trip() {
         let mut p = fig7_personalizer();
-        let sig = SatisfactionSignal::new(path(1, 2, 21), ServerOffering::MemoryOptimized, 0.5)
-            .unwrap();
+        let sig =
+            SatisfactionSignal::new(path(1, 2, 21), ServerOffering::MemoryOptimized, 0.5).unwrap();
         p.apply_signal(&sig);
         let json = serde_json::to_string(&p).unwrap();
         let back: Personalizer = serde_json::from_str(&json).unwrap();

@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn resolution_stem_matching_catches_increase_variants() {
-        for res in ["increased vCores", "increasing capacity", "throttling removed by resize"] {
+        for res in [
+            "increased vCores",
+            "increasing capacity",
+            "throttling removed by resize",
+        ] {
             let t = CriTicket::new("", "", res);
             assert_eq!(classify_ticket(&t), 1.0, "{res}");
         }
@@ -187,11 +191,7 @@ mod tests {
     #[test]
     fn ambiguous_tickets_score_zero() {
         // Both directions matched -> neutral.
-        let t = CriTicket::new(
-            "high cpu but also too expensive",
-            "",
-            "",
-        );
+        let t = CriTicket::new("high cpu but also too expensive", "", "");
         assert_eq!(classify_ticket(&t), 0.0);
     }
 

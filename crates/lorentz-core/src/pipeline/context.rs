@@ -1,0 +1,66 @@
+//! Shared training context threaded through the pipeline stages.
+
+use crate::config::LorentzConfig;
+use crate::fleet::FleetDataset;
+use crate::rightsizer::Rightsizer;
+use lorentz_types::{LorentzError, ServerOffering, SkuCatalog};
+use std::collections::BTreeMap;
+
+/// Everything a training stage needs, borrowed once at the top of
+/// [`LorentzPipeline::train`](crate::pipeline::LorentzPipeline::train):
+/// the configuration, the per-offering catalogs, the fleet under training,
+/// and the validated Stage-1 rightsizer. Stages receive `&TrainContext`
+/// instead of ad-hoc argument lists, and the scoped Stage-2 workers share
+/// it immutably across threads.
+#[derive(Debug)]
+pub struct TrainContext<'a> {
+    /// The pipeline configuration (Table-2 hyperparameters).
+    pub config: &'a LorentzConfig,
+    /// Per-offering SKU catalogs.
+    pub catalogs: &'a BTreeMap<ServerOffering, SkuCatalog>,
+    /// The training fleet.
+    pub fleet: &'a FleetDataset,
+    /// The validated Stage-1 rightsizer.
+    pub rightsizer: Rightsizer,
+}
+
+impl<'a> TrainContext<'a> {
+    /// Builds the context, validating the fleet and the rightsizer config.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for an empty fleet or invalid rightsizer
+    /// configuration.
+    pub fn new(
+        config: &'a LorentzConfig,
+        catalogs: &'a BTreeMap<ServerOffering, SkuCatalog>,
+        fleet: &'a FleetDataset,
+    ) -> Result<Self, LorentzError> {
+        if fleet.is_empty() {
+            return Err(LorentzError::Model("cannot train on an empty fleet".into()));
+        }
+        let rightsizer = Rightsizer::new(&config.rightsizer)?;
+        Ok(Self {
+            config,
+            catalogs,
+            fleet,
+            rightsizer,
+        })
+    }
+
+    /// The catalog for an offering.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] if the fleet contains an
+    /// offering the pipeline has no catalog for.
+    pub fn catalog(&self, offering: ServerOffering) -> Result<&'a SkuCatalog, LorentzError> {
+        self.catalogs.get(&offering).ok_or_else(|| {
+            LorentzError::InvalidConfig(format!("no catalog for offering {offering}"))
+        })
+    }
+
+    /// Releases the borrows and hands the rightsizer to the trained
+    /// deployment.
+    pub fn into_rightsizer(self) -> Rightsizer {
+        self.rightsizer
+    }
+}

@@ -2,26 +2,36 @@
 //! fleet, per-offering Stage-2 model training, prediction-store publishing,
 //! and personalized serving.
 //!
-//! [`LorentzPipeline::train`] is the daily batch job (A→B of Fig. 8);
-//! [`TrainedLorentz`] is the serving surface, answering
-//! [`RecommendRequest`]s through either live models or the precomputed
-//! [`PredictionStore`] (C), always applying the Stage-3 λ adjustment.
+//! [`LorentzPipeline::train`] is the daily batch job (A→B of Fig. 8),
+//! orchestrated as a sequence of [`stages`] over a shared
+//! [`TrainContext`](context::TrainContext); the per-offering Stage-2 models
+//! train concurrently on scoped threads. [`TrainedLorentz`] is the serving
+//! surface, answering [`RecommendRequest`]s one at a time or in batches
+//! ([`TrainedLorentz::recommend_batch`]) through either live models or the
+//! precomputed [`PredictionStore`], always applying the Stage-3 λ
+//! adjustment. Store probes run on packed
+//! [`StoreKey`](lorentz_types::StoreKey)s — the serving path never
+//! allocates a string.
+
+pub mod context;
+mod stages;
 
 use crate::config::LorentzConfig;
 use crate::explain::Recommendation;
 use crate::fleet::FleetDataset;
-use crate::personalizer::{Personalizer, SatisfactionSignal};
 use crate::personalizer::signals::{classify_ticket, CriTicket};
-use crate::provisioner::{
-    HierarchicalProvisioner, Provisioner, TargetEncodingProvisioner,
-};
-use crate::rightsizer::{Rightsizer, RightsizeOutcome};
-use crate::store::{PredictionStore, PublishBatch};
+use crate::personalizer::{Personalizer, SatisfactionSignal};
+use crate::provisioner::{HierarchicalProvisioner, Provisioner, TargetEncodingProvisioner};
+use crate::rightsizer::{RightsizeOutcome, Rightsizer};
+use crate::store::PredictionStore;
 use lorentz_types::{
-    LorentzError, ProfileTable, ResourcePath, ServerOffering, SkuCatalog,
+    FeatureId, LorentzError, ProfileTable, ProfileVector, ResourcePath, ServerOffering, SkuCatalog,
+    ValueId,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+pub use context::TrainContext;
 
 /// Which Stage-2 model serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,9 +107,9 @@ pub struct LorentzPipeline {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct OfferingModels {
-    hierarchical: HierarchicalProvisioner,
-    target_encoding: TargetEncodingProvisioner,
+pub(crate) struct OfferingModels {
+    pub(crate) hierarchical: HierarchicalProvisioner,
+    pub(crate) target_encoding: TargetEncodingProvisioner,
 }
 
 /// A trained Lorentz deployment: rightsized labels, per-offering Stage-2
@@ -159,91 +169,30 @@ impl LorentzPipeline {
 
     /// Runs the full batch job: rightsize every fleet record (Stage 1),
     /// train both provisioners per offering on the rightsized labels
-    /// (Stage 2), publish the prediction store, and initialize the
-    /// personalizer with every observed customer path.
+    /// (Stage 2, one scoped thread per offering), publish the prediction
+    /// store, and initialize the personalizer with every observed customer
+    /// path. Consumes the pipeline — its config and catalogs move into the
+    /// deployment without being copied; clone the pipeline first to train
+    /// repeatedly.
     ///
     /// # Errors
     /// Returns [`LorentzError`] if the fleet is empty, contains an offering
     /// without a catalog, or any stage fails to fit.
-    pub fn train(&self, fleet: &FleetDataset) -> Result<TrainedLorentz, LorentzError> {
-        if fleet.is_empty() {
-            return Err(LorentzError::Model("cannot train on an empty fleet".into()));
-        }
-        let rightsizer = Rightsizer::new(self.config.rightsizer.clone())?;
-
-        // Stage 1: rightsize everything.
-        let mut outcomes = Vec::with_capacity(fleet.len());
-        let mut labels = Vec::with_capacity(fleet.len());
-        for i in 0..fleet.len() {
-            let offering = fleet.offerings()[i];
-            let catalog = self.catalogs.get(&offering).ok_or_else(|| {
-                LorentzError::InvalidConfig(format!("no catalog for offering {offering}"))
-            })?;
-            let outcome =
-                rightsizer.rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], catalog)?;
-            labels.push(outcome.capacity.primary());
-            outcomes.push(outcome);
-        }
-
-        // Stage 2: per-offering stratified models (§2.1).
-        let mut models = BTreeMap::new();
-        let mut batch = PublishBatch::default();
-        for (&offering, catalog) in &self.catalogs {
-            let rows = fleet.rows_for_offering(offering);
-            if rows.is_empty() {
-                continue;
-            }
-            let sub_table = fleet.profiles().subset(&rows);
-            let sub_labels: Vec<f64> = rows.iter().map(|&r| labels[r]).collect();
-            let hierarchical = HierarchicalProvisioner::fit(
-                &sub_table,
-                &sub_labels,
-                catalog.clone(),
-                self.config.hierarchical,
-            )?;
-            let target_encoding = TargetEncodingProvisioner::fit(
-                &sub_table,
-                &sub_labels,
-                catalog.clone(),
-                self.config.target_encoding,
-            )?;
-
-            // Publish this offering's precomputed predictions (Fig. 8 C).
-            let (entries, default) = hierarchical.export_store_entries();
-            batch.entries.extend(
-                entries
-                    .into_iter()
-                    .map(|(f, v, c)| (offering, f, v, c)),
-            );
-            batch.defaults.push((offering, default));
-
-            models.insert(
-                offering,
-                OfferingModels {
-                    hierarchical,
-                    target_encoding,
-                },
-            );
-        }
-        if models.is_empty() {
-            return Err(LorentzError::Model(
-                "no offering had any training rows".into(),
-            ));
-        }
-        let mut store = PredictionStore::new();
-        store.publish(batch)?;
-
-        // Stage 3: a fresh profile per observed customer path (λ = 0).
-        let mut personalizer = Personalizer::new(self.config.personalizer)?;
-        for &path in fleet.paths() {
-            personalizer.register(path);
-        }
+    pub fn train(self, fleet: &FleetDataset) -> Result<TrainedLorentz, LorentzError> {
+        let ctx = TrainContext::new(&self.config, &self.catalogs, fleet)?;
+        let (outcomes, labels) = stages::rightsize_fleet(&ctx)?;
+        let (models, batch) = stages::train_offerings(&ctx, &labels)?;
+        let store = stages::publish_store(batch)?;
+        let personalizer = stages::init_personalizer(&ctx)?;
+        let rightsizer = ctx.into_rightsizer();
 
         Ok(TrainedLorentz {
-            config: self.config.clone(),
+            config: self.config,
             rightsizer,
-            catalogs: self.catalogs.clone(),
-            profiles: fleet.profiles().clone(),
+            catalogs: self.catalogs,
+            // The deployment only needs the schema and vocabularies to
+            // encode incoming requests, not the training rows.
+            profiles: fleet.profiles().vocab_view(),
             outcomes,
             labels,
             models,
@@ -274,7 +223,8 @@ impl TrainedLorentz {
         &self.labels
     }
 
-    /// The training profile table (vocabulary reference for new requests).
+    /// The training profile schema and vocabularies (the reference new
+    /// requests are encoded against; carries no training rows).
     pub fn profiles(&self) -> &ProfileTable {
         &self.profiles
     }
@@ -338,6 +288,40 @@ impl TrainedLorentz {
             .ok_or_else(|| LorentzError::NotFound(format!("no model for {offering}")))
     }
 
+    /// Applies the Stage-3 λ adjustment (Eq. 13) to a Stage-2 capacity and
+    /// assembles the final recommendation. Both the single and the batched
+    /// serving paths end here, which keeps their outputs identical.
+    fn personalize(
+        &self,
+        stage2_capacity: f64,
+        explanation: crate::explain::Explanation,
+        request: &RecommendRequest<'_>,
+    ) -> Result<Recommendation, LorentzError> {
+        let lambda = self.personalizer.lambda(&request.path, request.offering);
+        let catalog = self.catalog(request.offering)?;
+        let sku =
+            self.personalizer
+                .adjust(stage2_capacity, &request.path, request.offering, catalog);
+        Ok(Recommendation {
+            sku,
+            stage2_capacity,
+            lambda,
+            explanation,
+        })
+    }
+
+    /// Serves one already-encoded request through a live Stage-2 model.
+    fn recommend_encoded(
+        &self,
+        x: &ProfileVector,
+        request: &RecommendRequest<'_>,
+        kind: ModelKind,
+    ) -> Result<Recommendation, LorentzError> {
+        let provisioner = self.provisioner(request.offering, kind)?;
+        let (stage2_sku, explanation) = provisioner.recommend(x)?;
+        self.personalize(stage2_sku.capacity.primary(), explanation, request)
+    }
+
     /// Serves a recommendation through a live Stage-2 model, then applies
     /// the Stage-3 λ adjustment (Eq. 13) and re-discretizes.
     ///
@@ -349,33 +333,38 @@ impl TrainedLorentz {
         kind: ModelKind,
     ) -> Result<Recommendation, LorentzError> {
         let x = self.profiles.encode_row(&request.profile)?;
-        let provisioner = self.provisioner(request.offering, kind)?;
-        let (stage2_sku, explanation) = provisioner.recommend(&x)?;
-        let stage2_capacity = stage2_sku.capacity.primary();
-        let lambda = self.personalizer.lambda(&request.path, request.offering);
-        let catalog = self.catalog(request.offering)?;
-        let sku = self
-            .personalizer
-            .adjust(stage2_capacity, &request.path, request.offering, catalog);
-        Ok(Recommendation {
-            sku,
-            stage2_capacity,
-            lambda,
-            explanation,
-        })
+        self.recommend_encoded(&x, request, kind)
     }
 
-    /// Serves a recommendation from the precomputed prediction store (the
-    /// low-latency §4 path), falling back most-granular-first along the
-    /// learned hierarchy, then applies the λ adjustment.
-    ///
-    /// # Errors
-    /// Returns [`LorentzError`] for unknown offerings, malformed profiles,
-    /// or an empty store.
-    pub fn recommend_from_store(
+    /// Serves a batch of requests through a live Stage-2 model, interning
+    /// each profile once into a reused scratch vector. Results are
+    /// positionally aligned with `requests` and identical to calling
+    /// [`TrainedLorentz::recommend`] per request.
+    pub fn recommend_batch(
+        &self,
+        requests: &[RecommendRequest<'_>],
+        kind: ModelKind,
+    ) -> Vec<Result<Recommendation, LorentzError>> {
+        let mut scratch = ProfileVector::new(Vec::new());
+        requests
+            .iter()
+            .map(|request| {
+                self.profiles
+                    .encode_row_into(&request.profile, &mut scratch)?;
+                self.recommend_encoded(&scratch, request, kind)
+            })
+            .collect()
+    }
+
+    /// Interns a request's profile into packed store probe levels,
+    /// finest-first along the learned hierarchy chain. Values unseen at
+    /// training time have no interned id and are skipped (they could not
+    /// have a store entry).
+    fn store_levels(
         &self,
         request: &RecommendRequest<'_>,
-    ) -> Result<Recommendation, LorentzError> {
+        levels: &mut Vec<(FeatureId, ValueId)>,
+    ) -> Result<(), LorentzError> {
         if request.profile.len() != self.profiles.schema().len() {
             return Err(LorentzError::InvalidProfile(format!(
                 "request has {} features, schema has {}",
@@ -384,26 +373,58 @@ impl TrainedLorentz {
             )));
         }
         let hierarchical = self.hierarchical(request.offering)?;
-        // Build (feature name, value) pairs finest-first along the chain.
-        let schema = self.profiles.schema();
-        let mut levels: Vec<(&str, &str)> = Vec::new();
+        levels.clear();
         for feature in hierarchical.chain().fine_to_coarse() {
             if let Some(value) = request.profile[feature.index()] {
-                levels.push((schema.name(feature), value));
+                if let Some(id) = self.profiles.vocab(feature).get(value) {
+                    levels.push((feature, ValueId(id)));
+                }
             }
         }
-        let (stage2_capacity, explanation) = self.store.lookup(request.offering, &levels)?;
-        let lambda = self.personalizer.lambda(&request.path, request.offering);
-        let catalog = self.catalog(request.offering)?;
-        let sku = self
-            .personalizer
-            .adjust(stage2_capacity, &request.path, request.offering, catalog);
-        Ok(Recommendation {
-            sku,
-            stage2_capacity,
-            lambda,
-            explanation,
-        })
+        Ok(())
+    }
+
+    /// The shared store-serving core: probe levels into `levels`, look up,
+    /// personalize.
+    fn recommend_from_store_with(
+        &self,
+        request: &RecommendRequest<'_>,
+        levels: &mut Vec<(FeatureId, ValueId)>,
+    ) -> Result<Recommendation, LorentzError> {
+        self.store_levels(request, levels)?;
+        let (stage2_capacity, explanation) = self.store.lookup(request.offering, levels)?;
+        self.personalize(stage2_capacity, explanation, request)
+    }
+
+    /// Serves a recommendation from the precomputed prediction store (the
+    /// low-latency §4 path), falling back most-granular-first along the
+    /// learned hierarchy, then applies the λ adjustment. The store probe
+    /// uses packed integer keys — no string is built per lookup.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for unknown offerings, malformed profiles,
+    /// or an empty store.
+    pub fn recommend_from_store(
+        &self,
+        request: &RecommendRequest<'_>,
+    ) -> Result<Recommendation, LorentzError> {
+        let mut levels = Vec::new();
+        self.recommend_from_store_with(request, &mut levels)
+    }
+
+    /// Serves a batch of requests from the prediction store, reusing one
+    /// probe-level buffer across the batch. Results are positionally
+    /// aligned with `requests` and identical to calling
+    /// [`TrainedLorentz::recommend_from_store`] per request.
+    pub fn recommend_batch_from_store(
+        &self,
+        requests: &[RecommendRequest<'_>],
+    ) -> Vec<Result<Recommendation, LorentzError>> {
+        let mut levels = Vec::new();
+        requests
+            .iter()
+            .map(|request| self.recommend_from_store_with(request, &mut levels))
+            .collect()
     }
 
     /// Routes one satisfaction signal into the personalizer.
@@ -461,7 +482,11 @@ mod tests {
     };
 
     fn path(i: u32) -> ResourcePath {
-        ResourcePath::new(CustomerId(i % 5), SubscriptionId(i % 10), ResourceGroupId(i))
+        ResourcePath::new(
+            CustomerId(i % 5),
+            SubscriptionId(i % 10),
+            ResourceGroupId(i),
+        )
     }
 
     fn steady_trace(level: f64) -> UsageTrace {
@@ -485,6 +510,31 @@ mod tests {
                     ServerId(i),
                     path(i),
                     ServerOffering::GeneralPurpose,
+                    &[Some(industry), Some(customer.as_str())],
+                    Capacity::scalar(8.0),
+                    steady_trace(demand),
+                )
+                .unwrap();
+        }
+        fleet
+    }
+
+    /// Like [`fleet`], but spread across all three offerings so Stage-2
+    /// training exercises the concurrent per-offering path.
+    fn multi_offering_fleet() -> FleetDataset {
+        let schema = ProfileSchema::new(vec!["industry", "customer"]).unwrap();
+        let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+        for i in 0..90u32 {
+            let offering = ServerOffering::ALL[(i % 3) as usize];
+            let big = (i / 3) % 2 == 1;
+            let industry = if big { "i1" } else { "i0" };
+            let customer = format!("c{}", i % 12);
+            let demand = if big { 4.0 } else { 1.0 };
+            fleet
+                .push(
+                    ServerId(i),
+                    path(i),
+                    offering,
                     &[Some(industry), Some(customer.as_str())],
                     Capacity::scalar(8.0),
                     steady_trace(demand),
@@ -546,6 +596,25 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_offering_training_is_deterministic() {
+        let f = multi_offering_fleet();
+        let a = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&f)
+            .unwrap();
+        let b = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train(&f)
+            .unwrap();
+        // All three offerings trained, and two runs agree exactly.
+        for offering in ServerOffering::ALL {
+            assert!(a.hierarchical(offering).is_ok(), "{offering} missing");
+        }
+        assert_eq!(a.store(), b.store());
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
     fn store_path_matches_live_hierarchical_model() {
         let t = trained();
         assert!(t.store().version() >= 1);
@@ -574,6 +643,47 @@ mod tests {
     }
 
     #[test]
+    fn batched_serving_matches_single_requests() {
+        let t = trained();
+        let profiles: Vec<Vec<Option<&str>>> = vec![
+            vec![Some("i0"), Some("c0")],
+            vec![Some("i1"), Some("c1")],
+            vec![Some("i1"), Some("never-seen")],
+            vec![Some("unknown"), None],
+            vec![Some("i0")], // malformed arity
+            vec![None, None],
+        ];
+        let requests: Vec<RecommendRequest<'_>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RecommendRequest {
+                profile: p.clone(),
+                offering: ServerOffering::GeneralPurpose,
+                path: path(i as u32),
+            })
+            .collect();
+        for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+            let batched = t.recommend_batch(&requests, kind);
+            assert_eq!(batched.len(), requests.len());
+            for (req, got) in requests.iter().zip(&batched) {
+                match (t.recommend(req, kind), got) {
+                    (Ok(single), Ok(b)) => assert_eq!(&single, b, "{kind:?}"),
+                    (Err(_), Err(_)) => {}
+                    (single, got) => panic!("mismatch: {single:?} vs {got:?}"),
+                }
+            }
+        }
+        let batched = t.recommend_batch_from_store(&requests);
+        for (req, got) in requests.iter().zip(&batched) {
+            match (t.recommend_from_store(req), got) {
+                (Ok(single), Ok(b)) => assert_eq!(&single, b),
+                (Err(_), Err(_)) => {}
+                (single, got) => panic!("store mismatch: {single:?} vs {got:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn personalization_shifts_recommendations() {
         let mut t = trained();
         let p = path(1); // existing customer path (registered at train time)
@@ -587,8 +697,7 @@ mod tests {
 
         // A strong performance signal stream raises λ for this RG.
         for _ in 0..5 {
-            let sig =
-                SatisfactionSignal::new(p, ServerOffering::GeneralPurpose, 1.0).unwrap();
+            let sig = SatisfactionSignal::new(p, ServerOffering::GeneralPurpose, 1.0).unwrap();
             t.apply_signal(&sig);
         }
         let after = t.recommend(&req, ModelKind::Hierarchical).unwrap();

@@ -1,0 +1,139 @@
+//! The batch-training stages of Fig. 8 (A→C).
+//!
+//! Each stage is a free function over [`TrainContext`]; the orchestration
+//! in [`LorentzPipeline::train`](crate::pipeline::LorentzPipeline::train)
+//! chains them. Stage 2 trains the per-offering models on scoped threads —
+//! offerings are independent (stratified training, §2.1), so the only
+//! coordination point is joining the workers, and results are collected in
+//! job order to keep training fully deterministic.
+
+use super::context::TrainContext;
+use super::OfferingModels;
+use crate::personalizer::Personalizer;
+use crate::provisioner::{HierarchicalProvisioner, TargetEncodingProvisioner};
+use crate::rightsizer::RightsizeOutcome;
+use crate::store::{PredictionStore, PublishBatch};
+use lorentz_types::{LorentzError, ServerOffering, StoreKey};
+use std::collections::BTreeMap;
+
+/// Stage 1: rightsize every fleet record, producing per-record outcomes and
+/// the Stage-2 training labels (rightsized primary capacities).
+pub(super) fn rightsize_fleet(
+    ctx: &TrainContext<'_>,
+) -> Result<(Vec<RightsizeOutcome>, Vec<f64>), LorentzError> {
+    let fleet = ctx.fleet;
+    let mut outcomes = Vec::with_capacity(fleet.len());
+    let mut labels = Vec::with_capacity(fleet.len());
+    for i in 0..fleet.len() {
+        let catalog = ctx.catalog(fleet.offerings()[i])?;
+        let outcome =
+            ctx.rightsizer
+                .rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], catalog)?;
+        labels.push(outcome.capacity.primary());
+        outcomes.push(outcome);
+    }
+    Ok((outcomes, labels))
+}
+
+/// What one Stage-2 worker produces for its offering.
+struct OfferingArtifacts {
+    offering: ServerOffering,
+    models: OfferingModels,
+    entries: Vec<(StoreKey, f64)>,
+    default: f64,
+}
+
+/// Trains one offering's models and exports its store entries.
+fn train_offering(
+    ctx: &TrainContext<'_>,
+    offering: ServerOffering,
+    rows: &[usize],
+    labels: &[f64],
+) -> Result<OfferingArtifacts, LorentzError> {
+    let catalog = ctx.catalog(offering)?;
+    let sub_table = ctx.fleet.profiles().subset(rows);
+    let sub_labels: Vec<f64> = rows.iter().map(|&r| labels[r]).collect();
+    let hierarchical =
+        HierarchicalProvisioner::fit(&sub_table, &sub_labels, catalog, ctx.config.hierarchical)?;
+    let target_encoding = TargetEncodingProvisioner::fit(
+        &sub_table,
+        &sub_labels,
+        catalog,
+        ctx.config.target_encoding,
+    )?;
+    let (typed_entries, default) = hierarchical.export_store_entries();
+    let entries = typed_entries
+        .into_iter()
+        .map(|(f, v, c)| (StoreKey::new(offering, f, v), c))
+        .collect();
+    Ok(OfferingArtifacts {
+        offering,
+        models: OfferingModels {
+            hierarchical,
+            target_encoding,
+        },
+        entries,
+        default,
+    })
+}
+
+/// Stage 2: per-offering stratified models (§2.1), trained concurrently —
+/// one scoped thread per offering with training rows — plus the publish
+/// batch for Fig. 8 step C. Worker results are joined in job order, so the
+/// output is identical to a sequential run.
+pub(super) fn train_offerings(
+    ctx: &TrainContext<'_>,
+    labels: &[f64],
+) -> Result<(BTreeMap<ServerOffering, OfferingModels>, PublishBatch), LorentzError> {
+    let jobs: Vec<(ServerOffering, Vec<usize>)> = ctx
+        .catalogs
+        .keys()
+        .map(|&offering| (offering, ctx.fleet.rows_for_offering(offering)))
+        .filter(|(_, rows)| !rows.is_empty())
+        .collect();
+
+    let results: Vec<Result<OfferingArtifacts, LorentzError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(offering, rows)| {
+                scope.spawn(move || train_offering(ctx, *offering, rows, labels))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stage-2 worker panicked"))
+            .collect()
+    });
+
+    let mut models = BTreeMap::new();
+    let mut batch = PublishBatch::default();
+    for result in results {
+        let artifacts = result?;
+        batch.entries.extend(artifacts.entries);
+        batch.defaults.push((artifacts.offering, artifacts.default));
+        models.insert(artifacts.offering, artifacts.models);
+    }
+    if models.is_empty() {
+        return Err(LorentzError::Model(
+            "no offering had any training rows".into(),
+        ));
+    }
+    Ok((models, batch))
+}
+
+/// Publishes the precomputed predictions (Fig. 8 step C).
+pub(super) fn publish_store(batch: PublishBatch) -> Result<PredictionStore, LorentzError> {
+    let mut store = PredictionStore::new();
+    store.publish(batch)?;
+    Ok(store)
+}
+
+/// Stage 3: a fresh personalization profile per observed customer path
+/// (λ = 0).
+pub(super) fn init_personalizer(ctx: &TrainContext<'_>) -> Result<Personalizer, LorentzError> {
+    let mut personalizer = Personalizer::new(ctx.config.personalizer)?;
+    for &path in ctx.fleet.paths() {
+        personalizer.register(path);
+    }
+    Ok(personalizer)
+}

@@ -16,7 +16,7 @@ use crate::provisioner::{discretize, Provisioner};
 use lorentz_hierarchy::{learn_hierarchy, HierarchyChain, HierarchyConfig};
 use lorentz_telemetry::aggregate::percentile_of_sorted;
 use lorentz_types::{
-    FeatureId, LorentzError, ProfileTable, ProfileVector, Sku, SkuCatalog, Vocab,
+    FeatureId, LorentzError, ProfileTable, ProfileVector, Sku, SkuCatalog, ValueId, Vocab,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -92,7 +92,7 @@ impl HierarchicalProvisioner {
     pub fn fit(
         table: &ProfileTable,
         labels: &[f64],
-        catalog: SkuCatalog,
+        catalog: &SkuCatalog,
         config: HierarchicalConfig,
     ) -> Result<Self, LorentzError> {
         config.validate()?;
@@ -145,7 +145,7 @@ impl HierarchicalProvisioner {
 
         Ok(Self {
             config,
-            catalog,
+            catalog: catalog.clone(),
             chain,
             chain_names,
             chain_vocabs,
@@ -171,24 +171,28 @@ impl HierarchicalProvisioner {
     }
 
     /// Exports the batch-serving entries of §4: one discretized
-    /// recommendation per `[hierarchy level, feature value]` key whose
+    /// recommendation per `[hierarchy feature, interned value]` key whose
     /// bucket qualifies, plus the global-percentile default. This is what a
-    /// daily training run publishes to the online prediction store.
-    pub fn export_store_entries(&self) -> (Vec<(String, String, f64)>, f64) {
+    /// daily training run publishes to the online prediction store. Value
+    /// ids are interned against this provisioner's training vocabularies,
+    /// which [`TrainedLorentz`](crate::pipeline::TrainedLorentz) shares with
+    /// its request encoder, so store probes and model inference agree.
+    pub fn export_store_entries(&self) -> (Vec<(FeatureId, ValueId, f64)>, f64) {
         let mut entries = Vec::new();
         for (level, buckets) in self.buckets.iter().enumerate() {
+            let feature = self.chain.features()[level];
             for (&value, capacities) in buckets {
                 if capacities.len() >= self.config.min_bucket {
                     let raw = percentile_of_sorted(capacities, self.config.percentile);
                     entries.push((
-                        self.chain_names[level].clone(),
-                        self.chain_vocabs[level].value(value).to_owned(),
+                        feature,
+                        ValueId(value),
                         discretize(&self.catalog, raw).capacity.primary(),
                     ));
                 }
             }
         }
-        entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        entries.sort_by_key(|&(f, v, _)| (f.index(), v.raw()));
         let default_raw = percentile_of_sorted(&self.global, self.config.percentile);
         let default = discretize(&self.catalog, default_raw).capacity.primary();
         (entries, default)
@@ -280,7 +284,8 @@ mod tests {
         for i in 0..40 {
             let industry = if i % 2 == 0 { "i0" } else { "i1" };
             let customer = format!("c{}", i % 8);
-            t.push_row(&[Some(industry), Some(customer.as_str())]).unwrap();
+            t.push_row(&[Some(industry), Some(customer.as_str())])
+                .unwrap();
             labels.push(if i % 2 == 0 { 2.0 } else { 16.0 });
         }
         (t, labels)
@@ -296,7 +301,7 @@ mod tests {
             min_bucket,
             ..HierarchicalConfig::default()
         };
-        let p = HierarchicalProvisioner::fit(&t, &labels, catalog(), cfg).unwrap();
+        let p = HierarchicalProvisioner::fit(&t, &labels, &catalog(), cfg).unwrap();
         (p, t)
     }
 
@@ -317,7 +322,12 @@ mod tests {
         let (sku, expl) = p.recommend(&x).unwrap();
         assert_eq!(sku.capacity.primary(), 2.0);
         match expl {
-            Explanation::HierarchicalBucket { feature, value, level, .. } => {
+            Explanation::HierarchicalBucket {
+                feature,
+                value,
+                level,
+                ..
+            } => {
                 assert_eq!(feature, "customer");
                 assert_eq!(value, "c0");
                 assert_eq!(level, 1);
@@ -343,7 +353,9 @@ mod tests {
     #[test]
     fn unseen_profile_falls_back_to_global() {
         let (p, t) = fit(3);
-        let x = t.encode_row(&[Some("new-industry"), Some("new-customer")]).unwrap();
+        let x = t
+            .encode_row(&[Some("new-industry"), Some("new-customer")])
+            .unwrap();
         let (sku, expl) = p.recommend(&x).unwrap();
         assert!(matches!(expl, Explanation::GlobalFallback { .. }));
         // Global median of interleaved {2, 16} labels discretized to the
@@ -370,7 +382,7 @@ mod tests {
             HierarchicalProvisioner::fit(
                 &t,
                 &labels,
-                catalog(),
+                &catalog(),
                 HierarchicalConfig {
                     percentile,
                     min_bucket: 50, // force global fallback
@@ -391,20 +403,20 @@ mod tests {
     fn fit_validates_inputs() {
         let (t, labels) = training();
         let cfg = HierarchicalConfig::default();
-        assert!(HierarchicalProvisioner::fit(&t, &labels[..5], catalog(), cfg).is_err());
+        assert!(HierarchicalProvisioner::fit(&t, &labels[..5], &catalog(), cfg).is_err());
         let mut bad_labels = labels.clone();
         bad_labels[0] = -2.0;
-        assert!(HierarchicalProvisioner::fit(&t, &bad_labels, catalog(), cfg).is_err());
+        assert!(HierarchicalProvisioner::fit(&t, &bad_labels, &catalog(), cfg).is_err());
         let bad_cfg = HierarchicalConfig {
             percentile: 150.0,
             ..HierarchicalConfig::default()
         };
-        assert!(HierarchicalProvisioner::fit(&t, &labels, catalog(), bad_cfg).is_err());
+        assert!(HierarchicalProvisioner::fit(&t, &labels, &catalog(), bad_cfg).is_err());
         let bad_cfg = HierarchicalConfig {
             min_bucket: 0,
             ..HierarchicalConfig::default()
         };
-        assert!(HierarchicalProvisioner::fit(&t, &labels, catalog(), bad_cfg).is_err());
+        assert!(HierarchicalProvisioner::fit(&t, &labels, &catalog(), bad_cfg).is_err());
     }
 
     #[test]

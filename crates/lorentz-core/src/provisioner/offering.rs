@@ -10,9 +10,7 @@
 //! resources, falling back to the fleet-wide prior.
 
 use lorentz_hierarchy::{learn_hierarchy, HierarchyChain, HierarchyConfig};
-use lorentz_types::{
-    FeatureId, LorentzError, ProfileTable, ProfileVector, ServerOffering,
-};
+use lorentz_types::{FeatureId, LorentzError, ProfileTable, ProfileVector, ServerOffering};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -73,7 +71,9 @@ impl OfferingRecommender {
         config: OfferingRecommenderConfig,
     ) -> Result<Self, LorentzError> {
         if config.min_bucket == 0 {
-            return Err(LorentzError::InvalidConfig("min_bucket must be >= 1".into()));
+            return Err(LorentzError::InvalidConfig(
+                "min_bucket must be >= 1".into(),
+            ));
         }
         if table.rows() != offerings.len() {
             return Err(LorentzError::Model(format!(
@@ -88,7 +88,10 @@ impl OfferingRecommender {
         let chain = learn_hierarchy(table, &config.hierarchy)?;
 
         let index_of = |o: ServerOffering| {
-            ServerOffering::ALL.iter().position(|&x| x == o).expect("known offering")
+            ServerOffering::ALL
+                .iter()
+                .position(|&x| x == o)
+                .expect("known offering")
         };
         let mut buckets: Vec<HashMap<u32, OfferingCounts>> = vec![HashMap::new(); chain.len()];
         let mut global = [0usize; 3];
@@ -178,7 +181,8 @@ mod tests {
                 ("i1", ServerOffering::MemoryOptimized)
             };
             let customer = format!("c{}", i % 10);
-            t.push_row(&[Some(industry), Some(customer.as_str())]).unwrap();
+            t.push_row(&[Some(industry), Some(customer.as_str())])
+                .unwrap();
             offerings.push(offering);
         }
         (t, offerings)
@@ -187,8 +191,8 @@ mod tests {
     #[test]
     fn recommends_the_bucket_majority() {
         let (t, offerings) = training();
-        let r = OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default())
-            .unwrap();
+        let r =
+            OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default()).unwrap();
         let x = t.encode_row(&[Some("i0"), Some("brand-new")]).unwrap();
         let rec = r.recommend(&x).unwrap();
         assert_eq!(rec.offering, ServerOffering::Burstable);
@@ -200,8 +204,8 @@ mod tests {
     #[test]
     fn unknown_profiles_fall_back_to_the_global_prior() {
         let (t, offerings) = training();
-        let r = OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default())
-            .unwrap();
+        let r =
+            OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default()).unwrap();
         let x = t.encode_row(&[Some("i-new"), Some("c-new")]).unwrap();
         let rec = r.recommend(&x).unwrap();
         assert!(rec.matched_feature.is_none());
@@ -236,8 +240,8 @@ mod tests {
             ..OfferingRecommenderConfig::default()
         };
         assert!(OfferingRecommender::fit(&t, &offerings, bad).is_err());
-        let r = OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default())
-            .unwrap();
+        let r =
+            OfferingRecommender::fit(&t, &offerings, OfferingRecommenderConfig::default()).unwrap();
         let short = ProfileVector::new(vec![Some(0)]);
         assert!(r.recommend(&short).is_err());
     }

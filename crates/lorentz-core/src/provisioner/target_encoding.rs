@@ -86,7 +86,7 @@ impl TargetEncodingProvisioner {
     pub fn fit(
         table: &ProfileTable,
         labels: &[f64],
-        catalog: SkuCatalog,
+        catalog: &SkuCatalog,
         config: TargetEncodingConfig,
     ) -> Result<Self, LorentzError> {
         config.validate()?;
@@ -110,7 +110,7 @@ impl TargetEncodingProvisioner {
         let model = GradientBoosting::fit(&dataset, &config.boosting)?;
         Ok(Self {
             config,
-            catalog,
+            catalog: catalog.clone(),
             encoder,
             model,
             feature_names: table.schema().names().to_vec(),
@@ -165,7 +165,10 @@ impl Provisioner for TargetEncodingProvisioner {
                 .collect(),
             prediction_log2,
         };
-        Ok((discretize(&self.catalog, prediction_log2.exp2()), explanation))
+        Ok((
+            discretize(&self.catalog, prediction_log2.exp2()),
+            explanation,
+        ))
     }
 
     fn catalog(&self) -> &SkuCatalog {
@@ -217,7 +220,7 @@ mod tests {
     #[test]
     fn learns_multiplicative_structure() {
         let (t, labels) = training();
-        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, &catalog(), quick_config()).unwrap();
         let cases = [
             (Some("retail"), Some("dev"), 2.0),
             (Some("retail"), Some("prod"), 4.0),
@@ -238,8 +241,10 @@ mod tests {
     #[test]
     fn unseen_values_fall_back_to_global_mean_prediction() {
         let (t, labels) = training();
-        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
-        let x = t.encode_row(&[Some("space-tourism"), Some("staging")]).unwrap();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, &catalog(), quick_config()).unwrap();
+        let x = t
+            .encode_row(&[Some("space-tourism"), Some("staging")])
+            .unwrap();
         let raw = p.predict_raw(&x).unwrap();
         // Both features encode to the global log2 mean (3.0), which the
         // trees route to whatever leaf covers it — the guarantee is that the
@@ -251,7 +256,7 @@ mod tests {
     #[test]
     fn explanation_exposes_encoded_features() {
         let (t, labels) = training();
-        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, &catalog(), quick_config()).unwrap();
         let x = t.encode_row(&[Some("retail"), Some("dev")]).unwrap();
         let (_, expl) = p.recommend(&x).unwrap();
         match expl {
@@ -292,33 +297,36 @@ mod tests {
             ..quick_config()
         };
         let global =
-            TargetEncodingProvisioner::fit(&t, &labels, catalog(), mk(MissingPolicy::GlobalMean))
+            TargetEncodingProvisioner::fit(&t, &labels, &catalog(), mk(MissingPolicy::GlobalMean))
                 .unwrap();
         let x = t.encode_row(&[None]).unwrap();
         let g = global.predict_raw(&x).unwrap();
-        assert!((8.0..=16.0).contains(&g), "global-mean policy stays in range, got {g}");
+        assert!(
+            (8.0..=16.0).contains(&g),
+            "global-mean policy stays in range, got {g}"
+        );
     }
 
     #[test]
     fn fit_validates_inputs() {
         let (t, labels) = training();
         assert!(
-            TargetEncodingProvisioner::fit(&t, &labels[..5], catalog(), quick_config()).is_err()
+            TargetEncodingProvisioner::fit(&t, &labels[..5], &catalog(), quick_config()).is_err()
         );
         let mut bad = labels.clone();
         bad[0] = 0.0; // log2 undefined
-        assert!(TargetEncodingProvisioner::fit(&t, &bad, catalog(), quick_config()).is_err());
+        assert!(TargetEncodingProvisioner::fit(&t, &bad, &catalog(), quick_config()).is_err());
         let bad_cfg = TargetEncodingConfig {
             smoothing: -1.0,
             ..quick_config()
         };
-        assert!(TargetEncodingProvisioner::fit(&t, &labels, catalog(), bad_cfg).is_err());
+        assert!(TargetEncodingProvisioner::fit(&t, &labels, &catalog(), bad_cfg).is_err());
     }
 
     #[test]
     fn arity_mismatch_rejected_at_inference() {
         let (t, labels) = training();
-        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, &catalog(), quick_config()).unwrap();
         let short = ProfileVector::new(vec![Some(0)]);
         assert!(p.predict_raw(&short).is_err());
     }
@@ -326,7 +334,7 @@ mod tests {
     #[test]
     fn predictions_scale_continuously_for_pareto_sweeps() {
         let (t, labels) = training();
-        let p = TargetEncodingProvisioner::fit(&t, &labels, catalog(), quick_config()).unwrap();
+        let p = TargetEncodingProvisioner::fit(&t, &labels, &catalog(), quick_config()).unwrap();
         let x = t.encode_row(&[Some("retail"), Some("prod")]).unwrap();
         let raw = p.predict_raw(&x).unwrap();
         // The raw prediction is continuous (not snapped to the ladder).

@@ -168,7 +168,10 @@ impl TraceAugmentedProvisioner {
                 .collect(),
             prediction_log2,
         };
-        Ok((discretize(&self.catalog, prediction_log2.exp2()), explanation))
+        Ok((
+            discretize(&self.catalog, prediction_log2.exp2()),
+            explanation,
+        ))
     }
 
     /// Gain-based importance over all (profile + trace) features, paired
@@ -235,10 +238,14 @@ mod tests {
         let m = TraceAugmentedProvisioner::fit(&t, &traces, &labels, catalog, config()).unwrap();
         let x = t.encode_row(&[Some("same-industry")]).unwrap();
         // A flat 4-vCore workload should be re-provisioned near 8.
-        let (sku, _) = m.recommend_with_trace(&x, &trace(&[4.0, 2.4, 4.0])).unwrap();
+        let (sku, _) = m
+            .recommend_with_trace(&x, &trace(&[4.0, 2.4, 4.0]))
+            .unwrap();
         assert_eq!(sku.capacity.primary(), 8.0);
         // A 1-vCore workload lands at the small end.
-        let (sku, _) = m.recommend_with_trace(&x, &trace(&[1.0, 0.6, 1.0])).unwrap();
+        let (sku, _) = m
+            .recommend_with_trace(&x, &trace(&[1.0, 0.6, 1.0]))
+            .unwrap();
         assert!(sku.capacity.primary() <= 2.0);
     }
 

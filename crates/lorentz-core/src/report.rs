@@ -9,8 +9,8 @@ use crate::config::LorentzConfig;
 use crate::cost::{bill_fleet, CostModel, FleetBill};
 use crate::fleet::FleetDataset;
 use crate::rightsizer::{ProvisioningVerdict, Rightsizer};
-use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use lorentz_telemetry::analysis::{classify_shape, WorkloadShape};
+use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -53,7 +53,7 @@ pub fn fleet_report(
     if fleet.is_empty() {
         return Err(LorentzError::Model("empty fleet".into()));
     }
-    let rightsizer = Rightsizer::new(config.rightsizer.clone())?;
+    let rightsizer = Rightsizer::new(&config.rightsizer)?;
 
     let mut well = 0usize;
     let mut over = 0usize;

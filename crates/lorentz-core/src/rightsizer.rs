@@ -9,8 +9,8 @@
 //! instead (Eq. 8).
 
 use crate::config::RightsizerConfig;
-use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use lorentz_telemetry::UsageTrace;
+use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use serde::{Deserialize, Serialize};
 
 /// How a user-selected capacity compares to the rightsized one — the
@@ -50,7 +50,7 @@ pub struct RightsizeOutcome {
 /// use lorentz_telemetry::{RegularSeries, UsageTrace};
 /// use lorentz_types::{Capacity, ServerOffering, SkuCatalog};
 ///
-/// let rightsizer = Rightsizer::new(RightsizerConfig::default())?;
+/// let rightsizer = Rightsizer::new(&RightsizerConfig::default())?;
 /// let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
 ///
 /// // A steady 2-vCore workload the user over-provisioned at 16 vCores:
@@ -72,9 +72,11 @@ impl Rightsizer {
     ///
     /// # Errors
     /// Returns [`LorentzError::InvalidConfig`] for invalid configs.
-    pub fn new(config: RightsizerConfig) -> Result<Self, LorentzError> {
+    pub fn new(config: &RightsizerConfig) -> Result<Self, LorentzError> {
         config.validate()?;
-        Ok(Self { config })
+        Ok(Self {
+            config: config.clone(),
+        })
     }
 
     /// The configuration in use.
@@ -93,9 +95,8 @@ impl Rightsizer {
         let dims = trace.dims();
         let mut throttled = 0usize;
         for n in 0..bins {
-            let hit = (0..dims).any(|r| {
-                trace.resource(r).values()[n] > self.config.eta_for(r) * c.get(r)
-            });
+            let hit = (0..dims)
+                .any(|r| trace.resource(r).values()[n] > self.config.eta_for(r) * c.get(r));
             if hit {
                 throttled += 1;
             }
@@ -243,7 +244,7 @@ mod tests {
     use lorentz_types::ServerOffering;
 
     fn sizer() -> Rightsizer {
-        Rightsizer::new(RightsizerConfig::default()).unwrap()
+        Rightsizer::new(&RightsizerConfig::default()).unwrap()
     }
 
     fn trace(values: &[f64]) -> UsageTrace {
@@ -272,7 +273,7 @@ mod tests {
             slack_target: vec![0.5, 0.5],
             ..RightsizerConfig::default()
         };
-        let s = Rightsizer::new(cfg).unwrap();
+        let s = Rightsizer::new(&cfg).unwrap();
         let t = UsageTrace::new(
             lorentz_types::ResourceSpace::vcores_memory(),
             vec![
@@ -312,7 +313,9 @@ mod tests {
         let s = sizer();
         // Steady 2.0 usage, user chose 16 (over-provisioned, no throttling).
         let t = trace(&[2.0; 20]);
-        let out = s.rightsize(&t, &Capacity::scalar(16.0), &catalog()).unwrap();
+        let out = s
+            .rightsize(&t, &Capacity::scalar(16.0), &catalog())
+            .unwrap();
         assert!(!out.censored);
         // Slack target 0.5 -> ideal capacity 4 (slack (4-2)/4 = 0.5 exactly).
         assert_eq!(out.capacity.primary(), 4.0);
@@ -331,7 +334,9 @@ mod tests {
         let mut vals = vec![1.0; 19];
         vals.push(3.9);
         let t = trace(&vals);
-        let out = s.rightsize(&t, &Capacity::scalar(16.0), &catalog()).unwrap();
+        let out = s
+            .rightsize(&t, &Capacity::scalar(16.0), &catalog())
+            .unwrap();
         assert_eq!(out.capacity.primary(), 8.0);
         assert_eq!(s.throttling(&t, &out.capacity).unwrap(), 0.0);
     }
@@ -367,7 +372,7 @@ mod tests {
             k: 0,
             ..RightsizerConfig::default()
         };
-        let s = Rightsizer::new(cfg).unwrap();
+        let s = Rightsizer::new(&cfg).unwrap();
         let t = trace(&[4.0; 10]);
         let out = s.rightsize(&t, &Capacity::scalar(4.0), &catalog()).unwrap();
         // 2^0 = 1: candidates >= 4; slack distance: at 4 slack=0 dist 0.5,
@@ -379,7 +384,9 @@ mod tests {
     fn idle_workload_rightsized_to_minimum() {
         let s = sizer();
         let t = trace(&[0.05; 50]);
-        let out = s.rightsize(&t, &Capacity::scalar(32.0), &catalog()).unwrap();
+        let out = s
+            .rightsize(&t, &Capacity::scalar(32.0), &catalog())
+            .unwrap();
         assert_eq!(out.capacity.primary(), 2.0);
     }
 
@@ -397,17 +404,21 @@ mod tests {
             tau: 0.1,
             ..RightsizerConfig::default()
         };
-        let s = Rightsizer::new(cfg).unwrap();
+        let s = Rightsizer::new(&cfg).unwrap();
         // One spike bin in 20 (5% of time): within τ=10%.
         let mut vals = vec![1.0; 19];
         vals.push(3.9);
         let t = trace(&vals);
-        let out = s.rightsize(&t, &Capacity::scalar(16.0), &catalog()).unwrap();
+        let out = s
+            .rightsize(&t, &Capacity::scalar(16.0), &catalog())
+            .unwrap();
         // Capacity 2 throttles 5% of bins <= τ=10% and its mean slack
         // (0.4275) is closest to the 0.5 target, so relaxing τ unlocks a
         // smaller SKU than the τ=0 answer (8).
         assert_eq!(out.capacity.primary(), 2.0);
-        let strict = sizer().rightsize(&t, &Capacity::scalar(16.0), &catalog()).unwrap();
+        let strict = sizer()
+            .rightsize(&t, &Capacity::scalar(16.0), &catalog())
+            .unwrap();
         assert_eq!(strict.capacity.primary(), 8.0);
     }
 

@@ -6,34 +6,36 @@
 //! the store returns the prediction for the *most granular* hierarchy level
 //! present in the request whose value is stored; if nothing matches, a
 //! per-offering default is returned.
+//!
+//! Keys are typed and packed: a [`StoreKey`] (offering, [`FeatureId`],
+//! interned [`ValueId`]) indexes the entry map through its `u64` packed
+//! form, so the serving path never allocates or compares strings. The JSON
+//! snapshot keeps a string-keyed map (`"offering|feature|value"` → capacity)
+//! via manual serde impls, preserving a readable persisted format.
 
 use crate::explain::Explanation;
-use lorentz_types::{LorentzError, ServerOffering};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-
-fn key(offering: ServerOffering, feature: &str, value: &str) -> String {
-    format!("{offering}|{feature}|{value}")
-}
+use lorentz_types::{FeatureId, LorentzError, ServerOffering, StoreKey, ValueId};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
 
 /// A versioned, in-process stand-in for the paper's authenticated online
 /// prediction store. Each [`publish`](PredictionStore::publish) replaces the
 /// whole entry set atomically and bumps the version, mirroring the
 /// ETL-copy-then-switch deployment.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PredictionStore {
     version: u64,
-    /// `offering|feature|value` → recommended primary capacity.
-    entries: BTreeMap<String, f64>,
-    /// Fallback capacity per offering when no key matches.
-    defaults: BTreeMap<ServerOffering, f64>,
+    /// Packed [`StoreKey`] → recommended primary capacity.
+    entries: HashMap<u64, f64>,
+    /// Fallback capacity per offering code when no key matches.
+    defaults: [Option<f64>; ServerOffering::ALL.len()],
 }
 
 /// A batch of predictions to publish.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PublishBatch {
-    /// `(offering, feature name, feature value, capacity)` tuples.
-    pub entries: Vec<(ServerOffering, String, String, f64)>,
+    /// `(key, capacity)` pairs.
+    pub entries: Vec<(StoreKey, f64)>,
     /// Per-offering default capacities.
     pub defaults: Vec<(ServerOffering, f64)>,
 }
@@ -65,7 +67,7 @@ impl PredictionStore {
     /// Returns [`LorentzError::InvalidConfig`] if any capacity is
     /// non-positive or non-finite.
     pub fn publish(&mut self, batch: PublishBatch) -> Result<u64, LorentzError> {
-        for (_, _, _, c) in &batch.entries {
+        for (_, c) in &batch.entries {
             if !c.is_finite() || *c <= 0.0 {
                 return Err(LorentzError::InvalidConfig(format!(
                     "store capacities must be positive, got {c}"
@@ -82,18 +84,23 @@ impl PredictionStore {
         self.entries = batch
             .entries
             .into_iter()
-            .map(|(o, f, v, c)| (key(o, &f, &v), c))
+            .map(|(k, c)| (k.pack(), c))
             .collect();
-        self.defaults = batch.defaults.into_iter().collect();
+        self.defaults = [None; ServerOffering::ALL.len()];
+        for (o, c) in batch.defaults {
+            self.defaults[usize::from(o.code())] = Some(c);
+        }
         self.version += 1;
         Ok(self.version)
     }
 
     /// Looks up the prediction for a request.
     ///
-    /// `levels` is the request's `(feature name, feature value)` pairs
-    /// ordered **most granular first**; the first stored key wins. Returns
-    /// the capacity and a [`Explanation::StoreLookup`] describing the match.
+    /// `levels` is the request's `(feature, interned value)` pairs ordered
+    /// **most granular first**; the first stored key wins. Returns the
+    /// capacity and an [`Explanation::StoreLookup`] describing the match.
+    /// The probe is pure integer hashing — no allocation, no string
+    /// comparison.
     ///
     /// # Errors
     /// Returns [`LorentzError::NotFound`] if no key matches and no default
@@ -101,31 +108,96 @@ impl PredictionStore {
     pub fn lookup(
         &self,
         offering: ServerOffering,
-        levels: &[(&str, &str)],
+        levels: &[(FeatureId, ValueId)],
     ) -> Result<(f64, Explanation), LorentzError> {
-        for (feature, value) in levels {
-            if let Some(&c) = self.entries.get(&key(offering, feature, value)) {
+        for &(feature, value) in levels {
+            let key = StoreKey::new(offering, feature, value);
+            if let Some(&c) = self.entries.get(&key.pack()) {
                 return Ok((
                     c,
                     Explanation::StoreLookup {
-                        key: format!("{feature}={value}"),
-                        is_default: false,
+                        key: Some(key),
+                        offering,
                     },
                 ));
             }
         }
-        match self.defaults.get(&offering) {
-            Some(&c) => Ok((
+        match self.defaults[usize::from(offering.code())] {
+            Some(c) => Ok((
                 c,
                 Explanation::StoreLookup {
-                    key: format!("default:{offering}"),
-                    is_default: true,
+                    key: None,
+                    offering,
                 },
             )),
             None => Err(LorentzError::NotFound(format!(
                 "no prediction and no default for offering {offering}"
             ))),
         }
+    }
+}
+
+// Snapshot compatibility shim: persisted stores keep the string-keyed JSON
+// shape (`entries` as an object keyed by the canonical `StoreKey` display
+// form, `defaults` keyed by offering name) while the in-memory form stays
+// packed.
+impl Serialize for PredictionStore {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(&packed, &c)| {
+                let key = StoreKey::unpack(packed).expect("store only holds packed StoreKeys");
+                (key.to_string(), Value::Float(c))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let defaults: Vec<(String, Value)> = ServerOffering::ALL
+            .iter()
+            .filter_map(|&o| {
+                self.defaults[usize::from(o.code())].map(|c| (o.name().to_owned(), Value::Float(c)))
+            })
+            .collect();
+        Value::Map(vec![
+            ("version".into(), Value::UInt(self.version)),
+            ("entries".into(), Value::Map(entries)),
+            ("defaults".into(), Value::Map(defaults)),
+        ])
+    }
+}
+
+impl Deserialize for PredictionStore {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| serde::Error::custom(format!("store snapshot missing '{name}'")))
+        };
+        let version = u64::from_value(field("version")?)?;
+        let mut entries = HashMap::new();
+        for (k, c) in field("entries")?
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("store entries must be a map"))?
+        {
+            let key: StoreKey = k
+                .parse()
+                .map_err(|e| serde::Error::custom(format!("{e}")))?;
+            entries.insert(key.pack(), f64::from_value(c)?);
+        }
+        let mut defaults = [None; ServerOffering::ALL.len()];
+        for (k, c) in field("defaults")?
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("store defaults must be a map"))?
+        {
+            let offering: ServerOffering = k
+                .parse()
+                .map_err(|e: LorentzError| serde::Error::custom(format!("{e}")))?;
+            defaults[usize::from(offering.code())] = Some(f64::from_value(c)?);
+        }
+        Ok(Self {
+            version,
+            entries,
+            defaults,
+        })
     }
 }
 
@@ -182,9 +254,25 @@ impl SharedPredictionStore {
     pub fn lookup(
         &self,
         offering: ServerOffering,
-        levels: &[(&str, &str)],
+        levels: &[(FeatureId, ValueId)],
     ) -> Result<(f64, Explanation), LorentzError> {
         self.inner.read().lookup(offering, levels)
+    }
+
+    /// Serves many lookups under one shared read lock, appending one result
+    /// per request to `out`. All results come from the same store version,
+    /// and the lock acquisition is amortized across the batch.
+    pub fn lookup_batch(
+        &self,
+        requests: &[(ServerOffering, &[(FeatureId, ValueId)])],
+        out: &mut Vec<Result<(f64, Explanation), LorentzError>>,
+    ) {
+        let guard = self.inner.read();
+        out.extend(
+            requests
+                .iter()
+                .map(|&(offering, levels)| guard.lookup(offering, levels)),
+        );
     }
 
     /// Current data version.
@@ -212,22 +300,28 @@ impl SharedPredictionStore {
 mod tests {
     use super::*;
 
+    // In the tests feature 0 plays the coarse "VerticalName" level and
+    // feature 1 the fine "CloudCustomerGuid" level; value ids are
+    // per-feature interned ids.
+    const VERTICAL: FeatureId = FeatureId(0);
+    const CUSTOMER: FeatureId = FeatureId(1);
+    const INSURANCE: ValueId = ValueId(0);
+    const ACME: ValueId = ValueId(0);
+    const UNKNOWN: ValueId = ValueId(99);
+
+    fn key(offering: ServerOffering, feature: FeatureId, value: ValueId) -> StoreKey {
+        StoreKey::new(offering, feature, value)
+    }
+
     fn store() -> PredictionStore {
         let mut s = PredictionStore::new();
         s.publish(PublishBatch {
             entries: vec![
                 (
-                    ServerOffering::GeneralPurpose,
-                    "VerticalName".into(),
-                    "Insurance".into(),
+                    key(ServerOffering::GeneralPurpose, VERTICAL, INSURANCE),
                     8.0,
                 ),
-                (
-                    ServerOffering::GeneralPurpose,
-                    "CloudCustomerGuid".into(),
-                    "acme".into(),
-                    16.0,
-                ),
+                (key(ServerOffering::GeneralPurpose, CUSTOMER, ACME), 16.0),
             ],
             defaults: vec![(ServerOffering::GeneralPurpose, 2.0)],
         })
@@ -241,14 +335,17 @@ mod tests {
         let (c, expl) = s
             .lookup(
                 ServerOffering::GeneralPurpose,
-                &[
-                    ("CloudCustomerGuid", "acme"),
-                    ("VerticalName", "Insurance"),
-                ],
+                &[(CUSTOMER, ACME), (VERTICAL, INSURANCE)],
             )
             .unwrap();
         assert_eq!(c, 16.0);
-        assert!(expl.to_string().contains("CloudCustomerGuid=acme"));
+        match expl {
+            Explanation::StoreLookup { key: Some(k), .. } => {
+                assert_eq!(k.feature, CUSTOMER);
+                assert_eq!(k.value, ACME);
+            }
+            other => panic!("expected a store hit, got {other:?}"),
+        }
     }
 
     #[test]
@@ -257,10 +354,7 @@ mod tests {
         let (c, _) = s
             .lookup(
                 ServerOffering::GeneralPurpose,
-                &[
-                    ("CloudCustomerGuid", "unknown-customer"),
-                    ("VerticalName", "Insurance"),
-                ],
+                &[(CUSTOMER, UNKNOWN), (VERTICAL, INSURANCE)],
             )
             .unwrap();
         assert_eq!(c, 8.0);
@@ -270,20 +364,18 @@ mod tests {
     fn default_when_nothing_matches() {
         let s = store();
         let (c, expl) = s
-            .lookup(
-                ServerOffering::GeneralPurpose,
-                &[("VerticalName", "SpaceTourism")],
-            )
+            .lookup(ServerOffering::GeneralPurpose, &[(VERTICAL, UNKNOWN)])
             .unwrap();
         assert_eq!(c, 2.0);
-        assert!(matches!(expl, Explanation::StoreLookup { is_default: true, .. }));
+        assert!(matches!(expl, Explanation::StoreLookup { key: None, .. }));
+        assert!(expl.to_string().contains("default"));
     }
 
     #[test]
     fn missing_offering_errors() {
         let s = store();
         assert!(s
-            .lookup(ServerOffering::Burstable, &[("VerticalName", "Insurance")])
+            .lookup(ServerOffering::Burstable, &[(VERTICAL, INSURANCE)])
             .is_err());
     }
 
@@ -291,24 +383,16 @@ mod tests {
     fn offerings_are_isolated() {
         let mut s = store();
         s.publish(PublishBatch {
-            entries: vec![(
-                ServerOffering::Burstable,
-                "VerticalName".into(),
-                "Insurance".into(),
-                1.0,
-            )],
+            entries: vec![(key(ServerOffering::Burstable, VERTICAL, INSURANCE), 1.0)],
             defaults: vec![(ServerOffering::Burstable, 1.0)],
         })
         .unwrap();
         // After republish, the GeneralPurpose entries are gone (atomic swap).
         assert!(s
-            .lookup(
-                ServerOffering::GeneralPurpose,
-                &[("VerticalName", "Insurance")]
-            )
+            .lookup(ServerOffering::GeneralPurpose, &[(VERTICAL, INSURANCE)])
             .is_err());
         let (c, _) = s
-            .lookup(ServerOffering::Burstable, &[("VerticalName", "Insurance")])
+            .lookup(ServerOffering::Burstable, &[(VERTICAL, INSURANCE)])
             .unwrap();
         assert_eq!(c, 1.0);
     }
@@ -320,7 +404,7 @@ mod tests {
         s.publish(PublishBatch::default()).unwrap();
         assert_eq!(s.version(), 1);
         let bad = PublishBatch {
-            entries: vec![(ServerOffering::Burstable, "f".into(), "v".into(), -1.0)],
+            entries: vec![(key(ServerOffering::Burstable, VERTICAL, ACME), -1.0)],
             defaults: vec![],
         };
         assert!(s.publish(bad).is_err());
@@ -328,11 +412,23 @@ mod tests {
     }
 
     #[test]
-    fn store_serde_round_trip() {
+    fn store_serde_round_trip_keeps_string_keys() {
         let s = store();
         let json = serde_json::to_string(&s).unwrap();
+        // The snapshot is string-keyed even though the store is packed.
+        assert!(json.contains("\"general_purpose|0|0\""), "{json}");
+        assert!(json.contains("\"defaults\""));
         let back: PredictionStore = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        assert!(serde_json::from_str::<PredictionStore>("{\"version\": 1}").is_err());
+        let bad_key = "{\"version\":1,\"entries\":{\"nope|0|0\":4.0},\"defaults\":{}}";
+        assert!(serde_json::from_str::<PredictionStore>(bad_key).is_err());
+        let bad_offering = "{\"version\":1,\"entries\":{},\"defaults\":{\"huge\":4.0}}";
+        assert!(serde_json::from_str::<PredictionStore>(bad_offering).is_err());
     }
 
     #[test]
@@ -340,9 +436,7 @@ mod tests {
         let shared = SharedPredictionStore::from_store(store());
         let batch_for = |capacity: f64| PublishBatch {
             entries: vec![(
-                ServerOffering::GeneralPurpose,
-                "VerticalName".into(),
-                "Insurance".into(),
+                key(ServerOffering::GeneralPurpose, VERTICAL, INSURANCE),
                 capacity,
             )],
             defaults: vec![(ServerOffering::GeneralPurpose, capacity)],
@@ -356,23 +450,25 @@ mod tests {
                 }
             });
             // Readers: the key and the default always agree within one read
-            // world (both 4 or both 64 after the first publish).
+            // world (both 4 or both 64 after the first publish). The batch
+            // lookup holds one read lock, so the pair can never tear.
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..200 {
-                        let (hit, _) = shared
-                            .lookup(
-                                ServerOffering::GeneralPurpose,
-                                &[("VerticalName", "Insurance")],
-                            )
-                            .unwrap();
-                        let (fallback, _) = shared
-                            .lookup(ServerOffering::GeneralPurpose, &[("VerticalName", "zzz")])
-                            .unwrap();
+                        let mut results = Vec::new();
+                        shared.lookup_batch(
+                            &[
+                                (ServerOffering::GeneralPurpose, &[(VERTICAL, INSURANCE)][..]),
+                                (ServerOffering::GeneralPurpose, &[(VERTICAL, UNKNOWN)][..]),
+                            ],
+                            &mut results,
+                        );
+                        let (hit, _) = results[0].as_ref().unwrap();
+                        let (fallback, _) = results[1].as_ref().unwrap();
                         // Initial world: hit 8 / default 2; published
                         // worlds: 4/4 or 64/64.
-                        let consistent = (hit == 8.0 && fallback == 2.0)
-                            || (hit == fallback && (hit == 4.0 || hit == 64.0));
+                        let consistent = (*hit == 8.0 && *fallback == 2.0)
+                            || (hit == fallback && (*hit == 4.0 || *hit == 64.0));
                         assert!(consistent, "torn read: hit {hit}, fallback {fallback}");
                     }
                 });

@@ -77,18 +77,10 @@ pub fn validate_deployment(
     }
 
     let tau = deployment.config().rightsizer.tau;
-    let recommended = evaluate::slack_throttle(
-        rightsizer,
-        validation.traces(),
-        &recommended_caps,
-        tau,
-    )?;
-    let rightsized: SlackThrottle = evaluate::slack_throttle(
-        rightsizer,
-        validation.traces(),
-        &rightsized_caps,
-        tau,
-    )?;
+    let recommended =
+        evaluate::slack_throttle(rightsizer, validation.traces(), &recommended_caps, tau)?;
+    let rightsized: SlackThrottle =
+        evaluate::slack_throttle(rightsizer, validation.traces(), &rightsized_caps, tau)?;
     Ok(DeploymentReport {
         label_rmse_log2: lorentz_ml::metrics::rmse(&predictions_log2, &labels_log2),
         recommended,
@@ -134,7 +126,13 @@ impl PublishGate {
             (true, false) => a,
             (false, true) => b,
             _ => {
-                if a.recommended.mean_abs_slack <= b.recommended.mean_abs_slack {
+                // A low-slack report that throttles heavily is merely
+                // underprovisioned, not better — compare throttling first.
+                if a.recommended.throttling_ratio < b.recommended.throttling_ratio {
+                    a
+                } else if b.recommended.throttling_ratio < a.recommended.throttling_ratio {
+                    b
+                } else if a.recommended.mean_abs_slack <= b.recommended.mean_abs_slack {
                     a
                 } else {
                     b
@@ -152,8 +150,8 @@ mod tests {
     use crate::pipeline::LorentzPipeline;
     use lorentz_telemetry::{RegularSeries, UsageTrace};
     use lorentz_types::{
-        Capacity, CustomerId, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath,
-        ServerId, ServerOffering, SubscriptionId,
+        Capacity, CustomerId, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath, ServerId,
+        ServerOffering, SubscriptionId,
     };
 
     fn fleet(seed_offset: u32, n: u32) -> FleetDataset {
@@ -164,16 +162,11 @@ mod tests {
             let industry = if big { "i1" } else { "i0" };
             let customer = format!("c{}", i % 8);
             let demand = if big { 8.0 } else { 1.0 };
-            let trace =
-                UsageTrace::single(RegularSeries::new(300.0, vec![demand; 12]).unwrap());
+            let trace = UsageTrace::single(RegularSeries::new(300.0, vec![demand; 12]).unwrap());
             fleet
                 .push(
                     ServerId(i),
-                    ResourcePath::new(
-                        CustomerId(i % 4),
-                        SubscriptionId(i % 6),
-                        ResourceGroupId(i),
-                    ),
+                    ResourcePath::new(CustomerId(i % 4), SubscriptionId(i % 6), ResourceGroupId(i)),
                     ServerOffering::GeneralPurpose,
                     &[Some(industry), Some(customer.as_str())],
                     Capacity::scalar(16.0),
@@ -204,7 +197,11 @@ mod tests {
         assert_eq!(report.rows, 40);
         // The validation fleet has the same industry->capacity mapping, so
         // predictions should match labels almost exactly.
-        assert!(report.label_rmse_log2 < 0.3, "rmse {}", report.label_rmse_log2);
+        assert!(
+            report.label_rmse_log2 < 0.3,
+            "rmse {}",
+            report.label_rmse_log2
+        );
         assert!(report.recommended.throttling_ratio <= 0.10);
         assert!(PublishGate::default().admits(&report));
         assert!(report.slack_overhead() < 1.5);
@@ -222,7 +219,11 @@ mod tests {
             .unwrap();
         let report =
             validate_deployment(&deployment, &validation, ModelKind::Hierarchical).unwrap();
-        assert!(report.label_rmse_log2 > 1.5, "rmse {}", report.label_rmse_log2);
+        assert!(
+            report.label_rmse_log2 > 1.5,
+            "rmse {}",
+            report.label_rmse_log2
+        );
         assert!(!PublishGate::default().admits(&report));
     }
 

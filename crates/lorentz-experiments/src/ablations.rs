@@ -13,16 +13,15 @@
 
 use crate::common::{self, Scale};
 use lorentz_core::evaluate;
+use lorentz_core::PersonalizerConfig;
 use lorentz_core::{
-    HierarchicalProvisioner, LorentzPipeline, ModelKind, Provisioner, Rightsizer,
-    RightsizerConfig,
+    HierarchicalProvisioner, LorentzPipeline, ModelKind, Provisioner, Rightsizer, RightsizerConfig,
 };
 use lorentz_hierarchy::{learn_hierarchy, HierarchyConfig};
 use lorentz_ml::{
     GradientBoosting, GradientBoostingConfig, MissingPolicy, TargetEncoder, TargetStatistic,
 };
 use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
-use lorentz_core::PersonalizerConfig;
 use lorentz_telemetry::{Aggregator, UsageTrace};
 use lorentz_types::{ProfileSchema, ProfileTable, SkuCatalog};
 use serde::{Deserialize, Serialize};
@@ -88,8 +87,7 @@ pub fn missing_data(_scale: Scale) -> MissingDataResult {
 
     // A missing industry is equally likely retail or banking, so the honest
     // prediction is the global average capacity.
-    let true_mean =
-        labels_log2.iter().map(|l| l.exp2()).sum::<f64>() / labels_log2.len() as f64;
+    let true_mean = labels_log2.iter().map(|l| l.exp2()).sum::<f64>() / labels_log2.len() as f64;
 
     let result = MissingDataResult {
         global_mean_prediction: predict_missing_mean(MissingPolicy::GlobalMean),
@@ -101,7 +99,10 @@ pub fn missing_data(_scale: Scale) -> MissingDataResult {
         common::kv_table(
             "mean predicted capacity for missing-tag rows",
             &[
-                ("true mean".into(), format!("{:.2} vCores", result.true_mean)),
+                (
+                    "true mean".into(),
+                    format!("{:.2} vCores", result.true_mean)
+                ),
                 (
                     "global-mean policy".into(),
                     format!("{:.2} vCores", result.global_mean_prediction),
@@ -235,7 +236,7 @@ pub fn binning(scale: Scale) -> BinningResult {
     let evaluate_with = |config: RightsizerConfig, aggregator: Aggregator| -> (f64, f64) {
         // Re-bin the telemetry from the ground truth + user capacity using
         // the aggregator under test (telemetry = censored ground truth).
-        let rightsizer = Rightsizer::new(config).expect("valid config");
+        let rightsizer = Rightsizer::new(&config).expect("valid config");
         let mut capacities = Vec::with_capacity(synth.fleet.len());
         for i in 0..synth.fleet.len() {
             let user_cap = &synth.fleet.user_capacities()[i];
@@ -251,7 +252,7 @@ pub fn binning(scale: Scale) -> BinningResult {
             capacities.push(outcome.capacity);
         }
         let st = evaluate::slack_throttle(
-            &Rightsizer::new(RightsizerConfig::default()).expect("valid"),
+            &Rightsizer::new(&RightsizerConfig::default()).expect("valid"),
             &synth.ground_truth,
             &capacities,
             0.0,
@@ -267,7 +268,10 @@ pub fn binning(scale: Scale) -> BinningResult {
         ("mean", Aggregator::Mean),
     ] {
         let (thr, slack) = evaluate_with(RightsizerConfig::default(), agg);
-        println!("aggregator {name:>5}: rightsized throttling {} | slack {slack:.2}", common::pct(thr));
+        println!(
+            "aggregator {name:>5}: rightsized throttling {} | slack {slack:.2}",
+            common::pct(thr)
+        );
         aggregators.push((name.to_owned(), thr, slack));
     }
 
@@ -278,7 +282,10 @@ pub fn binning(scale: Scale) -> BinningResult {
             ..RightsizerConfig::default()
         };
         let (thr, slack) = evaluate_with(cfg, Aggregator::Max);
-        println!("K = {k}: rightsized throttling {} | slack {slack:.2}", common::pct(thr));
+        println!(
+            "K = {k}: rightsized throttling {} | slack {slack:.2}",
+            common::pct(thr)
+        );
         k_sweep.push((k, thr, slack));
     }
 
@@ -358,7 +365,10 @@ pub fn hierarchy(scale: Scale) -> HierarchyResult {
             }
         }
         let rate = fallbacks as f64 / total.max(1) as f64;
-        println!("N = {min_bucket:>4}: global fallback rate {}", common::pct(rate));
+        println!(
+            "N = {min_bucket:>4}: global fallback rate {}",
+            common::pct(rate)
+        );
         min_bucket_sweep.push((min_bucket, rate));
     }
 
@@ -453,16 +463,17 @@ pub fn model_family(scale: Scale) -> ModelFamilyResult {
         },
     )
     .expect("forest fits");
-    let ridge = lorentz_ml::RidgeRegression::fit(
-        &train_data,
-        &lorentz_ml::RidgeConfig { l2: 1e-3 },
-    )
-    .expect("ridge fits");
+    let ridge =
+        lorentz_ml::RidgeRegression::fit(&train_data, &lorentz_ml::RidgeConfig { l2: 1e-3 })
+            .expect("ridge fits");
     let mean = train_data.label_mean();
 
     let rmse_log2 = vec![
         ("gbdt".to_owned(), score(&|row| gbdt.predict_row(row))),
-        ("random_forest".to_owned(), score(&|row| forest.predict_row(row))),
+        (
+            "random_forest".to_owned(),
+            score(&|row| forest.predict_row(row)),
+        ),
         ("ridge".to_owned(), score(&|row| ridge.predict_row(row))),
         ("mean".to_owned(), score(&|_| mean)),
     ];

@@ -1,9 +1,7 @@
 //! Shared experiment infrastructure: fleet presets, splits, rightsizing
 //! sweeps, and plain-text rendering helpers.
 
-use lorentz_core::{
-    FleetDataset, LorentzConfig, Rightsizer, RightsizeOutcome,
-};
+use lorentz_core::{FleetDataset, LorentzConfig, RightsizeOutcome, Rightsizer};
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
 use lorentz_simdata::upscale::{upscale_fleet, UpscaleConfig, UpscaleReport};
 use lorentz_telemetry::generators::SamplingConfig;
@@ -121,7 +119,7 @@ pub fn rightsize_fleet(
     config: &LorentzConfig,
     fleet: &FleetDataset,
 ) -> Result<Vec<RightsizeOutcome>, LorentzError> {
-    let rightsizer = Rightsizer::new(config.rightsizer.clone())?;
+    let rightsizer = Rightsizer::new(&config.rightsizer)?;
     (0..fleet.len())
         .map(|i| {
             let catalog = SkuCatalog::azure_postgres(fleet.offerings()[i]);

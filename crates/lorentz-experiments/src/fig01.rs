@@ -26,9 +26,8 @@ pub struct VerdictShares {
 impl VerdictShares {
     fn from_verdicts(verdicts: &[ProvisioningVerdict]) -> Self {
         let n = verdicts.len().max(1) as f64;
-        let count = |v: ProvisioningVerdict| {
-            verdicts.iter().filter(|&&x| x == v).count() as f64 / n
-        };
+        let count =
+            |v: ProvisioningVerdict| verdicts.iter().filter(|&&x| x == v).count() as f64 / n;
         Self {
             well: count(ProvisioningVerdict::WellProvisioned),
             over: count(ProvisioningVerdict::OverProvisioned),
@@ -82,8 +81,7 @@ pub fn run(scale: Scale) -> Fig01Result {
             synth.fleet.user_capacities()[i] == cat.minimum().capacity
         })
         .collect();
-    let picked_minimum =
-        minimums.iter().filter(|&&m| m).count() as f64 / synth.fleet.len() as f64;
+    let picked_minimum = minimums.iter().filter(|&&m| m).count() as f64 / synth.fleet.len() as f64;
     let dev_picked_minimum = if dev_rows.is_empty() {
         0.0
     } else {

@@ -57,7 +57,7 @@ pub fn run(_scale: Scale) -> Fig04Result {
         "slack and throttling for under/over/well-provisioned VMs",
     );
     let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
-    let rightsizer = Rightsizer::new(RightsizerConfig::default()).expect("default config valid");
+    let rightsizer = Rightsizer::new(&RightsizerConfig::default()).expect("default config valid");
 
     // Demand peaking ~3.3 vCores with mean ~2.1; the slack-target-0.5
     // rightsized capacity is 4 vCores.

@@ -67,13 +67,22 @@ fn print_view(title: &str, v: &ViewMetrics) {
         common::kv_table(
             title,
             &[
-                ("mean abs slack (user)".into(), format!("{:.2} vCores", v.user_slack)),
+                (
+                    "mean abs slack (user)".into(),
+                    format!("{:.2} vCores", v.user_slack)
+                ),
                 (
                     "mean abs slack (rightsized)".into(),
                     format!("{:.2} vCores", v.rightsized_slack),
                 ),
-                ("slack reduction (paper 34%)".into(), common::pct(v.slack_reduction)),
-                ("throttling ratio (user)".into(), common::pct(v.user_throttling)),
+                (
+                    "slack reduction (paper 34%)".into(),
+                    common::pct(v.slack_reduction)
+                ),
+                (
+                    "throttling ratio (user)".into(),
+                    common::pct(v.user_throttling)
+                ),
                 (
                     "throttling ratio (rightsized, paper 0%)".into(),
                     common::pct(v.rightsized_throttling),
@@ -92,7 +101,7 @@ pub fn run(scale: Scale) -> Fig09Result {
     let synth = common::stats_fleet(scale, 101);
     let config = common::experiment_config(scale);
     let outcomes = common::rightsize_fleet(&config, &synth.fleet).expect("rightsizing succeeds");
-    let rightsizer = Rightsizer::new(config.rightsizer.clone()).expect("valid config");
+    let rightsizer = Rightsizer::new(&config.rightsizer).expect("valid config");
 
     let user_caps: Vec<Capacity> = synth.fleet.user_capacities().to_vec();
     let right_caps: Vec<Capacity> = outcomes.iter().map(|o| o.capacity.clone()).collect();
@@ -113,7 +122,10 @@ pub fn run(scale: Scale) -> Fig09Result {
         tau,
     );
     print_view("observed workloads (the paper's protocol)", &observed);
-    print_view("uncensored ground truth (simulator honesty check)", &ground_truth);
+    print_view(
+        "uncensored ground truth (simulator honesty check)",
+        &ground_truth,
+    );
 
     // Absolute-slack distributions on the observed workloads (the figure's
     // histograms; modal near powers of two).

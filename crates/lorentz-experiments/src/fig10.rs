@@ -51,7 +51,10 @@ pub fn evaluate_curves_seeded(scale: Scale, train_keep: f64, seeds: &[u64]) -> C
         let len = pick(&sets[0]).len();
         (0..len)
             .map(|i| {
-                let slack = sets.iter().map(|s| pick(s)[i].metrics.mean_abs_slack).sum::<f64>()
+                let slack = sets
+                    .iter()
+                    .map(|s| pick(s)[i].metrics.mean_abs_slack)
+                    .sum::<f64>()
                     / sets.len() as f64;
                 let thr = sets
                     .iter()
@@ -108,7 +111,11 @@ pub fn evaluate_curves(scale: Scale, train_keep: f64, seed: u64) -> CurveSet {
             .copied()
             .filter(|&r| synth.fleet.offerings()[r] == offering)
             .collect();
-        if rows.is_empty() || trained.provisioner(offering, ModelKind::Hierarchical).is_err() {
+        if rows.is_empty()
+            || trained
+                .provisioner(offering, ModelKind::Hierarchical)
+                .is_err()
+        {
             continue;
         }
         let traces = common::traces_for(&rows, &synth.ground_truth);
@@ -153,13 +160,12 @@ pub fn evaluate_curves(scale: Scale, train_keep: f64, seed: u64) -> CurveSet {
         // Baseline: one default per relative catalog rung.
         let mut base_points = Vec::with_capacity(BASELINE_RUNGS);
         for k in 0..BASELINE_RUNGS {
-            let idx = (k as f64 / (BASELINE_RUNGS - 1) as f64 * (catalog.len() - 1) as f64)
-                .round() as usize;
+            let idx = (k as f64 / (BASELINE_RUNGS - 1) as f64 * (catalog.len() - 1) as f64).round()
+                as usize;
             let default = catalog.get(idx).capacity.clone();
             let capacities: Vec<Capacity> = vec![default.clone(); rows.len()];
-            let metrics =
-                evaluate::slack_throttle(trained.rightsizer(), &traces, &capacities, tau)
-                    .expect("evaluation succeeds");
+            let metrics = evaluate::slack_throttle(trained.rightsizer(), &traces, &capacities, tau)
+                .expect("evaluation succeeds");
             base_points.push(EvalPoint {
                 scale_log2: default.primary().log2(),
                 metrics,
@@ -219,7 +225,10 @@ fn average_curves(per_offering: &[Vec<EvalPoint>], weights: &[f64]) -> Vec<EvalP
 
 fn print_curve(name: &str, curve: &[EvalPoint]) {
     println!("-- {name} --");
-    println!("{:>10} {:>14} {:>12}", "scale", "mean_abs_slack", "throttling");
+    println!(
+        "{:>10} {:>14} {:>12}",
+        "scale", "mean_abs_slack", "throttling"
+    );
     for p in curve {
         println!(
             "{:>10.2} {:>14.3} {:>12}",

@@ -11,12 +11,12 @@ use crate::fig11::THROTTLE_BOUND;
 use lorentz_core::evaluate::min_slack_under_throttle_bound;
 use serde::{Deserialize, Serialize};
 
-/// Operating-point slack for one model at full vs 10% training data.
+/// Operating-point slack for one model at full vs subsampled training data.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RobustnessRow {
     /// Mean slack at the full training set's operating point.
     pub full_slack: f64,
-    /// Mean slack when trained on 10% of the data.
+    /// Mean slack when trained on the small subsample.
     pub small_slack: f64,
     /// Relative degradation (positive = worse with less data).
     pub degradation: f64,
@@ -31,16 +31,32 @@ pub struct Fig12Result {
     pub target_encoding: RobustnessRow,
 }
 
+/// The subsample kept for the data-scarce arm. The paper keeps 10% of a
+/// 77k-server fleet (~7.7k rows) — still far above the hierarchical
+/// model's `min_bucket` threshold. 10% of the CI-sized fleet is ~64 rows,
+/// which starves every bucket and tests a different regime entirely, so
+/// `Quick` keeps 30% to preserve the paper's rows-per-bucket ratio.
+fn subsample_keep(scale: Scale) -> f64 {
+    match scale {
+        Scale::Quick => 0.3,
+        Scale::Full => 0.1,
+    }
+}
+
 /// Runs the experiment: evaluate both models with the full training split
-/// and with a 10% subsample.
+/// and with a small subsample (see [`subsample_keep`]).
 pub fn run(scale: Scale) -> Fig12Result {
+    let keep = subsample_keep(scale);
     common::banner(
         "Figure 12",
-        "provisioner robustness to a 10% training subsample",
+        &format!(
+            "provisioner robustness to a {:.0}% training subsample",
+            100.0 * keep
+        ),
     );
     let seeds = fig10::headline_seeds(scale);
     let full = fig10::evaluate_curves_seeded(scale, 1.0, &seeds);
-    let small = fig10::evaluate_curves_seeded(scale, 0.1, &seeds);
+    let small = fig10::evaluate_curves_seeded(scale, keep, &seeds);
     println!(
         "training rows: full {}, small {}",
         full.train_rows, small.train_rows
@@ -65,11 +81,15 @@ pub fn run(scale: Scale) -> Fig12Result {
     };
 
     for (name, r, note) in [
-        ("hierarchical", result.hierarchical, "paper: nearly equivalent"),
+        (
+            "hierarchical",
+            result.hierarchical,
+            "paper: nearly equivalent",
+        ),
         ("target encoding", result.target_encoding, "paper: degrades"),
     ] {
         println!(
-            "{name:>16}: slack {:.3} -> {:.3} at 10% data ({:+.1}%) [{note}]",
+            "{name:>16}: slack {:.3} -> {:.3} on the subsample ({:+.1}%) [{note}]",
             r.full_slack,
             r.small_slack,
             100.0 * r.degradation

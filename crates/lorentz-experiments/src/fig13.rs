@@ -69,8 +69,9 @@ pub fn run(scale: Scale) -> Fig13Result {
         mean_rmse.push(mean);
         two_se.push(2.0 * (var / repeats as f64).sqrt());
     }
-    let convergence_iteration =
-        (0..ITERATIONS).find(|&i| mean_at(&p80_runs, i) <= 0.5).map(|i| i + 1);
+    let convergence_iteration = (0..ITERATIONS)
+        .find(|&i| mean_at(&p80_runs, i) <= 0.5)
+        .map(|i| i + 1);
 
     println!("{:>6} {:>10} {:>10}", "iter", "mean RMSE", "+-2SE");
     for i in (0..ITERATIONS).step_by(5) {

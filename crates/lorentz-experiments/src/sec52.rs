@@ -33,7 +33,11 @@ pub struct Sec52Result {
     pub mean_chi: f64,
 }
 
-fn stats(scale: Scale, fleet: &FleetDataset, ground_truth: &[lorentz_telemetry::UsageTrace]) -> FleetStats {
+fn stats(
+    scale: Scale,
+    fleet: &FleetDataset,
+    ground_truth: &[lorentz_telemetry::UsageTrace],
+) -> FleetStats {
     let config = common::experiment_config(scale);
     let outcomes = common::rightsize_fleet(&config, fleet).expect("rightsizing succeeds");
     let n = fleet.len() as f64;
@@ -42,7 +46,9 @@ fn stats(scale: Scale, fleet: &FleetDataset, ground_truth: &[lorentz_telemetry::
     let mut two_smallest = 0usize;
     for (i, o) in outcomes.iter().enumerate() {
         let cat = SkuCatalog::azure_postgres(fleet.offerings()[i]);
-        let idx = cat.index_of(&o.capacity).expect("rightsized SKU in catalog");
+        let idx = cat
+            .index_of(&o.capacity)
+            .expect("rightsized SKU in catalog");
         if idx == 0 {
             minimum += 1;
         }

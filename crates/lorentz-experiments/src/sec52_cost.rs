@@ -58,11 +58,13 @@ pub fn run(scale: Scale) -> Sec52CostResult {
             .map(|&r| {
                 let offering = synth.fleet.offerings()[r];
                 match trained.provisioner(offering, kind) {
-                    Ok(model) => model
-                        .recommend(&synth.fleet.profiles().row(r))
-                        .expect("recommendation succeeds")
-                        .0
-                        .capacity,
+                    Ok(model) => {
+                        model
+                            .recommend(&synth.fleet.profiles().row(r))
+                            .expect("recommendation succeeds")
+                            .0
+                            .capacity
+                    }
                     // Offering without a model (tiny split): keep the user
                     // choice so the comparison stays conservative.
                     Err(_) => synth.fleet.user_capacities()[r].clone(),

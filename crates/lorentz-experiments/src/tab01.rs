@@ -22,7 +22,10 @@ pub struct Tab01Result {
 
 /// Prints the filters and classifies the paper-mix corpus.
 pub fn run(_scale: Scale) -> Tab01Result {
-    common::banner("Table 1", "throttle filters + classification of the CRI corpus");
+    common::banner(
+        "Table 1",
+        "throttle filters + classification of the CRI corpus",
+    );
     let classifier = KeywordClassifier::paper_filters();
     println!("-- performance (throttle) filters --");
     println!("  symptoms:   {:?}", classifier.performance.symptoms);
@@ -63,7 +66,10 @@ pub fn run(_scale: Scale) -> Tab01Result {
                 ("neutral (0)".into(), result.neutral.to_string()),
                 ("performance (+1)".into(), result.performance.to_string()),
                 ("price (-1)".into(), result.price.to_string()),
-                ("accuracy vs ground truth".into(), common::pct(result.accuracy)),
+                (
+                    "accuracy vs ground truth".into(),
+                    common::pct(result.accuracy)
+                ),
             ],
         )
     );

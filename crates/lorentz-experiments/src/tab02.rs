@@ -22,7 +22,10 @@ pub fn run(_scale: Scale) -> Tab02Result {
         common::kv_table(
             "Stage 1: Rightsizer",
             &[
-                ("T".into(), format!("{} s (5 min)", config.rightsizer.bin_seconds)),
+                (
+                    "T".into(),
+                    format!("{} s (5 min)", config.rightsizer.bin_seconds)
+                ),
                 ("eta".into(), format!("{:?}", config.rightsizer.eta)),
                 (
                     "s*_CPU".into(),

@@ -203,8 +203,7 @@ mod tests {
     /// segment > industry > customer, plus an unrelated `region` feature.
     /// Columns deliberately shuffled so the learner cannot rely on order.
     fn table() -> ProfileTable {
-        let schema =
-            ProfileSchema::new(vec!["customer", "segment", "region", "industry"]).unwrap();
+        let schema = ProfileSchema::new(vec!["customer", "segment", "region", "industry"]).unwrap();
         let mut t = ProfileTable::new(schema);
         // 2 segments -> 4 industries -> 12 customers; region independent.
         for i in 0..120 {
@@ -248,10 +247,7 @@ mod tests {
     fn fine_to_coarse_reverses_the_chain() {
         let t = table();
         let chain = learn_hierarchy(&t, &HierarchyConfig::default()).unwrap();
-        let fine_first: Vec<&str> = chain
-            .fine_to_coarse()
-            .map(|f| t.schema().name(f))
-            .collect();
+        let fine_first: Vec<&str> = chain.fine_to_coarse().map(|f| t.schema().name(f)).collect();
         assert_eq!(fine_first, vec!["customer", "industry", "segment"]);
     }
 

@@ -87,8 +87,12 @@ mod tests {
             let industry = if i % 12 < 6 { "Retail" } else { "Banking" };
             let customer = format!("cust{}", i % 12);
             let server = format!("s{i}");
-            t.push_row(&[Some(industry), Some(customer.as_str()), Some(server.as_str())])
-                .unwrap();
+            t.push_row(&[
+                Some(industry),
+                Some(customer.as_str()),
+                Some(server.as_str()),
+            ])
+            .unwrap();
         }
         t
     }
@@ -124,7 +128,10 @@ mod tests {
             }
         }
         let s = hierarchy_strength(t.column(FeatureId(0)), t.column(FeatureId(1)));
-        assert!(s < 1e-9, "independent features should have ~0 strength, got {s}");
+        assert!(
+            s < 1e-9,
+            "independent features should have ~0 strength, got {s}"
+        );
     }
 
     #[test]
@@ -141,7 +148,8 @@ mod tests {
             } else {
                 "Banking"
             };
-            t.push_row(&[Some(industry), Some(customer.as_str())]).unwrap();
+            t.push_row(&[Some(industry), Some(customer.as_str())])
+                .unwrap();
         }
         let s = hierarchy_strength(t.column(FeatureId(0)), t.column(FeatureId(1)));
         assert!(s < 1.0, "noise must reduce strength below 1, got {s}");

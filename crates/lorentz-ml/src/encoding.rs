@@ -30,9 +30,7 @@ pub enum TargetStatistic {
 impl TargetStatistic {
     fn apply(self, sorted_values: &[f64]) -> f64 {
         match self {
-            TargetStatistic::Mean => {
-                sorted_values.iter().sum::<f64>() / sorted_values.len() as f64
-            }
+            TargetStatistic::Mean => sorted_values.iter().sum::<f64>() / sorted_values.len() as f64,
             TargetStatistic::Percentile(p) => percentile_sorted(sorted_values, p),
         }
     }
@@ -108,7 +106,9 @@ impl TargetEncoder {
             )));
         }
         if table.is_empty() {
-            return Err(LorentzError::Model("cannot fit encoder on empty table".into()));
+            return Err(LorentzError::Model(
+                "cannot fit encoder on empty table".into(),
+            ));
         }
         if !smoothing.is_finite() || smoothing < 0.0 {
             return Err(LorentzError::Model(format!(
@@ -295,7 +295,7 @@ mod tests {
         let seg = FeatureId(0);
         let beverage = t.vocab(seg).get("Beverage").unwrap();
         assert_eq!(enc.encode_value(seg, Some(beverage)), 6.0); // median of {4, 8}
-        // Global median of {4, 8, 16, 32} = 12.
+                                                                // Global median of {4, 8, 16, 32} = 12.
         assert_eq!(enc.global(), 12.0);
     }
 

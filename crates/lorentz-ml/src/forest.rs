@@ -88,8 +88,8 @@ impl RandomForest {
         let binner = Binner::fit(data, config.tree.max_bins)?;
         let binned = binner.bin_dataset(data);
         let n_features = data.features();
-        let n_offered = ((n_features as f64 * config.feature_fraction).ceil() as usize)
-            .clamp(1, n_features);
+        let n_offered =
+            ((n_features as f64 * config.feature_fraction).ceil() as usize).clamp(1, n_features);
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let all_features: Vec<usize> = (0..n_features).collect();
 

@@ -120,8 +120,8 @@ impl GradientBoosting {
         let mut row_buf = vec![0.0; data.features()];
         let mut trees = Vec::with_capacity(config.n_trees);
 
-        let sample_size = ((data.rows() as f64 * config.subsample).round() as usize)
-            .clamp(1, data.rows());
+        let sample_size =
+            ((data.rows() as f64 * config.subsample).round() as usize).clamp(1, data.rows());
 
         for _ in 0..config.n_trees {
             for (r, res) in residuals.iter_mut().enumerate() {
@@ -137,8 +137,14 @@ impl GradientBoosting {
                 sampled.sort_unstable();
                 sampled
             };
-            let tree =
-                DecisionTree::fit_prebinned(&binner, &binned, &residuals, rows, &features, &config.tree);
+            let tree = DecisionTree::fit_prebinned(
+                &binner,
+                &binned,
+                &residuals,
+                rows,
+                &features,
+                &config.tree,
+            );
             for (r, pred) in predictions.iter_mut().enumerate() {
                 data.fill_row(r, &mut row_buf);
                 *pred += config.learning_rate * tree.predict_row(&row_buf);
@@ -156,12 +162,7 @@ impl GradientBoosting {
     /// Predicts one row of raw feature values.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         self.base_score
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predicts every row of a dataset.
@@ -256,9 +257,7 @@ mod tests {
         };
         let few = GradientBoosting::fit(&d, &mk(5)).unwrap();
         let many = GradientBoosting::fit(&d, &mk(80)).unwrap();
-        assert!(
-            rmse(&many.predict(&d), d.labels()) < rmse(&few.predict(&d), d.labels())
-        );
+        assert!(rmse(&many.predict(&d), d.labels()) < rmse(&few.predict(&d), d.labels()));
     }
 
     #[test]

@@ -89,9 +89,8 @@ impl RidgeRegression {
             gram[i][i] += config.l2;
         }
 
-        let weights = solve(gram, moment).ok_or_else(|| {
-            LorentzError::Model("singular normal equations; increase l2".into())
-        })?;
+        let weights = solve(gram, moment)
+            .ok_or_else(|| LorentzError::Model("singular normal equations; increase l2".into()))?;
         let intercept = label_mean;
         Ok(Self {
             intercept,

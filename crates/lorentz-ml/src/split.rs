@@ -32,7 +32,11 @@ pub fn three_way_split(
     test_frac: f64,
     seed: u64,
 ) -> Result<SplitIndices, LorentzError> {
-    for (name, f) in [("train", train_frac), ("val", val_frac), ("test", test_frac)] {
+    for (name, f) in [
+        ("train", train_frac),
+        ("val", val_frac),
+        ("test", test_frac),
+    ] {
         if !f.is_finite() || f <= 0.0 || f >= 1.0 {
             return Err(LorentzError::InvalidConfig(format!(
                 "{name} fraction must be in (0, 1), got {f}"

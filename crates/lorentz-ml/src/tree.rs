@@ -175,10 +175,24 @@ impl DecisionTree {
         let id = nodes.len() as u32;
         nodes.push(Node::Leaf { value: mean }); // placeholder
         let left = Self::grow_node(
-            binner, binned, labels, left_idx, features, config, depth + 1, nodes,
+            binner,
+            binned,
+            labels,
+            left_idx,
+            features,
+            config,
+            depth + 1,
+            nodes,
         );
         let right = Self::grow_node(
-            binner, binned, labels, right_idx, features, config, depth + 1, nodes,
+            binner,
+            binned,
+            labels,
+            right_idx,
+            features,
+            config,
+            depth + 1,
+            nodes,
         );
         nodes[id as usize] = Node::Split {
             feature: split.feature as u32,
@@ -206,11 +220,7 @@ impl DecisionTree {
         let mut best: Option<(f64, SplitCandidate)> = None;
 
         // Reused histogram buffers.
-        let max_bins = features
-            .iter()
-            .map(|&f| binner.bins(f))
-            .max()
-            .unwrap_or(0);
+        let max_bins = features.iter().map(|&f| binner.bins(f)).max().unwrap_or(0);
         let mut counts = vec![0u32; max_bins];
         let mut sums = vec![0f64; max_bins];
 
@@ -243,12 +253,10 @@ impl DecisionTree {
                     continue;
                 }
                 let right_sum = total_sum - left_sum;
-                let score = left_sum * left_sum / left_n as f64
-                    + right_sum * right_sum / right_n as f64;
+                let score =
+                    left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64;
                 let gain = score - base_score;
-                if gain > config.min_gain
-                    && best.as_ref().is_none_or(|(bg, _)| gain > *bg)
-                {
+                if gain > config.min_gain && best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
                     best = Some((
                         gain,
                         SplitCandidate {
@@ -419,7 +427,9 @@ mod tests {
     fn depth_is_bounded() {
         // Noisy target forces deep growth if unbounded.
         let rows: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
-        let labels: Vec<f64> = (0..256).map(|i| ((i * 2654435761u64 as usize) % 97) as f64).collect();
+        let labels: Vec<f64> = (0..256)
+            .map(|i| ((i * 2654435761u64 as usize) % 97) as f64)
+            .collect();
         let d = Dataset::from_rows(vec!["x".into()], &rows, labels).unwrap();
         for max_depth in [1, 3, 5] {
             let cfg = TreeConfig {

@@ -250,7 +250,11 @@ mod tests {
         assert_eq!(r.model.n_trees(), r.best_rounds);
         assert_eq!(r.curve.len(), 6);
         // The selected checkpoint achieves the minimum of the curve.
-        let min = r.curve.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let min = r
+            .curve
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
         assert!((r.best_rmse - min).abs() < 1e-12);
     }
 

@@ -110,15 +110,16 @@ const NEUTRAL_TEMPLATES: &[(&str, &str, &str)] = &[
 pub fn generate_corpus(config: &CriCorpusConfig) -> Vec<LabeledTicket> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut corpus = Vec::with_capacity(config.neutral + config.performance + config.price);
-    let mut push = |templates: &[(&str, &str, &str)], n: usize, sentiment: i8, rng: &mut SmallRng| {
-        for _ in 0..n {
-            let (sym, sub, res) = templates[rng.gen_range(0..templates.len())];
-            corpus.push(LabeledTicket {
-                ticket: CriTicket::new(sym, sub, res),
-                sentiment,
-            });
-        }
-    };
+    let mut push =
+        |templates: &[(&str, &str, &str)], n: usize, sentiment: i8, rng: &mut SmallRng| {
+            for _ in 0..n {
+                let (sym, sub, res) = templates[rng.gen_range(0..templates.len())];
+                corpus.push(LabeledTicket {
+                    ticket: CriTicket::new(sym, sub, res),
+                    sentiment,
+                });
+            }
+        };
     push(NEUTRAL_TEMPLATES, config.neutral, 0, &mut rng);
     push(PERF_TEMPLATES, config.performance, 1, &mut rng);
     push(PRICE_TEMPLATES, config.price, -1, &mut rng);

@@ -23,8 +23,8 @@ use lorentz_core::FleetDataset;
 use lorentz_telemetry::generators::{SamplingConfig, WorkloadGenerator};
 use lorentz_telemetry::{Aggregator, EmptyBinPolicy, UsageTrace, WorkloadSpec};
 use lorentz_types::{
-    Capacity, CustomerId, LorentzError, ProfileSchema, ProfileTable, ResourceGroupId,
-    ResourcePath, ResourceSpace, ServerId, ServerOffering, SkuCatalog, SubscriptionId,
+    Capacity, CustomerId, LorentzError, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath,
+    ResourceSpace, ServerId, ServerOffering, SkuCatalog, SubscriptionId,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -82,8 +82,13 @@ impl HierarchySpec {
     }
 
     fn schema(&self) -> ProfileSchema {
-        ProfileSchema::new(self.levels.iter().map(|l| l.name.clone()).collect::<Vec<_>>())
-            .expect("hierarchy levels have unique names")
+        ProfileSchema::new(
+            self.levels
+                .iter()
+                .map(|l| l.name.clone())
+                .collect::<Vec<_>>(),
+        )
+        .expect("hierarchy levels have unique names")
     }
 }
 
@@ -293,8 +298,7 @@ impl<'a> Generator<'a> {
 
             let path = self.path_for(&chain);
             let profile = self.profile_row(&chain);
-            let profile_refs: Vec<Option<&str>> =
-                profile.iter().map(|v| v.as_deref()).collect();
+            let profile_refs: Vec<Option<&str>> = profile.iter().map(|v| v.as_deref()).collect();
             fleet.push(
                 ServerId(i as u32),
                 path,
@@ -669,7 +673,10 @@ mod tests {
         peaks.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         let median = peaks[peaks.len() / 2];
         let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
-        assert!(mean > median, "left-skew means mean {mean} > median {median}");
+        assert!(
+            mean > median,
+            "left-skew means mean {mean} > median {median}"
+        );
         assert!(median < 4.0, "most DBs are small, median={median}");
     }
 

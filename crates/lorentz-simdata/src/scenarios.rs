@@ -140,8 +140,7 @@ mod tests {
         let f = shrink(enterprise()).generate().unwrap();
         let minimums = (0..f.fleet.len())
             .filter(|&i| {
-                let cat =
-                    lorentz_types::SkuCatalog::azure_postgres(f.fleet.offerings()[i]);
+                let cat = lorentz_types::SkuCatalog::azure_postgres(f.fleet.offerings()[i]);
                 f.fleet.user_capacities()[i] == cat.minimum().capacity
             })
             .count();

@@ -48,7 +48,7 @@ impl Default for UpscaleConfig {
                 ("CloudCustomerGuid".to_owned(), 1.0),
                 ("VerticalName".to_owned(), 3.0),
             ],
-            seed: 7,
+            seed: 1,
         }
     }
 }
@@ -100,8 +100,7 @@ pub fn upscale_fleet(
     }
 
     let n = synth.fleet.len();
-    let mean_peak_before =
-        synth.ground_truth.iter().map(|t| t.peak()[0]).sum::<f64>() / n as f64;
+    let mean_peak_before = synth.ground_truth.iter().map(|t| t.peak()[0]).sum::<f64>() / n as f64;
 
     // Steps 3-4: per-workload χ and scaling.
     let mut chi_sum = 0.0;
@@ -140,8 +139,7 @@ pub fn upscale_fleet(
         synth.ground_truth[row] = truth;
     }
 
-    let mean_peak_after =
-        synth.ground_truth.iter().map(|t| t.peak()[0]).sum::<f64>() / n as f64;
+    let mean_peak_after = synth.ground_truth.iter().map(|t| t.peak()[0]).sum::<f64>() / n as f64;
 
     Ok(UpscaleReport {
         mean_chi: chi_sum / n as f64,

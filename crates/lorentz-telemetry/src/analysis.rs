@@ -140,9 +140,7 @@ mod tests {
     fn sine(n: usize, period: usize, base: f64, amp: f64) -> RegularSeries {
         reg((0..n)
             .map(|i| {
-                base + amp
-                    * (1.0 + (std::f64::consts::TAU * i as f64 / period as f64).sin())
-                    / 2.0
+                base + amp * (1.0 + (std::f64::consts::TAU * i as f64 / period as f64).sin()) / 2.0
             })
             .collect())
     }

@@ -175,7 +175,9 @@ impl WorkloadSpec {
     /// A mostly-idle development DB with occasional activity spikes.
     pub fn dev_box(scale: f64) -> Self {
         WorkloadSpec::Sum(vec![
-            WorkloadSpec::Constant { level: 0.05 * scale },
+            WorkloadSpec::Constant {
+                level: 0.05 * scale,
+            },
             WorkloadSpec::Spiky {
                 base: 0.0,
                 spike_height: 0.6 * scale,
@@ -191,16 +193,16 @@ impl WorkloadSpec {
     pub fn nominal_peak(&self) -> f64 {
         match self {
             WorkloadSpec::Constant { level } => *level,
-            WorkloadSpec::Diurnal { base, amplitude, .. } => base + amplitude,
+            WorkloadSpec::Diurnal {
+                base, amplitude, ..
+            } => base + amplitude,
             WorkloadSpec::Bursty { low, high, .. } => low.max(*high),
             WorkloadSpec::Spiky {
                 base, spike_height, ..
             } => base + spike_height,
             WorkloadSpec::Ramp { start, end } => start.max(*end),
             WorkloadSpec::OuNoise { mean, sigma, .. } => mean + 3.0 * sigma,
-            WorkloadSpec::Sum(parts) => {
-                parts.iter().map(WorkloadSpec::nominal_peak).sum()
-            }
+            WorkloadSpec::Sum(parts) => parts.iter().map(WorkloadSpec::nominal_peak).sum(),
             WorkloadSpec::Scaled { factor, inner } => factor * inner.nominal_peak(),
         }
     }
@@ -270,9 +272,8 @@ impl WorkloadGenerator for WorkloadSpec {
     fn generate(&self, cfg: &SamplingConfig, rng: &mut dyn RngCore) -> RawSeries {
         let mut sampler = self.sampler(cfg.duration_secs);
         let jitter = cfg.jitter_frac.clamp(0.0, 0.99);
-        let mut samples = Vec::with_capacity(
-            (cfg.duration_secs / cfg.mean_interval_secs).ceil() as usize + 1,
-        );
+        let mut samples =
+            Vec::with_capacity((cfg.duration_secs / cfg.mean_interval_secs).ceil() as usize + 1);
         let mut t = 0.0;
         let mut prev_t = 0.0;
         while t <= cfg.duration_secs {
@@ -454,7 +455,10 @@ mod tests {
         let s = spec.generate(&cfg, &mut rng());
         assert!(s.end() <= 600.0 + 60.0 * 1.3);
         let gaps: Vec<f64> = s.samples().windows(2).map(|w| w[1].0 - w[0].0).collect();
-        assert!(gaps.iter().any(|&g| (g - 60.0).abs() > 1.0), "jitter present");
+        assert!(
+            gaps.iter().any(|&g| (g - 60.0).abs() > 1.0),
+            "jitter present"
+        );
         assert!(gaps.iter().all(|&g| g > 60.0 * 0.69 && g < 60.0 * 1.31));
     }
 
@@ -468,7 +472,11 @@ mod tests {
         };
         let s = spec.generate(&SamplingConfig::short(), &mut rng());
         let max = s.max_value();
-        let min = s.samples().iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let min = s
+            .samples()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
         assert!(max <= 3.0 + 1e-9 && max > 2.5, "max={max}");
         assert!((1.0 - 1e-9..1.5).contains(&min), "min={min}");
     }
@@ -518,10 +526,7 @@ mod tests {
         let last = s.samples()[s.len() - 1].1;
         assert!(first < 0.5);
         assert!(last > 9.0);
-        assert!(s
-            .samples()
-            .windows(2)
-            .all(|w| w[1].1 >= w[0].1 - 1e-9));
+        assert!(s.samples().windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9));
     }
 
     #[test]
@@ -579,10 +584,7 @@ mod tests {
         ] {
             let cfg = SamplingConfig::short();
             let s = spec.generate(&cfg, &mut rng());
-            assert!(
-                s.max_value() <= spec.nominal_peak() + 1e-9,
-                "{spec:?}"
-            );
+            assert!(s.max_value() <= spec.nominal_peak() + 1e-9, "{spec:?}");
         }
     }
 

@@ -84,11 +84,7 @@ impl RawSeries {
     /// (Eq. 1: `u_r(t) <= c⁰_r`).
     pub fn censored(&self, cap: f64) -> RawSeries {
         RawSeries {
-            samples: self
-                .samples
-                .iter()
-                .map(|&(t, v)| (t, v.min(cap)))
-                .collect(),
+            samples: self.samples.iter().map(|&(t, v)| (t, v.min(cap))).collect(),
         }
     }
 
@@ -105,11 +101,7 @@ impl RawSeries {
             )));
         }
         Ok(RawSeries {
-            samples: self
-                .samples
-                .iter()
-                .map(|&(t, v)| (t, v * factor))
-                .collect(),
+            samples: self.samples.iter().map(|&(t, v)| (t, v * factor)).collect(),
         })
     }
 }

@@ -156,10 +156,7 @@ mod tests {
         assert!(UsageTrace::new(space.clone(), vec![reg(&[1.0])]).is_err());
         let mismatched_len = vec![reg(&[1.0, 2.0]), reg(&[1.0])];
         assert!(UsageTrace::new(space.clone(), mismatched_len).is_err());
-        let mismatched_bin = vec![
-            reg(&[1.0]),
-            RegularSeries::new(60.0, vec![1.0]).unwrap(),
-        ];
+        let mismatched_bin = vec![reg(&[1.0]), RegularSeries::new(60.0, vec![1.0]).unwrap()];
         assert!(UsageTrace::new(space.clone(), mismatched_bin).is_err());
         assert!(UsageTrace::new(space, vec![reg(&[1.0]), reg(&[2.0])]).is_ok());
     }

@@ -76,10 +76,7 @@ impl Capacity {
     /// dimension (i.e. provisioning `self` can host anything `other` can).
     pub fn dominates(&self, other: &Capacity) -> bool {
         debug_assert_eq!(self.len(), other.len());
-        self.dims
-            .iter()
-            .zip(other.dims.iter())
-            .all(|(a, b)| a >= b)
+        self.dims.iter().zip(other.dims.iter()).all(|(a, b)| a >= b)
     }
 
     /// Whether this capacity is strictly smaller than `other` in at least one

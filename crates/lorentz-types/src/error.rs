@@ -59,7 +59,10 @@ mod tests {
             expected: 2,
             got: 1,
         };
-        assert_eq!(e.to_string(), "dimension mismatch: expected 2 dimensions, got 1");
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: expected 2 dimensions, got 1"
+        );
         let e = LorentzError::InvalidCapacity("x".into());
         assert!(e.to_string().contains("invalid capacity"));
     }

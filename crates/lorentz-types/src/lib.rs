@@ -11,6 +11,8 @@
 //!   [`ResourceGroupId`], [`ServerId`]);
 //! * [`ProfileSchema`] / [`ProfileTable`] — categorical customer/server
 //!   profile data with per-column value interning;
+//! * [`StoreKey`] / [`ValueId`] — typed, `u64`-packable prediction-store
+//!   keys over interned profile values;
 //! * [`LorentzError`] — the shared error type.
 //!
 //! The types follow §2 of the paper: Azure PostgreSQL DB (flexible server)
@@ -29,6 +31,7 @@ pub mod offering;
 pub mod profile;
 pub mod resource;
 pub mod sku;
+pub mod storekey;
 
 pub use capacity::Capacity;
 pub use error::LorentzError;
@@ -37,6 +40,7 @@ pub use offering::ServerOffering;
 pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};
 pub use resource::{ResourceKind, ResourceSpace};
 pub use sku::{Sku, SkuCatalog};
+pub use storekey::{StoreKey, ValueId};
 
 /// Convenience result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, LorentzError>;

@@ -31,9 +31,7 @@ impl ServerOffering {
     pub fn vcore_options(self) -> &'static [f64] {
         match self {
             ServerOffering::Burstable => &[1.0, 2.0, 4.0, 8.0, 20.0],
-            ServerOffering::GeneralPurpose => {
-                &[2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0]
-            }
+            ServerOffering::GeneralPurpose => &[2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0],
             ServerOffering::MemoryOptimized => {
                 &[2.0, 4.0, 8.0, 16.0, 20.0, 32.0, 48.0, 64.0, 96.0, 128.0]
             }
@@ -74,6 +72,38 @@ impl ServerOffering {
             ServerOffering::GeneralPurpose => "general_purpose",
             ServerOffering::MemoryOptimized => "memory_optimized",
         }
+    }
+
+    /// Stable numeric code (the position in [`ServerOffering::ALL`]), used
+    /// by the packed prediction-store key and dense per-offering tables.
+    pub fn code(self) -> u8 {
+        match self {
+            ServerOffering::Burstable => 0,
+            ServerOffering::GeneralPurpose => 1,
+            ServerOffering::MemoryOptimized => 2,
+        }
+    }
+
+    /// Reverses [`ServerOffering::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(usize::from(code)).copied()
+    }
+}
+
+impl std::str::FromStr for ServerOffering {
+    type Err = crate::error::LorentzError;
+
+    /// Parses the stable short name ([`ServerOffering::name`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|o| o.name() == s)
+            .ok_or_else(|| {
+                crate::error::LorentzError::InvalidConfig(format!(
+                    "unknown offering '{s}' (use burstable, general_purpose, or memory_optimized)"
+                ))
+            })
     }
 }
 
@@ -116,6 +146,16 @@ mod tests {
     fn fleet_shares_sum_to_one() {
         let total: f64 = ServerOffering::ALL.iter().map(|o| o.fleet_share()).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codes_and_names_round_trip() {
+        for o in ServerOffering::ALL {
+            assert_eq!(ServerOffering::from_code(o.code()), Some(o));
+            assert_eq!(o.name().parse::<ServerOffering>().unwrap(), o);
+        }
+        assert_eq!(ServerOffering::from_code(3), None);
+        assert!("biggest".parse::<ServerOffering>().is_err());
     }
 
     #[test]

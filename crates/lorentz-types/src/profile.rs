@@ -48,7 +48,9 @@ impl ProfileSchema {
     pub fn new<S: Into<String>>(names: Vec<S>) -> Result<Self, LorentzError> {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         if names.is_empty() {
-            return Err(LorentzError::InvalidProfile("schema has no features".into()));
+            return Err(LorentzError::InvalidProfile(
+                "schema has no features".into(),
+            ));
         }
         for (i, n) in names.iter().enumerate() {
             if names[..i].contains(n) {
@@ -328,6 +330,24 @@ impl ProfileTable {
     /// # Errors
     /// Returns [`LorentzError::InvalidProfile`] on arity mismatch.
     pub fn encode_row(&self, values: &[Option<&str>]) -> Result<ProfileVector, LorentzError> {
+        let mut out = ProfileVector::new(Vec::with_capacity(values.len()));
+        self.encode_row_into(values, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ProfileTable::encode_row`] into a caller-owned vector, clearing and
+    /// refilling it. Batched serving reuses one scratch [`ProfileVector`]
+    /// across requests instead of allocating per request.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidProfile`] on arity mismatch (leaving
+    /// `out` cleared).
+    pub fn encode_row_into(
+        &self,
+        values: &[Option<&str>],
+        out: &mut ProfileVector,
+    ) -> Result<(), LorentzError> {
+        out.values.clear();
         if values.len() != self.schema.len() {
             return Err(LorentzError::InvalidProfile(format!(
                 "row has {} values, schema has {} features",
@@ -335,19 +355,33 @@ impl ProfileTable {
                 self.schema.len()
             )));
         }
-        Ok(ProfileVector::new(
+        out.values.extend(
             values
                 .iter()
                 .enumerate()
-                .map(|(f, v)| v.and_then(|s| self.vocabs[f].get(s)))
-                .collect(),
-        ))
+                .map(|(f, v)| v.and_then(|s| self.vocabs[f].get(s))),
+        );
+        Ok(())
+    }
+
+    /// A row-less copy of this table: same schema and vocabularies, zero
+    /// rows. A trained deployment only needs the vocabularies to encode
+    /// incoming requests, so persisting this view instead of the full
+    /// training matrix keeps the serialized model small.
+    pub fn vocab_view(&self) -> ProfileTable {
+        ProfileTable {
+            schema: self.schema.clone(),
+            vocabs: self.vocabs.clone(),
+            columns: vec![Vec::new(); self.columns.len()],
+            rows: 0,
+        }
     }
 
     /// Builds a new table containing only the given rows (same schema and
     /// vocabularies). Used for train/validation/test splitting.
     pub fn subset(&self, rows: &[usize]) -> ProfileTable {
-        let mut columns: Vec<Vec<Option<u32>>> = vec![Vec::with_capacity(rows.len()); self.columns.len()];
+        let mut columns: Vec<Vec<Option<u32>>> =
+            vec![Vec::with_capacity(rows.len()); self.columns.len()];
         for &r in rows {
             for (f, col) in self.columns.iter().enumerate() {
                 columns[f].push(col[r]);
@@ -448,6 +482,31 @@ mod tests {
         let mut t = small_table();
         assert!(t.push_row(&[Some("x")]).is_err());
         assert!(t.encode_row(&[Some("x")]).is_err());
+    }
+
+    #[test]
+    fn encode_row_into_reuses_the_buffer() {
+        let t = small_table();
+        let mut buf = ProfileVector::new(Vec::new());
+        t.encode_row_into(&[Some("Banking"), Some("acme")], &mut buf)
+            .unwrap();
+        assert_eq!(buf, t.encode_row(&[Some("Banking"), Some("acme")]).unwrap());
+        t.encode_row_into(&[Some("unseen"), None], &mut buf)
+            .unwrap();
+        assert_eq!(buf.values(), &[None, None]);
+        assert!(t.encode_row_into(&[Some("x")], &mut buf).is_err());
+        assert!(buf.is_empty(), "failed encode leaves the buffer cleared");
+    }
+
+    #[test]
+    fn vocab_view_keeps_vocabs_drops_rows() {
+        let t = small_table();
+        let v = t.vocab_view();
+        assert_eq!(v.rows(), 0);
+        assert_eq!(v.schema(), t.schema());
+        assert_eq!(v.cardinality(FeatureId(0)), t.cardinality(FeatureId(0)));
+        let enc = v.encode_row(&[Some("Retail"), Some("acme")]).unwrap();
+        assert_eq!(enc, t.encode_row(&[Some("Retail"), Some("acme")]).unwrap());
     }
 
     #[test]

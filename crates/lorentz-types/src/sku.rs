@@ -234,15 +234,24 @@ mod tests {
     fn round_up_finds_smallest_dominating_sku() {
         let cat = gp();
         assert_eq!(
-            cat.round_up(&Capacity::scalar(3.0)).unwrap().capacity.primary(),
+            cat.round_up(&Capacity::scalar(3.0))
+                .unwrap()
+                .capacity
+                .primary(),
             4.0
         );
         assert_eq!(
-            cat.round_up(&Capacity::scalar(4.0)).unwrap().capacity.primary(),
+            cat.round_up(&Capacity::scalar(4.0))
+                .unwrap()
+                .capacity
+                .primary(),
             4.0
         );
         assert_eq!(
-            cat.round_up(&Capacity::scalar(0.5)).unwrap().capacity.primary(),
+            cat.round_up(&Capacity::scalar(0.5))
+                .unwrap()
+                .capacity
+                .primary(),
             2.0
         );
         assert!(cat.round_up(&Capacity::scalar(1000.0)).is_none());
@@ -252,7 +261,10 @@ mod tests {
     fn round_down_finds_largest_dominated_sku() {
         let cat = gp();
         assert_eq!(
-            cat.round_down(&Capacity::scalar(5.0)).unwrap().capacity.primary(),
+            cat.round_down(&Capacity::scalar(5.0))
+                .unwrap()
+                .capacity
+                .primary(),
             4.0
         );
         assert!(cat.round_down(&Capacity::scalar(1.0)).is_none());
@@ -272,7 +284,9 @@ mod tests {
             8.0
         );
         assert_eq!(
-            cat.nearest_log2(&Capacity::scalar(0.001)).capacity.primary(),
+            cat.nearest_log2(&Capacity::scalar(0.001))
+                .capacity
+                .primary(),
             2.0
         );
     }

@@ -43,7 +43,10 @@ fn main() {
         .iter()
         .map(|&f| schema.name(f))
         .collect();
-    println!("learned profile hierarchy (coarse -> fine): {}", chain.join(" > "));
+    println!(
+        "learned profile hierarchy (coarse -> fine): {}",
+        chain.join(" > ")
+    );
 
     // A request from a known vertical but an unknown customer.
     let vertical = synthetic.fleet.profiles().value_str(0, FeatureId(2));
@@ -53,7 +56,7 @@ fn main() {
         segment,
         industry,
         vertical,
-        None,                    // VerticalCategoryName missing
+        None, // VerticalCategoryName missing
         Some("unknown-customer"),
         Some("unknown-subscription"),
         Some("unknown-rg"),

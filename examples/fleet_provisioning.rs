@@ -17,8 +17,7 @@ use lorentz::core::{
 };
 use lorentz::simdata::fleet::FleetConfig;
 use lorentz::types::{
-    Capacity, CustomerId, FeatureId, ResourceGroupId, ResourcePath, ServerOffering,
-    SubscriptionId,
+    Capacity, CustomerId, FeatureId, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
 };
 
 /// One daily batch: generate "fresh" fleet data, retrain, and gate the
@@ -47,7 +46,7 @@ fn daily_batch(day: u64, previous: Option<&TrainedLorentz>) -> TrainedLorentz {
     // Validation gate: the fresh model's rightsized capacities must not
     // throttle the observed workloads (the Stage-1 guarantee), otherwise we
     // would keep serving the previous model.
-    let rightsizer = Rightsizer::new(trained.config().rightsizer.clone()).expect("valid");
+    let rightsizer = Rightsizer::new(&trained.config().rightsizer).expect("valid");
     let capacities: Vec<Capacity> = trained
         .outcomes()
         .iter()

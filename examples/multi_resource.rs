@@ -32,7 +32,7 @@ fn main() {
         slack_target: vec![0.5, 0.4],
         ..RightsizerConfig::default()
     };
-    let rightsizer = Rightsizer::new(config).expect("config is valid");
+    let rightsizer = Rightsizer::new(&config).expect("config is valid");
 
     // A workload that is CPU-light but memory-heavy (a caching layer):
     // demand peaks ~2.5 vCores but ~24 GiB of memory.

@@ -62,10 +62,7 @@ fn main() {
                 .map(str::to_owned)
         })
         .collect();
-    let mut profile: Vec<Option<&str>> = reference_strings
-        .iter()
-        .map(|v| v.as_deref())
-        .collect();
+    let mut profile: Vec<Option<&str>> = reference_strings.iter().map(|v| v.as_deref()).collect();
     profile[4] = Some("brand-new-customer"); // CloudCustomerGuid
     profile[5] = Some("new-subscription");
     profile[6] = Some("new-rg");

@@ -3,7 +3,7 @@
 //! accumulates — re-provisioned by the trace-augmented model, which should
 //! land closer to the rightsized capacity than the profile-only guess.
 
-use lorentz::core::provisioner::{TraceAugmentedProvisioner, TraceAugmentedConfig};
+use lorentz::core::provisioner::{TraceAugmentedConfig, TraceAugmentedProvisioner};
 use lorentz::core::{LorentzConfig, LorentzPipeline, ModelKind, Rightsizer};
 use lorentz::ml::GradientBoostingConfig;
 use lorentz::simdata::fleet::FleetConfig;
@@ -39,7 +39,9 @@ fn trace_augmentation_improves_on_profile_only_provisioning() {
         .unwrap();
 
     // Fit the trace-augmented model on the General Purpose stratum.
-    let rows = synth.fleet.rows_for_offering(ServerOffering::GeneralPurpose);
+    let rows = synth
+        .fleet
+        .rows_for_offering(ServerOffering::GeneralPurpose);
     assert!(rows.len() > 100);
     let (train_rows, test_rows) = rows.split_at(rows.len() * 8 / 10);
     let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
@@ -118,10 +120,15 @@ fn rightsizer_and_trace_model_agree_on_steady_workloads() {
         .unwrap()
         .train(&synth.fleet)
         .unwrap();
-    let rows = synth.fleet.rows_for_offering(ServerOffering::GeneralPurpose);
+    let rows = synth
+        .fleet
+        .rows_for_offering(ServerOffering::GeneralPurpose);
     let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
     let table = synth.fleet.profiles().subset(&rows);
-    let traces: Vec<_> = rows.iter().map(|&r| synth.fleet.traces()[r].clone()).collect();
+    let traces: Vec<_> = rows
+        .iter()
+        .map(|&r| synth.fleet.traces()[r].clone())
+        .collect();
     let labels: Vec<f64> = rows.iter().map(|&r| trained.labels()[r]).collect();
     let augmented = TraceAugmentedProvisioner::fit(
         &table,
@@ -138,7 +145,7 @@ fn rightsizer_and_trace_model_agree_on_steady_workloads() {
         },
     )
     .unwrap();
-    let rightsizer = Rightsizer::new(config.rightsizer).unwrap();
+    let rightsizer = Rightsizer::new(&config.rightsizer).unwrap();
 
     let mut within_one_step = 0usize;
     for (i, &r) in rows.iter().enumerate() {

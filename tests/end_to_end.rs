@@ -70,7 +70,10 @@ fn full_pipeline_trains_and_recommends() {
     let mut checked = 0;
     for row in (0..synth.fleet.len()).step_by(53) {
         let offering = synth.fleet.offerings()[row];
-        if trained.provisioner(offering, ModelKind::Hierarchical).is_err() {
+        if trained
+            .provisioner(offering, ModelKind::Hierarchical)
+            .is_err()
+        {
             continue;
         }
         let strings: Vec<Option<String>> = (0..schema.len())
@@ -106,14 +109,13 @@ fn rightsizing_never_throttles_observed_telemetry() {
         .unwrap()
         .train(&synth.fleet)
         .unwrap();
-    let rightsizer = Rightsizer::new(config.rightsizer).unwrap();
+    let rightsizer = Rightsizer::new(&config.rightsizer).unwrap();
     let capacities: Vec<Capacity> = trained
         .outcomes()
         .iter()
         .map(|o| o.capacity.clone())
         .collect();
-    let st =
-        evaluate::slack_throttle(&rightsizer, synth.fleet.traces(), &capacities, 0.0).unwrap();
+    let st = evaluate::slack_throttle(&rightsizer, synth.fleet.traces(), &capacities, 0.0).unwrap();
     assert_eq!(
         st.throttling_ratio, 0.0,
         "Eq. 9 guarantees zero observed throttling at tau = 0"
@@ -127,8 +129,7 @@ fn upscaling_then_training_shifts_labels_upward() {
         .unwrap()
         .train(&synth.fleet)
         .unwrap();
-    let mean_before: f64 =
-        before.labels().iter().sum::<f64>() / before.labels().len() as f64;
+    let mean_before: f64 = before.labels().iter().sum::<f64>() / before.labels().len() as f64;
 
     upscale_fleet(&mut synth, &UpscaleConfig::default()).unwrap();
     let after = LorentzPipeline::new(quick_config())
@@ -173,10 +174,16 @@ fn personalization_signals_move_recommendations_monotonically() {
             .sku
             .capacity
             .primary();
-        assert!(now >= last, "recommendations must not shrink under +1 signals");
+        assert!(
+            now >= last,
+            "recommendations must not shrink under +1 signals"
+        );
         last = now;
     }
-    assert!(last > base, "eight +1 signals must raise the recommendation");
+    assert!(
+        last > base,
+        "eight +1 signals must raise the recommendation"
+    );
 
     // Stage-2 output itself is untouched by personalization.
     let rec = trained.recommend(&req, ModelKind::Hierarchical).unwrap();

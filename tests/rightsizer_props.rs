@@ -7,7 +7,7 @@ use lorentz::types::{Capacity, ServerOffering, SkuCatalog};
 use proptest::prelude::*;
 
 fn sizer() -> Rightsizer {
-    Rightsizer::new(RightsizerConfig::default()).unwrap()
+    Rightsizer::new(&RightsizerConfig::default()).unwrap()
 }
 
 fn catalog() -> SkuCatalog {
@@ -16,9 +16,8 @@ fn catalog() -> SkuCatalog {
 
 /// Arbitrary bounded workload: 4–64 bins of usage in [0, 140).
 fn workload() -> impl Strategy<Value = UsageTrace> {
-    proptest::collection::vec(0.0f64..140.0, 4..64).prop_map(|values| {
-        UsageTrace::single(RegularSeries::new(300.0, values).unwrap())
-    })
+    proptest::collection::vec(0.0f64..140.0, 4..64)
+        .prop_map(|values| UsageTrace::single(RegularSeries::new(300.0, values).unwrap()))
 }
 
 /// Catalog capacities to test against.

@@ -1,0 +1,130 @@
+//! Property-based tests of the typed-key serving engine: packed store-key
+//! round trips and batched-vs-single recommend equivalence on random fleets.
+
+use lorentz::core::{LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest};
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::types::{
+    CustomerId, FeatureId, ResourceGroupId, ResourcePath, ServerOffering, StoreKey, SubscriptionId,
+    ValueId,
+};
+use proptest::prelude::*;
+
+fn offering() -> impl Strategy<Value = ServerOffering> {
+    (0u64..ServerOffering::ALL.len() as u64)
+        .prop_map(|c| ServerOffering::from_code(c as u8).unwrap())
+}
+
+proptest! {
+    /// `unpack(pack(k)) == k` over the full packed layout: every offering
+    /// code, the whole 16-bit feature range, and arbitrary value ids.
+    #[test]
+    fn storekey_pack_roundtrips(
+        o in offering(),
+        feature in 0u64..=u16::MAX as u64,
+        value in any::<u32>(),
+    ) {
+        let key = StoreKey::new(o, FeatureId(feature as usize), ValueId(value));
+        let packed = key.pack();
+        prop_assert_eq!(StoreKey::unpack(packed), Some(key));
+        // The string form (the JSON snapshot encoding) round-trips too.
+        prop_assert_eq!(key.to_string().parse::<StoreKey>().unwrap(), key);
+    }
+
+    /// Corrupted packings — non-zero top byte or an unknown offering code —
+    /// never unpack into a key.
+    #[test]
+    fn storekey_rejects_corrupt_packings(
+        top in 1u64..=u8::MAX as u64,
+        code in ServerOffering::ALL.len() as u64..=u8::MAX as u64,
+        low in any::<u64>(),
+    ) {
+        prop_assert_eq!(StoreKey::unpack((top << 56) | (low >> 8)), None);
+        prop_assert_eq!(StoreKey::unpack((code << 48) | (low >> 16)), None);
+    }
+}
+
+/// A random request mix: values sampled from the trained model's own
+/// vocabularies (guaranteed store hits), values the model never saw,
+/// missing tags, and one wrong-arity profile.
+fn request_profiles(seed: u64, table: &lorentz::types::ProfileTable) -> Vec<Vec<Option<String>>> {
+    let mut rng = proptest::TestRng::new(seed);
+    let mut profiles = Vec::new();
+    for _ in 0..12 {
+        let profile = table
+            .schema()
+            .feature_ids()
+            .map(|f| {
+                let vocab = table.vocab(f);
+                match rng.below(4) {
+                    0 => None,
+                    1 => Some(format!("unseen-{}", rng.below(1000))),
+                    _ if !vocab.is_empty() => {
+                        Some(vocab.value(rng.below(vocab.len() as u64) as u32).to_owned())
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        profiles.push(profile);
+    }
+    profiles.push(vec![Some("wrong-arity".to_owned())]); // encode must fail
+    profiles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// `recommend_batch` (and the store-backed variant) is positionally
+    /// identical to issuing each request through the single-request entry
+    /// points, across random fleets and malformed inputs.
+    #[test]
+    fn batched_serving_equals_single_serving(seed in 1u64..1_000) {
+        let fleet = FleetConfig {
+            n_servers: 60 + (seed as usize % 40),
+            seed,
+            ..FleetConfig::default()
+        }
+        .generate()
+        .unwrap()
+        .fleet;
+        let trained = LorentzPipeline::new(LorentzConfig::paper_defaults())
+            .unwrap()
+            .train(&fleet)
+            .unwrap();
+
+        let profiles = request_profiles(seed ^ 0xabcd, trained.profiles());
+        let requests: Vec<RecommendRequest<'_>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RecommendRequest {
+                profile: p.iter().map(|v| v.as_deref()).collect(),
+                offering: ServerOffering::ALL[i % ServerOffering::ALL.len()],
+                path: ResourcePath::new(
+                    CustomerId(i as u32 % 5),
+                    SubscriptionId(i as u32 % 3),
+                    ResourceGroupId(i as u32),
+                ),
+            })
+            .collect();
+
+        for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+            let batched = trained.recommend_batch(&requests, kind);
+            prop_assert_eq!(batched.len(), requests.len());
+            for (r, b) in requests.iter().zip(&batched) {
+                match (trained.recommend(r, kind), b) {
+                    (Ok(single), Ok(batch)) => prop_assert_eq!(&single, batch),
+                    (Err(_), Err(_)) => {}
+                    (s, b) => prop_assert!(false, "single={s:?} batch={b:?}"),
+                }
+            }
+        }
+        let batched = trained.recommend_batch_from_store(&requests);
+        prop_assert_eq!(batched.len(), requests.len());
+        for (r, b) in requests.iter().zip(&batched) {
+            match (trained.recommend_from_store(r), b) {
+                (Ok(single), Ok(batch)) => prop_assert_eq!(&single, batch),
+                (Err(_), Err(_)) => {}
+                (s, b) => prop_assert!(false, "single={s:?} batch={b:?}"),
+            }
+        }
+    }
+}

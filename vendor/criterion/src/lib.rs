@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness subset the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`/`sample_size`, `BenchmarkId`,
+//! and `black_box` — with real timing: each benchmark warms up briefly,
+//! then runs timed batches for a fixed measurement window and prints the
+//! median per-iteration time with spread. No statistics beyond that, no
+//! HTML reports, no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// The benchmark driver handed to each group function.
+pub struct Criterion {
+    /// Minimum timed batches per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing for one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    // Warm up and find an iteration count giving batches of ~MEASURE/samples.
+    let mut iters = 1u64;
+    let warmup_start = Instant::now();
+    let mut per_iter = loop {
+        let t = run_once(f, iters);
+        if warmup_start.elapsed() >= WARMUP || t >= Duration::from_millis(50) {
+            break t.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    let batch_secs = (MEASURE.as_secs_f64() / sample_size as f64).max(1e-4);
+    let batch_iters = ((batch_secs / per_iter) as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    let measure_start = Instant::now();
+    while samples.len() < sample_size
+        || (measure_start.elapsed() < MEASURE && samples.len() < sample_size * 4)
+    {
+        let t = run_once(f, batch_iters);
+        samples.push(t.as_secs_f64() / batch_iters as f64);
+        if measure_start.elapsed() >= MEASURE && samples.len() >= sample_size {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[samples.len() / 20];
+    let hi = samples[samples.len() - 1 - samples.len() / 20];
+    println!(
+        "{id:<55} time: [{} {} {}]  ({} samples x {batch_iters} iters)",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi),
+        samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Declares a benchmark group function list, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

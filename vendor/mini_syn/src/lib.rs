@@ -1,0 +1,309 @@
+//! A minimal parser for the items a derive macro receives, shared by the
+//! offline `serde_derive` and `thiserror` stubs.
+//!
+//! Parses non-generic structs and enums from `proc_macro2`-free token
+//! streams (we work directly on `proc_macro::TokenStream` re-tokenized as
+//! strings of `TokenTree`s). Supports exactly the shapes this workspace
+//! uses: named structs, tuple structs, and enums whose variants are unit,
+//! named, or tuple. Attributes are collected per item/field/variant so the
+//! derive stubs can honor `#[serde(skip)]` and `#[error("...")]`.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed attribute: its path ident (e.g. `serde`, `error`, `doc`) and
+/// the raw tokens inside its argument group, if any.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Attribute name (`serde`, `error`, `doc`, ...).
+    pub name: String,
+    /// Tokens inside the parenthesized argument list, stringified.
+    pub args: Vec<TokenTree>,
+}
+
+impl Attr {
+    /// Whether the argument list contains a bare ident `word` (e.g.
+    /// `#[serde(skip)]`).
+    pub fn has_word(&self, word: &str) -> bool {
+        self.args
+            .iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == word))
+    }
+
+    /// The first string literal among the arguments, with its surrounding
+    /// quotes intact (e.g. `"invalid capacity: {0}"`).
+    pub fn string_literal(&self) -> Option<String> {
+        self.args.iter().find_map(|t| match t {
+            TokenTree::Literal(l) => {
+                let s = l.to_string();
+                if s.starts_with('"') {
+                    Some(s)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        })
+    }
+}
+
+/// A named or positional field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name (`None` for tuple fields).
+    pub name: Option<String>,
+    /// Attributes attached to the field.
+    pub attrs: Vec<Attr>,
+}
+
+/// The field layout of a struct or enum variant.
+#[derive(Debug, Clone)]
+pub enum Fields {
+    /// `struct S;` or a unit enum variant.
+    Unit,
+    /// `struct S { a: T, ... }`.
+    Named(Vec<Field>),
+    /// `struct S(T, ...);`.
+    Tuple(Vec<Field>),
+}
+
+/// One enum variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant attributes (e.g. `#[error("...")]`).
+    pub attrs: Vec<Attr>,
+    /// Variant fields.
+    pub fields: Fields,
+}
+
+/// A parsed derive input item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A struct with its name and fields.
+    Struct {
+        /// Type name.
+        name: String,
+        /// Field layout.
+        fields: Fields,
+    },
+    /// An enum with its name and variants.
+    Enum {
+        /// Type name.
+        name: String,
+        /// The variants in declaration order.
+        variants: Vec<Variant>,
+    },
+}
+
+impl Item {
+    /// The type name.
+    pub fn name(&self) -> &str {
+        match self {
+            Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+/// Flattens `Delimiter::None` groups (inserted around tokens that came
+/// through `macro_rules!` metavariables) into their inner token streams.
+fn flatten_none_groups(stream: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    for t in stream {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten_none_groups(g.stream()));
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn parse_attr(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Attr {
+    // Caller consumed the leading '#'. An inner-attribute '!' never appears
+    // in derive input.
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => panic!("malformed attribute: expected [..], got {other:?}"),
+    };
+    let mut inner = flatten_none_groups(group.stream()).into_iter();
+    let name = match inner.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("malformed attribute: expected ident, got {other:?}"),
+    };
+    let mut args = Vec::new();
+    for t in inner {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                args.extend(g.stream());
+            }
+            // `#[doc = "..."]` form: keep the literal as an arg.
+            other => args.push(other),
+        }
+    }
+    Attr { name, args }
+}
+
+fn collect_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Vec<Attr> {
+    let mut attrs = Vec::new();
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        attrs.push(parse_attr(tokens));
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next(); // pub(crate) / pub(super)
+        }
+    }
+}
+
+/// Skips a type, stopping at a top-level `,` (consumed) or end of stream.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for t in tokens.by_ref() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = flatten_none_groups(group).into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = collect_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field '{name}', got {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field {
+            name: Some(name),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = flatten_none_groups(group).into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = collect_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name: None, attrs });
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = flatten_none_groups(group).into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let attrs = collect_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume a trailing comma if present (discriminants unsupported).
+        match tokens.next() {
+            None => {
+                variants.push(Variant {
+                    name,
+                    attrs,
+                    fields,
+                });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant {
+                    name,
+                    attrs,
+                    fields,
+                });
+            }
+            other => panic!("expected ',' after variant '{name}', got {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Parses a derive input item (struct or enum). Panics with a readable
+/// message on unsupported shapes (generics, unions).
+pub fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = flatten_none_groups(input).into_iter().peekable();
+    let _ = collect_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected 'struct' or 'enum', got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic type '{name}'");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(parse_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("unsupported struct body for '{name}': {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for '{name}': {other:?}"),
+        },
+        other => panic!("derive stub supports struct/enum only, got '{other}'"),
+    }
+}

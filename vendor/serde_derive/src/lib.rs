@@ -1,0 +1,289 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the value-tree model of
+//! the sibling `serde` stub. Supports non-generic named structs, tuple
+//! structs (newtype structs serialize transparently), and externally-tagged
+//! enums, plus the `#[serde(skip)]` field attribute — the exact subset this
+//! workspace uses.
+
+// The emitted source keeps one statement per line; the trailing `\n`s in
+// these `write!` format strings are codegen layout, not message text.
+#![allow(clippy::write_with_newline)]
+
+use mini_syn::{parse_item, Attr, Field, Fields, Item};
+use proc_macro::TokenStream;
+use std::fmt::Write;
+
+fn is_skipped(attrs: &[Attr]) -> bool {
+    attrs
+        .iter()
+        .any(|a| a.name == "serde" && (a.has_word("skip") || a.has_word("skip_serializing")))
+}
+
+fn unsupported_serde_attrs(attrs: &[Attr]) {
+    for a in attrs {
+        if a.name == "serde" && !a.has_word("skip") && !a.has_word("skip_serializing") {
+            panic!(
+                "serde derive stub supports only #[serde(skip)], got #[serde({})]",
+                a.args
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join("")
+            );
+        }
+    }
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item.name().to_string();
+    let mut body = String::new();
+    match &item {
+        Item::Struct { fields, .. } => {
+            write!(body, "{}", serialize_fields_expr(fields, "self.", true)).unwrap();
+        }
+        Item::Enum { variants, .. } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                unsupported_serde_attrs(&v.attrs);
+                match &v.fields {
+                    Fields::Unit => {
+                        write!(
+                            body,
+                            "Self::{0} => ::serde::Value::Str(\"{0}\".to_string()),\n",
+                            v.name
+                        )
+                        .unwrap();
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        write!(
+                            body,
+                            "Self::{0} {{ {1} }} => {{\n\
+                             let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                            v.name,
+                            binds.join(", ")
+                        )
+                        .unwrap();
+                        for f in fields {
+                            unsupported_serde_attrs(&f.attrs);
+                            let fname = f.name.as_ref().unwrap();
+                            if is_skipped(&f.attrs) {
+                                write!(body, "let _ = {fname};\n").unwrap();
+                            } else {
+                                write!(
+                                    body,
+                                    "__fields.push((\"{fname}\".to_string(), ::serde::Serialize::to_value({fname})));\n"
+                                )
+                                .unwrap();
+                            }
+                        }
+                        write!(
+                            body,
+                            "::serde::Value::Map(vec![(\"{0}\".to_string(), ::serde::Value::Map(__fields))])\n}}\n",
+                            v.name
+                        )
+                        .unwrap();
+                    }
+                    Fields::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Seq(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        write!(
+                            body,
+                            "Self::{0}({1}) => ::serde::Value::Map(vec![(\"{0}\".to_string(), {2})]),\n",
+                            v.name,
+                            binds.join(", "),
+                            payload
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serialize impl parses")
+}
+
+/// The expression serializing a struct's fields. `prefix` is `self.` for
+/// structs; named enum variants inline their own version above.
+fn serialize_fields_expr(fields: &Fields, prefix: &str, _top: bool) -> String {
+    let mut s = String::new();
+    match fields {
+        Fields::Unit => s.push_str("::serde::Value::Null"),
+        Fields::Named(fields) => {
+            s.push_str("{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                unsupported_serde_attrs(&f.attrs);
+                if is_skipped(&f.attrs) {
+                    continue;
+                }
+                let fname = f.name.as_ref().unwrap();
+                write!(
+                    s,
+                    "__fields.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&{prefix}{fname})));\n"
+                )
+                .unwrap();
+            }
+            s.push_str("::serde::Value::Map(__fields) }");
+        }
+        Fields::Tuple(fields) if fields.len() == 1 => {
+            write!(s, "::serde::Serialize::to_value(&{prefix}0)").unwrap();
+        }
+        Fields::Tuple(fields) => {
+            s.push_str("::serde::Value::Seq(vec![");
+            for i in 0..fields.len() {
+                write!(s, "::serde::Serialize::to_value(&{prefix}{i}), ").unwrap();
+            }
+            s.push_str("])");
+        }
+    }
+    s
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item.name().to_string();
+    let mut body = String::new();
+    match &item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Unit => body.push_str("Ok(Self)"),
+            Fields::Named(fields) => {
+                body.push_str(&named_fields_ctor(&name, "Self", fields, "__v"));
+            }
+            Fields::Tuple(fields) if fields.len() == 1 => {
+                body.push_str("Ok(Self(::serde::Deserialize::from_value(__v)?))");
+            }
+            Fields::Tuple(fields) => {
+                write!(
+                    body,
+                    "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"{name}: expected sequence\"))?;\n\
+                     if __s.len() != {n} {{ return Err(::serde::Error::custom(\"{name}: wrong tuple arity\")); }}\n\
+                     Ok(Self(",
+                    n = fields.len()
+                )
+                .unwrap();
+                for i in 0..fields.len() {
+                    write!(body, "::serde::Deserialize::from_value(&__s[{i}])?, ").unwrap();
+                }
+                body.push_str("))");
+            }
+        },
+        Item::Enum { variants, .. } => {
+            // Externally tagged: "Variant" | {"Variant": payload}.
+            body.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    write!(body, "\"{0}\" => Ok(Self::{0}),\n", v.name).unwrap();
+                }
+            }
+            write!(
+                body,
+                "__other => Err(::serde::Error::custom(format!(\"{name}: unknown variant '{{__other}}'\"))),\n}},\n"
+            )
+            .unwrap();
+            body.push_str(
+                "::serde::Value::Map(__m) if __m.len() == 1 => {\nlet (__tag, __payload) = &__m[0];\nmatch __tag.as_str() {\n",
+            );
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Named(fields) => {
+                        write!(body, "\"{0}\" => {{\n", v.name).unwrap();
+                        body.push_str(&named_fields_ctor(
+                            &name,
+                            &format!("Self::{}", v.name),
+                            fields,
+                            "__payload",
+                        ));
+                        body.push_str("\n},\n");
+                    }
+                    Fields::Tuple(fields) if fields.len() == 1 => {
+                        write!(
+                            body,
+                            "\"{0}\" => Ok(Self::{0}(::serde::Deserialize::from_value(__payload)?)),\n",
+                            v.name
+                        )
+                        .unwrap();
+                    }
+                    Fields::Tuple(fields) => {
+                        write!(
+                            body,
+                            "\"{0}\" => {{\nlet __s = __payload.as_seq().ok_or_else(|| ::serde::Error::custom(\"{name}::{0}: expected sequence\"))?;\n\
+                             if __s.len() != {n} {{ return Err(::serde::Error::custom(\"{name}::{0}: wrong arity\")); }}\n\
+                             Ok(Self::{0}(",
+                            v.name,
+                            n = fields.len()
+                        )
+                        .unwrap();
+                        for i in 0..fields.len() {
+                            write!(body, "::serde::Deserialize::from_value(&__s[{i}])?, ").unwrap();
+                        }
+                        body.push_str("))\n},\n");
+                    }
+                }
+            }
+            write!(
+                body,
+                "__other => Err(::serde::Error::custom(format!(\"{name}: unknown variant '{{__other}}'\"))),\n}}\n}},\n\
+                 __other => Err(::serde::Error::custom(format!(\"{name}: unexpected value {{__other:?}}\"))),\n}}"
+            )
+            .unwrap();
+        }
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("deserialize impl parses")
+}
+
+/// `Ok(Ctor { f1: ..., f2: ... })` reading named fields from map `src`.
+fn named_fields_ctor(type_name: &str, ctor: &str, fields: &[Field], src: &str) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "let __m = {src}.as_map().ok_or_else(|| ::serde::Error::custom(\"{type_name}: expected map\"))?;\n\
+         Ok({ctor} {{\n"
+    )
+    .unwrap();
+    for f in fields {
+        unsupported_serde_attrs(&f.attrs);
+        let fname = f.name.as_ref().unwrap();
+        if is_skipped(&f.attrs) {
+            write!(s, "{fname}: ::std::default::Default::default(),\n").unwrap();
+        } else {
+            write!(
+                s,
+                "{fname}: match __m.iter().find(|(__k, _)| __k == \"{fname}\") {{\n\
+                 Some((_, __x)) => ::serde::Deserialize::from_value(__x)?,\n\
+                 None => return Err(::serde::Error::custom(\"{type_name}: missing field '{fname}'\")),\n}},\n"
+            )
+            .unwrap();
+        }
+    }
+    s.push_str("})");
+    s
+}

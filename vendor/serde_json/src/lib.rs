@@ -1,0 +1,357 @@
+//! Offline stand-in for `serde_json`: renders the `serde` stub's value tree
+//! to JSON text and parses it back.
+//!
+//! Follows serde_json's observable conventions where they matter for
+//! round-tripping: integer map keys are stringified, non-finite floats
+//! serialize as `null`, and numbers parse back as integers when they carry
+//! no fraction or exponent (the stub's numeric `from_value` accepts either).
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+/// Returns [`Error`] if a map key is not string-like.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON text.
+///
+/// # Errors
+/// Returns [`Error`] if a map key is not string-like.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON text into the generic value tree.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON.
+pub fn parse(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's shortest-round-trip Display; integral floats keep
+                // no fraction (the lenient numeric from_value re-widens).
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected '{lit}' at byte {pos}")))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(Error::new(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 char.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("nonempty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    if text.is_empty() || text == "-" {
+        return Err(Error::new(format!("expected number at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("bad number '{text}'")))
+    } else if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| Error::new(format!("integer '{text}' out of range")))
+    } else {
+        text.parse::<u64>()
+            .map(Value::UInt)
+            .map_err(|_| Error::new(format!("integer '{text}' out of range")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn text_round_trips() {
+        let mut m: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        m.insert("a\"b".into(), vec![1.0, 2.5, -3.0]);
+        let json = to_string(&m).unwrap();
+        let back: BTreeMap<String, Vec<f64>> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, null, true, "x\n"], "b": {}}"#).unwrap();
+        assert_eq!(v.get_field("a").unwrap().as_seq().unwrap().len(), 5);
+        assert!(v.get_field("b").unwrap().as_map().unwrap().is_empty());
+        assert!(parse("{bad}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let mut m: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        m.insert("k".into(), vec![1, 2]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: BTreeMap<String, Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, m);
+    }
+}

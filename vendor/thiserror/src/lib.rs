@@ -1,0 +1,104 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! `#[derive(Error)]` generates `Display` from each variant's
+//! `#[error("...")]` format string plus an empty `std::error::Error` impl.
+//! Positional interpolations (`{0}`) are rewritten to the generated tuple
+//! binding names; named interpolations (`{field}`) resolve through Rust's
+//! inline format-args capture of the destructured bindings.
+
+// The emitted source keeps one statement per line; the trailing `\n`s in
+// these `write!` format strings are codegen layout, not message text.
+#![allow(clippy::write_with_newline)]
+
+use mini_syn::{parse_item, Fields, Item, Variant};
+use proc_macro::TokenStream;
+use std::fmt::Write;
+
+/// Derives `Display` (from `#[error("...")]`) and `std::error::Error`.
+#[proc_macro_derive(Error, attributes(error, source, from))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item.name().to_string();
+    let variants: &[Variant] = match &item {
+        Item::Enum { variants, .. } => variants,
+        Item::Struct { .. } => panic!("thiserror stub supports enums only"),
+    };
+    let mut arms = String::new();
+    for v in variants {
+        let fmt = v
+            .attrs
+            .iter()
+            .find(|a| a.name == "error")
+            .and_then(|a| a.string_literal())
+            .unwrap_or_else(|| panic!("variant '{}' is missing #[error(\"...\")]", v.name));
+        match &v.fields {
+            Fields::Unit => {
+                write!(arms, "Self::{} => ::std::write!(__f, {fmt}),\n", v.name).unwrap();
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<&str> = fields
+                    .iter()
+                    .map(|f| f.name.as_deref().expect("named field"))
+                    .collect();
+                write!(
+                    arms,
+                    "Self::{} {{ {} }} => {{ {} ::std::write!(__f, {fmt}) }},\n",
+                    v.name,
+                    binds.join(", "),
+                    binds
+                        .iter()
+                        .map(|b| format!("let _ = {b};"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+                .unwrap();
+            }
+            Fields::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                write!(
+                    arms,
+                    "Self::{}({}) => {{ {} ::std::write!(__f, {}) }},\n",
+                    v.name,
+                    binds.join(", "),
+                    binds
+                        .iter()
+                        .map(|b| format!("let _ = {b};"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    rewrite_positional(&fmt)
+                )
+                .unwrap();
+            }
+        }
+    }
+    let out = format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n\
+         impl ::std::error::Error for {name} {{}}\n"
+    );
+    out.parse().expect("error impl parses")
+}
+
+/// Rewrites `{0}` / `{1:...}` interpolations to the `__fN` tuple bindings,
+/// leaving `{{` / `}}` escapes untouched.
+fn rewrite_positional(fmt: &str) -> String {
+    let mut out = String::with_capacity(fmt.len() + 8);
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            if chars.peek() == Some(&'{') {
+                out.push_str("{{");
+                chars.next();
+                continue;
+            }
+            out.push('{');
+            if chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                out.push_str("__f");
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
