@@ -23,11 +23,12 @@ USAGE:
   lorentz generate  --servers N --seed S --out fleet.json [--base-demand X]
   lorentz rightsize --fleet fleet.json
   lorentz train     --fleet fleet.json --out model.json [--trees N] [--min-bucket N]
+                    [--stage2-threads N] [--metrics-out metrics.json]
   lorentz recommend --model model.json --offering burstable|general_purpose|memory_optimized
                     --profile \"Feature=value,Feature=value\" [--source hierarchical|target-encoding|store]
-                    [--customer N --subscription N --resource-group N]
+                    [--customer N --subscription N --resource-group N] [--metrics-out metrics.json]
   lorentz recommend --model model.json --batch requests.json
-                    [--source hierarchical|target-encoding|store] [--json]
+                    [--source hierarchical|target-encoding|store] [--json] [--metrics-out metrics.json]
                     (requests.json: array of {\"offering\", \"profile\": {Feature: value},
                      \"customer\", \"subscription\", \"resource_group\"}; all fields optional)
   lorentz report    --fleet fleet.json
@@ -106,6 +107,22 @@ pub fn rightsize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the process-wide metrics snapshot to `--metrics-out`, if given.
+fn write_metrics(args: &Args) -> Result<(), String> {
+    let Some(path) = args.get("metrics-out") else {
+        return Ok(());
+    };
+    let snapshot = lorentz_core::obs::snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+    fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "metrics snapshot ({} counters, {} histograms) -> {path}",
+        snapshot.counters.len(),
+        snapshot.histograms.len()
+    );
+    Ok(())
+}
+
 /// `lorentz train`: train the three-stage pipeline and save the deployment.
 pub fn train(args: &Args) -> Result<(), String> {
     let synthetic = load_fleet(args.require("fleet")?)?;
@@ -113,9 +130,10 @@ pub fn train(args: &Args) -> Result<(), String> {
     let mut config = LorentzConfig::paper_defaults();
     config.target_encoding.boosting.n_trees = args.get_parse_or("trees", 100usize)?;
     config.hierarchical.min_bucket = args.get_parse_or("min-bucket", 10usize)?;
+    let stage2_threads = args.get_parse_or("stage2-threads", 0usize)?;
     let trained = LorentzPipeline::new(config)
         .map_err(|e| e.to_string())?
-        .train(&synthetic.fleet)
+        .train_with_stage2_threads(&synthetic.fleet, stage2_threads)
         .map_err(|e| e.to_string())?;
     fs::write(out, trained.to_json().map_err(|e| e.to_string())?)
         .map_err(|e| format!("{out}: {e}"))?;
@@ -125,7 +143,7 @@ pub fn train(args: &Args) -> Result<(), String> {
         trained.store().version(),
         trained.store().len()
     );
-    Ok(())
+    write_metrics(args)
 }
 
 fn parse_offering(name: &str) -> Result<ServerOffering, String> {
@@ -280,7 +298,8 @@ pub fn recommend(args: &Args) -> Result<(), String> {
     let json = fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
     let trained = TrainedLorentz::from_json(&json).map_err(|e| e.to_string())?;
     if let Some(batch_path) = args.get("batch") {
-        return recommend_batch(args, &trained, batch_path);
+        recommend_batch(args, &trained, batch_path)?;
+        return write_metrics(args);
     }
     let offering = parse_offering(args.get_or("offering", "general_purpose"))?;
     let spec = args.get_or("profile", "").to_owned();
@@ -310,7 +329,7 @@ pub fn recommend(args: &Args) -> Result<(), String> {
     } else {
         println!("{rec}");
     }
-    Ok(())
+    write_metrics(args)
 }
 
 /// `lorentz offering`: recommend a server offering (future-work extension).
@@ -499,6 +518,56 @@ mod tests {
         let _ = std::fs::remove_file(&batch_path);
         let _ = std::fs::remove_file(&fleet_path);
         let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn train_metrics_out_writes_parseable_snapshot() {
+        let fleet_path = tmp("metrics-fleet.json");
+        let model_path = tmp("metrics-model.json");
+        let metrics_path = tmp("metrics.json");
+        generate(&args(&[
+            "generate",
+            "--servers",
+            "90",
+            "--seed",
+            "11",
+            "--out",
+            &fleet_path,
+        ]))
+        .unwrap();
+        train(&args(&[
+            "train",
+            "--fleet",
+            &fleet_path,
+            "--out",
+            &model_path,
+            "--trees",
+            "8",
+            "--stage2-threads",
+            "2",
+            "--metrics-out",
+            &metrics_path,
+        ]))
+        .unwrap();
+
+        let raw = std::fs::read_to_string(&metrics_path).unwrap();
+        let snapshot: lorentz_core::obs::MetricsSnapshot =
+            serde_json::from_str(&raw).expect("metrics snapshot must be valid JSON");
+        for span in [
+            "train.stage1.span_ns",
+            "train.stage2.span_ns",
+            "train.publish.span_ns",
+            "train.personalizer.span_ns",
+        ] {
+            assert!(
+                snapshot.histogram(span).is_some(),
+                "snapshot missing stage span '{span}'"
+            );
+        }
+        assert!(snapshot.counter("train.stage1.records").unwrap() >= 90);
+        let _ = std::fs::remove_file(&fleet_path);
+        let _ = std::fs::remove_file(&model_path);
+        let _ = std::fs::remove_file(&metrics_path);
     }
 
     #[test]

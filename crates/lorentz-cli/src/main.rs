@@ -3,7 +3,8 @@
 //! ```text
 //! lorentz generate  --servers 800 --seed 7 --out fleet.json
 //! lorentz rightsize --fleet fleet.json
-//! lorentz train     --fleet fleet.json --out model.json [--trees 100] [--min-bucket 10]
+//! lorentz train     --fleet fleet.json --out model.json [--trees 100] [--min-bucket 10] \
+//!                   [--stage2-threads 2] [--metrics-out metrics.json]
 //! lorentz recommend --model model.json --offering general_purpose \
 //!                   --profile "SegmentName=segmentname-0,VerticalName=verticalname-2" \
 //!                   [--source hierarchical|target-encoding|store]

@@ -19,8 +19,9 @@
 //! [`fleet`] (training-data container), [`store`] (the versioned offline
 //! prediction store of §4), [`pipeline`] (batch train → publish → serve
 //! orchestration, Fig. 8), [`evaluate`] (slack/throttling metrics and
-//! Pareto sweeps used throughout §5), and [`explain`] (recommendation
-//! rationales, challenge C3).
+//! Pareto sweeps used throughout §5), [`explain`] (recommendation
+//! rationales, challenge C3), and [`obs`] (per-stage span timings and
+//! serving counters, exported as a [`lorentz_obs::MetricsSnapshot`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +31,7 @@ pub mod cost;
 pub mod evaluate;
 pub mod explain;
 pub mod fleet;
+pub mod obs;
 pub mod personalizer;
 pub mod pipeline;
 pub mod provisioner;

@@ -1,0 +1,127 @@
+//! Process-wide metric definitions for the train and serve paths.
+//!
+//! Every metric is a `static` atomic from [`lorentz_obs`], so hot paths pay
+//! only the relaxed atomic op — no registry lookup, no allocation, no lock.
+//! The [`registry`] assembles them into a named [`MetricsSnapshot`] (the
+//! `--metrics-out` payload). Metric names are dotted paths grouped by
+//! subsystem; span histograms carry a `.span_ns` suffix and record
+//! nanoseconds.
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `train.stage1.span_ns` | histogram | one record per Stage-1 rightsizing pass |
+//! | `train.stage1.records` | counter | fleet records rightsized |
+//! | `train.stage2.span_ns` | histogram | one record per full Stage-2 run |
+//! | `train.stage2.offering_span_ns` | histogram | one record per per-offering worker |
+//! | `train.stage2.offerings` | counter | offering models trained |
+//! | `train.publish.span_ns` | histogram | store-publish duration |
+//! | `train.publish.entries` | counter | store keys published |
+//! | `train.personalizer.span_ns` | histogram | personalizer-init duration |
+//! | `train.personalizer.profiles` | counter | profile paths registered at init |
+//! | `serve.recommend.span_ns` | histogram | one record per single live-model recommend |
+//! | `serve.recommend_batch.span_ns` | histogram | one record per live-model batch |
+//! | `serve.recommend.requests` / `.errors` | counter | live-model requests / failures (single + batched) |
+//! | `serve.recommend_batch.batches` | counter | live-model batch calls |
+//! | `serve.store.span_ns` | histogram | one record per single store-path recommend |
+//! | `serve.store_batch.span_ns` | histogram | one record per store-path batch |
+//! | `serve.store.requests` / `.errors` | counter | store-path requests / failures (single + batched) |
+//! | `serve.store_batch.batches` | counter | store-path batch calls |
+//! | `store.lookup.hits` / `.defaults` / `.misses` | counter | key hit / default fallback / not-found outcomes |
+//! | `store.lookup_batch.span_ns` | histogram | one record per shared-store batch lookup |
+//! | `store.lookup_batch.requests` | counter | requests served through shared-store batch lookups |
+//! | `store.publishes` | counter | successful store publishes |
+//! | `personalizer.signals` | counter | satisfaction signals applied |
+//! | `personalizer.profiles_touched` | counter | profiles updated across all propagation rounds |
+
+use lorentz_obs::{Counter, Histogram, Registry};
+use std::sync::Once;
+
+pub use lorentz_obs::{HistogramSnapshot, MetricsSnapshot};
+
+// Stage spans and counts of the daily batch job (Fig. 8 A→C).
+pub(crate) static STAGE1_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static STAGE1_RECORDS: Counter = Counter::new();
+pub(crate) static STAGE2_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static STAGE2_OFFERING_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static STAGE2_OFFERINGS: Counter = Counter::new();
+pub(crate) static PUBLISH_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static PUBLISH_ENTRIES: Counter = Counter::new();
+pub(crate) static PERSONALIZER_INIT_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static PERSONALIZER_PROFILES: Counter = Counter::new();
+
+// Live-model serving (TrainedLorentz::recommend / recommend_batch).
+pub(crate) static RECOMMEND_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static RECOMMEND_BATCH_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static RECOMMEND_REQUESTS: Counter = Counter::new();
+pub(crate) static RECOMMEND_ERRORS: Counter = Counter::new();
+pub(crate) static RECOMMEND_BATCHES: Counter = Counter::new();
+
+// Store-backed serving (recommend_from_store / recommend_batch_from_store).
+pub(crate) static STORE_SERVE_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static STORE_SERVE_BATCH_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static STORE_SERVE_REQUESTS: Counter = Counter::new();
+pub(crate) static STORE_SERVE_ERRORS: Counter = Counter::new();
+pub(crate) static STORE_SERVE_BATCHES: Counter = Counter::new();
+
+// Prediction-store lookup outcomes (shared-store and TrainedLorentz paths).
+pub(crate) static STORE_HITS: Counter = Counter::new();
+pub(crate) static STORE_DEFAULTS: Counter = Counter::new();
+pub(crate) static STORE_MISSES: Counter = Counter::new();
+pub(crate) static STORE_BATCH_SPAN_NS: Histogram = Histogram::new();
+pub(crate) static STORE_BATCH_REQUESTS: Counter = Counter::new();
+pub(crate) static STORE_PUBLISHES: Counter = Counter::new();
+
+// Stage-3 signal propagation.
+pub(crate) static SIGNALS_APPLIED: Counter = Counter::new();
+pub(crate) static SIGNAL_PROFILES_TOUCHED: Counter = Counter::new();
+
+static REGISTRY: Registry = Registry::new();
+static REGISTER: Once = Once::new();
+
+/// The process-wide metric registry, with every Lorentz metric registered.
+pub fn registry() -> &'static Registry {
+    REGISTER.call_once(|| {
+        let r = &REGISTRY;
+        r.register_histogram("train.stage1.span_ns", &STAGE1_SPAN_NS);
+        r.register_counter("train.stage1.records", &STAGE1_RECORDS);
+        r.register_histogram("train.stage2.span_ns", &STAGE2_SPAN_NS);
+        r.register_histogram("train.stage2.offering_span_ns", &STAGE2_OFFERING_SPAN_NS);
+        r.register_counter("train.stage2.offerings", &STAGE2_OFFERINGS);
+        r.register_histogram("train.publish.span_ns", &PUBLISH_SPAN_NS);
+        r.register_counter("train.publish.entries", &PUBLISH_ENTRIES);
+        r.register_histogram("train.personalizer.span_ns", &PERSONALIZER_INIT_SPAN_NS);
+        r.register_counter("train.personalizer.profiles", &PERSONALIZER_PROFILES);
+        r.register_histogram("serve.recommend.span_ns", &RECOMMEND_SPAN_NS);
+        r.register_histogram("serve.recommend_batch.span_ns", &RECOMMEND_BATCH_SPAN_NS);
+        r.register_counter("serve.recommend.requests", &RECOMMEND_REQUESTS);
+        r.register_counter("serve.recommend.errors", &RECOMMEND_ERRORS);
+        r.register_counter("serve.recommend_batch.batches", &RECOMMEND_BATCHES);
+        r.register_histogram("serve.store.span_ns", &STORE_SERVE_SPAN_NS);
+        r.register_histogram("serve.store_batch.span_ns", &STORE_SERVE_BATCH_SPAN_NS);
+        r.register_counter("serve.store.requests", &STORE_SERVE_REQUESTS);
+        r.register_counter("serve.store.errors", &STORE_SERVE_ERRORS);
+        r.register_counter("serve.store_batch.batches", &STORE_SERVE_BATCHES);
+        r.register_counter("store.lookup.hits", &STORE_HITS);
+        r.register_counter("store.lookup.defaults", &STORE_DEFAULTS);
+        r.register_counter("store.lookup.misses", &STORE_MISSES);
+        r.register_histogram("store.lookup_batch.span_ns", &STORE_BATCH_SPAN_NS);
+        r.register_counter("store.lookup_batch.requests", &STORE_BATCH_REQUESTS);
+        r.register_counter("store.publishes", &STORE_PUBLISHES);
+        r.register_counter("personalizer.signals", &SIGNALS_APPLIED);
+        r.register_counter("personalizer.profiles_touched", &SIGNAL_PROFILES_TOUCHED);
+    });
+    &REGISTRY
+}
+
+/// Captures every Lorentz metric into a serializable snapshot (the
+/// `--metrics-out` payload).
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+/// Resets every Lorentz metric to zero. Test support: metrics are
+/// process-wide, so tests that assert exact counts reset first and must not
+/// run concurrently with other metric-producing tests.
+pub fn reset() {
+    registry().reset();
+}

@@ -11,6 +11,7 @@ pub mod signals;
 
 pub use signals::{classify_ticket, CriTicket, KeywordClassifier};
 
+use crate::obs;
 use crate::provisioner::discretize;
 use lorentz_types::{
     CustomerId, LorentzError, ResourceGroupId, ResourcePath, ServerOffering, Sku, SkuCatalog,
@@ -225,6 +226,9 @@ impl Personalizer {
     /// Applies one satisfaction signal with message propagation
     /// (Algorithm 1). The signal's own location is auto-registered; the
     /// propagation reaches every *registered* profile of the same customer.
+    /// Each call bumps `personalizer.signals`, and the number of profiles
+    /// the propagation round updated lands in
+    /// `personalizer.profiles_touched`.
     pub fn apply_signal(&mut self, signal: &SatisfactionSignal) {
         self.register(signal.path);
         let st = strat_index(signal.offering);
@@ -233,6 +237,7 @@ impl Personalizer {
         let rho_s = self.config.rho_resource_group;
         let rho_c = self.config.rho_subscription;
         let clamp = self.config.lambda_clamp;
+        let mut touched = 0u64;
 
         let subs = self
             .store
@@ -256,12 +261,15 @@ impl Personalizer {
                 if scale == 0.0 {
                     continue;
                 }
+                touched += 1;
                 for (x, l) in lambdas.iter_mut().enumerate() {
                     let update = if x == st { scale * s } else { scale * delta };
                     *l = (*l + update).clamp(-clamp, clamp);
                 }
             }
         }
+        obs::SIGNALS_APPLIED.inc();
+        obs::SIGNAL_PROFILES_TOUCHED.add(touched);
     }
 
     /// Applies a batch of signals in order.

@@ -17,8 +17,9 @@ pub mod context;
 mod stages;
 
 use crate::config::LorentzConfig;
-use crate::explain::Recommendation;
+use crate::explain::{Explanation, Recommendation};
 use crate::fleet::FleetDataset;
+use crate::obs;
 use crate::personalizer::signals::{classify_ticket, CriTicket};
 use crate::personalizer::{Personalizer, SatisfactionSignal};
 use crate::provisioner::{HierarchicalProvisioner, Provisioner, TargetEncodingProvisioner};
@@ -175,13 +176,32 @@ impl LorentzPipeline {
     /// deployment without being copied; clone the pipeline first to train
     /// repeatedly.
     ///
+    /// Each stage records its span and counts into [`crate::obs`]
+    /// (`train.*` metrics).
+    ///
     /// # Errors
     /// Returns [`LorentzError`] if the fleet is empty, contains an offering
     /// without a catalog, or any stage fails to fit.
     pub fn train(self, fleet: &FleetDataset) -> Result<TrainedLorentz, LorentzError> {
+        self.train_with_stage2_threads(fleet, 0)
+    }
+
+    /// Like [`LorentzPipeline::train`], but caps the number of concurrent
+    /// Stage-2 worker threads (`0` = one thread per offering). Training is
+    /// deterministic regardless of the cap — worker results are always
+    /// joined in job order — so any thread count publishes a byte-identical
+    /// store snapshot.
+    ///
+    /// # Errors
+    /// See [`LorentzPipeline::train`].
+    pub fn train_with_stage2_threads(
+        self,
+        fleet: &FleetDataset,
+        max_threads: usize,
+    ) -> Result<TrainedLorentz, LorentzError> {
         let ctx = TrainContext::new(&self.config, &self.catalogs, fleet)?;
         let (outcomes, labels) = stages::rightsize_fleet(&ctx)?;
-        let (models, batch) = stages::train_offerings(&ctx, &labels)?;
+        let (models, batch) = stages::train_offerings(&ctx, &labels, max_threads)?;
         let store = stages::publish_store(batch)?;
         let personalizer = stages::init_personalizer(&ctx)?;
         let rightsizer = ctx.into_rightsizer();
@@ -323,7 +343,8 @@ impl TrainedLorentz {
     }
 
     /// Serves a recommendation through a live Stage-2 model, then applies
-    /// the Stage-3 λ adjustment (Eq. 13) and re-discretizes.
+    /// the Stage-3 λ adjustment (Eq. 13) and re-discretizes. Records one
+    /// `serve.recommend.span_ns` observation plus request/error counters.
     ///
     /// # Errors
     /// Returns [`LorentzError`] for unknown offerings or malformed profiles.
@@ -332,28 +353,43 @@ impl TrainedLorentz {
         request: &RecommendRequest<'_>,
         kind: ModelKind,
     ) -> Result<Recommendation, LorentzError> {
-        let x = self.profiles.encode_row(&request.profile)?;
-        self.recommend_encoded(&x, request, kind)
+        let _span = obs::RECOMMEND_SPAN_NS.span();
+        obs::RECOMMEND_REQUESTS.inc();
+        let result = self
+            .profiles
+            .encode_row(&request.profile)
+            .and_then(|x| self.recommend_encoded(&x, request, kind));
+        if result.is_err() {
+            obs::RECOMMEND_ERRORS.inc();
+        }
+        result
     }
 
     /// Serves a batch of requests through a live Stage-2 model, interning
     /// each profile once into a reused scratch vector. Results are
     /// positionally aligned with `requests` and identical to calling
-    /// [`TrainedLorentz::recommend`] per request.
+    /// [`TrainedLorentz::recommend`] per request. Metrics are amortized:
+    /// one `serve.recommend_batch.span_ns` observation and one counter
+    /// update per batch, nothing per item.
     pub fn recommend_batch(
         &self,
         requests: &[RecommendRequest<'_>],
         kind: ModelKind,
     ) -> Vec<Result<Recommendation, LorentzError>> {
+        let _span = obs::RECOMMEND_BATCH_SPAN_NS.span();
         let mut scratch = ProfileVector::new(Vec::new());
-        requests
+        let results: Vec<Result<Recommendation, LorentzError>> = requests
             .iter()
             .map(|request| {
                 self.profiles
                     .encode_row_into(&request.profile, &mut scratch)?;
                 self.recommend_encoded(&scratch, request, kind)
             })
-            .collect()
+            .collect();
+        obs::RECOMMEND_BATCHES.inc();
+        obs::RECOMMEND_REQUESTS.add(results.len() as u64);
+        obs::RECOMMEND_ERRORS.add(results.iter().filter(|r| r.is_err()).count() as u64);
+        results
     }
 
     /// Interns a request's profile into packed store probe levels,
@@ -385,21 +421,29 @@ impl TrainedLorentz {
     }
 
     /// The shared store-serving core: probe levels into `levels`, look up,
-    /// personalize.
+    /// personalize. Every lookup outcome lands in one of the
+    /// `store.lookup.{hits,defaults,misses}` counters.
     fn recommend_from_store_with(
         &self,
         request: &RecommendRequest<'_>,
         levels: &mut Vec<(FeatureId, ValueId)>,
     ) -> Result<Recommendation, LorentzError> {
         self.store_levels(request, levels)?;
-        let (stage2_capacity, explanation) = self.store.lookup(request.offering, levels)?;
+        let lookup = self.store.lookup(request.offering, levels);
+        match &lookup {
+            Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => obs::STORE_HITS.inc(),
+            Ok(_) => obs::STORE_DEFAULTS.inc(),
+            Err(_) => obs::STORE_MISSES.inc(),
+        }
+        let (stage2_capacity, explanation) = lookup?;
         self.personalize(stage2_capacity, explanation, request)
     }
 
     /// Serves a recommendation from the precomputed prediction store (the
     /// low-latency §4 path), falling back most-granular-first along the
     /// learned hierarchy, then applies the λ adjustment. The store probe
-    /// uses packed integer keys — no string is built per lookup.
+    /// uses packed integer keys — no string is built per lookup. Records
+    /// one `serve.store.span_ns` observation plus request/error counters.
     ///
     /// # Errors
     /// Returns [`LorentzError`] for unknown offerings, malformed profiles,
@@ -408,23 +452,35 @@ impl TrainedLorentz {
         &self,
         request: &RecommendRequest<'_>,
     ) -> Result<Recommendation, LorentzError> {
+        let _span = obs::STORE_SERVE_SPAN_NS.span();
+        obs::STORE_SERVE_REQUESTS.inc();
         let mut levels = Vec::new();
-        self.recommend_from_store_with(request, &mut levels)
+        let result = self.recommend_from_store_with(request, &mut levels);
+        if result.is_err() {
+            obs::STORE_SERVE_ERRORS.inc();
+        }
+        result
     }
 
     /// Serves a batch of requests from the prediction store, reusing one
     /// probe-level buffer across the batch. Results are positionally
     /// aligned with `requests` and identical to calling
-    /// [`TrainedLorentz::recommend_from_store`] per request.
+    /// [`TrainedLorentz::recommend_from_store`] per request. Span and
+    /// request/error counters are recorded once per batch.
     pub fn recommend_batch_from_store(
         &self,
         requests: &[RecommendRequest<'_>],
     ) -> Vec<Result<Recommendation, LorentzError>> {
+        let _span = obs::STORE_SERVE_BATCH_SPAN_NS.span();
         let mut levels = Vec::new();
-        requests
+        let results: Vec<Result<Recommendation, LorentzError>> = requests
             .iter()
             .map(|request| self.recommend_from_store_with(request, &mut levels))
-            .collect()
+            .collect();
+        obs::STORE_SERVE_BATCHES.inc();
+        obs::STORE_SERVE_REQUESTS.add(results.len() as u64);
+        obs::STORE_SERVE_ERRORS.add(results.iter().filter(|r| r.is_err()).count() as u64);
+        results
     }
 
     /// Routes one satisfaction signal into the personalizer.

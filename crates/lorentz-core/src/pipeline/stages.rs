@@ -9,6 +9,7 @@
 
 use super::context::TrainContext;
 use super::OfferingModels;
+use crate::obs;
 use crate::personalizer::Personalizer;
 use crate::provisioner::{HierarchicalProvisioner, TargetEncodingProvisioner};
 use crate::rightsizer::RightsizeOutcome;
@@ -21,6 +22,7 @@ use std::collections::BTreeMap;
 pub(super) fn rightsize_fleet(
     ctx: &TrainContext<'_>,
 ) -> Result<(Vec<RightsizeOutcome>, Vec<f64>), LorentzError> {
+    let _span = obs::STAGE1_SPAN_NS.span();
     let fleet = ctx.fleet;
     let mut outcomes = Vec::with_capacity(fleet.len());
     let mut labels = Vec::with_capacity(fleet.len());
@@ -32,6 +34,7 @@ pub(super) fn rightsize_fleet(
         labels.push(outcome.capacity.primary());
         outcomes.push(outcome);
     }
+    obs::STAGE1_RECORDS.add(outcomes.len() as u64);
     Ok((outcomes, labels))
 }
 
@@ -50,6 +53,7 @@ fn train_offering(
     rows: &[usize],
     labels: &[f64],
 ) -> Result<OfferingArtifacts, LorentzError> {
+    let _span = obs::STAGE2_OFFERING_SPAN_NS.span();
     let catalog = ctx.catalog(offering)?;
     let sub_table = ctx.fleet.profiles().subset(rows);
     let sub_labels: Vec<f64> = rows.iter().map(|&r| labels[r]).collect();
@@ -78,32 +82,43 @@ fn train_offering(
 }
 
 /// Stage 2: per-offering stratified models (§2.1), trained concurrently —
-/// one scoped thread per offering with training rows — plus the publish
-/// batch for Fig. 8 step C. Worker results are joined in job order, so the
-/// output is identical to a sequential run.
+/// scoped threads over the offerings with training rows — plus the publish
+/// batch for Fig. 8 step C. `max_threads` caps how many workers run at
+/// once (0 = one thread per offering); whatever the cap, worker results
+/// are joined in job order, so the output is identical to a sequential run.
 pub(super) fn train_offerings(
     ctx: &TrainContext<'_>,
     labels: &[f64],
+    max_threads: usize,
 ) -> Result<(BTreeMap<ServerOffering, OfferingModels>, PublishBatch), LorentzError> {
+    let _span = obs::STAGE2_SPAN_NS.span();
     let jobs: Vec<(ServerOffering, Vec<usize>)> = ctx
         .catalogs
         .keys()
         .map(|&offering| (offering, ctx.fleet.rows_for_offering(offering)))
         .filter(|(_, rows)| !rows.is_empty())
         .collect();
+    let wave = if max_threads == 0 {
+        jobs.len().max(1)
+    } else {
+        max_threads
+    };
 
-    let results: Vec<Result<OfferingArtifacts, LorentzError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|(offering, rows)| {
-                scope.spawn(move || train_offering(ctx, *offering, rows, labels))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("stage-2 worker panicked"))
-            .collect()
-    });
+    let mut results: Vec<Result<OfferingArtifacts, LorentzError>> = Vec::with_capacity(jobs.len());
+    for chunk in jobs.chunks(wave) {
+        results.extend(std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|(offering, rows)| {
+                    scope.spawn(move || train_offering(ctx, *offering, rows, labels))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stage-2 worker panicked"))
+                .collect::<Vec<_>>()
+        }));
+    }
 
     let mut models = BTreeMap::new();
     let mut batch = PublishBatch::default();
@@ -118,22 +133,27 @@ pub(super) fn train_offerings(
             "no offering had any training rows".into(),
         ));
     }
+    obs::STAGE2_OFFERINGS.add(models.len() as u64);
     Ok((models, batch))
 }
 
 /// Publishes the precomputed predictions (Fig. 8 step C).
 pub(super) fn publish_store(batch: PublishBatch) -> Result<PredictionStore, LorentzError> {
+    let _span = obs::PUBLISH_SPAN_NS.span();
     let mut store = PredictionStore::new();
     store.publish(batch)?;
+    obs::PUBLISH_ENTRIES.add(store.len() as u64);
     Ok(store)
 }
 
 /// Stage 3: a fresh personalization profile per observed customer path
 /// (λ = 0).
 pub(super) fn init_personalizer(ctx: &TrainContext<'_>) -> Result<Personalizer, LorentzError> {
+    let _span = obs::PERSONALIZER_INIT_SPAN_NS.span();
     let mut personalizer = Personalizer::new(ctx.config.personalizer)?;
     for &path in ctx.fleet.paths() {
         personalizer.register(path);
     }
+    obs::PERSONALIZER_PROFILES.add(personalizer.profiles() as u64);
     Ok(personalizer)
 }

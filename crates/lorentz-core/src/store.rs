@@ -14,6 +14,7 @@
 //! via manual serde impls, preserving a readable persisted format.
 
 use crate::explain::Explanation;
+use crate::obs;
 use lorentz_types::{FeatureId, LorentzError, ServerOffering, StoreKey, ValueId};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
@@ -91,6 +92,7 @@ impl PredictionStore {
             self.defaults[usize::from(o.code())] = Some(c);
         }
         self.version += 1;
+        obs::STORE_PUBLISHES.inc();
         Ok(self.version)
     }
 
@@ -247,7 +249,8 @@ impl SharedPredictionStore {
         Ok(v)
     }
 
-    /// Serves a lookup under a shared read lock.
+    /// Serves a lookup under a shared read lock, counting the outcome into
+    /// the `store.lookup.{hits,defaults,misses}` counters.
     ///
     /// # Errors
     /// See [`PredictionStore::lookup`].
@@ -256,23 +259,49 @@ impl SharedPredictionStore {
         offering: ServerOffering,
         levels: &[(FeatureId, ValueId)],
     ) -> Result<(f64, Explanation), LorentzError> {
-        self.inner.read().lookup(offering, levels)
+        let result = self.inner.read().lookup(offering, levels);
+        match &result {
+            Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => obs::STORE_HITS.inc(),
+            Ok(_) => obs::STORE_DEFAULTS.inc(),
+            Err(_) => obs::STORE_MISSES.inc(),
+        }
+        result
     }
 
     /// Serves many lookups under one shared read lock, appending one result
     /// per request to `out`. All results come from the same store version,
-    /// and the lock acquisition is amortized across the batch.
+    /// and the lock acquisition is amortized across the batch — as are the
+    /// metrics: one `store.lookup_batch.span_ns` observation and one update
+    /// per outcome counter, tallied from the appended results after the
+    /// lock is released.
     pub fn lookup_batch(
         &self,
         requests: &[(ServerOffering, &[(FeatureId, ValueId)])],
         out: &mut Vec<Result<(f64, Explanation), LorentzError>>,
     ) {
-        let guard = self.inner.read();
-        out.extend(
-            requests
-                .iter()
-                .map(|&(offering, levels)| guard.lookup(offering, levels)),
-        );
+        let span = obs::STORE_BATCH_SPAN_NS.span();
+        let start = out.len();
+        {
+            let guard = self.inner.read();
+            out.extend(
+                requests
+                    .iter()
+                    .map(|&(offering, levels)| guard.lookup(offering, levels)),
+            );
+        }
+        drop(span);
+        let (mut hits, mut defaults, mut misses) = (0u64, 0u64, 0u64);
+        for result in &out[start..] {
+            match result {
+                Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => hits += 1,
+                Ok(_) => defaults += 1,
+                Err(_) => misses += 1,
+            }
+        }
+        obs::STORE_BATCH_REQUESTS.add(requests.len() as u64);
+        obs::STORE_HITS.add(hits);
+        obs::STORE_DEFAULTS.add(defaults);
+        obs::STORE_MISSES.add(misses);
     }
 
     /// Current data version.

@@ -1,0 +1,34 @@
+//! Observability substrate for the Lorentz serving system.
+//!
+//! The ROADMAP north star is a production-scale serving engine; Doppler and
+//! the cloud-advisor literature both stress that SKU recommenders live or
+//! die on operational feedback loops (per-stage latency budgets, drift
+//! counters). This crate is the hand-rolled, dependency-free metrics layer
+//! those loops hang off:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars, `const`-constructible
+//!   so metrics can live in `static` items with zero registration cost on
+//!   the hot path;
+//! * [`Histogram`] — a log₂-bucketed latency histogram with atomic buckets,
+//!   reporting `p50`/`p95`/`p99`/`max`; recording is wait-free and
+//!   order-insensitive, and histograms [`merge`](Histogram::merge);
+//! * [`SpanTimer`] — an RAII guard that records elapsed nanoseconds into a
+//!   histogram on drop, for scoped stage timing;
+//! * [`Registry`] + [`MetricsSnapshot`] — a named-metric registry whose
+//!   snapshot serializes to the same sorted-key JSON style as the
+//!   prediction-store snapshot.
+//!
+//! Everything is `std`-only (atomics + `Instant`); the only dependency is
+//! the workspace `serde` stub for the snapshot encoding. Deterministic
+//! fields (counts) are byte-stable across runs; wall-clock fields (span
+//! nanoseconds) of course are not — tests golden-pin the former and only
+//! sanity-check the latter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, SpanTimer};
+pub use registry::{HistogramSnapshot, MetricsSnapshot, Registry};

@@ -1,0 +1,327 @@
+//! The atomic metric primitives: counters, gauges, histograms, span timers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+///
+/// All operations are relaxed atomics — increments from concurrent threads
+/// never lose updates, and the total always equals the sum of per-thread
+/// increments.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter (usable in `static` items).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (test support; not used on serving paths).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time signed level (queue depths, store sizes, versions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a zeroed gauge (usable in `static` items).
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (test support).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One bucket per power of two: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range,
+/// so a nanosecond histogram spans from 1 ns to ~584 years without
+/// saturating.
+const N_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram for latency-style values.
+///
+/// Recording is a handful of relaxed atomic ops (bucket add, count, sum,
+/// max), wait-free and order-insensitive: any permutation of the same
+/// records — across any number of threads — produces an identical
+/// snapshot. Quantiles are resolved to the upper bound of the covering
+/// bucket, clamped to the exact recorded maximum, which keeps
+/// `p50 ≤ p95 ≤ p99 ≤ max` by construction.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (usable in `static` items).
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [ZERO; N_BUCKETS],
+        }
+    }
+
+    /// The bucket index covering `v`: 0 for 0, `floor(log2 v) + 1` otherwise.
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// The largest value bucket `i` can hold.
+    fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII span whose elapsed nanoseconds are recorded on drop.
+    pub fn span(&self) -> SpanTimer<'_> {
+        SpanTimer {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Folds another histogram's observations into this one. Equivalent to
+    /// having recorded both streams into one histogram.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), resolved to the covering bucket's
+    /// upper bound and clamped to the recorded maximum. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Resets every bucket and statistic to zero (test support; not
+    /// atomic with respect to concurrent recorders).
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An RAII stage timer: created by [`Histogram::span`], records the elapsed
+/// nanoseconds into its histogram when dropped.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl SpanTimer<'_> {
+    /// Nanoseconds elapsed so far (the value that will be recorded).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn bucket_indexing_covers_u64() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [100u64; 10] {
+            h.record(v);
+        }
+        // Single-valued stream: every quantile is the exact value (the
+        // bucket upper bound 127 clamps to the recorded max 100).
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 1000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_across_spread_values() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 10, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        assert!(p50 >= 4, "median of the stream is >= 4, got {p50}");
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [3u64, 700, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 9999] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.max(), both.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let span = h.span();
+            assert_eq!(h.count(), 0, "nothing recorded until drop");
+            let _ = span.elapsed_ns();
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

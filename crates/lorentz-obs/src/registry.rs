@@ -1,0 +1,220 @@
+//! The named-metric registry and its serializable snapshot.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A registry of named metrics living in `static` storage.
+///
+/// The registry itself is `const`-constructible, so a process-wide
+/// `static REGISTRY: Registry` needs no lazy-init machinery. Hot paths
+/// never touch the registry — they update their `static` [`Counter`] /
+/// [`Histogram`] items directly; the registry only knows the name → metric
+/// mapping so [`Registry::snapshot`] can enumerate everything.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(&'static str, &'static Counter)>>,
+    gauges: Mutex<Vec<(&'static str, &'static Gauge)>>,
+    histograms: Mutex<Vec<(&'static str, &'static Histogram)>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (usable in `static` items).
+    pub const fn new() -> Self {
+        Self {
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a counter under `name`. Re-registering a name is a no-op,
+    /// so registration blocks can run on every entry without guards.
+    pub fn register_counter(&self, name: &'static str, metric: &'static Counter) {
+        let mut list = self.counters.lock().expect("registry poisoned");
+        if !list.iter().any(|(n, _)| *n == name) {
+            list.push((name, metric));
+        }
+    }
+
+    /// Registers a gauge under `name` (idempotent, like counters).
+    pub fn register_gauge(&self, name: &'static str, metric: &'static Gauge) {
+        let mut list = self.gauges.lock().expect("registry poisoned");
+        if !list.iter().any(|(n, _)| *n == name) {
+            list.push((name, metric));
+        }
+    }
+
+    /// Registers a histogram under `name` (idempotent, like counters).
+    pub fn register_histogram(&self, name: &'static str, metric: &'static Histogram) {
+        let mut list = self.histograms.lock().expect("registry poisoned");
+        if !list.iter().any(|(n, _)| *n == name) {
+            list.push((name, metric));
+        }
+    }
+
+    /// Captures every registered metric into a serializable snapshot.
+    /// Concurrent recorders may land between individual reads; each metric's
+    /// own fields are internally consistent enough for monitoring (counts
+    /// never decrease, quantiles never exceed max).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| ((*name).to_owned(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| ((*name).to_owned(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| ((*name).to_owned(), HistogramSnapshot::of(h)))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Resets every registered metric to zero (test support).
+    pub fn reset(&self) {
+        for (_, c) in self.counters.lock().expect("registry poisoned").iter() {
+            c.reset();
+        }
+        for (_, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            g.reset();
+        }
+        for (_, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            h.reset();
+        }
+    }
+}
+
+/// The frozen statistics of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (nanoseconds for span histograms).
+    pub sum: u64,
+    /// Median, resolved to the covering log₂ bucket.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Freezes a histogram's current statistics.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+/// A point-in-time capture of every registered metric, serializable to the
+/// same sorted-key JSON style as the prediction-store snapshot: metric
+/// names are the (sorted) object keys, values are plain integers or
+/// [`HistogramSnapshot`] objects.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter totals by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram statistics by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's total, or `None` if the name is unknown.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A gauge's level, or `None` if the name is unknown.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram's statistics, or `None` if the name is unknown.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static HITS: Counter = Counter::new();
+    static DEPTH: Gauge = Gauge::new();
+    static LATENCY: Histogram = Histogram::new();
+
+    #[test]
+    fn registry_snapshots_and_resets_static_metrics() {
+        let registry = Registry::new();
+        registry.register_counter("serve.hits", &HITS);
+        registry.register_counter("serve.hits", &HITS); // idempotent
+        registry.register_gauge("store.depth", &DEPTH);
+        registry.register_histogram("serve.latency_ns", &LATENCY);
+
+        HITS.add(3);
+        DEPTH.set(7);
+        LATENCY.record(128);
+        LATENCY.record(64);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.hits"), Some(3));
+        assert_eq!(snap.gauge("store.depth"), Some(7));
+        let h = snap.histogram("serve.latency_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 192);
+        assert_eq!(h.max, 128);
+        assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+        assert_eq!(snap.counter("no.such.metric"), None);
+
+        registry.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.hits"), Some(0));
+        assert_eq!(snap.gauge("store.depth"), Some(0));
+        assert_eq!(snap.histogram("serve.latency_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_sorted_key_json() {
+        let registry = Registry::new();
+        static B: Counter = Counter::new();
+        static A: Counter = Counter::new();
+        registry.register_counter("z.last", &B);
+        registry.register_counter("a.first", &A);
+        A.add(1);
+        B.add(2);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        // BTreeMap keys serialize sorted regardless of registration order.
+        assert!(json.find("a.first").unwrap() < json.find("z.last").unwrap());
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the `lorentz-obs` metrics substrate: histogram
+//! recording is order-insensitive and merge-consistent, quantiles are
+//! monotone, and counters never lose concurrent increments.
+
+use lorentz::obs::{Counter, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any permutation of the same observations produces an identical
+    /// histogram: recording forward and backward must agree on every
+    /// snapshot field.
+    #[test]
+    fn histogram_recording_is_order_insensitive(values in collection::vec(any::<u64>(), 0..200)) {
+        let (forward, backward) = (Histogram::new(), Histogram::new());
+        for &v in &values {
+            forward.record(v);
+        }
+        for &v in values.iter().rev() {
+            backward.record(v);
+        }
+        prop_assert_eq!(
+            HistogramSnapshot::of(&forward),
+            HistogramSnapshot::of(&backward)
+        );
+    }
+
+    /// Splitting a stream across shard histograms and merging them is
+    /// indistinguishable from recording the whole stream into one.
+    #[test]
+    fn histogram_merge_equals_single_stream(
+        values in collection::vec(any::<u32>(), 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let (merged, single) = (Histogram::new(), Histogram::new());
+        let shard = Histogram::new();
+        for &v in &values[..split] {
+            merged.record(u64::from(v));
+        }
+        for &v in &values[split..] {
+            shard.record(u64::from(v));
+        }
+        merged.merge(&shard);
+        for &v in &values {
+            single.record(u64::from(v));
+        }
+        prop_assert_eq!(HistogramSnapshot::of(&merged), HistogramSnapshot::of(&single));
+    }
+
+    /// Quantiles are monotone (`p50 ≤ p95 ≤ p99 ≤ max`), the maximum is
+    /// exact, and the count/sum fields match the recorded stream.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in collection::vec(any::<u32>(), 1..200)) {
+        let h = Histogram::new();
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for &v in &values {
+            h.record(u64::from(v));
+            sum += u64::from(v);
+            max = max.max(u64::from(v));
+        }
+        let snap = HistogramSnapshot::of(&h);
+        prop_assert!(snap.p50 <= snap.p95);
+        prop_assert!(snap.p95 <= snap.p99);
+        prop_assert!(snap.p99 <= snap.max);
+        prop_assert_eq!(snap.max, max);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, sum);
+        // The median can never undershoot the smallest recorded value.
+        prop_assert!(snap.p50 >= values.iter().copied().map(u64::from).min().unwrap());
+    }
+
+    /// A counter's total equals the sum of per-thread increments under
+    /// concurrent recording — no update is ever lost.
+    #[test]
+    fn counter_totals_survive_concurrency(
+        threads in 1usize..6,
+        increments in 1u64..400,
+        bump in 1u64..5,
+    ) {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..increments {
+                        counter.add(bump);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.get(), threads as u64 * increments * bump);
+    }
+
+    /// Histogram recording from concurrent threads loses nothing either:
+    /// the final count and sum equal the whole stream's.
+    #[test]
+    fn histogram_recording_survives_concurrency(
+        threads in 1usize..6,
+        per_thread in collection::vec(any::<u16>(), 1..50),
+    ) {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for &v in &per_thread {
+                        h.record(u64::from(v));
+                    }
+                });
+            }
+        });
+        let expected_sum: u64 = per_thread.iter().map(|&v| u64::from(v)).sum();
+        prop_assert_eq!(h.count(), (threads * per_thread.len()) as u64);
+        prop_assert_eq!(h.sum(), threads as u64 * expected_sum);
+        prop_assert_eq!(h.max(), per_thread.iter().copied().max().map(u64::from).unwrap());
+    }
+}

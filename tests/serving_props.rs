@@ -128,3 +128,88 @@ proptest! {
         }
     }
 }
+
+/// A small trained pipeline plus one profile drawn from its own vocabulary,
+/// shared by the batch edge-case tests below.
+fn tiny_trained() -> (lorentz::core::TrainedLorentz, Vec<Option<String>>) {
+    let fleet = FleetConfig {
+        n_servers: 80,
+        seed: 424242,
+        ..FleetConfig::default()
+    }
+    .generate()
+    .unwrap()
+    .fleet;
+    let trained = LorentzPipeline::new(LorentzConfig::paper_defaults())
+        .unwrap()
+        .train(&fleet)
+        .unwrap();
+    let profile = trained
+        .profiles()
+        .schema()
+        .feature_ids()
+        .map(|f| {
+            let vocab = trained.profiles().vocab(f);
+            (!vocab.is_empty()).then(|| vocab.value(0).to_owned())
+        })
+        .collect();
+    (trained, profile)
+}
+
+fn request_at<'a>(profile: &'a [Option<String>], i: u32) -> RecommendRequest<'a> {
+    RecommendRequest {
+        profile: profile.iter().map(|v| v.as_deref()).collect(),
+        offering: ServerOffering::GeneralPurpose,
+        path: ResourcePath::new(CustomerId(1), SubscriptionId(1), ResourceGroupId(i)),
+    }
+}
+
+#[test]
+fn empty_batch_serves_zero_results() {
+    let (trained, _) = tiny_trained();
+    let requests: Vec<RecommendRequest<'_>> = Vec::new();
+    for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+        assert!(trained.recommend_batch(&requests, kind).is_empty());
+    }
+    assert!(trained.recommend_batch_from_store(&requests).is_empty());
+}
+
+#[test]
+fn single_element_batch_equals_single_request() {
+    let (trained, profile) = tiny_trained();
+    let requests = vec![request_at(&profile, 0)];
+    for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+        let batched = trained.recommend_batch(&requests, kind);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(
+            batched[0].as_ref().unwrap(),
+            &trained.recommend(&requests[0], kind).unwrap()
+        );
+    }
+    let batched = trained.recommend_batch_from_store(&requests);
+    assert_eq!(batched.len(), 1);
+    assert_eq!(
+        batched[0].as_ref().unwrap(),
+        &trained.recommend_from_store(&requests[0]).unwrap()
+    );
+}
+
+#[test]
+fn duplicate_profile_batch_repeats_the_single_answer() {
+    // A batch of N identical requests must return the single-request answer
+    // N times — batching must not share or mutate state across positions.
+    let (trained, profile) = tiny_trained();
+    let requests: Vec<RecommendRequest<'_>> = (0..8).map(|_| request_at(&profile, 3)).collect();
+    for kind in [ModelKind::Hierarchical, ModelKind::TargetEncoding] {
+        let single = trained.recommend(&requests[0], kind).unwrap();
+        let batched = trained.recommend_batch(&requests, kind);
+        assert_eq!(batched.len(), requests.len());
+        for b in &batched {
+            assert_eq!(b.as_ref().unwrap(), &single);
+        }
+    }
+    let single = trained.recommend_from_store(&requests[0]).unwrap();
+    for b in &trained.recommend_batch_from_store(&requests) {
+        assert_eq!(b.as_ref().unwrap(), &single);
+    }
+}

@@ -1,0 +1,115 @@
+//! Negative-path regression tests for [`PredictionStore`] deserialization:
+//! every rejection branch in the snapshot-compatibility shim must surface
+//! as a typed error — never a panic — with one test per branch.
+
+use lorentz::core::PredictionStore;
+
+/// A minimal well-formed snapshot that every test below perturbs.
+const GOOD: &str = r#"{
+  "version": 3,
+  "entries": { "general_purpose|0|7": 4.0, "burstable|2|1": 2.0 },
+  "defaults": { "general_purpose": 8.0 }
+}"#;
+
+fn parse(json: &str) -> Result<PredictionStore, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[test]
+fn well_formed_snapshot_round_trips() {
+    let store = parse(GOOD).expect("the reference snapshot must parse");
+    let json = serde_json::to_string(&store).unwrap();
+    let back: PredictionStore = serde_json::from_str(&json).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}
+
+#[test]
+fn missing_version_field_is_rejected() {
+    let err = parse(r#"{"entries": {}, "defaults": {}}"#).unwrap_err();
+    assert!(err.to_string().contains("version"), "got: {err}");
+}
+
+#[test]
+fn missing_entries_field_is_rejected() {
+    let err = parse(r#"{"version": 1, "defaults": {}}"#).unwrap_err();
+    assert!(err.to_string().contains("entries"), "got: {err}");
+}
+
+#[test]
+fn missing_defaults_field_is_rejected() {
+    let err = parse(r#"{"version": 1, "entries": {}}"#).unwrap_err();
+    assert!(err.to_string().contains("defaults"), "got: {err}");
+}
+
+#[test]
+fn non_numeric_version_is_rejected() {
+    assert!(parse(r#"{"version": "three", "entries": {}, "defaults": {}}"#).is_err());
+}
+
+#[test]
+fn entries_as_array_is_rejected() {
+    let err = parse(r#"{"version": 1, "entries": [1, 2], "defaults": {}}"#).unwrap_err();
+    assert!(err.to_string().contains("entries"), "got: {err}");
+}
+
+#[test]
+fn defaults_as_scalar_is_rejected() {
+    let err = parse(r#"{"version": 1, "entries": {}, "defaults": 4.0}"#).unwrap_err();
+    assert!(err.to_string().contains("defaults"), "got: {err}");
+}
+
+#[test]
+fn malformed_store_key_missing_fields_is_rejected() {
+    let json = r#"{"version": 1, "entries": {"general_purpose|0": 4.0}, "defaults": {}}"#;
+    let err = parse(json).unwrap_err();
+    assert!(err.to_string().contains("store key"), "got: {err}");
+}
+
+#[test]
+fn malformed_store_key_non_numeric_index_is_rejected() {
+    let json = r#"{"version": 1, "entries": {"general_purpose|x|7": 4.0}, "defaults": {}}"#;
+    assert!(parse(json).is_err());
+}
+
+#[test]
+fn store_key_feature_index_overflow_is_rejected() {
+    // FeatureId is packed into 16 bits; 70000 must be refused, not wrapped.
+    let json = r#"{"version": 1, "entries": {"general_purpose|70000|7": 4.0}, "defaults": {}}"#;
+    assert!(parse(json).is_err());
+}
+
+#[test]
+fn unknown_offering_in_store_key_is_rejected() {
+    let json = r#"{"version": 1, "entries": {"warp_drive|0|7": 4.0}, "defaults": {}}"#;
+    assert!(parse(json).is_err());
+}
+
+#[test]
+fn unknown_offering_in_defaults_is_rejected() {
+    let json = r#"{"version": 1, "entries": {}, "defaults": {"warp_drive": 4.0}}"#;
+    assert!(parse(json).is_err());
+}
+
+#[test]
+fn non_numeric_entry_capacity_is_rejected() {
+    let json = r#"{"version": 1, "entries": {"general_purpose|0|7": "big"}, "defaults": {}}"#;
+    assert!(parse(json).is_err());
+}
+
+#[test]
+fn non_numeric_default_capacity_is_rejected() {
+    let json = r#"{"version": 1, "entries": {}, "defaults": {"general_purpose": []}}"#;
+    assert!(parse(json).is_err());
+}
+
+#[test]
+fn truncated_json_is_an_error_not_a_panic() {
+    // Every strict prefix of a valid snapshot must fail cleanly. This walks
+    // the whole document so a panic anywhere in the lexer/shim surfaces.
+    for cut in 0..GOOD.len() {
+        assert!(
+            parse(&GOOD[..cut]).is_err(),
+            "prefix of length {cut} unexpectedly parsed"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Golden determinism of the training pipeline: repeated runs — at any
+//! Stage-2 thread count — publish byte-identical store snapshots, pinning
+//! the "worker results are joined in job order" guarantee from the
+//! typed-key serving engine PR.
+
+use lorentz::core::{LorentzConfig, LorentzPipeline};
+use lorentz::simdata::fleet::FleetConfig;
+
+fn quick_config() -> LorentzConfig {
+    let mut config = LorentzConfig::paper_defaults();
+    config.target_encoding.boosting.n_trees = 15;
+    config.hierarchical.min_bucket = 3;
+    config
+}
+
+#[test]
+fn training_is_byte_deterministic_across_runs_and_thread_counts() {
+    let fleet = FleetConfig {
+        n_servers: 150,
+        seed: 20240807,
+        ..FleetConfig::default()
+    }
+    .generate()
+    .unwrap()
+    .fleet;
+
+    // Reference run: default threading (one worker per offering).
+    let reference = LorentzPipeline::new(quick_config())
+        .unwrap()
+        .train(&fleet)
+        .unwrap();
+    let reference_store = serde_json::to_string(reference.store()).unwrap();
+    let reference_deployment = reference.to_json().unwrap();
+    assert!(
+        reference_store.contains("\"entries\""),
+        "sanity: snapshot has entries"
+    );
+
+    // Same call again: byte-identical store snapshot and deployment JSON.
+    let rerun = LorentzPipeline::new(quick_config())
+        .unwrap()
+        .train(&fleet)
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(rerun.store()).unwrap(),
+        reference_store,
+        "repeated train() must publish byte-identical store snapshots"
+    );
+    assert_eq!(rerun.to_json().unwrap(), reference_deployment);
+
+    // Different Stage-2 thread counts: sequential (1), capped (2), and one
+    // thread per offering (0 = uncapped) must all agree byte-for-byte.
+    for max_threads in [1usize, 2, 0] {
+        let trained = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train_with_stage2_threads(&fleet, max_threads)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(trained.store()).unwrap(),
+            reference_store,
+            "stage2 thread cap {max_threads} changed the store snapshot"
+        );
+        assert_eq!(
+            trained.to_json().unwrap(),
+            reference_deployment,
+            "stage2 thread cap {max_threads} changed the deployment JSON"
+        );
+    }
+}
