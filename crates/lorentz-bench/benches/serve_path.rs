@@ -3,8 +3,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lorentz_bench::bench_fleet;
-use lorentz_core::{LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, TrainedLorentz};
-use lorentz_types::{FeatureId, ResourcePath, ServerOffering, ValueId};
+use lorentz_core::store::PublishBatch;
+use lorentz_core::{
+    LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, SharedPredictionStore,
+    TrainedLorentz,
+};
+use lorentz_types::{FeatureId, ResourcePath, ServerOffering, StoreKey, ValueId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const BATCH: usize = 256;
 
@@ -103,10 +109,69 @@ fn bench_recommend_store_path(c: &mut Criterion) {
     });
 }
 
+/// The hot-swap read path: snapshot capture (`Arc` clone) + packed probe,
+/// both on a quiet store and while a publisher republishes continuously —
+/// the latter demonstrates that reads proceed during concurrent publish
+/// instead of waiting for writers to drain.
+fn bench_hot_swap_snapshot(c: &mut Criterion) {
+    let n_keys = 8usize;
+    let batch = PublishBatch {
+        entries: (0..n_keys)
+            .map(|i| {
+                (
+                    StoreKey::new(ServerOffering::GeneralPurpose, FeatureId(i), ValueId(0)),
+                    4.0,
+                )
+            })
+            .collect(),
+        defaults: vec![(ServerOffering::GeneralPurpose, 2.0)],
+    };
+    let levels: Vec<(FeatureId, ValueId)> =
+        (0..n_keys).map(|i| (FeatureId(i), ValueId(0))).collect();
+    let shared = Arc::new(SharedPredictionStore::new());
+    shared.publish(batch.clone()).unwrap();
+    c.bench_function("serve/shared_snapshot_lookup", |b| {
+        b.iter(|| {
+            shared
+                .snapshot()
+                .lookup(
+                    black_box(ServerOffering::GeneralPurpose),
+                    black_box(&levels),
+                )
+                .unwrap()
+        })
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        let batch = batch.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                shared.publish(batch.clone()).unwrap();
+            }
+        })
+    };
+    c.bench_function("serve/snapshot_lookup_during_publish", |b| {
+        b.iter(|| {
+            shared
+                .snapshot()
+                .lookup(
+                    black_box(ServerOffering::GeneralPurpose),
+                    black_box(&levels),
+                )
+                .unwrap()
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    publisher.join().unwrap();
+}
+
 criterion_group!(
     benches,
     bench_store_lookup,
     bench_recommend,
-    bench_recommend_store_path
+    bench_recommend_store_path,
+    bench_hot_swap_snapshot
 );
 criterion_main!(benches);

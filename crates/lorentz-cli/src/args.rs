@@ -1,5 +1,9 @@
 //! A minimal `--key value` argument parser (no external dependencies).
+//!
+//! All parse failures surface as [`CliError::Usage`], so `main` can exit
+//! with the usage status without inspecting message text.
 
+use crate::error::CliError;
 use std::collections::BTreeMap;
 
 /// Parsed command-line arguments: one subcommand plus `--key value` flags.
@@ -14,13 +18,13 @@ pub struct Args {
 
 impl Args {
     /// Parses an argument iterator (excluding the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
         let mut out = Args::default();
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 if name.is_empty() {
-                    return Err("empty flag name".into());
+                    return Err(CliError::Usage("empty flag name".into()));
                 }
                 // `--key=value` or `--key value` or bare switch.
                 if let Some((k, v)) = name.split_once('=') {
@@ -38,14 +42,16 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(arg);
             } else {
-                return Err(format!("unexpected positional argument '{arg}'"));
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{arg}'"
+                )));
             }
         }
         Ok(out)
     }
 
     /// Parses the process arguments.
-    pub fn from_env() -> Result<Self, String> {
+    pub fn from_env() -> Result<Self, CliError> {
         Self::parse(std::env::args().skip(1))
     }
 
@@ -60,18 +66,18 @@ impl Args {
     }
 
     /// Required string flag.
-    pub fn require(&self, key: &str) -> Result<&str, String> {
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
         self.get(key)
-            .ok_or_else(|| format!("missing required flag --{key}"))
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
     }
 
     /// Parsed numeric flag with a default.
-    pub fn get_parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    pub fn get_parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("flag --{key} has invalid value '{v}'")),
+                .map_err(|_| CliError::Usage(format!("flag --{key} has invalid value '{v}'"))),
         }
     }
 

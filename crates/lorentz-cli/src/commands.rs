@@ -1,12 +1,14 @@
 //! CLI subcommand implementations.
 
 use crate::args::Args;
+use crate::error::CliError;
 use lorentz_core::personalizer::signals::{classify_ticket, CriTicket};
 use lorentz_core::provisioner::{OfferingRecommender, OfferingRecommenderConfig};
 use lorentz_core::{
     FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, Rightsizer,
     TrainedLorentz,
 };
+use lorentz_serve::{ServeConfig, ServeRequest, ServeResponse, ServingEngine};
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
 use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
 use lorentz_telemetry::generators::SamplingConfig;
@@ -14,6 +16,8 @@ use lorentz_types::{
     CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
 };
 use std::fs;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -31,6 +35,12 @@ USAGE:
                     [--source hierarchical|target-encoding|store] [--json] [--metrics-out metrics.json]
                     (requests.json: array of {\"offering\", \"profile\": {Feature: value},
                      \"customer\", \"subscription\", \"resource_group\"}; all fields optional)
+  lorentz serve     --model model.json --requests requests.ndjson
+                    [--workers N] [--queue-capacity N] [--degraded-at N] [--deadline-ms N]
+                    [--kind hierarchical|target-encoding] [--json] [--metrics-out metrics.json]
+                    (requests.ndjson: one request object per line, same fields as --batch
+                     plus optional \"id\" and \"deadline_ms\"; answers go to stdout, the
+                     engine drains gracefully, and --metrics-out snapshots after the drain)
   lorentz report    --fleet fleet.json
   lorentz offering  --fleet fleet.json --profile \"Feature=value,...\"
   lorentz ticket    [--symptoms S] [--subject S] [--resolution S]
@@ -39,7 +49,7 @@ USAGE:
 ";
 
 /// `lorentz generate`: synthesize a fleet and write it to JSON.
-pub fn generate(args: &Args) -> Result<(), String> {
+pub fn generate(args: &Args) -> Result<(), CliError> {
     let out = args.require("out")?;
     let config = FleetConfig {
         n_servers: args.get_parse_or("servers", 500usize)?,
@@ -52,9 +62,9 @@ pub fn generate(args: &Args) -> Result<(), String> {
         },
         ..FleetConfig::default()
     };
-    let synthetic = config.generate().map_err(|e| e.to_string())?;
-    let json = serde_json::to_string(&synthetic).map_err(|e| e.to_string())?;
-    fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    let synthetic = config.generate()?;
+    let json = serde_json::to_string(&synthetic)?;
+    fs::write(out, json).map_err(|e| CliError::io(out, e))?;
     println!(
         "wrote {} servers ({} profile features) to {out}",
         synthetic.fleet.len(),
@@ -63,19 +73,24 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_fleet(path: &str) -> Result<SyntheticFleet, String> {
-    let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn load_fleet(path: &str) -> Result<SyntheticFleet, CliError> {
+    let json = fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
     let mut synthetic: SyntheticFleet =
-        serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&json).map_err(|e| CliError::Json(format!("{path}: {e}")))?;
     synthetic.fleet.rebuild_indexes();
     Ok(synthetic)
 }
 
+fn load_model(path: &str) -> Result<TrainedLorentz, CliError> {
+    let json = fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    Ok(TrainedLorentz::from_json(&json)?)
+}
+
 /// `lorentz rightsize`: print the Stage-1 summary of a fleet.
-pub fn rightsize(args: &Args) -> Result<(), String> {
+pub fn rightsize(args: &Args) -> Result<(), CliError> {
     let synthetic = load_fleet(args.require("fleet")?)?;
     let config = LorentzConfig::paper_defaults();
-    let rightsizer = Rightsizer::new(&config.rightsizer).map_err(|e| e.to_string())?;
+    let rightsizer = Rightsizer::new(&config.rightsizer)?;
     let fleet: &FleetDataset = &synthetic.fleet;
     let mut well = 0usize;
     let mut over = 0usize;
@@ -83,9 +98,8 @@ pub fn rightsize(args: &Args) -> Result<(), String> {
     let mut censored = 0usize;
     for i in 0..fleet.len() {
         let catalog = SkuCatalog::azure_postgres(fleet.offerings()[i]);
-        let outcome = rightsizer
-            .rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], &catalog)
-            .map_err(|e| e.to_string())?;
+        let outcome =
+            rightsizer.rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], &catalog)?;
         match outcome.verdict {
             lorentz_core::ProvisioningVerdict::WellProvisioned => well += 1,
             lorentz_core::ProvisioningVerdict::OverProvisioned => over += 1,
@@ -108,13 +122,13 @@ pub fn rightsize(args: &Args) -> Result<(), String> {
 }
 
 /// Writes the process-wide metrics snapshot to `--metrics-out`, if given.
-fn write_metrics(args: &Args) -> Result<(), String> {
+fn write_metrics(args: &Args) -> Result<(), CliError> {
     let Some(path) = args.get("metrics-out") else {
         return Ok(());
     };
     let snapshot = lorentz_core::obs::snapshot();
-    let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
-    fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    let json = serde_json::to_string_pretty(&snapshot)?;
+    fs::write(path, json).map_err(|e| CliError::io(path, e))?;
     println!(
         "metrics snapshot ({} counters, {} histograms) -> {path}",
         snapshot.counters.len(),
@@ -124,19 +138,16 @@ fn write_metrics(args: &Args) -> Result<(), String> {
 }
 
 /// `lorentz train`: train the three-stage pipeline and save the deployment.
-pub fn train(args: &Args) -> Result<(), String> {
+pub fn train(args: &Args) -> Result<(), CliError> {
     let synthetic = load_fleet(args.require("fleet")?)?;
     let out = args.require("out")?;
     let mut config = LorentzConfig::paper_defaults();
     config.target_encoding.boosting.n_trees = args.get_parse_or("trees", 100usize)?;
     config.hierarchical.min_bucket = args.get_parse_or("min-bucket", 10usize)?;
     let stage2_threads = args.get_parse_or("stage2-threads", 0usize)?;
-    let trained = LorentzPipeline::new(config)
-        .map_err(|e| e.to_string())?
-        .train_with_stage2_threads(&synthetic.fleet, stage2_threads)
-        .map_err(|e| e.to_string())?;
-    fs::write(out, trained.to_json().map_err(|e| e.to_string())?)
-        .map_err(|e| format!("{out}: {e}"))?;
+    let trained = LorentzPipeline::new(config)?
+        .train_with_stage2_threads(&synthetic.fleet, stage2_threads)?;
+    fs::write(out, trained.to_json()?).map_err(|e| CliError::io(out, e))?;
     println!(
         "trained on {} servers; prediction store v{} with {} keys -> {out}",
         synthetic.fleet.len(),
@@ -146,111 +157,133 @@ pub fn train(args: &Args) -> Result<(), String> {
     write_metrics(args)
 }
 
-fn parse_offering(name: &str) -> Result<ServerOffering, String> {
-    name.parse()
-        .map_err(|e: lorentz_types::LorentzError| e.to_string())
+fn parse_offering(name: &str) -> Result<ServerOffering, CliError> {
+    Ok(name.parse::<ServerOffering>()?)
 }
 
 /// Maps `"Feature=value,Feature=value"` to schema order.
 fn parse_profile<'a>(
     spec: &'a str,
     schema: &lorentz_types::ProfileSchema,
-) -> Result<Vec<Option<&'a str>>, String> {
+) -> Result<Vec<Option<&'a str>>, CliError> {
     let mut profile: Vec<Option<&str>> = vec![None; schema.len()];
     if spec.is_empty() {
         return Ok(profile);
     }
     for pair in spec.split(',') {
-        let (key, value) = pair
-            .split_once('=')
-            .ok_or_else(|| format!("profile entry '{pair}' is not Feature=value"))?;
+        let (key, value) = pair.split_once('=').ok_or_else(|| {
+            CliError::InvalidInput(format!("profile entry '{pair}' is not Feature=value"))
+        })?;
         let feature = schema.feature_id(key.trim()).ok_or_else(|| {
-            format!(
+            CliError::InvalidInput(format!(
                 "unknown profile feature '{key}' (schema: {:?})",
                 schema.names()
-            )
+            ))
         })?;
         profile[feature.index()] = Some(value.trim());
     }
     Ok(profile)
 }
 
-/// One owned request parsed from a `--batch` file entry.
-struct BatchSpec {
+/// One owned request parsed from a `--batch` file entry or a serve
+/// request line.
+struct RequestSpec {
     profile: Vec<Option<String>>,
     offering: ServerOffering,
     path: ResourcePath,
 }
 
-/// Parses a `--batch` file: a JSON array of request objects. Every field is
-/// optional — `offering` defaults to `general_purpose`, `profile` entries
-/// default to missing, and the path ids default to 0.
+/// Reads an optional unsigned-integer field from a request object.
+fn opt_u64_field(item: &serde::Value, field: &str, label: &str) -> Result<Option<u64>, CliError> {
+    use serde::Deserialize;
+    match item.get_field(field) {
+        None => Ok(None),
+        Some(v) => u64::from_value(v)
+            .map(Some)
+            .map_err(|_| CliError::InvalidInput(format!("{label}: {field} must be an integer"))),
+    }
+}
+
+/// Parses one request object. Every field is optional — `offering` defaults
+/// to `general_purpose`, `profile` entries default to missing, and the path
+/// ids default to 0. Shared between `--batch` entries and `serve` request
+/// lines.
+fn parse_request_value(
+    item: &serde::Value,
+    schema: &lorentz_types::ProfileSchema,
+    label: &str,
+) -> Result<RequestSpec, CliError> {
+    let ctx = |msg: String| CliError::InvalidInput(format!("{label}: {msg}"));
+    if item.as_map().is_none() {
+        return Err(ctx("must be a JSON object".into()));
+    }
+    let offering = match item.get_field("offering") {
+        None => ServerOffering::GeneralPurpose,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ctx("offering must be a string".into()))?
+            .parse()
+            .map_err(|e: lorentz_types::LorentzError| ctx(e.to_string()))?,
+    };
+    let mut profile: Vec<Option<String>> = vec![None; schema.len()];
+    if let Some(p) = item.get_field("profile") {
+        let entries = p
+            .as_map()
+            .ok_or_else(|| ctx("profile must be an object of Feature: value".into()))?;
+        for (name, v) in entries {
+            let feature = schema.feature_id(name).ok_or_else(|| {
+                ctx(format!(
+                    "unknown profile feature '{name}' (schema: {:?})",
+                    schema.names()
+                ))
+            })?;
+            let s = v
+                .as_str()
+                .ok_or_else(|| ctx(format!("profile value for '{name}' must be a string")))?;
+            profile[feature.index()] = Some(s.to_owned());
+        }
+    }
+    let id = |field: &str| -> Result<u32, CliError> {
+        Ok(opt_u64_field(item, field, label)?
+            .map(|v| u32::try_from(v).map_err(|_| ctx(format!("{field} must fit in 32 bits"))))
+            .transpose()?
+            .unwrap_or(0))
+    };
+    Ok(RequestSpec {
+        profile,
+        offering,
+        path: ResourcePath::new(
+            CustomerId(id("customer")?),
+            SubscriptionId(id("subscription")?),
+            ResourceGroupId(id("resource_group")?),
+        ),
+    })
+}
+
+/// Parses a `--batch` file: a JSON array of request objects.
 fn parse_batch_file(
     json: &str,
     schema: &lorentz_types::ProfileSchema,
-) -> Result<Vec<BatchSpec>, String> {
-    use serde::Deserialize;
-    let value = serde_json::parse(json).map_err(|e| e.to_string())?;
-    let items = value
-        .as_seq()
-        .ok_or("batch file must be a JSON array of request objects")?;
-    let mut specs = Vec::with_capacity(items.len());
-    for (i, item) in items.iter().enumerate() {
-        let ctx = |msg: String| format!("request #{i}: {msg}");
-        if item.as_map().is_none() {
-            return Err(ctx("must be a JSON object".into()));
-        }
-        let offering = match item.get_field("offering") {
-            None => ServerOffering::GeneralPurpose,
-            Some(v) => v
-                .as_str()
-                .ok_or_else(|| ctx("offering must be a string".into()))?
-                .parse()
-                .map_err(|e: lorentz_types::LorentzError| ctx(e.to_string()))?,
-        };
-        let mut profile: Vec<Option<String>> = vec![None; schema.len()];
-        if let Some(p) = item.get_field("profile") {
-            let entries = p
-                .as_map()
-                .ok_or_else(|| ctx("profile must be an object of Feature: value".into()))?;
-            for (name, v) in entries {
-                let feature = schema.feature_id(name).ok_or_else(|| {
-                    ctx(format!(
-                        "unknown profile feature '{name}' (schema: {:?})",
-                        schema.names()
-                    ))
-                })?;
-                let s = v
-                    .as_str()
-                    .ok_or_else(|| ctx(format!("profile value for '{name}' must be a string")))?;
-                profile[feature.index()] = Some(s.to_owned());
-            }
-        }
-        let id = |field: &str| -> Result<u32, String> {
-            match item.get_field(field) {
-                None => Ok(0),
-                Some(v) => {
-                    u32::from_value(v).map_err(|_| ctx(format!("{field} must be an integer")))
-                }
-            }
-        };
-        specs.push(BatchSpec {
-            profile,
-            offering,
-            path: ResourcePath::new(
-                CustomerId(id("customer")?),
-                SubscriptionId(id("subscription")?),
-                ResourceGroupId(id("resource_group")?),
-            ),
-        });
-    }
-    Ok(specs)
+) -> Result<Vec<RequestSpec>, CliError> {
+    let value = serde_json::parse(json).map_err(|e| CliError::Json(e.to_string()))?;
+    let items = value.as_seq().ok_or_else(|| {
+        CliError::InvalidInput("batch file must be a JSON array of request objects".into())
+    })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| parse_request_value(item, schema, &format!("request #{i}")))
+        .collect()
 }
 
 /// Serves every request in a `--batch` file through one batched call.
-fn recommend_batch(args: &Args, trained: &TrainedLorentz, batch_path: &str) -> Result<(), String> {
+fn recommend_batch(
+    args: &Args,
+    trained: &TrainedLorentz,
+    batch_path: &str,
+) -> Result<(), CliError> {
     use serde::Serialize;
-    let json = fs::read_to_string(batch_path).map_err(|e| format!("{batch_path}: {e}"))?;
+    let json = fs::read_to_string(batch_path).map_err(|e| CliError::io(batch_path, e))?;
     let specs = parse_batch_file(&json, trained.profiles().schema())?;
     let requests: Vec<RecommendRequest<'_>> = specs
         .iter()
@@ -264,7 +297,7 @@ fn recommend_batch(args: &Args, trained: &TrainedLorentz, batch_path: &str) -> R
         "hierarchical" => trained.recommend_batch(&requests, ModelKind::Hierarchical),
         "target-encoding" => trained.recommend_batch(&requests, ModelKind::TargetEncoding),
         "store" => trained.recommend_batch_from_store(&requests),
-        other => return Err(format!("unknown source '{other}'")),
+        other => return Err(CliError::Usage(format!("unknown source '{other}'"))),
     };
     if args.has_switch("json") {
         let rows: Vec<serde::Value> = results
@@ -278,7 +311,7 @@ fn recommend_batch(args: &Args, trained: &TrainedLorentz, batch_path: &str) -> R
             .collect();
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde::Value::Seq(rows)).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&serde::Value::Seq(rows))?
         );
     } else {
         for (i, r) in results.iter().enumerate() {
@@ -293,10 +326,8 @@ fn recommend_batch(args: &Args, trained: &TrainedLorentz, batch_path: &str) -> R
 
 /// `lorentz recommend`: serve one recommendation (or a `--batch` file of
 /// them) from a saved deployment.
-pub fn recommend(args: &Args) -> Result<(), String> {
-    let model_path = args.require("model")?;
-    let json = fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
-    let trained = TrainedLorentz::from_json(&json).map_err(|e| e.to_string())?;
+pub fn recommend(args: &Args) -> Result<(), CliError> {
+    let trained = load_model(args.require("model")?)?;
     if let Some(batch_path) = args.get("batch") {
         recommend_batch(args, &trained, batch_path)?;
         return write_metrics(args);
@@ -318,37 +349,151 @@ pub fn recommend(args: &Args) -> Result<(), String> {
         "hierarchical" => trained.recommend(&request, ModelKind::Hierarchical),
         "target-encoding" => trained.recommend(&request, ModelKind::TargetEncoding),
         "store" => trained.recommend_from_store(&request),
-        other => return Err(format!("unknown source '{other}'")),
-    }
-    .map_err(|e| e.to_string())?;
+        other => return Err(CliError::Usage(format!("unknown source '{other}'"))),
+    }?;
     if args.has_switch("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rec).map_err(|e| e.to_string())?
-        );
+        println!("{}", serde_json::to_string_pretty(&rec)?);
     } else {
         println!("{rec}");
     }
     write_metrics(args)
 }
 
+/// Reads an optional flag and parses it, keeping `None` when absent.
+fn parse_opt_flag<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, CliError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("flag --{key} has invalid value '{v}'"))),
+    }
+}
+
+/// Parses a serve request file: one JSON request object per line (blank
+/// lines ignored), each the same shape as a `--batch` entry plus optional
+/// `id` (defaults to the line's position) and `deadline_ms` fields.
+fn parse_request_lines(
+    text: &str,
+    path: &str,
+    schema: &lorentz_types::ProfileSchema,
+) -> Result<Vec<ServeRequest>, CliError> {
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let label = format!("{path}:{}", lineno + 1);
+        let value =
+            serde_json::parse(line).map_err(|e| CliError::InvalidInput(format!("{label}: {e}")))?;
+        let spec = parse_request_value(&value, schema, &label)?;
+        let id = opt_u64_field(&value, "id", &label)?.unwrap_or(requests.len() as u64);
+        let deadline = opt_u64_field(&value, "deadline_ms", &label)?.map(Duration::from_millis);
+        requests.push(ServeRequest {
+            id,
+            profile: spec.profile,
+            offering: spec.offering,
+            path: spec.path,
+            deadline,
+        });
+    }
+    Ok(requests)
+}
+
+/// `lorentz serve`: run the concurrent serving engine over a newline-
+/// delimited request file. Every line is submitted through the bounded
+/// queue (rejections are reported, not fatal), the engine drains
+/// gracefully, and the answers are printed to stdout ordered by request id.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    use serde::Serialize;
+    let deployment = Arc::new(load_model(args.require("model")?)?);
+    let requests_path = args.require("requests")?;
+    let text = fs::read_to_string(requests_path).map_err(|e| CliError::io(requests_path, e))?;
+    let requests = parse_request_lines(&text, requests_path, deployment.profiles().schema())?;
+    let kind = match args.get_or("kind", "hierarchical") {
+        "hierarchical" => ModelKind::Hierarchical,
+        "target-encoding" => ModelKind::TargetEncoding,
+        other => return Err(CliError::Usage(format!("unknown model kind '{other}'"))),
+    };
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: args.get_parse_or("workers", defaults.workers)?,
+        queue_capacity: args.get_parse_or("queue-capacity", defaults.queue_capacity)?,
+        degraded_threshold: parse_opt_flag(args, "degraded-at")?.or(defaults.degraded_threshold),
+        default_deadline: parse_opt_flag::<u64>(args, "deadline-ms")?.map(Duration::from_millis),
+        kind,
+    };
+    let total = requests.len();
+    let (engine, responses) = ServingEngine::start(Arc::clone(&deployment), config);
+    let mut rejected: Vec<(u64, lorentz_serve::ServeError)> = Vec::new();
+    for request in requests {
+        let id = request.id;
+        if let Err(e) = engine.submit(request) {
+            rejected.push((id, e));
+        }
+    }
+    let store_version = engine.store_version();
+    let stats = engine.drain();
+    let mut answered: Vec<ServeResponse> = responses.into_iter().collect();
+    answered.sort_by_key(|r| r.id);
+    if args.has_switch("json") {
+        let rows: Vec<serde::Value> = answered
+            .iter()
+            .map(|r| {
+                let mut fields = vec![("id".to_owned(), serde::Value::UInt(r.id))];
+                match &r.result {
+                    Ok(rec) => fields.push(("ok".to_owned(), rec.to_value())),
+                    Err(e) => fields.push(("error".to_owned(), serde::Value::Str(e.to_string()))),
+                }
+                fields.push(("degraded".to_owned(), serde::Value::Bool(r.degraded)));
+                fields.push(("latency_ns".to_owned(), serde::Value::UInt(r.latency_ns)));
+                serde::Value::Map(fields)
+            })
+            .chain(rejected.iter().map(|(id, e)| {
+                serde::Value::Map(vec![
+                    ("id".to_owned(), serde::Value::UInt(*id)),
+                    ("rejected".to_owned(), serde::Value::Str(e.to_string())),
+                ])
+            }))
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Seq(rows))?
+        );
+    } else {
+        for r in &answered {
+            let tag = if r.degraded { " (degraded)" } else { "" };
+            match &r.result {
+                Ok(rec) => println!("[{}]{tag} {rec}", r.id),
+                Err(e) => println!("[{}]{tag} error: {e}", r.id),
+            }
+        }
+        for (id, e) in &rejected {
+            println!("[{id}] rejected: {e}");
+        }
+    }
+    // Status goes to stderr so stdout stays machine-readable answers.
+    eprintln!(
+        "served {total} requests against store v{store_version}: \
+         {} accepted, {} answered, {} rejected, {} timed out, {} degraded",
+        stats.accepted, stats.answered, stats.rejected, stats.timed_out, stats.degraded
+    );
+    write_metrics(args)
+}
+
 /// `lorentz offering`: recommend a server offering (future-work extension).
-pub fn offering(args: &Args) -> Result<(), String> {
+pub fn offering(args: &Args) -> Result<(), CliError> {
     let synthetic = load_fleet(args.require("fleet")?)?;
     let recommender = OfferingRecommender::fit(
         synthetic.fleet.profiles(),
         synthetic.fleet.offerings(),
         OfferingRecommenderConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     let spec = args.get_or("profile", "").to_owned();
     let profile = parse_profile(&spec, synthetic.fleet.profiles().schema())?;
-    let x = synthetic
-        .fleet
-        .profiles()
-        .encode_row(&profile)
-        .map_err(|e| e.to_string())?;
-    let rec = recommender.recommend(&x).map_err(|e| e.to_string())?;
+    let x = synthetic.fleet.profiles().encode_row(&profile)?;
+    let rec = recommender.recommend(&x)?;
     println!(
         "offering: {} (confidence {:.0}%, {} reference instances{})",
         rec.offering,
@@ -362,20 +507,19 @@ pub fn offering(args: &Args) -> Result<(), String> {
 }
 
 /// `lorentz report`: render a markdown fleet health report.
-pub fn report(args: &Args) -> Result<(), String> {
+pub fn report(args: &Args) -> Result<(), CliError> {
     let synthetic = load_fleet(args.require("fleet")?)?;
     let report = lorentz_core::fleet_report(
         &LorentzConfig::paper_defaults(),
         &lorentz_core::CostModel::default(),
         &synthetic.fleet,
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     print!("{}", report.to_markdown());
     Ok(())
 }
 
 /// `lorentz ticket`: classify a CRI ticket with the Table-1 filters.
-pub fn ticket(args: &Args) -> Result<(), String> {
+pub fn ticket(args: &Args) -> Result<(), CliError> {
     let t = CriTicket::new(
         args.get_or("symptoms", ""),
         args.get_or("subject", ""),
@@ -392,7 +536,7 @@ pub fn ticket(args: &Args) -> Result<(), String> {
 }
 
 /// `lorentz persim`: run the §5.3 personalization simulation.
-pub fn persim(args: &Args) -> Result<(), String> {
+pub fn persim(args: &Args) -> Result<(), CliError> {
     let config = PersonalizationSimConfig {
         signal_rate: args.get_parse_or("signal-rate", 0.4f64)?,
         signal_noise: args.get_parse_or("signal-noise", 0.13f64)?,
@@ -401,7 +545,7 @@ pub fn persim(args: &Args) -> Result<(), String> {
         ..PersonalizationSimConfig::default()
     };
     let iters = args.get_parse_or("iters", 40usize)?;
-    let mut sim = PersonalizationSim::new(config).map_err(|e| e.to_string())?;
+    let mut sim = PersonalizationSim::new(config)?;
     println!(
         "{:>5} {:>8} {:>8} {:>10}",
         "iter", "rmse", "p80", "% correct"
@@ -515,6 +659,31 @@ mod tests {
             "--json",
         ]))
         .unwrap();
+        let ndjson_path = tmp("requests.ndjson");
+        std::fs::write(
+            &ndjson_path,
+            concat!(
+                r#"{"id": 7, "offering": "general_purpose", "profile": {"SegmentName": "segmentname-0"}}"#,
+                "\n\n",
+                r#"{"profile": {"VerticalName": "verticalname-1"}, "customer": 4}"#,
+                "\n",
+                r#"{}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        serve(&args(&[
+            "serve",
+            "--model",
+            &model_path,
+            "--requests",
+            &ndjson_path,
+            "--workers",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&ndjson_path);
         let _ = std::fs::remove_file(&batch_path);
         let _ = std::fs::remove_file(&fleet_path);
         let _ = std::fs::remove_file(&model_path);
@@ -597,6 +766,30 @@ mod tests {
     }
 
     #[test]
+    fn request_lines_parse_ids_and_deadlines() {
+        let schema = lorentz_types::ProfileSchema::azure_postgres();
+        let text = concat!(
+            r#"{"id": 42, "deadline_ms": 250, "offering": "burstable"}"#,
+            "\n",
+            r#"{"profile": {"SegmentName": "s1"}}"#,
+            "\n",
+        );
+        let requests = parse_request_lines(text, "requests.ndjson", &schema).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[0].id, 42);
+        assert_eq!(requests[0].deadline, Some(Duration::from_millis(250)));
+        assert_eq!(requests[0].offering, ServerOffering::Burstable);
+        assert_eq!(requests[1].id, 1); // defaults to position
+        assert_eq!(requests[1].deadline, None);
+        assert_eq!(requests[1].profile[0].as_deref(), Some("s1"));
+
+        let err = parse_request_lines("{bad\n", "r.ndjson", &schema).unwrap_err();
+        assert!(err.to_string().contains("r.ndjson:1"));
+        assert!(parse_request_lines(r#"{"id": "x"}"#, "r", &schema).is_err());
+        assert!(parse_request_lines(r#"{"customer": 5000000000}"#, "r", &schema).is_err());
+    }
+
+    #[test]
     fn recommend_rejects_bad_inputs() {
         assert!(recommend(&args(&["recommend"])).is_err()); // missing --model
         assert!(parse_offering("huge").is_err());
@@ -609,6 +802,17 @@ mod tests {
         assert_eq!(p[2], Some("v1"));
         assert_eq!(p[6], None);
         assert_eq!(parse_profile("", &schema).unwrap(), vec![None; 7]);
+    }
+
+    #[test]
+    fn usage_errors_exit_2_runtime_errors_exit_1() {
+        let missing_flag = recommend(&args(&["recommend"])).unwrap_err();
+        assert_eq!(missing_flag.exit_code(), 2);
+        let missing_file = load_fleet("/definitely/not/here.json").unwrap_err();
+        assert_eq!(missing_file.exit_code(), 1);
+        assert!(missing_file
+            .to_string()
+            .contains("/definitely/not/here.json"));
     }
 
     #[test]

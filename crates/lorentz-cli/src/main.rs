@@ -8,6 +8,9 @@
 //! lorentz recommend --model model.json --offering general_purpose \
 //!                   --profile "SegmentName=segmentname-0,VerticalName=verticalname-2" \
 //!                   [--source hierarchical|target-encoding|store]
+//! lorentz serve     --model model.json --requests requests.ndjson \
+//!                   [--workers 4] [--queue-capacity 1024] [--degraded-at N] \
+//!                   [--deadline-ms N] [--json] [--metrics-out metrics.json]
 //! lorentz offering  --fleet fleet.json --profile "IndustryName=industryname-1"
 //! lorentz ticket    --symptoms "high cpu usage" --resolution "scaled up"
 //! lorentz persim    [--iters 40] [--signal-rate 0.4] [--signal-noise 0.13]
@@ -15,15 +18,17 @@
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::CliError;
 
 fn main() {
     let args = match Args::from_env() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     };
     let result = match args.command.as_deref() {
@@ -31,6 +36,7 @@ fn main() {
         Some("rightsize") => commands::rightsize(&args),
         Some("train") => commands::train(&args),
         Some("recommend") => commands::recommend(&args),
+        Some("serve") => commands::serve(&args),
         Some("offering") => commands::offering(&args),
         Some("report") => commands::report(&args),
         Some("ticket") => commands::ticket(&args),
@@ -39,10 +45,13 @@ fn main() {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::USAGE
+        ))),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

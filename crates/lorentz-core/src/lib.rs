@@ -45,7 +45,10 @@ pub use cost::{bill_fleet, CostModel, FleetBill};
 pub use explain::{Explanation, Recommendation};
 pub use fleet::FleetDataset;
 pub use personalizer::{Personalizer, PersonalizerConfig, SatisfactionSignal};
-pub use pipeline::{LorentzPipeline, ModelKind, RecommendRequest, TrainedLorentz};
+pub use pipeline::{
+    LiveModel, LorentzPipeline, ModelKind, RecommendEngine, RecommendRequest, StoreOnly,
+    TrainedLorentz,
+};
 pub use provisioner::{
     HierarchicalConfig, HierarchicalProvisioner, OfferingRecommender, Provisioner,
     TargetEncodingConfig, TargetEncodingProvisioner, TraceAugmentedProvisioner,

@@ -32,8 +32,16 @@
 //! | `store.publishes` | counter | successful store publishes |
 //! | `personalizer.signals` | counter | satisfaction signals applied |
 //! | `personalizer.profiles_touched` | counter | profiles updated across all propagation rounds |
+//! | `engine.queue.depth` | gauge | serving-engine submission queue depth |
+//! | `engine.submitted` | counter | requests offered to the serving engine |
+//! | `engine.accepted` | counter | requests admitted to the queue |
+//! | `engine.rejected` | counter | requests refused at admission (queue full or intake closed) |
+//! | `engine.answered` | counter | responses emitted (success, error, or deadline) |
+//! | `engine.timed_out` | counter | accepted requests answered with a deadline error |
+//! | `engine.degraded` | counter | requests served from the store because the queue was saturated |
+//! | `engine.e2e.span_ns` | histogram | submit-to-answer latency per request |
 
-use lorentz_obs::{Counter, Histogram, Registry};
+use lorentz_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Once;
 
 pub use lorentz_obs::{HistogramSnapshot, MetricsSnapshot};
@@ -75,6 +83,28 @@ pub(crate) static STORE_PUBLISHES: Counter = Counter::new();
 pub(crate) static SIGNALS_APPLIED: Counter = Counter::new();
 pub(crate) static SIGNAL_PROFILES_TOUCHED: Counter = Counter::new();
 
+// The concurrent serving engine (`lorentz-serve`). These are `pub` so the
+// engine crate can record into the same process-wide registry that
+// `--metrics-out` snapshots.
+
+/// Submission queue depth (set on every enqueue/dequeue).
+pub static ENGINE_QUEUE_DEPTH: Gauge = Gauge::new();
+/// Requests offered to the engine: `submitted = accepted + rejected`.
+pub static ENGINE_SUBMITTED: Counter = Counter::new();
+/// Requests admitted to the queue; after a drain, `accepted = answered`.
+pub static ENGINE_ACCEPTED: Counter = Counter::new();
+/// Requests refused at admission (queue full or intake closed).
+pub static ENGINE_REJECTED: Counter = Counter::new();
+/// Responses emitted — every accepted request produces exactly one.
+pub static ENGINE_ANSWERED: Counter = Counter::new();
+/// Accepted requests whose deadline expired before a worker reached them.
+pub static ENGINE_TIMED_OUT: Counter = Counter::new();
+/// Requests downgraded from live-model inference to a store lookup because
+/// the queue was saturated at admission.
+pub static ENGINE_DEGRADED: Counter = Counter::new();
+/// Submit-to-answer latency, one observation per answered request.
+pub static ENGINE_E2E_SPAN_NS: Histogram = Histogram::new();
+
 static REGISTRY: Registry = Registry::new();
 static REGISTER: Once = Once::new();
 
@@ -109,6 +139,14 @@ pub fn registry() -> &'static Registry {
         r.register_counter("store.publishes", &STORE_PUBLISHES);
         r.register_counter("personalizer.signals", &SIGNALS_APPLIED);
         r.register_counter("personalizer.profiles_touched", &SIGNAL_PROFILES_TOUCHED);
+        r.register_gauge("engine.queue.depth", &ENGINE_QUEUE_DEPTH);
+        r.register_counter("engine.submitted", &ENGINE_SUBMITTED);
+        r.register_counter("engine.accepted", &ENGINE_ACCEPTED);
+        r.register_counter("engine.rejected", &ENGINE_REJECTED);
+        r.register_counter("engine.answered", &ENGINE_ANSWERED);
+        r.register_counter("engine.timed_out", &ENGINE_TIMED_OUT);
+        r.register_counter("engine.degraded", &ENGINE_DEGRADED);
+        r.register_histogram("engine.e2e.span_ns", &ENGINE_E2E_SPAN_NS);
     });
     &REGISTRY
 }

@@ -1,0 +1,201 @@
+//! The unified serving surface: one [`RecommendEngine`] trait in front of
+//! the live-model and prediction-store paths.
+//!
+//! Historically the deployment exposed four entry points (`recommend`,
+//! `recommend_batch`, `recommend_from_store`,
+//! `recommend_batch_from_store`); callers that wanted to switch between
+//! live inference and the precomputed store had to branch at every call
+//! site. The trait collapses that choice into a value: construct a
+//! [`LiveModel`] or a [`StoreOnly`] engine once, then serve through
+//! [`RecommendEngine::recommend_one`] / [`RecommendEngine::recommend_many`]
+//! uniformly. The old inherent methods on
+//! [`TrainedLorentz`](super::TrainedLorentz) remain as thin wrappers over
+//! these engines, so existing call sites keep compiling unchanged.
+//!
+//! [`StoreOnly`] can also be pointed at an *external*
+//! [`PredictionStore`] snapshot ([`StoreOnly::with_store`]) — this is how
+//! the concurrent serving engine serves from a hot-swapped
+//! [`SharedPredictionStore`](crate::store::SharedPredictionStore) snapshot
+//! while reusing the deployment's schema, hierarchy, and personalizer.
+
+use super::{ModelKind, RecommendRequest, TrainedLorentz};
+use crate::explain::{Explanation, Recommendation};
+use crate::obs;
+use crate::store::PredictionStore;
+use lorentz_types::{FeatureId, LorentzError, ProfileVector, ValueId};
+
+/// A serving engine: one recommendation source behind a uniform single /
+/// batched interface. Implementations must keep the two entry points
+/// equivalent — `recommend_many` is positionally identical to calling
+/// `recommend_one` per request, differing only in amortization (scratch
+/// reuse, batched metrics).
+pub trait RecommendEngine {
+    /// Serves one request.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError`] for unknown offerings, malformed profiles,
+    /// or a source-specific failure (untrained model, empty store).
+    fn recommend_one(&self, request: &RecommendRequest<'_>)
+        -> Result<Recommendation, LorentzError>;
+
+    /// Serves a batch of requests; results are positionally aligned with
+    /// `requests` and identical to serving each through
+    /// [`RecommendEngine::recommend_one`].
+    fn recommend_many(
+        &self,
+        requests: &[RecommendRequest<'_>],
+    ) -> Vec<Result<Recommendation, LorentzError>>;
+}
+
+/// Serves through a live Stage-2 model (hierarchical or target-encoding),
+/// then applies the Stage-3 λ adjustment. Records the
+/// `serve.recommend*` spans and counters.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveModel<'a> {
+    deployment: &'a TrainedLorentz,
+    kind: ModelKind,
+}
+
+impl<'a> LiveModel<'a> {
+    /// An engine over `deployment`'s live `kind` model.
+    pub fn new(deployment: &'a TrainedLorentz, kind: ModelKind) -> Self {
+        Self { deployment, kind }
+    }
+
+    /// Which Stage-2 model this engine serves through.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+}
+
+impl RecommendEngine for LiveModel<'_> {
+    /// Serves a recommendation through the live Stage-2 model. Records one
+    /// `serve.recommend.span_ns` observation plus request/error counters.
+    fn recommend_one(
+        &self,
+        request: &RecommendRequest<'_>,
+    ) -> Result<Recommendation, LorentzError> {
+        let _span = obs::RECOMMEND_SPAN_NS.span();
+        obs::RECOMMEND_REQUESTS.inc();
+        let result = self
+            .deployment
+            .profiles
+            .encode_row(&request.profile)
+            .and_then(|x| self.deployment.recommend_encoded(&x, request, self.kind));
+        if result.is_err() {
+            obs::RECOMMEND_ERRORS.inc();
+        }
+        result
+    }
+
+    /// Serves a batch, interning each profile once into a reused scratch
+    /// vector. Metrics are amortized: one `serve.recommend_batch.span_ns`
+    /// observation and one counter update per batch, nothing per item.
+    fn recommend_many(
+        &self,
+        requests: &[RecommendRequest<'_>],
+    ) -> Vec<Result<Recommendation, LorentzError>> {
+        let _span = obs::RECOMMEND_BATCH_SPAN_NS.span();
+        let mut scratch = ProfileVector::new(Vec::new());
+        let results: Vec<Result<Recommendation, LorentzError>> = requests
+            .iter()
+            .map(|request| {
+                self.deployment
+                    .profiles
+                    .encode_row_into(&request.profile, &mut scratch)?;
+                self.deployment
+                    .recommend_encoded(&scratch, request, self.kind)
+            })
+            .collect();
+        obs::RECOMMEND_BATCHES.inc();
+        obs::RECOMMEND_REQUESTS.add(results.len() as u64);
+        obs::RECOMMEND_ERRORS.add(results.iter().filter(|r| r.is_err()).count() as u64);
+        results
+    }
+}
+
+/// Serves from a precomputed [`PredictionStore`] (the low-latency §4 path),
+/// falling back most-granular-first along the learned hierarchy, then
+/// applies the λ adjustment. Probes use packed integer keys — no string is
+/// built per lookup. Records the `serve.store*` spans and counters.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOnly<'a> {
+    deployment: &'a TrainedLorentz,
+    store: &'a PredictionStore,
+}
+
+impl<'a> StoreOnly<'a> {
+    /// An engine over the store `deployment` itself published at train
+    /// time.
+    pub fn new(deployment: &'a TrainedLorentz) -> Self {
+        Self {
+            deployment,
+            store: &deployment.store,
+        }
+    }
+
+    /// An engine over an external store snapshot — e.g. one hot-swapped
+    /// into a [`SharedPredictionStore`](crate::store::SharedPredictionStore)
+    /// after a re-publish — still using `deployment`'s schema, hierarchy
+    /// chain, and personalizer to interpret requests.
+    pub fn with_store(deployment: &'a TrainedLorentz, store: &'a PredictionStore) -> Self {
+        Self { deployment, store }
+    }
+
+    /// The store-serving core: probe levels into `levels`, look up,
+    /// personalize. Every lookup outcome lands in one of the
+    /// `store.lookup.{hits,defaults,misses}` counters.
+    fn recommend_with_levels(
+        &self,
+        request: &RecommendRequest<'_>,
+        levels: &mut Vec<(FeatureId, ValueId)>,
+    ) -> Result<Recommendation, LorentzError> {
+        self.deployment.store_levels(request, levels)?;
+        let lookup = self.store.lookup(request.offering, levels);
+        match &lookup {
+            Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => obs::STORE_HITS.inc(),
+            Ok(_) => obs::STORE_DEFAULTS.inc(),
+            Err(_) => obs::STORE_MISSES.inc(),
+        }
+        let (stage2_capacity, explanation) = lookup?;
+        self.deployment
+            .personalize(stage2_capacity, explanation, request)
+    }
+}
+
+impl RecommendEngine for StoreOnly<'_> {
+    /// Serves one request from the store. Records one
+    /// `serve.store.span_ns` observation plus request/error counters.
+    fn recommend_one(
+        &self,
+        request: &RecommendRequest<'_>,
+    ) -> Result<Recommendation, LorentzError> {
+        let _span = obs::STORE_SERVE_SPAN_NS.span();
+        obs::STORE_SERVE_REQUESTS.inc();
+        let mut levels = Vec::new();
+        let result = self.recommend_with_levels(request, &mut levels);
+        if result.is_err() {
+            obs::STORE_SERVE_ERRORS.inc();
+        }
+        result
+    }
+
+    /// Serves a batch from the store, reusing one probe-level buffer across
+    /// the batch. Span and request/error counters are recorded once per
+    /// batch.
+    fn recommend_many(
+        &self,
+        requests: &[RecommendRequest<'_>],
+    ) -> Vec<Result<Recommendation, LorentzError>> {
+        let _span = obs::STORE_SERVE_BATCH_SPAN_NS.span();
+        let mut levels = Vec::new();
+        let results: Vec<Result<Recommendation, LorentzError>> = requests
+            .iter()
+            .map(|request| self.recommend_with_levels(request, &mut levels))
+            .collect();
+        obs::STORE_SERVE_BATCHES.inc();
+        obs::STORE_SERVE_REQUESTS.add(results.len() as u64);
+        obs::STORE_SERVE_ERRORS.add(results.iter().filter(|r| r.is_err()).count() as u64);
+        results
+    }
+}

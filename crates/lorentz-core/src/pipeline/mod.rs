@@ -7,19 +7,21 @@
 //! [`TrainContext`](context::TrainContext); the per-offering Stage-2 models
 //! train concurrently on scoped threads. [`TrainedLorentz`] is the serving
 //! surface, answering [`RecommendRequest`]s one at a time or in batches
-//! ([`TrainedLorentz::recommend_batch`]) through either live models or the
-//! precomputed [`PredictionStore`], always applying the Stage-3 λ
-//! adjustment. Store probes run on packed
+//! through a [`RecommendEngine`] — [`LiveModel`] for Stage-2 inference or
+//! [`StoreOnly`] for the precomputed [`PredictionStore`] — always applying
+//! the Stage-3 λ adjustment. The legacy entry points
+//! ([`TrainedLorentz::recommend`] and friends) are thin wrappers over those
+//! engines. Store probes run on packed
 //! [`StoreKey`](lorentz_types::StoreKey)s — the serving path never
 //! allocates a string.
 
 pub mod context;
+mod engine;
 mod stages;
 
 use crate::config::LorentzConfig;
-use crate::explain::{Explanation, Recommendation};
+use crate::explain::Recommendation;
 use crate::fleet::FleetDataset;
-use crate::obs;
 use crate::personalizer::signals::{classify_ticket, CriTicket};
 use crate::personalizer::{Personalizer, SatisfactionSignal};
 use crate::provisioner::{HierarchicalProvisioner, Provisioner, TargetEncodingProvisioner};
@@ -33,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 pub use context::TrainContext;
+pub use engine::{LiveModel, RecommendEngine, StoreOnly};
 
 /// Which Stage-2 model serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -342,9 +345,29 @@ impl TrainedLorentz {
         self.personalize(stage2_sku.capacity.primary(), explanation, request)
     }
 
+    /// The live-model serving engine over this deployment — the
+    /// [`RecommendEngine`] the single/batch wrappers below delegate to.
+    pub fn live_engine(&self, kind: ModelKind) -> LiveModel<'_> {
+        LiveModel::new(self, kind)
+    }
+
+    /// The store-backed serving engine over this deployment's published
+    /// store.
+    pub fn store_engine(&self) -> StoreOnly<'_> {
+        StoreOnly::new(self)
+    }
+
+    /// A store-backed serving engine over an *external* store snapshot
+    /// (e.g. one hot-swapped after a re-publish), still interpreting
+    /// requests with this deployment's schema, hierarchy, and personalizer.
+    pub fn store_engine_with<'a>(&'a self, store: &'a PredictionStore) -> StoreOnly<'a> {
+        StoreOnly::with_store(self, store)
+    }
+
     /// Serves a recommendation through a live Stage-2 model, then applies
-    /// the Stage-3 λ adjustment (Eq. 13) and re-discretizes. Records one
-    /// `serve.recommend.span_ns` observation plus request/error counters.
+    /// the Stage-3 λ adjustment (Eq. 13) and re-discretizes. Thin wrapper
+    /// over [`LiveModel`]; records one `serve.recommend.span_ns`
+    /// observation plus request/error counters.
     ///
     /// # Errors
     /// Returns [`LorentzError`] for unknown offerings or malformed profiles.
@@ -353,43 +376,20 @@ impl TrainedLorentz {
         request: &RecommendRequest<'_>,
         kind: ModelKind,
     ) -> Result<Recommendation, LorentzError> {
-        let _span = obs::RECOMMEND_SPAN_NS.span();
-        obs::RECOMMEND_REQUESTS.inc();
-        let result = self
-            .profiles
-            .encode_row(&request.profile)
-            .and_then(|x| self.recommend_encoded(&x, request, kind));
-        if result.is_err() {
-            obs::RECOMMEND_ERRORS.inc();
-        }
-        result
+        self.live_engine(kind).recommend_one(request)
     }
 
     /// Serves a batch of requests through a live Stage-2 model, interning
     /// each profile once into a reused scratch vector. Results are
     /// positionally aligned with `requests` and identical to calling
-    /// [`TrainedLorentz::recommend`] per request. Metrics are amortized:
-    /// one `serve.recommend_batch.span_ns` observation and one counter
-    /// update per batch, nothing per item.
+    /// [`TrainedLorentz::recommend`] per request. Thin wrapper over
+    /// [`LiveModel`]; metrics are amortized per batch.
     pub fn recommend_batch(
         &self,
         requests: &[RecommendRequest<'_>],
         kind: ModelKind,
     ) -> Vec<Result<Recommendation, LorentzError>> {
-        let _span = obs::RECOMMEND_BATCH_SPAN_NS.span();
-        let mut scratch = ProfileVector::new(Vec::new());
-        let results: Vec<Result<Recommendation, LorentzError>> = requests
-            .iter()
-            .map(|request| {
-                self.profiles
-                    .encode_row_into(&request.profile, &mut scratch)?;
-                self.recommend_encoded(&scratch, request, kind)
-            })
-            .collect();
-        obs::RECOMMEND_BATCHES.inc();
-        obs::RECOMMEND_REQUESTS.add(results.len() as u64);
-        obs::RECOMMEND_ERRORS.add(results.iter().filter(|r| r.is_err()).count() as u64);
-        results
+        self.live_engine(kind).recommend_many(requests)
     }
 
     /// Interns a request's profile into packed store probe levels,
@@ -420,30 +420,11 @@ impl TrainedLorentz {
         Ok(())
     }
 
-    /// The shared store-serving core: probe levels into `levels`, look up,
-    /// personalize. Every lookup outcome lands in one of the
-    /// `store.lookup.{hits,defaults,misses}` counters.
-    fn recommend_from_store_with(
-        &self,
-        request: &RecommendRequest<'_>,
-        levels: &mut Vec<(FeatureId, ValueId)>,
-    ) -> Result<Recommendation, LorentzError> {
-        self.store_levels(request, levels)?;
-        let lookup = self.store.lookup(request.offering, levels);
-        match &lookup {
-            Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => obs::STORE_HITS.inc(),
-            Ok(_) => obs::STORE_DEFAULTS.inc(),
-            Err(_) => obs::STORE_MISSES.inc(),
-        }
-        let (stage2_capacity, explanation) = lookup?;
-        self.personalize(stage2_capacity, explanation, request)
-    }
-
     /// Serves a recommendation from the precomputed prediction store (the
     /// low-latency §4 path), falling back most-granular-first along the
-    /// learned hierarchy, then applies the λ adjustment. The store probe
-    /// uses packed integer keys — no string is built per lookup. Records
-    /// one `serve.store.span_ns` observation plus request/error counters.
+    /// learned hierarchy, then applies the λ adjustment. Thin wrapper over
+    /// [`StoreOnly`]; records one `serve.store.span_ns` observation plus
+    /// request/error counters.
     ///
     /// # Errors
     /// Returns [`LorentzError`] for unknown offerings, malformed profiles,
@@ -452,35 +433,20 @@ impl TrainedLorentz {
         &self,
         request: &RecommendRequest<'_>,
     ) -> Result<Recommendation, LorentzError> {
-        let _span = obs::STORE_SERVE_SPAN_NS.span();
-        obs::STORE_SERVE_REQUESTS.inc();
-        let mut levels = Vec::new();
-        let result = self.recommend_from_store_with(request, &mut levels);
-        if result.is_err() {
-            obs::STORE_SERVE_ERRORS.inc();
-        }
-        result
+        self.store_engine().recommend_one(request)
     }
 
     /// Serves a batch of requests from the prediction store, reusing one
     /// probe-level buffer across the batch. Results are positionally
     /// aligned with `requests` and identical to calling
-    /// [`TrainedLorentz::recommend_from_store`] per request. Span and
-    /// request/error counters are recorded once per batch.
+    /// [`TrainedLorentz::recommend_from_store`] per request. Thin wrapper
+    /// over [`StoreOnly`]; span and request/error counters are recorded
+    /// once per batch.
     pub fn recommend_batch_from_store(
         &self,
         requests: &[RecommendRequest<'_>],
     ) -> Vec<Result<Recommendation, LorentzError>> {
-        let _span = obs::STORE_SERVE_BATCH_SPAN_NS.span();
-        let mut levels = Vec::new();
-        let results: Vec<Result<Recommendation, LorentzError>> = requests
-            .iter()
-            .map(|request| self.recommend_from_store_with(request, &mut levels))
-            .collect();
-        obs::STORE_SERVE_BATCHES.inc();
-        obs::STORE_SERVE_REQUESTS.add(results.len() as u64);
-        obs::STORE_SERVE_ERRORS.add(results.iter().filter(|r| r.is_err()).count() as u64);
-        results
+        self.store_engine().recommend_many(requests)
     }
 
     /// Routes one satisfaction signal into the personalizer.

@@ -207,9 +207,18 @@ impl Deserialize for PredictionStore {
 /// many simultaneous readers, with publishes swapping the entry set
 /// atomically — the in-process analogue of the §4 online store's
 /// copy-then-switch deployment.
+///
+/// Internally the store is an immutable snapshot behind an
+/// `Arc`: readers take a mutex only long enough to clone the `Arc` out of
+/// the slot (a reference-count bump, no data copy), then probe the snapshot
+/// entirely lock-free. A [`publish`](SharedPredictionStore::publish) builds
+/// the next snapshot off to the side and swaps it into the slot, so readers
+/// never wait on a publisher and a publisher never waits for readers to
+/// drain — the zero-downtime re-publish primitive the serving engine is
+/// built on.
 #[derive(Debug, Default)]
 pub struct SharedPredictionStore {
-    inner: parking_lot::RwLock<PredictionStore>,
+    slot: parking_lot::Mutex<std::sync::Arc<PredictionStore>>,
 }
 
 impl SharedPredictionStore {
@@ -221,36 +230,43 @@ impl SharedPredictionStore {
     /// Wraps an existing store.
     pub fn from_store(store: PredictionStore) -> Self {
         Self {
-            inner: parking_lot::RwLock::new(store),
+            slot: parking_lot::Mutex::new(std::sync::Arc::new(store)),
         }
     }
 
     /// Atomically replaces the contents (readers see either the old or the
-    /// new version, never a mix).
+    /// new version, never a mix). In-flight lookups keep their snapshot
+    /// alive through its `Arc` and finish against the old version; the old
+    /// snapshot is freed when the last such reader drops it.
     ///
     /// # Errors
     /// Returns [`LorentzError::InvalidConfig`] for invalid batches; the
     /// previous contents remain served.
     pub fn publish(&self, batch: PublishBatch) -> Result<u64, LorentzError> {
-        // Validate and build outside the write lock so readers are blocked
-        // only for the swap itself.
-        let current_version = self.inner.read().version;
-        let mut staged = PredictionStore {
-            version: current_version,
-            ..PredictionStore::default()
-        };
-        let new_version = staged.publish(batch)?;
-        let mut guard = self.inner.write();
-        // A concurrent publish may have advanced the version; keep the
-        // monotonic property.
-        staged.version = guard.version.max(new_version - 1) + 1;
+        // Validate and build outside the slot lock so readers are blocked
+        // only for the pointer swap itself.
+        let mut staged = PredictionStore::new();
+        staged.publish(batch)?;
+        let mut guard = self.slot.lock();
+        // Publishers serialize on the slot lock, which keeps versions
+        // monotone regardless of how many publish concurrently.
+        staged.version = guard.version + 1;
         let v = staged.version;
-        *guard = staged;
+        *guard = std::sync::Arc::new(staged);
         Ok(v)
     }
 
-    /// Serves a lookup under a shared read lock, counting the outcome into
-    /// the `store.lookup.{hits,defaults,misses}` counters.
+    /// The current snapshot: a cheap `Arc` clone of the published store
+    /// (reference-count bump, no data copy). The snapshot is immutable —
+    /// concurrent publishes swap in a *new* snapshot and never touch one
+    /// already handed out, so holders can probe it lock-free for as long as
+    /// they like at whatever version they captured.
+    pub fn snapshot(&self) -> std::sync::Arc<PredictionStore> {
+        self.slot.lock().clone()
+    }
+
+    /// Serves a lookup against the current snapshot, counting the outcome
+    /// into the `store.lookup.{hits,defaults,misses}` counters.
     ///
     /// # Errors
     /// See [`PredictionStore::lookup`].
@@ -259,7 +275,7 @@ impl SharedPredictionStore {
         offering: ServerOffering,
         levels: &[(FeatureId, ValueId)],
     ) -> Result<(f64, Explanation), LorentzError> {
-        let result = self.inner.read().lookup(offering, levels);
+        let result = self.snapshot().lookup(offering, levels);
         match &result {
             Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => obs::STORE_HITS.inc(),
             Ok(_) => obs::STORE_DEFAULTS.inc(),
@@ -268,12 +284,11 @@ impl SharedPredictionStore {
         result
     }
 
-    /// Serves many lookups under one shared read lock, appending one result
-    /// per request to `out`. All results come from the same store version,
-    /// and the lock acquisition is amortized across the batch — as are the
-    /// metrics: one `store.lookup_batch.span_ns` observation and one update
-    /// per outcome counter, tallied from the appended results after the
-    /// lock is released.
+    /// Serves many lookups against one snapshot, appending one result per
+    /// request to `out`. All results come from the same store version — the
+    /// snapshot is captured once for the whole batch — and the metrics are
+    /// amortized with it: one `store.lookup_batch.span_ns` observation and
+    /// one update per outcome counter, tallied from the appended results.
     pub fn lookup_batch(
         &self,
         requests: &[(ServerOffering, &[(FeatureId, ValueId)])],
@@ -282,11 +297,11 @@ impl SharedPredictionStore {
         let span = obs::STORE_BATCH_SPAN_NS.span();
         let start = out.len();
         {
-            let guard = self.inner.read();
+            let snapshot = self.snapshot();
             out.extend(
                 requests
                     .iter()
-                    .map(|&(offering, levels)| guard.lookup(offering, levels)),
+                    .map(|&(offering, levels)| snapshot.lookup(offering, levels)),
             );
         }
         drop(span);
@@ -306,22 +321,17 @@ impl SharedPredictionStore {
 
     /// Current data version.
     pub fn version(&self) -> u64 {
-        self.inner.read().version
+        self.snapshot().version
     }
 
     /// Number of stored keys.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.snapshot().len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
-    }
-
-    /// A snapshot clone of the current contents.
-    pub fn snapshot(&self) -> PredictionStore {
-        self.inner.read().clone()
+        self.snapshot().is_empty()
     }
 }
 
@@ -506,6 +516,28 @@ mod tests {
         });
         assert!(shared.version() >= 51); // base store was already v1
         assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_arcs_surviving_publish() {
+        let shared = SharedPredictionStore::from_store(store());
+        let before = shared.snapshot();
+        let v_before = before.version();
+        shared.publish(PublishBatch::default()).unwrap();
+        // The held snapshot is untouched by the publish: same version, and
+        // its entries still answer.
+        assert_eq!(before.version(), v_before);
+        assert!(before
+            .lookup(ServerOffering::GeneralPurpose, &[(VERTICAL, INSURANCE)])
+            .is_ok());
+        // A fresh snapshot sees the new world and shares no allocation with
+        // the old one.
+        let after = shared.snapshot();
+        assert_eq!(after.version(), v_before + 1);
+        assert!(!std::sync::Arc::ptr_eq(&before, &after));
+        // Without an intervening publish, snapshotting is a pure refcount
+        // bump on the same allocation.
+        assert!(std::sync::Arc::ptr_eq(&after, &shared.snapshot()));
     }
 
     #[test]

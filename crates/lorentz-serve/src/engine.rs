@@ -1,0 +1,295 @@
+//! The worker-pool request engine over hot-swappable store snapshots.
+
+use crate::types::{EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse};
+use lorentz_core::obs;
+use lorentz_core::store::PublishBatch;
+use lorentz_core::{RecommendEngine, RecommendRequest, SharedPredictionStore, TrainedLorentz};
+use lorentz_types::LorentzError;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One accepted request waiting in the queue.
+struct Job {
+    request: ServeRequest,
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+    degraded: bool,
+}
+
+/// Mutex-guarded engine state: the bounded queue, the intake flag, and the
+/// request ledger.
+struct State {
+    queue: VecDeque<Job>,
+    intake_open: bool,
+    stats: EngineStats,
+}
+
+/// Everything the workers share with the submit side.
+struct Shared {
+    deployment: Arc<TrainedLorentz>,
+    /// The hot-swap store: seeded from the deployment's published store at
+    /// startup, re-published through [`ServingEngine::publish`] with zero
+    /// reader downtime.
+    store: SharedPredictionStore,
+    config: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+/// A long-running concurrent serving engine: a bounded submission queue in
+/// front of a worker pool, serving live-model recommendations with a
+/// store-lookup degraded mode, over hot-swappable prediction-store
+/// snapshots. See the crate docs for the full contract.
+pub struct ServingEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServingEngine {
+    /// Spawns the worker pool and returns the engine plus the response
+    /// channel. Every accepted request produces exactly one
+    /// [`ServeResponse`] on the channel; the channel closes once the engine
+    /// is drained (or dropped) and all workers have exited.
+    ///
+    /// The hot-swap store is seeded with a copy of `deployment`'s published
+    /// store, so degraded-mode lookups answer from the same world as the
+    /// live model until the first [`ServingEngine::publish`].
+    pub fn start(
+        deployment: Arc<TrainedLorentz>,
+        config: ServeConfig,
+    ) -> (Self, Receiver<ServeResponse>) {
+        let (tx, rx) = channel();
+        let shared = Arc::new(Shared {
+            store: SharedPredictionStore::from_store(deployment.store().clone()),
+            deployment,
+            config,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                intake_open: true,
+                stats: EngineStats::default(),
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lorentz-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &tx))
+                    .expect("worker thread spawn")
+            })
+            .collect();
+        (Self { shared, workers }, rx)
+    }
+
+    /// Offers one request to the engine. Admission is O(1) under the state
+    /// lock: a full queue or closed intake rejects immediately
+    /// (backpressure), otherwise the request is queued — in degraded mode
+    /// if the queue is already past the configured threshold — and a worker
+    /// is woken.
+    ///
+    /// # Errors
+    /// [`ServeError::Saturated`] when the queue is at capacity,
+    /// [`ServeError::Draining`] after [`ServingEngine::drain`] has begun.
+    /// Rejected requests produce no [`ServeResponse`].
+    pub fn submit(&self, request: ServeRequest) -> Result<(), ServeError> {
+        let now = Instant::now();
+        let mut state = self.shared.state.lock().expect("engine state poisoned");
+        state.stats.submitted += 1;
+        obs::ENGINE_SUBMITTED.inc();
+        if !state.intake_open {
+            state.stats.rejected += 1;
+            obs::ENGINE_REJECTED.inc();
+            return Err(ServeError::Draining);
+        }
+        let depth = state.queue.len();
+        if depth >= self.shared.config.queue_capacity {
+            state.stats.rejected += 1;
+            obs::ENGINE_REJECTED.inc();
+            return Err(ServeError::Saturated(depth));
+        }
+        let degraded = self
+            .shared
+            .config
+            .degraded_threshold
+            .is_some_and(|threshold| depth >= threshold);
+        if degraded {
+            state.stats.degraded += 1;
+            obs::ENGINE_DEGRADED.inc();
+        }
+        state.stats.accepted += 1;
+        obs::ENGINE_ACCEPTED.inc();
+        let deadline_at = request
+            .deadline
+            .or(self.shared.config.default_deadline)
+            .map(|d| now + d);
+        state.queue.push_back(Job {
+            request,
+            submitted_at: now,
+            deadline_at,
+            degraded,
+        });
+        obs::ENGINE_QUEUE_DEPTH.set(state.queue.len() as i64);
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Atomically re-publishes the degraded-path store with zero reader
+    /// downtime: in-flight lookups finish on their captured snapshot,
+    /// subsequent lookups see the new version. Returns the new store
+    /// version.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidConfig`] for invalid batches; the
+    /// previous snapshot keeps serving.
+    pub fn publish(&self, batch: PublishBatch) -> Result<u64, LorentzError> {
+        self.shared.store.publish(batch)
+    }
+
+    /// The hot-swap store's current version.
+    pub fn store_version(&self) -> u64 {
+        self.shared.store.version()
+    }
+
+    /// Requests currently queued (accepted, not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state poisoned")
+            .queue
+            .len()
+    }
+
+    /// A point-in-time copy of the request ledger. Only after
+    /// [`ServingEngine::drain`] are the [`EngineStats`] invariants exact.
+    pub fn stats(&self) -> EngineStats {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state poisoned")
+            .stats
+    }
+
+    /// Gracefully shuts down: closes intake (new submissions are rejected
+    /// with [`ServeError::Draining`]), lets the workers finish every queued
+    /// request, joins them, and returns the final ledger — for which
+    /// `submitted = accepted + rejected` and `accepted = answered` hold
+    /// exactly.
+    pub fn drain(mut self) -> EngineStats {
+        self.shutdown();
+        self.shared
+            .state
+            .lock()
+            .expect("engine state poisoned")
+            .stats
+    }
+
+    /// Closes intake, wakes every worker, and joins them. Idempotent.
+    fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("engine state poisoned");
+            state.intake_open = false;
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServingEngine {
+    /// Dropping the engine drains it: queued work is finished, not lost.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker body: pop jobs until the queue is empty *and* intake is closed,
+/// serving each and emitting exactly one response per job.
+fn worker_loop(shared: &Shared, tx: &Sender<ServeResponse>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("engine state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    obs::ENGINE_QUEUE_DEPTH.set(state.queue.len() as i64);
+                    break job;
+                }
+                if !state.intake_open {
+                    return;
+                }
+                state = shared.work.wait(state).expect("engine state poisoned");
+            }
+        };
+        let (response, timed_out) = serve_job(shared, job);
+        {
+            let mut state = shared.state.lock().expect("engine state poisoned");
+            state.stats.answered += 1;
+            if timed_out {
+                state.stats.timed_out += 1;
+            }
+        }
+        obs::ENGINE_ANSWERED.inc();
+        // The receiver may have been dropped by an impatient caller; the
+        // answer ledger above is still the source of truth.
+        let _ = tx.send(response);
+    }
+}
+
+/// Serves one dequeued job: deadline check, then the degraded store path or
+/// the live model. Returns the response and whether the deadline expired.
+fn serve_job(shared: &Shared, job: Job) -> (ServeResponse, bool) {
+    let Job {
+        request,
+        submitted_at,
+        deadline_at,
+        degraded,
+    } = job;
+    let mut timed_out = false;
+    let result = if deadline_at.is_some_and(|deadline| Instant::now() >= deadline) {
+        timed_out = true;
+        obs::ENGINE_TIMED_OUT.inc();
+        Err(ServeError::DeadlineExceeded(
+            u64::try_from(submitted_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        ))
+    } else {
+        let borrowed = RecommendRequest {
+            profile: request.profile.iter().map(|v| v.as_deref()).collect(),
+            offering: request.offering,
+            path: request.path,
+        };
+        let served = if degraded {
+            // Serve from the hot-swap snapshot: the Arc clone pins one
+            // consistent store version for this request, publishes land in
+            // later snapshots.
+            let snapshot = shared.store.snapshot();
+            shared
+                .deployment
+                .store_engine_with(&snapshot)
+                .recommend_one(&borrowed)
+        } else {
+            shared
+                .deployment
+                .live_engine(shared.config.kind)
+                .recommend_one(&borrowed)
+        };
+        served.map_err(ServeError::Recommend)
+    };
+    let latency_ns = u64::try_from(submitted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    obs::ENGINE_E2E_SPAN_NS.record(latency_ns);
+    (
+        ServeResponse {
+            id: request.id,
+            result,
+            degraded,
+            latency_ns,
+        },
+        timed_out,
+    )
+}

@@ -1,0 +1,88 @@
+//! The Lorentz concurrent serving engine.
+//!
+//! Production Lorentz serves recommendations from a periodically
+//! re-published offline prediction store (§4, Fig. 8) — at cloud scale
+//! that means many concurrent readers racing a background publisher. This
+//! crate owns that hot path:
+//!
+//! * **Hot-swap snapshots** — the engine serves store lookups from
+//!   [`SharedPredictionStore`](lorentz_core::SharedPredictionStore)
+//!   snapshots: readers clone an `Arc` out of a mutex-guarded slot (the
+//!   lock is held only for the refcount bump) and probe an immutable store
+//!   version lock-free, while [`ServingEngine::publish`] swaps in a fresh
+//!   snapshot atomically — zero-downtime re-publish under drift.
+//! * **Worker-pool execution** — [`ServingEngine::start`] spawns a fixed
+//!   worker pool behind a bounded submission queue.
+//!   [`ServingEngine::submit`] applies backpressure: a full queue rejects
+//!   with [`ServeError::Saturated`] instead of buffering unboundedly.
+//! * **Deadlines** — each request may carry a deadline (or inherit the
+//!   engine default); requests that expire while queued are answered with
+//!   [`ServeError::DeadlineExceeded`] rather than served late.
+//! * **Degraded mode** — when the queue is saturated past a configurable
+//!   threshold, requests fall back from live-model inference to the
+//!   precomputed store lookup, trading explanation richness for latency.
+//! * **Graceful drain** — [`ServingEngine::drain`] closes intake, lets the
+//!   workers finish every in-flight request, joins them, and returns the
+//!   final [`EngineStats`]. Every accepted request is answered exactly
+//!   once: `submitted = accepted + rejected` and `accepted = answered`.
+//!
+//! All of it threads through the process-wide `lorentz_core::obs` metrics
+//! (`engine.*` counters, queue-depth gauge, end-to-end latency histogram),
+//! so a `--metrics-out` snapshot accounts for the full request ledger.
+//!
+//! ```
+//! use lorentz_core::{FleetDataset, LorentzConfig, LorentzPipeline};
+//! use lorentz_serve::{ServeConfig, ServeRequest, ServingEngine};
+//! use lorentz_telemetry::{RegularSeries, UsageTrace};
+//! use lorentz_types::{
+//!     Capacity, CustomerId, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath,
+//!     ServerId, ServerOffering, SubscriptionId,
+//! };
+//! use std::sync::Arc;
+//!
+//! // Train a toy deployment (see `LorentzPipeline` for the fleet shape).
+//! let schema = ProfileSchema::new(vec!["industry", "customer"])?;
+//! let mut fleet = FleetDataset::new(ProfileTable::new(schema));
+//! for i in 0..40u32 {
+//!     let (industry, demand) = if i % 2 == 0 { ("retail", 1.0) } else { ("banking", 8.0) };
+//!     let customer = format!("c{}", i % 8);
+//!     fleet.push(
+//!         ServerId(i),
+//!         ResourcePath::new(CustomerId(i % 4), SubscriptionId(i % 8), ResourceGroupId(i)),
+//!         ServerOffering::GeneralPurpose,
+//!         &[Some(industry), Some(customer.as_str())],
+//!         Capacity::scalar(8.0),
+//!         UsageTrace::single(RegularSeries::new(300.0, vec![demand; 12])?),
+//!     )?;
+//! }
+//! let mut config = LorentzConfig::paper_defaults();
+//! config.hierarchical.min_bucket = 5;
+//! config.target_encoding.boosting.n_trees = 10;
+//! let trained = LorentzPipeline::new(config)?.train(&fleet)?;
+//!
+//! // Serve through the engine: submit, drain, read answers.
+//! let (engine, responses) = ServingEngine::start(Arc::new(trained), ServeConfig::default());
+//! engine
+//!     .submit(ServeRequest {
+//!         id: 1,
+//!         profile: vec![Some("banking".into()), None],
+//!         offering: ServerOffering::GeneralPurpose,
+//!         path: ResourcePath::new(CustomerId(99), SubscriptionId(1), ResourceGroupId(1)),
+//!         deadline: None,
+//!     })
+//!     .unwrap();
+//! let stats = engine.drain();
+//! assert_eq!(stats.answered, 1);
+//! let response = responses.recv().unwrap();
+//! assert_eq!(response.result.unwrap().sku.capacity.primary(), 16.0);
+//! # Ok::<(), lorentz_types::LorentzError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod types;
+
+pub use engine::ServingEngine;
+pub use types::{EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse};

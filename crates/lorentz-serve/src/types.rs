@@ -1,0 +1,112 @@
+//! Request, response, configuration, and accounting types for the engine.
+
+use lorentz_core::{ModelKind, Recommendation};
+use lorentz_types::{LorentzError, ResourcePath, ServerOffering};
+use std::time::Duration;
+use thiserror::Error;
+
+/// How the serving engine behaves under load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads serving the queue (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum queued (accepted but unserved) requests; submissions beyond
+    /// this are rejected with [`ServeError::Saturated`](crate::ServeError).
+    pub queue_capacity: usize,
+    /// Queue depth at or above which newly admitted requests are served
+    /// from the prediction store instead of the live model (`None` = never
+    /// degrade). Must be below `queue_capacity` to ever trigger.
+    pub degraded_threshold: Option<usize>,
+    /// Deadline applied to requests that don't carry their own; requests
+    /// still queued past their deadline are answered with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError) (`None` = no
+    /// default deadline).
+    pub default_deadline: Option<Duration>,
+    /// The live Stage-2 model served on the non-degraded path.
+    pub kind: ModelKind,
+}
+
+impl Default for ServeConfig {
+    /// 4 workers, a 1024-deep queue, degraded mode at 3/4 capacity, no
+    /// default deadline, hierarchical live model.
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 1024,
+            degraded_threshold: Some(768),
+            default_deadline: None,
+            kind: ModelKind::Hierarchical,
+        }
+    }
+}
+
+/// One owned request submitted to the engine. The borrowed
+/// [`RecommendRequest`](lorentz_core::RecommendRequest) view is rebuilt by
+/// the worker that serves it.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen correlation id, echoed back on the response.
+    pub id: u64,
+    /// Raw profile feature values in schema order (`None` = missing tag).
+    pub profile: Vec<Option<String>>,
+    /// The pre-selected server offering.
+    pub offering: ServerOffering,
+    /// Customer / subscription / resource group the resource will live in.
+    pub path: ResourcePath,
+    /// Per-request deadline measured from submission; overrides the engine
+    /// default when set.
+    pub deadline: Option<Duration>,
+}
+
+/// The engine's answer to one accepted request.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// The correlation id of the [`ServeRequest`] this answers.
+    pub id: u64,
+    /// The recommendation, or why it could not be produced.
+    pub result: Result<Recommendation, ServeError>,
+    /// Whether this request was served on the degraded (store-lookup) path.
+    pub degraded: bool,
+    /// Submit-to-answer latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// Why the engine refused or failed a request.
+#[derive(Debug, Error)]
+pub enum ServeError {
+    /// The bounded submission queue was full; the request was rejected at
+    /// admission (backpressure, not buffering).
+    #[error("serving queue is saturated ({0} requests queued)")]
+    Saturated(usize),
+    /// The engine is draining; intake is closed.
+    #[error("serving engine is draining; intake is closed")]
+    Draining,
+    /// The request spent longer than its deadline in the queue and was
+    /// answered with an error instead of being served late.
+    #[error("deadline exceeded after {0} ns in queue")]
+    DeadlineExceeded(u64),
+    /// The underlying recommendation failed (unknown offering, malformed
+    /// profile, empty store, ...).
+    #[error("recommendation failed: {0}")]
+    Recommend(LorentzError),
+}
+
+/// The engine's request ledger. After [`drain`](crate::ServingEngine::drain)
+/// the invariants hold exactly: `submitted = accepted + rejected` and
+/// `accepted = answered` — every accepted request is answered exactly once,
+/// every offered request is accounted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests offered to [`submit`](crate::ServingEngine::submit).
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused at admission (queue full or intake closed).
+    pub rejected: u64,
+    /// Responses emitted (success, recommendation error, or deadline).
+    pub answered: u64,
+    /// Accepted requests answered with a deadline error.
+    pub timed_out: u64,
+    /// Requests admitted in degraded (store-lookup) mode.
+    pub degraded: u64,
+}

@@ -31,6 +31,7 @@ pub use lorentz_core as core;
 pub use lorentz_hierarchy as hierarchy;
 pub use lorentz_ml as ml;
 pub use lorentz_obs as obs;
+pub use lorentz_serve as serve;
 pub use lorentz_simdata as simdata;
 pub use lorentz_telemetry as telemetry;
 pub use lorentz_types as types;
