@@ -4,9 +4,11 @@ use crate::args::Args;
 use crate::error::CliError;
 use lorentz_core::personalizer::signals::{classify_ticket, CriTicket};
 use lorentz_core::provisioner::{OfferingRecommender, OfferingRecommenderConfig};
+use lorentz_core::retry::RetryPolicy;
+use lorentz_core::store::atomic_write;
 use lorentz_core::{
-    FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, Rightsizer,
-    TrainedLorentz,
+    DurableStore, FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest,
+    Rightsizer, TrainedLorentz,
 };
 use lorentz_serve::{ServeConfig, ServeRequest, ServeResponse, ServingEngine};
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
@@ -16,8 +18,16 @@ use lorentz_types::{
     CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
 };
 use std::fs;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The one write path for every file this CLI produces: atomic
+/// `tmp → fsync → rename` with transient-error retry, so a half-written
+/// JSON file can never be observed at the destination.
+fn write_file_atomic(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    atomic_write(Path::new(path), bytes, &RetryPolicy::default()).map_err(|e| CliError::io(path, e))
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -27,7 +37,12 @@ USAGE:
   lorentz generate  --servers N --seed S --out fleet.json [--base-demand X]
   lorentz rightsize --fleet fleet.json
   lorentz train     --fleet fleet.json --out model.json [--trees N] [--min-bucket N]
-                    [--stage2-threads N] [--metrics-out metrics.json]
+                    [--stage2-threads N] [--metrics-out metrics.json] [--store-dir DIR]
+                    (--store-dir commits the prediction store as a checksummed,
+                     generation-numbered snapshot under DIR)
+  lorentz store-verify --store-dir DIR
+                    (load the newest intact store generation, reporting any
+                     corrupt generations that were skipped)
   lorentz recommend --model model.json --offering burstable|general_purpose|memory_optimized
                     --profile \"Feature=value,Feature=value\" [--source hierarchical|target-encoding|store]
                     [--customer N --subscription N --resource-group N] [--metrics-out metrics.json]
@@ -64,7 +79,7 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
     };
     let synthetic = config.generate()?;
     let json = serde_json::to_string(&synthetic)?;
-    fs::write(out, json).map_err(|e| CliError::io(out, e))?;
+    write_file_atomic(out, json.as_bytes())?;
     println!(
         "wrote {} servers ({} profile features) to {out}",
         synthetic.fleet.len(),
@@ -128,7 +143,7 @@ fn write_metrics(args: &Args) -> Result<(), CliError> {
     };
     let snapshot = lorentz_core::obs::snapshot();
     let json = serde_json::to_string_pretty(&snapshot)?;
-    fs::write(path, json).map_err(|e| CliError::io(path, e))?;
+    write_file_atomic(path, json.as_bytes())?;
     println!(
         "metrics snapshot ({} counters, {} histograms) -> {path}",
         snapshot.counters.len(),
@@ -147,14 +162,40 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     let stage2_threads = args.get_parse_or("stage2-threads", 0usize)?;
     let trained = LorentzPipeline::new(config)?
         .train_with_stage2_threads(&synthetic.fleet, stage2_threads)?;
-    fs::write(out, trained.to_json()?).map_err(|e| CliError::io(out, e))?;
+    write_file_atomic(out, trained.to_json()?.as_bytes())?;
     println!(
         "trained on {} servers; prediction store v{} with {} keys -> {out}",
         synthetic.fleet.len(),
         trained.store().version(),
         trained.store().len()
     );
+    if let Some(store_dir) = args.get("store-dir") {
+        let generation = DurableStore::open(store_dir).save(trained.store())?;
+        println!("prediction store committed as generation {generation} -> {store_dir}");
+    }
     write_metrics(args)
+}
+
+/// `lorentz store-verify`: load the newest intact generation from a durable
+/// store directory and report how recovery went.
+pub fn store_verify(args: &Args) -> Result<(), CliError> {
+    let dir = args.require("store-dir")?;
+    let recovered = DurableStore::open(dir).load()?;
+    if let Some(err) = &recovered.manifest_error {
+        println!("manifest: UNREADABLE ({err}); recovered via directory scan");
+    }
+    for (generation, why) in &recovered.skipped {
+        println!("gen {generation}: CORRUPT ({why})");
+    }
+    println!(
+        "gen {}: OK — store v{} with {} keys ({} fallback{})",
+        recovered.generation,
+        recovered.store.version(),
+        recovered.store.len(),
+        recovered.fallbacks,
+        if recovered.fallbacks == 1 { "" } else { "s" }
+    );
+    Ok(())
 }
 
 fn parse_offering(name: &str) -> Result<ServerOffering, CliError> {
@@ -423,9 +464,10 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         degraded_threshold: parse_opt_flag(args, "degraded-at")?.or(defaults.degraded_threshold),
         default_deadline: parse_opt_flag::<u64>(args, "deadline-ms")?.map(Duration::from_millis),
         kind,
+        ..defaults
     };
     let total = requests.len();
-    let (engine, responses) = ServingEngine::start(Arc::clone(&deployment), config);
+    let (engine, responses) = ServingEngine::start(Arc::clone(&deployment), config)?;
     let mut rejected: Vec<(u64, lorentz_serve::ServeError)> = Vec::new();
     for request in requests {
         let id = request.id;

@@ -7,7 +7,8 @@
 //! path and the underlying [`std::io::Error`], and core failures carry the
 //! typed [`LorentzError`] all the way to `main`.
 
-use lorentz_serve::ServeError;
+use lorentz_core::StoreError;
+use lorentz_serve::{EngineError, ServeError};
 use lorentz_types::LorentzError;
 use thiserror::Error;
 
@@ -40,6 +41,12 @@ pub enum CliError {
     /// that aborts the command.
     #[error("{0}")]
     Serve(ServeError),
+    /// The serving engine itself could not be constructed.
+    #[error("{0}")]
+    Engine(EngineError),
+    /// The durable prediction store could not be saved or loaded.
+    #[error("{0}")]
+    Store(StoreError),
 }
 
 impl CliError {
@@ -70,6 +77,18 @@ impl From<LorentzError> for CliError {
 impl From<ServeError> for CliError {
     fn from(e: ServeError) -> Self {
         Self::Serve(e)
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
     }
 }
 

@@ -4,7 +4,8 @@
 //! lorentz generate  --servers 800 --seed 7 --out fleet.json
 //! lorentz rightsize --fleet fleet.json
 //! lorentz train     --fleet fleet.json --out model.json [--trees 100] [--min-bucket 10] \
-//!                   [--stage2-threads 2] [--metrics-out metrics.json]
+//!                   [--stage2-threads 2] [--metrics-out metrics.json] [--store-dir store/]
+//! lorentz store-verify --store-dir store/
 //! lorentz recommend --model model.json --offering general_purpose \
 //!                   --profile "SegmentName=segmentname-0,VerticalName=verticalname-2" \
 //!                   [--source hierarchical|target-encoding|store]
@@ -24,6 +25,13 @@ use args::Args;
 use error::CliError;
 
 fn main() {
+    // Deterministic fault injection for the crash-recovery tests: a no-op
+    // unless the binary was built with the `fault-injection` feature AND
+    // the LORENTZ_FAILPOINTS environment variable is set.
+    if let Err(e) = lorentz_fault::init_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let args = match Args::from_env() {
         Ok(a) => a,
         Err(e) => {
@@ -35,6 +43,7 @@ fn main() {
         Some("generate") => commands::generate(&args),
         Some("rightsize") => commands::rightsize(&args),
         Some("train") => commands::train(&args),
+        Some("store-verify") => commands::store_verify(&args),
         Some("recommend") => commands::recommend(&args),
         Some("serve") => commands::serve(&args),
         Some("offering") => commands::offering(&args),

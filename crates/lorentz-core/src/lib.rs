@@ -17,7 +17,9 @@
 //!
 //! Supporting modules: [`config`] (the Table-2 hyperparameters),
 //! [`fleet`] (training-data container), [`store`] (the versioned offline
-//! prediction store of §4), [`pipeline`] (batch train → publish → serve
+//! prediction store of §4, with crash-safe generation-numbered persistence
+//! in [`store::durability`]), [`retry`] (jittered exponential backoff for
+//! transient I/O), [`pipeline`] (batch train → publish → serve
 //! orchestration, Fig. 8), [`evaluate`] (slack/throttling metrics and
 //! Pareto sweeps used throughout §5), [`explain`] (recommendation
 //! rationales, challenge C3), and [`obs`] (per-stage span timings and
@@ -36,6 +38,7 @@ pub mod personalizer;
 pub mod pipeline;
 pub mod provisioner;
 pub mod report;
+pub mod retry;
 pub mod rightsizer;
 pub mod store;
 pub mod validation;
@@ -54,6 +57,7 @@ pub use provisioner::{
     TargetEncodingConfig, TargetEncodingProvisioner, TraceAugmentedProvisioner,
 };
 pub use report::{fleet_report, FleetReport};
+pub use retry::{is_transient_io, retry_with_backoff, RetryPolicy};
 pub use rightsizer::{ProvisioningVerdict, RightsizeOutcome, Rightsizer};
-pub use store::{PredictionStore, SharedPredictionStore};
+pub use store::{DurableStore, PredictionStore, RecoveredStore, SharedPredictionStore, StoreError};
 pub use validation::{validate_deployment, DeploymentReport, PublishGate};

@@ -30,6 +30,10 @@
 //! | `store.lookup_batch.span_ns` | histogram | one record per shared-store batch lookup |
 //! | `store.lookup_batch.requests` | counter | requests served through shared-store batch lookups |
 //! | `store.publishes` | counter | successful store publishes |
+//! | `store.save.generations` | counter | snapshot generations committed by the durable store |
+//! | `store.save.retries` | counter | snapshot writes that needed at least one retry |
+//! | `store.recovery.loads` | counter | durable-store loads attempted |
+//! | `store.recovery.fallbacks` | counter | generations skipped as corrupt during load |
 //! | `personalizer.signals` | counter | satisfaction signals applied |
 //! | `personalizer.profiles_touched` | counter | profiles updated across all propagation rounds |
 //! | `engine.queue.depth` | gauge | serving-engine submission queue depth |
@@ -39,6 +43,8 @@
 //! | `engine.answered` | counter | responses emitted (success, error, or deadline) |
 //! | `engine.timed_out` | counter | accepted requests answered with a deadline error |
 //! | `engine.degraded` | counter | requests served from the store because the queue was saturated |
+//! | `engine.worker_panics` | counter | requests whose handler panicked (answered as `Panicked`) |
+//! | `engine.worker_restarts` | counter | crashed workers replaced by the supervisor |
 //! | `engine.e2e.span_ns` | histogram | submit-to-answer latency per request |
 
 use lorentz_obs::{Counter, Gauge, Histogram, Registry};
@@ -79,6 +85,12 @@ pub(crate) static STORE_BATCH_SPAN_NS: Histogram = Histogram::new();
 pub(crate) static STORE_BATCH_REQUESTS: Counter = Counter::new();
 pub(crate) static STORE_PUBLISHES: Counter = Counter::new();
 
+// Durable-store persistence and recovery (`store::durability`).
+pub(crate) static STORE_SAVE_GENERATIONS: Counter = Counter::new();
+pub(crate) static STORE_SAVE_RETRIES: Counter = Counter::new();
+pub(crate) static STORE_RECOVERY_LOADS: Counter = Counter::new();
+pub(crate) static STORE_RECOVERY_FALLBACKS: Counter = Counter::new();
+
 // Stage-3 signal propagation.
 pub(crate) static SIGNALS_APPLIED: Counter = Counter::new();
 pub(crate) static SIGNAL_PROFILES_TOUCHED: Counter = Counter::new();
@@ -102,6 +114,10 @@ pub static ENGINE_TIMED_OUT: Counter = Counter::new();
 /// Requests downgraded from live-model inference to a store lookup because
 /// the queue was saturated at admission.
 pub static ENGINE_DEGRADED: Counter = Counter::new();
+/// Requests whose handler panicked; each is still answered (as `Panicked`).
+pub static ENGINE_WORKER_PANICS: Counter = Counter::new();
+/// Crashed worker threads replaced by the engine's supervisor.
+pub static ENGINE_WORKER_RESTARTS: Counter = Counter::new();
 /// Submit-to-answer latency, one observation per answered request.
 pub static ENGINE_E2E_SPAN_NS: Histogram = Histogram::new();
 
@@ -137,6 +153,10 @@ pub fn registry() -> &'static Registry {
         r.register_histogram("store.lookup_batch.span_ns", &STORE_BATCH_SPAN_NS);
         r.register_counter("store.lookup_batch.requests", &STORE_BATCH_REQUESTS);
         r.register_counter("store.publishes", &STORE_PUBLISHES);
+        r.register_counter("store.save.generations", &STORE_SAVE_GENERATIONS);
+        r.register_counter("store.save.retries", &STORE_SAVE_RETRIES);
+        r.register_counter("store.recovery.loads", &STORE_RECOVERY_LOADS);
+        r.register_counter("store.recovery.fallbacks", &STORE_RECOVERY_FALLBACKS);
         r.register_counter("personalizer.signals", &SIGNALS_APPLIED);
         r.register_counter("personalizer.profiles_touched", &SIGNAL_PROFILES_TOUCHED);
         r.register_gauge("engine.queue.depth", &ENGINE_QUEUE_DEPTH);
@@ -146,6 +166,8 @@ pub fn registry() -> &'static Registry {
         r.register_counter("engine.answered", &ENGINE_ANSWERED);
         r.register_counter("engine.timed_out", &ENGINE_TIMED_OUT);
         r.register_counter("engine.degraded", &ENGINE_DEGRADED);
+        r.register_counter("engine.worker_panics", &ENGINE_WORKER_PANICS);
+        r.register_counter("engine.worker_restarts", &ENGINE_WORKER_RESTARTS);
         r.register_histogram("engine.e2e.span_ns", &ENGINE_E2E_SPAN_NS);
     });
     &REGISTRY

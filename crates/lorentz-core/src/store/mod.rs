@@ -13,6 +13,10 @@
 //! snapshot keeps a string-keyed map (`"offering|feature|value"` → capacity)
 //! via manual serde impls, preserving a readable persisted format.
 
+pub mod durability;
+
+pub use durability::{atomic_write, DurableStore, RecoveredStore, StoreError};
+
 use crate::explain::Explanation;
 use crate::obs;
 use lorentz_types::{FeatureId, LorentzError, ServerOffering, StoreKey, ValueId};

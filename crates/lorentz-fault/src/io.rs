@@ -1,0 +1,315 @@
+//! The snapshot persistence seam: [`SnapshotIo`], its production
+//! implementation [`RealIo`], and the fault-injecting [`FaultyIo`].
+//!
+//! The durable store never touches the filesystem directly — every write,
+//! read, remove, and listing goes through a `SnapshotIo`, so tests can
+//! substitute an implementation that tears writes, corrupts bits, or
+//! fails transiently, and the production path can stay `tmp → fsync →
+//! atomic rename` everywhere.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Filesystem operations used by snapshot persistence.
+///
+/// `write_atomic` must be all-or-nothing on a well-behaved filesystem: a
+/// crash during the call leaves either the previous content or the new
+/// content at `path`, never a prefix. ([`FaultyIo`] exists precisely to
+/// simulate the ill-behaved case.)
+pub trait SnapshotIo: Send + Sync {
+    /// Writes `bytes` to `path` atomically: temp file in the same
+    /// directory, flush + fsync, then rename over the destination.
+    ///
+    /// # Errors
+    /// Any underlying I/O error; the destination is untouched on failure.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads the full contents of `path`.
+    ///
+    /// # Errors
+    /// Any underlying I/O error (`NotFound` when the file is absent).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Removes `path`.
+    ///
+    /// # Errors
+    /// Any underlying I/O error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the entries of directory `dir`.
+    ///
+    /// # Errors
+    /// Any underlying I/O error.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The production [`SnapshotIo`]: real filesystem calls with
+/// `tmp → fsync → rename` atomic writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+impl SnapshotIo for RealIo {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = dir {
+            fs::create_dir_all(dir)?;
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Make the rename itself durable where the platform allows
+        // fsyncing a directory handle; best-effort elsewhere.
+        if let Some(dir) = dir {
+            if let Ok(handle) = fs::File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            entries.push(entry?.path());
+        }
+        entries.sort();
+        Ok(entries)
+    }
+}
+
+/// A [`SnapshotIo`] decorator that injects the registry's I/O faults.
+///
+/// Consulted fail points (all no-ops unless configured, and compiled to a
+/// transparent pass-through without the `fault-injection` feature):
+///
+/// | point | actions honored |
+/// |---|---|
+/// | `store.write.partial` | `partial(f)` commits only the first `f·len` bytes yet reports success (a torn write fsync never caught); `flip(i)` commits the payload with bit `i` flipped |
+/// | `store.write.io_error` | `interrupted` / `error` fail the write; `panic` / `abort` via [`crate::act_default`] |
+/// | `store.read.io_error` | `interrupted` / `error` fail the read |
+/// | `store.read.corrupt` | `partial(f)` truncates the returned bytes; `flip(i)` flips bit `i` |
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultyIo<I: SnapshotIo = RealIo> {
+    inner: I,
+}
+
+impl<I: SnapshotIo> FaultyIo<I> {
+    /// Wraps an inner implementation.
+    pub fn new(inner: I) -> Self {
+        Self { inner }
+    }
+}
+
+/// Applies a bit flip to a copy of `bytes` (bit index modulo total bits).
+#[cfg(feature = "fault-injection")]
+fn flip_bit(bytes: &[u8], bit: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if !out.is_empty() {
+        let bit = bit % (out.len() as u64 * 8);
+        out[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+    out
+}
+
+/// The byte count a `partial(frac)` tear keeps.
+#[cfg(feature = "fault-injection")]
+fn torn_len(len: usize, frac: f64) -> usize {
+    ((len as f64) * frac.clamp(0.0, 1.0)) as usize
+}
+
+#[cfg(feature = "fault-injection")]
+fn io_fault(name: &str) -> io::Result<()> {
+    use crate::registry::FailAction;
+    if let Some(action) = crate::registry().hit(name) {
+        match action {
+            FailAction::Interrupted => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected transient I/O error at '{name}'"),
+                ))
+            }
+            FailAction::Error => {
+                return Err(io::Error::other(format!("injected I/O error at '{name}'")))
+            }
+            other => crate::act_default(name, &other),
+        }
+    }
+    Ok(())
+}
+
+impl<I: SnapshotIo> SnapshotIo for FaultyIo<I> {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "fault-injection")]
+        {
+            use crate::registry::FailAction;
+            io_fault("store.write.io_error")?;
+            if let Some(action) = crate::registry().hit("store.write.partial") {
+                match action {
+                    FailAction::Partial(frac) => {
+                        // The tear commits atomically but truncated: the
+                        // observable outcome of a crash (or lying fsync)
+                        // between the data write and its durability point.
+                        return self
+                            .inner
+                            .write_atomic(path, &bytes[..torn_len(bytes.len(), frac)]);
+                    }
+                    FailAction::FlipBit(bit) => {
+                        return self.inner.write_atomic(path, &flip_bit(bytes, bit));
+                    }
+                    other => crate::act_default("store.write.partial", &other),
+                }
+            }
+        }
+        self.inner.write_atomic(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        #[cfg(feature = "fault-injection")]
+        {
+            use crate::registry::FailAction;
+            io_fault("store.read.io_error")?;
+            if let Some(action) = crate::registry().hit("store.read.corrupt") {
+                let bytes = self.inner.read(path)?;
+                match action {
+                    FailAction::Partial(frac) => {
+                        let keep = torn_len(bytes.len(), frac);
+                        let mut bytes = bytes;
+                        bytes.truncate(keep);
+                        return Ok(bytes);
+                    }
+                    FailAction::FlipBit(bit) => return Ok(flip_bit(&bytes, bit)),
+                    other => {
+                        crate::act_default("store.read.corrupt", &other);
+                        return Ok(bytes);
+                    }
+                }
+            }
+        }
+        self.inner.read(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+}
+
+/// The [`SnapshotIo`] the durable store uses by default: fault-injectable
+/// when the `fault-injection` feature is on, plain [`RealIo`] otherwise.
+pub fn default_io() -> Box<dyn SnapshotIo> {
+    #[cfg(feature = "fault-injection")]
+    {
+        Box::new(FaultyIo::new(RealIo))
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        Box::new(RealIo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lorentz-fault-io-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_io_round_trips_and_replaces_atomically() {
+        let dir = tmp_dir("real");
+        let path = dir.join("snap.bin");
+        RealIo.write_atomic(&path, b"first").unwrap();
+        assert_eq!(RealIo.read(&path).unwrap(), b"first");
+        RealIo.write_atomic(&path, b"second").unwrap();
+        assert_eq!(RealIo.read(&path).unwrap(), b"second");
+        // No temp file left behind.
+        let listed = RealIo.list(&dir).unwrap();
+        assert_eq!(listed, vec![path.clone()]);
+        RealIo.remove(&path).unwrap();
+        assert_eq!(
+            RealIo.read(&path).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_io_is_transparent_when_nothing_is_configured() {
+        let dir = tmp_dir("transparent");
+        let path = dir.join("snap.bin");
+        let io = FaultyIo::new(RealIo);
+        io.write_atomic(&path, b"payload").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // The fault behaviors drive the process-wide registry, so they run in
+    // one test to avoid cross-talk between parallel test threads.
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn faulty_io_injects_tears_corruption_and_errors() {
+        use crate::registry::{registry, FailAction, Trigger};
+        let dir = tmp_dir("faulty");
+        let path = dir.join("snap.bin");
+        let io = FaultyIo::new(RealIo);
+
+        registry().configure(
+            "store.write.partial",
+            Trigger::Once,
+            FailAction::Partial(0.5),
+        );
+        io.write_atomic(&path, b"12345678").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"1234", "torn write kept half");
+        io.write_atomic(&path, b"12345678").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"12345678", "fires only once");
+
+        registry().configure("store.write.partial", Trigger::Once, FailAction::FlipBit(0));
+        io.write_atomic(&path, &[0u8; 4]).unwrap();
+        assert_eq!(io.read(&path).unwrap(), &[1u8, 0, 0, 0]);
+
+        registry().configure(
+            "store.write.io_error",
+            Trigger::Once,
+            FailAction::Interrupted,
+        );
+        assert_eq!(
+            io.write_atomic(&path, b"x").unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        io.write_atomic(&path, b"x").unwrap();
+
+        registry().configure("store.read.io_error", Trigger::Once, FailAction::Error);
+        assert!(io.read(&path).is_err());
+        assert_eq!(io.read(&path).unwrap(), b"x");
+
+        registry().configure("store.read.corrupt", Trigger::Once, FailAction::FlipBit(3));
+        assert_eq!(io.read(&path).unwrap(), &[b'x' ^ 0b1000]);
+        assert_eq!(io.read(&path).unwrap(), b"x");
+
+        registry().clear();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,385 @@
+//! The process-wide fail-point registry.
+//!
+//! Every fail point is a named entry with a [`Trigger`] (when it fires)
+//! and a [`FailAction`] (what happens). Evaluation is deterministic: hit
+//! counting is exact, and the probability trigger draws from a seeded
+//! SplitMix64 stream, so a seeded run replays the same fault schedule.
+//!
+//! The registry is always compiled (it is cold-path bookkeeping); what the
+//! `fault-injection` feature controls is whether `fail_point!` sites exist
+//! at all and whether [`crate::FaultyIo`] consults the registry.
+
+use std::sync::Mutex;
+
+/// When a configured fail point fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fires on every hit.
+    Always,
+    /// Fires on exactly one hit (the first), then never again.
+    Once,
+    /// Passes the first `N` hits, fires on every hit after them.
+    After(u64),
+    /// Fires on each hit independently with this probability, drawn from
+    /// the registry's seeded RNG.
+    Probability(f64),
+}
+
+/// What happens when a fail point fires. I/O-shaped actions
+/// ([`FailAction::Error`], [`FailAction::Interrupted`],
+/// [`FailAction::Partial`], [`FailAction::FlipBit`]) are interpreted by
+/// [`crate::FaultyIo`]; [`FailAction::Panic`] and [`FailAction::Abort`]
+/// are honored anywhere (see [`crate::act_default`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailAction {
+    /// Panic at the fail point (exercises `catch_unwind` isolation).
+    Panic,
+    /// Abort the whole process (simulates `kill -9` mid-operation).
+    Abort,
+    /// A permanent I/O error (`ErrorKind::Other`).
+    Error,
+    /// A transient I/O error (`ErrorKind::Interrupted`) — retryable.
+    Interrupted,
+    /// A torn write: only this fraction (clamped to `[0, 1]`) of the bytes
+    /// reach the destination, yet the operation reports success.
+    Partial(f64),
+    /// Flip this bit (index modulo payload length) — silent corruption.
+    FlipBit(u64),
+}
+
+#[derive(Debug)]
+struct PointState {
+    name: String,
+    trigger: Trigger,
+    action: FailAction,
+    hits: u64,
+    fired: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    points: Vec<PointState>,
+    rng: u64,
+}
+
+/// A registry of named fail points. Most code uses the process-wide
+/// [`registry()`]; tests that need isolation can hold their own instance.
+#[derive(Debug)]
+pub struct FailPointRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// Default SplitMix64 seed (an arbitrary odd constant).
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FailPointRegistry {
+    /// Creates an empty registry (usable in `static` items).
+    pub const fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                points: Vec::new(),
+                rng: DEFAULT_SEED,
+            }),
+        }
+    }
+
+    /// Configures (or reconfigures) a fail point, resetting its hit and
+    /// fire counts.
+    pub fn configure(&self, name: &str, trigger: Trigger, action: FailAction) {
+        let mut inner = self.inner.lock().expect("fail-point registry poisoned");
+        inner.points.retain(|p| p.name != name);
+        inner.points.push(PointState {
+            name: name.to_owned(),
+            trigger,
+            action,
+            hits: 0,
+            fired: 0,
+        });
+    }
+
+    /// Removes one fail point.
+    pub fn remove(&self, name: &str) {
+        let mut inner = self.inner.lock().expect("fail-point registry poisoned");
+        inner.points.retain(|p| p.name != name);
+    }
+
+    /// Removes every fail point (the RNG seed is kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("fail-point registry poisoned");
+        inner.points.clear();
+    }
+
+    /// Reseeds the probability-trigger RNG.
+    pub fn seed(&self, seed: u64) {
+        let mut inner = self.inner.lock().expect("fail-point registry poisoned");
+        inner.rng = seed;
+    }
+
+    /// Evaluates one hit of `name`: counts it and returns the action if
+    /// the trigger fires. Unconfigured names always return `None`.
+    pub fn hit(&self, name: &str) -> Option<FailAction> {
+        let mut inner = self.inner.lock().expect("fail-point registry poisoned");
+        let idx = inner.points.iter().position(|p| p.name == name)?;
+        inner.points[idx].hits += 1;
+        let fires = match inner.points[idx].trigger {
+            Trigger::Always => true,
+            Trigger::Once => inner.points[idx].fired == 0,
+            Trigger::After(n) => inner.points[idx].hits > n,
+            Trigger::Probability(p) => {
+                // 53 uniform mantissa bits in [0, 1), so p = 1.0 always
+                // fires and p = 0.0 never does.
+                let frac = (splitmix64(&mut inner.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                frac < p
+            }
+        };
+        if fires {
+            inner.points[idx].fired += 1;
+            Some(inner.points[idx].action)
+        } else {
+            None
+        }
+    }
+
+    /// How many times `name` has fired (0 for unconfigured points).
+    pub fn fired(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("fail-point registry poisoned");
+        inner
+            .points
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.fired)
+    }
+
+    /// How many times `name` has been evaluated (0 for unconfigured
+    /// points).
+    pub fn hits(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("fail-point registry poisoned");
+        inner
+            .points
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.hits)
+    }
+
+    /// Configures fail points from a `name=action[@trigger];...` spec (the
+    /// `LORENTZ_FAILPOINTS` grammar — see [`crate::init_from_env`]).
+    /// Returns the number of points configured.
+    ///
+    /// # Errors
+    /// Returns the offending fragment when the spec does not parse.
+    pub fn configure_from_spec(&self, spec: &str) -> Result<usize, String> {
+        let mut configured = 0;
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, rest) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fail point '{entry}' is not name=action"))?;
+            let (action_spec, trigger_spec) = match rest.split_once('@') {
+                Some((a, t)) => (a.trim(), Some(t.trim())),
+                None => (rest.trim(), None),
+            };
+            let action = parse_action(action_spec)?;
+            let trigger = match trigger_spec {
+                None => Trigger::Always,
+                Some(t) => parse_trigger(t)?,
+            };
+            self.configure(name.trim(), trigger, action);
+            configured += 1;
+        }
+        Ok(configured)
+    }
+}
+
+impl Default for FailPointRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn parse_paren_arg<'a>(spec: &'a str, head: &str) -> Option<&'a str> {
+    spec.strip_prefix(head)?
+        .strip_prefix('(')?
+        .strip_suffix(')')
+}
+
+fn parse_action(spec: &str) -> Result<FailAction, String> {
+    match spec {
+        "panic" => Ok(FailAction::Panic),
+        "abort" => Ok(FailAction::Abort),
+        "error" => Ok(FailAction::Error),
+        "interrupted" => Ok(FailAction::Interrupted),
+        _ => {
+            if let Some(arg) = parse_paren_arg(spec, "partial") {
+                let frac: f64 = arg
+                    .parse()
+                    .map_err(|_| format!("partial fraction '{arg}' is not a number"))?;
+                return Ok(FailAction::Partial(frac));
+            }
+            if let Some(arg) = parse_paren_arg(spec, "flip") {
+                let bit: u64 = arg
+                    .parse()
+                    .map_err(|_| format!("flip bit '{arg}' is not an integer"))?;
+                return Ok(FailAction::FlipBit(bit));
+            }
+            Err(format!("unknown fail action '{spec}'"))
+        }
+    }
+}
+
+fn parse_trigger(spec: &str) -> Result<Trigger, String> {
+    match spec {
+        "once" => Ok(Trigger::Once),
+        "always" => Ok(Trigger::Always),
+        _ => {
+            if let Some(arg) = parse_paren_arg(spec, "after") {
+                let n: u64 = arg
+                    .parse()
+                    .map_err(|_| format!("after count '{arg}' is not an integer"))?;
+                return Ok(Trigger::After(n));
+            }
+            if let Some(arg) = parse_paren_arg(spec, "prob") {
+                let p: f64 = arg
+                    .parse()
+                    .map_err(|_| format!("probability '{arg}' is not a number"))?;
+                return Ok(Trigger::Probability(p));
+            }
+            Err(format!("unknown fail trigger '{spec}'"))
+        }
+    }
+}
+
+static REGISTRY: FailPointRegistry = FailPointRegistry::new();
+
+/// The process-wide fail-point registry.
+pub fn registry() -> &'static FailPointRegistry {
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Every test uses its own registry instance: the global one is shared
+    // across parallel test threads.
+
+    #[test]
+    fn unconfigured_points_never_fire() {
+        let r = FailPointRegistry::new();
+        assert_eq!(r.hit("nope"), None);
+        assert_eq!(r.fired("nope"), 0);
+        assert_eq!(r.hits("nope"), 0);
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let r = FailPointRegistry::new();
+        r.configure("p", Trigger::Once, FailAction::Panic);
+        assert_eq!(r.hit("p"), Some(FailAction::Panic));
+        assert_eq!(r.hit("p"), None);
+        assert_eq!(r.hit("p"), None);
+        assert_eq!(r.fired("p"), 1);
+        assert_eq!(r.hits("p"), 3);
+    }
+
+    #[test]
+    fn after_passes_n_hits_then_fires_forever() {
+        let r = FailPointRegistry::new();
+        r.configure("p", Trigger::After(2), FailAction::Error);
+        assert_eq!(r.hit("p"), None);
+        assert_eq!(r.hit("p"), None);
+        assert_eq!(r.hit("p"), Some(FailAction::Error));
+        assert_eq!(r.hit("p"), Some(FailAction::Error));
+        assert_eq!(r.fired("p"), 2);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let schedule = |seed: u64| {
+            let r = FailPointRegistry::new();
+            r.seed(seed);
+            r.configure("p", Trigger::Probability(0.5), FailAction::Error);
+            (0..64).map(|_| r.hit("p").is_some()).collect::<Vec<_>>()
+        };
+        let a = schedule(7);
+        assert_eq!(a, schedule(7), "same seed must replay the same faults");
+        assert_ne!(a, schedule(8), "different seeds must diverge");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=56).contains(&fired),
+            "p=0.5 over 64 draws fired {fired} times"
+        );
+    }
+
+    #[test]
+    fn probability_bounds_are_exact() {
+        let r = FailPointRegistry::new();
+        r.configure("never", Trigger::Probability(0.0), FailAction::Error);
+        r.configure("always", Trigger::Probability(1.0), FailAction::Error);
+        for _ in 0..32 {
+            assert_eq!(r.hit("never"), None);
+            assert_eq!(r.hit("always"), Some(FailAction::Error));
+        }
+    }
+
+    #[test]
+    fn reconfigure_resets_counts_and_remove_disables() {
+        let r = FailPointRegistry::new();
+        r.configure("p", Trigger::Once, FailAction::Error);
+        assert!(r.hit("p").is_some());
+        r.configure("p", Trigger::Once, FailAction::Interrupted);
+        assert_eq!(r.hit("p"), Some(FailAction::Interrupted));
+        r.remove("p");
+        assert_eq!(r.hit("p"), None);
+        r.configure("p", Trigger::Always, FailAction::Error);
+        r.clear();
+        assert_eq!(r.hit("p"), None);
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let r = FailPointRegistry::new();
+        let n = r
+            .configure_from_spec(
+                "store.write.partial=partial(0.5)@once; store.save.commit=abort;\
+                 a=error@after(2);b=interrupted@prob(1.0);c=flip(12);d=panic@always",
+            )
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(r.hit("store.write.partial"), Some(FailAction::Partial(0.5)));
+        assert_eq!(r.hit("store.write.partial"), None);
+        assert_eq!(r.hit("a"), None);
+        assert_eq!(r.hit("a"), None);
+        assert_eq!(r.hit("a"), Some(FailAction::Error));
+        assert_eq!(r.hit("b"), Some(FailAction::Interrupted));
+        assert_eq!(r.hit("c"), Some(FailAction::FlipBit(12)));
+        assert_eq!(r.hit("d"), Some(FailAction::Panic));
+        // The abort action is configured but (obviously) not evaluated.
+        assert_eq!(r.fired("store.save.commit"), 0);
+        // Empty specs and stray separators are fine.
+        assert_eq!(r.configure_from_spec("").unwrap(), 0);
+        assert_eq!(r.configure_from_spec(" ; ;").unwrap(), 0);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let r = FailPointRegistry::new();
+        assert!(r.configure_from_spec("no-equals").is_err());
+        assert!(r.configure_from_spec("p=unknown").is_err());
+        assert!(r.configure_from_spec("p=partial(x)").is_err());
+        assert!(r.configure_from_spec("p=flip(x)").is_err());
+        assert!(r.configure_from_spec("p=error@sometimes").is_err());
+        assert!(r.configure_from_spec("p=error@after(x)").is_err());
+        assert!(r.configure_from_spec("p=error@prob(x)").is_err());
+    }
+}

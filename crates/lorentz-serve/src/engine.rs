@@ -1,15 +1,19 @@
 //! The worker-pool request engine over hot-swappable store snapshots.
 
-use crate::types::{EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse};
+use crate::types::{
+    EngineError, EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse,
+};
 use lorentz_core::obs;
 use lorentz_core::store::PublishBatch;
 use lorentz_core::{RecommendEngine, RecommendRequest, SharedPredictionStore, TrainedLorentz};
+use lorentz_fault::fail_point;
 use lorentz_types::LorentzError;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One accepted request waiting in the queue.
 struct Job {
@@ -27,6 +31,14 @@ struct State {
     stats: EngineStats,
 }
 
+/// Worker-restart accounting, separate from the hot `State` lock.
+struct Supervisor {
+    /// Restarts consumed so far (capped by `config.max_worker_restarts`).
+    restarts_used: u32,
+    /// Next worker thread index, for unique thread names.
+    next_id: usize,
+}
+
 /// Everything the workers share with the submit side.
 struct Shared {
     deployment: Arc<TrainedLorentz>,
@@ -37,6 +49,21 @@ struct Shared {
     config: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
+    /// Live worker handles. Replacement workers spawned by the supervisor
+    /// land here too, so shutdown joins everything ever spawned.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Supervisor>,
+}
+
+/// How a worker's main loop ended.
+#[derive(PartialEq, Eq)]
+enum WorkerExit {
+    /// Queue empty and intake closed: normal drain.
+    Drained,
+    /// The handler panicked. The request was answered and the ledger
+    /// updated; the thread exits so the supervisor can decide on a
+    /// replacement.
+    Panicked,
 }
 
 /// A long-running concurrent serving engine: a bounded submission queue in
@@ -45,7 +72,6 @@ struct Shared {
 /// snapshots. See the crate docs for the full contract.
 pub struct ServingEngine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServingEngine {
@@ -57,11 +83,17 @@ impl ServingEngine {
     /// The hot-swap store is seeded with a copy of `deployment`'s published
     /// store, so degraded-mode lookups answer from the same world as the
     /// live model until the first [`ServingEngine::publish`].
+    ///
+    /// # Errors
+    /// [`EngineError::SpawnFailed`] when the OS refuses a worker thread;
+    /// workers spawned before the failure are shut down first, so nothing
+    /// leaks.
     pub fn start(
         deployment: Arc<TrainedLorentz>,
         config: ServeConfig,
-    ) -> (Self, Receiver<ServeResponse>) {
+    ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
         let (tx, rx) = channel();
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             store: SharedPredictionStore::from_store(deployment.store().clone()),
             deployment,
@@ -72,18 +104,33 @@ impl ServingEngine {
                 stats: EngineStats::default(),
             }),
             work: Condvar::new(),
+            workers: Mutex::new(Vec::with_capacity(worker_count)),
+            supervisor: Mutex::new(Supervisor {
+                restarts_used: 0,
+                next_id: worker_count,
+            }),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let tx = tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("lorentz-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &tx))
-                    .expect("worker thread spawn")
-            })
-            .collect();
-        (Self { shared, workers }, rx)
+        let engine = Self {
+            shared: Arc::clone(&shared),
+        };
+        for i in 0..worker_count {
+            match spawn_worker(&shared, &tx, i, Duration::ZERO) {
+                Ok(handle) => shared
+                    .workers
+                    .lock()
+                    .expect("engine workers poisoned")
+                    .push(handle),
+                Err(source) => {
+                    // `engine` drops here, which closes intake and joins
+                    // the workers already running.
+                    return Err(EngineError::SpawnFailed {
+                        name: format!("lorentz-serve-{i}"),
+                        source,
+                    });
+                }
+            }
+        }
+        Ok((engine, rx))
     }
 
     /// Offers one request to the engine. Admission is O(1) under the state
@@ -176,12 +223,22 @@ impl ServingEngine {
             .stats
     }
 
+    /// Worker restarts the supervisor has performed so far.
+    pub fn worker_restarts(&self) -> u32 {
+        self.shared
+            .supervisor
+            .lock()
+            .expect("engine supervisor poisoned")
+            .restarts_used
+    }
+
     /// Gracefully shuts down: closes intake (new submissions are rejected
     /// with [`ServeError::Draining`]), lets the workers finish every queued
     /// request, joins them, and returns the final ledger — for which
     /// `submitted = accepted + rejected` and `accepted = answered` hold
-    /// exactly.
-    pub fn drain(mut self) -> EngineStats {
+    /// exactly, panics included (a panicked request is an answered
+    /// request).
+    pub fn drain(self) -> EngineStats {
         self.shutdown();
         self.shared
             .state
@@ -190,15 +247,24 @@ impl ServingEngine {
             .stats
     }
 
-    /// Closes intake, wakes every worker, and joins them. Idempotent.
-    fn shutdown(&mut self) {
+    /// Closes intake, wakes every worker, and joins them — looping because
+    /// the supervisor may spawn replacements while earlier handles are
+    /// being joined. Idempotent.
+    fn shutdown(&self) {
         {
             let mut state = self.shared.state.lock().expect("engine state poisoned");
             state.intake_open = false;
         }
         self.shared.work.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.shared.workers.lock().expect("engine workers poisoned"));
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -210,9 +276,69 @@ impl Drop for ServingEngine {
     }
 }
 
+/// Spawns one worker thread. Replacement workers pass a nonzero
+/// `initial_delay` (the supervisor's backoff), slept before the first pop.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    tx: &Sender<ServeResponse>,
+    index: usize,
+    initial_delay: Duration,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let tx = tx.clone();
+    std::thread::Builder::new()
+        .name(format!("lorentz-serve-{index}"))
+        .spawn(move || {
+            if !initial_delay.is_zero() {
+                std::thread::sleep(initial_delay);
+            }
+            if worker_loop(&shared, &tx) == WorkerExit::Panicked {
+                maybe_restart(&shared, &tx);
+            }
+        })
+}
+
+/// Decides whether a crashed worker gets a replacement: only while there is
+/// (or can be) work left, and only within the restart cap. The replacement
+/// sleeps an exponential backoff before serving, so a poison-pill request
+/// stream can't spin the pool.
+fn maybe_restart(shared: &Arc<Shared>, tx: &Sender<ServeResponse>) {
+    let mut supervisor = shared
+        .supervisor
+        .lock()
+        .expect("engine supervisor poisoned");
+    let work_pending = {
+        let state = shared.state.lock().expect("engine state poisoned");
+        state.intake_open || !state.queue.is_empty()
+    };
+    if !work_pending || supervisor.restarts_used >= shared.config.max_worker_restarts {
+        return;
+    }
+    let backoff = shared
+        .config
+        .restart_backoff
+        .saturating_mul(1u32 << supervisor.restarts_used.min(16))
+        .min(Duration::from_secs(1));
+    supervisor.restarts_used += 1;
+    let index = supervisor.next_id;
+    supervisor.next_id += 1;
+    drop(supervisor);
+    if let Ok(handle) = spawn_worker(shared, tx, index, backoff) {
+        obs::ENGINE_WORKER_RESTARTS.inc();
+        shared
+            .workers
+            .lock()
+            .expect("engine workers poisoned")
+            .push(handle);
+    }
+}
+
 /// Worker body: pop jobs until the queue is empty *and* intake is closed,
-/// serving each and emitting exactly one response per job.
-fn worker_loop(shared: &Shared, tx: &Sender<ServeResponse>) {
+/// serving each and emitting exactly one response per job. A panicking
+/// handler is caught at this boundary: the request is answered with
+/// [`ServeError::Panicked`], the ledger is updated, and the loop exits with
+/// [`WorkerExit::Panicked`] so the supervisor can replace the thread.
+fn worker_loop(shared: &Shared, tx: &Sender<ServeResponse>) -> WorkerExit {
     loop {
         let job = {
             let mut state = shared.state.lock().expect("engine state poisoned");
@@ -222,29 +348,70 @@ fn worker_loop(shared: &Shared, tx: &Sender<ServeResponse>) {
                     break job;
                 }
                 if !state.intake_open {
-                    return;
+                    return WorkerExit::Drained;
                 }
                 state = shared.work.wait(state).expect("engine state poisoned");
             }
         };
-        let (response, timed_out) = serve_job(shared, job);
-        {
-            let mut state = shared.state.lock().expect("engine state poisoned");
-            state.stats.answered += 1;
-            if timed_out {
-                state.stats.timed_out += 1;
+        // Everything needed to answer the request survives outside the
+        // closure, because the Job moves in and a panic destroys it.
+        let id = job.request.id;
+        let degraded = job.degraded;
+        let submitted_at = job.submitted_at;
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_job(shared, job)));
+        match outcome {
+            Ok((response, timed_out)) => {
+                {
+                    let mut state = shared.state.lock().expect("engine state poisoned");
+                    state.stats.answered += 1;
+                    if timed_out {
+                        state.stats.timed_out += 1;
+                    }
+                }
+                obs::ENGINE_ANSWERED.inc();
+                // The receiver may have been dropped by an impatient
+                // caller; the answer ledger above is still the source of
+                // truth.
+                let _ = tx.send(response);
+            }
+            Err(payload) => {
+                {
+                    let mut state = shared.state.lock().expect("engine state poisoned");
+                    state.stats.answered += 1;
+                    state.stats.panicked += 1;
+                }
+                obs::ENGINE_ANSWERED.inc();
+                obs::ENGINE_WORKER_PANICS.inc();
+                let latency_ns =
+                    u64::try_from(submitted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                obs::ENGINE_E2E_SPAN_NS.record(latency_ns);
+                let _ = tx.send(ServeResponse {
+                    id,
+                    result: Err(ServeError::Panicked(panic_message(payload.as_ref()))),
+                    degraded,
+                    latency_ns,
+                });
+                return WorkerExit::Panicked;
             }
         }
-        obs::ENGINE_ANSWERED.inc();
-        // The receiver may have been dropped by an impatient caller; the
-        // answer ledger above is still the source of truth.
-        let _ = tx.send(response);
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Serves one dequeued job: deadline check, then the degraded store path or
 /// the live model. Returns the response and whether the deadline expired.
 fn serve_job(shared: &Shared, job: Job) -> (ServeResponse, bool) {
+    fail_point!("serve.worker.panic");
     let Job {
         request,
         submitted_at,

@@ -25,6 +25,13 @@
 //!   workers finish every in-flight request, joins them, and returns the
 //!   final [`EngineStats`]. Every accepted request is answered exactly
 //!   once: `submitted = accepted + rejected` and `accepted = answered`.
+//! * **Panic isolation** — a request handler that panics is caught at the
+//!   worker boundary and answered as [`ServeError::Panicked`], keeping the
+//!   drain ledger exact; a supervisor replaces the crashed worker (with
+//!   exponential backoff, up to [`ServeConfig::max_worker_restarts`]) so a
+//!   poison-pill request cannot empty the pool. Engine construction itself
+//!   no longer panics: [`ServingEngine::start`] returns
+//!   [`EngineError::SpawnFailed`] when the OS refuses a thread.
 //!
 //! All of it threads through the process-wide `lorentz_core::obs` metrics
 //! (`engine.*` counters, queue-depth gauge, end-to-end latency histogram),
@@ -60,22 +67,26 @@
 //! config.target_encoding.boosting.n_trees = 10;
 //! let trained = LorentzPipeline::new(config)?.train(&fleet)?;
 //!
-//! // Serve through the engine: submit, drain, read answers.
-//! let (engine, responses) = ServingEngine::start(Arc::new(trained), ServeConfig::default());
-//! engine
-//!     .submit(ServeRequest {
-//!         id: 1,
-//!         profile: vec![Some("banking".into()), None],
-//!         offering: ServerOffering::GeneralPurpose,
-//!         path: ResourcePath::new(CustomerId(99), SubscriptionId(1), ResourceGroupId(1)),
-//!         deadline: None,
-//!     })
-//!     .unwrap();
+//! // Serve through the engine: submit, drain, read answers. `start` can
+//! // fail (thread spawn), `submit` can reject (saturated or draining
+//! // queue), and each response carries its own per-request result — all
+//! // three are handled, not unwrapped.
+//! let (engine, responses) = ServingEngine::start(Arc::new(trained), ServeConfig::default())?;
+//! engine.submit(ServeRequest {
+//!     id: 1,
+//!     profile: vec![Some("banking".into()), None],
+//!     offering: ServerOffering::GeneralPurpose,
+//!     path: ResourcePath::new(CustomerId(99), SubscriptionId(1), ResourceGroupId(1)),
+//!     deadline: None,
+//! })?;
 //! let stats = engine.drain();
 //! assert_eq!(stats.answered, 1);
-//! let response = responses.recv().unwrap();
-//! assert_eq!(response.result.unwrap().sku.capacity.primary(), 16.0);
-//! # Ok::<(), lorentz_types::LorentzError>(())
+//! let response = responses.recv()?;
+//! match response.result {
+//!     Ok(recommendation) => assert_eq!(recommendation.sku.capacity.primary(), 16.0),
+//!     Err(err) => eprintln!("request {} failed: {err}", response.id),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -85,4 +96,6 @@ mod engine;
 mod types;
 
 pub use engine::ServingEngine;
-pub use types::{EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse};
+pub use types::{
+    EngineError, EngineStats, RequestError, ServeConfig, ServeError, ServeRequest, ServeResponse,
+};

@@ -24,11 +24,18 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// The live Stage-2 model served on the non-degraded path.
     pub kind: ModelKind,
+    /// How many crashed workers the supervisor will replace over the
+    /// engine's lifetime before letting the pool shrink.
+    pub max_worker_restarts: u32,
+    /// Base delay before a replacement worker starts; doubles per restart
+    /// already used, capped at one second.
+    pub restart_backoff: Duration,
 }
 
 impl Default for ServeConfig {
     /// 4 workers, a 1024-deep queue, degraded mode at 3/4 capacity, no
-    /// default deadline, hierarchical live model.
+    /// default deadline, hierarchical live model, up to 8 worker restarts
+    /// starting at a 10 ms backoff.
     fn default() -> Self {
         Self {
             workers: 4,
@@ -36,6 +43,8 @@ impl Default for ServeConfig {
             degraded_threshold: Some(768),
             default_deadline: None,
             kind: ModelKind::Hierarchical,
+            max_worker_restarts: 8,
+            restart_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -89,6 +98,33 @@ pub enum ServeError {
     /// profile, empty store, ...).
     #[error("recommendation failed: {0}")]
     Recommend(LorentzError),
+    /// The handler panicked while serving this request. The panic was
+    /// caught at the worker boundary: the request is still answered (this
+    /// error), the ledger still closes, and the supervisor replaces the
+    /// worker.
+    #[error("request handler panicked: {0}")]
+    Panicked(String),
+}
+
+/// Per-request failure type, as seen in [`ServeResponse::result`]. Alias of
+/// [`ServeError`]: admission errors ([`ServeError::Saturated`],
+/// [`ServeError::Draining`]) are returned from `submit`, the rest arrive on
+/// the response channel.
+pub type RequestError = ServeError;
+
+/// Why the engine itself (not an individual request) failed.
+#[derive(Debug, Error)]
+pub enum EngineError {
+    /// A worker thread could not be spawned during engine construction.
+    /// Already-spawned workers are shut down before this is returned, so a
+    /// failed start leaks nothing.
+    #[error("failed to spawn worker thread '{name}': {source}")]
+    SpawnFailed {
+        /// Name of the thread that failed to spawn.
+        name: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
 }
 
 /// The engine's request ledger. After [`drain`](crate::ServingEngine::drain)
@@ -109,4 +145,7 @@ pub struct EngineStats {
     pub timed_out: u64,
     /// Requests admitted in degraded (store-lookup) mode.
     pub degraded: u64,
+    /// Requests whose handler panicked; each was still answered (with
+    /// [`ServeError::Panicked`]), so `panicked ⊆ answered`.
+    pub panicked: u64,
 }

@@ -47,6 +47,80 @@ pub enum LorentzError {
     /// A lookup key was absent from a store.
     #[error("not found: {0}")]
     NotFound(String),
+
+    /// A persisted store snapshot failed integrity verification.
+    #[error("store corruption: {0}")]
+    Corruption(StoreCorruption),
+}
+
+impl From<StoreCorruption> for LorentzError {
+    fn from(err: StoreCorruption) -> Self {
+        LorentzError::Corruption(err)
+    }
+}
+
+/// Why a persisted snapshot could not be trusted.
+///
+/// Each variant corresponds to one integrity check performed when a framed
+/// snapshot (`store.gen-N.json`) or the manifest (`store.manifest.json`) is
+/// loaded; the durable store reports which check failed so operators can
+/// distinguish truncation from bit rot from version skew.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum StoreCorruption {
+    /// The file is shorter than the fixed frame header.
+    #[error("frame header truncated: got {got} bytes, need {need}")]
+    HeaderTruncated {
+        /// Bytes actually present.
+        got: usize,
+        /// Bytes the header requires.
+        need: usize,
+    },
+
+    /// The frame does not start with the snapshot magic bytes.
+    #[error("bad frame magic: found {found:?}")]
+    BadMagic {
+        /// The four bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+
+    /// The frame declares a format version this build cannot read.
+    #[error("unknown snapshot format version {0}")]
+    UnknownVersion(u16),
+
+    /// The payload is shorter than the length the header declares.
+    #[error("payload truncated: header declares {declared} bytes, got {got}")]
+    Truncated {
+        /// Payload length declared in the header.
+        declared: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+
+    /// The payload checksum does not match the header's CRC32C.
+    #[error("checksum mismatch: expected {expected:#010x}, computed {actual:#010x}")]
+    ChecksumMismatch {
+        /// CRC32C recorded in the frame header.
+        expected: u32,
+        /// CRC32C computed over the payload as read.
+        actual: u32,
+    },
+
+    /// The payload passed integrity checks but did not deserialize.
+    #[error("bad snapshot payload: {0}")]
+    BadPayload(String),
+
+    /// The manifest points at a generation file that does not exist.
+    #[error("manifest references missing generation {generation} at {path}")]
+    MissingGeneration {
+        /// The missing generation number.
+        generation: u64,
+        /// Path the manifest resolved to.
+        path: String,
+    },
+
+    /// The manifest itself was unreadable or malformed.
+    #[error("bad manifest: {0}")]
+    BadManifest(String),
 }
 
 #[cfg(test)]
@@ -65,5 +139,22 @@ mod tests {
         );
         let e = LorentzError::InvalidCapacity("x".into());
         assert!(e.to_string().contains("invalid capacity"));
+    }
+
+    #[test]
+    fn corruption_variants_render_and_convert() {
+        let c = StoreCorruption::ChecksumMismatch {
+            expected: 0xDEAD_BEEF,
+            actual: 0x0000_0001,
+        };
+        assert_eq!(
+            c.to_string(),
+            "checksum mismatch: expected 0xdeadbeef, computed 0x00000001"
+        );
+        let e: LorentzError = c.into();
+        assert!(e.to_string().starts_with("store corruption: "));
+
+        let c = StoreCorruption::BadMagic { found: *b"oops" };
+        assert!(c.to_string().contains("bad frame magic"));
     }
 }

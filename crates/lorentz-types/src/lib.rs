@@ -34,7 +34,7 @@ pub mod sku;
 pub mod storekey;
 
 pub use capacity::Capacity;
-pub use error::LorentzError;
+pub use error::{LorentzError, StoreCorruption};
 pub use ids::{CustomerId, ResourceGroupId, ResourcePath, ServerId, SubscriptionId};
 pub use offering::ServerOffering;
 pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};

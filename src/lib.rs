@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub use lorentz_core as core;
+pub use lorentz_fault as fault;
 pub use lorentz_hierarchy as hierarchy;
 pub use lorentz_ml as ml;
 pub use lorentz_obs as obs;

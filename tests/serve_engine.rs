@@ -134,7 +134,8 @@ fn graceful_drain_answers_every_accepted_request_exactly_once() {
             default_deadline: None,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("engine start");
     let total = 64u64;
     for id in 0..total {
         engine.submit(request(&deployment, id)).unwrap();
@@ -163,7 +164,8 @@ fn saturated_queue_rejects_with_backpressure() {
             queue_capacity: 0,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("engine start");
     for id in 0..5 {
         match engine.submit(request(&deployment, id)) {
             Err(ServeError::Saturated(depth)) => assert_eq!(depth, 0),
@@ -193,7 +195,8 @@ fn expired_deadlines_answer_with_deadline_error() {
             degraded_threshold: None,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("engine start");
     for id in 0..8 {
         engine.submit(request(&deployment, id)).unwrap();
     }
@@ -222,7 +225,8 @@ fn degraded_mode_serves_from_store_snapshots() {
             default_deadline: None,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("engine start");
     for id in 0..16 {
         engine.submit(request(&deployment, id)).unwrap();
     }
@@ -248,7 +252,8 @@ fn publish_hot_swaps_store_while_engine_serves() {
             default_deadline: None,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("engine start");
     let initial_version = engine.store_version();
     let mut submitted = 0u64;
     for round in 0..6u64 {
@@ -277,7 +282,8 @@ fn publish_hot_swaps_store_while_engine_serves() {
 #[test]
 fn dropping_the_engine_drains_instead_of_dropping_work() {
     let deployment = deployment();
-    let (engine, responses) = ServingEngine::start(Arc::clone(&deployment), ServeConfig::default());
+    let (engine, responses) = ServingEngine::start(Arc::clone(&deployment), ServeConfig::default())
+        .expect("engine start");
     for id in 0..12 {
         engine.submit(request(&deployment, id)).unwrap();
     }

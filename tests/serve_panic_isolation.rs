@@ -1,0 +1,96 @@
+//! Panic isolation in the serving engine, driven by the `serve.worker.panic`
+//! fail point. Lives in its own test binary: the fail-point registry is
+//! process-wide, and every engine worker in this process hits the point.
+//!
+//! Run with `cargo test --features fault-injection --test serve_panic_isolation`.
+
+#![cfg(feature = "fault-injection")]
+
+use lorentz::core::{obs, LorentzConfig, LorentzPipeline};
+use lorentz::fault::{registry, FailAction, Trigger};
+use lorentz::serve::{ServeConfig, ServeError, ServeRequest, ServingEngine};
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::types::{CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId};
+use std::sync::Arc;
+
+#[test]
+fn injected_worker_panic_is_answered_and_worker_restarts() {
+    let fleet = FleetConfig {
+        n_servers: 80,
+        seed: 20240807,
+        ..FleetConfig::default()
+    }
+    .generate()
+    .unwrap()
+    .fleet;
+    let deployment = Arc::new(
+        LorentzPipeline::new(LorentzConfig::paper_defaults())
+            .unwrap()
+            .train(&fleet)
+            .unwrap(),
+    );
+
+    // Exactly one job panics mid-handler; the rest must be unaffected.
+    registry().configure("serve.worker.panic", Trigger::Once, FailAction::Panic);
+
+    // A single worker makes the restart deterministic: the panic strands
+    // the rest of the queue, which only a supervisor-spawned replacement
+    // can serve.
+    let (engine, responses) = ServingEngine::start(
+        Arc::clone(&deployment),
+        ServeConfig {
+            workers: 1,
+            degraded_threshold: None,
+            default_deadline: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("engine start");
+
+    let total = 24u64;
+    for id in 0..total {
+        engine
+            .submit(ServeRequest {
+                id,
+                profile: vec![None; deployment.profiles().schema().len()],
+                offering: ServerOffering::GeneralPurpose,
+                path: ResourcePath::new(CustomerId(0), SubscriptionId(0), ResourceGroupId(0)),
+                deadline: None,
+            })
+            .unwrap();
+    }
+    let stats = engine.drain();
+
+    // The drain ledger closes exactly, panic included: the panicked request
+    // is still an *answered* request.
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.submitted, stats.accepted + stats.rejected);
+    assert_eq!(stats.accepted, stats.answered);
+    assert_eq!(stats.panicked, 1, "exactly one injected panic");
+
+    let mut panicked = 0u64;
+    let mut answered = 0u64;
+    for response in responses {
+        answered += 1;
+        match response.result {
+            Err(ServeError::Panicked(msg)) => {
+                panicked += 1;
+                assert!(
+                    msg.contains("fail point"),
+                    "panic message should carry the payload, got: {msg}"
+                );
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+            Ok(_) => {}
+        }
+    }
+    assert_eq!(answered, total, "every accepted request got a response");
+    assert_eq!(panicked, 1, "exactly one Panicked response");
+
+    // The supervisor replaced the crashed worker and the counters agree.
+    let snapshot = obs::snapshot();
+    assert_eq!(snapshot.counter("engine.worker_panics"), Some(1));
+    let restarts = snapshot.counter("engine.worker_restarts").unwrap_or(0);
+    assert!(restarts >= 1, "worker must have been restarted: {restarts}");
+}
