@@ -1,12 +1,16 @@
 //! Stage-3 kernels: Algorithm-1 signal propagation across customer
-//! profiles of varying size, and the Eq. 14 adjustment — the machinery
-//! behind Figures 13 and 14.
+//! profiles of varying size (up to the 10k-profile fan-out), the Eq. 14
+//! adjustment, and λ-snapshot lookups racing a live publisher — the
+//! machinery behind Figures 13 and 14 and the online feedback path.
+//! `BENCH_stage3.json` at the repo root pins the baseline numbers.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use lorentz_core::{Personalizer, PersonalizerConfig, SatisfactionSignal};
+use lorentz_core::{LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal};
 use lorentz_types::{
     CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn build_personalizer(subs: u32, rgs_per_sub: u32) -> Personalizer {
     let mut p = Personalizer::new(PersonalizerConfig::default()).unwrap();
@@ -24,7 +28,7 @@ fn build_personalizer(subs: u32, rgs_per_sub: u32) -> Personalizer {
 
 fn bench_apply_signal(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage3/apply_signal");
-    for (subs, rgs) in [(3u32, 3u32), (10, 10), (50, 20)] {
+    for (subs, rgs) in [(3u32, 3u32), (10, 10), (50, 20), (100, 100)] {
         let profiles = subs * rgs;
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{profiles}_rgs")),
@@ -61,5 +65,46 @@ fn bench_adjust(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_apply_signal, bench_adjust);
+fn bench_lambda_lookup(c: &mut Criterion) {
+    let store = Arc::new(LambdaStore::new(build_personalizer(100, 100)));
+    let hot = ResourcePath::new(CustomerId(1), SubscriptionId(0), ResourceGroupId(0));
+    c.bench_function("stage3/lambda_snapshot_lookup", |b| {
+        b.iter(|| {
+            store
+                .snapshot()
+                .lambda(black_box(&hot), ServerOffering::GeneralPurpose)
+        })
+    });
+
+    // The serving-path scenario: readers pin snapshots while the λ-writer
+    // keeps applying signals and republishing the 10k-profile table.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let signal = SatisfactionSignal::new(hot, ServerOffering::GeneralPurpose, 1.0).unwrap();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                store.apply_signal(&signal);
+                store.publish();
+            }
+        })
+    };
+    c.bench_function("stage3/lambda_lookup_during_publish", |b| {
+        b.iter(|| {
+            store
+                .snapshot()
+                .lambda(black_box(&hot), ServerOffering::GeneralPurpose)
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+criterion_group!(
+    benches,
+    bench_apply_signal,
+    bench_adjust,
+    bench_lambda_lookup
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@ use lorentz_core::retry::RetryPolicy;
 use lorentz_core::store::atomic_write;
 use lorentz_core::{
     DurableStore, FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest,
-    Rightsizer, TrainedLorentz,
+    Rightsizer, SatisfactionSignal, TrainedLorentz,
 };
 use lorentz_serve::{ServeConfig, ServeRequest, ServeResponse, ServingEngine};
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
@@ -52,10 +52,20 @@ USAGE:
                      \"customer\", \"subscription\", \"resource_group\"}; all fields optional)
   lorentz serve     --model model.json --requests requests.ndjson
                     [--workers N] [--queue-capacity N] [--degraded-at N] [--deadline-ms N]
-                    [--kind hierarchical|target-encoding] [--json] [--metrics-out metrics.json]
+                    [--kind hierarchical|target-encoding] [--feedback-wal wal.log]
+                    [--json] [--metrics-out metrics.json]
                     (requests.ndjson: one request object per line, same fields as --batch
-                     plus optional \"id\" and \"deadline_ms\"; answers go to stdout, the
-                     engine drains gracefully, and --metrics-out snapshots after the drain)
+                     plus optional \"id\" and \"deadline_ms\"; a line carrying a \"gamma\"
+                     field is a satisfaction signal instead — it updates the live λ-table
+                     before later lines serve; --feedback-wal makes signals durable and
+                     replays them on startup; answers go to stdout, the engine drains
+                     gracefully, and --metrics-out snapshots after the drain)
+  lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
+                    (tickets.ndjson: one {\"symptoms\", \"subject\", \"resolution\",
+                     \"customer\", \"subscription\", \"resource_group\", \"offering\"}
+                     object per line; each is classified with the Table-1 keyword filters
+                     and non-neutral tickets update the model's λ; --out saves the
+                     updated deployment)
   lorentz report    --fleet fleet.json
   lorentz offering  --fleet fleet.json --profile \"Feature=value,...\"
   lorentz ticket    [--symptoms S] [--subject S] [--resolution S]
@@ -144,7 +154,9 @@ fn write_metrics(args: &Args) -> Result<(), CliError> {
     let snapshot = lorentz_core::obs::snapshot();
     let json = serde_json::to_string_pretty(&snapshot)?;
     write_file_atomic(path, json.as_bytes())?;
-    println!(
+    // Status goes to stderr: stdout stays machine-readable (--json serve
+    // output is parsed as a single JSON document).
+    eprintln!(
         "metrics snapshot ({} counters, {} histograms) -> {path}",
         snapshot.counters.len(),
         snapshot.histograms.len()
@@ -411,15 +423,30 @@ fn parse_opt_flag<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option
     }
 }
 
-/// Parses a serve request file: one JSON request object per line (blank
-/// lines ignored), each the same shape as a `--batch` entry plus optional
-/// `id` (defaults to the line's position) and `deadline_ms` fields.
-fn parse_request_lines(
+/// One parsed line of a serve stream: a recommendation request or an
+/// interleaved satisfaction signal.
+#[derive(Debug)]
+enum ServeLine {
+    /// A recommendation request for the worker pool.
+    Request(ServeRequest),
+    /// A satisfaction signal for the λ-writer, applied before later lines
+    /// are served.
+    Feedback(SatisfactionSignal),
+}
+
+/// Parses a serve stream: one JSON object per line (blank lines ignored).
+/// A line with a `gamma` field is a satisfaction signal (`gamma` in
+/// [-1, 1], plus the path ids and optional `offering`); any other line is a
+/// request — the same shape as a `--batch` entry plus optional `id`
+/// (defaults to the request's position among requests) and `deadline_ms`.
+fn parse_serve_lines(
     text: &str,
     path: &str,
     schema: &lorentz_types::ProfileSchema,
-) -> Result<Vec<ServeRequest>, CliError> {
-    let mut requests = Vec::new();
+) -> Result<Vec<ServeLine>, CliError> {
+    use serde::Deserialize;
+    let mut lines = Vec::new();
+    let mut request_count = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -429,29 +456,53 @@ fn parse_request_lines(
         let value =
             serde_json::parse(line).map_err(|e| CliError::InvalidInput(format!("{label}: {e}")))?;
         let spec = parse_request_value(&value, schema, &label)?;
-        let id = opt_u64_field(&value, "id", &label)?.unwrap_or(requests.len() as u64);
-        let deadline = opt_u64_field(&value, "deadline_ms", &label)?.map(Duration::from_millis);
-        requests.push(ServeRequest {
-            id,
-            profile: spec.profile,
-            offering: spec.offering,
-            path: spec.path,
-            deadline,
-        });
+        if let Some(g) = value.get_field("gamma") {
+            let gamma = f64::from_value(g)
+                .map_err(|_| CliError::InvalidInput(format!("{label}: gamma must be a number")))?;
+            let signal = SatisfactionSignal::new(spec.path, spec.offering, gamma)
+                .map_err(|e| CliError::InvalidInput(format!("{label}: {e}")))?;
+            lines.push(ServeLine::Feedback(signal));
+        } else {
+            let id = opt_u64_field(&value, "id", &label)?.unwrap_or(request_count);
+            let deadline = opt_u64_field(&value, "deadline_ms", &label)?.map(Duration::from_millis);
+            request_count += 1;
+            lines.push(ServeLine::Request(ServeRequest {
+                id,
+                profile: spec.profile,
+                offering: spec.offering,
+                path: spec.path,
+                deadline,
+            }));
+        }
     }
-    Ok(requests)
+    Ok(lines)
+}
+
+/// Blocks until every accepted request has been answered — the barrier that
+/// keeps a feedback line from shifting requests submitted before it.
+fn wait_for_quiescence(engine: &ServingEngine) {
+    loop {
+        let stats = engine.stats();
+        if stats.answered >= stats.accepted {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
 }
 
 /// `lorentz serve`: run the concurrent serving engine over a newline-
-/// delimited request file. Every line is submitted through the bounded
-/// queue (rejections are reported, not fatal), the engine drains
-/// gracefully, and the answers are printed to stdout ordered by request id.
+/// delimited stream of requests and interleaved feedback signals. Requests
+/// are submitted through the bounded queue (rejections are reported, not
+/// fatal); a feedback line waits for the in-flight requests to answer,
+/// then applies and hot-publishes its signal, so every later request
+/// serves under the updated λ. The engine drains gracefully and the
+/// answers are printed to stdout ordered by request id.
 pub fn serve(args: &Args) -> Result<(), CliError> {
     use serde::Serialize;
     let deployment = Arc::new(load_model(args.require("model")?)?);
     let requests_path = args.require("requests")?;
     let text = fs::read_to_string(requests_path).map_err(|e| CliError::io(requests_path, e))?;
-    let requests = parse_request_lines(&text, requests_path, deployment.profiles().schema())?;
+    let lines = parse_serve_lines(&text, requests_path, deployment.profiles().schema())?;
     let kind = match args.get_or("kind", "hierarchical") {
         "hierarchical" => ModelKind::Hierarchical,
         "target-encoding" => ModelKind::TargetEncoding,
@@ -466,16 +517,35 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         kind,
         ..defaults
     };
-    let total = requests.len();
-    let (engine, responses) = ServingEngine::start(Arc::clone(&deployment), config)?;
+    let total = lines
+        .iter()
+        .filter(|l| matches!(l, ServeLine::Request(_)))
+        .count();
+    let (engine, responses) = match args.get("feedback-wal") {
+        Some(wal_path) => ServingEngine::start_with_wal(Arc::clone(&deployment), config, wal_path)?,
+        None => ServingEngine::start(Arc::clone(&deployment), config)?,
+    };
     let mut rejected: Vec<(u64, lorentz_serve::ServeError)> = Vec::new();
-    for request in requests {
-        let id = request.id;
-        if let Err(e) = engine.submit(request) {
-            rejected.push((id, e));
+    for line in lines {
+        match line {
+            ServeLine::Request(request) => {
+                let id = request.id;
+                if let Err(e) = engine.submit(request) {
+                    rejected.push((id, e));
+                }
+            }
+            ServeLine::Feedback(signal) => {
+                // Requests already submitted answer under the current λ;
+                // the signal publishes before anything later is admitted.
+                wait_for_quiescence(&engine);
+                if engine.submit_feedback(signal).is_ok() {
+                    engine.flush_feedback();
+                }
+            }
         }
     }
     let store_version = engine.store_version();
+    let lambda_version = engine.lambda_version();
     let stats = engine.drain();
     let mut answered: Vec<ServeResponse> = responses.into_iter().collect();
     answered.sort_by_key(|r| r.id);
@@ -518,10 +588,83 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     // Status goes to stderr so stdout stays machine-readable answers.
     eprintln!(
         "served {total} requests against store v{store_version}: \
-         {} accepted, {} answered, {} rejected, {} timed out, {} degraded",
-        stats.accepted, stats.answered, stats.rejected, stats.timed_out, stats.degraded
+         {} accepted, {} answered, {} rejected, {} timed out, {} degraded, \
+         {} feedback applied (lambda v{lambda_version})",
+        stats.accepted,
+        stats.answered,
+        stats.rejected,
+        stats.timed_out,
+        stats.degraded,
+        stats.feedback_applied
     );
     write_metrics(args)
+}
+
+/// `lorentz feedback`: replay a file of CRI ticket lines through the
+/// Table-1 keyword classifier into a saved deployment's personalizer, and
+/// optionally save the updated model.
+pub fn feedback(args: &Args) -> Result<(), CliError> {
+    let mut trained = load_model(args.require("model")?)?;
+    let tickets_path = args.require("tickets")?;
+    let text = fs::read_to_string(tickets_path).map_err(|e| CliError::io(tickets_path, e))?;
+    let schema = trained.profiles().schema().clone();
+    let (mut positive, mut negative, mut neutral) = (0u64, 0u64, 0u64);
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let label = format!("{tickets_path}:{}", lineno + 1);
+        let value =
+            serde_json::parse(line).map_err(|e| CliError::InvalidInput(format!("{label}: {e}")))?;
+        let spec = parse_request_value(&value, &schema, &label)?;
+        let text_field = |field: &str| -> Result<String, CliError> {
+            match value.get_field(field) {
+                None => Ok(String::new()),
+                Some(v) => v.as_str().map(ToOwned::to_owned).ok_or_else(|| {
+                    CliError::InvalidInput(format!("{label}: {field} must be a string"))
+                }),
+            }
+        };
+        let ticket = CriTicket::new(
+            &text_field("symptoms")?,
+            &text_field("subject")?,
+            &text_field("resolution")?,
+        );
+        let gamma = trained.apply_ticket(spec.path, spec.offering, &ticket);
+        let sentiment = match gamma as i8 {
+            1 => {
+                positive += 1;
+                "performance-sensitive (+1)"
+            }
+            -1 => {
+                negative += 1;
+                "price-sensitive (-1)"
+            }
+            _ => {
+                neutral += 1;
+                "neutral (0)"
+            }
+        };
+        println!(
+            "{label}: {sentiment}; lambda[{}|{}|{}] = {:+.3}",
+            spec.path.customer.0,
+            spec.path.subscription.0,
+            spec.path.resource_group.0,
+            trained.personalizer().lambda(&spec.path, spec.offering)
+        );
+    }
+    println!(
+        "{} tickets: {positive} performance-sensitive, {negative} price-sensitive, \
+         {neutral} neutral; {} personalized profiles",
+        positive + negative + neutral,
+        trained.personalizer().profiles()
+    );
+    if let Some(out) = args.get("out") {
+        write_file_atomic(out, trained.to_json()?.as_bytes())?;
+        println!("updated model -> {out}");
+    }
+    Ok(())
 }
 
 /// `lorentz offering`: recommend a server offering (future-work extension).
@@ -816,19 +959,164 @@ mod tests {
             r#"{"profile": {"SegmentName": "s1"}}"#,
             "\n",
         );
-        let requests = parse_request_lines(text, "requests.ndjson", &schema).unwrap();
-        assert_eq!(requests.len(), 2);
-        assert_eq!(requests[0].id, 42);
-        assert_eq!(requests[0].deadline, Some(Duration::from_millis(250)));
-        assert_eq!(requests[0].offering, ServerOffering::Burstable);
-        assert_eq!(requests[1].id, 1); // defaults to position
-        assert_eq!(requests[1].deadline, None);
-        assert_eq!(requests[1].profile[0].as_deref(), Some("s1"));
+        let lines = parse_serve_lines(text, "requests.ndjson", &schema).unwrap();
+        assert_eq!(lines.len(), 2);
+        let ServeLine::Request(first) = &lines[0] else {
+            panic!("expected a request line");
+        };
+        assert_eq!(first.id, 42);
+        assert_eq!(first.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(first.offering, ServerOffering::Burstable);
+        let ServeLine::Request(second) = &lines[1] else {
+            panic!("expected a request line");
+        };
+        assert_eq!(second.id, 1); // defaults to position
+        assert_eq!(second.deadline, None);
+        assert_eq!(second.profile[0].as_deref(), Some("s1"));
 
-        let err = parse_request_lines("{bad\n", "r.ndjson", &schema).unwrap_err();
+        let err = parse_serve_lines("{bad\n", "r.ndjson", &schema).unwrap_err();
         assert!(err.to_string().contains("r.ndjson:1"));
-        assert!(parse_request_lines(r#"{"id": "x"}"#, "r", &schema).is_err());
-        assert!(parse_request_lines(r#"{"customer": 5000000000}"#, "r", &schema).is_err());
+        assert!(parse_serve_lines(r#"{"id": "x"}"#, "r", &schema).is_err());
+        assert!(parse_serve_lines(r#"{"customer": 5000000000}"#, "r", &schema).is_err());
+    }
+
+    #[test]
+    fn feedback_lines_parse_signals_and_keep_request_positions() {
+        let schema = lorentz_types::ProfileSchema::azure_postgres();
+        let text = concat!(
+            r#"{"profile": {"SegmentName": "s1"}}"#,
+            "\n",
+            r#"{"gamma": 1, "customer": 4, "subscription": 5, "resource_group": 6, "offering": "burstable"}"#,
+            "\n",
+            r#"{"profile": {"SegmentName": "s1"}}"#,
+            "\n",
+        );
+        let lines = parse_serve_lines(text, "stream.ndjson", &schema).unwrap();
+        assert_eq!(lines.len(), 3);
+        let ServeLine::Feedback(signal) = &lines[1] else {
+            panic!("expected a feedback line");
+        };
+        assert_eq!(signal.gamma, 1.0);
+        assert_eq!(signal.path.customer, CustomerId(4));
+        assert_eq!(signal.offering, ServerOffering::Burstable);
+        // Request ids count requests only, not interleaved signals.
+        let ServeLine::Request(last) = &lines[2] else {
+            panic!("expected a request line");
+        };
+        assert_eq!(last.id, 1);
+
+        // γ outside [-1, 1] and non-numeric γ are rejected with context.
+        let err = parse_serve_lines(r#"{"gamma": 7}"#, "s", &schema).unwrap_err();
+        assert!(err.to_string().contains("s:1"));
+        assert!(parse_serve_lines(r#"{"gamma": "hot"}"#, "s", &schema).is_err());
+    }
+
+    #[test]
+    fn feedback_command_and_wal_serve_round_trip() {
+        let fleet_path = tmp("fb-fleet.json");
+        let model_path = tmp("fb-model.json");
+        let updated_path = tmp("fb-model-updated.json");
+        let tickets_path = tmp("fb-tickets.ndjson");
+        let stream_path = tmp("fb-stream.ndjson");
+        let wal_path = tmp("fb-signals.wal");
+        let _ = std::fs::remove_file(&wal_path);
+        generate(&args(&[
+            "generate",
+            "--servers",
+            "90",
+            "--seed",
+            "5",
+            "--out",
+            &fleet_path,
+        ]))
+        .unwrap();
+        train(&args(&[
+            "train",
+            "--fleet",
+            &fleet_path,
+            "--out",
+            &model_path,
+            "--trees",
+            "8",
+            "--min-bucket",
+            "3",
+        ]))
+        .unwrap();
+
+        // Replaying tickets through the classifier raises λ for the
+        // performance-sensitive path and leaves the neutral one alone.
+        std::fs::write(
+            &tickets_path,
+            concat!(
+                r#"{"symptoms": "high cpu usage all day", "resolution": "scaled up the server", "customer": 1, "subscription": 2, "resource_group": 3}"#,
+                "\n",
+                r#"{"subject": "login issue", "resolution": "reset password", "customer": 9}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        feedback(&args(&[
+            "feedback",
+            "--model",
+            &model_path,
+            "--tickets",
+            &tickets_path,
+            "--out",
+            &updated_path,
+        ]))
+        .unwrap();
+        let updated = load_model(&updated_path).unwrap();
+        let hot = ResourcePath::new(CustomerId(1), SubscriptionId(2), ResourceGroupId(3));
+        assert!(
+            updated
+                .personalizer()
+                .lambda(&hot, ServerOffering::GeneralPurpose)
+                > 0.0
+        );
+
+        // A serve stream with interleaved feedback appends to the WAL...
+        std::fs::write(
+            &stream_path,
+            concat!(
+                r#"{"id": 0, "profile": {"SegmentName": "segmentname-0"}, "customer": 1, "subscription": 2, "resource_group": 3}"#,
+                "\n",
+                r#"{"gamma": 1, "customer": 1, "subscription": 2, "resource_group": 3}"#,
+                "\n",
+                r#"{"gamma": 1, "customer": 1, "subscription": 2, "resource_group": 3}"#,
+                "\n",
+                r#"{"id": 1, "profile": {"SegmentName": "segmentname-0"}, "customer": 1, "subscription": 2, "resource_group": 3}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        serve(&args(&[
+            "serve",
+            "--model",
+            &model_path,
+            "--requests",
+            &stream_path,
+            "--workers",
+            "2",
+            "--feedback-wal",
+            &wal_path,
+        ]))
+        .unwrap();
+        // ...and a restart replays exactly the signals that were accepted.
+        let (_, recovery) = lorentz_core::SignalWal::open(&wal_path).unwrap();
+        assert_eq!(recovery.signals.len(), 2);
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        assert!(recovery.signals.iter().all(|s| s.path == hot));
+
+        for p in [
+            &fleet_path,
+            &model_path,
+            &updated_path,
+            &tickets_path,
+            &stream_path,
+            &wal_path,
+        ] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

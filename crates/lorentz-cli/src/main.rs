@@ -11,7 +11,9 @@
 //!                   [--source hierarchical|target-encoding|store]
 //! lorentz serve     --model model.json --requests requests.ndjson \
 //!                   [--workers 4] [--queue-capacity 1024] [--degraded-at N] \
-//!                   [--deadline-ms N] [--json] [--metrics-out metrics.json]
+//!                   [--deadline-ms N] [--feedback-wal wal.log] [--json] \
+//!                   [--metrics-out metrics.json]
+//! lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
 //! lorentz offering  --fleet fleet.json --profile "IndustryName=industryname-1"
 //! lorentz ticket    --symptoms "high cpu usage" --resolution "scaled up"
 //! lorentz persim    [--iters 40] [--signal-rate 0.4] [--signal-noise 0.13]
@@ -46,6 +48,7 @@ fn main() {
         Some("store-verify") => commands::store_verify(&args),
         Some("recommend") => commands::recommend(&args),
         Some("serve") => commands::serve(&args),
+        Some("feedback") => commands::feedback(&args),
         Some("offering") => commands::offering(&args),
         Some("report") => commands::report(&args),
         Some("ticket") => commands::ticket(&args),

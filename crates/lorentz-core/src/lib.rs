@@ -47,7 +47,10 @@ pub use config::{LorentzConfig, RightsizerConfig};
 pub use cost::{bill_fleet, CostModel, FleetBill};
 pub use explain::{Explanation, Recommendation};
 pub use fleet::FleetDataset;
-pub use personalizer::{Personalizer, PersonalizerConfig, SatisfactionSignal};
+pub use personalizer::{
+    LambdaSnapshot, LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal, SignalWal,
+    WalRecovery,
+};
 pub use pipeline::{
     LiveModel, LorentzPipeline, ModelKind, RecommendEngine, RecommendRequest, StoreOnly,
     TrainedLorentz,

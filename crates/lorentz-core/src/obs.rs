@@ -36,6 +36,10 @@
 //! | `store.recovery.fallbacks` | counter | generations skipped as corrupt during load |
 //! | `personalizer.signals` | counter | satisfaction signals applied |
 //! | `personalizer.profiles_touched` | counter | profiles updated across all propagation rounds |
+//! | `personalizer.lambda.publishes` | counter | λ snapshots published by the LambdaStore |
+//! | `personalizer.wal.appends` | counter | signals appended durably to the WAL |
+//! | `personalizer.wal.replayed` | counter | signals replayed from the WAL at startup |
+//! | `personalizer.wal.torn_tails` | counter | torn WAL tails truncated during recovery |
 //! | `engine.queue.depth` | gauge | serving-engine submission queue depth |
 //! | `engine.submitted` | counter | requests offered to the serving engine |
 //! | `engine.accepted` | counter | requests admitted to the queue |
@@ -46,6 +50,8 @@
 //! | `engine.worker_panics` | counter | requests whose handler panicked (answered as `Panicked`) |
 //! | `engine.worker_restarts` | counter | crashed workers replaced by the supervisor |
 //! | `engine.e2e.span_ns` | histogram | submit-to-answer latency per request |
+//! | `engine.feedback.accepted` | counter | feedback signals admitted to the λ-writer |
+//! | `engine.feedback.applied` | counter | feedback signals applied and published |
 
 use lorentz_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Once;
@@ -95,6 +101,12 @@ pub(crate) static STORE_RECOVERY_FALLBACKS: Counter = Counter::new();
 pub(crate) static SIGNALS_APPLIED: Counter = Counter::new();
 pub(crate) static SIGNAL_PROFILES_TOUCHED: Counter = Counter::new();
 
+// Online Stage-3 state: λ-snapshot publishes and the signal WAL.
+pub(crate) static LAMBDA_PUBLISHES: Counter = Counter::new();
+pub(crate) static WAL_APPENDS: Counter = Counter::new();
+pub(crate) static WAL_REPLAYED: Counter = Counter::new();
+pub(crate) static WAL_TORN_TAILS: Counter = Counter::new();
+
 // The concurrent serving engine (`lorentz-serve`). These are `pub` so the
 // engine crate can record into the same process-wide registry that
 // `--metrics-out` snapshots.
@@ -120,6 +132,11 @@ pub static ENGINE_WORKER_PANICS: Counter = Counter::new();
 pub static ENGINE_WORKER_RESTARTS: Counter = Counter::new();
 /// Submit-to-answer latency, one observation per answered request.
 pub static ENGINE_E2E_SPAN_NS: Histogram = Histogram::new();
+/// Feedback signals admitted to the engine's λ-writer queue.
+pub static ENGINE_FEEDBACK_ACCEPTED: Counter = Counter::new();
+/// Feedback signals the λ-writer applied (and published); after a drain,
+/// `feedback_accepted = feedback_applied`.
+pub static ENGINE_FEEDBACK_APPLIED: Counter = Counter::new();
 
 static REGISTRY: Registry = Registry::new();
 static REGISTER: Once = Once::new();
@@ -159,6 +176,10 @@ pub fn registry() -> &'static Registry {
         r.register_counter("store.recovery.fallbacks", &STORE_RECOVERY_FALLBACKS);
         r.register_counter("personalizer.signals", &SIGNALS_APPLIED);
         r.register_counter("personalizer.profiles_touched", &SIGNAL_PROFILES_TOUCHED);
+        r.register_counter("personalizer.lambda.publishes", &LAMBDA_PUBLISHES);
+        r.register_counter("personalizer.wal.appends", &WAL_APPENDS);
+        r.register_counter("personalizer.wal.replayed", &WAL_REPLAYED);
+        r.register_counter("personalizer.wal.torn_tails", &WAL_TORN_TAILS);
         r.register_gauge("engine.queue.depth", &ENGINE_QUEUE_DEPTH);
         r.register_counter("engine.submitted", &ENGINE_SUBMITTED);
         r.register_counter("engine.accepted", &ENGINE_ACCEPTED);
@@ -169,6 +190,8 @@ pub fn registry() -> &'static Registry {
         r.register_counter("engine.worker_panics", &ENGINE_WORKER_PANICS);
         r.register_counter("engine.worker_restarts", &ENGINE_WORKER_RESTARTS);
         r.register_histogram("engine.e2e.span_ns", &ENGINE_E2E_SPAN_NS);
+        r.register_counter("engine.feedback.accepted", &ENGINE_FEEDBACK_ACCEPTED);
+        r.register_counter("engine.feedback.applied", &ENGINE_FEEDBACK_APPLIED);
     });
     &REGISTRY
 }

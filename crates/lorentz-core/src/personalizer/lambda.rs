@@ -1,0 +1,259 @@
+//! The live λ-table: Stage-3 state behind atomic-Arc snapshots.
+//!
+//! Batch training freezes a [`Personalizer`] inside the deployment; online
+//! personalization needs the same λ scores to keep moving while requests
+//! are in flight. [`LambdaStore`] separates the two roles with the same
+//! snapshot discipline as
+//! [`SharedPredictionStore`](crate::SharedPredictionStore):
+//!
+//! * **Readers** clone an `Arc<LambdaSnapshot>` out of a mutex-guarded slot
+//!   (the lock is held only for the refcount bump) and probe a flat
+//!   `u128`-keyed hash table lock-free — [`PathKey`] packs the
+//!   `(customer, subscription, resource group)` path the way
+//!   [`StoreKey`](lorentz_types::StoreKey) packs prediction-store keys.
+//! * **The writer** applies message-propagation rounds to a private
+//!   [`Personalizer`] off to the side — its nested per-customer tree is the
+//!   subscription index that keeps `apply_signal` on the affected subtrees
+//!   — and [`LambdaStore::publish`] flattens the tree into a fresh
+//!   snapshot and swaps the pointer with a monotonically increasing
+//!   version.
+//!
+//! Readers therefore never observe a half-applied propagation round: a
+//! snapshot is immutable from the moment it is published.
+
+use super::{strat_index, Personalizer, SatisfactionSignal, StratLambdas};
+use crate::obs;
+use lorentz_types::{PathKey, ResourcePath, ServerOffering, Sku, SkuCatalog};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One immutable published view of the λ-table. Probing never locks;
+/// unregistered paths read λ = 0 exactly like
+/// [`Personalizer::lambda`].
+#[derive(Debug, Clone, Default)]
+pub struct LambdaSnapshot {
+    version: u64,
+    lambdas: HashMap<u128, StratLambdas>,
+}
+
+impl LambdaSnapshot {
+    /// Monotonically increasing publish version (the seed snapshot is 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The λ score for a location; 0 if no profile was registered when the
+    /// snapshot was published.
+    pub fn lambda(&self, path: &ResourcePath, offering: ServerOffering) -> f64 {
+        self.lambdas
+            .get(&PathKey::new(*path).pack())
+            .map_or(0.0, |l| l[strat_index(offering)])
+    }
+
+    /// λ-adjusted capacity (Eq. 14): `c** = 2^λ · c*`, discretized to the
+    /// catalog — the snapshot-side mirror of [`Personalizer::adjust`].
+    pub fn adjust(
+        &self,
+        stage2_capacity: f64,
+        path: &ResourcePath,
+        offering: ServerOffering,
+        catalog: &SkuCatalog,
+    ) -> Sku {
+        let lambda = self.lambda(path, offering);
+        crate::provisioner::discretize(catalog, lambda.exp2() * stage2_capacity)
+    }
+
+    /// Number of registered profiles in this snapshot.
+    pub fn len(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    /// Whether the snapshot holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.lambdas.is_empty()
+    }
+}
+
+/// Live-updatable Stage-3 state: a single-writer [`Personalizer`] plus the
+/// atomic-Arc snapshot slot readers probe.
+///
+/// ```
+/// use lorentz_core::personalizer::{LambdaStore, Personalizer, PersonalizerConfig};
+/// use lorentz_core::SatisfactionSignal;
+/// use lorentz_types::{CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId};
+///
+/// let store = LambdaStore::new(Personalizer::new(PersonalizerConfig::default())?);
+/// let path = ResourcePath::new(CustomerId(1), SubscriptionId(1), ResourceGroupId(1));
+/// let before = store.snapshot();
+///
+/// store.apply_signal(&SatisfactionSignal::new(path, ServerOffering::GeneralPurpose, 1.0)?);
+/// store.publish();
+///
+/// // The old snapshot is immutable; a fresh one sees the new λ.
+/// assert_eq!(before.lambda(&path, ServerOffering::GeneralPurpose), 0.0);
+/// let after = store.snapshot();
+/// assert!((after.lambda(&path, ServerOffering::GeneralPurpose) - 0.3).abs() < 1e-12);
+/// assert!(after.version() > before.version());
+/// # Ok::<(), lorentz_types::LorentzError>(())
+/// ```
+#[derive(Debug)]
+pub struct LambdaStore {
+    /// The single writer's working state. The nested customer →
+    /// subscription → resource-group tree doubles as the propagation
+    /// index.
+    writer: parking_lot::Mutex<Personalizer>,
+    /// The published snapshot readers clone.
+    slot: parking_lot::Mutex<Arc<LambdaSnapshot>>,
+}
+
+impl LambdaStore {
+    /// Wraps a personalizer (typically the batch-trained Stage-3 state)
+    /// and publishes its current λ values as snapshot version 1.
+    pub fn new(personalizer: Personalizer) -> Self {
+        let seed = Arc::new(LambdaSnapshot {
+            version: 1,
+            lambdas: flatten(&personalizer),
+        });
+        Self {
+            writer: parking_lot::Mutex::new(personalizer),
+            slot: parking_lot::Mutex::new(seed),
+        }
+    }
+
+    /// The current snapshot — a cheap `Arc` clone; probe it lock-free.
+    pub fn snapshot(&self) -> Arc<LambdaSnapshot> {
+        self.slot.lock().clone()
+    }
+
+    /// The currently published snapshot version.
+    pub fn version(&self) -> u64 {
+        self.slot.lock().version
+    }
+
+    /// Applies one signal to the writer state. Not visible to readers
+    /// until [`LambdaStore::publish`].
+    pub fn apply_signal(&self, signal: &SatisfactionSignal) {
+        self.writer.lock().apply_signal(signal);
+    }
+
+    /// Applies a batch of signals in order. Not visible to readers until
+    /// [`LambdaStore::publish`].
+    pub fn apply_signals(&self, signals: &[SatisfactionSignal]) {
+        self.writer.lock().apply_signals(signals);
+    }
+
+    /// Flattens the writer state into a fresh snapshot and swaps it in,
+    /// returning the new version. The flatten happens outside the slot
+    /// lock, so readers are never blocked behind it.
+    pub fn publish(&self) -> u64 {
+        let lambdas = flatten(&self.writer.lock());
+        let mut guard = self.slot.lock();
+        let version = guard.version + 1;
+        *guard = Arc::new(LambdaSnapshot { version, lambdas });
+        obs::LAMBDA_PUBLISHES.inc();
+        version
+    }
+
+    /// Runs `f` against the writer-side personalizer (for reports and
+    /// persistence — the serve path reads snapshots instead).
+    pub fn with_personalizer<R>(&self, f: impl FnOnce(&Personalizer) -> R) -> R {
+        f(&self.writer.lock())
+    }
+}
+
+/// Flattens the nested λ tree into the packed-key table a snapshot serves.
+fn flatten(personalizer: &Personalizer) -> HashMap<u128, StratLambdas> {
+    let mut out = HashMap::with_capacity(personalizer.profiles());
+    for (path, lambdas) in personalizer.iter_profiles() {
+        out.insert(PathKey::new(path).pack(), lambdas);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::personalizer::PersonalizerConfig;
+    use lorentz_types::{CustomerId, ResourceGroupId, SubscriptionId};
+
+    fn path(c: u32, s: u32, r: u32) -> ResourcePath {
+        ResourcePath::new(CustomerId(c), SubscriptionId(s), ResourceGroupId(r))
+    }
+
+    fn store() -> LambdaStore {
+        LambdaStore::new(Personalizer::new(PersonalizerConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn seed_snapshot_carries_trained_lambdas() {
+        let mut p = Personalizer::new(PersonalizerConfig::default()).unwrap();
+        p.set_lambda(path(1, 2, 3), ServerOffering::Burstable, 1.5);
+        let store = LambdaStore::new(p);
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.lambda(&path(1, 2, 3), ServerOffering::Burstable), 1.5);
+        assert_eq!(snap.lambda(&path(9, 9, 9), ServerOffering::Burstable), 0.0);
+    }
+
+    #[test]
+    fn publish_is_invisible_until_swapped() {
+        let store = store();
+        let before = store.snapshot();
+        let sig =
+            SatisfactionSignal::new(path(1, 1, 1), ServerOffering::GeneralPurpose, 1.0).unwrap();
+        store.apply_signal(&sig);
+        // Applied but unpublished: readers still see the old table.
+        assert_eq!(
+            store
+                .snapshot()
+                .lambda(&path(1, 1, 1), ServerOffering::GeneralPurpose),
+            0.0
+        );
+        let v = store.publish();
+        assert_eq!(v, 2);
+        let after = store.snapshot();
+        assert!((after.lambda(&path(1, 1, 1), ServerOffering::GeneralPurpose) - 0.3).abs() < 1e-12);
+        // The pre-publish snapshot is untouched.
+        assert_eq!(
+            before.lambda(&path(1, 1, 1), ServerOffering::GeneralPurpose),
+            0.0
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_writer_for_every_offering() {
+        let store = store();
+        for (i, gamma) in [(1u32, 1.0), (2, -0.5), (3, 0.25)] {
+            let sig =
+                SatisfactionSignal::new(path(1, i, i * 10), ServerOffering::MemoryOptimized, gamma)
+                    .unwrap();
+            store.apply_signal(&sig);
+        }
+        store.publish();
+        let snap = store.snapshot();
+        store.with_personalizer(|p| {
+            for (path, offering, lambda) in p.iter() {
+                assert_eq!(snap.lambda(&path, offering), lambda);
+            }
+        });
+    }
+
+    #[test]
+    fn adjust_mirrors_personalizer_adjust() {
+        let store = store();
+        let loc = path(1, 1, 1);
+        let sig = SatisfactionSignal::new(loc, ServerOffering::GeneralPurpose, 1.0).unwrap();
+        for _ in 0..3 {
+            store.apply_signal(&sig);
+        }
+        store.publish();
+        let snap = store.snapshot();
+        let catalog = SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose);
+        let via_snapshot = snap.adjust(4.0, &loc, ServerOffering::GeneralPurpose, &catalog);
+        let via_writer = store
+            .with_personalizer(|p| p.adjust(4.0, &loc, ServerOffering::GeneralPurpose, &catalog));
+        assert_eq!(via_snapshot, via_writer);
+        assert_eq!(via_snapshot.capacity.primary(), 8.0);
+    }
+}

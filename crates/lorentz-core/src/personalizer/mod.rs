@@ -7,9 +7,13 @@
 //! (Algorithm 1), and recommendations are adjusted as
 //! `c** = ξ⁻¹(ξ(c*) + λ) = 2^λ · c*` (Eq. 13–14).
 
+pub mod lambda;
 pub mod signals;
+pub mod wal;
 
+pub use lambda::{LambdaSnapshot, LambdaStore};
 pub use signals::{classify_ticket, CriTicket, KeywordClassifier};
+pub use wal::{SignalWal, WalRecovery};
 
 use crate::obs;
 use crate::provisioner::discretize;
@@ -17,7 +21,7 @@ use lorentz_types::{
     CustomerId, LorentzError, ResourceGroupId, ResourcePath, ServerOffering, Sku, SkuCatalog,
     SubscriptionId,
 };
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Number of stratification values (server offerings).
@@ -155,10 +159,48 @@ type StratLambdas = [f64; N_STRATA];
 /// assert_eq!(sku.capacity.primary(), 8.0);
 /// # Ok::<(), lorentz_types::LorentzError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Personalizer {
     config: PersonalizerConfig,
-    store: BTreeMap<CustomerId, BTreeMap<SubscriptionId, BTreeMap<ResourceGroupId, StratLambdas>>>,
+    store: LambdaTree,
+    /// Registered resource-group count, maintained incrementally so
+    /// [`Personalizer::profiles`] is O(1). Derived state: skipped on
+    /// serialization and recomputed by the manual [`Deserialize`] impl.
+    #[serde(skip)]
+    profile_count: usize,
+}
+
+/// The nested per-customer λ tree: customer → subscription → resource
+/// group → per-stratum λ. The subscription layer doubles as the
+/// per-customer index that lets [`Personalizer::apply_signal`] touch only
+/// the affected subtrees.
+type LambdaTree =
+    BTreeMap<CustomerId, BTreeMap<SubscriptionId, BTreeMap<ResourceGroupId, StratLambdas>>>;
+
+impl Deserialize for Personalizer {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // Mirrors the derived impl for the two serialized fields, then
+        // recomputes the skipped `profile_count` so a deserialized
+        // personalizer compares equal to the one that was written.
+        let config = PersonalizerConfig::from_value(
+            v.get_field("config")
+                .ok_or_else(|| serde::Error::custom("Personalizer missing field 'config'"))?,
+        )?;
+        let store = LambdaTree::from_value(
+            v.get_field("store")
+                .ok_or_else(|| serde::Error::custom("Personalizer missing field 'store'"))?,
+        )?;
+        let profile_count = store
+            .values()
+            .flat_map(|subs| subs.values())
+            .map(|rgs| rgs.len())
+            .sum();
+        Ok(Self {
+            config,
+            store,
+            profile_count,
+        })
+    }
 }
 
 impl Personalizer {
@@ -171,6 +213,7 @@ impl Personalizer {
         Ok(Self {
             config,
             store: BTreeMap::new(),
+            profile_count: 0,
         })
     }
 
@@ -182,22 +225,23 @@ impl Personalizer {
     /// Ensures a profile exists for `path` (λ defaults to 0 for new
     /// profiles, §3.4.2).
     pub fn register(&mut self, path: ResourcePath) {
-        self.store
+        if let std::collections::btree_map::Entry::Vacant(slot) = self
+            .store
             .entry(path.customer)
             .or_default()
             .entry(path.subscription)
             .or_default()
             .entry(path.resource_group)
-            .or_insert([0.0; N_STRATA]);
+        {
+            slot.insert([0.0; N_STRATA]);
+            self.profile_count += 1;
+        }
     }
 
-    /// Number of registered resource groups across all customers.
+    /// Number of registered resource groups across all customers. O(1):
+    /// the count is maintained by [`Personalizer::register`].
     pub fn profiles(&self) -> usize {
-        self.store
-            .values()
-            .flat_map(|subs| subs.values())
-            .map(|rgs| rgs.len())
-            .sum()
+        self.profile_count
     }
 
     /// The λ score for a location; 0 if the profile does not exist yet.
@@ -226,8 +270,11 @@ impl Personalizer {
     /// Applies one satisfaction signal with message propagation
     /// (Algorithm 1). The signal's own location is auto-registered; the
     /// propagation reaches every *registered* profile of the same customer.
-    /// Each call bumps `personalizer.signals`, and the number of profiles
-    /// the propagation round updated lands in
+    /// Zero decays prune whole subtrees: `ρ_C = 0` confines the walk to the
+    /// signal's subscription, and `ρ_S = 0` confines a same-subscription
+    /// walk to the signal's resource group — foreign entries are never
+    /// visited. Each call bumps `personalizer.signals`, and the number of
+    /// profiles the propagation round updated lands in
     /// `personalizer.profiles_touched`.
     pub fn apply_signal(&mut self, signal: &SatisfactionSignal) {
         self.register(signal.path);
@@ -239,32 +286,57 @@ impl Personalizer {
         let clamp = self.config.lambda_clamp;
         let mut touched = 0u64;
 
+        // Scale of the update for one resource group:
+        //   same RG          -> 1      (steps 1-2)
+        //   same SU, diff RG -> ρ_S    (step 3)
+        //   diff SU          -> ρ_C    (step 4)
+        let mut bump = |lambdas: &mut StratLambdas, scale: f64| {
+            touched += 1;
+            for (x, l) in lambdas.iter_mut().enumerate() {
+                let update = if x == st { scale * s } else { scale * delta };
+                *l = (*l + update).clamp(-clamp, clamp);
+            }
+        };
+
         let subs = self
             .store
             .get_mut(&signal.path.customer)
             .expect("registered above");
-        for (sub_id, rgs) in subs.iter_mut() {
-            let same_sub = *sub_id == signal.path.subscription;
-            for (rg_id, lambdas) in rgs.iter_mut() {
-                let same_rg = same_sub && *rg_id == signal.path.resource_group;
-                // Scale of the update for this resource group:
-                //   same RG          -> 1      (steps 1-2)
-                //   same SU, diff RG -> ρ_S    (step 3)
-                //   diff SU          -> ρ_C    (step 4)
-                let scale = if same_rg {
-                    1.0
-                } else if same_sub {
-                    rho_s
-                } else {
-                    rho_c
-                };
-                if scale == 0.0 {
+        if rho_c == 0.0 {
+            let rgs = subs
+                .get_mut(&signal.path.subscription)
+                .expect("registered above");
+            if rho_s == 0.0 {
+                let lambdas = rgs
+                    .get_mut(&signal.path.resource_group)
+                    .expect("registered above");
+                bump(lambdas, 1.0);
+            } else {
+                for (rg_id, lambdas) in rgs.iter_mut() {
+                    let same_rg = *rg_id == signal.path.resource_group;
+                    bump(lambdas, if same_rg { 1.0 } else { rho_s });
+                }
+            }
+        } else {
+            for (sub_id, rgs) in subs.iter_mut() {
+                let same_sub = *sub_id == signal.path.subscription;
+                if same_sub && rho_s == 0.0 {
+                    let lambdas = rgs
+                        .get_mut(&signal.path.resource_group)
+                        .expect("registered above");
+                    bump(lambdas, 1.0);
                     continue;
                 }
-                touched += 1;
-                for (x, l) in lambdas.iter_mut().enumerate() {
-                    let update = if x == st { scale * s } else { scale * delta };
-                    *l = (*l + update).clamp(-clamp, clamp);
+                for (rg_id, lambdas) in rgs.iter_mut() {
+                    let same_rg = same_sub && *rg_id == signal.path.resource_group;
+                    let scale = if same_rg {
+                        1.0
+                    } else if same_sub {
+                        rho_s
+                    } else {
+                        rho_c
+                    };
+                    bump(lambdas, scale);
                 }
             }
         }
@@ -290,6 +362,18 @@ impl Personalizer {
     ) -> Sku {
         let lambda = self.lambda(path, offering);
         discretize(catalog, lambda.exp2() * stage2_capacity)
+    }
+
+    /// Iterates all registered profiles as `(path, per-stratum λ)` in
+    /// deterministic order — the flattening walk [`LambdaStore`] publishes
+    /// from.
+    pub(crate) fn iter_profiles(&self) -> impl Iterator<Item = (ResourcePath, StratLambdas)> + '_ {
+        self.store.iter().flat_map(|(cu, subs)| {
+            subs.iter().flat_map(move |(su, rgs)| {
+                rgs.iter()
+                    .map(move |(rg, lambdas)| (ResourcePath::new(*cu, *su, *rg), *lambdas))
+            })
+        })
     }
 
     /// Iterates all registered `(path, offering, λ)` entries in

@@ -1,0 +1,413 @@
+//! The satisfaction-signal write-ahead log.
+//!
+//! A published λ snapshot lives in memory; the signals that produced it
+//! must survive a crash. [`SignalWal`] appends every accepted signal as a
+//! CRC-framed record *before* it is applied, and replays the log on
+//! startup so a restarted server rebuilds exactly the λ state it lost.
+//!
+//! Each record is framed independently (unlike the whole-file snapshot
+//! frames of [`store::durability`](crate::store::durability), the WAL
+//! grows by appending):
+//!
+//! ```text
+//! [4 magic "LSIG"] [4 payload len u32 LE] [4 payload CRC32C u32 LE] [payload]
+//! ```
+//!
+//! The payload is the signal's JSON. Appends are `write_all` + `fsync`
+//! under [`retry_with_backoff`], so transient I/O failures retry and
+//! permanent ones surface. A crash mid-append leaves a torn final record;
+//! replay verifies each frame's CRC, keeps every intact prefix record,
+//! truncates the torn tail, and reports how many bytes were dropped —
+//! mirroring the newest-first fallback discipline of the durable store.
+//! The `personalizer.wal.append` fail point injects torn appends, bit
+//! flips, and transient errors under the `fault-injection` feature.
+
+use super::SatisfactionSignal;
+use crate::obs;
+use crate::retry::{is_transient_io, retry_with_backoff, RetryPolicy};
+use crate::store::durability::crc32c;
+use crate::store::StoreError;
+use lorentz_fault::fail_point;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame magic for one WAL record.
+const MAGIC: [u8; 4] = *b"LSIG";
+/// Fixed bytes before each record's payload.
+const HEADER_LEN: usize = 12;
+/// Upper bound on a record payload — a signal is tens of bytes, so a
+/// larger declared length means the header itself is corrupt.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// What [`SignalWal::open`] recovered from an existing log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecovery {
+    /// Every intact signal, in append order — apply these before serving.
+    pub signals: Vec<SatisfactionSignal>,
+    /// Bytes discarded from a torn final record (0 for a clean log).
+    pub torn_tail_bytes: usize,
+}
+
+/// An append-only, CRC-framed log of satisfaction signals.
+pub struct SignalWal {
+    path: PathBuf,
+    file: File,
+    retry: RetryPolicy,
+}
+
+impl std::fmt::Debug for SignalWal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignalWal")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl SignalWal {
+    /// Opens (or creates) the log at `path` with the default retry policy,
+    /// replaying every intact record and truncating a torn tail.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be opened, read, or
+    /// truncated.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalRecovery), StoreError> {
+        Self::open_with(path, RetryPolicy::default())
+    }
+
+    /// [`SignalWal::open`] with an explicit append retry policy.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be opened, read, or
+    /// truncated.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        retry: RetryPolicy,
+    ) -> Result<(Self, WalRecovery), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let io_err = |source: io::Error| StoreError::Io {
+            path: path.display().to_string(),
+            source,
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(&io_err)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(&io_err)?;
+        let (signals, good_len) = parse_frames(&bytes);
+        let torn_tail_bytes = bytes.len() - good_len;
+        if torn_tail_bytes > 0 {
+            file.set_len(good_len as u64).map_err(&io_err)?;
+            obs::WAL_TORN_TAILS.inc();
+        }
+        file.seek(SeekFrom::Start(good_len as u64))
+            .map_err(&io_err)?;
+        obs::WAL_REPLAYED.add(signals.len() as u64);
+        Ok((
+            Self { path, file, retry },
+            WalRecovery {
+                signals,
+                torn_tail_bytes,
+            },
+        ))
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one signal durably: frame, `write_all`, `fsync`, with
+    /// transient I/O failures retried under the policy.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Serialize`] when the signal cannot be
+    /// encoded and [`StoreError::Io`] when the write fails permanently.
+    pub fn append(&mut self, signal: &SatisfactionSignal) -> Result<(), StoreError> {
+        let payload =
+            serde_json::to_string(signal).map_err(|e| StoreError::Serialize(format!("{e}")))?;
+        let frame = frame_signal(payload.as_bytes());
+        let policy = self.retry;
+        retry_with_backoff(&policy, is_transient_io, |_| self.append_once(&frame)).map_err(
+            |source| StoreError::Io {
+                path: self.path.display().to_string(),
+                source,
+            },
+        )?;
+        obs::WAL_APPENDS.inc();
+        Ok(())
+    }
+
+    fn append_once(&mut self, frame: &[u8]) -> io::Result<()> {
+        fail_point!("personalizer.wal.append", |action| inject_append_fault(
+            &mut self.file,
+            frame,
+            action
+        ));
+        self.file.write_all(frame)?;
+        self.file.sync_data()
+    }
+}
+
+/// Builds the framed bytes for one record payload.
+fn frame_signal(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32c(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Walks the log bytes frame by frame, returning every intact signal and
+/// the byte offset where the intact prefix ends. Any violation — short
+/// header, bad magic, oversized length, short payload, CRC mismatch, or
+/// undecodable JSON — ends the walk there: everything after it is the
+/// torn tail.
+fn parse_frames(bytes: &[u8]) -> (Vec<SatisfactionSignal>, usize) {
+    let mut signals = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= HEADER_LEN {
+        let header = &bytes[offset..offset + HEADER_LEN];
+        if header[..4] != MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let start = offset + HEADER_LEN;
+        let end = start + len as usize;
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[start..end];
+        if crc32c(payload) != crc {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(signal) = serde_json::from_str::<SatisfactionSignal>(text) else {
+            break;
+        };
+        signals.push(signal);
+        offset = end;
+    }
+    (signals, offset)
+}
+
+/// Interprets a fired `personalizer.wal.append` action: `partial(FRAC)`
+/// writes that fraction of the frame and kills the process (the
+/// kill-mid-append scenario), `flip(BIT)` commits a corrupted frame as if
+/// it succeeded, `error`/`interrupted` surface as permanent/transient I/O
+/// errors.
+#[cfg(feature = "fault-injection")]
+fn inject_append_fault(
+    file: &mut File,
+    frame: &[u8],
+    action: lorentz_fault::FailAction,
+) -> io::Result<()> {
+    use lorentz_fault::FailAction;
+    match action {
+        FailAction::Panic => panic!("fail point 'personalizer.wal.append' injected a panic"),
+        FailAction::Abort => std::process::abort(),
+        FailAction::Partial(frac) => {
+            let keep = ((frame.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
+            let _ = file.write_all(&frame[..keep]);
+            let _ = file.sync_data();
+            std::process::abort();
+        }
+        FailAction::FlipBit(bit) => {
+            let mut corrupt = frame.to_vec();
+            let bit = (bit as usize) % (corrupt.len() * 8);
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            file.write_all(&corrupt)?;
+            file.sync_data()
+        }
+        FailAction::Error => Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "injected permanent WAL error",
+        )),
+        FailAction::Interrupted => Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "injected transient WAL error",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorentz_types::{
+        CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
+    };
+
+    fn signal(c: u32, gamma: f64) -> SatisfactionSignal {
+        SatisfactionSignal::new(
+            ResourcePath::new(CustomerId(c), SubscriptionId(1), ResourceGroupId(1)),
+            ServerOffering::GeneralPurpose,
+            gamma,
+        )
+        .unwrap()
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lorentz-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_replay_round_trips() {
+        let dir = tmp_dir("round-trip");
+        let path = dir.join("signals.wal");
+        let signals = vec![signal(1, 1.0), signal(2, -0.5), signal(3, 0.25)];
+        {
+            let (mut wal, recovery) = SignalWal::open(&path).unwrap();
+            assert!(recovery.signals.is_empty());
+            assert_eq!(recovery.torn_tail_bytes, 0);
+            for s in &signals {
+                wal.append(s).unwrap();
+            }
+        }
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, signals);
+        assert_eq!(recovery.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmp_dir("torn-tail");
+        let path = dir.join("signals.wal");
+        {
+            let (mut wal, _) = SignalWal::open(&path).unwrap();
+            wal.append(&signal(1, 1.0)).unwrap();
+            wal.append(&signal(2, -1.0)).unwrap();
+        }
+        // Tear the final record in half, as a kill mid-append would.
+        let bytes = std::fs::read(&path).unwrap();
+        let torn_at = bytes.len() - 7;
+        std::fs::write(&path, &bytes[..torn_at]).unwrap();
+
+        let (mut wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
+        assert!(recovery.torn_tail_bytes > 0);
+        // The tail was truncated, so new appends land on a clean boundary.
+        wal.append(&signal(3, 0.5)).unwrap();
+        drop(wal);
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, vec![signal(1, 1.0), signal(3, 0.5)]);
+        assert_eq!(recovery.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_crc_ends_the_replay() {
+        let dir = tmp_dir("bad-crc");
+        let path = dir.join("signals.wal");
+        {
+            let (mut wal, _) = SignalWal::open(&path).unwrap();
+            wal.append(&signal(1, 1.0)).unwrap();
+            wal.append(&signal(2, 1.0)).unwrap();
+        }
+        // Flip a bit in the second record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
+        assert!(recovery.torn_tail_bytes > 0);
+    }
+
+    #[test]
+    fn garbage_file_recovers_to_empty() {
+        let dir = tmp_dir("garbage");
+        let path = dir.join("signals.wal");
+        std::fs::write(&path, b"not a wal at all, definitely long enough").unwrap();
+        let (mut wal, recovery) = SignalWal::open(&path).unwrap();
+        assert!(recovery.signals.is_empty());
+        assert!(recovery.torn_tail_bytes > 0);
+        wal.append(&signal(4, 1.0)).unwrap();
+        drop(wal);
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, vec![signal(4, 1.0)]);
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let dir = tmp_dir("oversized");
+        let path = dir.join("signals.wal");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(b"xxxx");
+        std::fs::write(&path, &frame).unwrap();
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert!(recovery.signals.is_empty());
+        assert_eq!(recovery.torn_tail_bytes, frame.len());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_append_faults_are_retried() {
+        let dir = tmp_dir("retry");
+        let path = dir.join("signals.wal");
+        lorentz_fault::registry().configure(
+            "personalizer.wal.append",
+            lorentz_fault::Trigger::Once,
+            lorentz_fault::FailAction::Interrupted,
+        );
+        let (mut wal, _) = SignalWal::open(&path).unwrap();
+        wal.append(&signal(1, 1.0)).unwrap();
+        lorentz_fault::registry().clear();
+        drop(wal);
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn permanent_append_faults_surface() {
+        let dir = tmp_dir("permanent");
+        let path = dir.join("signals.wal");
+        lorentz_fault::registry().configure(
+            "personalizer.wal.append",
+            lorentz_fault::Trigger::Always,
+            lorentz_fault::FailAction::Error,
+        );
+        let (mut wal, _) = SignalWal::open(&path).unwrap();
+        let err = wal.append(&signal(1, 1.0)).unwrap_err();
+        lorentz_fault::registry().clear();
+        assert!(matches!(err, StoreError::Io { .. }));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn flipped_bit_appends_are_caught_on_replay() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("signals.wal");
+        {
+            let (mut wal, _) = SignalWal::open(&path).unwrap();
+            wal.append(&signal(1, 1.0)).unwrap();
+            lorentz_fault::registry().configure(
+                "personalizer.wal.append",
+                lorentz_fault::Trigger::Once,
+                lorentz_fault::FailAction::FlipBit(100),
+            );
+            wal.append(&signal(2, 1.0)).unwrap();
+            lorentz_fault::registry().clear();
+        }
+        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
+        assert!(recovery.torn_tail_bytes > 0);
+    }
+}

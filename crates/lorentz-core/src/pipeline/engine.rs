@@ -17,10 +17,18 @@
 //! the concurrent serving engine serves from a hot-swapped
 //! [`SharedPredictionStore`](crate::store::SharedPredictionStore) snapshot
 //! while reusing the deployment's schema, hierarchy, and personalizer.
+//!
+//! Both engines can likewise be pointed at a live
+//! [`LambdaSnapshot`](crate::personalizer::LambdaSnapshot)
+//! ([`LiveModel::with_lambdas`] / [`StoreOnly::with_lambdas`]): the Stage-3
+//! adjustment then reads λ from that published snapshot instead of the
+//! deployment's frozen batch personalizer, which is how online feedback
+//! shifts recommendations mid-serve without a model reload.
 
 use super::{ModelKind, RecommendRequest, TrainedLorentz};
 use crate::explain::{Explanation, Recommendation};
 use crate::obs;
+use crate::personalizer::LambdaSnapshot;
 use crate::store::PredictionStore;
 use lorentz_types::{FeatureId, LorentzError, ProfileVector, ValueId};
 
@@ -54,12 +62,31 @@ pub trait RecommendEngine {
 pub struct LiveModel<'a> {
     deployment: &'a TrainedLorentz,
     kind: ModelKind,
+    lambdas: Option<&'a LambdaSnapshot>,
 }
 
 impl<'a> LiveModel<'a> {
     /// An engine over `deployment`'s live `kind` model.
     pub fn new(deployment: &'a TrainedLorentz, kind: ModelKind) -> Self {
-        Self { deployment, kind }
+        Self {
+            deployment,
+            kind,
+            lambdas: None,
+        }
+    }
+
+    /// An engine whose Stage-3 adjustment reads λ from a live published
+    /// snapshot instead of the deployment's batch personalizer.
+    pub fn with_lambdas(
+        deployment: &'a TrainedLorentz,
+        kind: ModelKind,
+        lambdas: &'a LambdaSnapshot,
+    ) -> Self {
+        Self {
+            deployment,
+            kind,
+            lambdas: Some(lambdas),
+        }
     }
 
     /// Which Stage-2 model this engine serves through.
@@ -81,7 +108,10 @@ impl RecommendEngine for LiveModel<'_> {
             .deployment
             .profiles
             .encode_row(&request.profile)
-            .and_then(|x| self.deployment.recommend_encoded(&x, request, self.kind));
+            .and_then(|x| {
+                self.deployment
+                    .recommend_encoded(&x, request, self.kind, self.lambdas)
+            });
         if result.is_err() {
             obs::RECOMMEND_ERRORS.inc();
         }
@@ -104,7 +134,7 @@ impl RecommendEngine for LiveModel<'_> {
                     .profiles
                     .encode_row_into(&request.profile, &mut scratch)?;
                 self.deployment
-                    .recommend_encoded(&scratch, request, self.kind)
+                    .recommend_encoded(&scratch, request, self.kind, self.lambdas)
             })
             .collect();
         obs::RECOMMEND_BATCHES.inc();
@@ -122,6 +152,7 @@ impl RecommendEngine for LiveModel<'_> {
 pub struct StoreOnly<'a> {
     deployment: &'a TrainedLorentz,
     store: &'a PredictionStore,
+    lambdas: Option<&'a LambdaSnapshot>,
 }
 
 impl<'a> StoreOnly<'a> {
@@ -131,6 +162,7 @@ impl<'a> StoreOnly<'a> {
         Self {
             deployment,
             store: &deployment.store,
+            lambdas: None,
         }
     }
 
@@ -139,7 +171,36 @@ impl<'a> StoreOnly<'a> {
     /// after a re-publish — still using `deployment`'s schema, hierarchy
     /// chain, and personalizer to interpret requests.
     pub fn with_store(deployment: &'a TrainedLorentz, store: &'a PredictionStore) -> Self {
-        Self { deployment, store }
+        Self {
+            deployment,
+            store,
+            lambdas: None,
+        }
+    }
+
+    /// An engine whose Stage-3 adjustment reads λ from a live published
+    /// snapshot instead of the deployment's batch personalizer.
+    pub fn with_lambdas(deployment: &'a TrainedLorentz, lambdas: &'a LambdaSnapshot) -> Self {
+        Self {
+            deployment,
+            store: &deployment.store,
+            lambdas: Some(lambdas),
+        }
+    }
+
+    /// An engine over both an external store snapshot and a live λ
+    /// snapshot — the mid-serve combination the concurrent serving engine
+    /// uses after hot-swapping either side.
+    pub fn with_store_and_lambdas(
+        deployment: &'a TrainedLorentz,
+        store: &'a PredictionStore,
+        lambdas: &'a LambdaSnapshot,
+    ) -> Self {
+        Self {
+            deployment,
+            store,
+            lambdas: Some(lambdas),
+        }
     }
 
     /// The store-serving core: probe levels into `levels`, look up,
@@ -159,7 +220,7 @@ impl<'a> StoreOnly<'a> {
         }
         let (stage2_capacity, explanation) = lookup?;
         self.deployment
-            .personalize(stage2_capacity, explanation, request)
+            .personalize(stage2_capacity, explanation, request, self.lambdas)
     }
 }
 

@@ -23,7 +23,7 @@ use crate::config::LorentzConfig;
 use crate::explain::Recommendation;
 use crate::fleet::FleetDataset;
 use crate::personalizer::signals::{classify_ticket, CriTicket};
-use crate::personalizer::{Personalizer, SatisfactionSignal};
+use crate::personalizer::{LambdaSnapshot, Personalizer, SatisfactionSignal};
 use crate::provisioner::{HierarchicalProvisioner, Provisioner, TargetEncodingProvisioner};
 use crate::rightsizer::{RightsizeOutcome, Rightsizer};
 use crate::store::PredictionStore;
@@ -313,18 +313,28 @@ impl TrainedLorentz {
 
     /// Applies the Stage-3 λ adjustment (Eq. 13) to a Stage-2 capacity and
     /// assembles the final recommendation. Both the single and the batched
-    /// serving paths end here, which keeps their outputs identical.
+    /// serving paths end here, which keeps their outputs identical. When
+    /// `lambdas` is set, λ comes from that live published snapshot instead
+    /// of the frozen batch personalizer (the online-feedback path).
     fn personalize(
         &self,
         stage2_capacity: f64,
         explanation: crate::explain::Explanation,
         request: &RecommendRequest<'_>,
+        lambdas: Option<&LambdaSnapshot>,
     ) -> Result<Recommendation, LorentzError> {
-        let lambda = self.personalizer.lambda(&request.path, request.offering);
         let catalog = self.catalog(request.offering)?;
-        let sku =
-            self.personalizer
-                .adjust(stage2_capacity, &request.path, request.offering, catalog);
+        let (lambda, sku) = match lambdas {
+            Some(snapshot) => (
+                snapshot.lambda(&request.path, request.offering),
+                snapshot.adjust(stage2_capacity, &request.path, request.offering, catalog),
+            ),
+            None => (
+                self.personalizer.lambda(&request.path, request.offering),
+                self.personalizer
+                    .adjust(stage2_capacity, &request.path, request.offering, catalog),
+            ),
+        };
         Ok(Recommendation {
             sku,
             stage2_capacity,
@@ -339,10 +349,11 @@ impl TrainedLorentz {
         x: &ProfileVector,
         request: &RecommendRequest<'_>,
         kind: ModelKind,
+        lambdas: Option<&LambdaSnapshot>,
     ) -> Result<Recommendation, LorentzError> {
         let provisioner = self.provisioner(request.offering, kind)?;
         let (stage2_sku, explanation) = provisioner.recommend(x)?;
-        self.personalize(stage2_sku.capacity.primary(), explanation, request)
+        self.personalize(stage2_sku.capacity.primary(), explanation, request, lambdas)
     }
 
     /// The live-model serving engine over this deployment — the
@@ -362,6 +373,23 @@ impl TrainedLorentz {
     /// requests with this deployment's schema, hierarchy, and personalizer.
     pub fn store_engine_with<'a>(&'a self, store: &'a PredictionStore) -> StoreOnly<'a> {
         StoreOnly::with_store(self, store)
+    }
+
+    /// A live-model engine whose Stage-3 adjustment reads λ from a
+    /// published [`LambdaSnapshot`] instead of this deployment's frozen
+    /// batch personalizer — the online-feedback serving path.
+    pub fn live_engine_with_lambdas<'a>(
+        &'a self,
+        kind: ModelKind,
+        lambdas: &'a LambdaSnapshot,
+    ) -> LiveModel<'a> {
+        LiveModel::with_lambdas(self, kind, lambdas)
+    }
+
+    /// A store-backed engine reading λ from a published [`LambdaSnapshot`]
+    /// (over this deployment's own prediction store).
+    pub fn store_engine_with_lambdas<'a>(&'a self, lambdas: &'a LambdaSnapshot) -> StoreOnly<'a> {
+        StoreOnly::with_lambdas(self, lambdas)
     }
 
     /// Serves a recommendation through a live Stage-2 model, then applies
@@ -726,6 +754,55 @@ mod tests {
         assert!(after.lambda > 0.0);
         assert!(after.sku.capacity.primary() > 16.0);
         assert_eq!(after.stage2_capacity, 16.0, "stage-2 output unchanged");
+    }
+
+    #[test]
+    fn lambda_snapshot_overrides_batch_personalizer() {
+        use crate::personalizer::LambdaStore;
+        let t = trained();
+        let p = path(1);
+        let req = RecommendRequest {
+            profile: vec![Some("i1"), None],
+            offering: ServerOffering::GeneralPurpose,
+            path: p,
+        };
+
+        // Feedback flows into a live λ store seeded from the deployment;
+        // the deployment's own personalizer stays frozen.
+        let store = LambdaStore::new(t.personalizer().clone());
+        let sig = SatisfactionSignal::new(p, ServerOffering::GeneralPurpose, 1.0).unwrap();
+        for _ in 0..5 {
+            store.apply_signal(&sig);
+        }
+        store.publish();
+        let snap = store.snapshot();
+
+        let frozen = t.recommend(&req, ModelKind::Hierarchical).unwrap();
+        assert_eq!(frozen.lambda, 0.0);
+        assert_eq!(frozen.sku.capacity.primary(), 16.0);
+
+        let live = t
+            .live_engine_with_lambdas(ModelKind::Hierarchical, &snap)
+            .recommend_one(&req)
+            .unwrap();
+        assert!(live.lambda > 0.0);
+        assert!(live.sku.capacity.primary() > 16.0);
+        assert_eq!(live.stage2_capacity, 16.0, "stage-2 output unchanged");
+
+        // The store-backed engine applies the same live λ.
+        let stored = t
+            .store_engine_with_lambdas(&snap)
+            .recommend_one(&req)
+            .unwrap();
+        assert_eq!(stored.sku.capacity, live.sku.capacity);
+        assert_eq!(stored.lambda, live.lambda);
+
+        // Batched serving with the same snapshot matches single-shot.
+        let reqs = vec![req];
+        let batched = t
+            .live_engine_with_lambdas(ModelKind::Hierarchical, &snap)
+            .recommend_many(&reqs);
+        assert_eq!(batched[0].as_ref().unwrap(), &live);
     }
 
     #[test]

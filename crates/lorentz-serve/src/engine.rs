@@ -4,12 +4,17 @@ use crate::types::{
     EngineError, EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };
 use lorentz_core::obs;
+use lorentz_core::personalizer::{LambdaSnapshot, LambdaStore};
 use lorentz_core::store::PublishBatch;
-use lorentz_core::{RecommendEngine, RecommendRequest, SharedPredictionStore, TrainedLorentz};
+use lorentz_core::{
+    RecommendEngine, RecommendRequest, SatisfactionSignal, SharedPredictionStore, SignalWal,
+    StoreOnly, TrainedLorentz,
+};
 use lorentz_fault::fail_point;
 use lorentz_types::LorentzError;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -23,11 +28,23 @@ struct Job {
     degraded: bool,
 }
 
-/// Mutex-guarded engine state: the bounded queue, the intake flag, and the
-/// request ledger.
+/// One message on the λ-writer's channel.
+enum FeedbackMsg {
+    /// Apply (and WAL-append) one satisfaction signal, then publish.
+    Signal(SatisfactionSignal),
+    /// Barrier: acknowledged only after every earlier signal on the
+    /// channel has been applied and published.
+    Flush(Sender<()>),
+}
+
+/// Mutex-guarded engine state: the bounded queue, the intake flag, the
+/// feedback intake handle, and the request ledger.
 struct State {
     queue: VecDeque<Job>,
     intake_open: bool,
+    /// Feedback intake: present while the engine accepts signals, taken
+    /// (and thereby closed) by shutdown so the λ-writer drains and exits.
+    feedback_tx: Option<Sender<FeedbackMsg>>,
     stats: EngineStats,
 }
 
@@ -46,12 +63,18 @@ struct Shared {
     /// startup, re-published through [`ServingEngine::publish`] with zero
     /// reader downtime.
     store: SharedPredictionStore,
+    /// The live λ-table: seeded from the deployment's batch personalizer,
+    /// advanced by the λ-writer as feedback arrives, read by every worker
+    /// through a per-request snapshot.
+    lambdas: LambdaStore,
     config: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
     /// Live worker handles. Replacement workers spawned by the supervisor
     /// land here too, so shutdown joins everything ever spawned.
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The λ-writer thread, joined at shutdown after its channel closes.
+    feedback_worker: Mutex<Option<JoinHandle<()>>>,
     supervisor: Mutex<Supervisor>,
 }
 
@@ -92,19 +115,59 @@ impl ServingEngine {
         deployment: Arc<TrainedLorentz>,
         config: ServeConfig,
     ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
+        Self::start_inner(deployment, config, None)
+    }
+
+    /// Like [`ServingEngine::start`], but with feedback durability: every
+    /// accepted satisfaction signal is appended to the CRC-framed WAL at
+    /// `wal_path` before it is applied, and signals already in the WAL
+    /// (e.g. from a run that was killed mid-stream) are replayed into the
+    /// λ-table before the first worker starts, so a restart resumes from
+    /// the last durable signal rather than the batch-trained λ.
+    ///
+    /// # Errors
+    /// [`EngineError::Wal`] when the WAL cannot be opened or replayed;
+    /// [`EngineError::SpawnFailed`] as for [`ServingEngine::start`].
+    pub fn start_with_wal(
+        deployment: Arc<TrainedLorentz>,
+        config: ServeConfig,
+        wal_path: impl AsRef<Path>,
+    ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
+        let (wal, recovery) = SignalWal::open(wal_path)?;
+        Self::start_inner(deployment, config, Some((wal, recovery.signals)))
+    }
+
+    fn start_inner(
+        deployment: Arc<TrainedLorentz>,
+        config: ServeConfig,
+        wal: Option<(SignalWal, Vec<SatisfactionSignal>)>,
+    ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
         let (tx, rx) = channel();
+        let (feedback_tx, feedback_rx) = channel();
         let worker_count = config.workers.max(1);
+        let lambdas = LambdaStore::new(deployment.personalizer().clone());
+        let (wal, recovered) = match wal {
+            Some((wal, signals)) => (Some(wal), signals),
+            None => (None, Vec::new()),
+        };
+        if !recovered.is_empty() {
+            lambdas.apply_signals(&recovered);
+            lambdas.publish();
+        }
         let shared = Arc::new(Shared {
             store: SharedPredictionStore::from_store(deployment.store().clone()),
+            lambdas,
             deployment,
             config,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 intake_open: true,
+                feedback_tx: Some(feedback_tx),
                 stats: EngineStats::default(),
             }),
             work: Condvar::new(),
             workers: Mutex::new(Vec::with_capacity(worker_count)),
+            feedback_worker: Mutex::new(None),
             supervisor: Mutex::new(Supervisor {
                 restarts_used: 0,
                 next_id: worker_count,
@@ -113,6 +176,20 @@ impl ServingEngine {
         let engine = Self {
             shared: Arc::clone(&shared),
         };
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lorentz-serve-lambda".to_string())
+                .spawn(move || feedback_loop(&shared, &feedback_rx, wal))
+                .map_err(|source| EngineError::SpawnFailed {
+                    name: "lorentz-serve-lambda".to_string(),
+                    source,
+                })?
+        };
+        *shared
+            .feedback_worker
+            .lock()
+            .expect("engine feedback worker poisoned") = Some(writer);
         for i in 0..worker_count {
             match spawn_worker(&shared, &tx, i, Duration::ZERO) {
                 Ok(handle) => shared
@@ -186,6 +263,56 @@ impl ServingEngine {
         Ok(())
     }
 
+    /// Offers one satisfaction signal to the λ-writer. Admission mirrors
+    /// [`ServingEngine::submit`]: a draining engine rejects the signal,
+    /// otherwise it is queued for the dedicated writer thread, which
+    /// appends it to the WAL (when configured), applies the
+    /// message-propagation round, and hot-publishes a fresh λ snapshot —
+    /// all without pausing the worker pool. Subsequent recommendations for
+    /// the affected paths shift by `2^λ` with no model reload.
+    ///
+    /// # Errors
+    /// [`ServeError::Draining`] after [`ServingEngine::drain`] has begun.
+    pub fn submit_feedback(&self, signal: SatisfactionSignal) -> Result<(), ServeError> {
+        let mut state = self.shared.state.lock().expect("engine state poisoned");
+        let Some(tx) = state.feedback_tx.as_ref().filter(|_| state.intake_open) else {
+            return Err(ServeError::Draining);
+        };
+        // The send cannot fail while we hold the state lock: the λ-writer
+        // only exits after shutdown takes `feedback_tx` under this lock.
+        tx.send(FeedbackMsg::Signal(signal))
+            .expect("lambda writer exited while intake open");
+        state.stats.feedback_accepted += 1;
+        obs::ENGINE_FEEDBACK_ACCEPTED.inc();
+        Ok(())
+    }
+
+    /// Barrier: returns once every signal accepted before this call has
+    /// been applied and published. Callers that need read-your-writes
+    /// ordering (e.g. a feedback line followed by a recommend in the same
+    /// stream) flush between the two.
+    pub fn flush_feedback(&self) {
+        let tx = {
+            let state = self.shared.state.lock().expect("engine state poisoned");
+            state.feedback_tx.clone()
+        };
+        let Some(tx) = tx else { return };
+        let (ack_tx, ack_rx) = channel();
+        if tx.send(FeedbackMsg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// The current published λ snapshot (a cheap `Arc` clone).
+    pub fn lambda_snapshot(&self) -> Arc<LambdaSnapshot> {
+        self.shared.lambdas.snapshot()
+    }
+
+    /// The currently published λ snapshot version.
+    pub fn lambda_version(&self) -> u64 {
+        self.shared.lambdas.version()
+    }
+
     /// Atomically re-publishes the degraded-path store with zero reader
     /// downtime: in-flight lookups finish on their captured snapshot,
     /// subsequent lookups see the new version. Returns the new store
@@ -247,15 +374,30 @@ impl ServingEngine {
             .stats
     }
 
-    /// Closes intake, wakes every worker, and joins them — looping because
-    /// the supervisor may spawn replacements while earlier handles are
-    /// being joined. Idempotent.
+    /// Closes intake (requests and feedback), wakes every worker, joins
+    /// the λ-writer after it drains its channel, then joins the workers —
+    /// looping because the supervisor may spawn replacements while earlier
+    /// handles are being joined. Idempotent.
     fn shutdown(&self) {
-        {
+        let feedback_tx = {
             let mut state = self.shared.state.lock().expect("engine state poisoned");
             state.intake_open = false;
-        }
+            state.feedback_tx.take()
+        };
         self.shared.work.notify_all();
+        // Dropping the last sender closes the channel; the λ-writer
+        // finishes every queued signal first, so after the join the
+        // `feedback_accepted = feedback_applied` invariant holds.
+        drop(feedback_tx);
+        if let Some(writer) = self
+            .shared
+            .feedback_worker
+            .lock()
+            .expect("engine feedback worker poisoned")
+            .take()
+        {
+            let _ = writer.join();
+        }
         loop {
             let handles: Vec<JoinHandle<()>> =
                 std::mem::take(&mut *self.shared.workers.lock().expect("engine workers poisoned"));
@@ -397,6 +539,37 @@ fn worker_loop(shared: &Shared, tx: &Sender<ServeResponse>) -> WorkerExit {
     }
 }
 
+/// The λ-writer body: drains the feedback channel in order, WAL-appending
+/// (when durability is configured), applying, and hot-publishing each
+/// signal. Exits when every sender is gone — shutdown drops the intake
+/// handle only after closing admission, so nothing accepted is lost.
+fn feedback_loop(shared: &Shared, rx: &Receiver<FeedbackMsg>, mut wal: Option<SignalWal>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            FeedbackMsg::Signal(signal) => {
+                if let Some(wal) = wal.as_mut() {
+                    // A failed append loses durability for this signal but
+                    // not liveness: the signal still applies, and the
+                    // ledger still closes.
+                    let _ = wal.append(&signal);
+                }
+                shared.lambdas.apply_signal(&signal);
+                shared.lambdas.publish();
+                {
+                    let mut state = shared.state.lock().expect("engine state poisoned");
+                    state.stats.feedback_applied += 1;
+                }
+                obs::ENGINE_FEEDBACK_APPLIED.inc();
+            }
+            FeedbackMsg::Flush(ack) => {
+                // The sender may have stopped waiting; the barrier already
+                // did its job by ordering behind earlier signals.
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
 /// Extracts the human-readable message from a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -431,19 +604,20 @@ fn serve_job(shared: &Shared, job: Job) -> (ServeResponse, bool) {
             offering: request.offering,
             path: request.path,
         };
+        // Pin one λ snapshot for the whole request: a feedback publish
+        // landing mid-serve changes later requests, never this one.
+        let lambdas = shared.lambdas.snapshot();
         let served = if degraded {
             // Serve from the hot-swap snapshot: the Arc clone pins one
             // consistent store version for this request, publishes land in
             // later snapshots.
             let snapshot = shared.store.snapshot();
-            shared
-                .deployment
-                .store_engine_with(&snapshot)
+            StoreOnly::with_store_and_lambdas(&shared.deployment, &snapshot, &lambdas)
                 .recommend_one(&borrowed)
         } else {
             shared
                 .deployment
-                .live_engine(shared.config.kind)
+                .live_engine_with_lambdas(shared.config.kind, &lambdas)
                 .recommend_one(&borrowed)
         };
         served.map_err(ServeError::Recommend)

@@ -32,6 +32,16 @@
 //!   poison-pill request cannot empty the pool. Engine construction itself
 //!   no longer panics: [`ServingEngine::start`] returns
 //!   [`EngineError::SpawnFailed`] when the OS refuses a thread.
+//! * **Online feedback** — [`ServingEngine::submit_feedback`] routes
+//!   satisfaction signals to a dedicated λ-writer thread that applies the
+//!   Stage-3 message-propagation round off to the side and hot-publishes a
+//!   fresh [`LambdaSnapshot`](lorentz_core::LambdaSnapshot); workers pin
+//!   one snapshot per request, so the next recommendation for an affected
+//!   path shifts by `2^λ` with no model reload and no torn reads. With
+//!   [`ServingEngine::start_with_wal`] every accepted signal is appended
+//!   to a CRC-framed WAL before it applies and is replayed on restart, so
+//!   learned λ survives a crash. The drain ledger extends to
+//!   `feedback_accepted = feedback_applied`.
 //!
 //! All of it threads through the process-wide `lorentz_core::obs` metrics
 //! (`engine.*` counters, queue-depth gauge, end-to-end latency histogram),

@@ -125,12 +125,23 @@ pub enum EngineError {
         /// The OS error.
         source: std::io::Error,
     },
+    /// The feedback WAL could not be opened or replayed at startup.
+    #[error("feedback WAL failed: {0}")]
+    Wal(lorentz_core::StoreError),
+}
+
+impl From<lorentz_core::StoreError> for EngineError {
+    fn from(source: lorentz_core::StoreError) -> Self {
+        Self::Wal(source)
+    }
 }
 
 /// The engine's request ledger. After [`drain`](crate::ServingEngine::drain)
-/// the invariants hold exactly: `submitted = accepted + rejected` and
-/// `accepted = answered` — every accepted request is answered exactly once,
-/// every offered request is accounted for.
+/// the invariants hold exactly: `submitted = accepted + rejected`,
+/// `accepted = answered`, and `feedback_accepted = feedback_applied` —
+/// every accepted request is answered exactly once, every offered request
+/// is accounted for, and every accepted feedback signal has been applied
+/// and published.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Requests offered to [`submit`](crate::ServingEngine::submit).
@@ -148,4 +159,10 @@ pub struct EngineStats {
     /// Requests whose handler panicked; each was still answered (with
     /// [`ServeError::Panicked`]), so `panicked ⊆ answered`.
     pub panicked: u64,
+    /// Satisfaction signals admitted by
+    /// [`submit_feedback`](crate::ServingEngine::submit_feedback).
+    pub feedback_accepted: u64,
+    /// Satisfaction signals the λ-writer has applied and published. Catches
+    /// up to `feedback_accepted` once the engine drains.
+    pub feedback_applied: u64,
 }

@@ -13,6 +13,8 @@
 //!   profile data with per-column value interning;
 //! * [`StoreKey`] / [`ValueId`] — typed, `u64`-packable prediction-store
 //!   keys over interned profile values;
+//! * [`PathKey`] — the `u128`-packable personalization-store key over a
+//!   [`ResourcePath`];
 //! * [`LorentzError`] — the shared error type.
 //!
 //! The types follow §2 of the paper: Azure PostgreSQL DB (flexible server)
@@ -28,6 +30,7 @@ pub mod capacity;
 pub mod error;
 pub mod ids;
 pub mod offering;
+pub mod pathkey;
 pub mod profile;
 pub mod resource;
 pub mod sku;
@@ -37,6 +40,7 @@ pub use capacity::Capacity;
 pub use error::{LorentzError, StoreCorruption};
 pub use ids::{CustomerId, ResourceGroupId, ResourcePath, ServerId, SubscriptionId};
 pub use offering::ServerOffering;
+pub use pathkey::PathKey;
 pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};
 pub use resource::{ResourceKind, ResourceSpace};
 pub use sku::{Sku, SkuCatalog};

@@ -108,12 +108,40 @@ impl ProfileSchema {
     }
 }
 
+/// FNV-1a 64-bit: a deterministic string hash for the vocabulary index,
+/// so index layout (and any diagnostics derived from it) never depends on
+/// `RandomState` seeding.
+fn fnv1a(value: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in value.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One hash bucket of the vocabulary index. Almost every bucket holds one
+/// id; genuine 64-bit collisions spill into a vector and are resolved by
+/// comparing against the interned string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IndexSlot {
+    /// The common case: exactly one value id hashes here.
+    One(u32),
+    /// Colliding value ids, resolved by string comparison on lookup.
+    Many(Vec<u32>),
+}
+
 /// Per-feature string-value interner.
+///
+/// Each string is stored exactly once, in `values`; the lookup index maps
+/// a deterministic 64-bit hash to value ids and resolves collisions
+/// against `values`, so neither [`Vocab::intern`] nor
+/// [`Vocab::rebuild_index`] ever duplicates the interned strings.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Vocab {
     values: Vec<String>,
     #[serde(skip)]
-    index: HashMap<String, u32>,
+    index: HashMap<u64, IndexSlot>,
 }
 
 impl Vocab {
@@ -124,18 +152,45 @@ impl Vocab {
 
     /// Interns `value`, returning its id (existing or fresh).
     pub fn intern(&mut self, value: &str) -> u32 {
-        if let Some(&id) = self.index.get(value) {
+        let hash = fnv1a(value);
+        if let Some(id) = self.lookup_hashed(hash, value) {
             return id;
         }
         let id = u32::try_from(self.values.len()).expect("vocab exceeds u32 ids");
         self.values.push(value.to_owned());
-        self.index.insert(value.to_owned(), id);
+        self.insert_hashed(hash, id);
         id
     }
 
     /// Looks up the id of a known value without interning.
     pub fn get(&self, value: &str) -> Option<u32> {
-        self.index.get(value).copied()
+        self.lookup_hashed(fnv1a(value), value)
+    }
+
+    fn lookup_hashed(&self, hash: u64, value: &str) -> Option<u32> {
+        match self.index.get(&hash)? {
+            IndexSlot::One(id) if self.values[*id as usize] == value => Some(*id),
+            IndexSlot::One(_) => None,
+            IndexSlot::Many(ids) => ids
+                .iter()
+                .copied()
+                .find(|&id| self.values[id as usize] == value),
+        }
+    }
+
+    fn insert_hashed(&mut self, hash: u64, id: u32) {
+        match self.index.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(IndexSlot::One(id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => match slot.get_mut() {
+                IndexSlot::One(existing) => {
+                    let existing = *existing;
+                    *slot.get_mut() = IndexSlot::Many(vec![existing, id]);
+                }
+                IndexSlot::Many(ids) => ids.push(id),
+            },
+        }
     }
 
     /// The string for a value id.
@@ -154,14 +209,36 @@ impl Vocab {
     }
 
     /// Rebuilds the lookup index (needed after deserialization, since the
-    /// index is derived state and skipped by serde).
+    /// index is derived state and skipped by serde). Hashes each interned
+    /// string in place — no value is cloned.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), i as u32))
-            .collect();
+        self.index = HashMap::with_capacity(self.values.len());
+        for i in 0..self.values.len() {
+            let hash = fnv1a(&self.values[i]);
+            self.insert_hashed(hash, i as u32);
+        }
+    }
+
+    /// Heap bytes held by the lookup index itself (buckets plus collision
+    /// vectors). The index stores only hashes and ids — never string data —
+    /// so this stays a small constant per value regardless of how long the
+    /// interned strings are.
+    pub fn index_heap_bytes(&self) -> usize {
+        let bucket = std::mem::size_of::<(u64, IndexSlot)>();
+        let spill: usize = self
+            .index
+            .values()
+            .map(|slot| match slot {
+                IndexSlot::One(_) => 0,
+                IndexSlot::Many(ids) => ids.capacity() * std::mem::size_of::<u32>(),
+            })
+            .sum();
+        self.index.capacity() * bucket + spill
+    }
+
+    /// Heap bytes held by the interned strings.
+    pub fn value_heap_bytes(&self) -> usize {
+        self.values.iter().map(|v| v.capacity()).sum()
     }
 }
 
@@ -540,5 +617,48 @@ mod tests {
         back.rebuild_index();
         assert_eq!(back.get("a"), Some(0));
         assert_eq!(back.get("b"), Some(1));
+    }
+
+    #[test]
+    fn vocab_index_never_duplicates_string_storage() {
+        // Regression: `intern` used to clone each value into a
+        // String-keyed index (and `rebuild_index` cloned every value
+        // again), doubling vocabulary memory. The hashed index must stay
+        // a small constant per value no matter how long the strings are.
+        let mut v = Vocab::new();
+        for i in 0..1000 {
+            v.intern(&format!("{i:-<1024}"));
+        }
+        let strings = v.value_heap_bytes();
+        assert!(strings >= 1000 * 1024);
+        let interned_index = v.index_heap_bytes();
+        assert!(
+            interned_index < strings / 8,
+            "index holds {interned_index} bytes against {strings} bytes of strings"
+        );
+        // Rebuilding (the deserialization path) must not grow the index
+        // into string territory either, and must preserve every lookup.
+        v.rebuild_index();
+        assert!(v.index_heap_bytes() < strings / 8);
+        assert_eq!(v.get(&format!("{:-<1024}", 7)), Some(7));
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn vocab_index_resolves_hash_collisions_by_string() {
+        // Force two values into one bucket (real 64-bit FNV collisions are
+        // impractical to construct) and check the spill path compares
+        // strings instead of trusting the hash.
+        let mut v = Vocab::new();
+        v.values = vec!["alpha".into(), "beta".into(), "gamma".into()];
+        v.insert_hashed(42, 0);
+        v.insert_hashed(42, 1);
+        v.insert_hashed(42, 2);
+        assert_eq!(v.lookup_hashed(42, "alpha"), Some(0));
+        assert_eq!(v.lookup_hashed(42, "beta"), Some(1));
+        assert_eq!(v.lookup_hashed(42, "gamma"), Some(2));
+        assert_eq!(v.lookup_hashed(42, "delta"), None);
+        assert_eq!(v.lookup_hashed(43, "alpha"), None);
+        assert!(v.index_heap_bytes() > 0);
     }
 }

@@ -1,11 +1,14 @@
-//! Property-based tests of Algorithm 1 (message propagation) and the λ
-//! adjustment (Eq. 13-14).
+//! Property-based tests of Algorithm 1 (message propagation), the λ
+//! adjustment (Eq. 13-14), and the live λ-table ([`LambdaStore`]) behind
+//! it.
 
-use lorentz::core::{Personalizer, PersonalizerConfig, SatisfactionSignal};
+use lorentz::core::{LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal};
 use lorentz::types::{
     CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
 };
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn path(c: u32, s: u32, r: u32) -> ResourcePath {
     ResourcePath::new(CustomerId(c), SubscriptionId(s), ResourceGroupId(r))
@@ -102,6 +105,69 @@ proptest! {
         }
     }
 
+    /// Every λ in the whole tree — origin, propagated siblings, every
+    /// stratum — stays within ±`lambda_clamp` under arbitrary interleaved
+    /// signal sequences across paths, offerings, and clamp settings.
+    #[test]
+    fn lambda_clamped_under_arbitrary_sequences(
+        clamp in 0.1f64..4.0,
+        signals in proptest::collection::vec(
+            (0usize..4, 0usize..3, gamma_strategy()),
+            1..80,
+        ),
+    ) {
+        let cfg = PersonalizerConfig { lambda_clamp: clamp, ..PersonalizerConfig::default() };
+        let mut p = Personalizer::new(cfg).unwrap();
+        let paths = [path(1, 1, 1), path(1, 1, 2), path(1, 2, 3), path(2, 1, 1)];
+        for loc in paths {
+            p.register(loc);
+        }
+        for (pi, oi, g) in signals {
+            let st = ServerOffering::ALL[oi];
+            p.apply_signal(&SatisfactionSignal::new(paths[pi], st, g).unwrap());
+            for (loc, off, l) in p.iter() {
+                prop_assert!(
+                    l.abs() <= clamp + 1e-12,
+                    "{loc} [{off}] escaped the clamp: {l} vs ±{clamp}"
+                );
+            }
+        }
+    }
+
+    /// The batched entry point is exactly the sequential one: applying a
+    /// signal vector through `apply_signals` leaves the personalizer in the
+    /// same state as one-at-a-time `apply_signal`.
+    #[test]
+    fn apply_signals_matches_sequential(
+        cfg in config_strategy(),
+        signals in proptest::collection::vec(
+            (0usize..4, 0usize..3, gamma_strategy()),
+            0..40,
+        ),
+    ) {
+        let paths = [path(1, 1, 1), path(1, 1, 2), path(1, 2, 3), path(2, 1, 1)];
+        let build = || {
+            let mut p = Personalizer::new(cfg).unwrap();
+            for loc in paths {
+                p.register(loc);
+            }
+            p
+        };
+        let sigs: Vec<SatisfactionSignal> = signals
+            .iter()
+            .map(|&(pi, oi, g)| {
+                SatisfactionSignal::new(paths[pi], ServerOffering::ALL[oi], g).unwrap()
+            })
+            .collect();
+        let mut sequential = build();
+        for s in &sigs {
+            sequential.apply_signal(s);
+        }
+        let mut batched = build();
+        batched.apply_signals(&sigs);
+        prop_assert_eq!(sequential, batched);
+    }
+
     /// Eq. 14: the adjusted capacity is the catalog point nearest
     /// 2^λ · c* in log space, and λ = 0 is the identity on catalog values.
     #[test]
@@ -123,5 +189,89 @@ proptest! {
         if lambda.abs() < 1e-12 {
             prop_assert_eq!(adjusted.capacity.primary(), c_star);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The λ-store mirror of the PR-3 torn-read store test: readers racing
+    /// a publish stream always observe one consistent snapshot. With every
+    /// decay at 1.0 each signal bumps *all* of a customer's λ values by
+    /// exactly `learning_rate`, so a torn read (some profiles updated, some
+    /// not, or strata from different rounds) shows up as unequal values;
+    /// versions and values must also be monotone across snapshots.
+    #[test]
+    fn lambda_publish_never_tears_concurrent_reads(
+        n_paths in 2usize..6,
+        n_signals in 1usize..30,
+    ) {
+        let cfg = PersonalizerConfig {
+            learning_rate: 0.25,
+            rho_stratification: 1.0,
+            rho_resource_group: 1.0,
+            rho_subscription: 1.0,
+            lambda_clamp: 50.0,
+        };
+        let mut p = Personalizer::new(cfg).unwrap();
+        let paths: Vec<ResourcePath> = (0..n_paths)
+            .map(|i| path(1, i as u32, 100 + i as u32))
+            .collect();
+        for &loc in &paths {
+            p.register(loc);
+        }
+        let store = Arc::new(LambdaStore::new(p));
+        let done = Arc::new(AtomicBool::new(false));
+        let origin = paths[0];
+        let writer = {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let sig =
+                    SatisfactionSignal::new(origin, ServerOffering::GeneralPurpose, 1.0).unwrap();
+                for _ in 0..n_signals {
+                    store.apply_signal(&sig);
+                    store.publish();
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        let step = 0.25; // learning_rate × γ, exact in binary
+        let mut last_version = 0u64;
+        let mut last_lambda = 0.0f64;
+        let mut rounds = 0usize;
+        while rounds < 2 || !done.load(Ordering::Acquire) {
+            rounds += 1;
+            let snap = store.snapshot();
+            prop_assert!(snap.version() >= last_version, "version went backwards");
+            let l0 = snap.lambda(&paths[0], ServerOffering::ALL[0]);
+            for loc in &paths {
+                for off in ServerOffering::ALL {
+                    // A torn read would mix rounds across profiles/strata.
+                    prop_assert_eq!(snap.lambda(loc, off), l0);
+                }
+            }
+            let steps = l0 / step;
+            prop_assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "λ {l0} is not a whole number of signal steps"
+            );
+            if snap.version() == last_version {
+                // Same version must mean the same λ.
+                prop_assert_eq!(l0, last_lambda);
+            } else {
+                prop_assert!(l0 >= last_lambda, "λ went backwards across versions");
+            }
+            last_version = snap.version();
+            last_lambda = l0;
+        }
+        writer.join().unwrap();
+        prop_assert_eq!(store.version(), 1 + n_signals as u64);
+        let final_snap = store.snapshot();
+        let expect = n_signals as f64 * step;
+        prop_assert_eq!(
+            final_snap.lambda(&paths[n_paths - 1], ServerOffering::MemoryOptimized),
+            expect
+        );
     }
 }

@@ -3,7 +3,9 @@
 //! backpressure, deadlines, and degraded mode.
 
 use lorentz::core::store::PublishBatch;
-use lorentz::core::{LorentzConfig, LorentzPipeline, SharedPredictionStore, TrainedLorentz};
+use lorentz::core::{
+    LorentzConfig, LorentzPipeline, SatisfactionSignal, SharedPredictionStore, TrainedLorentz,
+};
 use lorentz::serve::{ServeConfig, ServeError, ServeRequest, ServingEngine};
 use lorentz::simdata::fleet::FleetConfig;
 use lorentz::types::{
@@ -277,6 +279,122 @@ fn publish_hot_swaps_store_while_engine_serves() {
         responses.into_iter().filter(|r| r.result.is_ok()).count() as u64,
         submitted
     );
+}
+
+/// A path the trained personalizer actually registered (feedback to an
+/// unregistered customer is a no-op).
+fn registered_path(deployment: &TrainedLorentz) -> ResourcePath {
+    deployment
+        .personalizer()
+        .iter()
+        .map(|(loc, _, _)| loc)
+        .next()
+        .expect("training registers every fleet path")
+}
+
+#[test]
+fn feedback_shifts_recommendations_without_model_reload() {
+    let deployment = deployment();
+    let hot = registered_path(&deployment);
+    let (engine, responses) = ServingEngine::start(
+        Arc::clone(&deployment),
+        ServeConfig {
+            workers: 2,
+            degraded_threshold: None,
+            default_deadline: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("engine start");
+    let ask = |id| ServeRequest {
+        path: hot,
+        ..request(&deployment, id)
+    };
+
+    engine.submit(ask(0)).unwrap();
+    let before = responses.recv().expect("first answer");
+    let before = before.result.expect("recommendation succeeds");
+    assert_eq!(before.lambda, 0.0, "no feedback yet, λ must be 0");
+
+    let initial_version = engine.lambda_version();
+    let signal = SatisfactionSignal::new(hot, ServerOffering::GeneralPurpose, 1.0).unwrap();
+    for _ in 0..6 {
+        engine.submit_feedback(signal).unwrap();
+    }
+    engine.flush_feedback();
+    assert!(
+        engine.lambda_version() > initial_version,
+        "feedback must hot-publish a new λ snapshot"
+    );
+
+    engine.submit(ask(1)).unwrap();
+    let after = responses.recv().expect("second answer");
+    let after = after.result.expect("recommendation succeeds");
+    // Same deployment, same model, no reload — only λ moved, and the
+    // recommendation shifted up by 2^λ (snapped to the catalog).
+    assert!(after.lambda > 0.0, "λ did not move: {}", after.lambda);
+    assert_eq!(after.stage2_capacity, before.stage2_capacity);
+    assert!(
+        after.sku.capacity.primary() > before.sku.capacity.primary(),
+        "positive feedback must shift the SKU up: {} -> {}",
+        before.sku.capacity.primary(),
+        after.sku.capacity.primary()
+    );
+
+    let stats = engine.drain();
+    assert_eq!(stats.feedback_accepted, 6);
+    assert_eq!(stats.feedback_applied, 6, "feedback ledger must close");
+    assert_eq!(stats.answered, 2);
+}
+
+#[test]
+fn feedback_wal_replays_lambda_on_restart() {
+    let deployment = deployment();
+    let hot = registered_path(&deployment);
+    let wal_path = std::env::temp_dir().join(format!(
+        "lorentz-serve-wal-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+
+    let signal = SatisfactionSignal::new(hot, ServerOffering::GeneralPurpose, 1.0).unwrap();
+    let learned = {
+        let (engine, _responses) = ServingEngine::start_with_wal(
+            Arc::clone(&deployment),
+            ServeConfig::default(),
+            &wal_path,
+        )
+        .expect("engine start");
+        for _ in 0..4 {
+            engine.submit_feedback(signal).unwrap();
+        }
+        engine.flush_feedback();
+        let learned = engine
+            .lambda_snapshot()
+            .lambda(&hot, ServerOffering::GeneralPurpose);
+        assert!(learned > 0.0);
+        let stats = engine.drain();
+        assert_eq!(stats.feedback_accepted, 4);
+        assert_eq!(stats.feedback_applied, 4);
+        learned
+    };
+
+    // A fresh engine on the same WAL recovers the learned λ before serving
+    // anything — no feedback re-submitted, version bumped by the replay.
+    let (restarted, _responses) =
+        ServingEngine::start_with_wal(Arc::clone(&deployment), ServeConfig::default(), &wal_path)
+            .expect("engine restart");
+    assert!(restarted.lambda_version() > 1, "replay must publish");
+    assert_eq!(
+        restarted
+            .lambda_snapshot()
+            .lambda(&hot, ServerOffering::GeneralPurpose),
+        learned
+    );
+    let stats = restarted.drain();
+    assert_eq!(stats.feedback_accepted, 0);
+    let _ = std::fs::remove_file(&wal_path);
 }
 
 #[test]
