@@ -26,6 +26,23 @@ fn build_personalizer(subs: u32, rgs_per_sub: u32) -> Personalizer {
     p
 }
 
+/// A fleet where the signaling customer is small (9 profiles) and the
+/// rest of the table is filler: isolates publish cost from Algorithm-1
+/// fan-out, so any scaling left is the publish itself.
+fn build_fleet_personalizer(filler_customers: u32, rgs_per_customer: u32) -> Personalizer {
+    let mut p = build_personalizer(3, 3);
+    for cust in 0..filler_customers {
+        for r in 0..rgs_per_customer {
+            p.register(ResourcePath::new(
+                CustomerId(1000 + cust),
+                SubscriptionId(0),
+                ResourceGroupId(r),
+            ));
+        }
+    }
+    p
+}
+
 fn bench_apply_signal(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage3/apply_signal");
     for (subs, rgs) in [(3u32, 3u32), (10, 10), (50, 20), (100, 100)] {
@@ -42,6 +59,35 @@ fn bench_apply_signal(c: &mut Criterion) {
                 )
                 .unwrap();
                 b.iter(|| p.apply_signal(black_box(&signal)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Apply-then-publish for one small signal against ever-larger resident
+/// tables. Under the old full-flatten publisher this scaled with total
+/// profile count; the epoch/delta publisher keeps it flat (O(keys the
+/// signal touched), here 9).
+fn bench_signal_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage3/signal_publish");
+    for (fillers, rgs) in [(0u32, 0u32), (100, 10), (100, 100)] {
+        let total = 9 + fillers * rgs;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{total}_profiles")),
+            &(fillers, rgs),
+            |b, &(fillers, rgs)| {
+                let store = LambdaStore::new(build_fleet_personalizer(fillers, rgs));
+                let signal = SatisfactionSignal::new(
+                    ResourcePath::new(CustomerId(1), SubscriptionId(0), ResourceGroupId(0)),
+                    ServerOffering::GeneralPurpose,
+                    1.0,
+                )
+                .unwrap();
+                b.iter(|| {
+                    store.apply_signal(black_box(&signal));
+                    store.publish();
+                });
             },
         );
     }
@@ -104,6 +150,7 @@ fn bench_lambda_lookup(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_apply_signal,
+    bench_signal_publish,
     bench_adjust,
     bench_lambda_lookup
 );

@@ -10,7 +10,9 @@ use lorentz_core::{
     DurableStore, FleetDataset, LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest,
     Rightsizer, SatisfactionSignal, TrainedLorentz,
 };
-use lorentz_serve::{ServeConfig, ServeRequest, ServeResponse, ServingEngine};
+use lorentz_serve::{
+    FollowerConfig, FollowerEngine, ServeConfig, ServeRequest, ServeResponse, ServingEngine,
+};
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
 use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
 use lorentz_telemetry::generators::SamplingConfig;
@@ -57,9 +59,18 @@ USAGE:
                     (requests.ndjson: one request object per line, same fields as --batch
                      plus optional \"id\" and \"deadline_ms\"; a line carrying a \"gamma\"
                      field is a satisfaction signal instead — it updates the live λ-table
-                     before later lines serve; --feedback-wal makes signals durable and
-                     replays them on startup; answers go to stdout, the engine drains
-                     gracefully, and --metrics-out snapshots after the drain)
+                     before later lines serve; --feedback-wal makes signals durable, frames
+                     each with its published λ delta, and replays them on startup; answers
+                     go to stdout, the engine drains gracefully, and --metrics-out
+                     snapshots after the drain)
+  lorentz serve     --model model.json --requests requests.ndjson --follow wal.log
+                    [--kind hierarchical|target-encoding] [--json] [--metrics-out metrics.json]
+                    (read-only follower: catches up on the leader's WAL, applies its
+                     λ deltas, then serves the requests from the replicated epochs;
+                     feedback lines are rejected — only the leader mints epochs)
+  lorentz wal-verify --wal wal.log
+                    (walk a feedback WAL read-only, reporting per-record OK/CORRUPT
+                     verdicts like store-verify; never repairs the file)
   lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
                     (tickets.ndjson: one {\"symptoms\", \"subject\", \"resolution\",
                      \"customer\", \"subscription\", \"resource_group\", \"offering\"}
@@ -508,6 +519,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         "target-encoding" => ModelKind::TargetEncoding,
         other => return Err(CliError::Usage(format!("unknown model kind '{other}'"))),
     };
+    if let Some(wal_path) = args.get("follow") {
+        return serve_follow(args, deployment, lines, kind, wal_path);
+    }
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         workers: args.get_parse_or("workers", defaults.workers)?,
@@ -598,6 +612,112 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         stats.feedback_applied
     );
     write_metrics(args)
+}
+
+/// `lorentz serve --follow`: run the read-only replication follower. The
+/// follower catches up on the leader's WAL before serving (so the first
+/// answer already reflects every durable signal), applies λ deltas as they
+/// arrive, and serves requests from the replicated epochs. Feedback lines
+/// are rejected: only the leader mints epochs.
+fn serve_follow(
+    args: &Args,
+    deployment: Arc<TrainedLorentz>,
+    lines: Vec<ServeLine>,
+    kind: ModelKind,
+    wal_path: &str,
+) -> Result<(), CliError> {
+    use serde::Serialize;
+    let config = FollowerConfig {
+        kind,
+        ..FollowerConfig::default()
+    };
+    let follower = FollowerEngine::start(deployment, wal_path, config)?;
+    let mut rows: Vec<serde::Value> = Vec::new();
+    let mut served = 0u64;
+    let mut feedback_rejected = 0u64;
+    for line in lines {
+        match line {
+            ServeLine::Request(request) => {
+                let started = std::time::Instant::now();
+                let result = follower.recommend_one(&request);
+                let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                served += 1;
+                if args.has_switch("json") {
+                    let mut fields = vec![("id".to_owned(), serde::Value::UInt(request.id))];
+                    match &result {
+                        Ok(rec) => fields.push(("ok".to_owned(), rec.to_value())),
+                        Err(e) => {
+                            fields.push(("error".to_owned(), serde::Value::Str(e.to_string())));
+                        }
+                    }
+                    fields.push(("degraded".to_owned(), serde::Value::Bool(false)));
+                    fields.push(("latency_ns".to_owned(), serde::Value::UInt(latency_ns)));
+                    rows.push(serde::Value::Map(fields));
+                } else {
+                    match &result {
+                        Ok(rec) => println!("[{}] {rec}", request.id),
+                        Err(e) => println!("[{}] error: {e}", request.id),
+                    }
+                }
+            }
+            ServeLine::Feedback(_) => {
+                feedback_rejected += 1;
+                if !args.has_switch("json") {
+                    println!("[feedback] rejected: follower is read-only");
+                }
+            }
+        }
+    }
+    if args.has_switch("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Seq(rows))?
+        );
+    }
+    let lambda_version = follower.lambda_version();
+    let stats = follower.stop();
+    // Status goes to stderr so stdout stays machine-readable answers.
+    eprintln!(
+        "followed {wal_path}: {} deltas applied, {} skipped, {} legacy signals \
+         (lambda v{lambda_version}, last epoch {}); served {served} requests, \
+         {feedback_rejected} feedback rejected (read-only)",
+        stats.applied, stats.skipped, stats.legacy, stats.last_epoch
+    );
+    write_metrics(args)
+}
+
+/// `lorentz wal-verify`: walk a feedback WAL read-only and report a
+/// per-record verdict, mirroring `store-verify` for the signal log. Never
+/// repairs the file — a torn tail is described, not truncated.
+pub fn wal_verify(args: &Args) -> Result<(), CliError> {
+    let wal_path = args.require("wal")?;
+    let report = lorentz_core::SignalWal::verify(wal_path)?;
+    for r in &report.records {
+        let s = &r.signal;
+        let framing = match r.epoch {
+            Some(epoch) => format!("epoch {epoch}, {} delta keys", r.delta_keys),
+            None => "legacy bare signal".to_owned(),
+        };
+        println!(
+            "record {} @ {}: OK — {framing}; signal {}|{}|{} {} γ{:+}",
+            r.index,
+            r.offset,
+            s.path.customer.0,
+            s.path.subscription.0,
+            s.path.resource_group.0,
+            s.offering,
+            s.gamma
+        );
+    }
+    match &report.corrupt {
+        Some((offset, why)) => println!(
+            "record {} @ {offset}: CORRUPT ({why}); {} trailing bytes unreadable",
+            report.records.len(),
+            report.trailing_bytes
+        ),
+        None => println!("{} records OK, tail clean", report.records.len()),
+    }
+    Ok(())
 }
 
 /// `lorentz feedback`: replay a file of CRI ticket lines through the
@@ -1101,11 +1221,28 @@ mod tests {
             &wal_path,
         ]))
         .unwrap();
-        // ...and a restart replays exactly the signals that were accepted.
+        // ...and a restart replays exactly the signals that were accepted,
+        // each framed with the epoch-stamped λ delta it published.
         let (_, recovery) = lorentz_core::SignalWal::open(&wal_path).unwrap();
         assert_eq!(recovery.signals.len(), 2);
         assert_eq!(recovery.torn_tail_bytes, 0);
         assert!(recovery.signals.iter().all(|s| s.path == hot));
+        assert_eq!(recovery.last_epoch, 3, "seed epoch 1 + two delta publishes");
+
+        // wal-verify reports every record intact; a follower catches up on
+        // the same WAL and serves from the replicated epochs.
+        wal_verify(&args(&["wal-verify", "--wal", &wal_path])).unwrap();
+        assert!(wal_verify(&args(&["wal-verify"])).is_err()); // missing --wal
+        serve(&args(&[
+            "serve",
+            "--model",
+            &model_path,
+            "--requests",
+            &stream_path,
+            "--follow",
+            &wal_path,
+        ]))
+        .unwrap();
 
         for p in [
             &fleet_path,

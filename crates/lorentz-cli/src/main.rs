@@ -11,8 +11,9 @@
 //!                   [--source hierarchical|target-encoding|store]
 //! lorentz serve     --model model.json --requests requests.ndjson \
 //!                   [--workers 4] [--queue-capacity 1024] [--degraded-at N] \
-//!                   [--deadline-ms N] [--feedback-wal wal.log] [--json] \
-//!                   [--metrics-out metrics.json]
+//!                   [--deadline-ms N] [--feedback-wal wal.log] [--follow wal.log] \
+//!                   [--json] [--metrics-out metrics.json]
+//! lorentz wal-verify --wal wal.log
 //! lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
 //! lorentz offering  --fleet fleet.json --profile "IndustryName=industryname-1"
 //! lorentz ticket    --symptoms "high cpu usage" --resolution "scaled up"
@@ -48,6 +49,7 @@ fn main() {
         Some("store-verify") => commands::store_verify(&args),
         Some("recommend") => commands::recommend(&args),
         Some("serve") => commands::serve(&args),
+        Some("wal-verify") => commands::wal_verify(&args),
         Some("feedback") => commands::feedback(&args),
         Some("offering") => commands::offering(&args),
         Some("report") => commands::report(&args),

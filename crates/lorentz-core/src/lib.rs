@@ -48,8 +48,8 @@ pub use cost::{bill_fleet, CostModel, FleetBill};
 pub use explain::{Explanation, Recommendation};
 pub use fleet::FleetDataset;
 pub use personalizer::{
-    LambdaSnapshot, LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal, SignalWal,
-    WalRecovery,
+    LambdaEpoch, LambdaSnapshot, LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal,
+    SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport,
 };
 pub use pipeline::{
     LiveModel, LorentzPipeline, ModelKind, RecommendEngine, RecommendRequest, StoreOnly,

@@ -36,7 +36,9 @@
 //! | `store.recovery.fallbacks` | counter | generations skipped as corrupt during load |
 //! | `personalizer.signals` | counter | satisfaction signals applied |
 //! | `personalizer.profiles_touched` | counter | profiles updated across all propagation rounds |
-//! | `personalizer.lambda.publishes` | counter | λ snapshots published by the LambdaStore |
+//! | `personalizer.lambda.publishes` | counter | λ epochs published by the LambdaStore |
+//! | `personalizer.lambda.delta_keys` | counter | changed λ keys carried by published deltas |
+//! | `personalizer.lambda.compactions` | counter | overlay generations folded into a new base |
 //! | `personalizer.wal.appends` | counter | signals appended durably to the WAL |
 //! | `personalizer.wal.replayed` | counter | signals replayed from the WAL at startup |
 //! | `personalizer.wal.torn_tails` | counter | torn WAL tails truncated during recovery |
@@ -52,6 +54,8 @@
 //! | `engine.e2e.span_ns` | histogram | submit-to-answer latency per request |
 //! | `engine.feedback.accepted` | counter | feedback signals admitted to the λ-writer |
 //! | `engine.feedback.applied` | counter | feedback signals applied and published |
+//! | `engine.replication.applied` | counter | delta records a follower applied from the WAL |
+//! | `engine.replication.lag_epochs` | gauge | epochs a follower trails the latest WAL record |
 
 use lorentz_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Once;
@@ -101,8 +105,10 @@ pub(crate) static STORE_RECOVERY_FALLBACKS: Counter = Counter::new();
 pub(crate) static SIGNALS_APPLIED: Counter = Counter::new();
 pub(crate) static SIGNAL_PROFILES_TOUCHED: Counter = Counter::new();
 
-// Online Stage-3 state: λ-snapshot publishes and the signal WAL.
+// Online Stage-3 state: λ-epoch publishes and the signal WAL.
 pub(crate) static LAMBDA_PUBLISHES: Counter = Counter::new();
+pub(crate) static LAMBDA_DELTA_KEYS: Counter = Counter::new();
+pub(crate) static LAMBDA_COMPACTIONS: Counter = Counter::new();
 pub(crate) static WAL_APPENDS: Counter = Counter::new();
 pub(crate) static WAL_REPLAYED: Counter = Counter::new();
 pub(crate) static WAL_TORN_TAILS: Counter = Counter::new();
@@ -137,6 +143,11 @@ pub static ENGINE_FEEDBACK_ACCEPTED: Counter = Counter::new();
 /// Feedback signals the λ-writer applied (and published); after a drain,
 /// `feedback_accepted = feedback_applied`.
 pub static ENGINE_FEEDBACK_APPLIED: Counter = Counter::new();
+/// Delta records a follower engine applied from the tailed WAL.
+pub static ENGINE_REPLICATION_APPLIED: Counter = Counter::new();
+/// Epochs the follower's λ store trails the newest WAL record it has seen
+/// (0 once caught up; set per tail poll).
+pub static ENGINE_REPLICATION_LAG_EPOCHS: Gauge = Gauge::new();
 
 static REGISTRY: Registry = Registry::new();
 static REGISTER: Once = Once::new();
@@ -177,6 +188,8 @@ pub fn registry() -> &'static Registry {
         r.register_counter("personalizer.signals", &SIGNALS_APPLIED);
         r.register_counter("personalizer.profiles_touched", &SIGNAL_PROFILES_TOUCHED);
         r.register_counter("personalizer.lambda.publishes", &LAMBDA_PUBLISHES);
+        r.register_counter("personalizer.lambda.delta_keys", &LAMBDA_DELTA_KEYS);
+        r.register_counter("personalizer.lambda.compactions", &LAMBDA_COMPACTIONS);
         r.register_counter("personalizer.wal.appends", &WAL_APPENDS);
         r.register_counter("personalizer.wal.replayed", &WAL_REPLAYED);
         r.register_counter("personalizer.wal.torn_tails", &WAL_TORN_TAILS);
@@ -192,6 +205,11 @@ pub fn registry() -> &'static Registry {
         r.register_histogram("engine.e2e.span_ns", &ENGINE_E2E_SPAN_NS);
         r.register_counter("engine.feedback.accepted", &ENGINE_FEEDBACK_ACCEPTED);
         r.register_counter("engine.feedback.applied", &ENGINE_FEEDBACK_APPLIED);
+        r.register_counter("engine.replication.applied", &ENGINE_REPLICATION_APPLIED);
+        r.register_gauge(
+            "engine.replication.lag_epochs",
+            &ENGINE_REPLICATION_LAG_EPOCHS,
+        );
     });
     &REGISTRY
 }

@@ -11,21 +11,21 @@ pub mod lambda;
 pub mod signals;
 pub mod wal;
 
-pub use lambda::{LambdaSnapshot, LambdaStore};
+pub use lambda::{LambdaEpoch, LambdaSnapshot, LambdaStore};
 pub use signals::{classify_ticket, CriTicket, KeywordClassifier};
-pub use wal::{SignalWal, WalRecovery};
+pub use wal::{SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport};
 
 use crate::obs;
 use crate::provisioner::discretize;
 use lorentz_types::{
     CustomerId, LorentzError, ResourceGroupId, ResourcePath, ServerOffering, Sku, SkuCatalog,
-    SubscriptionId,
+    StratLambdas, SubscriptionId,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Number of stratification values (server offerings).
-const N_STRATA: usize = ServerOffering::ALL.len();
+const N_STRATA: usize = lorentz_types::N_STRATA;
 
 /// Personalizer hyperparameters (Table 2: learning rate 0.3, signal decay
 /// 0.25).
@@ -127,9 +127,6 @@ impl SatisfactionSignal {
         })
     }
 }
-
-/// λ scores of one resource group: one entry per stratification.
-type StratLambdas = [f64; N_STRATA];
 
 /// The Stage-3 personalizer: a λ profile store plus the message-propagation
 /// update rule. Deterministic maps keep iteration order (and thus reports)
@@ -277,6 +274,20 @@ impl Personalizer {
     /// profiles the propagation round updated lands in
     /// `personalizer.profiles_touched`.
     pub fn apply_signal(&mut self, signal: &SatisfactionSignal) {
+        self.apply_signal_sink(signal, |_, _| {});
+    }
+
+    /// [`Personalizer::apply_signal`] that additionally reports every
+    /// profile the propagation round updated — `(path, post-update λ row)`
+    /// pairs — to `sink`, in tree order. This is how [`LambdaStore`]
+    /// materializes the delta of touched keys for epoch publishing without
+    /// a second tree walk; the plain entry point passes a no-op sink,
+    /// which monomorphizes back to the original loop.
+    pub fn apply_signal_sink(
+        &mut self,
+        signal: &SatisfactionSignal,
+        mut sink: impl FnMut(ResourcePath, StratLambdas),
+    ) {
         self.register(signal.path);
         let st = strat_index(signal.offering);
         let s = self.config.learning_rate * signal.gamma;
@@ -284,19 +295,22 @@ impl Personalizer {
         let rho_s = self.config.rho_resource_group;
         let rho_c = self.config.rho_subscription;
         let clamp = self.config.lambda_clamp;
+        let customer = signal.path.customer;
         let mut touched = 0u64;
 
         // Scale of the update for one resource group:
         //   same RG          -> 1      (steps 1-2)
         //   same SU, diff RG -> ρ_S    (step 3)
         //   diff SU          -> ρ_C    (step 4)
-        let mut bump = |lambdas: &mut StratLambdas, scale: f64| {
-            touched += 1;
-            for (x, l) in lambdas.iter_mut().enumerate() {
-                let update = if x == st { scale * s } else { scale * delta };
-                *l = (*l + update).clamp(-clamp, clamp);
-            }
-        };
+        let mut bump =
+            |sub: SubscriptionId, rg: ResourceGroupId, lambdas: &mut StratLambdas, scale: f64| {
+                touched += 1;
+                for (x, l) in lambdas.iter_mut().enumerate() {
+                    let update = if x == st { scale * s } else { scale * delta };
+                    *l = (*l + update).clamp(-clamp, clamp);
+                }
+                sink(ResourcePath::new(customer, sub, rg), *lambdas);
+            };
 
         let subs = self
             .store
@@ -310,11 +324,21 @@ impl Personalizer {
                 let lambdas = rgs
                     .get_mut(&signal.path.resource_group)
                     .expect("registered above");
-                bump(lambdas, 1.0);
+                bump(
+                    signal.path.subscription,
+                    signal.path.resource_group,
+                    lambdas,
+                    1.0,
+                );
             } else {
                 for (rg_id, lambdas) in rgs.iter_mut() {
                     let same_rg = *rg_id == signal.path.resource_group;
-                    bump(lambdas, if same_rg { 1.0 } else { rho_s });
+                    bump(
+                        signal.path.subscription,
+                        *rg_id,
+                        lambdas,
+                        if same_rg { 1.0 } else { rho_s },
+                    );
                 }
             }
         } else {
@@ -324,7 +348,7 @@ impl Personalizer {
                     let lambdas = rgs
                         .get_mut(&signal.path.resource_group)
                         .expect("registered above");
-                    bump(lambdas, 1.0);
+                    bump(*sub_id, signal.path.resource_group, lambdas, 1.0);
                     continue;
                 }
                 for (rg_id, lambdas) in rgs.iter_mut() {
@@ -336,12 +360,29 @@ impl Personalizer {
                     } else {
                         rho_c
                     };
-                    bump(lambdas, scale);
+                    bump(*sub_id, *rg_id, lambdas, scale);
                 }
             }
         }
         obs::SIGNALS_APPLIED.inc();
         obs::SIGNAL_PROFILES_TOUCHED.add(touched);
+    }
+
+    /// Overwrites the whole λ row at `path` — the follower-side application
+    /// of one replicated delta entry. Values are clamped to this
+    /// personalizer's `lambda_clamp` like every other write path.
+    pub fn set_lambdas(&mut self, path: ResourcePath, lambdas: StratLambdas) {
+        self.register(path);
+        let slot = self
+            .store
+            .get_mut(&path.customer)
+            .and_then(|subs| subs.get_mut(&path.subscription))
+            .and_then(|rgs| rgs.get_mut(&path.resource_group))
+            .expect("registered above");
+        let clamp = self.config.lambda_clamp;
+        for (dst, src) in slot.iter_mut().zip(lambdas) {
+            *dst = src.clamp(-clamp, clamp);
+        }
     }
 
     /// Applies a batch of signals in order.

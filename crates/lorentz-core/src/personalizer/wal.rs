@@ -1,9 +1,13 @@
 //! The satisfaction-signal write-ahead log.
 //!
-//! A published λ snapshot lives in memory; the signals that produced it
-//! must survive a crash. [`SignalWal`] appends every accepted signal as a
-//! CRC-framed record *before* it is applied, and replays the log on
-//! startup so a restarted server rebuilds exactly the λ state it lost.
+//! A published λ epoch lives in memory; the signals that produced it must
+//! survive a crash. [`SignalWal`] appends every accepted signal as a
+//! CRC-framed record *before* the epoch is published, and replays the log
+//! on startup so a restarted server rebuilds exactly the λ state it lost.
+//! Since the epoch/delta refactor each record also carries the
+//! epoch-stamped [`LambdaDelta`] the signal produced ([`WalRecord`]), so
+//! the same log doubles as the replication stream a
+//! [`WalTailer`]-driven follower applies without re-running propagation.
 //!
 //! Each record is framed independently (unlike the whole-file snapshot
 //! frames of [`store::durability`](crate::store::durability), the WAL
@@ -13,14 +17,19 @@
 //! [4 magic "LSIG"] [4 payload len u32 LE] [4 payload CRC32C u32 LE] [payload]
 //! ```
 //!
-//! The payload is the signal's JSON. Appends are `write_all` + `fsync`
-//! under [`retry_with_backoff`], so transient I/O failures retry and
-//! permanent ones surface. A crash mid-append leaves a torn final record;
-//! replay verifies each frame's CRC, keeps every intact prefix record,
-//! truncates the torn tail, and reports how many bytes were dropped —
-//! mirroring the newest-first fallback discipline of the durable store.
-//! The `personalizer.wal.append` fail point injects torn appends, bit
-//! flips, and transient errors under the `fault-injection` feature.
+//! The payload is JSON: either a bare [`SatisfactionSignal`] (the legacy
+//! format, still replayed) or a [`WalRecord`] `{signal, delta}` object.
+//! Appends are `write_all` + `fsync` under [`retry_with_backoff`], so
+//! transient I/O failures retry and permanent ones surface. A crash
+//! mid-append leaves a torn final record; replay verifies each frame's
+//! CRC, keeps every intact prefix record, truncates the torn tail, and
+//! reports how many bytes were dropped — mirroring the newest-first
+//! fallback discipline of the durable store. The `personalizer.wal.append`
+//! fail point injects torn appends, bit flips, and transient errors under
+//! the `fault-injection` feature. [`SignalWal::verify`] walks a log
+//! read-only and reports each record's verdict (the `lorentz wal-verify`
+//! command), reusing [`StoreCorruption`] so operators see the same
+//! corruption taxonomy as `store-verify`.
 
 use super::SatisfactionSignal;
 use crate::obs;
@@ -28,6 +37,8 @@ use crate::retry::{is_transient_io, retry_with_backoff, RetryPolicy};
 use crate::store::durability::crc32c;
 use crate::store::StoreError;
 use lorentz_fault::fail_point;
+use lorentz_types::{LambdaDelta, StoreCorruption};
+use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -36,20 +47,68 @@ use std::path::{Path, PathBuf};
 const MAGIC: [u8; 4] = *b"LSIG";
 /// Fixed bytes before each record's payload.
 const HEADER_LEN: usize = 12;
-/// Upper bound on a record payload — a signal is tens of bytes, so a
-/// larger declared length means the header itself is corrupt.
-const MAX_PAYLOAD: u32 = 1 << 20;
+/// Upper bound on a record payload. A delta record lists every profile a
+/// propagation round touched — potentially a whole customer subtree — so
+/// the cap is generous; a larger declared length still means the header
+/// itself is corrupt.
+const MAX_PAYLOAD: u32 = 1 << 24;
+
+/// One delta-framed WAL record: the accepted signal plus the epoch-stamped
+/// [`LambdaDelta`] applying it produced on the leader. The leader's replay
+/// path only needs `signal`; a follower only needs `delta`; `wal-verify`
+/// prints both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// The satisfaction signal as accepted.
+    pub signal: SatisfactionSignal,
+    /// The λ changes applying it produced, stamped with the epoch the
+    /// leader published.
+    pub delta: LambdaDelta,
+}
+
+/// One intact record read back from a log, either format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    /// A legacy bare-signal record (pre-delta format): replayable through
+    /// propagation, but carrying no epoch for a follower.
+    Signal(SatisfactionSignal),
+    /// A delta-framed [`WalRecord`].
+    Record(WalRecord),
+}
+
+impl WalEntry {
+    /// The signal this entry carries, whichever format it was written in.
+    pub fn signal(&self) -> &SatisfactionSignal {
+        match self {
+            WalEntry::Signal(s) => s,
+            WalEntry::Record(r) => &r.signal,
+        }
+    }
+
+    /// The delta epoch, if this is a delta-framed record.
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            WalEntry::Signal(_) => None,
+            WalEntry::Record(r) => Some(r.delta.epoch),
+        }
+    }
+}
 
 /// What [`SignalWal::open`] recovered from an existing log.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecovery {
     /// Every intact signal, in append order — apply these before serving.
     pub signals: Vec<SatisfactionSignal>,
+    /// The highest delta epoch among intact records (0 when the log is
+    /// empty or all-legacy). After replaying, fast-forward the λ store to
+    /// at least this epoch so new appends continue the on-disk numbering.
+    pub last_epoch: u64,
     /// Bytes discarded from a torn final record (0 for a clean log).
     pub torn_tail_bytes: usize,
 }
 
-/// An append-only, CRC-framed log of satisfaction signals.
+/// An append-only, CRC-framed log of satisfaction signals and their λ
+/// deltas.
 pub struct SignalWal {
     path: PathBuf,
     file: File,
@@ -98,7 +157,7 @@ impl SignalWal {
             .map_err(&io_err)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(&io_err)?;
-        let (signals, good_len) = parse_frames(&bytes);
+        let (entries, good_len) = parse_frames(&bytes);
         let torn_tail_bytes = bytes.len() - good_len;
         if torn_tail_bytes > 0 {
             file.set_len(good_len as u64).map_err(&io_err)?;
@@ -106,14 +165,65 @@ impl SignalWal {
         }
         file.seek(SeekFrom::Start(good_len as u64))
             .map_err(&io_err)?;
-        obs::WAL_REPLAYED.add(signals.len() as u64);
+        obs::WAL_REPLAYED.add(entries.len() as u64);
+        let last_epoch = entries
+            .iter()
+            .filter_map(WalEntry::epoch)
+            .max()
+            .unwrap_or(0);
+        let signals = entries.into_iter().map(|e| *e.signal()).collect();
         Ok((
             Self { path, file, retry },
             WalRecovery {
                 signals,
+                last_epoch,
                 torn_tail_bytes,
             },
         ))
+    }
+
+    /// Walks the log at `path` read-only, reporting a verdict per record
+    /// — the `lorentz wal-verify` backend. Unlike [`SignalWal::open`] this
+    /// never truncates: a torn or corrupt tail is described, not repaired.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be read.
+    pub fn verify(path: impl AsRef<Path>) -> Result<WalVerifyReport, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|source| StoreError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        let mut corrupt = None;
+        loop {
+            match next_frame(&bytes, offset) {
+                None => break,
+                Some(Err(why)) => {
+                    corrupt = Some((offset as u64, why));
+                    break;
+                }
+                Some(Ok((entry, end))) => {
+                    records.push(WalRecordSummary {
+                        index: records.len(),
+                        offset: offset as u64,
+                        epoch: entry.epoch(),
+                        delta_keys: match &entry {
+                            WalEntry::Signal(_) => 0,
+                            WalEntry::Record(r) => r.delta.entries.len(),
+                        },
+                        signal: *entry.signal(),
+                    });
+                    offset = end;
+                }
+            }
+        }
+        Ok(WalVerifyReport {
+            records,
+            corrupt,
+            trailing_bytes: (bytes.len() - offset) as u64,
+        })
     }
 
     /// The log's path.
@@ -121,8 +231,23 @@ impl SignalWal {
         &self.path
     }
 
-    /// Appends one signal durably: frame, `write_all`, `fsync`, with
-    /// transient I/O failures retried under the policy.
+    /// Appends one delta-framed record durably: frame, `write_all`,
+    /// `fsync`, with transient I/O failures retried under the policy.
+    /// This is the leader's append path; followers replay the embedded
+    /// delta without re-running propagation.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Serialize`] when the record cannot be
+    /// encoded and [`StoreError::Io`] when the write fails permanently.
+    pub fn append_record(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let payload =
+            serde_json::to_string(record).map_err(|e| StoreError::Serialize(format!("{e}")))?;
+        self.append_payload(payload.as_bytes())
+    }
+
+    /// Appends one bare signal durably (the legacy record format, kept
+    /// for writers that have no λ store to produce deltas from, e.g. the
+    /// offline `lorentz feedback` tool).
     ///
     /// # Errors
     /// Returns [`StoreError::Serialize`] when the signal cannot be
@@ -130,7 +255,11 @@ impl SignalWal {
     pub fn append(&mut self, signal: &SatisfactionSignal) -> Result<(), StoreError> {
         let payload =
             serde_json::to_string(signal).map_err(|e| StoreError::Serialize(format!("{e}")))?;
-        let frame = frame_signal(payload.as_bytes());
+        self.append_payload(payload.as_bytes())
+    }
+
+    fn append_payload(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let frame = frame_payload(payload);
         let policy = self.retry;
         retry_with_backoff(&policy, is_transient_io, |_| self.append_once(&frame)).map_err(
             |source| StoreError::Io {
@@ -153,8 +282,101 @@ impl SignalWal {
     }
 }
 
+/// Read-only verdict for one log, from [`SignalWal::verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalVerifyReport {
+    /// One summary per intact record, in append order.
+    pub records: Vec<WalRecordSummary>,
+    /// Why the walk stopped before end-of-file: byte offset of the first
+    /// corrupt frame plus the failed integrity check. `None` for a clean
+    /// log.
+    pub corrupt: Option<(u64, StoreCorruption)>,
+    /// Bytes after the intact prefix (the torn/corrupt tail; 0 if clean).
+    pub trailing_bytes: u64,
+}
+
+/// One intact record's summary within a [`WalVerifyReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecordSummary {
+    /// Zero-based record index.
+    pub index: usize,
+    /// Byte offset of the record's frame.
+    pub offset: u64,
+    /// The delta epoch, `None` for a legacy bare-signal record.
+    pub epoch: Option<u64>,
+    /// Number of λ keys the embedded delta carries (0 for legacy).
+    pub delta_keys: usize,
+    /// The signal the record carries.
+    pub signal: SatisfactionSignal,
+}
+
+/// A poll-based reader that follows a leader's log as it grows — the
+/// file-tail transport behind
+/// [`FollowerEngine`](../../lorentz-serve) replication. The interface is
+/// transport-shaped (each poll yields the next complete entries), so a
+/// socket-fed implementation can replace the file read without changing
+/// the follower.
+///
+/// The tailer never truncates: a torn or corrupt tail simply ends the
+/// poll at the last good boundary, and the next poll re-reads from there
+/// — after the leader restarts (truncating the tear) and appends, the
+/// same offset yields the fresh records.
+#[derive(Debug, Clone)]
+pub struct WalTailer {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl WalTailer {
+    /// Creates a tailer at the start of `path` (which may not exist yet —
+    /// polls return nothing until the leader creates it).
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// The byte offset of the next unread record.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads every complete record appended since the last poll. A
+    /// missing file yields an empty batch; a torn/corrupt tail ends the
+    /// batch at the last good boundary without consuming it. If the file
+    /// shrank below the tailer's offset (the log was replaced), the
+    /// tailer restarts from the beginning — epoch monotonicity on the
+    /// applying store makes re-reads harmless.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file exists but cannot be
+    /// read.
+    pub fn poll(&mut self) -> Result<Vec<WalEntry>, StoreError> {
+        let io_err = |source: io::Error| StoreError::Io {
+            path: self.path.display().to_string(),
+            source,
+        };
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(e)),
+        };
+        let len = file.metadata().map_err(&io_err)?.len();
+        if len < self.offset {
+            self.offset = 0;
+        }
+        file.seek(SeekFrom::Start(self.offset)).map_err(&io_err)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(&io_err)?;
+        let (entries, good_len) = parse_frames(&bytes);
+        self.offset += good_len as u64;
+        Ok(entries)
+    }
+}
+
 /// Builds the framed bytes for one record payload.
-fn frame_signal(payload: &[u8]) -> Vec<u8> {
+fn frame_payload(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -163,43 +385,78 @@ fn frame_signal(payload: &[u8]) -> Vec<u8> {
     frame
 }
 
-/// Walks the log bytes frame by frame, returning every intact signal and
-/// the byte offset where the intact prefix ends. Any violation — short
-/// header, bad magic, oversized length, short payload, CRC mismatch, or
-/// undecodable JSON — ends the walk there: everything after it is the
-/// torn tail.
-fn parse_frames(bytes: &[u8]) -> (Vec<SatisfactionSignal>, usize) {
-    let mut signals = Vec::new();
+/// Examines the frame starting at `offset`: `None` at clean end-of-log,
+/// `Some(Ok((entry, next_offset)))` for an intact record, `Some(Err)`
+/// naming the failed integrity check. Frames are self-delimiting, so the
+/// first violation ends every walk — the bytes after it cannot be
+/// re-synchronized.
+fn next_frame(bytes: &[u8], offset: usize) -> Option<Result<(WalEntry, usize), StoreCorruption>> {
+    let remaining = bytes.len() - offset;
+    if remaining == 0 {
+        return None;
+    }
+    if remaining < HEADER_LEN {
+        return Some(Err(StoreCorruption::HeaderTruncated {
+            got: remaining,
+            need: HEADER_LEN,
+        }));
+    }
+    let header = &bytes[offset..offset + HEADER_LEN];
+    if header[..4] != MAGIC {
+        return Some(Err(StoreCorruption::BadMagic {
+            found: header[..4].try_into().expect("4 bytes"),
+        }));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Some(Err(StoreCorruption::BadPayload(format!(
+            "declared payload length {len} exceeds the {MAX_PAYLOAD}-byte record cap"
+        ))));
+    }
+    let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let start = offset + HEADER_LEN;
+    let end = start + len as usize;
+    if end > bytes.len() {
+        return Some(Err(StoreCorruption::Truncated {
+            declared: u64::from(len),
+            got: (bytes.len() - start) as u64,
+        }));
+    }
+    let payload = &bytes[start..end];
+    let actual = crc32c(payload);
+    if actual != crc {
+        return Some(Err(StoreCorruption::ChecksumMismatch {
+            expected: crc,
+            actual,
+        }));
+    }
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return Some(Err(StoreCorruption::BadPayload(
+            "payload is not UTF-8".to_owned(),
+        )));
+    };
+    // Delta-framed first, legacy bare signal as the fallback — the two
+    // JSON shapes share no fields, so the match is unambiguous.
+    if let Ok(record) = serde_json::from_str::<WalRecord>(text) {
+        return Some(Ok((WalEntry::Record(record), end)));
+    }
+    match serde_json::from_str::<SatisfactionSignal>(text) {
+        Ok(signal) => Some(Ok((WalEntry::Signal(signal), end))),
+        Err(e) => Some(Err(StoreCorruption::BadPayload(format!("{e}")))),
+    }
+}
+
+/// Walks the log bytes frame by frame, returning every intact entry and
+/// the byte offset where the intact prefix ends. Any violation ends the
+/// walk there: everything after it is the torn tail.
+fn parse_frames(bytes: &[u8]) -> (Vec<WalEntry>, usize) {
+    let mut entries = Vec::new();
     let mut offset = 0usize;
-    while bytes.len() - offset >= HEADER_LEN {
-        let header = &bytes[offset..offset + HEADER_LEN];
-        if header[..4] != MAGIC {
-            break;
-        }
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD {
-            break;
-        }
-        let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        let start = offset + HEADER_LEN;
-        let end = start + len as usize;
-        if end > bytes.len() {
-            break;
-        }
-        let payload = &bytes[start..end];
-        if crc32c(payload) != crc {
-            break;
-        }
-        let Ok(text) = std::str::from_utf8(payload) else {
-            break;
-        };
-        let Ok(signal) = serde_json::from_str::<SatisfactionSignal>(text) else {
-            break;
-        };
-        signals.push(signal);
+    while let Some(Ok((entry, end))) = next_frame(bytes, offset) {
+        entries.push(entry);
         offset = end;
     }
-    (signals, offset)
+    (entries, offset)
 }
 
 /// Interprets a fired `personalizer.wal.append` action: `partial(FRAC)`
@@ -245,7 +502,7 @@ fn inject_append_fault(
 mod tests {
     use super::*;
     use lorentz_types::{
-        CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
+        CustomerId, PathKey, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
     };
 
     fn signal(c: u32, gamma: f64) -> SatisfactionSignal {
@@ -257,134 +514,241 @@ mod tests {
         .unwrap()
     }
 
-    fn tmp_dir(name: &str) -> PathBuf {
+    fn record(c: u32, gamma: f64, epoch: u64) -> WalRecord {
+        let s = signal(c, gamma);
+        WalRecord {
+            signal: s,
+            delta: LambdaDelta::new(epoch, vec![(PathKey::new(s.path), [gamma, 0.0, 0.0])]),
+        }
+    }
+
+    /// Shared fixture: a fresh per-test temp dir holding `signals.wal`,
+    /// opened with the recovery asserted empty/clean. Every test reopens
+    /// through [`reopen`] to avoid repeating the unwrap chain.
+    fn fresh_wal(name: &str) -> (PathBuf, SignalWal) {
         let dir = std::env::temp_dir().join(format!("lorentz-wal-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        dir
+        let path = dir.join("signals.wal");
+        let (wal, recovery) = SignalWal::open(&path).unwrap();
+        assert!(recovery.signals.is_empty());
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        (path, wal)
+    }
+
+    /// Reopens an existing log, returning the handle and its recovery.
+    fn reopen(path: &Path) -> (SignalWal, WalRecovery) {
+        SignalWal::open(path).unwrap()
     }
 
     #[test]
     fn append_and_replay_round_trips() {
-        let dir = tmp_dir("round-trip");
-        let path = dir.join("signals.wal");
+        let (path, mut wal) = fresh_wal("round-trip");
         let signals = vec![signal(1, 1.0), signal(2, -0.5), signal(3, 0.25)];
-        {
-            let (mut wal, recovery) = SignalWal::open(&path).unwrap();
-            assert!(recovery.signals.is_empty());
-            assert_eq!(recovery.torn_tail_bytes, 0);
-            for s in &signals {
-                wal.append(s).unwrap();
-            }
+        for s in &signals {
+            wal.append(s).unwrap();
         }
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        drop(wal);
+        let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, signals);
+        assert_eq!(recovery.last_epoch, 0); // all-legacy log
         assert_eq!(recovery.torn_tail_bytes, 0);
     }
 
     #[test]
+    fn delta_records_round_trip_with_epochs() {
+        let (path, mut wal) = fresh_wal("records");
+        wal.append_record(&record(1, 1.0, 2)).unwrap();
+        wal.append_record(&record(2, -0.5, 3)).unwrap();
+        // Mixed log: a legacy bare signal still replays.
+        wal.append(&signal(3, 0.25)).unwrap();
+        drop(wal);
+        let (_wal, recovery) = reopen(&path);
+        assert_eq!(
+            recovery.signals,
+            vec![signal(1, 1.0), signal(2, -0.5), signal(3, 0.25)]
+        );
+        assert_eq!(recovery.last_epoch, 3);
+        let report = SignalWal::verify(&path).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.records[0].epoch, Some(2));
+        assert_eq!(report.records[0].delta_keys, 1);
+        assert_eq!(report.records[2].epoch, None);
+        assert!(report.corrupt.is_none());
+        assert_eq!(report.trailing_bytes, 0);
+    }
+
+    #[test]
     fn torn_tail_is_truncated_and_reported() {
-        let dir = tmp_dir("torn-tail");
-        let path = dir.join("signals.wal");
-        {
-            let (mut wal, _) = SignalWal::open(&path).unwrap();
-            wal.append(&signal(1, 1.0)).unwrap();
-            wal.append(&signal(2, -1.0)).unwrap();
-        }
+        let (path, mut wal) = fresh_wal("torn-tail");
+        wal.append(&signal(1, 1.0)).unwrap();
+        wal.append(&signal(2, -1.0)).unwrap();
+        drop(wal);
         // Tear the final record in half, as a kill mid-append would.
         let bytes = std::fs::read(&path).unwrap();
         let torn_at = bytes.len() - 7;
         std::fs::write(&path, &bytes[..torn_at]).unwrap();
 
-        let (mut wal, recovery) = SignalWal::open(&path).unwrap();
+        let (mut wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
         assert!(recovery.torn_tail_bytes > 0);
         // The tail was truncated, so new appends land on a clean boundary.
         wal.append(&signal(3, 0.5)).unwrap();
         drop(wal);
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, vec![signal(1, 1.0), signal(3, 0.5)]);
         assert_eq!(recovery.torn_tail_bytes, 0);
     }
 
     #[test]
     fn corrupt_crc_ends_the_replay() {
-        let dir = tmp_dir("bad-crc");
-        let path = dir.join("signals.wal");
-        {
-            let (mut wal, _) = SignalWal::open(&path).unwrap();
-            wal.append(&signal(1, 1.0)).unwrap();
-            wal.append(&signal(2, 1.0)).unwrap();
-        }
+        let (path, mut wal) = fresh_wal("bad-crc");
+        wal.append(&signal(1, 1.0)).unwrap();
+        wal.append(&signal(2, 1.0)).unwrap();
+        drop(wal);
         // Flip a bit in the second record's payload.
         let mut bytes = std::fs::read(&path).unwrap();
         let n = bytes.len();
         bytes[n - 3] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
 
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        let report = SignalWal::verify(&path).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert!(matches!(
+            report.corrupt,
+            Some((_, StoreCorruption::ChecksumMismatch { .. }))
+        ));
+        let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
         assert!(recovery.torn_tail_bytes > 0);
     }
 
     #[test]
     fn garbage_file_recovers_to_empty() {
-        let dir = tmp_dir("garbage");
-        let path = dir.join("signals.wal");
+        let (path, wal) = fresh_wal("garbage");
+        drop(wal);
         std::fs::write(&path, b"not a wal at all, definitely long enough").unwrap();
-        let (mut wal, recovery) = SignalWal::open(&path).unwrap();
+        let report = SignalWal::verify(&path).unwrap();
+        assert!(report.records.is_empty());
+        assert!(matches!(
+            report.corrupt,
+            Some((0, StoreCorruption::BadMagic { .. }))
+        ));
+        let (mut wal, recovery) = reopen(&path);
         assert!(recovery.signals.is_empty());
         assert!(recovery.torn_tail_bytes > 0);
         wal.append(&signal(4, 1.0)).unwrap();
         drop(wal);
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, vec![signal(4, 1.0)]);
     }
 
     #[test]
     fn oversized_declared_length_is_rejected() {
-        let dir = tmp_dir("oversized");
-        let path = dir.join("signals.wal");
+        let (path, wal) = fresh_wal("oversized");
+        drop(wal);
         let mut frame = Vec::new();
         frame.extend_from_slice(&MAGIC);
         frame.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         frame.extend_from_slice(&0u32.to_le_bytes());
         frame.extend_from_slice(b"xxxx");
         std::fs::write(&path, &frame).unwrap();
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        let (_wal, recovery) = reopen(&path);
         assert!(recovery.signals.is_empty());
         assert_eq!(recovery.torn_tail_bytes, frame.len());
+    }
+
+    #[test]
+    fn tailer_follows_appends_and_stalls_on_torn_tail() {
+        let (path, mut wal) = fresh_wal("tailer");
+        let mut tailer = WalTailer::new(&path);
+        assert!(tailer.poll().unwrap().is_empty());
+
+        wal.append_record(&record(1, 1.0, 2)).unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].epoch(), Some(2));
+        assert!(tailer.poll().unwrap().is_empty(), "nothing new to read");
+
+        // A torn append after one good record: the tailer takes the good
+        // record and stops at the tear without consuming it.
+        wal.append_record(&record(2, 0.5, 3)).unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&MAGIC);
+        torn.extend_from_slice(&[9, 0, 0]); // half a length field
+        std::fs::write(&path, &torn).unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].epoch(), Some(3));
+        let stalled_at = tailer.offset();
+        assert!(tailer.poll().unwrap().is_empty());
+        assert_eq!(tailer.offset(), stalled_at);
+
+        // Leader reopens (truncating the tear) and appends: the tailer
+        // resumes from the same boundary and converges.
+        let (mut wal, recovery) = reopen(&path);
+        assert!(recovery.torn_tail_bytes > 0);
+        wal.append_record(&record(3, -1.0, 4)).unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].epoch(), Some(4));
+    }
+
+    #[test]
+    fn tailer_restarts_when_the_log_shrinks() {
+        let (path, mut wal) = fresh_wal("tailer-shrink");
+        wal.append_record(&record(1, 1.0, 2)).unwrap();
+        wal.append_record(&record(2, 0.5, 3)).unwrap();
+        let mut tailer = WalTailer::new(&path);
+        assert_eq!(tailer.poll().unwrap().len(), 2);
+        // Replace the log with a shorter one.
+        drop(wal);
+        std::fs::remove_file(&path).unwrap();
+        let (mut wal, _) = reopen(&path);
+        wal.append_record(&record(9, 1.0, 5)).unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].epoch(), Some(5));
+    }
+
+    #[test]
+    fn missing_file_verify_is_an_io_error() {
+        let dir = std::env::temp_dir().join(format!("lorentz-wal-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            SignalWal::verify(dir.join("absent.wal")),
+            Err(StoreError::Io { .. })
+        ));
     }
 
     #[cfg(feature = "fault-injection")]
     #[test]
     fn transient_append_faults_are_retried() {
-        let dir = tmp_dir("retry");
-        let path = dir.join("signals.wal");
+        let (path, mut wal) = fresh_wal("retry");
         lorentz_fault::registry().configure(
             "personalizer.wal.append",
             lorentz_fault::Trigger::Once,
             lorentz_fault::FailAction::Interrupted,
         );
-        let (mut wal, _) = SignalWal::open(&path).unwrap();
         wal.append(&signal(1, 1.0)).unwrap();
         lorentz_fault::registry().clear();
         drop(wal);
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
     }
 
     #[cfg(feature = "fault-injection")]
     #[test]
     fn permanent_append_faults_surface() {
-        let dir = tmp_dir("permanent");
-        let path = dir.join("signals.wal");
+        let (_path, mut wal) = fresh_wal("permanent");
         lorentz_fault::registry().configure(
             "personalizer.wal.append",
             lorentz_fault::Trigger::Always,
             lorentz_fault::FailAction::Error,
         );
-        let (mut wal, _) = SignalWal::open(&path).unwrap();
         let err = wal.append(&signal(1, 1.0)).unwrap_err();
         lorentz_fault::registry().clear();
         assert!(matches!(err, StoreError::Io { .. }));
@@ -393,20 +757,17 @@ mod tests {
     #[cfg(feature = "fault-injection")]
     #[test]
     fn flipped_bit_appends_are_caught_on_replay() {
-        let dir = tmp_dir("flip");
-        let path = dir.join("signals.wal");
-        {
-            let (mut wal, _) = SignalWal::open(&path).unwrap();
-            wal.append(&signal(1, 1.0)).unwrap();
-            lorentz_fault::registry().configure(
-                "personalizer.wal.append",
-                lorentz_fault::Trigger::Once,
-                lorentz_fault::FailAction::FlipBit(100),
-            );
-            wal.append(&signal(2, 1.0)).unwrap();
-            lorentz_fault::registry().clear();
-        }
-        let (_wal, recovery) = SignalWal::open(&path).unwrap();
+        let (path, mut wal) = fresh_wal("flip");
+        wal.append(&signal(1, 1.0)).unwrap();
+        lorentz_fault::registry().configure(
+            "personalizer.wal.append",
+            lorentz_fault::Trigger::Once,
+            lorentz_fault::FailAction::FlipBit(100),
+        );
+        wal.append(&signal(2, 1.0)).unwrap();
+        lorentz_fault::registry().clear();
+        drop(wal);
+        let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, vec![signal(1, 1.0)]);
         assert!(recovery.torn_tail_bytes > 0);
     }

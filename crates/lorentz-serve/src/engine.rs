@@ -4,7 +4,7 @@ use crate::types::{
     EngineError, EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };
 use lorentz_core::obs;
-use lorentz_core::personalizer::{LambdaSnapshot, LambdaStore};
+use lorentz_core::personalizer::{LambdaSnapshot, LambdaStore, WalRecord, WalRecovery};
 use lorentz_core::store::PublishBatch;
 use lorentz_core::{
     RecommendEngine, RecommendRequest, SatisfactionSignal, SharedPredictionStore, SignalWal,
@@ -30,7 +30,8 @@ struct Job {
 
 /// One message on the λ-writer's channel.
 enum FeedbackMsg {
-    /// Apply (and WAL-append) one satisfaction signal, then publish.
+    /// Apply one satisfaction signal, publish its λ delta, and WAL-append
+    /// the delta-framed record.
     Signal(SatisfactionSignal),
     /// Barrier: acknowledged only after every earlier signal on the
     /// channel has been applied and published.
@@ -134,26 +135,30 @@ impl ServingEngine {
         wal_path: impl AsRef<Path>,
     ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
         let (wal, recovery) = SignalWal::open(wal_path)?;
-        Self::start_inner(deployment, config, Some((wal, recovery.signals)))
+        Self::start_inner(deployment, config, Some((wal, recovery)))
     }
 
     fn start_inner(
         deployment: Arc<TrainedLorentz>,
         config: ServeConfig,
-        wal: Option<(SignalWal, Vec<SatisfactionSignal>)>,
+        wal: Option<(SignalWal, WalRecovery)>,
     ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
         let (tx, rx) = channel();
         let (feedback_tx, feedback_rx) = channel();
         let worker_count = config.workers.max(1);
         let lambdas = LambdaStore::new(deployment.personalizer().clone());
-        let (wal, recovered) = match wal {
-            Some((wal, signals)) => (Some(wal), signals),
-            None => (None, Vec::new()),
+        let (wal, recovered, last_epoch) = match wal {
+            Some((wal, recovery)) => (Some(wal), recovery.signals, recovery.last_epoch),
+            None => (None, Vec::new(), 0),
         };
         if !recovered.is_empty() {
             lambdas.apply_signals(&recovered);
             lambdas.publish();
         }
+        // Adopt the on-disk epoch numbering so new appends continue past
+        // records already framed (replay publishes one merged epoch, which
+        // may lag the per-signal epochs the crashed leader wrote).
+        lambdas.restore_epoch(last_epoch);
         let shared = Arc::new(Shared {
             store: SharedPredictionStore::from_store(deployment.store().clone()),
             lambdas,
@@ -547,14 +552,17 @@ fn feedback_loop(shared: &Shared, rx: &Receiver<FeedbackMsg>, mut wal: Option<Si
     while let Ok(msg) = rx.recv() {
         match msg {
             FeedbackMsg::Signal(signal) => {
-                if let Some(wal) = wal.as_mut() {
-                    // A failed append loses durability for this signal but
-                    // not liveness: the signal still applies, and the
-                    // ledger still closes.
-                    let _ = wal.append(&signal);
-                }
                 shared.lambdas.apply_signal(&signal);
-                shared.lambdas.publish();
+                let delta = shared.lambdas.publish_delta();
+                if let Some(wal) = wal.as_mut() {
+                    // Frame the epoch-stamped delta so a follower tailing
+                    // this WAL replays the exact published rows without
+                    // re-running propagation. A failed append loses
+                    // durability for this signal but not liveness: the
+                    // epoch is already published, and the ledger still
+                    // closes.
+                    let _ = wal.append_record(&WalRecord { signal, delta });
+                }
                 {
                     let mut state = shared.state.lock().expect("engine state poisoned");
                     state.stats.feedback_applied += 1;

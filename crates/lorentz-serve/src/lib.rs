@@ -39,9 +39,15 @@
 //!   one snapshot per request, so the next recommendation for an affected
 //!   path shifts by `2^λ` with no model reload and no torn reads. With
 //!   [`ServingEngine::start_with_wal`] every accepted signal is appended
-//!   to a CRC-framed WAL before it applies and is replayed on restart, so
-//!   learned λ survives a crash. The drain ledger extends to
+//!   to a CRC-framed WAL and replayed on restart, so learned λ survives a
+//!   crash. Each WAL record carries the epoch-stamped λ delta the signal
+//!   published, and publishes are generational-overlay deltas — O(keys
+//!   changed), never a full-table flatten. The drain ledger extends to
 //!   `feedback_accepted = feedback_applied`.
+//! * **Follower replication** — [`FollowerEngine`] tails a leader's WAL
+//!   (catch-up-then-serve), applies the framed deltas to its own λ store,
+//!   and answers recommendations from the replicated epochs — a read
+//!   replica that converges bit-for-bit without re-running propagation.
 //!
 //! All of it threads through the process-wide `lorentz_core::obs` metrics
 //! (`engine.*` counters, queue-depth gauge, end-to-end latency histogram),
@@ -103,9 +109,11 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod follower;
 mod types;
 
 pub use engine::ServingEngine;
+pub use follower::{FollowerConfig, FollowerEngine, FollowerStats};
 pub use types::{
     EngineError, EngineStats, RequestError, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };

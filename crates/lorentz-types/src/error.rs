@@ -51,6 +51,11 @@ pub enum LorentzError {
     /// A persisted store snapshot failed integrity verification.
     #[error("store corruption: {0}")]
     Corruption(StoreCorruption),
+
+    /// A λ-delta record failed integrity verification or could not be
+    /// applied in epoch order.
+    #[error("delta corruption: {0}")]
+    Delta(DeltaCorruption),
 }
 
 impl From<StoreCorruption> for LorentzError {
@@ -121,6 +126,55 @@ pub enum StoreCorruption {
     /// The manifest itself was unreadable or malformed.
     #[error("bad manifest: {0}")]
     BadManifest(String),
+}
+
+/// Why a λ-delta record could not be applied.
+///
+/// Mirrors [`StoreCorruption`] for the replication path: each variant is
+/// one integrity check performed when a packed [`LambdaDelta`]
+/// (`crate::LambdaDelta`) is decoded or applied to a follower store, so
+/// `lorentz wal-verify` and the follower can say which check failed.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum DeltaCorruption {
+    /// The packed delta is shorter than its header or declared entries.
+    #[error("delta truncated: got {got} bytes, need {need}")]
+    Truncated {
+        /// Bytes actually present.
+        got: usize,
+        /// Bytes the declared layout requires.
+        need: usize,
+    },
+
+    /// The packed delta has bytes beyond the declared entries.
+    #[error("delta has {extra} trailing bytes")]
+    TrailingBytes {
+        /// Unexpected bytes after the last entry.
+        extra: usize,
+    },
+
+    /// An entry key has reserved high bits set and cannot be a
+    /// [`PathKey`](crate::PathKey).
+    #[error("bad delta entry key {packed:#034x}: reserved bits set")]
+    BadEntryKey {
+        /// The packed key as read.
+        packed: u128,
+    },
+
+    /// The delta's epoch does not advance the store it was applied to —
+    /// a replication stream replayed out of order or forked.
+    #[error("delta epoch {got} does not advance store epoch {current}")]
+    EpochRegression {
+        /// The store's current epoch.
+        current: u64,
+        /// The epoch carried by the rejected delta.
+        got: u64,
+    },
+}
+
+impl From<DeltaCorruption> for LorentzError {
+    fn from(err: DeltaCorruption) -> Self {
+        LorentzError::Delta(err)
+    }
 }
 
 #[cfg(test)]

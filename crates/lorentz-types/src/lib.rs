@@ -15,6 +15,8 @@
 //!   keys over interned profile values;
 //! * [`PathKey`] — the `u128`-packable personalization-store key over a
 //!   [`ResourcePath`];
+//! * [`LambdaDelta`] / [`StratLambdas`] — epoch-stamped λ-change records
+//!   for delta publishing and WAL-streamed replication;
 //! * [`LorentzError`] — the shared error type.
 //!
 //! The types follow §2 of the paper: Azure PostgreSQL DB (flexible server)
@@ -29,6 +31,7 @@
 pub mod capacity;
 pub mod error;
 pub mod ids;
+pub mod lambda;
 pub mod offering;
 pub mod pathkey;
 pub mod profile;
@@ -37,8 +40,9 @@ pub mod sku;
 pub mod storekey;
 
 pub use capacity::Capacity;
-pub use error::{LorentzError, StoreCorruption};
+pub use error::{DeltaCorruption, LorentzError, StoreCorruption};
 pub use ids::{CustomerId, ResourceGroupId, ResourcePath, ServerId, SubscriptionId};
+pub use lambda::{LambdaDelta, StratLambdas, N_STRATA};
 pub use offering::ServerOffering;
 pub use pathkey::PathKey;
 pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};

@@ -168,6 +168,46 @@ proptest! {
         prop_assert_eq!(sequential, batched);
     }
 
+    /// Delta/overlay replay is byte-identical to the legacy full-flatten
+    /// path: a follower applying only the published [`LambdaDelta`]s
+    /// reaches exactly the λ table a direct `Personalizer` holds — and so
+    /// does the leader's own generational-overlay epoch, merges and
+    /// compactions included.
+    #[test]
+    fn delta_replay_matches_full_flatten(
+        cfg in config_strategy(),
+        signals in proptest::collection::vec(
+            (0usize..4, 0usize..3, gamma_strategy()),
+            1..60,
+        ),
+    ) {
+        let paths = [path(1, 1, 1), path(1, 1, 2), path(1, 2, 3), path(2, 1, 1)];
+        let build = || {
+            let mut p = Personalizer::new(cfg).unwrap();
+            for loc in paths {
+                p.register(loc);
+            }
+            p
+        };
+        let leader = LambdaStore::new(build());
+        let follower = LambdaStore::new(build());
+        let mut reference = build();
+        for &(pi, oi, g) in &signals {
+            let sig = SatisfactionSignal::new(paths[pi], ServerOffering::ALL[oi], g).unwrap();
+            reference.apply_signal(&sig);
+            leader.apply_signal(&sig);
+            let delta = follower.apply_delta(&leader.publish_delta());
+            prop_assert!(delta.is_ok(), "leader epochs always advance the follower");
+        }
+        let l = leader.snapshot();
+        let f = follower.snapshot();
+        prop_assert_eq!(f.version(), l.version());
+        for (loc, off, lambda) in reference.iter() {
+            prop_assert_eq!(l.lambda(&loc, off).to_bits(), lambda.to_bits());
+            prop_assert_eq!(f.lambda(&loc, off).to_bits(), lambda.to_bits());
+        }
+    }
+
     /// Eq. 14: the adjusted capacity is the catalog point nearest
     /// 2^λ · c* in log space, and λ = 0 is the identity on catalog values.
     #[test]
