@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lorentz_bench::bench_fleet;
 use lorentz_core::store::PublishBatch;
 use lorentz_core::{
-    LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, SharedPredictionStore,
-    TrainedLorentz,
+    LorentzConfig, LorentzPipeline, ModelKind, RecommendRequest, ShardedPredictionStore,
+    SharedPredictionStore, TrainedLorentz,
 };
 use lorentz_types::{FeatureId, ResourcePath, ServerOffering, StoreKey, ValueId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -167,11 +167,78 @@ fn bench_hot_swap_snapshot(c: &mut Criterion) {
     publisher.join().unwrap();
 }
 
+/// The sharded read path: snapshot capture + routed probe against an
+/// 8-shard store, quiet and while a publisher hot-swaps ONE shard in a
+/// loop — readers on the untouched shards should not notice (per-shard
+/// `Arc` slots, no global lock).
+fn bench_sharded_lookup(c: &mut Criterion) {
+    let n_keys = 8usize;
+    let entries: Vec<(StoreKey, f64)> = (0..n_keys)
+        .map(|i| {
+            (
+                StoreKey::new(ServerOffering::GeneralPurpose, FeatureId(i), ValueId(0)),
+                4.0,
+            )
+        })
+        .collect();
+    let batch = PublishBatch {
+        entries: entries.clone(),
+        defaults: vec![(ServerOffering::GeneralPurpose, 2.0)],
+    };
+    let levels: Vec<(FeatureId, ValueId)> =
+        (0..n_keys).map(|i| (FeatureId(i), ValueId(0))).collect();
+    let sharded = Arc::new(ShardedPredictionStore::new(8).unwrap());
+    sharded.publish(batch).unwrap();
+    c.bench_function("serve/sharded_snapshot_lookup", |b| {
+        b.iter(|| {
+            sharded
+                .snapshot()
+                .lookup(
+                    black_box(ServerOffering::GeneralPurpose),
+                    black_box(&levels),
+                )
+                .unwrap()
+        })
+    });
+    // Republish one key's shard continuously; the probe sweeps all levels,
+    // so most probes hit shards the publisher never touches.
+    let hot_key = entries[0].0;
+    let hot_shard = sharded.shard_of_packed(hot_key.pack());
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let sharded = Arc::clone(&sharded);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let batch = PublishBatch {
+                entries: vec![(hot_key, 4.0)],
+                defaults: Vec::new(),
+            };
+            while !stop.load(Ordering::Relaxed) {
+                sharded.publish_shard(hot_shard, batch.clone()).unwrap();
+            }
+        })
+    };
+    c.bench_function("serve/sharded_lookup_during_shard_publish", |b| {
+        b.iter(|| {
+            sharded
+                .snapshot()
+                .lookup(
+                    black_box(ServerOffering::GeneralPurpose),
+                    black_box(&levels),
+                )
+                .unwrap()
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    publisher.join().unwrap();
+}
+
 criterion_group!(
     benches,
     bench_store_lookup,
     bench_recommend,
     bench_recommend_store_path,
-    bench_hot_swap_snapshot
+    bench_hot_swap_snapshot,
+    bench_sharded_lookup
 );
 criterion_main!(benches);

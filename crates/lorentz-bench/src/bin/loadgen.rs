@@ -1,0 +1,308 @@
+//! `loadgen` — closed-loop TCP load generator for `lorentz serve --listen`.
+//!
+//! Opens `--connections` persistent connections to a running server, and
+//! on each connection runs a strict closed loop: send one length-prefixed
+//! JSON request frame, block for its response, record the end-to-end
+//! latency, repeat — paced so the aggregate offered load approximates
+//! `--qps`. Requests sweep `--keys` distinct resource paths (distinct
+//! packed λ keys, spread across the server's shards by construction), so
+//! a million-key run actually touches a million-entry key space instead
+//! of hammering one cache line.
+//!
+//! Every `--feedback-every` N-th frame (0 = never) is a satisfaction
+//! signal instead of a request, exercising the online λ path over the
+//! wire; the generator waits for the feedback ack like any response, so
+//! the loop stays closed.
+//!
+//! The run ends after `--requests` total frames. With `--drain` the
+//! generator then sends `{"op": "drain"}`, telling the server to drain
+//! its ledger and exit — the harness mode used by CI. The report (JSON on
+//! stdout, or `--out FILE`) carries achieved QPS and p50/p95/p99/max
+//! end-to-end latency, comparable against the pinned `BENCH_serve.json`
+//! SLO baseline.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7447 --qps 2000 --connections 4 \
+//!         --requests 10000 --keys 1000000 [--feedback-every 100] \
+//!         [--drain] [--out report.json]
+//! ```
+
+use serde::{Deserialize, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Parsed command line. Everything has a default except `--addr`.
+struct Options {
+    addr: String,
+    qps: u64,
+    connections: usize,
+    requests: u64,
+    keys: u64,
+    feedback_every: u64,
+    drain: bool,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--qps N] [--connections N] \
+         [--requests N] [--keys N] [--feedback-every N] [--drain] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        addr: String::new(),
+        qps: 1000,
+        connections: 4,
+        requests: 10_000,
+        keys: 1_000_000,
+        feedback_every: 0,
+        drain: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => opts.addr = take(),
+            "--qps" => opts.qps = take().parse().unwrap_or_else(|_| usage()),
+            "--connections" => opts.connections = take().parse().unwrap_or_else(|_| usage()),
+            "--requests" => opts.requests = take().parse().unwrap_or_else(|_| usage()),
+            "--keys" => opts.keys = take().parse().unwrap_or_else(|_| usage()),
+            "--feedback-every" => opts.feedback_every = take().parse().unwrap_or_else(|_| usage()),
+            "--drain" => opts.drain = true,
+            "--out" => opts.out = Some(take()),
+            _ => usage(),
+        }
+    }
+    if opts.addr.is_empty() || opts.connections == 0 || opts.qps == 0 {
+        usage();
+    }
+    opts
+}
+
+/// Writes one `u32`-big-endian length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("loadgen frames are small");
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame (the server never sends oversized
+/// frames; a short read here means the server died mid-response).
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// The k-th distinct path in the key sweep. Multiplying by an odd
+/// constant permutes the key space, so consecutive requests land on
+/// unrelated shards instead of walking one shard at a time.
+fn path_fields(k: u64, keys: u64) -> (u64, u64, u64) {
+    let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) % keys.max(1);
+    let customer = key & 0xFFFF_FFFF;
+    let subscription = (key >> 8) & 0xFFFF_FFFF;
+    let resource_group = (key >> 16) & 0xFFFF_FFFF;
+    (customer, subscription, resource_group)
+}
+
+/// What one connection thread measured.
+#[derive(Default)]
+struct ThreadReport {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    feedback_acked: u64,
+}
+
+/// Runs one connection's closed loop: `count` frames paced at `interval`.
+fn connection_loop(
+    addr: &str,
+    thread_idx: u64,
+    count: u64,
+    stride: u64,
+    interval: Duration,
+    keys: u64,
+    feedback_every: u64,
+) -> std::io::Result<ThreadReport> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut report = ThreadReport {
+        latencies_ns: Vec::with_capacity(count as usize),
+        ..ThreadReport::default()
+    };
+    let started = Instant::now();
+    for i in 0..count {
+        // Pace against the schedule, not the previous send: a slow
+        // response eats its own slot instead of shifting the whole run.
+        let due = interval * u32::try_from(i).unwrap_or(u32::MAX);
+        let elapsed = started.elapsed();
+        if elapsed < due {
+            std::thread::sleep(due - elapsed);
+        }
+        let seq = thread_idx + i * stride;
+        let (customer, subscription, resource_group) = path_fields(seq, keys);
+        let id = (thread_idx << 32) | i;
+        let is_feedback = feedback_every > 0 && seq % feedback_every == feedback_every - 1;
+        let payload = if is_feedback {
+            format!(
+                "{{\"gamma\": -0.5, \"customer\": {customer}, \
+                 \"subscription\": {subscription}, \"resource_group\": {resource_group}}}"
+            )
+        } else {
+            format!(
+                "{{\"id\": {id}, \"profile\": {{}}, \"customer\": {customer}, \
+                 \"subscription\": {subscription}, \"resource_group\": {resource_group}}}"
+            )
+        };
+        let sent = Instant::now();
+        write_frame(&mut stream, payload.as_bytes())?;
+        let answer = read_frame(&mut stream)?;
+        let latency = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        report.latencies_ns.push(latency);
+        let text = String::from_utf8_lossy(&answer);
+        let value = serde_json::parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response frame: {e}"),
+            )
+        })?;
+        if is_feedback {
+            if value.get_field("ack").is_some() {
+                report.feedback_acked += 1;
+            } else {
+                report.errors += 1;
+            }
+        } else if value.get_field("ok").is_some() {
+            // Closed-loop invariant: the response on this connection must
+            // answer the request we just sent.
+            let echoed = value
+                .get_field("id")
+                .and_then(|v| u64::from_value(v).ok())
+                .unwrap_or(u64::MAX);
+            if echoed != id {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response id {echoed} does not match request id {id}"),
+                ));
+            }
+            report.ok += 1;
+        } else {
+            report.errors += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Nearest-rank percentile over a sorted latency vector.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_options();
+    let interval = Duration::from_nanos(1_000_000_000 * opts.connections as u64 / opts.qps);
+    let per_thread = opts.requests / opts.connections as u64;
+    let started = Instant::now();
+    let threads: Vec<_> = (0..opts.connections)
+        .map(|t| {
+            let addr = opts.addr.clone();
+            let (keys, feedback_every) = (opts.keys, opts.feedback_every);
+            let stride = opts.connections as u64;
+            std::thread::spawn(move || {
+                connection_loop(
+                    &addr,
+                    t as u64,
+                    per_thread,
+                    stride,
+                    interval,
+                    keys,
+                    feedback_every,
+                )
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut errors, mut feedback_acked, mut failed_conns) = (0u64, 0u64, 0u64, 0u64);
+    for thread in threads {
+        match thread.join().expect("loadgen thread panicked") {
+            Ok(report) => {
+                latencies.extend(report.latencies_ns);
+                ok += report.ok;
+                errors += report.errors;
+                feedback_acked += report.feedback_acked;
+            }
+            Err(e) => {
+                eprintln!("loadgen: connection failed: {e}");
+                failed_conns += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    if opts.drain {
+        match TcpStream::connect(&opts.addr) {
+            Ok(mut stream) => {
+                if write_frame(&mut stream, b"{\"op\": \"drain\"}").is_ok() {
+                    let _ = read_frame(&mut stream);
+                }
+            }
+            Err(e) => eprintln!("loadgen: drain connection failed: {e}"),
+        }
+    }
+    latencies.sort_unstable();
+    let achieved_qps = latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let report = Value::Map(vec![
+        ("target_qps".to_owned(), Value::UInt(opts.qps)),
+        ("achieved_qps".to_owned(), Value::Float(achieved_qps)),
+        (
+            "connections".to_owned(),
+            Value::UInt(opts.connections as u64),
+        ),
+        ("keys".to_owned(), Value::UInt(opts.keys)),
+        ("requests".to_owned(), Value::UInt(latencies.len() as u64)),
+        ("ok".to_owned(), Value::UInt(ok)),
+        ("errors".to_owned(), Value::UInt(errors)),
+        ("feedback_acked".to_owned(), Value::UInt(feedback_acked)),
+        ("failed_connections".to_owned(), Value::UInt(failed_conns)),
+        (
+            "elapsed_ms".to_owned(),
+            Value::UInt(elapsed.as_millis() as u64),
+        ),
+        (
+            "p50_ns".to_owned(),
+            Value::UInt(percentile(&latencies, 50.0)),
+        ),
+        (
+            "p95_ns".to_owned(),
+            Value::UInt(percentile(&latencies, 95.0)),
+        ),
+        (
+            "p99_ns".to_owned(),
+            Value::UInt(percentile(&latencies, 99.0)),
+        ),
+        (
+            "max_ns".to_owned(),
+            Value::UInt(latencies.last().copied().unwrap_or(0)),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    match &opts.out {
+        Some(path) => std::fs::write(path, text).expect("write report"),
+        None => println!("{text}"),
+    }
+    if failed_conns > 0 {
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,8 @@ use lorentz_core::{
     Rightsizer, SatisfactionSignal, TrainedLorentz,
 };
 use lorentz_serve::{
-    FollowerConfig, FollowerEngine, ServeConfig, ServeRequest, ServeResponse, ServingEngine,
+    serve_net, FollowerConfig, FollowerEngine, NetConfig, ServeConfig, ServeRequest, ServeResponse,
+    ServingEngine,
 };
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
 use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
@@ -63,6 +64,18 @@ USAGE:
                      each with its published λ delta, and replays them on startup; answers
                      go to stdout, the engine drains gracefully, and --metrics-out
                      snapshots after the drain)
+  lorentz serve     --model model.json --listen ADDR [--shards N]
+                    [--workers N] [--queue-capacity N] [--degraded-at N] [--deadline-ms N]
+                    [--kind hierarchical|target-encoding] [--feedback-wal wal.log]
+                    [--max-frame-len BYTES] [--json] [--metrics-out metrics.json]
+                    (TCP front end: binds ADDR — port 0 picks a free port, printed as
+                     'listening on <addr>' on stderr — and serves persistent connections
+                     speaking length-prefixed JSON frames (u32 big-endian byte length,
+                     then that many bytes of JSON): request/feedback objects as in
+                     --requests mode, {\"op\": \"ping\"} to probe, {\"op\": \"drain\"} to
+                     stop; --shards splits the store and λ-state into N power-of-two
+                     shards so every hot publish touches one shard; the post-drain
+                     ledger and net accounting go to stderr)
   lorentz serve     --model model.json --requests requests.ndjson --follow wal.log
                     [--kind hierarchical|target-encoding] [--json] [--metrics-out metrics.json]
                     (read-only follower: catches up on the leader's WAL, applies its
@@ -511,17 +524,11 @@ fn wait_for_quiescence(engine: &ServingEngine) {
 pub fn serve(args: &Args) -> Result<(), CliError> {
     use serde::Serialize;
     let deployment = Arc::new(load_model(args.require("model")?)?);
-    let requests_path = args.require("requests")?;
-    let text = fs::read_to_string(requests_path).map_err(|e| CliError::io(requests_path, e))?;
-    let lines = parse_serve_lines(&text, requests_path, deployment.profiles().schema())?;
     let kind = match args.get_or("kind", "hierarchical") {
         "hierarchical" => ModelKind::Hierarchical,
         "target-encoding" => ModelKind::TargetEncoding,
         other => return Err(CliError::Usage(format!("unknown model kind '{other}'"))),
     };
-    if let Some(wal_path) = args.get("follow") {
-        return serve_follow(args, deployment, lines, kind, wal_path);
-    }
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         workers: args.get_parse_or("workers", defaults.workers)?,
@@ -529,8 +536,18 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         degraded_threshold: parse_opt_flag(args, "degraded-at")?.or(defaults.degraded_threshold),
         default_deadline: parse_opt_flag::<u64>(args, "deadline-ms")?.map(Duration::from_millis),
         kind,
+        shards: args.get_parse_or("shards", defaults.shards)?,
         ..defaults
     };
+    if let Some(addr) = args.get("listen") {
+        return serve_listen(args, deployment, config, addr);
+    }
+    let requests_path = args.require("requests")?;
+    let text = fs::read_to_string(requests_path).map_err(|e| CliError::io(requests_path, e))?;
+    let lines = parse_serve_lines(&text, requests_path, deployment.profiles().schema())?;
+    if let Some(wal_path) = args.get("follow") {
+        return serve_follow(args, deployment, lines, kind, wal_path);
+    }
     let total = lines
         .iter()
         .filter(|l| matches!(l, ServeLine::Request(_)))
@@ -611,6 +628,105 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         stats.degraded,
         stats.feedback_applied
     );
+    write_metrics(args)
+}
+
+/// `lorentz serve --listen`: put the TCP front end on the engine. Binds the
+/// address, prints `listening on <addr>` to stderr (port 0 resolves to the
+/// kernel-assigned port, so harnesses can parse it), and serves persistent
+/// connections speaking the length-prefixed JSON frame protocol until a
+/// client sends `{"op": "drain"}`. The post-drain ledger and per-connection
+/// accounting go to stderr; `--json` additionally prints the report as JSON
+/// on stdout.
+fn serve_listen(
+    args: &Args,
+    deployment: Arc<TrainedLorentz>,
+    config: ServeConfig,
+    addr: &str,
+) -> Result<(), CliError> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| CliError::io(addr, e))?;
+    let local = listener.local_addr().map_err(|e| CliError::io(addr, e))?;
+    let (engine, responses) = match args.get("feedback-wal") {
+        Some(wal_path) => ServingEngine::start_with_wal(Arc::clone(&deployment), config, wal_path)?,
+        None => ServingEngine::start(Arc::clone(&deployment), config)?,
+    };
+    let net_defaults = NetConfig::default();
+    let net_config = NetConfig {
+        max_frame_len: args.get_parse_or("max-frame-len", net_defaults.max_frame_len)?,
+        ..net_defaults
+    };
+    eprintln!("listening on {local} ({} shards)", config.shards);
+    let report = serve_net(deployment, engine, responses, listener, net_config)
+        .map_err(|e| CliError::io(addr, e))?;
+    let stats = report.engine;
+    eprintln!(
+        "served {} requests against store v{}: \
+         {} accepted, {} answered, {} rejected, {} timed out, {} degraded, \
+         {} feedback applied (lambda v{})",
+        stats.submitted,
+        report.store_version,
+        stats.accepted,
+        stats.answered,
+        stats.rejected,
+        stats.timed_out,
+        stats.degraded,
+        stats.feedback_applied,
+        report.lambda_version,
+    );
+    eprintln!(
+        "net: {} connections, {} frames in, {} frames out, {} frame errors, \
+         {} disconnects, {} dropped responses",
+        report.connections,
+        report.frames_in,
+        report.frames_out,
+        report.frame_errors,
+        report.disconnects,
+        report.dropped_responses,
+    );
+    if args.has_switch("json") {
+        let row = serde::Value::Map(vec![
+            ("submitted".to_owned(), serde::Value::UInt(stats.submitted)),
+            ("accepted".to_owned(), serde::Value::UInt(stats.accepted)),
+            ("answered".to_owned(), serde::Value::UInt(stats.answered)),
+            ("rejected".to_owned(), serde::Value::UInt(stats.rejected)),
+            ("timed_out".to_owned(), serde::Value::UInt(stats.timed_out)),
+            ("degraded".to_owned(), serde::Value::UInt(stats.degraded)),
+            (
+                "feedback_applied".to_owned(),
+                serde::Value::UInt(stats.feedback_applied),
+            ),
+            (
+                "store_version".to_owned(),
+                serde::Value::UInt(report.store_version),
+            ),
+            (
+                "lambda_version".to_owned(),
+                serde::Value::UInt(report.lambda_version),
+            ),
+            (
+                "connections".to_owned(),
+                serde::Value::UInt(report.connections),
+            ),
+            ("frames_in".to_owned(), serde::Value::UInt(report.frames_in)),
+            (
+                "frames_out".to_owned(),
+                serde::Value::UInt(report.frames_out),
+            ),
+            (
+                "frame_errors".to_owned(),
+                serde::Value::UInt(report.frame_errors),
+            ),
+            (
+                "disconnects".to_owned(),
+                serde::Value::UInt(report.disconnects),
+            ),
+            (
+                "dropped_responses".to_owned(),
+                serde::Value::UInt(report.dropped_responses),
+            ),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&row)?);
+    }
     write_metrics(args)
 }
 

@@ -13,6 +13,8 @@
 //!                   [--workers 4] [--queue-capacity 1024] [--degraded-at N] \
 //!                   [--deadline-ms N] [--feedback-wal wal.log] [--follow wal.log] \
 //!                   [--json] [--metrics-out metrics.json]
+//! lorentz serve     --model model.json --listen 127.0.0.1:0 [--shards 8] \
+//!                   [--workers 4] [--queue-capacity 1024] [--max-frame-len BYTES]
 //! lorentz wal-verify --wal wal.log
 //! lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
 //! lorentz offering  --fleet fleet.json --profile "IndustryName=industryname-1"

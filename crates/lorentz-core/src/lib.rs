@@ -49,11 +49,11 @@ pub use explain::{Explanation, Recommendation};
 pub use fleet::FleetDataset;
 pub use personalizer::{
     LambdaEpoch, LambdaSnapshot, LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal,
-    SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport,
+    ShardedLambdaStore, SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport,
 };
 pub use pipeline::{
     LiveModel, LorentzPipeline, ModelKind, RecommendEngine, RecommendRequest, StoreOnly,
-    TrainedLorentz,
+    StoreProbe, TrainedLorentz,
 };
 pub use provisioner::{
     HierarchicalConfig, HierarchicalProvisioner, OfferingRecommender, Provisioner,
@@ -62,5 +62,8 @@ pub use provisioner::{
 pub use report::{fleet_report, FleetReport};
 pub use retry::{is_transient_io, retry_with_backoff, RetryPolicy};
 pub use rightsizer::{ProvisioningVerdict, RightsizeOutcome, Rightsizer};
-pub use store::{DurableStore, PredictionStore, RecoveredStore, SharedPredictionStore, StoreError};
+pub use store::{
+    DurableStore, PredictionStore, RecoveredStore, ShardedPredictionStore, ShardedStoreSnapshot,
+    SharedPredictionStore, StoreError,
+};
 pub use validation::{validate_deployment, DeploymentReport, PublishGate};

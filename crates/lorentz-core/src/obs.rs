@@ -56,6 +56,13 @@
 //! | `engine.feedback.applied` | counter | feedback signals applied and published |
 //! | `engine.replication.applied` | counter | delta records a follower applied from the WAL |
 //! | `engine.replication.lag_epochs` | gauge | epochs a follower trails the latest WAL record |
+//! | `engine.net.connections` | counter | TCP connections accepted by the net front end |
+//! | `engine.net.active_connections` | gauge | TCP connections currently open |
+//! | `engine.net.frames_in` | counter | request frames decoded off sockets |
+//! | `engine.net.frames_out` | counter | response frames written to sockets |
+//! | `engine.net.frame_errors` | counter | frames rejected before reaching the engine |
+//! | `engine.net.disconnects` | counter | connections ended by an I/O error |
+//! | `engine.net.dropped_responses` | counter | responses whose connection vanished first |
 
 use lorentz_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Once;
@@ -148,6 +155,23 @@ pub static ENGINE_REPLICATION_APPLIED: Counter = Counter::new();
 /// Epochs the follower's λ store trails the newest WAL record it has seen
 /// (0 once caught up; set per tail poll).
 pub static ENGINE_REPLICATION_LAG_EPOCHS: Gauge = Gauge::new();
+/// TCP connections the net front end has accepted since start.
+pub static NET_CONNECTIONS: Counter = Counter::new();
+/// TCP connections currently open (accepted minus closed).
+pub static NET_ACTIVE_CONNECTIONS: Gauge = Gauge::new();
+/// Request frames decoded off sockets (before engine admission).
+pub static NET_FRAMES_IN: Counter = Counter::new();
+/// Response frames written back to sockets.
+pub static NET_FRAMES_OUT: Counter = Counter::new();
+/// Frames rejected before reaching the engine (oversized, malformed
+/// length, or unparseable payload).
+pub static NET_FRAME_ERRORS: Counter = Counter::new();
+/// Connections that ended with an I/O error instead of a clean close or
+/// drain (half-open peers, mid-frame disconnects, write failures).
+pub static NET_DISCONNECTS: Counter = Counter::new();
+/// Responses dropped because their connection was already gone when the
+/// engine answered.
+pub static NET_DROPPED_RESPONSES: Counter = Counter::new();
 
 static REGISTRY: Registry = Registry::new();
 static REGISTER: Once = Once::new();
@@ -210,6 +234,13 @@ pub fn registry() -> &'static Registry {
             "engine.replication.lag_epochs",
             &ENGINE_REPLICATION_LAG_EPOCHS,
         );
+        r.register_counter("engine.net.connections", &NET_CONNECTIONS);
+        r.register_gauge("engine.net.active_connections", &NET_ACTIVE_CONNECTIONS);
+        r.register_counter("engine.net.frames_in", &NET_FRAMES_IN);
+        r.register_counter("engine.net.frames_out", &NET_FRAMES_OUT);
+        r.register_counter("engine.net.frame_errors", &NET_FRAME_ERRORS);
+        r.register_counter("engine.net.disconnects", &NET_DISCONNECTS);
+        r.register_counter("engine.net.dropped_responses", &NET_DROPPED_RESPONSES);
     });
     &REGISTRY
 }

@@ -33,11 +33,11 @@
 use super::{strat_index, Personalizer, SatisfactionSignal};
 use crate::obs;
 use lorentz_types::{
-    DeltaCorruption, LambdaDelta, PathKey, ResourcePath, ServerOffering, Sku, SkuCatalog,
-    StratLambdas,
+    DeltaCorruption, LambdaDelta, PathKey, PathKeyHasher, ResourcePath, ServerOffering, Sku,
+    SkuCatalog, StratLambdas,
 };
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::BuildHasherDefault;
 use std::sync::Arc;
 
 /// Maximum overlay generations an epoch may carry; a publish that would
@@ -50,39 +50,9 @@ const MAX_OVERLAY_GENERATIONS: usize = 4;
 /// changed.
 const FOLD_DIVISOR: usize = 2;
 
-/// Multiply-fold hasher for packed [`PathKey`]s. λ-table probes sit on
-/// the per-request serving path, where SipHash on a `u128` is the single
-/// largest cost; keys are fixed-width id triples (not attacker-chosen
-/// strings), so a Fibonacci-multiply mix is collision-adequate and ~3x
-/// faster. Not DoS-hardened — only for `LambdaTable`.
-#[derive(Clone, Copy, Default)]
-struct PathKeyHasher(u64);
-
-impl Hasher for PathKeyHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Fallback for non-u128 input (unused by LambdaTable): FNV-1a.
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    #[inline]
-    fn write_u128(&mut self, n: u128) {
-        // Rotate the high half before xor so (hi, lo) and (lo, hi) differ,
-        // then a Fibonacci multiply pushes entropy into the top bits the
-        // hashbrown probe sequence and control bytes consume.
-        const K: u64 = 0x9E37_79B9_7F4A_7C15;
-        let folded = (n as u64) ^ ((n >> 64) as u64).rotate_left(32);
-        self.0 = folded.wrapping_mul(K);
-    }
-}
-
-/// One packed-key λ table (a base or one overlay generation).
+/// One packed-key λ table (a base or one overlay generation), probed with
+/// the shared multiply-fold [`PathKeyHasher`] — the same discipline the
+/// shard router reuses for its routing bits.
 type LambdaTable = HashMap<u128, StratLambdas, BuildHasherDefault<PathKeyHasher>>;
 
 /// One immutable published view of the λ-table: the epoch number plus a
@@ -290,10 +260,45 @@ impl LambdaStore {
     /// advances the epoch.
     pub fn publish_delta(&self) -> LambdaDelta {
         let mut w = self.writer.lock();
-        let pending = std::mem::take(&mut w.pending);
-        let len = w.personalizer.profiles();
         let current = self.slot.lock().clone();
         let epoch = current.epoch + 1;
+        self.publish_pending(&mut w, &current, epoch)
+    }
+
+    /// Like [`LambdaStore::publish_delta`], but publishing at an
+    /// externally minted epoch number instead of `current + 1`. This is
+    /// how a sharded λ store keeps one global, WAL-monotone epoch sequence
+    /// across per-customer shards: a central counter mints the number and
+    /// the owning shard publishes at it, so shard-local epochs advance
+    /// with gaps (which delta replay already tolerates) while the framed
+    /// records stay strictly increasing.
+    ///
+    /// # Errors
+    /// [`DeltaCorruption::EpochRegression`] if `epoch` does not advance
+    /// this store's current epoch; pending changes stay pending.
+    pub fn publish_delta_at(&self, epoch: u64) -> Result<LambdaDelta, DeltaCorruption> {
+        let mut w = self.writer.lock();
+        let current = self.slot.lock().clone();
+        if epoch <= current.epoch {
+            return Err(DeltaCorruption::EpochRegression {
+                current: current.epoch,
+                got: epoch,
+            });
+        }
+        Ok(self.publish_pending(&mut w, &current, epoch))
+    }
+
+    /// Publishes the writer's pending keys at `epoch` and returns the
+    /// delta. Caller holds the writer lock and guarantees the epoch
+    /// advances.
+    fn publish_pending(
+        &self,
+        w: &mut WriterState,
+        current: &LambdaEpoch,
+        epoch: u64,
+    ) -> LambdaDelta {
+        let pending = std::mem::take(&mut w.pending);
+        let len = w.personalizer.profiles();
         let delta = LambdaDelta::new(
             epoch,
             pending
@@ -301,8 +306,7 @@ impl LambdaStore {
                 .map(|(k, v)| (PathKey::unpack(*k).expect("packed from PathKey"), *v))
                 .collect(),
         );
-        self.swap_epoch(&current, epoch, pending, len);
-        drop(w);
+        self.swap_epoch(current, epoch, pending, len);
         delta
     }
 
@@ -619,6 +623,32 @@ mod tests {
                 .lambda(&path(1, 1, 1), ServerOffering::GeneralPurpose),
             0.0
         );
+    }
+
+    #[test]
+    fn publish_delta_at_mints_gapped_epochs_and_rejects_regression() {
+        let store = store();
+        let sig =
+            SatisfactionSignal::new(path(1, 1, 1), ServerOffering::GeneralPurpose, 1.0).unwrap();
+        store.apply_signal(&sig);
+        // A central counter may skip numbers this shard never minted.
+        let delta = store.publish_delta_at(7).unwrap();
+        assert_eq!(delta.epoch, 7);
+        assert_eq!(delta.entries.len(), 1);
+        assert_eq!(store.version(), 7);
+        // Regression is refused and the pending keys survive for the next
+        // valid publish.
+        store.apply_signal(&sig);
+        let err = store.publish_delta_at(7).unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaCorruption::EpochRegression { current: 7, got: 7 }
+        ));
+        let delta = store.publish_delta_at(9).unwrap();
+        assert_eq!(delta.epoch, 9);
+        assert_eq!(delta.entries.len(), 1, "pending keys were not lost");
+        // The plain publisher continues from the adopted numbering.
+        assert_eq!(store.publish_delta().epoch, 10);
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! `c** = ξ⁻¹(ξ(c*) + λ) = 2^λ · c*` (Eq. 13–14).
 
 pub mod lambda;
+pub mod sharded;
 pub mod signals;
 pub mod wal;
 
 pub use lambda::{LambdaEpoch, LambdaSnapshot, LambdaStore};
+pub use sharded::ShardedLambdaStore;
 pub use signals::{classify_ticket, CriTicket, KeywordClassifier};
 pub use wal::{SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport};
 

@@ -29,8 +29,48 @@ use super::{ModelKind, RecommendRequest, TrainedLorentz};
 use crate::explain::{Explanation, Recommendation};
 use crate::obs;
 use crate::personalizer::LambdaSnapshot;
-use crate::store::PredictionStore;
-use lorentz_types::{FeatureId, LorentzError, ProfileVector, ValueId};
+use crate::store::{PredictionStore, ShardedStoreSnapshot};
+use lorentz_types::{FeatureId, LorentzError, ProfileVector, ServerOffering, ValueId};
+
+/// A probe-able prediction source: anything that answers the
+/// most-granular-first level walk a [`StoreOnly`] engine performs. The two
+/// implementors — the flat [`PredictionStore`] and a pinned
+/// [`ShardedStoreSnapshot`] — answer identically for identical contents
+/// (the shard-equivalence proptest pins this), so the engine is generic
+/// over the probe and monomorphizes to the same code either way.
+pub trait StoreProbe {
+    /// Probes `levels` most granular first, falling back to the
+    /// per-offering default.
+    ///
+    /// # Errors
+    /// [`LorentzError::NotFound`] if no key matches and no default exists
+    /// for the offering.
+    fn probe(
+        &self,
+        offering: ServerOffering,
+        levels: &[(FeatureId, ValueId)],
+    ) -> Result<(f64, Explanation), LorentzError>;
+}
+
+impl StoreProbe for PredictionStore {
+    fn probe(
+        &self,
+        offering: ServerOffering,
+        levels: &[(FeatureId, ValueId)],
+    ) -> Result<(f64, Explanation), LorentzError> {
+        self.lookup(offering, levels)
+    }
+}
+
+impl StoreProbe for ShardedStoreSnapshot {
+    fn probe(
+        &self,
+        offering: ServerOffering,
+        levels: &[(FeatureId, ValueId)],
+    ) -> Result<(f64, Explanation), LorentzError> {
+        self.lookup(offering, levels)
+    }
+}
 
 /// A serving engine: one recommendation source behind a uniform single /
 /// batched interface. Implementations must keep the two entry points
@@ -148,11 +188,39 @@ impl RecommendEngine for LiveModel<'_> {
 /// falling back most-granular-first along the learned hierarchy, then
 /// applies the λ adjustment. Probes use packed integer keys — no string is
 /// built per lookup. Records the `serve.store*` spans and counters.
-#[derive(Debug, Clone, Copy)]
-pub struct StoreOnly<'a> {
+/// Generic over the [`StoreProbe`] source: the default `PredictionStore`
+/// keeps every existing signature, while the serving engine's degraded
+/// path instantiates `StoreOnly<'_, ShardedStoreSnapshot>` over its pinned
+/// per-shard snapshots.
+#[derive(Debug)]
+pub struct StoreOnly<'a, S: StoreProbe = PredictionStore> {
     deployment: &'a TrainedLorentz,
-    store: &'a PredictionStore,
+    store: &'a S,
     lambdas: Option<&'a LambdaSnapshot>,
+}
+
+impl<S: StoreProbe> Clone for StoreOnly<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: StoreProbe> Copy for StoreOnly<'_, S> {}
+
+impl<'a, S: StoreProbe> StoreOnly<'a, S> {
+    /// An engine over an arbitrary probe source and a live λ snapshot —
+    /// the fully general constructor the specialized ones delegate to.
+    pub fn with_probe_and_lambdas(
+        deployment: &'a TrainedLorentz,
+        store: &'a S,
+        lambdas: &'a LambdaSnapshot,
+    ) -> Self {
+        Self {
+            deployment,
+            store,
+            lambdas: Some(lambdas),
+        }
+    }
 }
 
 impl<'a> StoreOnly<'a> {
@@ -202,7 +270,9 @@ impl<'a> StoreOnly<'a> {
             lambdas: Some(lambdas),
         }
     }
+}
 
+impl<S: StoreProbe> StoreOnly<'_, S> {
     /// The store-serving core: probe levels into `levels`, look up,
     /// personalize. Every lookup outcome lands in one of the
     /// `store.lookup.{hits,defaults,misses}` counters.
@@ -212,7 +282,7 @@ impl<'a> StoreOnly<'a> {
         levels: &mut Vec<(FeatureId, ValueId)>,
     ) -> Result<Recommendation, LorentzError> {
         self.deployment.store_levels(request, levels)?;
-        let lookup = self.store.lookup(request.offering, levels);
+        let lookup = self.store.probe(request.offering, levels);
         match &lookup {
             Ok((_, Explanation::StoreLookup { key: Some(_), .. })) => obs::STORE_HITS.inc(),
             Ok(_) => obs::STORE_DEFAULTS.inc(),
@@ -224,7 +294,7 @@ impl<'a> StoreOnly<'a> {
     }
 }
 
-impl RecommendEngine for StoreOnly<'_> {
+impl<S: StoreProbe> RecommendEngine for StoreOnly<'_, S> {
     /// Serves one request from the store. Records one
     /// `serve.store.span_ns` observation plus request/error counters.
     fn recommend_one(

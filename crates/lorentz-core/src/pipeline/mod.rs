@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 pub use context::TrainContext;
-pub use engine::{LiveModel, RecommendEngine, StoreOnly};
+pub use engine::{LiveModel, RecommendEngine, StoreOnly, StoreProbe};
 
 /// Which Stage-2 model serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -14,8 +14,10 @@
 //! via manual serde impls, preserving a readable persisted format.
 
 pub mod durability;
+pub mod sharded;
 
 pub use durability::{atomic_write, DurableStore, RecoveredStore, StoreError};
+pub use sharded::{ShardedPredictionStore, ShardedStoreSnapshot};
 
 use crate::explain::Explanation;
 use crate::obs;

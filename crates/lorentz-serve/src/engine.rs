@@ -4,14 +4,14 @@ use crate::types::{
     EngineError, EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };
 use lorentz_core::obs;
-use lorentz_core::personalizer::{LambdaSnapshot, LambdaStore, WalRecord, WalRecovery};
+use lorentz_core::personalizer::{LambdaSnapshot, ShardedLambdaStore, WalRecord, WalRecovery};
 use lorentz_core::store::PublishBatch;
 use lorentz_core::{
-    RecommendEngine, RecommendRequest, SatisfactionSignal, SharedPredictionStore, SignalWal,
+    RecommendEngine, RecommendRequest, SatisfactionSignal, ShardedPredictionStore, SignalWal,
     StoreOnly, TrainedLorentz,
 };
 use lorentz_fault::fail_point;
-use lorentz_types::LorentzError;
+use lorentz_types::{LorentzError, ResourcePath};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -61,13 +61,15 @@ struct Supervisor {
 struct Shared {
     deployment: Arc<TrainedLorentz>,
     /// The hot-swap store: seeded from the deployment's published store at
-    /// startup, re-published through [`ServingEngine::publish`] with zero
-    /// reader downtime.
-    store: SharedPredictionStore,
-    /// The live λ-table: seeded from the deployment's batch personalizer,
-    /// advanced by the λ-writer as feedback arrives, read by every worker
-    /// through a per-request snapshot.
-    lambdas: LambdaStore,
+    /// startup, split across `config.shards` per-shard snapshot slots,
+    /// re-published through [`ServingEngine::publish`] with zero reader
+    /// downtime.
+    store: ShardedPredictionStore,
+    /// The live λ-state: seeded from the deployment's batch personalizer,
+    /// sharded by customer, advanced by the λ-writer as feedback arrives
+    /// (each delta swapping only its owning shard), read by every worker
+    /// through a per-request shard snapshot.
+    lambdas: ShardedLambdaStore,
     config: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
@@ -146,7 +148,8 @@ impl ServingEngine {
         let (tx, rx) = channel();
         let (feedback_tx, feedback_rx) = channel();
         let worker_count = config.workers.max(1);
-        let lambdas = LambdaStore::new(deployment.personalizer().clone());
+        let lambdas = ShardedLambdaStore::new(deployment.personalizer().clone(), config.shards)
+            .map_err(EngineError::Config)?;
         let (wal, recovered, last_epoch) = match wal {
             Some((wal, recovery)) => (Some(wal), recovery.signals, recovery.last_epoch),
             None => (None, Vec::new(), 0),
@@ -160,7 +163,8 @@ impl ServingEngine {
         // may lag the per-signal epochs the crashed leader wrote).
         lambdas.restore_epoch(last_epoch);
         let shared = Arc::new(Shared {
-            store: SharedPredictionStore::from_store(deployment.store().clone()),
+            store: ShardedPredictionStore::from_store(deployment.store(), config.shards)
+                .map_err(EngineError::Config)?,
             lambdas,
             deployment,
             config,
@@ -308,9 +312,31 @@ impl ServingEngine {
         }
     }
 
-    /// The current published λ snapshot (a cheap `Arc` clone).
+    /// The current published λ snapshot (a cheap `Arc` clone). Only
+    /// meaningful for single-shard engines (the default); sharded engines
+    /// serve per-customer shards — use
+    /// [`ServingEngine::lambda_snapshot_for`].
     pub fn lambda_snapshot(&self) -> Arc<LambdaSnapshot> {
-        self.shared.lambdas.snapshot()
+        debug_assert_eq!(
+            self.shared.lambdas.shards(),
+            1,
+            "lambda_snapshot() on a sharded engine; use lambda_snapshot_for(path)"
+        );
+        self.shared
+            .lambdas
+            .snapshot_shard(0)
+            .expect("shard 0 always exists")
+    }
+
+    /// The current published λ snapshot covering `path`'s customer (a
+    /// cheap `Arc` clone of the owning shard's epoch).
+    pub fn lambda_snapshot_for(&self, path: &ResourcePath) -> Arc<LambdaSnapshot> {
+        self.shared.lambdas.snapshot_for(path)
+    }
+
+    /// How many shards the engine's store and λ-state are split across.
+    pub fn shards(&self) -> usize {
+        self.shared.store.shards()
     }
 
     /// The currently published λ snapshot version.
@@ -553,7 +579,9 @@ fn feedback_loop(shared: &Shared, rx: &Receiver<FeedbackMsg>, mut wal: Option<Si
         match msg {
             FeedbackMsg::Signal(signal) => {
                 shared.lambdas.apply_signal(&signal);
-                let delta = shared.lambdas.publish_delta();
+                // Publish only the owning shard, at a globally minted epoch
+                // (so the WAL frames stay strictly increasing).
+                let delta = shared.lambdas.publish_delta_for(&signal.path);
                 if let Some(wal) = wal.as_mut() {
                     // Frame the epoch-stamped delta so a follower tailing
                     // this WAL replays the exact published rows without
@@ -612,15 +640,16 @@ fn serve_job(shared: &Shared, job: Job) -> (ServeResponse, bool) {
             offering: request.offering,
             path: request.path,
         };
-        // Pin one λ snapshot for the whole request: a feedback publish
-        // landing mid-serve changes later requests, never this one.
-        let lambdas = shared.lambdas.snapshot();
+        // Pin one λ snapshot (the shard owning this request's customer)
+        // for the whole request: a feedback publish landing mid-serve
+        // changes later requests, never this one.
+        let lambdas = shared.lambdas.snapshot_for(&request.path);
         let served = if degraded {
-            // Serve from the hot-swap snapshot: the Arc clone pins one
-            // consistent store version for this request, publishes land in
-            // later snapshots.
+            // Serve from the hot-swap snapshot: the per-shard Arc clones
+            // pin one consistent store world for this request, publishes
+            // land in later snapshots.
             let snapshot = shared.store.snapshot();
-            StoreOnly::with_store_and_lambdas(&shared.deployment, &snapshot, &lambdas)
+            StoreOnly::with_probe_and_lambdas(&shared.deployment, &snapshot, &lambdas)
                 .recommend_one(&borrowed)
         } else {
             shared

@@ -48,6 +48,20 @@
 //!   (catch-up-then-serve), applies the framed deltas to its own λ store,
 //!   and answers recommendations from the replicated epochs — a read
 //!   replica that converges bit-for-bit without re-running propagation.
+//! * **Sharded state** — with [`ServeConfig::shards`] > 1 the prediction
+//!   store and λ-state split into power-of-two shards selected by a
+//!   multiply-fold hash of the packed key
+//!   ([`ShardRouter`](lorentz_types::ShardRouter)); a store hot-swap or
+//!   λ-delta publish touches exactly one shard's `Arc` slot, so publishes
+//!   to different shards never contend and readers on the other shards
+//!   never see so much as a cache-line bounce. λ epochs stay globally
+//!   minted, so the WAL/follower protocol is unchanged.
+//! * **TCP front end** — [`serve_net`] serves the engine over persistent
+//!   TCP connections speaking the length-prefixed JSON frame protocol in
+//!   [`wire`]: one acceptor, a reader + writer thread per connection, a
+//!   dispatcher routing responses back to the submitting connection, and
+//!   a drain frame that closes the ledger exactly. Per-connection traffic
+//!   lands in the `engine.net.*` obs metrics and the final [`NetReport`].
 //!
 //! All of it threads through the process-wide `lorentz_core::obs` metrics
 //! (`engine.*` counters, queue-depth gauge, end-to-end latency histogram),
@@ -110,10 +124,13 @@
 
 mod engine;
 mod follower;
+mod net;
 mod types;
+pub mod wire;
 
 pub use engine::ServingEngine;
 pub use follower::{FollowerConfig, FollowerEngine, FollowerStats};
+pub use net::{serve_net, NetConfig, NetReport};
 pub use types::{
     EngineError, EngineStats, RequestError, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };

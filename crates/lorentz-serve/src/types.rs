@@ -30,12 +30,16 @@ pub struct ServeConfig {
     /// Base delay before a replacement worker starts; doubles per restart
     /// already used, capped at one second.
     pub restart_backoff: Duration,
+    /// Power-of-two shard count for the hot-swap prediction store and the
+    /// λ-state. 1 (the default) degenerates to the unsharded engine; larger
+    /// counts make every store hot-swap and λ-delta a single-shard publish.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
     /// 4 workers, a 1024-deep queue, degraded mode at 3/4 capacity, no
     /// default deadline, hierarchical live model, up to 8 worker restarts
-    /// starting at a 10 ms backoff.
+    /// starting at a 10 ms backoff, a single shard.
     fn default() -> Self {
         Self {
             workers: 4,
@@ -45,6 +49,7 @@ impl Default for ServeConfig {
             kind: ModelKind::Hierarchical,
             max_worker_restarts: 8,
             restart_backoff: Duration::from_millis(10),
+            shards: 1,
         }
     }
 }
@@ -128,6 +133,10 @@ pub enum EngineError {
     /// The feedback WAL could not be opened or replayed at startup.
     #[error("feedback WAL failed: {0}")]
     Wal(lorentz_core::StoreError),
+    /// The engine configuration is invalid (e.g. a non-power-of-two shard
+    /// count).
+    #[error("invalid engine configuration: {0}")]
+    Config(LorentzError),
 }
 
 impl From<lorentz_core::StoreError> for EngineError {

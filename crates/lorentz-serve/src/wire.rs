@@ -1,0 +1,372 @@
+//! The NDJSON-over-TCP wire protocol: length-prefixed JSON frames.
+//!
+//! Every frame on the socket — in either direction — is a big-endian
+//! `u32` byte length followed by exactly that many bytes of UTF-8 JSON.
+//! The length prefix makes framing unambiguous under partial reads (a
+//! mid-frame disconnect is distinguishable from a clean close) and lets
+//! the server reject an oversized frame *before* buffering it.
+//!
+//! Client → server frames are one JSON object each, the same shape the
+//! CLI's stdin serve mode reads:
+//!
+//! * a **request**: `{"id": 7, "profile": {"industry": "banking"},
+//!   "offering": "general_purpose", "customer": 3, "subscription": 1,
+//!   "resource_group": 9, "deadline_ms": 50}` — every field optional
+//!   (`id` defaults to 0 and is echoed back verbatim; the server routes
+//!   responses internally, so ids need not be unique across connections);
+//! * a **feedback signal**: any object with a `gamma` field (`gamma` ∈
+//!   [-1, 1] plus the path ids and optional `offering`), acknowledged
+//!   with `{"ack": "feedback"}` after the λ publish lands;
+//! * a **control frame**: `{"op": "ping"}` (answered `{"pong": true}`) or
+//!   `{"op": "drain"}` (acknowledged, then the server drains and exits).
+//!
+//! Server → client frames echo the request id:
+//! `{"id": 7, "ok": {...}}` or `{"id": 7, "error": "...", "kind": "..."}`
+//! plus `degraded` and `latency_ns`. Protocol-level rejections carry a
+//! typed `kind` (see [`WireError::kind`]) so clients can distinguish an
+//! oversized frame from garbage JSON from an admission rejection.
+
+use crate::types::{ServeRequest, ServeResponse};
+use lorentz_core::SatisfactionSignal;
+use lorentz_types::{
+    CustomerId, ProfileSchema, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
+};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+use std::time::Duration;
+use thiserror::Error;
+
+/// Default cap on a single frame's payload (1 MiB). A request frame is a
+/// few hundred bytes; anything near this is a protocol error or abuse.
+pub const MAX_FRAME_LEN_DEFAULT: usize = 1 << 20;
+
+/// Why a frame could not be read or understood.
+#[derive(Debug, Error)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    #[error("connection closed")]
+    Closed,
+    /// The peer disconnected mid-frame (length prefix or payload cut
+    /// short) — a torn frame, not a clean close.
+    #[error("connection closed mid-frame")]
+    Truncated,
+    /// The declared frame length exceeds the configured cap; the payload
+    /// was not read.
+    #[error("frame of {len} bytes exceeds the {max}-byte cap")]
+    TooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The payload was read but is not a usable frame (bad UTF-8, bad
+    /// JSON, or bad field types/values).
+    #[error("malformed frame: {0}")]
+    Malformed(String),
+    /// An I/O error other than EOF while reading or writing.
+    #[error("socket i/o failed: {0}")]
+    Io(#[from] std::io::Error),
+}
+
+impl WireError {
+    /// The stable `kind` tag error frames carry, so clients can branch
+    /// without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireError::Closed => "closed",
+            WireError::Truncated => "truncated",
+            WireError::TooLarge { .. } => "frame_too_large",
+            WireError::Malformed(_) => "malformed",
+            WireError::Io(_) => "io",
+        }
+    }
+}
+
+/// Reads one length-prefixed frame, enforcing `max_len` before buffering
+/// the payload.
+///
+/// # Errors
+/// [`WireError::Closed`] on EOF before the first length byte,
+/// [`WireError::Truncated`] on EOF inside the prefix or payload,
+/// [`WireError::TooLarge`] for an over-cap declared length, and
+/// [`WireError::Io`] for any other socket error.
+pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, WireError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish "closed between frames" from "closed mid-prefix".
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(WireError::Closed),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(WireError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    match reader.read_exact(&mut payload) {
+        Ok(()) => Ok(payload),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(WireError::Truncated),
+        Err(e) => Err(WireError::Io(e)),
+    }
+}
+
+/// Writes one length-prefixed frame and flushes it.
+///
+/// # Errors
+/// Any socket error; a frame over `u32::MAX` bytes is an
+/// `InvalidInput` error (never produced by this crate's encoders).
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// One decoded client frame.
+#[derive(Debug)]
+pub enum ClientFrame {
+    /// A recommendation request for the engine's bounded queue.
+    Request(ServeRequest),
+    /// A satisfaction signal for the λ-writer.
+    Feedback(SatisfactionSignal),
+    /// Liveness probe; answered immediately by the connection's reader.
+    Ping,
+    /// Graceful-drain request: the server stops accepting, finishes every
+    /// in-flight request, and exits.
+    Drain,
+}
+
+/// Reads an optional unsigned-integer field.
+fn opt_u64_field(item: &Value, field: &str) -> Result<Option<u64>, WireError> {
+    match item.get_field(field) {
+        None => Ok(None),
+        Some(v) => u64::from_value(v)
+            .map(Some)
+            .map_err(|_| WireError::Malformed(format!("{field} must be an unsigned integer"))),
+    }
+}
+
+/// Parses one client frame payload against the deployment's profile
+/// schema. The accepted shapes mirror the CLI's serve stream (see the
+/// module docs).
+///
+/// # Errors
+/// [`WireError::Malformed`] describing the first offending field.
+pub fn parse_client_frame(
+    payload: &[u8],
+    schema: &ProfileSchema,
+) -> Result<ClientFrame, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| WireError::Malformed("frame is not UTF-8".into()))?;
+    let value = serde_json::parse(text).map_err(|e| WireError::Malformed(e.to_string()))?;
+    if value.as_map().is_none() {
+        return Err(WireError::Malformed("frame must be a JSON object".into()));
+    }
+    if let Some(op) = value.get_field("op") {
+        return match op.as_str() {
+            Some("ping") => Ok(ClientFrame::Ping),
+            Some("drain") => Ok(ClientFrame::Drain),
+            Some(other) => Err(WireError::Malformed(format!("unknown op '{other}'"))),
+            None => Err(WireError::Malformed("op must be a string".into())),
+        };
+    }
+    let offering = match value.get_field("offering") {
+        None => ServerOffering::GeneralPurpose,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| WireError::Malformed("offering must be a string".into()))?
+            .parse()
+            .map_err(|e: lorentz_types::LorentzError| WireError::Malformed(e.to_string()))?,
+    };
+    let path_id = |field: &str| -> Result<u32, WireError> {
+        opt_u64_field(&value, field)?
+            .map(|v| {
+                u32::try_from(v)
+                    .map_err(|_| WireError::Malformed(format!("{field} must fit in 32 bits")))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(0))
+    };
+    let path = ResourcePath::new(
+        CustomerId(path_id("customer")?),
+        SubscriptionId(path_id("subscription")?),
+        ResourceGroupId(path_id("resource_group")?),
+    );
+    if let Some(g) = value.get_field("gamma") {
+        let gamma = f64::from_value(g)
+            .map_err(|_| WireError::Malformed("gamma must be a number".into()))?;
+        let signal = SatisfactionSignal::new(path, offering, gamma)
+            .map_err(|e| WireError::Malformed(e.to_string()))?;
+        return Ok(ClientFrame::Feedback(signal));
+    }
+    let mut profile: Vec<Option<String>> = vec![None; schema.len()];
+    if let Some(p) = value.get_field("profile") {
+        let entries = p
+            .as_map()
+            .ok_or_else(|| WireError::Malformed("profile must be an object".into()))?;
+        for (name, v) in entries {
+            let feature = schema.feature_id(name).ok_or_else(|| {
+                WireError::Malformed(format!(
+                    "unknown profile feature '{name}' (schema: {:?})",
+                    schema.names()
+                ))
+            })?;
+            let s = v.as_str().ok_or_else(|| {
+                WireError::Malformed(format!("profile value for '{name}' must be a string"))
+            })?;
+            profile[feature.index()] = Some(s.to_owned());
+        }
+    }
+    Ok(ClientFrame::Request(ServeRequest {
+        id: opt_u64_field(&value, "id")?.unwrap_or(0),
+        profile,
+        offering,
+        path,
+        deadline: opt_u64_field(&value, "deadline_ms")?.map(Duration::from_millis),
+    }))
+}
+
+/// Encodes a served response, echoing the client's correlation id (the
+/// engine's internal routing id never appears on the wire).
+pub fn encode_response(client_id: u64, response: &ServeResponse) -> Vec<u8> {
+    let mut fields = vec![("id".to_owned(), Value::UInt(client_id))];
+    match &response.result {
+        Ok(rec) => fields.push(("ok".to_owned(), rec.to_value())),
+        Err(e) => {
+            fields.push(("error".to_owned(), Value::Str(e.to_string())));
+            fields.push(("kind".to_owned(), Value::Str("serve".to_owned())));
+        }
+    }
+    fields.push(("degraded".to_owned(), Value::Bool(response.degraded)));
+    fields.push(("latency_ns".to_owned(), Value::UInt(response.latency_ns)));
+    encode_value(&Value::Map(fields))
+}
+
+/// Encodes a typed protocol error frame: `{"id": ..., "error": "...",
+/// "kind": "..."}`. `client_id` is `None` when the error is not
+/// attributable to a specific request (e.g. an unparseable frame).
+pub fn encode_error(client_id: Option<u64>, kind: &str, message: &str) -> Vec<u8> {
+    let mut fields = Vec::with_capacity(3);
+    if let Some(id) = client_id {
+        fields.push(("id".to_owned(), Value::UInt(id)));
+    }
+    fields.push(("error".to_owned(), Value::Str(message.to_owned())));
+    fields.push(("kind".to_owned(), Value::Str(kind.to_owned())));
+    encode_value(&Value::Map(fields))
+}
+
+/// Encodes a one-field acknowledgement frame (`{"ack": "drain"}`,
+/// `{"ack": "feedback"}`, `{"pong": true}`).
+pub fn encode_ack(key: &str, value: Value) -> Vec<u8> {
+    encode_value(&Value::Map(vec![(key.to_owned(), value)]))
+}
+
+fn encode_value(value: &Value) -> Vec<u8> {
+    serde_json::to_string(value)
+        .expect("wire values contain no unserializable variants")
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ProfileSchema {
+        ProfileSchema::new(vec!["industry", "customer"]).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut reader = &buf[..];
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), b"{\"op\":\"ping\"}");
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut reader, 64),
+            Err(WireError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_buffering() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[b'x'; 100]).unwrap();
+        let err = read_frame(&mut &buf[..], 10).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { len: 100, max: 10 }));
+        assert_eq!(err.kind(), "frame_too_large");
+    }
+
+    #[test]
+    fn torn_frames_are_truncated_not_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        // Cut inside the payload.
+        let cut = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_frame(&mut &cut[..], 64),
+            Err(WireError::Truncated)
+        ));
+        // Cut inside the length prefix.
+        assert!(matches!(
+            read_frame(&mut &buf[..2], 64),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn parses_requests_feedback_and_control_frames() {
+        let schema = schema();
+        let frame = parse_client_frame(
+            br#"{"id": 9, "profile": {"industry": "banking"}, "customer": 3, "deadline_ms": 50}"#,
+            &schema,
+        )
+        .unwrap();
+        match frame {
+            ClientFrame::Request(r) => {
+                assert_eq!(r.id, 9);
+                assert_eq!(r.profile, vec![Some("banking".to_owned()), None]);
+                assert_eq!(r.path.customer, CustomerId(3));
+                assert_eq!(r.deadline, Some(Duration::from_millis(50)));
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_client_frame(br#"{"gamma": -0.5, "customer": 1}"#, &schema).unwrap(),
+            ClientFrame::Feedback(_)
+        ));
+        assert!(matches!(
+            parse_client_frame(br#"{"op": "ping"}"#, &schema).unwrap(),
+            ClientFrame::Ping
+        ));
+        assert!(matches!(
+            parse_client_frame(br#"{"op": "drain"}"#, &schema).unwrap(),
+            ClientFrame::Drain
+        ));
+    }
+
+    #[test]
+    fn garbage_frames_produce_typed_malformed_errors() {
+        let schema = schema();
+        for garbage in [
+            &b"\xff\xfe"[..],
+            b"not json",
+            b"[1, 2]",
+            br#"{"op": "reboot"}"#,
+            br#"{"gamma": 99, "customer": 1}"#,
+            br#"{"profile": {"unknown_feature": "x"}}"#,
+            br#"{"customer": 5000000000}"#,
+        ] {
+            let err = parse_client_frame(garbage, &schema).unwrap_err();
+            assert_eq!(err.kind(), "malformed", "payload: {garbage:?}");
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!   keys over interned profile values;
 //! * [`PathKey`] — the `u128`-packable personalization-store key over a
 //!   [`ResourcePath`];
+//! * [`ShardRouter`] / [`PathKeyHasher`] — multiply-fold shard routing and
+//!   hashing over the packed key spaces;
 //! * [`LambdaDelta`] / [`StratLambdas`] — epoch-stamped λ-change records
 //!   for delta publishing and WAL-streamed replication;
 //! * [`LorentzError`] — the shared error type.
@@ -36,6 +38,7 @@ pub mod offering;
 pub mod pathkey;
 pub mod profile;
 pub mod resource;
+pub mod shard;
 pub mod sku;
 pub mod storekey;
 
@@ -47,6 +50,7 @@ pub use offering::ServerOffering;
 pub use pathkey::PathKey;
 pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};
 pub use resource::{ResourceKind, ResourceSpace};
+pub use shard::{PathKeyHasher, ShardRouter};
 pub use sku::{Sku, SkuCatalog};
 pub use storekey::{StoreKey, ValueId};
 

@@ -1,0 +1,225 @@
+//! Shard-aware key utilities: multiply-fold routing for packed keys.
+//!
+//! The serving path indexes two packed key spaces — `u64` [`StoreKey`]s
+//! and `u128` [`PathKey`]s — and both are sharded the same way: a
+//! Fibonacci multiply-fold of the packed integer whose *top* bits select
+//! one of N power-of-two shards. The multiply pushes entropy into the high
+//! bits (packed keys are dense in their low bits: interned value ids,
+//! small path ids), so consecutive ids spread across shards instead of
+//! clustering, and the routing stays a two-instruction pure function of
+//! the packed key — stable across processes, restarts, and replicas.
+//!
+//! [`PathKeyHasher`] is the same discipline applied to hash-map probing:
+//! the λ-tables use it through `BuildHasherDefault` so a `u128` key costs
+//! one fold and one multiply instead of SipHash. Router and hasher share
+//! the multiplier, so "the PR-6 hasher discipline" and "the shard routing"
+//! are one definition, tested together.
+//!
+//! [`StoreKey`]: crate::StoreKey
+//! [`PathKey`]: crate::PathKey
+
+use crate::error::LorentzError;
+use crate::ids::CustomerId;
+use std::hash::Hasher;
+
+/// The Fibonacci multiplier (`2^64 / φ`, odd) shared by the shard router
+/// and [`PathKeyHasher`]: one multiply distributes low-bit entropy into
+/// the high bits that shard selection and hashbrown's probe sequence
+/// consume.
+pub const FIB_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Largest supported shard count. Far beyond any sensible deployment; the
+/// cap exists so a typo'd shard count fails loudly instead of allocating
+/// millions of empty shards.
+pub const MAX_SHARDS: usize = 1 << 16;
+
+/// Folds a `u128` packed key to a `u64` exactly like
+/// [`PathKeyHasher::write_u128`]: rotate the high half before the xor so
+/// `(hi, lo)` and `(lo, hi)` differ.
+#[inline]
+#[must_use]
+pub fn fold_u128(packed: u128) -> u64 {
+    (packed as u64) ^ ((packed >> 64) as u64).rotate_left(32)
+}
+
+/// Routes packed keys to one of N power-of-two shards via a multiply-fold
+/// of the packed integer. Copy-cheap (one byte of state), so snapshots
+/// embed a copy and routing never chases a pointer.
+///
+/// Routing is **total** (every key maps to exactly one shard, for any
+/// input bit pattern) and **stable** (a pure function of the packed key
+/// and the shard count — no per-process seed), which the shard-routing
+/// property tests pin.
+///
+/// ```
+/// use lorentz_types::shard::ShardRouter;
+///
+/// let router = ShardRouter::new(8)?;
+/// assert_eq!(router.shards(), 8);
+/// let shard = router.route_u64(0xDEAD_BEEF);
+/// assert!(shard < 8);
+/// // Stable: the same key always routes to the same shard.
+/// assert_eq!(router.route_u64(0xDEAD_BEEF), shard);
+/// // A single shard accepts everything.
+/// assert_eq!(ShardRouter::new(1)?.route_u64(u64::MAX), 0);
+/// # Ok::<(), lorentz_types::LorentzError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// `log2(shard count)`; 0 means a single shard (everything routes
+    /// to 0).
+    log2: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards.
+    ///
+    /// # Errors
+    /// [`LorentzError::InvalidConfig`] unless `shards` is a power of two
+    /// in `1..=`[`MAX_SHARDS`] — power-of-two counts make shard selection
+    /// a shift instead of a modulo and keep any future split/merge a
+    /// bit-doubling.
+    pub fn new(shards: usize) -> Result<Self, LorentzError> {
+        if !shards.is_power_of_two() || shards > MAX_SHARDS {
+            return Err(LorentzError::InvalidConfig(format!(
+                "shard count must be a power of two in 1..={MAX_SHARDS}, got {shards}"
+            )));
+        }
+        Ok(Self {
+            log2: shards.trailing_zeros(),
+        })
+    }
+
+    /// How many shards this router selects across.
+    #[inline]
+    #[must_use]
+    pub fn shards(self) -> usize {
+        1 << self.log2
+    }
+
+    /// The shard for a packed `u64` key (e.g. a packed
+    /// [`StoreKey`](crate::StoreKey)): the top `log2(N)` bits of the
+    /// Fibonacci multiply.
+    #[inline]
+    #[must_use]
+    pub fn route_u64(self, packed: u64) -> usize {
+        if self.log2 == 0 {
+            return 0;
+        }
+        (packed.wrapping_mul(FIB_MULTIPLIER) >> (64 - self.log2)) as usize
+    }
+
+    /// The shard for a packed `u128` key (e.g. a packed
+    /// [`PathKey`](crate::PathKey)): fold to 64 bits like the hasher, then
+    /// route.
+    #[inline]
+    #[must_use]
+    pub fn route_u128(self, packed: u128) -> usize {
+        self.route_u64(fold_u128(packed))
+    }
+
+    /// The shard for a customer id. λ-state shards by **customer**, not by
+    /// full path: Stage-3 signal propagation is confined to the signaling
+    /// customer's subtree, so routing every path of a customer to one
+    /// shard makes a λ-delta a single-shard publish.
+    #[inline]
+    #[must_use]
+    pub fn route_customer(self, customer: CustomerId) -> usize {
+        self.route_u64(u64::from(customer.0))
+    }
+}
+
+/// Multiply-fold hasher for packed [`PathKey`](crate::PathKey)s. λ-table
+/// probes sit on the per-request serving path, where SipHash on a `u128`
+/// is the single largest cost; keys are fixed-width id triples (not
+/// attacker-chosen strings), so a Fibonacci-multiply mix is
+/// collision-adequate and ~3x faster. Not DoS-hardened — only for packed
+/// integer key tables.
+#[derive(Clone, Copy, Default)]
+pub struct PathKeyHasher(u64);
+
+impl Hasher for PathKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u128 input (unused by the λ tables): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        // Rotate the high half before xor so (hi, lo) and (lo, hi) differ,
+        // then a Fibonacci multiply pushes entropy into the top bits the
+        // hashbrown probe sequence and control bytes consume.
+        self.0 = fold_u128(n).wrapping_mul(FIB_MULTIPLIER);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two_counts() {
+        for bad in [0usize, 3, 6, 12, 100, MAX_SHARDS + 1, MAX_SHARDS * 2] {
+            assert!(ShardRouter::new(bad).is_err(), "accepted {bad}");
+        }
+        for good in [1usize, 2, 4, 8, 1024, MAX_SHARDS] {
+            assert_eq!(ShardRouter::new(good).unwrap().shards(), good);
+        }
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        let router = ShardRouter::new(16).unwrap();
+        for key in [0u64, 1, 42, u64::MAX, FIB_MULTIPLIER, 1 << 63] {
+            let shard = router.route_u64(key);
+            assert!(shard < 16);
+            assert_eq!(router.route_u64(key), shard);
+        }
+        let single = ShardRouter::new(1).unwrap();
+        assert_eq!(single.route_u64(u64::MAX), 0);
+        assert_eq!(single.route_u128(u128::MAX), 0);
+    }
+
+    #[test]
+    fn dense_low_bit_keys_spread_across_shards() {
+        // Packed store keys for consecutive interned values differ only in
+        // their low bits; the multiply must still spread them.
+        let router = ShardRouter::new(8).unwrap();
+        let mut seen = [0usize; 8];
+        for value in 0..4096u64 {
+            seen[router.route_u64(value)] += 1;
+        }
+        for (shard, &count) in seen.iter().enumerate() {
+            assert!(
+                count > 4096 / 8 / 4,
+                "shard {shard} nearly empty ({count} of 4096 keys)"
+            );
+        }
+    }
+
+    #[test]
+    fn u128_routing_matches_hasher_fold() {
+        let router = ShardRouter::new(4).unwrap();
+        let packed = (7u128 << 64) | 99;
+        let mut hasher = PathKeyHasher::default();
+        hasher.write_u128(packed);
+        // The router reads the top bits of the same multiply the hasher
+        // produces: one discipline, two consumers.
+        assert_eq!(router.route_u128(packed), (hasher.finish() >> 62) as usize);
+    }
+
+    #[test]
+    fn customer_routing_ignores_subtree_ids() {
+        let router = ShardRouter::new(8).unwrap();
+        let shard = router.route_customer(CustomerId(42));
+        assert!(shard < 8);
+        assert_eq!(router.route_customer(CustomerId(42)), shard);
+    }
+}

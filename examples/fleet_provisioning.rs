@@ -81,11 +81,11 @@ fn main() {
 
     // (C) Serving: provisioning requests answered from the precomputed
     // store, most-granular hierarchy level first.
+    // The trained deployment keeps a vocab-only view of the profile table
+    // (no rows), so a known value comes from the vocabulary, not a row.
     let schema_len = serving.profiles().schema().len();
-    let known_vertical = serving
-        .profiles()
-        .value_str(0, FeatureId(2))
-        .map(str::to_owned);
+    let vertical_vocab = serving.profiles().vocab(FeatureId(2));
+    let known_vertical = (!vertical_vocab.is_empty()).then(|| vertical_vocab.value(0).to_owned());
     let mut profile: Vec<Option<&str>> = vec![None; schema_len];
     profile[2] = known_vertical.as_deref();
 
