@@ -11,14 +11,14 @@ use lorentz_core::{
     Rightsizer, SatisfactionSignal, TrainedLorentz,
 };
 use lorentz_serve::{
-    serve_net, FollowerConfig, FollowerEngine, NetConfig, ServeConfig, ServeRequest, ServeResponse,
-    ServingEngine,
+    serve_net, serve_replication, FollowerConfig, FollowerEngine, NetConfig, PromoteConfig,
+    ReplicationConfig, ServeConfig, ServeRequest, ServeResponse, ServingEngine,
 };
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
 use lorentz_simdata::persim::{PersonalizationSim, PersonalizationSimConfig};
 use lorentz_telemetry::generators::SamplingConfig;
 use lorentz_types::{
-    CustomerId, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
+    CustomerId, Endpoint, ResourceGroupId, ResourcePath, ServerOffering, SkuCatalog, SubscriptionId,
 };
 use std::fs;
 use std::path::Path;
@@ -67,6 +67,7 @@ USAGE:
   lorentz serve     --model model.json --listen ADDR [--shards N]
                     [--workers N] [--queue-capacity N] [--degraded-at N] [--deadline-ms N]
                     [--kind hierarchical|target-encoding] [--feedback-wal wal.log]
+                    [--replicate-listen tcp://HOST:PORT]
                     [--max-frame-len BYTES] [--json] [--metrics-out metrics.json]
                     (TCP front end: binds ADDR — port 0 picks a free port, printed as
                      'listening on <addr>' on stderr — and serves persistent connections
@@ -75,15 +76,33 @@ USAGE:
                      --requests mode, {\"op\": \"ping\"} to probe, {\"op\": \"drain\"} to
                      stop; --shards splits the store and λ-state into N power-of-two
                      shards so every hot publish touches one shard; the post-drain
-                     ledger and net accounting go to stderr)
-  lorentz serve     --model model.json --requests requests.ndjson --follow wal.log
-                    [--kind hierarchical|target-encoding] [--json] [--metrics-out metrics.json]
-                    (read-only follower: catches up on the leader's WAL, applies its
+                     ledger and net accounting go to stderr; --replicate-listen
+                     additionally binds a replication listener that streams the
+                     feedback WAL to tcp:// followers, resuming each from its
+                     last applied epoch — requires --feedback-wal)
+  lorentz serve     --model model.json --requests requests.ndjson
+                    --follow file:PATH|tcp://HOST:PORT
+                    [--kind hierarchical|target-encoding] [--replica-wal wal.log]
+                    [--promote-listen ADDR] [--promote-after-ms N] [--await-promotion]
+                    [--json] [--metrics-out metrics.json]
+                    (replication follower: catches up on the leader's stream —
+                     file:PATH tails a shared-filesystem WAL, tcp://HOST:PORT
+                     subscribes to a leader's --replicate-listen — applies its
                      λ deltas, then serves the requests from the replicated epochs;
-                     feedback lines are rejected — only the leader mints epochs)
+                     feedback lines are rejected while following, only the leader
+                     mints epochs; a bare PATH still works as a deprecated alias
+                     for file:PATH. For tcp:// followers, --replica-wal persists
+                     received frames byte-identical to the leader's log so a
+                     restart resumes from the last epoch, and --promote-listen
+                     arms promotion: after the leader stays unreachable for
+                     --promote-after-ms (default 1000), the follower that binds
+                     ADDR first becomes a serving leader over its replica WAL
+                     and accepts feedback; --await-promotion holds the request
+                     lines until that happens)
   lorentz wal-verify --wal wal.log
                     (walk a feedback WAL read-only, reporting per-record OK/CORRUPT
-                     verdicts like store-verify; never repairs the file)
+                     verdicts like store-verify plus the last epoch — the resume
+                     position a follower would reconnect with; never repairs the file)
   lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
                     (tickets.ndjson: one {\"symptoms\", \"subject\", \"resolution\",
                      \"customer\", \"subscription\", \"resource_group\", \"offering\"}
@@ -545,8 +564,15 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let requests_path = args.require("requests")?;
     let text = fs::read_to_string(requests_path).map_err(|e| CliError::io(requests_path, e))?;
     let lines = parse_serve_lines(&text, requests_path, deployment.profiles().schema())?;
-    if let Some(wal_path) = args.get("follow") {
-        return serve_follow(args, deployment, lines, kind, wal_path);
+    if let Some(spec) = args.get("follow") {
+        let (endpoint, deprecated) = Endpoint::parse_compat(spec)?;
+        if deprecated {
+            eprintln!(
+                "warning: bare-path --follow is deprecated; write --follow file:{spec} \
+                 (tcp://HOST:PORT subscribes to a leader's --replicate-listen)"
+            );
+        }
+        return serve_follow(args, deployment, lines, kind, &endpoint);
     }
     let total = lines
         .iter()
@@ -655,6 +681,25 @@ fn serve_listen(
         max_frame_len: args.get_parse_or("max-frame-len", net_defaults.max_frame_len)?,
         ..net_defaults
     };
+    // Replication fanout rides on its own listener so follower traffic
+    // never mixes with client frames.
+    let _replication = match args.get("replicate-listen") {
+        Some(spec) => {
+            let endpoint = Endpoint::parse(spec)?;
+            let repl_addr = endpoint.as_tcp().ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--replicate-listen must be a tcp://HOST:PORT endpoint, got '{endpoint}'"
+                ))
+            })?;
+            let repl_listener =
+                std::net::TcpListener::bind(repl_addr).map_err(|e| CliError::io(repl_addr, e))?;
+            let repl = serve_replication(&engine, repl_listener, ReplicationConfig::default())
+                .map_err(|e| CliError::io(repl_addr, e))?;
+            eprintln!("replicating on {}", repl.local_addr());
+            Some(repl)
+        }
+        None => None,
+    };
     eprintln!("listening on {local} ({} shards)", config.shards);
     let report = serve_net(deployment, engine, responses, listener, net_config)
         .map_err(|e| CliError::io(addr, e))?;
@@ -730,27 +775,70 @@ fn serve_listen(
     write_metrics(args)
 }
 
-/// `lorentz serve --follow`: run the read-only replication follower. The
-/// follower catches up on the leader's WAL before serving (so the first
-/// answer already reflects every durable signal), applies λ deltas as they
-/// arrive, and serves requests from the replicated epochs. Feedback lines
-/// are rejected: only the leader mints epochs.
+/// `lorentz serve --follow`: run the replication follower against a
+/// `file:PATH` or `tcp://HOST:PORT` endpoint. The follower catches up on
+/// the leader's stream before serving (so the first answer already
+/// reflects every durable signal), applies λ deltas as they arrive, and
+/// serves requests from the replicated epochs. Feedback lines are
+/// rejected while following — only the leader mints epochs — but accepted
+/// after a promotion (`--promote-listen`, TCP followers only) flips this
+/// replica into a serving leader.
 fn serve_follow(
     args: &Args,
     deployment: Arc<TrainedLorentz>,
     lines: Vec<ServeLine>,
     kind: ModelKind,
-    wal_path: &str,
+    endpoint: &Endpoint,
 ) -> Result<(), CliError> {
     use serde::Serialize;
-    let config = FollowerConfig {
+    let mut config = FollowerConfig {
         kind,
         ..FollowerConfig::default()
     };
-    let follower = FollowerEngine::start(deployment, wal_path, config)?;
+    if let Some(path) = args.get("replica-wal") {
+        config.local_wal = Some(path.into());
+    }
+    if let Some(listen) = args.get("promote-listen") {
+        let wal = args.get("replica-wal").ok_or_else(|| {
+            CliError::Usage(
+                "--promote-listen requires --replica-wal (the promoted leader replays it)"
+                    .to_owned(),
+            )
+        })?;
+        config.promote = Some(PromoteConfig {
+            listen: Some(listen.to_owned()),
+            detection_timeout: Duration::from_millis(args.get_parse_or("promote-after-ms", 1000)?),
+            ..PromoteConfig::new(wal)
+        });
+    }
+    let follower = match endpoint {
+        Endpoint::File(path) => FollowerEngine::start(deployment, path, config)?,
+        Endpoint::Tcp(addr) => FollowerEngine::start_tcp(deployment, addr, config)?,
+    };
+    // Catch-up is complete: harnesses sequencing a leader kill can wait
+    // for this line.
+    eprintln!(
+        "following {endpoint} (caught up to epoch {})",
+        follower.stats().last_epoch
+    );
+    if args.has_switch("await-promotion") {
+        // Harness hook: block until the leader dies and this replica wins
+        // the promotion, then serve the request lines as the new leader.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while !follower.is_leader() {
+            if std::time::Instant::now() >= deadline {
+                return Err(CliError::InvalidInput(
+                    "timed out waiting for promotion (is --promote-listen set?)".to_owned(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        eprintln!("promoted to leader; serving from the local WAL");
+    }
     let mut rows: Vec<serde::Value> = Vec::new();
     let mut served = 0u64;
     let mut feedback_rejected = 0u64;
+    let mut feedback_applied = 0u64;
     for line in lines {
         match line {
             ServeLine::Request(request) => {
@@ -776,12 +864,15 @@ fn serve_follow(
                     }
                 }
             }
-            ServeLine::Feedback(_) => {
-                feedback_rejected += 1;
-                if !args.has_switch("json") {
-                    println!("[feedback] rejected: follower is read-only");
+            ServeLine::Feedback(signal) => match follower.submit_feedback(signal) {
+                Ok(()) => feedback_applied += 1,
+                Err(_) => {
+                    feedback_rejected += 1;
+                    if !args.has_switch("json") {
+                        println!("[feedback] rejected: follower is read-only");
+                    }
                 }
-            }
+            },
         }
     }
     if args.has_switch("json") {
@@ -791,12 +882,18 @@ fn serve_follow(
         );
     }
     let lambda_version = follower.lambda_version();
+    let promoted = follower.is_leader();
     let stats = follower.stop();
     // Status goes to stderr so stdout stays machine-readable answers.
+    let applied_note = if promoted {
+        format!(", {feedback_applied} feedback applied (promoted leader)")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "followed {wal_path}: {} deltas applied, {} skipped, {} legacy signals \
+        "followed {endpoint}: {} deltas applied, {} skipped, {} legacy signals \
          (lambda v{lambda_version}, last epoch {}); served {served} requests, \
-         {feedback_rejected} feedback rejected (read-only)",
+         {feedback_rejected} feedback rejected (read-only){applied_note}",
         stats.applied, stats.skipped, stats.legacy, stats.last_epoch
     );
     write_metrics(args)
@@ -825,13 +922,24 @@ pub fn wal_verify(args: &Args) -> Result<(), CliError> {
             s.gamma
         );
     }
+    // The resume position a follower would hand the leader on reconnect.
+    let last_epoch = report
+        .records
+        .iter()
+        .filter_map(|r| r.epoch)
+        .max()
+        .unwrap_or(0);
     match &report.corrupt {
         Some((offset, why)) => println!(
-            "record {} @ {offset}: CORRUPT ({why}); {} trailing bytes unreadable",
+            "record {} @ {offset}: CORRUPT ({why}); {} trailing bytes unreadable \
+             (last epoch {last_epoch})",
             report.records.len(),
             report.trailing_bytes
         ),
-        None => println!("{} records OK, tail clean", report.records.len()),
+        None => println!(
+            "{} records OK, tail clean (last epoch {last_epoch})",
+            report.records.len()
+        ),
     }
     Ok(())
 }

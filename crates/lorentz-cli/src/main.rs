@@ -11,10 +11,12 @@
 //!                   [--source hierarchical|target-encoding|store]
 //! lorentz serve     --model model.json --requests requests.ndjson \
 //!                   [--workers 4] [--queue-capacity 1024] [--degraded-at N] \
-//!                   [--deadline-ms N] [--feedback-wal wal.log] [--follow wal.log] \
-//!                   [--json] [--metrics-out metrics.json]
+//!                   [--deadline-ms N] [--feedback-wal wal.log] \
+//!                   [--follow file:PATH|tcp://HOST:PORT] [--replica-wal wal.log] \
+//!                   [--promote-listen ADDR] [--json] [--metrics-out metrics.json]
 //! lorentz serve     --model model.json --listen 127.0.0.1:0 [--shards 8] \
-//!                   [--workers 4] [--queue-capacity 1024] [--max-frame-len BYTES]
+//!                   [--workers 4] [--queue-capacity 1024] [--max-frame-len BYTES] \
+//!                   [--replicate-listen tcp://HOST:PORT]
 //! lorentz wal-verify --wal wal.log
 //! lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
 //! lorentz offering  --fleet fleet.json --profile "IndustryName=industryname-1"

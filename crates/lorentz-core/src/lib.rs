@@ -48,8 +48,9 @@ pub use cost::{bill_fleet, CostModel, FleetBill};
 pub use explain::{Explanation, Recommendation};
 pub use fleet::FleetDataset;
 pub use personalizer::{
-    LambdaEpoch, LambdaSnapshot, LambdaStore, Personalizer, PersonalizerConfig, SatisfactionSignal,
-    ShardedLambdaStore, SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport,
+    LambdaEpoch, LambdaSnapshot, LambdaStore, Personalizer, PersonalizerConfig, PollBackoff,
+    SatisfactionSignal, ShardedLambdaStore, SignalWal, WalEntry, WalRecord, WalRecovery, WalReplay,
+    WalTailer, WalVerifyReport,
 };
 pub use pipeline::{
     LiveModel, LorentzPipeline, ModelKind, RecommendEngine, RecommendRequest, StoreOnly,

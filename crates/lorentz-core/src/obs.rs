@@ -56,6 +56,12 @@
 //! | `engine.feedback.applied` | counter | feedback signals applied and published |
 //! | `engine.replication.applied` | counter | delta records a follower applied from the WAL |
 //! | `engine.replication.lag_epochs` | gauge | epochs a follower trails the latest WAL record |
+//! | `engine.replication.followers` | gauge | subscribers currently attached to the replication listener |
+//! | `engine.replication.bytes_sent` | counter | framed WAL bytes sent to subscribers |
+//! | `engine.replication.resume_replays` | counter | subscriptions resumed from a follower epoch via on-disk replay |
+//! | `engine.replication.full_resyncs` | counter | subscriptions the log could not resume, answered with a full resync |
+//! | `engine.replication.max_follower_lag` | gauge | epochs the slowest attached follower trails the leader |
+//! | `engine.replication.promotions` | counter | followers promoted to serving leader after leader loss |
 //! | `engine.net.connections` | counter | TCP connections accepted by the net front end |
 //! | `engine.net.active_connections` | gauge | TCP connections currently open |
 //! | `engine.net.frames_in` | counter | request frames decoded off sockets |
@@ -155,6 +161,22 @@ pub static ENGINE_REPLICATION_APPLIED: Counter = Counter::new();
 /// Epochs the follower's λ store trails the newest WAL record it has seen
 /// (0 once caught up; set per tail poll).
 pub static ENGINE_REPLICATION_LAG_EPOCHS: Gauge = Gauge::new();
+/// Subscribers currently attached to the leader's replication listener.
+pub static ENGINE_REPLICATION_FOLLOWERS: Gauge = Gauge::new();
+/// Framed WAL bytes sent to replication subscribers (resume replays plus
+/// live tail).
+pub static ENGINE_REPLICATION_BYTES_SENT: Counter = Counter::new();
+/// Subscriptions that resumed from a follower-supplied epoch by replaying
+/// the on-disk WAL.
+pub static ENGINE_REPLICATION_RESUME_REPLAYS: Counter = Counter::new();
+/// Subscriptions whose requested epoch the log no longer reaches, answered
+/// with a full resync of the entire log.
+pub static ENGINE_REPLICATION_FULL_RESYNCS: Counter = Counter::new();
+/// Epochs the slowest currently-attached follower trails the leader's
+/// newest broadcast (0 with no followers or all caught up).
+pub static ENGINE_REPLICATION_MAX_FOLLOWER_LAG: Gauge = Gauge::new();
+/// Followers promoted to serving leader after detecting leader loss.
+pub static ENGINE_REPLICATION_PROMOTIONS: Counter = Counter::new();
 /// TCP connections the net front end has accepted since start.
 pub static NET_CONNECTIONS: Counter = Counter::new();
 /// TCP connections currently open (accepted minus closed).
@@ -233,6 +255,30 @@ pub fn registry() -> &'static Registry {
         r.register_gauge(
             "engine.replication.lag_epochs",
             &ENGINE_REPLICATION_LAG_EPOCHS,
+        );
+        r.register_gauge(
+            "engine.replication.followers",
+            &ENGINE_REPLICATION_FOLLOWERS,
+        );
+        r.register_counter(
+            "engine.replication.bytes_sent",
+            &ENGINE_REPLICATION_BYTES_SENT,
+        );
+        r.register_counter(
+            "engine.replication.resume_replays",
+            &ENGINE_REPLICATION_RESUME_REPLAYS,
+        );
+        r.register_counter(
+            "engine.replication.full_resyncs",
+            &ENGINE_REPLICATION_FULL_RESYNCS,
+        );
+        r.register_gauge(
+            "engine.replication.max_follower_lag",
+            &ENGINE_REPLICATION_MAX_FOLLOWER_LAG,
+        );
+        r.register_counter(
+            "engine.replication.promotions",
+            &ENGINE_REPLICATION_PROMOTIONS,
         );
         r.register_counter("engine.net.connections", &NET_CONNECTIONS);
         r.register_gauge("engine.net.active_connections", &NET_ACTIVE_CONNECTIONS);

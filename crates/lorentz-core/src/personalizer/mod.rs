@@ -15,7 +15,10 @@ pub mod wal;
 pub use lambda::{LambdaEpoch, LambdaSnapshot, LambdaStore};
 pub use sharded::ShardedLambdaStore;
 pub use signals::{classify_ticket, CriTicket, KeywordClassifier};
-pub use wal::{SignalWal, WalEntry, WalRecord, WalRecovery, WalTailer, WalVerifyReport};
+pub use wal::{
+    frame_record, wal_codec, PollBackoff, SignalWal, WalEntry, WalRecord, WalRecovery, WalReplay,
+    WalTailer, WalVerifyReport,
+};
 
 use crate::obs;
 use crate::provisioner::discretize;

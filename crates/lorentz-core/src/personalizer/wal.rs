@@ -34,14 +34,15 @@
 use super::SatisfactionSignal;
 use crate::obs;
 use crate::retry::{is_transient_io, retry_with_backoff, RetryPolicy};
-use crate::store::durability::crc32c;
 use crate::store::StoreError;
 use lorentz_fault::fail_point;
+use lorentz_types::framing::{Decoded, FrameCodec, FrameError};
 use lorentz_types::{LambdaDelta, StoreCorruption};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Frame magic for one WAL record.
 const MAGIC: [u8; 4] = *b"LSIG";
@@ -52,6 +53,14 @@ const HEADER_LEN: usize = 12;
 /// the cap is generous; a larger declared length still means the header
 /// itself is corrupt.
 const MAX_PAYLOAD: u32 = 1 << 24;
+
+/// The WAL's frame codec: `[4 magic "LSIG"][4 len u32 LE][4 CRC32C u32 LE]`
+/// then the payload. Public because the replication stream carries these
+/// exact frames over a socket, and the TCP follower decodes them with the
+/// same codec that wrote the leader's disk.
+pub fn wal_codec() -> FrameCodec {
+    FrameCodec::wal(MAGIC, MAX_PAYLOAD as usize)
+}
 
 /// One delta-framed WAL record: the accepted signal plus the epoch-stamped
 /// [`LambdaDelta`] applying it produced on the leader. The leader's replay
@@ -108,7 +117,8 @@ pub struct WalRecovery {
 }
 
 /// An append-only, CRC-framed log of satisfaction signals and their λ
-/// deltas.
+/// deltas. Framing is the shared [`wal_codec`]; [`SignalWal::replay_from`]
+/// is the leader-side resume cursor behind the replication handshake.
 pub struct SignalWal {
     path: PathBuf,
     file: File,
@@ -260,14 +270,42 @@ impl SignalWal {
 
     fn append_payload(&mut self, payload: &[u8]) -> Result<(), StoreError> {
         let frame = frame_payload(payload);
+        self.append_frame(&frame)
+    }
+
+    /// Appends pre-framed record bytes (from [`frame_record`], or received
+    /// off a replication stream) durably, under the same retry and
+    /// fail-point discipline as [`SignalWal::append_record`]. The frame is
+    /// written verbatim, so a TCP follower's local log stays byte-identical
+    /// to the leader's.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the write fails permanently.
+    pub fn append_frame(&mut self, frame: &[u8]) -> Result<(), StoreError> {
         let policy = self.retry;
-        retry_with_backoff(&policy, is_transient_io, |_| self.append_once(&frame)).map_err(
+        retry_with_backoff(&policy, is_transient_io, |_| self.append_once(frame)).map_err(
             |source| StoreError::Io {
                 path: self.path.display().to_string(),
                 source,
             },
         )?;
         obs::WAL_APPENDS.inc();
+        Ok(())
+    }
+
+    /// Discards every record, resetting the log to empty — the follower's
+    /// full-resync path, where the leader's stream restarts from its log's
+    /// beginning and the local copy must restart with it.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the truncate fails.
+    pub fn truncate_all(&mut self) -> Result<(), StoreError> {
+        let io_err = |source: io::Error| StoreError::Io {
+            path: self.path.display().to_string(),
+            source,
+        };
+        self.file.set_len(0).map_err(io_err)?;
+        self.file.seek(SeekFrom::Start(0)).map_err(io_err)?;
         Ok(())
     }
 
@@ -279,6 +317,125 @@ impl SignalWal {
         ));
         self.file.write_all(frame)?;
         self.file.sync_data()
+    }
+
+    /// The leader-side resume cursor: reads the log at `path` and returns
+    /// the raw frames a subscriber resuming from `last_epoch` must receive,
+    /// in log order.
+    ///
+    /// Resume is positional, not epoch-filtered: a follower's `last_epoch`
+    /// always names a record it applied *from this log* (epochs are minted
+    /// by one global counter and the log is append-only), so the cursor
+    /// finds the record carrying that epoch and replays everything after
+    /// it — including legacy bare-signal frames, which carry no epoch but
+    /// still belong to the stream. When `last_epoch > 0` and no record
+    /// carries it, the log has been compacted/rotated past the follower's
+    /// position: the whole log is returned with `full_resync = true`, and
+    /// the follower must reset its λ-state before applying.
+    ///
+    /// A torn/corrupt tail ends the cursor at the last good boundary,
+    /// matching every other reader of the log.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file exists but cannot be read
+    /// (a missing file is an empty log, not an error).
+    pub fn replay_from(path: impl AsRef<Path>, last_epoch: u64) -> Result<WalReplay, StoreError> {
+        let path = path.as_ref();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(source) => {
+                return Err(StoreError::Io {
+                    path: path.display().to_string(),
+                    source,
+                });
+            }
+        };
+        let mut frames: Vec<(Option<u64>, usize, usize)> = Vec::new();
+        let mut offset = 0usize;
+        while let Some(Ok((entry, end))) = next_frame(&bytes, offset) {
+            frames.push((entry.epoch(), offset, end));
+            offset = end;
+        }
+        let log_last_epoch = frames.iter().filter_map(|(e, _, _)| *e).max().unwrap_or(0);
+        let (start_index, full_resync) = if last_epoch == 0 {
+            (0, false)
+        } else {
+            match frames.iter().rposition(|(e, _, _)| *e == Some(last_epoch)) {
+                Some(i) => (i + 1, false),
+                None => (0, true),
+            }
+        };
+        let frames = frames[start_index..]
+            .iter()
+            .map(|&(_, start, end)| bytes[start..end].to_vec())
+            .collect();
+        Ok(WalReplay {
+            frames,
+            full_resync,
+            log_last_epoch,
+        })
+    }
+}
+
+/// What [`SignalWal::replay_from`] found for a resuming subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReplay {
+    /// Raw framed records to send, in log order — byte-identical to the
+    /// on-disk frames.
+    pub frames: Vec<Vec<u8>>,
+    /// True when the log no longer reaches back to the requested epoch:
+    /// `frames` is then the *entire* log and the subscriber must reset its
+    /// λ-state before applying.
+    pub full_resync: bool,
+    /// The highest delta epoch among the log's intact records (0 when the
+    /// log is empty or all-legacy).
+    pub log_last_epoch: u64,
+}
+
+/// Exponential idle backoff for poll loops: each consecutive idle poll
+/// doubles the sleep from `base` up to `cap`, and any productive poll
+/// resets it. Replaces the follower's hard-coded 20 ms spin so an idle
+/// standby stops burning a syscall loop.
+#[derive(Debug, Clone)]
+pub struct PollBackoff {
+    base: Duration,
+    cap: Duration,
+    next: Duration,
+}
+
+impl PollBackoff {
+    /// Default backoff ceiling (~200 ms): long enough to quiet an idle
+    /// follower, short enough that catch-up latency stays invisible.
+    pub const DEFAULT_CAP: Duration = Duration::from_millis(200);
+
+    /// A backoff starting at `base` and doubling up to `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        let cap = cap.max(base);
+        Self {
+            base,
+            cap,
+            next: base,
+        }
+    }
+
+    /// Called after an idle poll: returns how long to sleep, then doubles
+    /// the next idle sleep (saturating at the cap).
+    pub fn idle(&mut self) -> Duration {
+        let sleep = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        sleep
+    }
+
+    /// Called after a productive poll: the next idle sleep restarts at
+    /// `base`.
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+
+    /// The configured base interval.
+    pub fn base(&self) -> Duration {
+        self.base
     }
 }
 
@@ -375,74 +532,87 @@ impl WalTailer {
     }
 }
 
-/// Builds the framed bytes for one record payload.
+/// Builds the framed bytes for one record payload via the shared
+/// [`wal_codec`].
 fn frame_payload(payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
-    frame.extend_from_slice(&MAGIC);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32c(payload).to_le_bytes());
-    frame.extend_from_slice(payload);
-    frame
+    wal_codec().encode(payload)
+}
+
+/// Frames one delta record exactly as [`SignalWal::append_record`] writes
+/// it — the leader's replication fanout broadcasts these bytes so the
+/// stream a follower receives is byte-identical to the leader's disk.
+///
+/// # Errors
+/// Returns [`StoreError::Serialize`] when the record cannot be encoded.
+pub fn frame_record(record: &WalRecord) -> Result<Vec<u8>, StoreError> {
+    let payload =
+        serde_json::to_string(record).map_err(|e| StoreError::Serialize(format!("{e}")))?;
+    Ok(frame_payload(payload.as_bytes()))
+}
+
+/// Decodes an intact frame payload into a [`WalEntry`].
+fn parse_entry(payload: &[u8]) -> Result<WalEntry, StoreCorruption> {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return Err(StoreCorruption::BadPayload(
+            "payload is not UTF-8".to_owned(),
+        ));
+    };
+    // Delta-framed first, legacy bare signal as the fallback — the two
+    // JSON shapes share no fields, so the match is unambiguous.
+    if let Ok(record) = serde_json::from_str::<WalRecord>(text) {
+        return Ok(WalEntry::Record(record));
+    }
+    match serde_json::from_str::<SatisfactionSignal>(text) {
+        Ok(signal) => Ok(WalEntry::Signal(signal)),
+        Err(e) => Err(StoreCorruption::BadPayload(format!("{e}"))),
+    }
 }
 
 /// Examines the frame starting at `offset`: `None` at clean end-of-log,
 /// `Some(Ok((entry, next_offset)))` for an intact record, `Some(Err)`
 /// naming the failed integrity check. Frames are self-delimiting, so the
 /// first violation ends every walk — the bytes after it cannot be
-/// re-synchronized.
-fn next_frame(bytes: &[u8], offset: usize) -> Option<Result<(WalEntry, usize), StoreCorruption>> {
+/// re-synchronized. Structural checks (magic, cap, CRC, truncation) are
+/// the shared codec's; this translates its verdicts into the store's
+/// corruption taxonomy.
+///
+/// Public so transports that carry WAL frames verbatim (the TCP
+/// replication stream) can decode with exactly the on-disk rules. In a
+/// streaming context `HeaderTruncated`/`Truncated` mean "wait for more
+/// bytes", not corruption.
+pub fn next_frame(
+    bytes: &[u8],
+    offset: usize,
+) -> Option<Result<(WalEntry, usize), StoreCorruption>> {
     let remaining = bytes.len() - offset;
     if remaining == 0 {
         return None;
     }
-    if remaining < HEADER_LEN {
-        return Some(Err(StoreCorruption::HeaderTruncated {
-            got: remaining,
+    match wal_codec().decode(bytes, offset) {
+        Ok(Decoded::Frame { payload, consumed }) => {
+            Some(parse_entry(payload).map(|entry| (entry, offset + consumed)))
+        }
+        Ok(Decoded::Incomplete {
+            got,
+            declared: None,
+        }) => Some(Err(StoreCorruption::HeaderTruncated {
+            got,
             need: HEADER_LEN,
-        }));
-    }
-    let header = &bytes[offset..offset + HEADER_LEN];
-    if header[..4] != MAGIC {
-        return Some(Err(StoreCorruption::BadMagic {
-            found: header[..4].try_into().expect("4 bytes"),
-        }));
-    }
-    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if len > MAX_PAYLOAD {
-        return Some(Err(StoreCorruption::BadPayload(format!(
+        })),
+        Ok(Decoded::Incomplete {
+            got,
+            declared: Some(len),
+        }) => Some(Err(StoreCorruption::Truncated {
+            declared: len as u64,
+            got: (got - HEADER_LEN) as u64,
+        })),
+        Err(FrameError::BadMagic { found }) => Some(Err(StoreCorruption::BadMagic { found })),
+        Err(FrameError::TooLarge { len, .. }) => Some(Err(StoreCorruption::BadPayload(format!(
             "declared payload length {len} exceeds the {MAX_PAYLOAD}-byte record cap"
-        ))));
-    }
-    let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    let start = offset + HEADER_LEN;
-    let end = start + len as usize;
-    if end > bytes.len() {
-        return Some(Err(StoreCorruption::Truncated {
-            declared: u64::from(len),
-            got: (bytes.len() - start) as u64,
-        }));
-    }
-    let payload = &bytes[start..end];
-    let actual = crc32c(payload);
-    if actual != crc {
-        return Some(Err(StoreCorruption::ChecksumMismatch {
-            expected: crc,
-            actual,
-        }));
-    }
-    let Ok(text) = std::str::from_utf8(payload) else {
-        return Some(Err(StoreCorruption::BadPayload(
-            "payload is not UTF-8".to_owned(),
-        )));
-    };
-    // Delta-framed first, legacy bare signal as the fallback — the two
-    // JSON shapes share no fields, so the match is unambiguous.
-    if let Ok(record) = serde_json::from_str::<WalRecord>(text) {
-        return Some(Ok((WalEntry::Record(record), end)));
-    }
-    match serde_json::from_str::<SatisfactionSignal>(text) {
-        Ok(signal) => Some(Ok((WalEntry::Signal(signal), end))),
-        Err(e) => Some(Err(StoreCorruption::BadPayload(format!("{e}")))),
+        )))),
+        Err(FrameError::ChecksumMismatch { expected, actual }) => {
+            Some(Err(StoreCorruption::ChecksumMismatch { expected, actual }))
+        }
     }
 }
 
@@ -711,6 +881,82 @@ mod tests {
         let batch = tailer.poll().unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].epoch(), Some(5));
+    }
+
+    #[test]
+    fn frame_record_matches_append_bytes() {
+        let (path, mut wal) = fresh_wal("frame-record");
+        let r = record(1, 1.0, 2);
+        wal.append_record(&r).unwrap();
+        drop(wal);
+        assert_eq!(frame_record(&r).unwrap(), std::fs::read(&path).unwrap());
+    }
+
+    #[test]
+    fn replay_from_is_positional_and_detects_compaction() {
+        let (path, mut wal) = fresh_wal("replay-from");
+        wal.append_record(&record(1, 1.0, 2)).unwrap();
+        wal.append_record(&record(2, 0.5, 3)).unwrap();
+        wal.append(&signal(3, 0.25)).unwrap(); // legacy, no epoch
+        wal.append_record(&record(4, -0.5, 7)).unwrap(); // epoch jump
+        drop(wal);
+
+        // From 0: the whole log, not a resync.
+        let replay = SignalWal::replay_from(&path, 0).unwrap();
+        assert_eq!(replay.frames.len(), 4);
+        assert!(!replay.full_resync);
+        assert_eq!(replay.log_last_epoch, 7);
+
+        // From epoch 3: the legacy record and the epoch-7 record follow.
+        let replay = SignalWal::replay_from(&path, 3).unwrap();
+        assert_eq!(replay.frames.len(), 2);
+        assert!(!replay.full_resync);
+
+        // Fully caught up: nothing to send.
+        let replay = SignalWal::replay_from(&path, 7).unwrap();
+        assert!(replay.frames.is_empty());
+        assert!(!replay.full_resync);
+
+        // Epoch 5 was never written to this log: full resync.
+        let replay = SignalWal::replay_from(&path, 5).unwrap();
+        assert_eq!(replay.frames.len(), 4);
+        assert!(replay.full_resync);
+
+        // The replayed frames are byte-identical to the disk.
+        let bytes = std::fs::read(&path).unwrap();
+        let all: Vec<u8> = SignalWal::replay_from(&path, 0).unwrap().frames.concat();
+        assert_eq!(all, bytes);
+
+        // A missing log is empty, not an error.
+        let replay = SignalWal::replay_from(path.with_extension("absent"), 0).unwrap();
+        assert!(replay.frames.is_empty());
+        assert_eq!(replay.log_last_epoch, 0);
+    }
+
+    #[test]
+    fn replay_from_stops_at_a_torn_tail() {
+        let (path, mut wal) = fresh_wal("replay-torn");
+        wal.append_record(&record(1, 1.0, 2)).unwrap();
+        wal.append_record(&record(2, 0.5, 3)).unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let replay = SignalWal::replay_from(&path, 0).unwrap();
+        assert_eq!(replay.frames.len(), 1);
+        assert_eq!(replay.log_last_epoch, 2);
+    }
+
+    #[test]
+    fn poll_backoff_doubles_idle_and_resets() {
+        let mut b = PollBackoff::new(Duration::from_millis(20), Duration::from_millis(200));
+        assert_eq!(b.idle(), Duration::from_millis(20));
+        assert_eq!(b.idle(), Duration::from_millis(40));
+        assert_eq!(b.idle(), Duration::from_millis(80));
+        assert_eq!(b.idle(), Duration::from_millis(160));
+        assert_eq!(b.idle(), Duration::from_millis(200));
+        assert_eq!(b.idle(), Duration::from_millis(200), "saturates at the cap");
+        b.reset();
+        assert_eq!(b.idle(), Duration::from_millis(20));
     }
 
     #[test]

@@ -51,38 +51,9 @@ pub const MANIFEST_NAME: &str = "store.manifest.json";
 pub const DEFAULT_KEEP_GENERATIONS: usize = 4;
 
 // CRC32C (Castagnoli), reflected polynomial — the same checksum iSCSI and
-// ext4 use for metadata. Table-driven software implementation; the table
-// is built at compile time.
-const fn crc32c_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0x82F6_3B78
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC32C_TABLE: [u32; 256] = crc32c_table();
-
-/// Computes the CRC32C (Castagnoli) checksum of `bytes`.
-pub fn crc32c(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+// ext4 use for metadata. The implementation moved to lorentz-types with the
+// shared frame codec; re-exported here for the store's existing callers.
+pub use lorentz_types::framing::crc32c;
 
 /// Wraps a snapshot payload in the framed header.
 pub fn frame_snapshot(payload: &[u8]) -> Vec<u8> {

@@ -1,10 +1,13 @@
 //! The worker-pool request engine over hot-swappable store snapshots.
 
+use crate::replication::ReplicationHub;
 use crate::types::{
     EngineError, EngineStats, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };
 use lorentz_core::obs;
-use lorentz_core::personalizer::{LambdaSnapshot, ShardedLambdaStore, WalRecord, WalRecovery};
+use lorentz_core::personalizer::{
+    frame_record, LambdaSnapshot, ShardedLambdaStore, WalRecord, WalRecovery,
+};
 use lorentz_core::store::PublishBatch;
 use lorentz_core::{
     RecommendEngine, RecommendRequest, SatisfactionSignal, ShardedPredictionStore, SignalWal,
@@ -14,7 +17,7 @@ use lorentz_fault::fail_point;
 use lorentz_types::{LorentzError, ResourcePath};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -79,6 +82,13 @@ struct Shared {
     /// The λ-writer thread, joined at shutdown after its channel closes.
     feedback_worker: Mutex<Option<JoinHandle<()>>>,
     supervisor: Mutex<Supervisor>,
+    /// Fanout point for TCP replication: the λ-writer broadcasts each
+    /// framed WAL record here; [`crate::serve_replication`] subscribes
+    /// follower outboxes. Present (but idle) even without a WAL.
+    replication: Arc<ReplicationHub>,
+    /// The WAL path, kept so the replication listener can replay it for
+    /// resuming followers. `None` for engines without durability.
+    wal_path: Option<PathBuf>,
 }
 
 /// How a worker's main loop ended.
@@ -162,6 +172,9 @@ impl ServingEngine {
         // records already framed (replay publishes one merged epoch, which
         // may lag the per-signal epochs the crashed leader wrote).
         lambdas.restore_epoch(last_epoch);
+        let replication = Arc::new(ReplicationHub::new());
+        replication.set_last_epoch(last_epoch);
+        let wal_path = wal.as_ref().map(|w| w.path().to_path_buf());
         let shared = Arc::new(Shared {
             store: ShardedPredictionStore::from_store(deployment.store(), config.shards)
                 .map_err(EngineError::Config)?,
@@ -181,6 +194,8 @@ impl ServingEngine {
                 restarts_used: 0,
                 next_id: worker_count,
             }),
+            replication,
+            wal_path,
         });
         let engine = Self {
             shared: Arc::clone(&shared),
@@ -342,6 +357,21 @@ impl ServingEngine {
     /// The currently published λ snapshot version.
     pub fn lambda_version(&self) -> u64 {
         self.shared.lambdas.version()
+    }
+
+    /// Followers currently subscribed to this engine's replication hub.
+    pub fn replication_followers(&self) -> usize {
+        self.shared.replication.subscriber_count()
+    }
+
+    /// The engine's replication fanout hub (shared with the listener).
+    pub(crate) fn replication_hub(&self) -> Arc<ReplicationHub> {
+        Arc::clone(&self.shared.replication)
+    }
+
+    /// The WAL path the engine appends to, when durability is configured.
+    pub(crate) fn wal_path(&self) -> Option<PathBuf> {
+        self.shared.wal_path.clone()
     }
 
     /// Atomically re-publishes the degraded-path store with zero reader
@@ -582,14 +612,18 @@ fn feedback_loop(shared: &Shared, rx: &Receiver<FeedbackMsg>, mut wal: Option<Si
                 // Publish only the owning shard, at a globally minted epoch
                 // (so the WAL frames stay strictly increasing).
                 let delta = shared.lambdas.publish_delta_for(&signal.path);
-                if let Some(wal) = wal.as_mut() {
-                    // Frame the epoch-stamped delta so a follower tailing
-                    // this WAL replays the exact published rows without
-                    // re-running propagation. A failed append loses
-                    // durability for this signal but not liveness: the
-                    // epoch is already published, and the ledger still
-                    // closes.
-                    let _ = wal.append_record(&WalRecord { signal, delta });
+                let epoch = delta.epoch;
+                // Frame the epoch-stamped record once; the same bytes go
+                // to the WAL and to every TCP follower, so the replicated
+                // stream is byte-identical to the on-disk log. A failed
+                // append loses durability for this signal but not
+                // liveness: the epoch is already published, and the
+                // ledger still closes.
+                if let Ok(frame) = frame_record(&WalRecord { signal, delta }) {
+                    if let Some(wal) = wal.as_mut() {
+                        let _ = wal.append_frame(&frame);
+                    }
+                    shared.replication.broadcast(epoch, frame);
                 }
                 {
                     let mut state = shared.state.lock().expect("engine state poisoned");

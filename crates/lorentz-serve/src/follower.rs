@@ -1,48 +1,128 @@
-//! The WAL-tailing replication follower.
+//! The replication follower: file- or TCP-fed read replica, with
+//! promotion.
 //!
 //! A leader running [`ServingEngine::start_with_wal`](crate::ServingEngine)
 //! frames every accepted satisfaction signal together with the
-//! epoch-stamped λ delta it published. [`FollowerEngine`] tails that log
-//! with a [`WalTailer`] and applies the deltas to its own
-//! [`LambdaStore`] — no propagation re-run, no full-table transfer — so a
-//! read replica converges to the leader's published λ bit-for-bit and can
-//! answer recommendations from its own snapshot.
+//! epoch-stamped λ delta it published. [`FollowerEngine`] consumes that
+//! stream through a [`ReplicationSource`] — [`FileSource`] tails the
+//! leader's WAL through the filesystem (same-machine standby),
+//! [`TcpSource`] subscribes to the leader's replication listener over a
+//! socket (two-machine standby) — and applies the deltas to its own
+//! [`LambdaStore`]: no propagation re-run, no full-table transfer, so
+//! either transport converges to the leader's published λ bit-for-bit.
 //!
-//! The follower is **read-only by construction**: it exposes no feedback
-//! intake, so the single-writer discipline of the λ epoch chain is
-//! preserved — only the leader mints epochs; the follower replays them.
-//! Startup is catch-up-then-serve: [`FollowerEngine::start`] drains the
-//! log to its current end before returning, so the first recommendation
-//! already reflects every durable signal. The tailer interface is
-//! file-based today but transport-shaped (each poll yields complete
-//! records), so a socket-fed stream can replace it without touching the
-//! apply path.
+//! While following, the replica is **read-only by construction**: only
+//! the leader mints epochs; the follower replays them. Startup is
+//! catch-up-then-serve: the constructors drain the source to its current
+//! end before returning, so the first recommendation already reflects
+//! every durable signal.
+//!
+//! A TCP follower configured with [`FollowerConfig::local_wal`] persists
+//! each received frame verbatim (the frames are byte-identical to the
+//! leader's log, CRC and all), so a restarted follower replays its local
+//! log and resumes the subscription *from its last epoch* instead of
+//! re-reading the leader's entire WAL. A leader that has compacted past
+//! that epoch answers the handshake with full-resync; the follower then
+//! truncates its local log, resets its λ-state, and applies the fresh
+//! stream.
+//!
+//! **Promotion**: with [`FollowerConfig::promote`] set, a TCP follower
+//! that loses its leader for longer than
+//! [`PromoteConfig::detection_timeout`] promotes itself — it finishes
+//! applying whatever was buffered, opens its local WAL as a real
+//! [`ServingEngine`](crate::ServingEngine) (replaying it, so the promoted
+//! λ equals the replicated λ), starts its own replication listener, and
+//! flips to [`ReplicaState::Leader`]: recommendations keep flowing and
+//! [`FollowerEngine::submit_feedback`] starts accepting. When several
+//! standbys race, the OS arbitrates exactly-once promotion through
+//! [`PromoteConfig::listen`]: binding the address is the election, and
+//! the losers re-subscribe to the winner as their new upstream.
 
-use crate::types::{EngineError, ServeError, ServeRequest};
+use crate::engine::ServingEngine;
+use crate::replication::{
+    serve_replication, FileSource, ReplicationConfig, ReplicationError, ReplicationListener,
+    ReplicationSource, SourcePoll, SourcedEntry, TcpSource,
+};
+use crate::types::{EngineError, ServeConfig, ServeError, ServeRequest, ServeResponse};
 use lorentz_core::obs;
-use lorentz_core::personalizer::{LambdaSnapshot, LambdaStore, WalEntry, WalTailer};
-use lorentz_core::{ModelKind, RecommendEngine, RecommendRequest, Recommendation, TrainedLorentz};
-use std::path::Path;
+use lorentz_core::personalizer::{LambdaSnapshot, LambdaStore, PollBackoff, WalEntry, WalTailer};
+use lorentz_core::{
+    ModelKind, RecommendEngine, RecommendRequest, Recommendation, SatisfactionSignal, SignalWal,
+    TrainedLorentz,
+};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How the follower tails the leader's WAL.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// What a follower does when its leader stops answering.
+#[derive(Debug, Clone)]
+pub struct PromoteConfig {
+    /// The WAL the promoted leader opens and replays — normally the same
+    /// path as [`FollowerConfig::local_wal`], which holds every frame the
+    /// follower durably replicated.
+    pub wal_path: PathBuf,
+    /// Replication listen address (`host:port`) the promoted leader
+    /// binds. Binding doubles as the election: when several standbys race,
+    /// exactly one bind succeeds (`AddrInUse` means "lost; re-subscribe
+    /// to the winner here"). `None` promotes unconditionally without a
+    /// listener — single-standby deployments only.
+    pub listen: Option<String>,
+    /// Engine configuration for the promoted leader.
+    pub serve: ServeConfig,
+    /// Listener tuning for the promoted leader's own followers.
+    pub replication: ReplicationConfig,
+    /// How long the leader must stay unreachable before promotion starts.
+    pub detection_timeout: Duration,
+}
+
+impl PromoteConfig {
+    /// Promotion over `wal_path` with defaults: no listener, default
+    /// engine config, one-second detection timeout.
+    pub fn new(wal_path: impl Into<PathBuf>) -> Self {
+        Self {
+            wal_path: wal_path.into(),
+            listen: None,
+            serve: ServeConfig::default(),
+            replication: ReplicationConfig::default(),
+            detection_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// How the follower tails its leader.
+#[derive(Debug, Clone)]
 pub struct FollowerConfig {
-    /// Sleep between polls once the log is drained.
+    /// Base sleep between polls once the stream is drained; consecutive
+    /// idle polls back off exponentially up to `idle_backoff_cap`.
     pub poll_interval: Duration,
+    /// Ceiling for the idle backoff.
+    pub idle_backoff_cap: Duration,
     /// The live Stage-2 model recommendations are served with.
     pub kind: ModelKind,
+    /// Where a TCP follower persists received frames (byte-identical to
+    /// the leader's log), enabling resume-from-epoch after a restart and
+    /// WAL replay on promotion. Ignored by file followers, whose source
+    /// *is* a durable log.
+    pub local_wal: Option<PathBuf>,
+    /// Self-promotion on leader loss; `None` (the default) keeps the
+    /// replica a follower forever.
+    pub promote: Option<PromoteConfig>,
 }
 
 impl Default for FollowerConfig {
-    /// 20 ms poll interval, hierarchical live model.
+    /// 20 ms base poll backing off to ~200 ms, hierarchical live model,
+    /// no local WAL, no promotion.
     fn default() -> Self {
         Self {
             poll_interval: Duration::from_millis(20),
+            idle_backoff_cap: PollBackoff::DEFAULT_CAP,
             kind: ModelKind::Hierarchical,
+            local_wal: None,
+            promote: None,
         }
     }
 }
@@ -58,33 +138,67 @@ pub struct FollowerStats {
     /// Legacy bare-signal records replayed through propagation (visible
     /// with the next delta epoch).
     pub legacy: u64,
-    /// The highest epoch seen in the log so far.
+    /// The highest epoch seen in the stream so far.
     pub last_epoch: u64,
+    /// Full resyncs performed (λ-state discarded and rebuilt from the
+    /// leader's log start).
+    pub full_resyncs: u64,
 }
 
-/// State shared between the tailer thread and the serving side.
+/// Where the replica is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Tailing a leader; read-only.
+    Following,
+    /// Promoted: serving as a leader with its own WAL (and, when
+    /// configured, its own replication listener). Feedback is accepted.
+    Leader,
+    /// The subscription was refused with a typed error (e.g.
+    /// `follower_ahead`) and tailing stopped; operator intervention
+    /// required.
+    Halted(String),
+}
+
+/// The promoted leader's moving parts, swapped in by the tail thread.
+struct PromotedLeader {
+    engine: ServingEngine,
+    /// The promoted engine's response channel. The follower serves
+    /// recommendations synchronously off the engine's λ-state, so worker
+    /// responses are not routed; the receiver is kept so sends never
+    /// error.
+    _responses: Receiver<ServeResponse>,
+    /// The promoted leader's own replication listener, when it bound one.
+    listener: Option<ReplicationListener>,
+}
+
+/// State shared between the tail thread and the serving side.
 struct FollowerShared {
     deployment: Arc<TrainedLorentz>,
-    lambdas: LambdaStore,
+    /// The replicated λ-state. Behind an `RwLock` only for full resync,
+    /// which swaps in a fresh store; applies and reads go through the
+    /// store's own interior mutability under the read lock.
+    lambdas: RwLock<LambdaStore>,
     config: FollowerConfig,
     stop: AtomicBool,
     stats: Mutex<FollowerStats>,
+    state: Mutex<ReplicaState>,
+    promoted: Mutex<Option<PromotedLeader>>,
 }
 
-/// A read replica that tails a leader's signal WAL and serves
-/// recommendations from the replicated λ epochs. See the module docs for
-/// the replication contract.
+/// A read replica that follows a leader's λ-WAL — through the filesystem
+/// or over TCP — and serves recommendations from the replicated epochs;
+/// optionally promotes itself to a serving leader when the leader dies.
+/// See the module docs for the replication and promotion contracts.
 pub struct FollowerEngine {
     shared: Arc<FollowerShared>,
     tailer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl FollowerEngine {
-    /// Starts a follower over `deployment`, catching up to the current
-    /// end of the WAL at `wal_path` before returning, then tailing it on
-    /// a background thread. The file may not exist yet; the follower
-    /// starts serving the batch-trained λ and picks records up as the
-    /// leader writes them.
+    /// Starts a follower tailing the leader's WAL file at `wal_path`,
+    /// catching up to its current end before returning. The file may not
+    /// exist yet; the follower starts serving the batch-trained λ and
+    /// picks records up as the leader writes them.
     ///
     /// # Errors
     /// [`EngineError::Wal`] when the existing log cannot be read during
@@ -95,29 +209,114 @@ impl FollowerEngine {
         wal_path: impl AsRef<Path>,
         config: FollowerConfig,
     ) -> Result<Self, EngineError> {
-        let lambdas = LambdaStore::new(deployment.personalizer().clone());
-        let shared = Arc::new(FollowerShared {
+        let shared = Self::make_shared(deployment, config);
+        let source = FileSource::new(wal_path.as_ref());
+        Self::finish_start(shared, Box::new(source), None)
+    }
+
+    /// Starts a follower subscribed to a leader's replication listener at
+    /// `addr` (`host:port`). When the config carries a
+    /// [`FollowerConfig::local_wal`], records already persisted there are
+    /// replayed first and the subscription resumes from their last epoch —
+    /// the leader streams only the tail.
+    ///
+    /// # Errors
+    /// [`EngineError::Replication`] when the connect or handshake fails
+    /// (including the typed `follower_ahead` rejection);
+    /// [`EngineError::Wal`] when the local WAL cannot be opened or read;
+    /// [`EngineError::SpawnFailed`] when the OS refuses the tail thread.
+    pub fn start_tcp(
+        deployment: Arc<TrainedLorentz>,
+        addr: &str,
+        config: FollowerConfig,
+    ) -> Result<Self, EngineError> {
+        let shared = Self::make_shared(deployment, config);
+        let mut local_wal = None;
+        if let Some(path) = shared.config.local_wal.clone() {
+            // Open first: a torn tail from a crashed run is truncated, so
+            // the tailer below reads a clean log.
+            let (wal, _recovery) = SignalWal::open(&path)?;
+            local_wal = Some(wal);
+            let mut tailer = WalTailer::new(&path);
+            loop {
+                let batch = tailer.poll()?;
+                if batch.is_empty() {
+                    break;
+                }
+                let batch = batch
+                    .into_iter()
+                    .map(|entry| SourcedEntry { entry, raw: None })
+                    .collect();
+                apply_sourced(&shared, batch, None);
+            }
+        }
+        let last_epoch = shared
+            .stats
+            .lock()
+            .expect("follower stats poisoned")
+            .last_epoch;
+        let source = TcpSource::connect(addr, last_epoch).map_err(EngineError::Replication)?;
+        Self::finish_start(shared, Box::new(source), local_wal)
+    }
+
+    /// Starts a follower over an arbitrary [`ReplicationSource`] — the
+    /// seam the transport-specific constructors share, public so tests
+    /// and embedders can inject sources.
+    ///
+    /// # Errors
+    /// As [`FollowerEngine::start`].
+    pub fn start_with_source(
+        deployment: Arc<TrainedLorentz>,
+        source: Box<dyn ReplicationSource>,
+        config: FollowerConfig,
+    ) -> Result<Self, EngineError> {
+        let shared = Self::make_shared(deployment, config);
+        let local_wal = match shared.config.local_wal.clone() {
+            Some(path) => Some(SignalWal::open(&path)?.0),
+            None => None,
+        };
+        Self::finish_start(shared, source, local_wal)
+    }
+
+    fn make_shared(deployment: Arc<TrainedLorentz>, config: FollowerConfig) -> Arc<FollowerShared> {
+        let lambdas = RwLock::new(LambdaStore::new(deployment.personalizer().clone()));
+        Arc::new(FollowerShared {
             deployment,
             lambdas,
             config,
             stop: AtomicBool::new(false),
             stats: Mutex::new(FollowerStats::default()),
-        });
-        let mut tailer = WalTailer::new(wal_path);
-        // Catch-up-then-serve: drain everything already durable so the
-        // first recommendation reflects it.
+            state: Mutex::new(ReplicaState::Following),
+            promoted: Mutex::new(None),
+        })
+    }
+
+    /// Catch-up-then-serve: drain the source to its current end, then tail
+    /// it on a background thread.
+    fn finish_start(
+        shared: Arc<FollowerShared>,
+        mut source: Box<dyn ReplicationSource>,
+        mut local_wal: Option<SignalWal>,
+    ) -> Result<Self, EngineError> {
         loop {
-            let batch = tailer.poll()?;
-            if batch.is_empty() {
-                break;
+            match source.poll() {
+                SourcePoll::Entries(batch) => apply_sourced(&shared, batch, local_wal.as_mut()),
+                SourcePoll::Reset => full_resync(&shared, local_wal.as_mut()),
+                SourcePoll::Rejected(rejection) => {
+                    return Err(EngineError::Replication(ReplicationError::Rejected(
+                        rejection,
+                    )));
+                }
+                // A leader lost during catch-up is the tail loop's problem
+                // (it retries and may promote); serve what we have.
+                SourcePoll::Idle | SourcePoll::LeaderLost(_) => break,
             }
-            apply_batch(&shared, batch);
         }
         let handle = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("lorentz-follow".to_string())
-                .spawn(move || tail_loop(&shared, tailer))
+                .spawn(move || tail_loop(&shared, source, local_wal))
                 .map_err(|source| EngineError::SpawnFailed {
                     name: "lorentz-follow".to_string(),
                     source,
@@ -129,9 +328,10 @@ impl FollowerEngine {
         })
     }
 
-    /// Serves one recommendation from the replicated state, pinning one λ
-    /// epoch for the whole request — a delta applied mid-serve changes
-    /// later requests, never this one.
+    /// Serves one recommendation from the replicated state (or, after
+    /// promotion, from the promoted leader's live λ), pinning one λ epoch
+    /// for the whole request — a delta applied mid-serve changes later
+    /// requests, never this one.
     ///
     /// # Errors
     /// [`ServeError::Recommend`] when the underlying recommendation fails
@@ -142,7 +342,7 @@ impl FollowerEngine {
             offering: request.offering,
             path: request.path,
         };
-        let lambdas = self.shared.lambdas.snapshot();
+        let lambdas = self.lambda_snapshot_for_path(&request.path);
         self.shared
             .deployment
             .live_engine_with_lambdas(self.shared.config.kind, &lambdas)
@@ -150,14 +350,115 @@ impl FollowerEngine {
             .map_err(ServeError::Recommend)
     }
 
-    /// The currently replicated λ epoch — a cheap `Arc` clone.
-    pub fn lambda_snapshot(&self) -> Arc<LambdaSnapshot> {
-        self.shared.lambdas.snapshot()
+    /// Offers one satisfaction signal. A follower is read-only — only the
+    /// leader mints λ epochs — so this is rejected with
+    /// [`ServeError::Draining`] until promotion; a promoted replica
+    /// accepts, applies, and durably logs the signal like any leader
+    /// (blocking until the λ publish lands, so the caller reads its own
+    /// write).
+    ///
+    /// # Errors
+    /// [`ServeError::Draining`] while the replica is (still) a follower.
+    pub fn submit_feedback(&self, signal: SatisfactionSignal) -> Result<(), ServeError> {
+        let promoted = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned");
+        match promoted.as_ref() {
+            Some(leader) => {
+                leader.engine.submit_feedback(signal)?;
+                leader.engine.flush_feedback();
+                Ok(())
+            }
+            None => Err(ServeError::Draining),
+        }
     }
 
-    /// The currently replicated λ epoch number.
+    /// Whether this replica has promoted itself to a serving leader.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.state(), ReplicaState::Leader)
+    }
+
+    /// The replica's lifecycle state.
+    pub fn state(&self) -> ReplicaState {
+        self.shared
+            .state
+            .lock()
+            .expect("follower state poisoned")
+            .clone()
+    }
+
+    /// The λ snapshot covering `path` — the replicated store's while
+    /// following, the promoted engine's after promotion.
+    fn lambda_snapshot_for_path(&self, path: &lorentz_types::ResourcePath) -> Arc<LambdaSnapshot> {
+        let promoted = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned");
+        match promoted.as_ref() {
+            Some(leader) => leader.engine.lambda_snapshot_for(path),
+            None => self
+                .shared
+                .lambdas
+                .read()
+                .expect("follower lambdas poisoned")
+                .snapshot(),
+        }
+    }
+
+    /// The currently replicated λ epoch — a cheap `Arc` clone. After
+    /// promotion this keeps answering from the promoted engine's shard 0.
+    pub fn lambda_snapshot(&self) -> Arc<LambdaSnapshot> {
+        let promoted = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned");
+        match promoted.as_ref() {
+            Some(leader) => leader.engine.lambda_snapshot(),
+            None => self
+                .shared
+                .lambdas
+                .read()
+                .expect("follower lambdas poisoned")
+                .snapshot(),
+        }
+    }
+
+    /// The currently replicated (or, after promotion, served) λ epoch
+    /// number.
     pub fn lambda_version(&self) -> u64 {
-        self.shared.lambdas.version()
+        let promoted = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned");
+        match promoted.as_ref() {
+            Some(leader) => leader.engine.lambda_version(),
+            None => self
+                .shared
+                .lambdas
+                .read()
+                .expect("follower lambdas poisoned")
+                .version(),
+        }
+    }
+
+    /// The promoted leader's replication listen address, once bound.
+    pub fn promoted_listen_addr(&self) -> Option<std::net::SocketAddr> {
+        let promoted = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned");
+        promoted.as_ref().and_then(|leader| {
+            leader
+                .listener
+                .as_ref()
+                .map(ReplicationListener::local_addr)
+        })
     }
 
     /// A point-in-time copy of the replication ledger.
@@ -165,8 +466,9 @@ impl FollowerEngine {
         *self.shared.stats.lock().expect("follower stats poisoned")
     }
 
-    /// Stops tailing and returns the final replication ledger. Idempotent
-    /// with [`Drop`]; records appended after this are not applied.
+    /// Stops tailing (and, after promotion, drains the promoted engine),
+    /// returning the final replication ledger. Idempotent with [`Drop`];
+    /// records appended after this are not applied.
     pub fn stop(self) -> FollowerStats {
         self.shutdown();
         self.stats()
@@ -182,44 +484,184 @@ impl FollowerEngine {
         {
             let _ = handle.join();
         }
+        // Tear down the promoted leader after the tail thread is gone
+        // (it can no longer install a new one).
+        if let Some(leader) = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned")
+            .take()
+        {
+            drop(leader.listener);
+            drop(leader.engine); // drop = drain
+        }
     }
 }
 
 impl Drop for FollowerEngine {
-    /// Dropping the follower stops the tailer thread.
+    /// Dropping the follower stops the tailer thread (and any promoted
+    /// engine).
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-/// The tailer thread body: poll, apply, sleep — until stopped. Read
-/// errors are transient from the follower's perspective (the leader may
-/// be mid-truncate); the next poll retries from the same offset.
-fn tail_loop(shared: &Arc<FollowerShared>, mut tailer: WalTailer) {
+/// How one promotion attempt ended.
+enum PromotionOutcome {
+    /// This replica is the new leader.
+    Promoted,
+    /// Another replica bound the promotion address first; re-subscribe to
+    /// it at the returned address.
+    LostRace(String),
+    /// The attempt failed (bind error, WAL open failure); retry after the
+    /// next detection timeout.
+    Failed,
+}
+
+/// The tail thread body: poll, apply, back off when idle — until stopped,
+/// halted by a typed rejection, or promoted. Leader loss is tolerated up
+/// to the promotion detection timeout (sources reconnect internally);
+/// without a promote config it is tolerated forever, preserving the
+/// original file-follower behavior of riding out leader restarts.
+fn tail_loop(
+    shared: &Arc<FollowerShared>,
+    mut source: Box<dyn ReplicationSource>,
+    mut local_wal: Option<SignalWal>,
+) {
+    let mut backoff = PollBackoff::new(shared.config.poll_interval, shared.config.idle_backoff_cap);
+    let mut lost_since: Option<Instant> = None;
     while !shared.stop.load(Ordering::Acquire) {
-        match tailer.poll() {
-            Ok(batch) if !batch.is_empty() => {
-                apply_batch(shared, batch);
-                // Drain eagerly; only sleep once the log is dry.
+        match source.poll() {
+            SourcePoll::Entries(batch) => {
+                lost_since = None;
+                backoff.reset();
+                apply_sourced(shared, batch, local_wal.as_mut());
+                // Drain eagerly; only sleep once the stream is dry.
                 continue;
             }
-            Ok(_) | Err(_) => {}
+            SourcePoll::Reset => {
+                lost_since = None;
+                backoff.reset();
+                full_resync(shared, local_wal.as_mut());
+                continue;
+            }
+            SourcePoll::Idle => {
+                lost_since = None;
+            }
+            SourcePoll::Rejected(rejection) => {
+                *shared.state.lock().expect("follower state poisoned") =
+                    ReplicaState::Halted(rejection.to_string());
+                return;
+            }
+            SourcePoll::LeaderLost(_reason) => {
+                let since = *lost_since.get_or_insert_with(Instant::now);
+                if let Some(promote) = shared.config.promote.clone() {
+                    if since.elapsed() >= promote.detection_timeout {
+                        // The promoted engine reopens the local WAL; close
+                        // our append handle first so there is exactly one
+                        // writer.
+                        drop(local_wal.take());
+                        match try_promote(shared, &promote) {
+                            PromotionOutcome::Promoted => return,
+                            PromotionOutcome::LostRace(winner) => {
+                                let last_epoch = shared
+                                    .stats
+                                    .lock()
+                                    .expect("follower stats poisoned")
+                                    .last_epoch;
+                                local_wal = reopen_local_wal(shared);
+                                if let Ok(new_source) = TcpSource::connect(&winner, last_epoch) {
+                                    source = Box::new(new_source);
+                                    lost_since = None;
+                                    backoff.reset();
+                                    continue;
+                                }
+                                // The winner is not accepting yet; fall
+                                // through, sleep, and retry the election.
+                            }
+                            PromotionOutcome::Failed => {
+                                local_wal = reopen_local_wal(shared);
+                            }
+                        }
+                    }
+                }
+            }
         }
-        std::thread::sleep(shared.config.poll_interval);
+        std::thread::sleep(backoff.idle());
     }
+}
+
+/// Reopens the local WAL append handle after a promotion attempt that did
+/// not promote (the handle was closed to guarantee a single writer).
+fn reopen_local_wal(shared: &FollowerShared) -> Option<SignalWal> {
+    shared
+        .config
+        .local_wal
+        .as_ref()
+        .and_then(|path| SignalWal::open(path).ok().map(|(wal, _)| wal))
+}
+
+/// One promotion attempt: win the bind election (when a listen address is
+/// configured), replay the local WAL into a real serving engine, start
+/// the replication listener, and flip the replica state.
+fn try_promote(shared: &Arc<FollowerShared>, promote: &PromoteConfig) -> PromotionOutcome {
+    let listener = match &promote.listen {
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(listener) => Some(listener),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                return PromotionOutcome::LostRace(addr.clone());
+            }
+            Err(_) => return PromotionOutcome::Failed,
+        },
+        None => None,
+    };
+    // Replaying the local WAL's signals through propagation converges to
+    // the same λ the deltas produced (the delta chain is a reordering-free
+    // transcript of exactly these applies), and `restore_epoch` continues
+    // the leader's epoch numbering.
+    let started = ServingEngine::start_with_wal(
+        Arc::clone(&shared.deployment),
+        promote.serve,
+        &promote.wal_path,
+    );
+    let (engine, responses) = match started {
+        Ok(pair) => pair,
+        Err(_) => return PromotionOutcome::Failed,
+    };
+    let listener = listener
+        .and_then(|listener| serve_replication(&engine, listener, promote.replication).ok());
+    obs::ENGINE_REPLICATION_PROMOTIONS.inc();
+    *shared.promoted.lock().expect("promoted leader poisoned") = Some(PromotedLeader {
+        engine,
+        _responses: responses,
+        listener,
+    });
+    *shared.state.lock().expect("follower state poisoned") = ReplicaState::Leader;
+    PromotionOutcome::Promoted
 }
 
 /// Applies one polled batch: delta records advance the local epoch chain
 /// (stale epochs from a rescan are skipped — replay is idempotent);
 /// legacy bare-signal records go through propagation and become visible
-/// with the next delta's swap.
-fn apply_batch(shared: &FollowerShared, batch: Vec<WalEntry>) {
+/// with the next delta's swap. Socket-sourced frames carrying raw bytes
+/// are appended to the local WAL first, so what the follower applied is
+/// what it can replay.
+fn apply_sourced(
+    shared: &FollowerShared,
+    batch: Vec<SourcedEntry>,
+    mut local_wal: Option<&mut SignalWal>,
+) {
+    let lambdas = shared.lambdas.read().expect("follower lambdas poisoned");
     let mut stats = shared.stats.lock().expect("follower stats poisoned");
-    for entry in batch {
-        match entry {
+    for sourced in batch {
+        if let (Some(wal), Some(raw)) = (local_wal.as_deref_mut(), sourced.raw.as_deref()) {
+            let _ = wal.append_frame(raw);
+        }
+        match sourced.entry {
             WalEntry::Record(record) => {
                 stats.last_epoch = stats.last_epoch.max(record.delta.epoch);
-                if shared.lambdas.apply_delta(&record.delta).is_ok() {
+                if lambdas.apply_delta(&record.delta).is_ok() {
                     stats.applied += 1;
                     obs::ENGINE_REPLICATION_APPLIED.inc();
                 } else {
@@ -227,13 +669,27 @@ fn apply_batch(shared: &FollowerShared, batch: Vec<WalEntry>) {
                 }
             }
             WalEntry::Signal(signal) => {
-                shared.lambdas.apply_signal(&signal);
+                lambdas.apply_signal(&signal);
                 stats.legacy += 1;
             }
         }
     }
-    let lag = stats.last_epoch.saturating_sub(shared.lambdas.version());
+    let lag = stats.last_epoch.saturating_sub(lambdas.version());
     obs::ENGINE_REPLICATION_LAG_EPOCHS.set(lag as i64);
+}
+
+/// Full resync: the leader's log no longer reaches back to our epoch, so
+/// the replicated λ-state (and the local copy of the log) is discarded;
+/// the stream that follows rebuilds both from the log's start.
+fn full_resync(shared: &FollowerShared, local_wal: Option<&mut SignalWal>) {
+    if let Some(wal) = local_wal {
+        let _ = wal.truncate_all();
+    }
+    let fresh = LambdaStore::new(shared.deployment.personalizer().clone());
+    *shared.lambdas.write().expect("follower lambdas poisoned") = fresh;
+    let mut stats = shared.stats.lock().expect("follower stats poisoned");
+    stats.last_epoch = 0;
+    stats.full_resyncs += 1;
 }
 
 #[cfg(test)]

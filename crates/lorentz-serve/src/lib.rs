@@ -48,6 +48,19 @@
 //!   (catch-up-then-serve), applies the framed deltas to its own λ store,
 //!   and answers recommendations from the replicated epochs — a read
 //!   replica that converges bit-for-bit without re-running propagation.
+//! * **Replication over TCP & promotion** — [`serve_replication`] runs a
+//!   leader-side listener fanning the WAL frame stream out to subscribed
+//!   followers (per-follower outbox threads, so one slow standby never
+//!   stalls the leader), with a resume-from-epoch handshake: a follower
+//!   reconnecting with its last applied epoch receives only the tail, or
+//!   a full-resync verdict when the leader compacted past it. Transports
+//!   hide behind the [`ReplicationSource`] trait ([`FileSource`] /
+//!   [`TcpSource`]); [`FollowerEngine::start_tcp`] persists received
+//!   frames to a local WAL (byte-identical to the leader's) and, when
+//!   configured with a [`PromoteConfig`], promotes itself to a serving
+//!   leader after the leader stays unreachable past the detection
+//!   timeout — exactly-once across racing standbys, arbitrated by the
+//!   promotion listen address bind.
 //! * **Sharded state** — with [`ServeConfig::shards`] > 1 the prediction
 //!   store and λ-state split into power-of-two shards selected by a
 //!   multiply-fold hash of the packed key
@@ -125,12 +138,17 @@
 mod engine;
 mod follower;
 mod net;
+pub mod replication;
 mod types;
 pub mod wire;
 
 pub use engine::ServingEngine;
-pub use follower::{FollowerConfig, FollowerEngine, FollowerStats};
+pub use follower::{FollowerConfig, FollowerEngine, FollowerStats, PromoteConfig, ReplicaState};
 pub use net::{serve_net, NetConfig, NetReport};
+pub use replication::{
+    serve_replication, FileSource, ReplicationConfig, ReplicationError, ReplicationListener,
+    ReplicationSource, SourcePoll, SourcedEntry, TcpSource,
+};
 pub use types::{
     EngineError, EngineStats, RequestError, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };

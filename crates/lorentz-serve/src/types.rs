@@ -137,6 +137,11 @@ pub enum EngineError {
     /// count).
     #[error("invalid engine configuration: {0}")]
     Config(LorentzError),
+    /// A replication subscription could not be established — the connect
+    /// or handshake failed, or the leader refused it with a typed error
+    /// (e.g. `follower_ahead`).
+    #[error("replication failed: {0}")]
+    Replication(crate::replication::ReplicationError),
 }
 
 impl From<lorentz_core::StoreError> for EngineError {

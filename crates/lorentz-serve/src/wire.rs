@@ -28,6 +28,7 @@
 
 use crate::types::{ServeRequest, ServeResponse};
 use lorentz_core::SatisfactionSignal;
+use lorentz_types::framing::{FrameCodec, FrameError, StreamError};
 use lorentz_types::{
     CustomerId, ProfileSchema, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
 };
@@ -82,8 +83,23 @@ impl WireError {
     }
 }
 
+/// Translates the shared codec's stream verdicts into this protocol's
+/// typed errors, preserving the `kind` tags clients branch on.
+fn from_stream_error(e: StreamError) -> WireError {
+    match e {
+        StreamError::Closed => WireError::Closed,
+        StreamError::Truncated => WireError::Truncated,
+        StreamError::Frame(FrameError::TooLarge { len, max }) => WireError::TooLarge { len, max },
+        // The wire codec has no magic or checksum, so other structural
+        // verdicts cannot occur; map defensively rather than panic.
+        StreamError::Frame(other) => WireError::Malformed(other.to_string()),
+        StreamError::Io(e) => WireError::Io(e),
+    }
+}
+
 /// Reads one length-prefixed frame, enforcing `max_len` before buffering
-/// the payload.
+/// the payload. Framing is [`FrameCodec::wire`] — the same codec the
+/// replication handshake and the WAL share.
 ///
 /// # Errors
 /// [`WireError::Closed`] on EOF before the first length byte,
@@ -91,42 +107,18 @@ impl WireError {
 /// [`WireError::TooLarge`] for an over-cap declared length, and
 /// [`WireError::Io`] for any other socket error.
 pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, WireError> {
-    let mut prefix = [0u8; 4];
-    // Distinguish "closed between frames" from "closed mid-prefix".
-    let mut filled = 0;
-    while filled < prefix.len() {
-        match reader.read(&mut prefix[filled..]) {
-            Ok(0) if filled == 0 => return Err(WireError::Closed),
-            Ok(0) => return Err(WireError::Truncated),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(WireError::Io(e)),
-        }
-    }
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len > max_len {
-        return Err(WireError::TooLarge { len, max: max_len });
-    }
-    let mut payload = vec![0u8; len];
-    match reader.read_exact(&mut payload) {
-        Ok(()) => Ok(payload),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(WireError::Truncated),
-        Err(e) => Err(WireError::Io(e)),
-    }
+    FrameCodec::wire(max_len)
+        .read_frame(reader)
+        .map_err(from_stream_error)
 }
 
 /// Writes one length-prefixed frame and flushes it.
 ///
 /// # Errors
-/// Any socket error; a frame over `u32::MAX` bytes is an
+/// Any socket error; a frame over the codec's absolute cap is an
 /// `InvalidInput` error (never produced by this crate's encoders).
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(payload.len()).map_err(|_| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
-    })?;
-    writer.write_all(&len.to_be_bytes())?;
-    writer.write_all(payload)?;
-    writer.flush()
+    FrameCodec::wire(lorentz_types::framing::ABSOLUTE_MAX_PAYLOAD).write_frame(writer, payload)
 }
 
 /// One decoded client frame.

@@ -19,6 +19,12 @@
 //!   hashing over the packed key spaces;
 //! * [`LambdaDelta`] / [`StratLambdas`] — epoch-stamped λ-change records
 //!   for delta publishing and WAL-streamed replication;
+//! * [`Endpoint`] / [`FrameCodec`] — typed transport endpoints
+//!   (`file:PATH` / `tcp://HOST:PORT`) and the shared length-prefixed frame
+//!   codec behind the client wire protocol, the signal WAL, and the
+//!   replication stream;
+//! * [`SubscribeRequest`] / [`SubscribeReply`] — the follower↔leader
+//!   resume-from-epoch replication handshake;
 //! * [`LorentzError`] — the shared error type.
 //!
 //! The types follow §2 of the paper: Azure PostgreSQL DB (flexible server)
@@ -31,24 +37,32 @@
 #![forbid(unsafe_code)]
 
 pub mod capacity;
+pub mod endpoint;
 pub mod error;
+pub mod framing;
 pub mod ids;
 pub mod lambda;
 pub mod offering;
 pub mod pathkey;
 pub mod profile;
+pub mod replication;
 pub mod resource;
 pub mod shard;
 pub mod sku;
 pub mod storekey;
 
 pub use capacity::Capacity;
+pub use endpoint::Endpoint;
 pub use error::{DeltaCorruption, LorentzError, StoreCorruption};
+pub use framing::{crc32c, Decoded, FrameCodec, FrameError, StreamError};
 pub use ids::{CustomerId, ResourceGroupId, ResourcePath, ServerId, SubscriptionId};
 pub use lambda::{LambdaDelta, StratLambdas, N_STRATA};
 pub use offering::ServerOffering;
 pub use pathkey::PathKey;
 pub use profile::{FeatureId, ProfileSchema, ProfileTable, ProfileVector, Vocab};
+pub use replication::{
+    HandshakeRejection, ResumeMode, SubscribeAck, SubscribeReply, SubscribeRequest,
+};
 pub use resource::{ResourceKind, ResourceSpace};
 pub use shard::{PathKeyHasher, ShardRouter};
 pub use sku::{Sku, SkuCatalog};

@@ -1,0 +1,399 @@
+//! Replication over TCP, end to end: a leader fans its λ-WAL out to
+//! socket-subscribed followers, resuming each from its last applied epoch;
+//! a follower that loses the leader past the detection timeout promotes
+//! itself — exactly once across racing standbys — and keeps serving.
+
+use lorentz::core::personalizer::WalRecord;
+use lorentz::core::{
+    LorentzConfig, LorentzPipeline, SatisfactionSignal, SignalWal, TrainedLorentz,
+};
+use lorentz::serve::{
+    serve_replication, FollowerConfig, FollowerEngine, PromoteConfig, ReplicaState,
+    ReplicationConfig, ReplicationError, ReplicationSource, ServeConfig, ServeError, ServingEngine,
+    SourcePoll, TcpSource,
+};
+use lorentz::simdata::fleet::FleetConfig;
+use lorentz::types::replication::{HandshakeRejection, ResumeMode};
+use lorentz::types::{
+    CustomerId, LambdaDelta, PathKey, ResourceGroupId, ResourcePath, ServerOffering, SubscriptionId,
+};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn deployment() -> Arc<TrainedLorentz> {
+    static DEPLOYMENT: OnceLock<Arc<TrainedLorentz>> = OnceLock::new();
+    DEPLOYMENT
+        .get_or_init(|| {
+            let fleet = FleetConfig {
+                n_servers: 80,
+                seed: 20240807,
+                ..FleetConfig::default()
+            }
+            .generate()
+            .unwrap()
+            .fleet;
+            Arc::new(
+                LorentzPipeline::new(LorentzConfig::paper_defaults())
+                    .unwrap()
+                    .train(&fleet)
+                    .unwrap(),
+            )
+        })
+        .clone()
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lorentz-tcp-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn hot_path() -> ResourcePath {
+    ResourcePath::new(CustomerId(7), SubscriptionId(8), ResourceGroupId(9))
+}
+
+fn signal(gamma: f64) -> SatisfactionSignal {
+    SatisfactionSignal::new(hot_path(), ServerOffering::GeneralPurpose, gamma).unwrap()
+}
+
+/// A leader serving feedback into `wal` and replicating it on a loopback
+/// listener.
+fn start_leader(
+    wal: &std::path::Path,
+) -> (
+    ServingEngine,
+    std::sync::mpsc::Receiver<lorentz::serve::ServeResponse>,
+    lorentz::serve::ReplicationListener,
+) {
+    let (engine, responses) =
+        ServingEngine::start_with_wal(deployment(), ServeConfig::default(), wal).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let repl = serve_replication(&engine, listener, ReplicationConfig::default()).unwrap();
+    (engine, responses, repl)
+}
+
+fn wait_for_epoch(follower: &FollowerEngine, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while follower.stats().last_epoch < want {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at {:?}, want epoch {want}",
+            follower.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn leader_lambda(leader: &ServingEngine) -> f64 {
+    leader
+        .lambda_snapshot()
+        .lambda(&hot_path(), ServerOffering::GeneralPurpose)
+}
+
+#[test]
+fn tcp_follower_serves_lambda_byte_identical_to_file_follower() {
+    let dir = scratch_dir("equivalence");
+    let wal = dir.join("leader.wal");
+    let (leader, _responses, repl) = start_leader(&wal);
+    let addr = repl.local_addr().to_string();
+
+    let file_follower =
+        FollowerEngine::start(deployment(), &wal, FollowerConfig::default()).unwrap();
+    let tcp_follower =
+        FollowerEngine::start_tcp(deployment(), &addr, FollowerConfig::default()).unwrap();
+
+    for gamma in [1.0, 1.0, -0.5] {
+        leader.submit_feedback(signal(gamma)).unwrap();
+    }
+    leader.flush_feedback();
+    let want = leader.lambda_version();
+    let lambda = leader_lambda(&leader);
+
+    wait_for_epoch(&file_follower, want);
+    wait_for_epoch(&tcp_follower, want);
+    for follower in [&file_follower, &tcp_follower] {
+        let replicated = follower
+            .lambda_snapshot()
+            .lambda(&hot_path(), ServerOffering::GeneralPurpose);
+        assert_eq!(
+            replicated.to_bits(),
+            lambda.to_bits(),
+            "replicated λ diverged from the leader's"
+        );
+        assert_eq!(follower.lambda_version(), want);
+    }
+    let tcp_stats = tcp_follower.stop();
+    let file_stats = file_follower.stop();
+    assert_eq!(tcp_stats.applied, file_stats.applied);
+    assert_eq!(tcp_stats.skipped, 0);
+    drop(repl);
+    drop(leader);
+}
+
+#[test]
+fn restarted_tcp_follower_resumes_from_its_last_epoch() {
+    let dir = scratch_dir("resume");
+    let wal = dir.join("leader.wal");
+    let local = dir.join("replica.wal");
+    let (leader, _responses, repl) = start_leader(&wal);
+    let addr = repl.local_addr().to_string();
+
+    let config = FollowerConfig {
+        local_wal: Some(local.clone()),
+        ..FollowerConfig::default()
+    };
+    let follower = FollowerEngine::start_tcp(deployment(), &addr, config.clone()).unwrap();
+    for gamma in [1.0, 1.0, -0.5] {
+        leader.submit_feedback(signal(gamma)).unwrap();
+    }
+    leader.flush_feedback();
+    wait_for_epoch(&follower, leader.lambda_version());
+    follower.stop();
+
+    // More feedback lands while the follower is down.
+    leader.submit_feedback(signal(0.5)).unwrap();
+    leader.submit_feedback(signal(0.5)).unwrap();
+    leader.flush_feedback();
+    let want = leader.lambda_version();
+    let lambda = leader_lambda(&leader);
+
+    // The restarted follower replays its local log, subscribes with its
+    // last epoch, and receives only the tail: were the leader to replay
+    // the whole log, the duplicate frames would be re-appended locally and
+    // the byte-for-byte comparison below would fail.
+    let follower = FollowerEngine::start_tcp(deployment(), &addr, config).unwrap();
+    wait_for_epoch(&follower, want);
+    let replicated = follower
+        .lambda_snapshot()
+        .lambda(&hot_path(), ServerOffering::GeneralPurpose);
+    assert_eq!(replicated.to_bits(), lambda.to_bits());
+    follower.stop();
+    drop(repl);
+    drop(leader);
+
+    let leader_bytes = std::fs::read(&wal).unwrap();
+    let local_bytes = std::fs::read(&local).unwrap();
+    assert_eq!(
+        leader_bytes, local_bytes,
+        "the replica's local WAL must be byte-identical to the leader's"
+    );
+}
+
+/// A WAL whose epochs carry gaps (shard-local numbering: the globally
+/// minted epoch sequence interleaves across shards, so any one stream has
+/// holes). Resuming from a *present* epoch replays only the tail; resuming
+/// from an epoch the log no longer holds (compacted past it) forces a full
+/// resync.
+fn gapped_wal(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("gapped.wal");
+    let (mut wal, _) = SignalWal::open(&path).unwrap();
+    for epoch in [2u64, 5, 9] {
+        let record = WalRecord {
+            signal: signal(1.0),
+            delta: LambdaDelta::new(
+                epoch,
+                vec![(PathKey::new(hot_path()), [0.0, 0.1 * epoch as f64, 0.0])],
+            ),
+        };
+        wal.append_record(&record).unwrap();
+    }
+    path
+}
+
+#[test]
+fn resume_from_a_present_epoch_replays_only_the_tail_across_gaps() {
+    let dir = scratch_dir("gaps");
+    let wal = gapped_wal(&dir);
+    let (_leader, _responses, repl) = start_leader(&wal);
+    let addr = repl.local_addr().to_string();
+
+    let mut source = TcpSource::connect(addr, 5).unwrap();
+    let ack = source.last_ack().unwrap();
+    assert_eq!(ack.mode, ResumeMode::Resume);
+    assert_eq!(ack.from_epoch, 5);
+    assert_eq!(ack.leader_epoch, 9);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut epochs = Vec::new();
+    while epochs.is_empty() && Instant::now() < deadline {
+        match source.poll() {
+            SourcePoll::Entries(batch) => {
+                epochs.extend(batch.iter().filter_map(|e| e.entry.epoch()));
+            }
+            SourcePoll::Idle => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("unexpected poll result: {other:?}"),
+        }
+    }
+    assert_eq!(epochs, vec![9], "only the tail past epoch 5 is replayed");
+}
+
+#[test]
+fn resume_from_a_compacted_epoch_forces_a_full_resync() {
+    let dir = scratch_dir("compacted");
+    let wal = gapped_wal(&dir);
+    let (_leader, _responses, repl) = start_leader(&wal);
+    let addr = repl.local_addr().to_string();
+
+    // Epoch 3 is below the leader's epoch but absent from its log — the
+    // log has been compacted past the follower's position.
+    let mut source = TcpSource::connect(addr, 3).unwrap();
+    let ack = source.last_ack().unwrap();
+    assert_eq!(ack.mode, ResumeMode::FullResync);
+    assert_eq!(ack.from_epoch, 0);
+
+    // The source surfaces the reset before any entries, then streams the
+    // log from its start.
+    assert!(matches!(source.poll(), SourcePoll::Reset));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut epochs = Vec::new();
+    while epochs.len() < 3 && Instant::now() < deadline {
+        match source.poll() {
+            SourcePoll::Entries(batch) => {
+                epochs.extend(batch.iter().filter_map(|e| e.entry.epoch()));
+            }
+            SourcePoll::Idle => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("unexpected poll result: {other:?}"),
+        }
+    }
+    assert_eq!(epochs, vec![2, 5, 9]);
+}
+
+#[test]
+fn a_follower_ahead_of_the_leader_is_rejected_with_a_typed_error() {
+    let dir = scratch_dir("ahead");
+    let wal = gapped_wal(&dir);
+    let (_leader, _responses, repl) = start_leader(&wal);
+    let addr = repl.local_addr().to_string();
+
+    match TcpSource::connect(addr, 99).map(|_| ()) {
+        Err(ReplicationError::Rejected(HandshakeRejection::FollowerAhead { follower, leader })) => {
+            assert_eq!(follower, 99);
+            assert_eq!(leader, 9);
+        }
+        other => panic!("expected a follower_ahead rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_handshake_disconnects_leave_the_leader_serving() {
+    let dir = scratch_dir("disconnect");
+    let wal = gapped_wal(&dir);
+    let (_leader, _responses, repl) = start_leader(&wal);
+    let addr = repl.local_addr();
+
+    // A client that connects and vanishes without a subscribe frame, and
+    // one that sends garbage: both are dropped without wedging the
+    // acceptor.
+    drop(TcpStream::connect(addr).unwrap());
+    {
+        use std::io::Write;
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        let _ = garbage.write_all(&[0u8, 0, 0, 5, b'h', b'e', b'l', b'l', b'o']);
+        // The leader answers a malformed subscribe with a typed rejection.
+    }
+    // A well-formed subscription still succeeds.
+    let source = TcpSource::connect(addr.to_string(), 0).unwrap();
+    assert_eq!(source.last_ack().unwrap().mode, ResumeMode::Resume);
+}
+
+#[test]
+fn exactly_one_standby_promotes_and_the_loser_refollows_it() {
+    let dir = scratch_dir("promotion");
+    let wal = dir.join("leader.wal");
+    let (leader, _responses, mut repl) = start_leader(&wal);
+    let addr = repl.local_addr().to_string();
+
+    // Reserve a loopback port for the promotion election, then free it so
+    // the winning standby can bind it.
+    let promote_addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    let standby = |name: &str| {
+        let local = dir.join(format!("{name}.wal"));
+        FollowerEngine::start_tcp(
+            deployment(),
+            &addr,
+            FollowerConfig {
+                local_wal: Some(local.clone()),
+                promote: Some(PromoteConfig {
+                    listen: Some(promote_addr.clone()),
+                    detection_timeout: Duration::from_millis(200),
+                    ..PromoteConfig::new(local)
+                }),
+                ..FollowerConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = standby("standby-a");
+    let b = standby("standby-b");
+
+    for gamma in [1.0, 1.0, -0.5] {
+        leader.submit_feedback(signal(gamma)).unwrap();
+    }
+    leader.flush_feedback();
+    let epoch_at_kill = leader.lambda_version();
+    let lambda_at_kill = leader_lambda(&leader);
+    wait_for_epoch(&a, epoch_at_kill);
+    wait_for_epoch(&b, epoch_at_kill);
+
+    // Kill the leader. Both standbys detect the loss; the promotion
+    // address bind arbitrates the race.
+    repl.shutdown();
+    drop(repl);
+    drop(leader);
+
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let promoted = loop {
+        assert!(Instant::now() < deadline, "no standby promoted");
+        match (a.is_leader(), b.is_leader()) {
+            (true, true) => panic!("both standbys promoted"),
+            (true, false) => break &a,
+            (false, true) => break &b,
+            (false, false) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    let loser = if std::ptr::eq(promoted, &a) { &b } else { &a };
+
+    // The promoted replica replayed its local WAL: its λ equals the dead
+    // leader's published λ and its epoch numbering continues the chain.
+    assert_eq!(promoted.lambda_version(), epoch_at_kill);
+    let served = promoted
+        .lambda_snapshot()
+        .lambda(&hot_path(), ServerOffering::GeneralPurpose);
+    assert_eq!(served.to_bits(), lambda_at_kill.to_bits());
+
+    // It now accepts feedback like any leader...
+    promoted.submit_feedback(signal(0.5)).unwrap();
+    assert_eq!(promoted.lambda_version(), epoch_at_kill + 1);
+
+    // ...and the loser re-subscribed to it as its new upstream: it stays
+    // a follower, never promotes, and converges on the new epoch.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while loser.stats().last_epoch < epoch_at_kill + 1 {
+        assert!(
+            Instant::now() < deadline,
+            "loser never converged on the promoted leader: {:?} (state {:?})",
+            loser.stats(),
+            loser.state()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(loser.state(), ReplicaState::Following);
+    let promoted_lambda = promoted
+        .lambda_snapshot()
+        .lambda(&hot_path(), ServerOffering::GeneralPurpose);
+    let refollowed = loser
+        .lambda_snapshot()
+        .lambda(&hot_path(), ServerOffering::GeneralPurpose);
+    assert_eq!(refollowed.to_bits(), promoted_lambda.to_bits());
+
+    // A follower without promotion config stays read-only throughout.
+    match loser.submit_feedback(signal(1.0)) {
+        Err(ServeError::Draining) => {}
+        other => panic!("a follower must reject feedback, got {other:?}"),
+    }
+}
