@@ -1,0 +1,153 @@
+//! Seeded fault schedules. A [`Schedule`] is derived entirely from the
+//! seed, printed before the run, and echoed on any violation so the exact
+//! failing scenario replays with `lorentz chaos --seed N`.
+
+use crate::rng::SplitMix64;
+use std::fmt;
+
+/// The primary leader-loss fault a seed injects. Each one must make the
+/// standbys' promotion timer fire; each heals differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `kill -9` the leader: no heal, no fence probe — the old leader is
+    /// simply gone and the survivors carry the lineage.
+    Kill,
+    /// `SIGSTOP` the leader for `pause_ms` and sever its replication
+    /// bridges (a frozen process keeps its sockets open, so the proxy
+    /// tears them to model peers timing the leader out), then `SIGCONT` +
+    /// heal. The revived leader must fence.
+    Pause {
+        /// How long the leader stays frozen.
+        pause_ms: u64,
+    },
+    /// Black-hole the replication proxy for `partition_ms` while the
+    /// leader keeps serving clients — the classic split-brain window: the
+    /// isolated leader accepts `diverging_signals` more feedback signals
+    /// that the standbys never see, then the partition heals and the old
+    /// leader must fence with its divergent tail frozen.
+    Partition {
+        /// How long replication stays severed.
+        partition_ms: u64,
+        /// Feedback signals accepted by the isolated leader during the
+        /// partition (its divergent WAL tail).
+        diverging_signals: u64,
+    },
+}
+
+impl Fault {
+    /// Stable tag for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Kill => "kill",
+            Fault::Pause { .. } => "pause",
+            Fault::Partition { .. } => "partition",
+        }
+    }
+
+    /// Whether the old leader process survives the fault (and therefore
+    /// must be fenced after heal).
+    pub fn leader_survives(&self) -> bool {
+        !matches!(self, Fault::Kill)
+    }
+}
+
+/// Everything a seed decides. Derived once from the seed's RNG stream in
+/// a fixed order — adding a draw changes every later schedule, so new
+/// draws go at the end.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The seed this schedule was derived from.
+    pub seed: u64,
+    /// Feedback signals driven at the healthy leader before any fault.
+    pub warmup_signals: u64,
+    /// An optional benign delay window before the fault: the proxy delays
+    /// every replicated chunk by this many milliseconds while two more
+    /// signals flow (jitter must not trigger promotion).
+    pub delay_ms: Option<u64>,
+    /// The leader-loss fault.
+    pub fault: Fault,
+}
+
+impl Schedule {
+    /// Derives the schedule for `seed`.
+    pub fn derive(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let warmup_signals = rng.range(6, 14);
+        let delay_ms = if rng.chance(1, 2) {
+            Some(rng.range(5, 30))
+        } else {
+            None
+        };
+        let fault = match rng.below(3) {
+            0 => Fault::Kill,
+            1 => Fault::Pause {
+                pause_ms: rng.range(900, 1500),
+            },
+            _ => Fault::Partition {
+                partition_ms: rng.range(900, 1500),
+                diverging_signals: rng.range(3, 8),
+            },
+        };
+        Self {
+            seed,
+            warmup_signals,
+            delay_ms,
+            fault,
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {}: {} warmup signals",
+            self.seed, self.warmup_signals
+        )?;
+        if let Some(d) = self.delay_ms {
+            write!(f, ", {d}ms replication delay window")?;
+        }
+        match &self.fault {
+            Fault::Kill => write!(f, ", then kill -9 the leader"),
+            Fault::Pause { pause_ms } => {
+                write!(
+                    f,
+                    ", then SIGSTOP the leader for {pause_ms}ms (+ severed bridges), SIGCONT, heal"
+                )
+            }
+            Fault::Partition {
+                partition_ms,
+                diverging_signals,
+            } => write!(
+                f,
+                ", then partition replication for {partition_ms}ms while the isolated leader \
+                 accepts {diverging_signals} diverging signals, heal"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        for seed in 0..64 {
+            let a = Schedule::derive(seed);
+            let b = Schedule::derive(seed);
+            assert_eq!(a.warmup_signals, b.warmup_signals);
+            assert_eq!(a.delay_ms, b.delay_ms);
+            assert_eq!(a.fault, b.fault);
+        }
+    }
+
+    #[test]
+    fn all_fault_kinds_reachable_within_small_seed_range() {
+        let kinds: std::collections::BTreeSet<&str> =
+            (0..32).map(|s| Schedule::derive(s).fault.kind()).collect();
+        assert!(kinds.contains("kill"));
+        assert!(kinds.contains("pause"));
+        assert!(kinds.contains("partition"));
+    }
+}

@@ -45,7 +45,8 @@ USAGE:
                      generation-numbered snapshot under DIR)
   lorentz store-verify --store-dir DIR
                     (load the newest intact store generation, reporting any
-                     corrupt generations that were skipped)
+                     corrupt generations that were skipped; exits nonzero when
+                     anything was corrupt, even though recovery succeeded)
   lorentz recommend --model model.json --offering burstable|general_purpose|memory_optimized
                     --profile \"Feature=value,Feature=value\" [--source hierarchical|target-encoding|store]
                     [--customer N --subscription N --resource-group N] [--metrics-out metrics.json]
@@ -84,7 +85,7 @@ USAGE:
                     --follow file:PATH|tcp://HOST:PORT
                     [--kind hierarchical|target-encoding] [--replica-wal wal.log]
                     [--promote-listen ADDR] [--promote-after-ms N] [--await-promotion]
-                    [--json] [--metrics-out metrics.json]
+                    [--run-ms MS] [--json] [--metrics-out metrics.json]
                     (replication follower: catches up on the leader's stream —
                      file:PATH tails a shared-filesystem WAL, tcp://HOST:PORT
                      subscribes to a leader's --replicate-listen — applies its
@@ -98,11 +99,15 @@ USAGE:
                      --promote-after-ms (default 1000), the follower that binds
                      ADDR first becomes a serving leader over its replica WAL
                      and accepts feedback; --await-promotion holds the request
-                     lines until that happens)
+                     lines until that happens; --run-ms keeps the follower alive —
+                     tailing, promotable, serving a promoted listener — for MS
+                     milliseconds after the request lines, for standby deployments
+                     and the chaos harness)
   lorentz wal-verify --wal wal.log
                     (walk a feedback WAL read-only, reporting per-record OK/CORRUPT
-                     verdicts like store-verify plus the last epoch — the resume
-                     position a follower would reconnect with; never repairs the file)
+                     verdicts like store-verify plus term markers and the last
+                     epoch — the resume position a follower would reconnect with;
+                     never repairs the file, but exits nonzero on a corrupt tail)
   lorentz feedback  --model model.json --tickets tickets.ndjson [--out model.json]
                     (tickets.ndjson: one {\"symptoms\", \"subject\", \"resolution\",
                      \"customer\", \"subscription\", \"resource_group\", \"offering\"}
@@ -113,6 +118,18 @@ USAGE:
   lorentz offering  --fleet fleet.json --profile \"Feature=value,...\"
   lorentz ticket    [--symptoms S] [--subject S] [--resolution S]
   lorentz persim    [--iters N] [--signal-rate X] [--signal-noise X] [--sigma X] [--seed N]
+  lorentz chaos     --seed N [--seeds K] [--model model.json] [--standbys N]
+                    [--run-ms MS] [--promote-after-ms MS] [--work-dir DIR]
+                    [--keep-dirs] [--failpoints SPEC]
+                    (seeded cluster chaos: spawns a real leader + standbys from this
+                     binary, drives feedback load, injects the seed's fault schedule —
+                     kill -9, SIGSTOP, or a replication partition through a built-in
+                     TCP fault proxy — heals, fences the old leader, and checks the
+                     split-brain invariants: at most one unfenced leader, strictly
+                     increasing terms, dense epochs, replica-WAL prefix property,
+                     λ convergence, and exact ledgers. --seeds K runs seeds N..N+K-1
+                     against one shared model fixture; any violation prints the seed
+                     and schedule for one-command replay and exits nonzero)
   lorentz help
 ";
 
@@ -232,7 +249,9 @@ pub fn train(args: &Args) -> Result<(), CliError> {
 }
 
 /// `lorentz store-verify`: load the newest intact generation from a durable
-/// store directory and report how recovery went.
+/// store directory and report how recovery went. Exits nonzero when any
+/// generation was corrupt (or the manifest unreadable) so harnesses can
+/// gate on a clean store without parsing the report.
 pub fn store_verify(args: &Args) -> Result<(), CliError> {
     let dir = args.require("store-dir")?;
     let recovered = DurableStore::open(dir).load()?;
@@ -250,6 +269,19 @@ pub fn store_verify(args: &Args) -> Result<(), CliError> {
         recovered.fallbacks,
         if recovered.fallbacks == 1 { "" } else { "s" }
     );
+    if !recovered.skipped.is_empty() || recovered.manifest_error.is_some() {
+        return Err(CliError::InvalidInput(format!(
+            "store {dir} is damaged: {} corrupt generation(s) skipped{} \
+             (recovered from generation {})",
+            recovered.skipped.len(),
+            if recovered.manifest_error.is_some() {
+                ", manifest unreadable"
+            } else {
+                ""
+            },
+            recovered.generation
+        )));
+    }
     Ok(())
 }
 
@@ -728,8 +760,16 @@ fn serve_listen(
         report.disconnects,
         report.dropped_responses,
     );
+    match report.fenced_by {
+        Some(observed) => eprintln!(
+            "leader term {}: FENCED by term {observed} — a newer leader owns the \
+             WAL lineage; feedback was refused after the fence",
+            report.leader_term
+        ),
+        None => eprintln!("leader term {}", report.leader_term),
+    }
     if args.has_switch("json") {
-        let row = serde::Value::Map(vec![
+        let mut fields = vec![
             ("submitted".to_owned(), serde::Value::UInt(stats.submitted)),
             ("accepted".to_owned(), serde::Value::UInt(stats.accepted)),
             ("answered".to_owned(), serde::Value::UInt(stats.answered)),
@@ -769,8 +809,22 @@ fn serve_listen(
                 "dropped_responses".to_owned(),
                 serde::Value::UInt(report.dropped_responses),
             ),
-        ]);
-        println!("{}", serde_json::to_string_pretty(&row)?);
+            (
+                "leader_term".to_owned(),
+                serde::Value::UInt(report.leader_term),
+            ),
+            (
+                "fenced".to_owned(),
+                serde::Value::Bool(report.fenced_by.is_some()),
+            ),
+        ];
+        if let Some(observed) = report.fenced_by {
+            fields.push(("fenced_by".to_owned(), serde::Value::UInt(observed)));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Map(fields))?
+        );
     }
     write_metrics(args)
 }
@@ -881,8 +935,25 @@ fn serve_follow(
             serde_json::to_string_pretty(&serde::Value::Seq(rows))?
         );
     }
+    // Chaos/standby hook: stay alive (tailing, promotable, serving the
+    // promoted listener) for a fixed window before the graceful stop.
+    if let Some(run_ms) = parse_opt_flag::<u64>(args, "run-ms")? {
+        let deadline = std::time::Instant::now() + Duration::from_millis(run_ms);
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
     let lambda_version = follower.lambda_version();
     let promoted = follower.is_leader();
+    let term = follower.leader_term();
+    let state_label = match follower.state() {
+        lorentz_serve::ReplicaState::Following => "following".to_owned(),
+        lorentz_serve::ReplicaState::Leader => "leader".to_owned(),
+        lorentz_serve::ReplicaState::Halted(why) => format!("halted: {why}"),
+        lorentz_serve::ReplicaState::Demoted { term, observed } => {
+            format!("demoted (term {term} fenced by term {observed})")
+        }
+    };
     let stats = follower.stop();
     // Status goes to stderr so stdout stays machine-readable answers.
     let applied_note = if promoted {
@@ -893,34 +964,48 @@ fn serve_follow(
     eprintln!(
         "followed {endpoint}: {} deltas applied, {} skipped, {} legacy signals \
          (lambda v{lambda_version}, last epoch {}); served {served} requests, \
-         {feedback_rejected} feedback rejected (read-only){applied_note}",
-        stats.applied, stats.skipped, stats.legacy, stats.last_epoch
+         {feedback_rejected} feedback rejected (read-only){applied_note}; \
+         state {state_label}, term {term}, {} duplicates",
+        stats.applied, stats.skipped, stats.legacy, stats.last_epoch, stats.duplicates
     );
     write_metrics(args)
 }
 
 /// `lorentz wal-verify`: walk a feedback WAL read-only and report a
 /// per-record verdict, mirroring `store-verify` for the signal log. Never
-/// repairs the file — a torn tail is described, not truncated.
+/// repairs the file — a torn tail is described, not truncated — but exits
+/// nonzero when one is found so harnesses can gate on an intact log.
 pub fn wal_verify(args: &Args) -> Result<(), CliError> {
     let wal_path = args.require("wal")?;
     let report = lorentz_core::SignalWal::verify(wal_path)?;
     for r in &report.records {
-        let s = &r.signal;
-        let framing = match r.epoch {
-            Some(epoch) => format!("epoch {epoch}, {} delta keys", r.delta_keys),
-            None => "legacy bare signal".to_owned(),
-        };
-        println!(
-            "record {} @ {}: OK — {framing}; signal {}|{}|{} {} γ{:+}",
-            r.index,
-            r.offset,
-            s.path.customer.0,
-            s.path.subscription.0,
-            s.path.resource_group.0,
-            s.offering,
-            s.gamma
-        );
+        match (&r.signal, r.term) {
+            (Some(s), _) => {
+                let framing = match r.epoch {
+                    Some(epoch) => format!("epoch {epoch}, {} delta keys", r.delta_keys),
+                    None => "legacy bare signal".to_owned(),
+                };
+                println!(
+                    "record {} @ {}: OK — {framing}; signal {}|{}|{} {} γ{:+}",
+                    r.index,
+                    r.offset,
+                    s.path.customer.0,
+                    s.path.subscription.0,
+                    s.path.resource_group.0,
+                    s.offering,
+                    s.gamma
+                );
+            }
+            (None, Some(term)) => {
+                println!(
+                    "record {} @ {}: OK — term marker (leader term {term})",
+                    r.index, r.offset
+                );
+            }
+            (None, None) => {
+                println!("record {} @ {}: OK — empty record", r.index, r.offset);
+            }
+        }
     }
     // The resume position a follower would hand the leader on reconnect.
     let last_epoch = report
@@ -930,18 +1015,27 @@ pub fn wal_verify(args: &Args) -> Result<(), CliError> {
         .max()
         .unwrap_or(0);
     match &report.corrupt {
-        Some((offset, why)) => println!(
-            "record {} @ {offset}: CORRUPT ({why}); {} trailing bytes unreadable \
-             (last epoch {last_epoch})",
-            report.records.len(),
-            report.trailing_bytes
-        ),
-        None => println!(
-            "{} records OK, tail clean (last epoch {last_epoch})",
-            report.records.len()
-        ),
+        Some((offset, why)) => {
+            println!(
+                "record {} @ {offset}: CORRUPT ({why}); {} trailing bytes unreadable \
+                 (last epoch {last_epoch})",
+                report.records.len(),
+                report.trailing_bytes
+            );
+            Err(CliError::InvalidInput(format!(
+                "WAL {wal_path} is damaged: corrupt frame at offset {offset} ({why}), \
+                 {} intact record(s) precede it",
+                report.records.len()
+            )))
+        }
+        None => {
+            println!(
+                "{} records OK, tail clean (last epoch {last_epoch})",
+                report.records.len()
+            );
+            Ok(())
+        }
     }
-    Ok(())
 }
 
 /// `lorentz feedback`: replay a file of CRI ticket lines through the
@@ -1090,6 +1184,64 @@ pub fn persim(args: &Args) -> Result<(), CliError> {
             );
         }
     }
+    Ok(())
+}
+
+/// `lorentz chaos`: run the seeded cluster chaos harness against this very
+/// binary. Each seed spawns a real leader + standbys, drives load, injects
+/// the seed's fault schedule, heals, fences, and checks the split-brain
+/// invariants; any violation prints the seed and schedule for replay and
+/// the command exits nonzero.
+pub fn chaos(args: &Args) -> Result<(), CliError> {
+    let seed = args.get_parse_or("seed", 1u64)?;
+    let count = args.get_parse_or("seeds", 1u64)?;
+    if count == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".to_owned()));
+    }
+    let binary = std::env::current_exe().map_err(|e| CliError::io("current executable", e))?;
+    let mut config = lorentz_chaos::ChaosConfig::new(binary);
+    config.model = args.get("model").map(Into::into);
+    config.work_dir = args.get("work-dir").map(Into::into);
+    config.standbys = args.get_parse_or("standbys", config.standbys)?;
+    config.run_ms = args.get_parse_or("run-ms", config.run_ms)?;
+    config.promote_after_ms = args.get_parse_or("promote-after-ms", config.promote_after_ms)?;
+    config.keep_work_dir = args.has_switch("keep-dirs");
+    config.failpoints = args.get("failpoints").map(ToOwned::to_owned);
+    if config.standbys < 2 {
+        return Err(CliError::Usage(
+            "--standbys must be at least 2 (the harness checks a promotion race)".to_owned(),
+        ));
+    }
+    let mut failed = 0u64;
+    for s in seed..seed + count {
+        let report = lorentz_chaos::run_seed(s, &config)
+            .map_err(|e| CliError::InvalidInput(format!("chaos seed {s}: {e}")))?;
+        if report.passed() {
+            println!(
+                "seed {s}: PASS — fault {}, {} signals acked ({} diverged), winner term {}",
+                report.schedule.fault.kind(),
+                report.warmup_acked,
+                report.diverged_acked,
+                report.winner_term
+            );
+        } else {
+            failed += 1;
+            println!("seed {s}: FAIL — schedule: {}", report.schedule);
+            for v in &report.violations {
+                println!("  violation: {v}");
+            }
+            println!(
+                "  artifacts kept in {}; replay with: lorentz chaos --seed {s}",
+                report.work_dir.display()
+            );
+        }
+    }
+    if failed > 0 {
+        return Err(CliError::InvalidInput(format!(
+            "{failed}/{count} chaos seed(s) violated cluster invariants"
+        )));
+    }
+    println!("{count} chaos seed(s) passed");
     Ok(())
 }
 

@@ -59,6 +59,7 @@ fn main() {
         Some("report") => commands::report(&args),
         Some("ticket") => commands::ticket(&args),
         Some("persim") => commands::persim(&args),
+        Some("chaos") => commands::chaos(&args),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

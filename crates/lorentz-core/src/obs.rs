@@ -62,6 +62,9 @@
 //! | `engine.replication.full_resyncs` | counter | subscriptions the log could not resume, answered with a full resync |
 //! | `engine.replication.max_follower_lag` | gauge | epochs the slowest attached follower trails the leader |
 //! | `engine.replication.promotions` | counter | followers promoted to serving leader after leader loss |
+//! | `engine.replication.duplicates` | counter | re-delivered already-applied delta epochs skipped as idempotent no-ops |
+//! | `engine.replication.fenced` | counter | feedback submissions rejected because the leader is fenced by a higher term |
+//! | `engine.replication.demotions` | counter | promoted leaders that fenced themselves after observing a higher term |
 //! | `engine.net.connections` | counter | TCP connections accepted by the net front end |
 //! | `engine.net.active_connections` | gauge | TCP connections currently open |
 //! | `engine.net.frames_in` | counter | request frames decoded off sockets |
@@ -177,6 +180,15 @@ pub static ENGINE_REPLICATION_FULL_RESYNCS: Counter = Counter::new();
 pub static ENGINE_REPLICATION_MAX_FOLLOWER_LAG: Gauge = Gauge::new();
 /// Followers promoted to serving leader after detecting leader loss.
 pub static ENGINE_REPLICATION_PROMOTIONS: Counter = Counter::new();
+/// Re-delivered already-applied delta epochs skipped as idempotent no-ops
+/// on the follower apply path (ambiguous-send resume, replayed streams).
+pub static ENGINE_REPLICATION_DUPLICATES: Counter = Counter::new();
+/// Feedback submissions rejected because this leader is fenced: a higher
+/// leader term has been observed and a newer leader owns the lineage.
+pub static ENGINE_REPLICATION_FENCED: Counter = Counter::new();
+/// Promoted leaders that fenced themselves (flipped to `Demoted`) after
+/// observing a higher term.
+pub static ENGINE_REPLICATION_DEMOTIONS: Counter = Counter::new();
 /// TCP connections the net front end has accepted since start.
 pub static NET_CONNECTIONS: Counter = Counter::new();
 /// TCP connections currently open (accepted minus closed).
@@ -279,6 +291,15 @@ pub fn registry() -> &'static Registry {
         r.register_counter(
             "engine.replication.promotions",
             &ENGINE_REPLICATION_PROMOTIONS,
+        );
+        r.register_counter(
+            "engine.replication.duplicates",
+            &ENGINE_REPLICATION_DUPLICATES,
+        );
+        r.register_counter("engine.replication.fenced", &ENGINE_REPLICATION_FENCED);
+        r.register_counter(
+            "engine.replication.demotions",
+            &ENGINE_REPLICATION_DEMOTIONS,
         );
         r.register_counter("engine.net.connections", &NET_CONNECTIONS);
         r.register_gauge("engine.net.active_connections", &NET_ACTIVE_CONNECTIONS);

@@ -17,8 +17,11 @@
 //! [4 magic "LSIG"] [4 payload len u32 LE] [4 payload CRC32C u32 LE] [payload]
 //! ```
 //!
-//! The payload is JSON: either a bare [`SatisfactionSignal`] (the legacy
-//! format, still replayed) or a [`WalRecord`] `{signal, delta}` object.
+//! The payload is JSON: a bare [`SatisfactionSignal`] (the legacy
+//! format, still replayed), a [`WalRecord`] `{signal, delta}` object, or
+//! a [`TermRecord`] `{leader_term}` marker appended whenever a process
+//! mints a new leader term (logs written before fencing existed carry no
+//! markers and recover as term 0).
 //! Appends are `write_all` + `fsync` under [`retry_with_backoff`], so
 //! transient I/O failures retry and permanent ones surface. A crash
 //! mid-append leaves a torn final record; replay verifies each frame's
@@ -75,7 +78,20 @@ pub struct WalRecord {
     pub delta: LambdaDelta,
 }
 
-/// One intact record read back from a log, either format.
+/// A leader-term marker: appended once whenever a process mints a new
+/// leader term (fresh-log startup, every promotion). Terms never regress
+/// within one log, so the highest marker reconstructs the lineage's
+/// current term on recovery; because the replication stream carries the
+/// log's frames verbatim, the marker also tells every follower which
+/// term produced the records after it — without per-frame headers that
+/// would break the replica's byte-identical-log property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TermRecord {
+    /// The minted leader term.
+    pub leader_term: u64,
+}
+
+/// One intact record read back from a log, any format.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalEntry {
     /// A legacy bare-signal record (pre-delta format): replayable through
@@ -83,22 +99,33 @@ pub enum WalEntry {
     Signal(SatisfactionSignal),
     /// A delta-framed [`WalRecord`].
     Record(WalRecord),
+    /// A leader-term marker ([`TermRecord`]).
+    Term(u64),
 }
 
 impl WalEntry {
-    /// The signal this entry carries, whichever format it was written in.
-    pub fn signal(&self) -> &SatisfactionSignal {
+    /// The signal this entry carries, `None` for a term marker.
+    pub fn signal(&self) -> Option<&SatisfactionSignal> {
         match self {
-            WalEntry::Signal(s) => s,
-            WalEntry::Record(r) => &r.signal,
+            WalEntry::Signal(s) => Some(s),
+            WalEntry::Record(r) => Some(&r.signal),
+            WalEntry::Term(_) => None,
         }
     }
 
     /// The delta epoch, if this is a delta-framed record.
     pub fn epoch(&self) -> Option<u64> {
         match self {
-            WalEntry::Signal(_) => None,
             WalEntry::Record(r) => Some(r.delta.epoch),
+            WalEntry::Signal(_) | WalEntry::Term(_) => None,
+        }
+    }
+
+    /// The minted leader term, if this is a term marker.
+    pub fn term(&self) -> Option<u64> {
+        match self {
+            WalEntry::Term(t) => Some(*t),
+            WalEntry::Signal(_) | WalEntry::Record(_) => None,
         }
     }
 }
@@ -112,6 +139,10 @@ pub struct WalRecovery {
     /// empty or all-legacy). After replaying, fast-forward the λ store to
     /// at least this epoch so new appends continue the on-disk numbering.
     pub last_epoch: u64,
+    /// The highest leader term among intact [`TermRecord`] markers (0 for
+    /// a log written before fencing existed). A restarting leader resumes
+    /// this term; a promotion mints a strictly higher one.
+    pub last_term: u64,
     /// Bytes discarded from a torn final record (0 for a clean log).
     pub torn_tail_bytes: usize,
 }
@@ -181,12 +212,14 @@ impl SignalWal {
             .filter_map(WalEntry::epoch)
             .max()
             .unwrap_or(0);
-        let signals = entries.into_iter().map(|e| *e.signal()).collect();
+        let last_term = entries.iter().filter_map(WalEntry::term).max().unwrap_or(0);
+        let signals = entries.iter().filter_map(|e| e.signal().copied()).collect();
         Ok((
             Self { path, file, retry },
             WalRecovery {
                 signals,
                 last_epoch,
+                last_term,
                 torn_tail_bytes,
             },
         ))
@@ -219,11 +252,12 @@ impl SignalWal {
                         index: records.len(),
                         offset: offset as u64,
                         epoch: entry.epoch(),
+                        term: entry.term(),
                         delta_keys: match &entry {
-                            WalEntry::Signal(_) => 0,
                             WalEntry::Record(r) => r.delta.entries.len(),
+                            WalEntry::Signal(_) | WalEntry::Term(_) => 0,
                         },
-                        signal: *entry.signal(),
+                        signal: entry.signal().copied(),
                     });
                     offset = end;
                 }
@@ -268,6 +302,21 @@ impl SignalWal {
         self.append_payload(payload.as_bytes())
     }
 
+    /// Appends one leader-term marker durably. Term markers are control
+    /// records, not feedback: they share the framing, retry, and
+    /// fail-point discipline of every other append but are *not* counted
+    /// in `personalizer.wal.appends`, which meters accepted signals.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Serialize`] when the record cannot be
+    /// encoded and [`StoreError::Io`] when the write fails permanently.
+    pub fn append_term(&mut self, term: u64) -> Result<(), StoreError> {
+        let payload = serde_json::to_string(&TermRecord { leader_term: term })
+            .map_err(|e| StoreError::Serialize(format!("{e}")))?;
+        let frame = frame_payload(payload.as_bytes());
+        self.write_frame(&frame)
+    }
+
     fn append_payload(&mut self, payload: &[u8]) -> Result<(), StoreError> {
         let frame = frame_payload(payload);
         self.append_frame(&frame)
@@ -282,15 +331,21 @@ impl SignalWal {
     /// # Errors
     /// Returns [`StoreError::Io`] when the write fails permanently.
     pub fn append_frame(&mut self, frame: &[u8]) -> Result<(), StoreError> {
+        self.write_frame(frame)?;
+        obs::WAL_APPENDS.inc();
+        Ok(())
+    }
+
+    /// The durable write every append path shares: `write_all` + `fsync`
+    /// under the retry policy, metering left to the caller.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), StoreError> {
         let policy = self.retry;
         retry_with_backoff(&policy, is_transient_io, |_| self.append_once(frame)).map_err(
             |source| StoreError::Io {
                 path: self.path.display().to_string(),
                 source,
             },
-        )?;
-        obs::WAL_APPENDS.inc();
-        Ok(())
+        )
     }
 
     /// Discards every record, resetting the log to empty — the follower's
@@ -396,12 +451,17 @@ pub struct WalReplay {
 /// Exponential idle backoff for poll loops: each consecutive idle poll
 /// doubles the sleep from `base` up to `cap`, and any productive poll
 /// resets it. Replaces the follower's hard-coded 20 ms spin so an idle
-/// standby stops burning a syscall loop.
+/// standby stops burning a syscall loop. [`PollBackoff::with_jitter`]
+/// additionally scatters each sleep by a seeded ±50% so a fleet of
+/// followers healing from the same partition doesn't reconnect in
+/// lockstep.
 #[derive(Debug, Clone)]
 pub struct PollBackoff {
     base: Duration,
     cap: Duration,
     next: Duration,
+    /// SplitMix64 state when jitter is on; `None` doubles exactly.
+    jitter: Option<u64>,
 }
 
 impl PollBackoff {
@@ -416,13 +476,38 @@ impl PollBackoff {
             base,
             cap,
             next: base,
+            jitter: None,
+        }
+    }
+
+    /// Like [`PollBackoff::new`], but each returned sleep is scaled by a
+    /// deterministic seeded factor in `[0.5, 1.5)`. The doubling schedule
+    /// underneath is unchanged — only the emitted sleeps scatter — so two
+    /// backoffs with the same seed still produce identical schedules
+    /// (replayable under the chaos harness).
+    pub fn with_jitter(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            jitter: Some(seed),
+            ..Self::new(base, cap)
         }
     }
 
     /// Called after an idle poll: returns how long to sleep, then doubles
     /// the next idle sleep (saturating at the cap).
     pub fn idle(&mut self) -> Duration {
-        let sleep = self.next;
+        let sleep = match self.jitter.as_mut() {
+            None => self.next,
+            Some(state) => {
+                // SplitMix64: one step of state, mixed into [0.5, 1.5).
+                *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+                self.next.mul_f64(0.5 + frac)
+            }
+        };
         self.next = (self.next * 2).min(self.cap);
         sleep
     }
@@ -459,12 +544,15 @@ pub struct WalRecordSummary {
     pub index: usize,
     /// Byte offset of the record's frame.
     pub offset: u64,
-    /// The delta epoch, `None` for a legacy bare-signal record.
+    /// The delta epoch, `None` for a legacy bare-signal record or a term
+    /// marker.
     pub epoch: Option<u64>,
-    /// Number of λ keys the embedded delta carries (0 for legacy).
+    /// The minted leader term, `Some` only for a term marker.
+    pub term: Option<u64>,
+    /// Number of λ keys the embedded delta carries (0 otherwise).
     pub delta_keys: usize,
-    /// The signal the record carries.
-    pub signal: SatisfactionSignal,
+    /// The signal the record carries, `None` for a term marker.
+    pub signal: Option<SatisfactionSignal>,
 }
 
 /// A poll-based reader that follows a leader's log as it grows — the
@@ -557,10 +645,14 @@ fn parse_entry(payload: &[u8]) -> Result<WalEntry, StoreCorruption> {
             "payload is not UTF-8".to_owned(),
         ));
     };
-    // Delta-framed first, legacy bare signal as the fallback — the two
-    // JSON shapes share no fields, so the match is unambiguous.
+    // Delta-framed first, then term markers, legacy bare signal as the
+    // fallback — the three JSON shapes share no fields, so the match is
+    // unambiguous.
     if let Ok(record) = serde_json::from_str::<WalRecord>(text) {
         return Ok(WalEntry::Record(record));
+    }
+    if let Ok(term) = serde_json::from_str::<TermRecord>(text) {
+        return Ok(WalEntry::Term(term.leader_term));
     }
     match serde_json::from_str::<SatisfactionSignal>(text) {
         Ok(signal) => Ok(WalEntry::Signal(signal)),
@@ -722,7 +814,39 @@ mod tests {
         let (_wal, recovery) = reopen(&path);
         assert_eq!(recovery.signals, signals);
         assert_eq!(recovery.last_epoch, 0); // all-legacy log
+        assert_eq!(recovery.last_term, 0); // no term markers either
         assert_eq!(recovery.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn term_markers_round_trip_and_track_the_lineage() {
+        let (path, mut wal) = fresh_wal("terms");
+        wal.append_term(1).unwrap();
+        wal.append_record(&record(1, 1.0, 2)).unwrap();
+        wal.append_term(4).unwrap(); // a promotion mid-log
+        wal.append_record(&record(2, 0.5, 3)).unwrap();
+        drop(wal);
+
+        let (_wal, recovery) = reopen(&path);
+        assert_eq!(recovery.last_term, 4);
+        assert_eq!(recovery.last_epoch, 3);
+        assert_eq!(recovery.signals, vec![signal(1, 1.0), signal(2, 0.5)]);
+
+        let report = SignalWal::verify(&path).unwrap();
+        assert_eq!(report.records.len(), 4);
+        assert_eq!(report.records[0].term, Some(1));
+        assert_eq!(report.records[0].epoch, None);
+        assert!(report.records[0].signal.is_none());
+        assert_eq!(report.records[1].term, None);
+        assert_eq!(report.records[1].signal, Some(signal(1, 1.0)));
+        assert!(report.corrupt.is_none());
+
+        // Markers ride the replication stream positionally: resuming past
+        // epoch 2 replays the term-4 marker before the epoch-3 record.
+        let replay = SignalWal::replay_from(&path, 2).unwrap();
+        assert_eq!(replay.frames.len(), 2);
+        let (entry, _) = next_frame(&replay.frames[0], 0).unwrap().unwrap();
+        assert_eq!(entry.term(), Some(4));
     }
 
     #[test]
@@ -957,6 +1081,27 @@ mod tests {
         assert_eq!(b.idle(), Duration::from_millis(200), "saturates at the cap");
         b.reset();
         assert_eq!(b.idle(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_and_stays_within_bounds() {
+        let (base, cap) = (Duration::from_millis(20), Duration::from_millis(200));
+        let mut exact = PollBackoff::new(base, cap);
+        let mut a = PollBackoff::with_jitter(base, cap, 0xC0FFEE);
+        let mut b = PollBackoff::with_jitter(base, cap, 0xC0FFEE);
+        for _ in 0..12 {
+            let want = exact.idle();
+            let got = a.idle();
+            assert_eq!(got, b.idle(), "same seed ⇒ same schedule");
+            assert!(got >= want / 2, "{got:?} below half of {want:?}");
+            assert!(got <= want * 3 / 2, "{got:?} above 1.5× {want:?}");
+        }
+        a.reset();
+        assert!(a.idle() <= base * 3 / 2, "reset returns to the base rung");
+        // Distinct seeds decorrelate the schedules.
+        let mut c = PollBackoff::with_jitter(base, cap, 1);
+        let mut d = PollBackoff::with_jitter(base, cap, 2);
+        assert!((0..12).any(|_| c.idle() != d.idle()));
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl ServingEngine {
         deployment: Arc<TrainedLorentz>,
         config: ServeConfig,
     ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
-        Self::start_inner(deployment, config, None)
+        Self::start_inner(deployment, config, None, None)
     }
 
     /// Like [`ServingEngine::start`], but with feedback durability: every
@@ -147,22 +147,53 @@ impl ServingEngine {
         wal_path: impl AsRef<Path>,
     ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
         let (wal, recovery) = SignalWal::open(wal_path)?;
-        Self::start_inner(deployment, config, Some((wal, recovery)))
+        Self::start_inner(deployment, config, Some((wal, recovery)), None)
+    }
+
+    /// Like [`ServingEngine::start_with_wal`], but for a standby taking
+    /// over leadership: a fresh leader term is minted strictly above both
+    /// the highest term recovered from the WAL and `observed_term` (the
+    /// highest term the promoting follower saw on the wire), and appended
+    /// to the WAL as a term marker before any feedback is accepted. Every
+    /// replication handshake then carries the new term, which is what
+    /// fences the old leader when the partition heals.
+    ///
+    /// # Errors
+    /// As [`ServingEngine::start_with_wal`].
+    pub fn start_promoted(
+        deployment: Arc<TrainedLorentz>,
+        config: ServeConfig,
+        wal_path: impl AsRef<Path>,
+        observed_term: u64,
+    ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
+        let (wal, recovery) = SignalWal::open(wal_path)?;
+        Self::start_inner(
+            deployment,
+            config,
+            Some((wal, recovery)),
+            Some(observed_term),
+        )
     }
 
     fn start_inner(
         deployment: Arc<TrainedLorentz>,
         config: ServeConfig,
         wal: Option<(SignalWal, WalRecovery)>,
+        promotion: Option<u64>,
     ) -> Result<(Self, Receiver<ServeResponse>), EngineError> {
         let (tx, rx) = channel();
         let (feedback_tx, feedback_rx) = channel();
         let worker_count = config.workers.max(1);
         let lambdas = ShardedLambdaStore::new(deployment.personalizer().clone(), config.shards)
             .map_err(EngineError::Config)?;
-        let (wal, recovered, last_epoch) = match wal {
-            Some((wal, recovery)) => (Some(wal), recovery.signals, recovery.last_epoch),
-            None => (None, Vec::new(), 0),
+        let (mut wal, recovered, last_epoch, last_term) = match wal {
+            Some((wal, recovery)) => (
+                Some(wal),
+                recovery.signals,
+                recovery.last_epoch,
+                recovery.last_term,
+            ),
+            None => (None, Vec::new(), 0, 0),
         };
         if !recovered.is_empty() {
             lambdas.apply_signals(&recovered);
@@ -172,8 +203,25 @@ impl ServingEngine {
         // records already framed (replay publishes one merged epoch, which
         // may lag the per-signal epochs the crashed leader wrote).
         lambdas.restore_epoch(last_epoch);
+        // Term lifecycle: a fresh lineage mints term 1; a same-lineage
+        // restart resumes the recovered term *unchanged* (re-minting would
+        // collide with a standby that promoted to recovered+1 while this
+        // node was down — only promotions may raise the term); a promotion
+        // mints strictly above everything recovered or observed. Minted
+        // terms are made durable as a WAL marker before the λ-writer (and
+        // therefore any feedback append) starts.
+        let term = match promotion {
+            Some(observed) => last_term.max(observed) + 1,
+            None => last_term.max(1),
+        };
+        if term != last_term {
+            if let Some(wal) = wal.as_mut() {
+                wal.append_term(term).map_err(EngineError::Wal)?;
+            }
+        }
         let replication = Arc::new(ReplicationHub::new());
         replication.set_last_epoch(last_epoch);
+        replication.set_term(term);
         let wal_path = wal.as_ref().map(|w| w.path().to_path_buf());
         let shared = Arc::new(Shared {
             store: ShardedPredictionStore::from_store(deployment.store(), config.shards)
@@ -296,8 +344,17 @@ impl ServingEngine {
     /// the affected paths shift by `2^λ` with no model reload.
     ///
     /// # Errors
+    /// [`ServeError::Fenced`] once a higher-term leader has been observed
+    /// (accepting the signal would fork the WAL lineage);
     /// [`ServeError::Draining`] after [`ServingEngine::drain`] has begun.
     pub fn submit_feedback(&self, signal: SatisfactionSignal) -> Result<(), ServeError> {
+        if let Some(observed) = self.shared.replication.fenced_by() {
+            obs::ENGINE_REPLICATION_FENCED.inc();
+            return Err(ServeError::Fenced {
+                term: self.shared.replication.term(),
+                observed,
+            });
+        }
         let mut state = self.shared.state.lock().expect("engine state poisoned");
         let Some(tx) = state.feedback_tx.as_ref().filter(|_| state.intake_open) else {
             return Err(ServeError::Draining);
@@ -362,6 +419,24 @@ impl ServingEngine {
     /// Followers currently subscribed to this engine's replication hub.
     pub fn replication_followers(&self) -> usize {
         self.shared.replication.subscriber_count()
+    }
+
+    /// The leader term this engine serves under (minted or resumed at
+    /// start; see [`ServingEngine::start_promoted`]).
+    pub fn leader_term(&self) -> u64 {
+        self.shared.replication.term()
+    }
+
+    /// The higher term that fenced this leader, if any. A fenced leader
+    /// keeps serving reads but refuses feedback (its WAL lineage is
+    /// frozen) and refuses new replication subscriptions.
+    pub fn fenced_by(&self) -> Option<u64> {
+        self.shared.replication.fenced_by()
+    }
+
+    /// Whether a higher-term leader has been observed.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced_by().is_some()
     }
 
     /// The engine's replication fanout hub (shared with the listener).

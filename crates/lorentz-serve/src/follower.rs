@@ -37,6 +37,18 @@
 //! standbys race, the OS arbitrates exactly-once promotion through
 //! [`PromoteConfig::listen`]: binding the address is the election, and
 //! the losers re-subscribe to the winner as their new upstream.
+//!
+//! **Term fencing**: promotion mints a leader term strictly above every
+//! term the follower recovered or observed, so when a partition heals the
+//! cluster can tell the real leader from the zombie. A replica whose
+//! subscription is refused with `stale_leader` treats its upstream as
+//! lost (the upstream is the zombie — the replica promotes past it or
+//! finds the winner); a *promoted* replica whose own engine gets fenced
+//! (a higher-term subscriber reached its listener) demotes itself: the
+//! tail thread — which stays alive after promotion precisely as this
+//! watchdog — flips the state to [`ReplicaState::Demoted`], shuts the
+//! listener down, and feedback is refused with
+//! [`ServeError::Fenced`](crate::ServeError) while reads keep working.
 
 use crate::engine::ServingEngine;
 use crate::replication::{
@@ -50,6 +62,7 @@ use lorentz_core::{
     ModelKind, RecommendEngine, RecommendRequest, Recommendation, SatisfactionSignal, SignalWal,
     TrainedLorentz,
 };
+use lorentz_types::{DeltaCorruption, HandshakeRejection};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -132,14 +145,22 @@ impl Default for FollowerConfig {
 pub struct FollowerStats {
     /// Delta records applied to the local λ store.
     pub applied: u64,
-    /// Records skipped because their epoch did not advance the local
-    /// store (duplicates from a tailer rescan after the log shrank).
+    /// Records skipped because applying them failed for a reason other
+    /// than a stale epoch.
     pub skipped: u64,
+    /// Re-delivered records whose epoch the local store had already
+    /// passed — resume-overlap after a reconnect, or a tailer rescan after
+    /// the log shrank. Applying is idempotent: each is dropped without
+    /// touching λ.
+    pub duplicates: u64,
     /// Legacy bare-signal records replayed through propagation (visible
     /// with the next delta epoch).
     pub legacy: u64,
     /// The highest epoch seen in the stream so far.
     pub last_epoch: u64,
+    /// The highest leader term seen in the stream so far (0 until the
+    /// first term marker arrives).
+    pub leader_term: u64,
     /// Full resyncs performed (λ-state discarded and rebuilt from the
     /// leader's log start).
     pub full_resyncs: u64,
@@ -157,6 +178,17 @@ pub enum ReplicaState {
     /// `follower_ahead`) and tailing stopped; operator intervention
     /// required.
     Halted(String),
+    /// Promoted, then superseded: a leader at a strictly higher term was
+    /// observed and this replica fenced itself. Reads keep answering from
+    /// the λ-state at the moment of demotion; feedback is refused with
+    /// [`ServeError::Fenced`](crate::ServeError); the local WAL is frozen
+    /// (no divergence past the fence point).
+    Demoted {
+        /// The term this replica held as a leader.
+        term: u64,
+        /// The higher term that superseded it.
+        observed: u64,
+    },
 }
 
 /// The promoted leader's moving parts, swapped in by the tail thread.
@@ -250,12 +282,15 @@ impl FollowerEngine {
                 apply_sourced(&shared, batch, None);
             }
         }
-        let last_epoch = shared
-            .stats
-            .lock()
-            .expect("follower stats poisoned")
-            .last_epoch;
-        let source = TcpSource::connect(addr, last_epoch).map_err(EngineError::Replication)?;
+        let (last_epoch, observed_term) = {
+            let stats = shared.stats.lock().expect("follower stats poisoned");
+            (stats.last_epoch, stats.leader_term)
+        };
+        // Declare every term recovered from the local WAL in the
+        // handshake: reconnecting to a leader at a lower term fences that
+        // leader instead of silently resubscribing to a stale lineage.
+        let source = TcpSource::connect_with_term(addr, last_epoch, observed_term)
+            .map_err(EngineError::Replication)?;
         Self::finish_start(shared, Box::new(source), local_wal)
     }
 
@@ -358,8 +393,13 @@ impl FollowerEngine {
     /// write).
     ///
     /// # Errors
-    /// [`ServeError::Draining`] while the replica is (still) a follower.
+    /// [`ServeError::Draining`] while the replica is (still) a follower;
+    /// [`ServeError::Fenced`] after it was promoted and then superseded by
+    /// a higher-term leader.
     pub fn submit_feedback(&self, signal: SatisfactionSignal) -> Result<(), ServeError> {
+        if let ReplicaState::Demoted { term, observed } = self.state() {
+            return Err(ServeError::Fenced { term, observed });
+        }
         let promoted = self
             .shared
             .promoted
@@ -466,6 +506,24 @@ impl FollowerEngine {
         *self.shared.stats.lock().expect("follower stats poisoned")
     }
 
+    /// The leader term this replica is operating under: the promoted
+    /// engine's own term after promotion, otherwise the highest term seen
+    /// in the replicated stream.
+    pub fn leader_term(&self) -> u64 {
+        let promoted = self
+            .shared
+            .promoted
+            .lock()
+            .expect("promoted leader poisoned");
+        match promoted.as_ref() {
+            Some(leader) => leader.engine.leader_term(),
+            None => {
+                drop(promoted);
+                self.stats().leader_term
+            }
+        }
+    }
+
     /// Stops tailing (and, after promotion, drains the promoted engine),
     /// returning the final replication ledger. Idempotent with [`Drop`];
     /// records appended after this are not applied.
@@ -519,20 +577,36 @@ enum PromotionOutcome {
     Failed,
 }
 
+/// Seeds the tail loop's idle jitter so replicas of one leader desynchronize
+/// their poll (and therefore promotion-retry) schedules.
+fn tail_jitter_seed() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    (u64::from(std::process::id()) << 32) ^ NEXT.fetch_add(0x9E37_79B9, Ordering::Relaxed)
+}
+
 /// The tail thread body: poll, apply, back off when idle — until stopped,
-/// halted by a typed rejection, or promoted. Leader loss is tolerated up
-/// to the promotion detection timeout (sources reconnect internally);
-/// without a promote config it is tolerated forever, preserving the
-/// original file-follower behavior of riding out leader restarts.
+/// halted by a typed rejection, or promoted (after which the same thread
+/// stays alive as the demotion watchdog, see [`watch_promoted`]). Leader
+/// loss is tolerated up to the promotion detection timeout (sources
+/// reconnect internally); without a promote config it is tolerated
+/// forever, preserving the original file-follower behavior of riding out
+/// leader restarts. A `stale_leader` rejection is handled as a *loss*,
+/// not a halt: the refusing upstream is the zombie of an older term, and
+/// the right move is to promote past it or find the real leader.
 fn tail_loop(
     shared: &Arc<FollowerShared>,
     mut source: Box<dyn ReplicationSource>,
     mut local_wal: Option<SignalWal>,
 ) {
-    let mut backoff = PollBackoff::new(shared.config.poll_interval, shared.config.idle_backoff_cap);
+    let mut backoff = PollBackoff::with_jitter(
+        shared.config.poll_interval,
+        shared.config.idle_backoff_cap,
+        tail_jitter_seed(),
+    );
     let mut lost_since: Option<Instant> = None;
     while !shared.stop.load(Ordering::Acquire) {
-        match source.poll() {
+        let lost = match source.poll() {
             SourcePoll::Entries(batch) => {
                 lost_since = None;
                 backoff.reset();
@@ -548,47 +622,103 @@ fn tail_loop(
             }
             SourcePoll::Idle => {
                 lost_since = None;
+                false
+            }
+            SourcePoll::Rejected(rejection @ HandshakeRejection::StaleLeader { .. }) => {
+                let mut stats = shared.stats.lock().expect("follower stats poisoned");
+                if let HandshakeRejection::StaleLeader { observed_term, .. } = rejection {
+                    stats.leader_term = stats.leader_term.max(observed_term);
+                }
+                true
             }
             SourcePoll::Rejected(rejection) => {
                 *shared.state.lock().expect("follower state poisoned") =
                     ReplicaState::Halted(rejection.to_string());
                 return;
             }
-            SourcePoll::LeaderLost(_reason) => {
-                let since = *lost_since.get_or_insert_with(Instant::now);
-                if let Some(promote) = shared.config.promote.clone() {
-                    if since.elapsed() >= promote.detection_timeout {
-                        // The promoted engine reopens the local WAL; close
-                        // our append handle first so there is exactly one
-                        // writer.
-                        drop(local_wal.take());
-                        match try_promote(shared, &promote) {
-                            PromotionOutcome::Promoted => return,
-                            PromotionOutcome::LostRace(winner) => {
-                                let last_epoch = shared
-                                    .stats
-                                    .lock()
-                                    .expect("follower stats poisoned")
-                                    .last_epoch;
-                                local_wal = reopen_local_wal(shared);
-                                if let Ok(new_source) = TcpSource::connect(&winner, last_epoch) {
-                                    source = Box::new(new_source);
-                                    lost_since = None;
-                                    backoff.reset();
-                                    continue;
-                                }
-                                // The winner is not accepting yet; fall
-                                // through, sleep, and retry the election.
+            SourcePoll::LeaderLost(_reason) => true,
+        };
+        if lost {
+            let since = *lost_since.get_or_insert_with(Instant::now);
+            if let Some(promote) = shared.config.promote.clone() {
+                if since.elapsed() >= promote.detection_timeout {
+                    // The promoted engine reopens the local WAL; close
+                    // our append handle first so there is exactly one
+                    // writer.
+                    drop(local_wal.take());
+                    let observed_term = {
+                        let stats = shared.stats.lock().expect("follower stats poisoned");
+                        stats.leader_term.max(source.observed_term())
+                    };
+                    match try_promote(shared, &promote, observed_term) {
+                        PromotionOutcome::Promoted => {
+                            watch_promoted(shared);
+                            return;
+                        }
+                        PromotionOutcome::LostRace(winner) => {
+                            let last_epoch = shared
+                                .stats
+                                .lock()
+                                .expect("follower stats poisoned")
+                                .last_epoch;
+                            local_wal = reopen_local_wal(shared);
+                            if let Ok(new_source) =
+                                TcpSource::connect_with_term(&winner, last_epoch, observed_term)
+                            {
+                                source = Box::new(new_source);
+                                lost_since = None;
+                                backoff.reset();
+                                continue;
                             }
-                            PromotionOutcome::Failed => {
-                                local_wal = reopen_local_wal(shared);
-                            }
+                            // The winner is not accepting yet; fall
+                            // through, sleep, and retry the election.
+                        }
+                        PromotionOutcome::Failed => {
+                            local_wal = reopen_local_wal(shared);
                         }
                     }
                 }
             }
         }
         std::thread::sleep(backoff.idle());
+    }
+}
+
+/// The tail thread's afterlife as a promoted leader's demotion watchdog:
+/// poll the promoted engine for the fence flag (set when a subscriber at
+/// a strictly higher term reaches its replication listener). On a fence,
+/// stop the listener (existing followers must go find the real leader),
+/// flip to [`ReplicaState::Demoted`], and exit. The engine itself stays
+/// up: reads keep answering from the λ-state at demotion, while its own
+/// fence check refuses feedback, so the local WAL cannot diverge past the
+/// fence point.
+fn watch_promoted(shared: &Arc<FollowerShared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let fenced = {
+            let promoted = shared.promoted.lock().expect("promoted leader poisoned");
+            match promoted.as_ref() {
+                Some(leader) => leader
+                    .engine
+                    .fenced_by()
+                    .map(|observed| (leader.engine.leader_term(), observed)),
+                None => return,
+            }
+        };
+        if let Some((term, observed)) = fenced {
+            if let Some(leader) = shared
+                .promoted
+                .lock()
+                .expect("promoted leader poisoned")
+                .as_mut()
+            {
+                leader.listener.take();
+            }
+            obs::ENGINE_REPLICATION_DEMOTIONS.inc();
+            *shared.state.lock().expect("follower state poisoned") =
+                ReplicaState::Demoted { term, observed };
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
     }
 }
 
@@ -603,9 +733,14 @@ fn reopen_local_wal(shared: &FollowerShared) -> Option<SignalWal> {
 }
 
 /// One promotion attempt: win the bind election (when a listen address is
-/// configured), replay the local WAL into a real serving engine, start
-/// the replication listener, and flip the replica state.
-fn try_promote(shared: &Arc<FollowerShared>, promote: &PromoteConfig) -> PromotionOutcome {
+/// configured), replay the local WAL into a real serving engine — minting
+/// a leader term strictly above `observed_term` and everything in the WAL
+/// — start the replication listener, and flip the replica state.
+fn try_promote(
+    shared: &Arc<FollowerShared>,
+    promote: &PromoteConfig,
+    observed_term: u64,
+) -> PromotionOutcome {
     let listener = match &promote.listen {
         Some(addr) => match TcpListener::bind(addr) {
             Ok(listener) => Some(listener),
@@ -620,10 +755,11 @@ fn try_promote(shared: &Arc<FollowerShared>, promote: &PromoteConfig) -> Promoti
     // the same λ the deltas produced (the delta chain is a reordering-free
     // transcript of exactly these applies), and `restore_epoch` continues
     // the leader's epoch numbering.
-    let started = ServingEngine::start_with_wal(
+    let started = ServingEngine::start_promoted(
         Arc::clone(&shared.deployment),
         promote.serve,
         &promote.wal_path,
+        observed_term,
     );
     let (engine, responses) = match started {
         Ok(pair) => pair,
@@ -661,16 +797,29 @@ fn apply_sourced(
         match sourced.entry {
             WalEntry::Record(record) => {
                 stats.last_epoch = stats.last_epoch.max(record.delta.epoch);
-                if lambdas.apply_delta(&record.delta).is_ok() {
-                    stats.applied += 1;
-                    obs::ENGINE_REPLICATION_APPLIED.inc();
-                } else {
-                    stats.skipped += 1;
+                match lambdas.apply_delta(&record.delta) {
+                    Ok(_) => {
+                        stats.applied += 1;
+                        obs::ENGINE_REPLICATION_APPLIED.inc();
+                    }
+                    // A stale epoch is a re-delivery (resume overlap after
+                    // a reconnect, or a tailer rescan), not damage: the
+                    // apply is idempotent and the record is dropped.
+                    Err(DeltaCorruption::EpochRegression { .. }) => {
+                        stats.duplicates += 1;
+                        obs::ENGINE_REPLICATION_DUPLICATES.inc();
+                    }
+                    Err(_) => {
+                        stats.skipped += 1;
+                    }
                 }
             }
             WalEntry::Signal(signal) => {
                 lambdas.apply_signal(&signal);
                 stats.legacy += 1;
+            }
+            WalEntry::Term(term) => {
+                stats.leader_term = stats.leader_term.max(term);
             }
         }
     }

@@ -61,6 +61,16 @@
 //!   leader after the leader stays unreachable past the detection
 //!   timeout — exactly-once across racing standbys, arbitrated by the
 //!   promotion listen address bind.
+//! * **Leader-term fencing** — every leader serves under a monotonically
+//!   increasing term, minted at first start and on every promotion and
+//!   persisted in-band as a WAL term marker. Subscribe handshakes carry
+//!   the follower's highest observed term; a leader contacted with a
+//!   strictly higher one has provably been superseded and fences itself:
+//!   feedback is refused with [`ServeError::Fenced`] (the WAL lineage
+//!   freezes — no split-brain fork), new subscriptions are refused with a
+//!   typed `stale_leader` rejection, and a promoted replica that gets
+//!   fenced demotes to [`ReplicaState::Demoted`] while reads keep
+//!   answering.
 //! * **Sharded state** — with [`ServeConfig::shards`] > 1 the prediction
 //!   store and λ-state split into power-of-two shards selected by a
 //!   multiply-fold hash of the packed key

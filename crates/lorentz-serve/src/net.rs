@@ -75,6 +75,11 @@ pub struct NetReport {
     pub store_version: u64,
     /// λ-state version (last globally minted epoch) at drain time.
     pub lambda_version: u64,
+    /// The leader term the engine served under.
+    pub leader_term: u64,
+    /// The higher term that fenced this leader, if one was observed
+    /// (`None` = the engine was never superseded).
+    pub fenced_by: Option<u64>,
     /// Connections accepted.
     pub connections: u64,
     /// Request frames decoded off sockets.
@@ -276,6 +281,8 @@ pub fn serve_net(
         .unwrap_or_else(|_| unreachable!("reader threads joined, no engine clones remain"));
     let store_version = engine.store_version();
     let lambda_version = engine.lambda_version();
+    let leader_term = engine.leader_term();
+    let fenced_by = engine.fenced_by();
     let stats = engine.drain();
     // The response channel is closed; the dispatcher finishes routing
     // whatever was answered, then exits.
@@ -297,6 +304,8 @@ pub fn serve_net(
         engine: stats,
         store_version,
         lambda_version,
+        leader_term,
+        fenced_by,
         connections: ctx.counters.connections.load(Ordering::Relaxed),
         frames_in: ctx.counters.frames_in.load(Ordering::Relaxed),
         frames_out: ctx.counters.frames_out.load(Ordering::Relaxed),

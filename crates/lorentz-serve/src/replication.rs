@@ -16,6 +16,15 @@
 //! them verbatim to a local log and later restart from it, and torn sends
 //! are caught by the same checksum that catches torn disk writes.
 //!
+//! Every subscribe carries the follower's highest **observed leader term**
+//! and every ack carries the leader's own term. A leader contacted with a
+//! strictly higher term has provably been superseded: it answers with a
+//! typed `stale_leader` rejection and fences itself (feedback intake stops
+//! with [`ServeError::Fenced`](crate::ServeError); new subscriptions are
+//! refused), which is what keeps a healed split-brain from forking the
+//! WAL lineage. Terms travel *in-band* as WAL term-marker frames, so the
+//! replica-WAL-is-a-byte-prefix property is preserved.
+//!
 //! The follower side is abstracted behind [`ReplicationSource`] — "where
 //! do replicated WAL entries come from" — with two implementations:
 //! [`FileSource`] (tail the leader's WAL through the filesystem, the
@@ -34,7 +43,7 @@
 use crate::engine::ServingEngine;
 use crate::wire::{self, WireError};
 use lorentz_core::obs;
-use lorentz_core::personalizer::{SignalWal, WalEntry, WalTailer};
+use lorentz_core::personalizer::{PollBackoff, SignalWal, WalEntry, WalTailer};
 use lorentz_types::{
     HandshakeRejection, ResumeMode, StoreCorruption, SubscribeAck, SubscribeReply, SubscribeRequest,
 };
@@ -45,7 +54,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use thiserror::Error;
 
 /// Why a replication subscription could not be established.
@@ -115,15 +124,24 @@ pub struct ReplicationHub {
     /// Highest epoch ever appended/broadcast — the leader's position for
     /// handshake purposes, seeded from WAL recovery at engine start.
     last_epoch: AtomicU64,
+    /// The leader term this hub fans out under, minted/resumed at engine
+    /// start and stamped into every handshake ack.
+    term: AtomicU64,
+    /// 0 while this leader is live; once a subscriber presents a strictly
+    /// higher term, the higher term is recorded here and the leader is
+    /// fenced — feedback intake stops and new subscriptions are refused.
+    fenced_by: AtomicU64,
 }
 
 impl ReplicationHub {
-    /// An empty hub at epoch 0.
+    /// An empty hub at epoch 0, term 0, unfenced.
     pub(crate) fn new() -> Self {
         Self {
             subs: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             last_epoch: AtomicU64::new(0),
+            term: AtomicU64::new(0),
+            fenced_by: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +153,30 @@ impl ReplicationHub {
     /// The leader's current replication epoch.
     pub fn last_epoch(&self) -> u64 {
         self.last_epoch.load(Ordering::Acquire)
+    }
+
+    /// Installs the leader term (engine start only).
+    pub(crate) fn set_term(&self, term: u64) {
+        self.term.store(term, Ordering::Release);
+    }
+
+    /// The term this leader fans out under.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Fences this leader against `observed`, a strictly higher term seen
+    /// on the wire. Idempotent; keeps the highest term observed so far.
+    pub(crate) fn fence(&self, observed: u64) {
+        self.fenced_by.fetch_max(observed, Ordering::AcqRel);
+    }
+
+    /// The higher term that fenced this leader, if any.
+    pub fn fenced_by(&self) -> Option<u64> {
+        match self.fenced_by.load(Ordering::Acquire) {
+            0 => None,
+            observed => Some(observed),
+        }
     }
 
     /// Currently subscribed followers.
@@ -380,6 +422,37 @@ fn handle_follower(
             return;
         }
     };
+    // Term fencing, checked before anything epoch-shaped. A subscriber
+    // carrying a strictly higher term proves a newer leader was elected:
+    // this leader fences itself (feedback intake stops; see
+    // `ServingEngine::submit_feedback`) and the subscriber is told who it
+    // just demoted so it can go find the real leader. An already-fenced
+    // leader refuses everyone — streaming a stale lineage would only
+    // spread it.
+    let leader_term = hub.term();
+    if request.term > leader_term {
+        hub.fence(request.term);
+        let _ = write_reply(
+            &mut stream,
+            &SubscribeReply::Err(HandshakeRejection::StaleLeader {
+                leader_term,
+                observed_term: request.term,
+            }),
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    if let Some(observed) = hub.fenced_by() {
+        let _ = write_reply(
+            &mut stream,
+            &SubscribeReply::Err(HandshakeRejection::StaleLeader {
+                leader_term,
+                observed_term: observed,
+            }),
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
     if request.last_epoch > hub.last_epoch() {
         let _ = write_reply(
             &mut stream,
@@ -418,6 +491,7 @@ fn handle_follower(
             request.last_epoch
         },
         leader_epoch: hub.last_epoch().max(replay.log_last_epoch),
+        leader_term,
     };
     if write_reply(&mut stream, &SubscribeReply::Ok(ack)).is_err() {
         hub.unsubscribe(sub.id);
@@ -531,6 +605,12 @@ pub trait ReplicationSource: Send {
     fn poll(&mut self) -> SourcePoll;
     /// Human-readable endpoint, for logs and errors.
     fn describe(&self) -> String;
+    /// The highest leader term this source has observed (handshake acks
+    /// and streamed term markers). 0 for transports without terms; a
+    /// promoting follower mints strictly above this.
+    fn observed_term(&self) -> u64 {
+        0
+    }
 }
 
 /// The filesystem transport: tail the leader's WAL through a shared file,
@@ -578,6 +658,17 @@ struct TcpConn {
     buf: Vec<u8>,
 }
 
+/// Seeds a source's redial jitter from its endpoint and process (FNV-1a
+/// over the address, xor'd with the pid), so followers of one leader never
+/// share a backoff schedule and redials don't stampede in lockstep.
+fn redial_seed(addr: &str) -> u64 {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x1_0000_01b3);
+    }
+    seed ^ (u64::from(std::process::id()) << 32)
+}
+
 /// The socket transport: subscribe to a leader's replication listener,
 /// decode the streamed WAL frames with the on-disk codec, reconnect with
 /// a resume handshake after any loss.
@@ -586,6 +677,9 @@ pub struct TcpSource {
     /// Highest epoch delivered to the follower — the resume position for
     /// the next (re)connect.
     resume_epoch: u64,
+    /// Highest leader term observed (from handshake acks and streamed term
+    /// markers); sent with every subscribe so a stale leader fences itself.
+    observed_term: Arc<AtomicU64>,
     /// Set when a (re)handshake was granted full-resync; surfaced as
     /// [`SourcePoll::Reset`] on the next poll so the caller resets its
     /// λ-state before any streamed entry is applied.
@@ -596,6 +690,13 @@ pub struct TcpSource {
     /// "idle", not "lost".
     read_timeout: Duration,
     last_ack: Option<SubscribeAck>,
+    /// Jittered exponential backoff between redial attempts, so a fleet of
+    /// followers does not stampede a recovering leader in lockstep.
+    redial_backoff: PollBackoff,
+    /// Earliest instant the next redial may happen; polls before it report
+    /// [`SourcePoll::LeaderLost`] without touching the network (the loss
+    /// must stay visible so the follower's promotion clock keeps running).
+    next_redial: Option<Instant>,
 }
 
 /// How `TcpSource::establish` failed.
@@ -613,14 +714,39 @@ impl TcpSource {
     /// [`ReplicationError::Rejected`] for a typed handshake refusal,
     /// [`ReplicationError::Transport`] for connect/frame failures.
     pub fn connect(addr: impl Into<String>, last_epoch: u64) -> Result<Self, ReplicationError> {
+        Self::connect_with_term(addr, last_epoch, 0)
+    }
+
+    /// [`TcpSource::connect`] with a pre-observed leader term. The term is
+    /// declared in the subscribe handshake, so connecting to a leader at a
+    /// *lower* term fences that leader and fails here with a typed
+    /// [`HandshakeRejection::StaleLeader`] — which is exactly how a healed
+    /// partition's zombie leader learns it has been superseded.
+    ///
+    /// # Errors
+    /// As [`TcpSource::connect`].
+    pub fn connect_with_term(
+        addr: impl Into<String>,
+        last_epoch: u64,
+        observed_term: u64,
+    ) -> Result<Self, ReplicationError> {
+        let addr = addr.into();
+        let seed = redial_seed(&addr);
         let mut source = Self {
-            addr: addr.into(),
+            addr,
             resume_epoch: last_epoch,
+            observed_term: Arc::new(AtomicU64::new(observed_term)),
             pending_reset: false,
             conn: None,
             handshake_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_millis(5),
             last_ack: None,
+            redial_backoff: PollBackoff::with_jitter(
+                Duration::from_millis(10),
+                Duration::from_millis(200),
+                seed,
+            ),
+            next_redial: None,
         };
         match source.establish() {
             Ok(()) => Ok(source),
@@ -645,8 +771,10 @@ impl TcpSource {
         stream
             .set_read_timeout(Some(self.handshake_timeout))
             .map_err(|e| io_err(&e))?;
+        let observed = self.observed_term.load(Ordering::Acquire);
         let request = SubscribeRequest {
             last_epoch: self.resume_epoch,
+            term: observed,
         };
         let payload = serde_json::to_string(&request)
             .expect("subscribe requests contain no unserializable variants");
@@ -659,6 +787,18 @@ impl TcpSource {
             .map_err(|e| EstablishError::Transport(format!("bad handshake reply: {e}")))?;
         match reply {
             SubscribeReply::Ok(ack) => {
+                // Belt-and-suspenders for leaders that don't check terms
+                // (a legacy leader acks with leader_term 0): a stream from
+                // a term below what this follower has already seen is a
+                // stale lineage and must not be applied.
+                if ack.leader_term < observed {
+                    return Err(EstablishError::Rejected(HandshakeRejection::StaleLeader {
+                        leader_term: ack.leader_term,
+                        observed_term: observed,
+                    }));
+                }
+                self.observed_term
+                    .fetch_max(ack.leader_term, Ordering::AcqRel);
                 stream
                     .set_read_timeout(Some(self.read_timeout))
                     .map_err(|e| io_err(&e))?;
@@ -709,10 +849,25 @@ impl TcpSource {
 impl ReplicationSource for TcpSource {
     fn poll(&mut self) -> SourcePoll {
         if self.conn.is_none() {
+            // Honor the redial backoff. The answer while waiting is
+            // LeaderLost, never Idle: Idle would reset the follower's
+            // promotion clock, and a leader we're backing off from is
+            // still a lost leader.
+            if let Some(at) = self.next_redial {
+                if Instant::now() < at {
+                    return SourcePoll::LeaderLost("redial backoff in progress".to_owned());
+                }
+            }
             match self.establish() {
-                Ok(()) => {}
+                Ok(()) => {
+                    self.redial_backoff.reset();
+                    self.next_redial = None;
+                }
                 Err(EstablishError::Rejected(r)) => return SourcePoll::Rejected(r),
-                Err(EstablishError::Transport(msg)) => return SourcePoll::LeaderLost(msg),
+                Err(EstablishError::Transport(msg)) => {
+                    self.next_redial = Some(Instant::now() + self.redial_backoff.idle());
+                    return SourcePoll::LeaderLost(msg);
+                }
             }
         }
         if self.pending_reset {
@@ -758,6 +913,9 @@ impl ReplicationSource for TcpSource {
             if let Some(epoch) = sourced.entry.epoch() {
                 self.resume_epoch = self.resume_epoch.max(epoch);
             }
+            if let Some(term) = sourced.entry.term() {
+                self.observed_term.fetch_max(term, Ordering::AcqRel);
+            }
         }
         if !entries.is_empty() {
             // Deliver what arrived; a pending disconnect is rediscovered
@@ -773,6 +931,10 @@ impl ReplicationSource for TcpSource {
 
     fn describe(&self) -> String {
         format!("tcp://{}", self.addr)
+    }
+
+    fn observed_term(&self) -> u64 {
+        self.observed_term.load(Ordering::Acquire)
     }
 }
 

@@ -109,6 +109,16 @@ pub enum ServeError {
     /// worker.
     #[error("request handler panicked: {0}")]
     Panicked(String),
+    /// This leader has been fenced: a leader at a strictly higher term owns
+    /// the WAL lineage, so accepting feedback here would fork it. Reads keep
+    /// working; only feedback intake is refused.
+    #[error("leader at term {term} is fenced: a term-{observed} leader has superseded it")]
+    Fenced {
+        /// The term this (former) leader held.
+        term: u64,
+        /// The higher term it observed.
+        observed: u64,
+    },
 }
 
 /// Per-request failure type, as seen in [`ServeResponse::result`]. Alias of

@@ -47,12 +47,16 @@ impl Endpoint {
         }
         if let Some(rest) = s.strip_prefix("tcp://") {
             let authority = rest.trim_end_matches('/');
-            let port_ok = authority
-                .rsplit_once(':')
-                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+            let port_ok = authority.rsplit_once(':').is_some_and(|(host, port)| {
+                // An unbracketed IPv6 literal (`tcp://::1:7400`) would
+                // silently misparse — the last colon is inside the
+                // address — so hosts with colons are rejected outright.
+                !host.is_empty() && !host.contains(':') && port.parse::<u16>().is_ok()
+            });
             if !port_ok {
                 return Err(LorentzError::InvalidConfig(format!(
-                    "endpoint '{s}' must be tcp://HOST:PORT with a numeric port"
+                    "endpoint '{s}' must be tcp://HOST:PORT with a numeric port \
+                     (IPv6 literals are not supported)"
                 )));
             }
             return Ok(Endpoint::Tcp(authority.to_owned()));
@@ -145,6 +149,9 @@ mod tests {
         assert!(Endpoint::parse("udp://host:1").is_err());
         assert!(Endpoint::parse("file:").is_err());
         assert!(Endpoint::parse("/bare/path.wal").is_err());
+        // IPv6 hosts would misparse around the colons; rejected outright.
+        assert!(Endpoint::parse("tcp://::1:7400").is_err());
+        assert!(Endpoint::parse("tcp://[::1]:7400").is_err());
     }
 
     #[test]

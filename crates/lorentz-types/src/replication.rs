@@ -5,10 +5,11 @@
 //! wire codec, [`crate::framing::FrameCodec::wire`]):
 //!
 //! ```text
-//! follower -> leader   {"subscribe": {"last_epoch": N}}
-//! leader   -> follower {"ok": {"mode": "resume", "from_epoch": N, "leader_epoch": M}}
-//!                    | {"ok": {"mode": "full_resync", "from_epoch": 0, "leader_epoch": M}}
+//! follower -> leader   {"subscribe": {"last_epoch": N, "term": T}}
+//! leader   -> follower {"ok": {"mode": "resume", "from_epoch": N, "leader_epoch": M, "leader_term": T}}
+//!                    | {"ok": {"mode": "full_resync", "from_epoch": 0, "leader_epoch": M, "leader_term": T}}
 //!                    | {"error": {"kind": "follower_ahead", "follower": N, "leader": M}}
+//!                    | {"error": {"kind": "stale_leader", "leader_term": T, "observed_term": U}}
 //! ```
 //!
 //! After an `ok` the leader switches the connection to a one-way stream of
@@ -34,6 +35,20 @@
 //! * follower *ahead of the leader* (`last_epoch` beyond the leader's own
 //!   epoch): a [`HandshakeRejection::FollowerAhead`] error, because the
 //!   "leader" is stale and syncing would silently rewind the follower.
+//!
+//! # Leader terms
+//!
+//! Every serving leader carries a monotonically increasing **term**,
+//! persisted as a framed record in its WAL and incremented on every
+//! promotion. The handshake stamps terms in both directions: the follower
+//! reports the highest term it has observed (`term`, absent on legacy
+//! peers and read as 0), and the ack carries the leader's own term
+//! (`leader_term`, likewise 0 from legacy leaders). A leader contacted by
+//! a subscriber that has observed a *higher* term knows it has been
+//! superseded: it answers [`HandshakeRejection::StaleLeader`] and fences
+//! itself. A follower whose ack carries a term *below* what it has
+//! already observed refuses the stream for the same reason — applying a
+//! stale leader's frames would fork the replica WAL.
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -43,6 +58,10 @@ pub struct SubscribeRequest {
     /// Highest epoch the follower has durably applied; `0` requests the
     /// stream from the beginning.
     pub last_epoch: u64,
+    /// Highest leader term the follower has observed (from term records
+    /// it replayed or acks it received); `0` from legacy followers whose
+    /// subscribe frames predate terms.
+    pub term: u64,
 }
 
 /// How the leader will bring this follower up to date.
@@ -65,6 +84,9 @@ pub struct SubscribeAck {
     pub from_epoch: u64,
     /// The leader's current epoch at subscription time.
     pub leader_epoch: u64,
+    /// The leader's current term; `0` from legacy leaders whose acks
+    /// predate terms.
+    pub leader_term: u64,
 }
 
 /// A typed refusal, sent instead of an ack and followed by connection close.
@@ -79,6 +101,15 @@ pub enum HandshakeRejection {
         /// The leader's current epoch.
         leader: u64,
     },
+    /// The subscriber has observed a term above the answering leader's
+    /// own — this leader has been superseded by a newer promotion and
+    /// must fence itself instead of streaming.
+    StaleLeader {
+        /// The answering leader's own term.
+        leader_term: u64,
+        /// The higher term the subscriber reported.
+        observed_term: u64,
+    },
     /// The subscribe frame did not parse.
     Malformed(String),
 }
@@ -88,6 +119,7 @@ impl HandshakeRejection {
     pub fn kind(&self) -> &'static str {
         match self {
             HandshakeRejection::FollowerAhead { .. } => "follower_ahead",
+            HandshakeRejection::StaleLeader { .. } => "stale_leader",
             HandshakeRejection::Malformed(_) => "malformed",
         }
     }
@@ -99,6 +131,13 @@ impl std::fmt::Display for HandshakeRejection {
             HandshakeRejection::FollowerAhead { follower, leader } => write!(
                 f,
                 "follower at epoch {follower} is ahead of leader at epoch {leader}"
+            ),
+            HandshakeRejection::StaleLeader {
+                leader_term,
+                observed_term,
+            } => write!(
+                f,
+                "leader at term {leader_term} is stale: a term-{observed_term} leader supersedes it"
             ),
             HandshakeRejection::Malformed(msg) => write!(f, "malformed subscribe frame: {msg}"),
         }
@@ -121,11 +160,23 @@ fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, SerdeError> {
         .ok_or_else(|| SerdeError::custom(format!("handshake frame missing field '{name}'")))
 }
 
+/// Reads an optional `u64` field, defaulting to 0 when absent — the
+/// legacy-compat rule for term fields added after the epoch-only protocol.
+fn term_field(v: &Value, name: &str) -> Result<u64, SerdeError> {
+    match v.get_field(name) {
+        Some(raw) => u64::from_value(raw),
+        None => Ok(0),
+    }
+}
+
 impl Serialize for SubscribeRequest {
     fn to_value(&self) -> Value {
         Value::Map(vec![(
             "subscribe".to_owned(),
-            Value::Map(vec![("last_epoch".to_owned(), self.last_epoch.to_value())]),
+            Value::Map(vec![
+                ("last_epoch".to_owned(), self.last_epoch.to_value()),
+                ("term".to_owned(), self.term.to_value()),
+            ]),
         )])
     }
 }
@@ -135,6 +186,7 @@ impl Deserialize for SubscribeRequest {
         let body = field(v, "subscribe")?;
         Ok(SubscribeRequest {
             last_epoch: u64::from_value(field(body, "last_epoch")?)?,
+            term: term_field(body, "term")?,
         })
     }
 }
@@ -153,6 +205,7 @@ impl Serialize for SubscribeReply {
                         ("mode".to_owned(), Value::Str(mode.to_owned())),
                         ("from_epoch".to_owned(), ack.from_epoch.to_value()),
                         ("leader_epoch".to_owned(), ack.leader_epoch.to_value()),
+                        ("leader_term".to_owned(), ack.leader_term.to_value()),
                     ]),
                 )])
             }
@@ -162,6 +215,13 @@ impl Serialize for SubscribeReply {
                     HandshakeRejection::FollowerAhead { follower, leader } => {
                         body.push(("follower".to_owned(), follower.to_value()));
                         body.push(("leader".to_owned(), leader.to_value()));
+                    }
+                    HandshakeRejection::StaleLeader {
+                        leader_term,
+                        observed_term,
+                    } => {
+                        body.push(("leader_term".to_owned(), leader_term.to_value()));
+                        body.push(("observed_term".to_owned(), observed_term.to_value()));
                     }
                     HandshakeRejection::Malformed(msg) => {
                         body.push(("message".to_owned(), Value::Str(msg.clone())));
@@ -187,6 +247,7 @@ impl Deserialize for SubscribeReply {
                 mode,
                 from_epoch: u64::from_value(field(body, "from_epoch")?)?,
                 leader_epoch: u64::from_value(field(body, "leader_epoch")?)?,
+                leader_term: term_field(body, "leader_term")?,
             }));
         }
         if let Some(body) = v.get_field("error") {
@@ -194,6 +255,10 @@ impl Deserialize for SubscribeReply {
                 Some("follower_ahead") => HandshakeRejection::FollowerAhead {
                     follower: u64::from_value(field(body, "follower")?)?,
                     leader: u64::from_value(field(body, "leader")?)?,
+                },
+                Some("stale_leader") => HandshakeRejection::StaleLeader {
+                    leader_term: u64::from_value(field(body, "leader_term")?)?,
+                    observed_term: u64::from_value(field(body, "observed_term")?)?,
                 },
                 Some("malformed") => HandshakeRejection::Malformed(
                     field(body, "message")?
@@ -221,10 +286,14 @@ mod tests {
 
     #[test]
     fn subscribe_request_roundtrips() {
-        let req = SubscribeRequest { last_epoch: 42 };
+        let req = SubscribeRequest {
+            last_epoch: 42,
+            term: 3,
+        };
         let json = serde_json::to_string(&req).unwrap();
         assert!(json.contains("\"subscribe\""), "{json}");
         assert!(json.contains("\"last_epoch\""), "{json}");
+        assert!(json.contains("\"term\""), "{json}");
         let back: SubscribeRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, req);
     }
@@ -236,15 +305,21 @@ mod tests {
                 mode: ResumeMode::Resume,
                 from_epoch: 7,
                 leader_epoch: 19,
+                leader_term: 2,
             }),
             SubscribeReply::Ok(SubscribeAck {
                 mode: ResumeMode::FullResync,
                 from_epoch: 0,
                 leader_epoch: 19,
+                leader_term: 1,
             }),
             SubscribeReply::Err(HandshakeRejection::FollowerAhead {
                 follower: 20,
                 leader: 19,
+            }),
+            SubscribeReply::Err(HandshakeRejection::StaleLeader {
+                leader_term: 2,
+                observed_term: 5,
             }),
             SubscribeReply::Err(HandshakeRejection::Malformed("not json".to_owned())),
         ];
@@ -256,6 +331,34 @@ mod tests {
     }
 
     #[test]
+    fn legacy_frames_without_terms_read_as_term_zero() {
+        // A pre-term follower's subscribe frame and a pre-term leader's
+        // ack both parse, with the absent term fields defaulting to 0.
+        let req: SubscribeRequest =
+            serde_json::from_str(r#"{"subscribe": {"last_epoch": 9}}"#).unwrap();
+        assert_eq!(
+            req,
+            SubscribeRequest {
+                last_epoch: 9,
+                term: 0
+            }
+        );
+        let reply: SubscribeReply = serde_json::from_str(
+            r#"{"ok": {"mode": "resume", "from_epoch": 9, "leader_epoch": 12}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            reply,
+            SubscribeReply::Ok(SubscribeAck {
+                mode: ResumeMode::Resume,
+                from_epoch: 9,
+                leader_epoch: 12,
+                leader_term: 0,
+            })
+        );
+    }
+
+    #[test]
     fn rejection_kinds_are_stable() {
         assert_eq!(
             HandshakeRejection::FollowerAhead {
@@ -264,6 +367,14 @@ mod tests {
             }
             .kind(),
             "follower_ahead"
+        );
+        assert_eq!(
+            HandshakeRejection::StaleLeader {
+                leader_term: 1,
+                observed_term: 2
+            }
+            .kind(),
+            "stale_leader"
         );
         assert_eq!(
             HandshakeRejection::Malformed(String::new()).kind(),
