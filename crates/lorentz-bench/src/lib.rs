@@ -11,8 +11,14 @@
 //! | `hierarchy_learning` | Fig. 5 | HALO strength matrix and chain traversal |
 //! | `simulation` | §5 data generation | fleet synthesis, upscaling, §5.3 sim steps |
 
+use lorentz_core::fleet::FleetDataset;
 use lorentz_simdata::fleet::{FleetConfig, SyntheticFleet};
 use lorentz_telemetry::generators::SamplingConfig;
+use lorentz_telemetry::{RegularSeries, UsageTrace};
+use lorentz_types::{
+    CustomerId, ProfileSchema, ProfileTable, ResourceGroupId, ResourcePath, ServerId,
+    ServerOffering, SkuCatalog, SubscriptionId,
+};
 
 /// A deterministic mid-sized fleet shared by the benches.
 pub fn bench_fleet(n_servers: usize) -> SyntheticFleet {
@@ -29,4 +35,100 @@ pub fn bench_fleet(n_servers: usize) -> SyntheticFleet {
     }
     .generate()
     .expect("bench fleet config is valid")
+}
+
+/// xorshift64* step — cheap deterministic noise for fixture synthesis.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A large training fixture built by direct [`RegularSeries`] construction —
+/// no raw-sample generation, so a 100k-trace (or, env-gated, 1M-trace) fleet
+/// materializes in bench setup time rather than minutes.
+///
+/// Profiles follow a clean 7-level Azure-like chain (each finer feature
+/// determines all coarser ones, with ~2% missing values), demand is tied to
+/// the customer so target encoding has real signal, and user capacities mix
+/// over-, well-, and under-provisioned picks so both the censored and
+/// uncensored Stage-1 branches are exercised.
+pub fn train_fixture(n_servers: usize, bins: usize) -> FleetDataset {
+    assert!(bins >= 2, "fixture traces need at least 2 bins");
+    let mut fleet = FleetDataset::new(ProfileTable::new(ProfileSchema::azure_postgres()));
+    let catalogs: Vec<SkuCatalog> = ServerOffering::ALL
+        .iter()
+        .map(|&o| SkuCatalog::azure_postgres(o))
+        .collect();
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ n_servers as u64;
+
+    for srv in 0..n_servers {
+        let leaf = (xorshift(&mut rng) % 4096) as usize;
+        let sub = leaf / 16;
+        let cust = leaf / 64;
+        let names = [
+            format!("seg-{}", cust / 16),
+            format!("ind-{}", cust / 8),
+            format!("vert-{}", cust / 4),
+            format!("vcat-{}", cust / 2),
+            format!("cust-{cust}"),
+            format!("sub-{sub}"),
+            format!("rg-{leaf}"),
+        ];
+        let mut row: Vec<Option<&str>> = names.iter().map(|s| Some(s.as_str())).collect();
+        if xorshift(&mut rng).is_multiple_of(50) {
+            row[(xorshift(&mut rng) % 7) as usize] = None;
+        }
+
+        // Demand: a customer-keyed base level with a triangular daily wave
+        // and a deterministic per-server phase.
+        let base = 0.5 + (cust % 8) as f64 + (xorshift(&mut rng) % 100) as f64 / 200.0;
+        let phase = (xorshift(&mut rng) % bins as u64) as usize;
+        let mut values = Vec::with_capacity(bins);
+        for j in 0..bins {
+            let t = ((j + phase) % bins) as f64 / bins as f64;
+            let wave = if t < 0.5 { t * 2.0 } else { (1.0 - t) * 2.0 };
+            values.push(base * (0.85 + 0.3 * wave));
+        }
+        let trace =
+            UsageTrace::single(RegularSeries::new(300.0, values).expect("fixture series is valid"));
+
+        // User pick: the covering SKU at the 0.5 slack target, shifted by
+        // -1/0/+1 so the fleet mixes verdicts (the -1 picks throttle and
+        // take the censored branch).
+        let offering = ServerOffering::ALL[srv % 3];
+        let catalog = &catalogs[srv % 3];
+        let peak = base * 1.15;
+        let covering = catalog
+            .skus()
+            .iter()
+            .position(|s| s.capacity.primary() >= peak * 2.0)
+            .unwrap_or(catalog.len() - 1);
+        let offset = match xorshift(&mut rng) % 4 {
+            0 => -1i64,
+            1 => 1,
+            _ => 0,
+        };
+        let idx = (covering as i64 + offset).clamp(0, catalog.len() as i64 - 1) as usize;
+        let user = catalog.get(idx).capacity.clone();
+
+        fleet
+            .push(
+                ServerId(srv as u32),
+                ResourcePath::new(
+                    CustomerId(cust as u32),
+                    SubscriptionId(sub as u32),
+                    ResourceGroupId(leaf as u32),
+                ),
+                offering,
+                &row,
+                user,
+                trace,
+            )
+            .expect("fixture row is valid");
+    }
+    fleet
 }

@@ -40,7 +40,8 @@ USAGE:
   lorentz generate  --servers N --seed S --out fleet.json [--base-demand X]
   lorentz rightsize --fleet fleet.json
   lorentz train     --fleet fleet.json --out model.json [--trees N] [--min-bucket N]
-                    [--stage2-threads N] [--metrics-out metrics.json] [--store-dir DIR]
+                    [--stage1-threads N] [--stage2-threads N]
+                    [--metrics-out metrics.json] [--store-dir DIR]
                     (--store-dir commits the prediction store as a checksummed,
                      generation-numbered snapshot under DIR)
   lorentz store-verify --store-dir DIR
@@ -231,9 +232,13 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     let mut config = LorentzConfig::paper_defaults();
     config.target_encoding.boosting.n_trees = args.get_parse_or("trees", 100usize)?;
     config.hierarchical.min_bucket = args.get_parse_or("min-bucket", 10usize)?;
+    let stage1_threads = args.get_parse_or("stage1-threads", 0usize)?;
     let stage2_threads = args.get_parse_or("stage2-threads", 0usize)?;
-    let trained = LorentzPipeline::new(config)?
-        .train_with_stage2_threads(&synthetic.fleet, stage2_threads)?;
+    let trained = LorentzPipeline::new(config)?.train_with_threads(
+        &synthetic.fleet,
+        stage1_threads,
+        stage2_threads,
+    )?;
     write_file_atomic(out, trained.to_json()?.as_bytes())?;
     println!(
         "trained on {} servers; prediction store v{} with {} keys -> {out}",
@@ -1393,6 +1398,8 @@ mod tests {
             &model_path,
             "--trees",
             "8",
+            "--stage1-threads",
+            "2",
             "--stage2-threads",
             "2",
             "--metrics-out",

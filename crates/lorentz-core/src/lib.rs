@@ -62,7 +62,7 @@ pub use provisioner::{
 };
 pub use report::{fleet_report, FleetReport};
 pub use retry::{is_transient_io, retry_with_backoff, RetryPolicy};
-pub use rightsizer::{ProvisioningVerdict, RightsizeOutcome, Rightsizer};
+pub use rightsizer::{ProvisioningVerdict, RightsizeOutcome, Rightsizer, Stage1Scratch};
 pub use store::{
     DurableStore, PredictionStore, RecoveredStore, ShardedPredictionStore, ShardedStoreSnapshot,
     SharedPredictionStore, StoreError,

@@ -202,8 +202,26 @@ impl LorentzPipeline {
         fleet: &FleetDataset,
         max_threads: usize,
     ) -> Result<TrainedLorentz, LorentzError> {
+        self.train_with_threads(fleet, 0, max_threads)
+    }
+
+    /// Like [`LorentzPipeline::train`], but caps both stage thread pools:
+    /// `stage1_threads` bounds the columnar rightsizing sweep's workers and
+    /// `stage2_threads` bounds the per-offering model trainers (`0` = auto
+    /// for either). Chunked workers are always joined in record/job order,
+    /// so every combination of caps trains a byte-identical deployment.
+    ///
+    /// # Errors
+    /// See [`LorentzPipeline::train`].
+    pub fn train_with_threads(
+        self,
+        fleet: &FleetDataset,
+        stage1_threads: usize,
+        stage2_threads: usize,
+    ) -> Result<TrainedLorentz, LorentzError> {
+        let max_threads = stage2_threads;
         let ctx = TrainContext::new(&self.config, &self.catalogs, fleet)?;
-        let (outcomes, labels) = stages::rightsize_fleet(&ctx)?;
+        let (outcomes, labels) = stages::rightsize_fleet(&ctx, stage1_threads)?;
         let (models, batch) = stages::train_offerings(&ctx, &labels, max_threads)?;
         let store = stages::publish_store(batch)?;
         let personalizer = stages::init_personalizer(&ctx)?;

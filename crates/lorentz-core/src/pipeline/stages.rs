@@ -12,27 +12,78 @@ use super::OfferingModels;
 use crate::obs;
 use crate::personalizer::Personalizer;
 use crate::provisioner::{HierarchicalProvisioner, TargetEncodingProvisioner};
-use crate::rightsizer::RightsizeOutcome;
+use crate::rightsizer::{RightsizeOutcome, Stage1Scratch};
 use crate::store::{PredictionStore, PublishBatch};
+use lorentz_telemetry::TraceColumns;
 use lorentz_types::{LorentzError, ServerOffering, StoreKey};
 use std::collections::BTreeMap;
 
 /// Stage 1: rightsize every fleet record, producing per-record outcomes and
 /// the Stage-2 training labels (rightsized primary capacities).
+///
+/// The fleet's traces are packed once into a columnar [`TraceColumns`]
+/// layout, then sized in a single parallel sweep: records are split into
+/// contiguous chunks, one scoped worker (with its own reusable
+/// [`Stage1Scratch`]) per chunk, and chunk results are concatenated in
+/// chunk order. Because chunks partition the record range in order and
+/// [`Rightsizer::rightsize_columns`](crate::Rightsizer::rightsize_columns)
+/// is byte-identical to the row path, the output is byte-identical to the
+/// sequential row loop at *any* thread cap (`0` = one worker per available
+/// core).
 pub(super) fn rightsize_fleet(
     ctx: &TrainContext<'_>,
+    max_threads: usize,
 ) -> Result<(Vec<RightsizeOutcome>, Vec<f64>), LorentzError> {
     let _span = obs::STAGE1_SPAN_NS.span();
     let fleet = ctx.fleet;
-    let mut outcomes = Vec::with_capacity(fleet.len());
-    let mut labels = Vec::with_capacity(fleet.len());
-    for i in 0..fleet.len() {
-        let catalog = ctx.catalog(fleet.offerings()[i])?;
-        let outcome =
-            ctx.rightsizer
-                .rightsize(&fleet.traces()[i], &fleet.user_capacities()[i], catalog)?;
-        labels.push(outcome.capacity.primary());
-        outcomes.push(outcome);
+    let n = fleet.len();
+    let columns = TraceColumns::from_traces(fleet.traces());
+    let threads = if max_threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        max_threads
+    }
+    .min(n)
+    .max(1);
+    let chunk = n.div_ceil(threads);
+
+    let results: Vec<Result<Vec<RightsizeOutcome>, LorentzError>> = std::thread::scope(|scope| {
+        let columns = &columns;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    let mut scratch = Stage1Scratch::default();
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    for i in lo..hi {
+                        let catalog = ctx.catalog(fleet.offerings()[i])?;
+                        out.push(ctx.rightsizer.rightsize_columns(
+                            columns.trace(i),
+                            &fleet.user_capacities()[i],
+                            catalog,
+                            &mut scratch,
+                        )?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stage-1 worker panicked"))
+            .collect()
+    });
+
+    let mut outcomes = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for result in results {
+        for outcome in result? {
+            labels.push(outcome.capacity.primary());
+            outcomes.push(outcome);
+        }
     }
     obs::STAGE1_RECORDS.add(outcomes.len() as u64);
     Ok((outcomes, labels))

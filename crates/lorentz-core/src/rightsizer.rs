@@ -9,6 +9,7 @@
 //! instead (Eq. 8).
 
 use crate::config::RightsizerConfig;
+use lorentz_telemetry::columns::{kernels, TraceView};
 use lorentz_telemetry::UsageTrace;
 use lorentz_types::{Capacity, LorentzError, SkuCatalog};
 use serde::{Deserialize, Serialize};
@@ -113,13 +114,9 @@ impl Rightsizer {
     /// Returns a dimension mismatch if `c` has the wrong arity.
     pub fn slack_ratio(&self, trace: &UsageTrace, c: &Capacity) -> Result<Vec<f64>, LorentzError> {
         c.check_space(trace.space())?;
-        Ok((0..trace.dims())
-            .map(|r| {
-                let cr = c.get(r);
-                let vals = trace.resource(r).values();
-                vals.iter().map(|&w| (cr - w) / cr).sum::<f64>() / vals.len() as f64
-            })
-            .collect())
+        (0..trace.dims())
+            .map(|r| kernels::checked_slack_ratio(trace.resource(r).values(), c.get(r)))
+            .collect()
     }
 
     /// Mean *absolute* slack `S_w(c) · c` per dimension — the business
@@ -221,6 +218,196 @@ impl Rightsizer {
             verdict,
         })
     }
+
+    /// Columnar Eq. 9: [`Self::rightsize`] over a [`TraceView`] into a
+    /// [`TraceColumns`](lorentz_telemetry::TraceColumns) fleet, byte-identical
+    /// to the row path on the same trace.
+    ///
+    /// Why it's faster, and why the output cannot drift:
+    ///
+    /// * Throttling counts are **integers** (bins above `η_r · c_r`), so any
+    ///   evaluation strategy that counts the same multiset yields the same
+    ///   `f64` probability. Single-dimension traces get every candidate's
+    ///   count — and the user capacity's — from one histogram pass
+    ///   ([`kernels::count_above_many`]) instead of one scan per SKU;
+    ///   multi-dimension traces union a reusable mask.
+    /// * Slack ratios are **order-sensitive sums**, so each one is folded in
+    ///   bin order — the exact row-path expression — and computed exactly as
+    ///   lazily as the row path (feasible candidates only). The winner's
+    ///   vector is kept in scratch, saving the row path's final recompute of
+    ///   the bit-identical value.
+    /// * Candidate feasibility, best-objective selection, tie-breaks, and
+    ///   the censored/saturate/infeasible branches are the same code shape
+    ///   in the same catalog order.
+    ///
+    /// `scratch` is reused across calls; one per worker thread.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::rightsize`].
+    pub fn rightsize_columns(
+        &self,
+        trace: TraceView<'_>,
+        user_capacity: &Capacity,
+        catalog: &SkuCatalog,
+        scratch: &mut Stage1Scratch,
+    ) -> Result<RightsizeOutcome, LorentzError> {
+        user_capacity.check_space(trace.space())?;
+        let bins = trace.bins();
+        let dims = trace.dims();
+        if bins == 0 {
+            return Err(LorentzError::InvalidTelemetry(
+                "empty trace: cannot rightsize over zero bins".into(),
+            ));
+        }
+
+        // Single-dimension fast path: every candidate's throttling count —
+        // plus the user capacity's — comes out of ONE histogram pass over
+        // the column (`count_above_many`) instead of one full scan per
+        // candidate. Counts are integers, so the batching cannot change a
+        // single bit of the throttling probabilities. Wrong-arity
+        // candidates get an `∞` placeholder (count 0) that is never read —
+        // the same `check_space` the row path performs errors out first.
+        let single = dims == 1;
+        if single {
+            let eta0 = self.config.eta_for(0);
+            scratch.thresholds.clear();
+            scratch.thresholds.extend(catalog.skus().iter().map(|sku| {
+                let c = &sku.capacity;
+                if c.len() == 1 {
+                    eta0 * c.get(0)
+                } else {
+                    f64::INFINITY
+                }
+            }));
+            scratch.thresholds.push(eta0 * user_capacity.get(0));
+            let (thresholds, counts) = (&scratch.thresholds, &mut scratch.counts);
+            kernels::count_above_many(trace.dim(0), thresholds, &mut scratch.multi, counts);
+        }
+
+        let throttled = if single {
+            scratch.counts[catalog.len()]
+        } else {
+            self.masked_throttled_count(&trace, user_capacity, scratch)
+        };
+        let throttling_at_user = throttled as f64 / bins as f64;
+        let censored = throttling_at_user > self.config.tau;
+
+        let mut best: Option<(usize, f64)> = None;
+        for (i, sku) in catalog.skus().iter().enumerate() {
+            let c = &sku.capacity;
+            let feasible = if censored {
+                // Eq. 8: c_r >= 2^K c⁰_r for every dimension.
+                let factor = f64::from(2u32.pow(self.config.k));
+                (0..c.len()).all(|r| c.get(r) >= factor * user_capacity.get(r))
+            } else {
+                // Eq. 7: T_w(c) <= τ.
+                c.check_space(trace.space())?;
+                let count = if single {
+                    scratch.counts[i]
+                } else {
+                    self.masked_throttled_count(&trace, c, scratch)
+                };
+                count as f64 / bins as f64 <= self.config.tau
+            };
+            if !feasible {
+                continue;
+            }
+            c.check_space(trace.space())?;
+            // Lazy slack, exactly like the row path: only feasible
+            // candidates pay the per-dimension pass, folded in bin order.
+            scratch.cand_slack.clear();
+            for r in 0..dims {
+                scratch
+                    .cand_slack
+                    .push(kernels::checked_slack_ratio(trace.dim(r), c.get(r))?);
+            }
+            let objective: f64 = scratch
+                .cand_slack
+                .iter()
+                .enumerate()
+                .map(|(r, s)| (s - self.config.slack_target_for(r)).abs())
+                .sum();
+            if best.is_none_or(|(_, b)| objective < b) {
+                best = Some((i, objective));
+                // Keep the winner's slack vector: `slack_at_chosen` is this
+                // very value, so the row path's final recompute is skipped
+                // without changing a bit.
+                std::mem::swap(&mut scratch.best_slack, &mut scratch.cand_slack);
+            }
+        }
+
+        let sku_index = match best {
+            Some((i, _)) => i,
+            None if censored => catalog.len() - 1, // saturate at the top
+            None => {
+                return Err(LorentzError::Infeasible(format!(
+                    "no catalog candidate meets throttling bound τ={}",
+                    self.config.tau
+                )))
+            }
+        };
+
+        let capacity = catalog.get(sku_index).capacity.clone();
+        capacity.check_space(trace.space())?;
+        let slack_at_chosen: Vec<f64> = if best.is_some() {
+            scratch.best_slack.clone()
+        } else {
+            // Censored saturate: the top SKU was never a feasible candidate,
+            // so its slack has not been computed yet.
+            (0..dims)
+                .map(|r| kernels::checked_slack_ratio(trace.dim(r), capacity.get(r)))
+                .collect::<Result<_, _>>()?
+        };
+        let verdict = verdict(user_capacity, &capacity);
+        Ok(RightsizeOutcome {
+            capacity,
+            sku_index,
+            censored,
+            throttling_at_user,
+            slack_at_chosen,
+            verdict,
+        })
+    }
+
+    /// Throttled-bin count of Eq. 3–4 for multi-dimensional traces: a
+    /// reusable any-dim mask union. Integer-valued, hence identical to the
+    /// row loop.
+    fn masked_throttled_count(
+        &self,
+        trace: &TraceView<'_>,
+        c: &Capacity,
+        scratch: &mut Stage1Scratch,
+    ) -> usize {
+        let bins = trace.bins();
+        scratch.mask.clear();
+        scratch.mask.resize(bins, false);
+        for r in 0..trace.dims() {
+            kernels::or_above(
+                trace.dim(r),
+                self.config.eta_for(r) * c.get(r),
+                &mut scratch.mask,
+            );
+        }
+        scratch.mask.iter().filter(|&&m| m).count()
+    }
+}
+
+/// Reusable buffers for [`Rightsizer::rightsize_columns`]: one per Stage-1
+/// worker thread, reused across every trace and candidate the worker sizes.
+#[derive(Debug, Default)]
+pub struct Stage1Scratch {
+    /// Throttling thresholds `η·c` per catalog candidate (+ the user's).
+    thresholds: Vec<f64>,
+    /// Histogram state for [`kernels::count_above_many`].
+    multi: kernels::MultiCountScratch,
+    /// Throttled-bin counts, indexed like `thresholds`.
+    counts: Vec<usize>,
+    /// Any-dimension throttling union for multi-dimension traces.
+    mask: Vec<bool>,
+    /// Per-dimension slack of the candidate currently being scored.
+    cand_slack: Vec<f64>,
+    /// Per-dimension slack of the best candidate so far.
+    best_slack: Vec<f64>,
 }
 
 /// Classifies a user capacity against the rightsized capacity (primary
@@ -420,6 +607,100 @@ mod tests {
             .rightsize(&t, &Capacity::scalar(16.0), &catalog())
             .unwrap();
         assert_eq!(strict.capacity.primary(), 8.0);
+    }
+
+    #[test]
+    fn columnar_rightsize_is_byte_identical_to_row_path() {
+        use lorentz_telemetry::TraceColumns;
+        let s = sizer();
+        let cat = catalog();
+        // Steady, spiky, censored, idle, and single-bin workloads.
+        let traces = vec![
+            trace(&[2.0; 20]),
+            {
+                let mut vals = vec![1.0; 19];
+                vals.push(3.9);
+                trace(&vals)
+            },
+            trace(&[4.0; 10]),
+            trace(&[0.05; 50]),
+            trace(&[128.0; 10]),
+            trace(&[7.3]),
+        ];
+        let users = [16.0, 16.0, 4.0, 32.0, 128.0, 8.0];
+        let cols = TraceColumns::from_traces(&traces);
+        let mut scratch = Stage1Scratch::default();
+        for (i, t) in traces.iter().enumerate() {
+            let user = Capacity::scalar(users[i]);
+            let row = s.rightsize(t, &user, &cat).unwrap();
+            let col = s
+                .rightsize_columns(cols.trace(i), &user, &cat, &mut scratch)
+                .unwrap();
+            assert_eq!(row, col, "trace {i}");
+            // Bit-exact, not just PartialEq-equal.
+            for (a, b) in row.slack_at_chosen.iter().zip(&col.slack_at_chosen) {
+                assert_eq!(a.to_bits(), b.to_bits(), "trace {i}");
+            }
+            assert_eq!(
+                row.throttling_at_user.to_bits(),
+                col.throttling_at_user.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_rightsize_multi_dimension_matches_row() {
+        use lorentz_telemetry::TraceColumns;
+        let cfg = RightsizerConfig {
+            eta: vec![0.95, 0.95],
+            slack_target: vec![0.5, 0.5],
+            ..RightsizerConfig::default()
+        };
+        let s = Rightsizer::new(&cfg).unwrap();
+        let t = UsageTrace::new(
+            lorentz_types::ResourceSpace::vcores_memory(),
+            vec![
+                RegularSeries::new(300.0, vec![1.0, 1.0, 2.5]).unwrap(),
+                RegularSeries::new(300.0, vec![1.0, 7.9, 3.0]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let catalog = SkuCatalog::azure_postgres_with_memory(ServerOffering::GeneralPurpose);
+        let user = t.peak();
+        let user = Capacity::new(user.iter().map(|&v| (v * 2.0).max(1.0)).collect()).unwrap();
+        let cols = TraceColumns::from_traces(std::slice::from_ref(&t));
+        let mut scratch = Stage1Scratch::default();
+        let row = s.rightsize(&t, &user, &catalog).unwrap();
+        let col = s
+            .rightsize_columns(cols.trace(0), &user, &catalog, &mut scratch)
+            .unwrap();
+        assert_eq!(row, col);
+    }
+
+    #[test]
+    fn columnar_throttling_counts_match_row_throttling() {
+        use lorentz_telemetry::TraceColumns;
+        let s = sizer();
+        let t = trace(&[1.0, 1.9, 2.0, 0.5, 3.9, 2.0]);
+        let cols = TraceColumns::from_traces(std::slice::from_ref(&t));
+        let mut scratch = Stage1Scratch::default();
+        // Seed the sorted scratch the way rightsize_columns does.
+        let user = Capacity::scalar(2.0);
+        let row = s.rightsize(&t, &user, &catalog()).unwrap();
+        let col = s
+            .rightsize_columns(cols.trace(0), &user, &catalog(), &mut scratch)
+            .unwrap();
+        assert_eq!(row.throttling_at_user, col.throttling_at_user);
+    }
+
+    #[test]
+    fn slack_ratio_single_sample_trace_is_valid() {
+        let s = sizer();
+        let t = trace(&[1.0]);
+        let slack = s.slack_ratio(&t, &Capacity::scalar(4.0)).unwrap();
+        assert_eq!(slack, vec![0.75]);
+        let out = s.rightsize(&t, &Capacity::scalar(4.0), &catalog()).unwrap();
+        assert_eq!(out.capacity.primary(), 2.0);
     }
 
     #[test]

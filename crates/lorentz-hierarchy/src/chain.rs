@@ -152,31 +152,40 @@ pub fn chain_from_matrix(
         ca < cb || (ca == cb && a < b)
     };
 
-    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (a, edges) in out_edges.iter_mut().enumerate() {
+    // Flat CSR-style adjacency arena: all edges in one buffer, nodes keep
+    // index ranges into it — no per-node heap allocation. Edge targets for
+    // node `a` live at `edge_targets[edge_starts[a]..edge_starts[a + 1]]`
+    // in ascending target order, matching the nested-Vec build exactly.
+    let mut edge_targets: Vec<usize> = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+    let mut edge_starts: Vec<usize> = Vec::with_capacity(n + 1);
+    edge_starts.push(0);
+    for a in 0..n {
         for b in 0..n {
             if a != b && coarser_than(a, b) {
-                edges.push(b);
+                edge_targets.push(b);
             }
         }
+        edge_starts.push(edge_targets.len());
     }
+    let out_edges = |f: usize| &edge_targets[edge_starts[f]..edge_starts[f + 1]];
+    let out_degree = |f: usize| edge_starts[f + 1] - edge_starts[f];
 
     // Root: highest out-degree (ties by column order).
-    let root = (0..n).max_by_key(|&f| out_edges[f].len());
+    let root = (0..n).max_by_key(|&f| out_degree(f));
     let mut features = Vec::new();
     let mut visited = vec![false; n];
     if let Some(root) = root {
-        if !out_edges[root].is_empty() {
+        if out_degree(root) > 0 {
             let mut current = root;
             loop {
                 visited[current] = true;
                 features.push(FeatureId(current));
                 // Highest-out-degree unvisited neighbor.
-                let next = out_edges[current]
+                let next = out_edges(current)
                     .iter()
                     .copied()
                     .filter(|&f| !visited[f])
-                    .max_by_key(|&f| out_edges[f].len());
+                    .max_by_key(|&f| out_degree(f));
                 match next {
                     Some(f) => current = f,
                     None => break,

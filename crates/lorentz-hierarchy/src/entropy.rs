@@ -3,59 +3,240 @@
 //! All computations skip rows where either column is missing: the paper
 //! notes hierarchies are *nearly* strict due to user mis-entry, and missing
 //! tags would otherwise register as a spurious shared "value".
+//!
+//! Two layers are exposed. The slice functions ([`entropy`],
+//! [`conditional_entropy`], [`entropy_on_joint_support`]) are the
+//! convenient one-shot API. Underneath, every computation runs on
+//! [`DenseColumn`]s — columns re-encoded once into ids `0..card` — through
+//! an [`EntropyScratch`] arena, so the O(n²)-pair strength-matrix sweep
+//! does no hashing and no per-pair allocation: joint counts are a
+//! counting sort by the conditioning column plus dense count arrays reset
+//! via touched lists. Accumulation order is fixed (group id, then first
+//! appearance within the group), which makes every entropy value
+//! run-to-run deterministic — unlike summing over `HashMap` iteration
+//! order, which `RandomState` reshuffles per process.
 
 use std::collections::HashMap;
 
-/// Shannon entropy `H(X)` in bits of a categorical column, ignoring missing
-/// entries. Returns 0 for an all-missing or constant column.
-pub fn entropy(column: &[Option<u32>]) -> f64 {
-    let mut counts: HashMap<u32, usize> = HashMap::new();
+/// Sentinel dense id for a missing entry.
+const MISSING: u32 = u32::MAX;
+
+/// A categorical column re-encoded to dense ids `0..card` (first-appearance
+/// order); missing entries become an internal sentinel. Build once per
+/// column, then run any number of pairwise entropy computations hash-free.
+#[derive(Debug, Clone)]
+pub struct DenseColumn {
+    ids: Vec<u32>,
+    card: usize,
+}
+
+impl DenseColumn {
+    /// Re-encodes an interned column. The only hashing in the entropy
+    /// layer happens here, once per column.
+    pub fn build(column: &[Option<u32>]) -> Self {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let ids = column
+            .iter()
+            .map(|v| match v {
+                Some(v) => {
+                    let next = remap.len() as u32;
+                    *remap.entry(*v).or_insert(next)
+                }
+                None => MISSING,
+            })
+            .collect();
+        Self {
+            ids,
+            card: remap.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of distinct present values.
+    pub fn cardinality(&self) -> usize {
+        self.card
+    }
+}
+
+/// Reusable buffers for the dense entropy kernels. One instance serves an
+/// entire strength-matrix sweep: buffers grow to the largest column and
+/// are reset via touched lists rather than reallocated.
+#[derive(Debug, Default)]
+pub struct EntropyScratch {
+    /// Dense per-value counts, maintained all-zero between calls.
+    counts: Vec<usize>,
+    /// Which `counts` slots are nonzero (first-touch order).
+    touched: Vec<u32>,
+    /// Per-group sizes for the conditioning column.
+    group_counts: Vec<usize>,
+    /// Prefix sums of `group_counts`.
+    offsets: Vec<usize>,
+    /// Scatter cursors (a working copy of `offsets`).
+    cursors: Vec<usize>,
+    /// `x` ids grouped by `y` id (counting-sort payload).
+    sorted_x: Vec<u32>,
+}
+
+impl EntropyScratch {
+    /// Zero-extends `counts` to at least `card` slots.
+    fn ensure_counts(&mut self, card: usize) {
+        if self.counts.len() < card {
+            self.counts.resize(card, 0);
+        }
+    }
+}
+
+/// Shannon entropy `H(X)` in bits of a dense column, ignoring missing
+/// entries; pass `support` to restrict to rows where that column is also
+/// present (the joint support).
+fn entropy_with_support(
+    x: &DenseColumn,
+    support: Option<&DenseColumn>,
+    scratch: &mut EntropyScratch,
+) -> f64 {
+    if let Some(s) = support {
+        assert_eq!(x.len(), s.len(), "column length mismatch");
+    }
+    scratch.ensure_counts(x.card);
+    scratch.touched.clear();
     let mut n = 0usize;
-    for v in column.iter().flatten() {
-        *counts.entry(*v).or_insert(0) += 1;
+    for (row, &xv) in x.ids.iter().enumerate() {
+        if xv == MISSING {
+            continue;
+        }
+        if let Some(s) = support {
+            if s.ids[row] == MISSING {
+                continue;
+            }
+        }
+        if scratch.counts[xv as usize] == 0 {
+            scratch.touched.push(xv);
+        }
+        scratch.counts[xv as usize] += 1;
         n += 1;
     }
     if n == 0 {
         return 0.0;
     }
-    let n = n as f64;
-    counts
-        .values()
-        .map(|&c| {
-            let p = c as f64 / n;
-            -p * p.log2()
-        })
-        .sum()
+    let nf = n as f64;
+    let mut h = 0.0;
+    for &xv in &scratch.touched {
+        let p = scratch.counts[xv as usize] as f64 / nf;
+        h += -p * p.log2();
+        scratch.counts[xv as usize] = 0;
+    }
+    h
 }
 
-/// Conditional entropy `H(X | Y)` in bits, over rows where both columns are
-/// present. Returns 0 if no such rows exist.
-pub fn conditional_entropy(x: &[Option<u32>], y: &[Option<u32>]) -> f64 {
+/// [`entropy`] over a pre-densified column and reusable scratch.
+pub fn entropy_dense(x: &DenseColumn, scratch: &mut EntropyScratch) -> f64 {
+    entropy_with_support(x, None, scratch)
+}
+
+/// [`entropy_on_joint_support`] over pre-densified columns.
+pub fn entropy_on_joint_support_dense(
+    x: &DenseColumn,
+    y: &DenseColumn,
+    scratch: &mut EntropyScratch,
+) -> f64 {
+    entropy_with_support(x, Some(y), scratch)
+}
+
+/// [`conditional_entropy`] over pre-densified columns: a counting sort of
+/// `x` ids by `y` group, then one dense count pass per group. O(rows +
+/// card) per call, zero hashing, zero allocation once the scratch has
+/// grown.
+pub fn conditional_entropy_dense(
+    x: &DenseColumn,
+    y: &DenseColumn,
+    scratch: &mut EntropyScratch,
+) -> f64 {
     assert_eq!(x.len(), y.len(), "column length mismatch");
-    // joint[(y, x)] and marginal[y] counts over complete pairs.
-    let mut joint: HashMap<(u32, u32), usize> = HashMap::new();
-    let mut marginal: HashMap<u32, usize> = HashMap::new();
+
+    // Pass 1: size each y group over complete pairs.
+    scratch.group_counts.clear();
+    scratch.group_counts.resize(y.card, 0);
     let mut n = 0usize;
-    for (xv, yv) in x.iter().zip(y.iter()) {
-        if let (Some(xv), Some(yv)) = (xv, yv) {
-            *joint.entry((*yv, *xv)).or_insert(0) += 1;
-            *marginal.entry(*yv).or_insert(0) += 1;
+    for (&xv, &yv) in x.ids.iter().zip(&y.ids) {
+        if xv != MISSING && yv != MISSING {
+            scratch.group_counts[yv as usize] += 1;
             n += 1;
         }
     }
     if n == 0 {
         return 0.0;
     }
-    let n = n as f64;
-    // H(X|Y) = -sum p(x,y) log2( p(x,y) / p(y) ).
-    joint
-        .iter()
-        .map(|(&(yv, _), &c)| {
-            let p_xy = c as f64 / n;
-            let p_y = marginal[&yv] as f64 / n;
-            -p_xy * (p_xy / p_y).log2()
-        })
-        .sum()
+
+    // Prefix sums, then scatter x ids into their y group.
+    scratch.offsets.clear();
+    scratch.offsets.reserve(y.card);
+    let mut acc = 0usize;
+    for &c in &scratch.group_counts {
+        scratch.offsets.push(acc);
+        acc += c;
+    }
+    scratch.cursors.clear();
+    scratch.cursors.extend_from_slice(&scratch.offsets);
+    scratch.sorted_x.resize(n, 0);
+    for (&xv, &yv) in x.ids.iter().zip(&y.ids) {
+        if xv != MISSING && yv != MISSING {
+            scratch.sorted_x[scratch.cursors[yv as usize]] = xv;
+            scratch.cursors[yv as usize] += 1;
+        }
+    }
+
+    // H(X|Y) = -sum p(x,y) log2( p(x,y) / p(y) ), accumulated in (y id,
+    // first-appearance-of-x) order — fixed, so the sum is reproducible.
+    scratch.ensure_counts(x.card);
+    let nf = n as f64;
+    let mut h = 0.0;
+    for y_id in 0..y.card {
+        let lo = scratch.offsets[y_id];
+        let hi = lo + scratch.group_counts[y_id];
+        if lo == hi {
+            continue;
+        }
+        let p_y = (hi - lo) as f64 / nf;
+        scratch.touched.clear();
+        for &xv in &scratch.sorted_x[lo..hi] {
+            if scratch.counts[xv as usize] == 0 {
+                scratch.touched.push(xv);
+            }
+            scratch.counts[xv as usize] += 1;
+        }
+        for &xv in &scratch.touched {
+            let p_xy = scratch.counts[xv as usize] as f64 / nf;
+            h += -p_xy * (p_xy / p_y).log2();
+            scratch.counts[xv as usize] = 0;
+        }
+    }
+    h
+}
+
+/// Shannon entropy `H(X)` in bits of a categorical column, ignoring missing
+/// entries. Returns 0 for an all-missing or constant column.
+pub fn entropy(column: &[Option<u32>]) -> f64 {
+    entropy_dense(&DenseColumn::build(column), &mut EntropyScratch::default())
+}
+
+/// Conditional entropy `H(X | Y)` in bits, over rows where both columns are
+/// present. Returns 0 if no such rows exist.
+pub fn conditional_entropy(x: &[Option<u32>], y: &[Option<u32>]) -> f64 {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    conditional_entropy_dense(
+        &DenseColumn::build(x),
+        &DenseColumn::build(y),
+        &mut EntropyScratch::default(),
+    )
 }
 
 /// Entropy of `x` restricted to rows where both `x` and `y` are present —
@@ -63,12 +244,11 @@ pub fn conditional_entropy(x: &[Option<u32>], y: &[Option<u32>]) -> f64 {
 /// same support.
 pub fn entropy_on_joint_support(x: &[Option<u32>], y: &[Option<u32>]) -> f64 {
     assert_eq!(x.len(), y.len(), "column length mismatch");
-    let filtered: Vec<Option<u32>> = x
-        .iter()
-        .zip(y.iter())
-        .map(|(xv, yv)| if yv.is_some() { *xv } else { None })
-        .collect();
-    entropy(&filtered)
+    entropy_on_joint_support_dense(
+        &DenseColumn::build(x),
+        &DenseColumn::build(y),
+        &mut EntropyScratch::default(),
+    )
 }
 
 #[cfg(test)]
@@ -135,5 +315,35 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_columns_panic() {
         conditional_entropy(&col(&[0]), &col(&[0, 1]));
+    }
+
+    #[test]
+    fn dense_column_reencodes_in_first_appearance_order() {
+        let d = DenseColumn::build(&col(&[7, 3, 7, -1, 9]));
+        assert_eq!(d.ids, vec![0, 1, 0, MISSING, 2]);
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn dense_kernels_match_slice_api_with_shared_scratch() {
+        // One scratch reused across every call — counts must come back
+        // zeroed after each kernel or these disagree.
+        let x = col(&[0, 1, 2, 0, 1, 2, 0, -1, 0]);
+        let y = col(&[0, 0, 1, 1, 2, 2, 3, 3, -1]);
+        let dx = DenseColumn::build(&x);
+        let dy = DenseColumn::build(&y);
+        let mut scratch = EntropyScratch::default();
+        for _ in 0..3 {
+            assert_eq!(entropy_dense(&dx, &mut scratch), entropy(&x));
+            assert_eq!(
+                conditional_entropy_dense(&dx, &dy, &mut scratch),
+                conditional_entropy(&x, &y)
+            );
+            assert_eq!(
+                entropy_on_joint_support_dense(&dx, &dy, &mut scratch),
+                entropy_on_joint_support(&x, &y)
+            );
+        }
     }
 }

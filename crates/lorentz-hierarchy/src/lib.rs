@@ -17,4 +17,5 @@ pub mod entropy;
 pub mod strength;
 
 pub use chain::{learn_hierarchy, HierarchyChain, HierarchyConfig};
+pub use entropy::{DenseColumn, EntropyScratch};
 pub use strength::{hierarchy_strength_matrix, StrengthMatrix};

@@ -14,7 +14,9 @@
 //! (§3.3, footnote 1), which is why the chain learner thresholds at
 //! `γ < 1`.
 
-use crate::entropy::{conditional_entropy, entropy_on_joint_support};
+use crate::entropy::{
+    conditional_entropy_dense, entropy_on_joint_support_dense, DenseColumn, EntropyScratch,
+};
 use lorentz_types::{FeatureId, ProfileTable};
 
 /// Hierarchy strength of `parent ← child` on a pair of interned columns.
@@ -22,11 +24,26 @@ use lorentz_types::{FeatureId, ProfileTable};
 /// Degenerate cases: a constant (or all-missing) parent is trivially
 /// determined by anything, so its strength is defined as 1.
 pub fn hierarchy_strength(parent: &[Option<u32>], child: &[Option<u32>]) -> f64 {
-    let h_parent = entropy_on_joint_support(parent, child);
+    hierarchy_strength_dense(
+        &DenseColumn::build(parent),
+        &DenseColumn::build(child),
+        &mut EntropyScratch::default(),
+    )
+}
+
+/// [`hierarchy_strength`] over pre-densified columns and reusable scratch —
+/// the kernel the matrix sweep calls O(n²) times without rehashing or
+/// reallocating.
+pub fn hierarchy_strength_dense(
+    parent: &DenseColumn,
+    child: &DenseColumn,
+    scratch: &mut EntropyScratch,
+) -> f64 {
+    let h_parent = entropy_on_joint_support_dense(parent, child, scratch);
     if h_parent == 0.0 {
         return 1.0;
     }
-    let h_cond = conditional_entropy(parent, child);
+    let h_cond = conditional_entropy_dense(parent, child, scratch);
     (1.0 - h_cond / h_parent).clamp(0.0, 1.0)
 }
 
@@ -59,14 +76,22 @@ impl StrengthMatrix {
 }
 
 /// Computes the full [`StrengthMatrix`] for a table.
+///
+/// Each column is densified once; every one of the `n·(n−1)` ordered pairs
+/// then runs the hash-free [`hierarchy_strength_dense`] kernel through a
+/// single shared [`EntropyScratch`], so the whole sweep performs exactly
+/// `n` hashing passes and a constant number of allocations.
 pub fn hierarchy_strength_matrix(table: &ProfileTable) -> StrengthMatrix {
     let n = table.schema().len();
+    let dense: Vec<DenseColumn> = (0..n)
+        .map(|f| DenseColumn::build(table.column(FeatureId(f))))
+        .collect();
+    let mut scratch = EntropyScratch::default();
     let mut values = vec![1.0; n * n];
     for p in 0..n {
         for c in 0..n {
             if p != c {
-                values[p * n + c] =
-                    hierarchy_strength(table.column(FeatureId(p)), table.column(FeatureId(c)));
+                values[p * n + c] = hierarchy_strength_dense(&dense[p], &dense[c], &mut scratch);
             }
         }
     }

@@ -1,19 +1,57 @@
 //! Numeric tabular datasets.
 
 use lorentz_types::LorentzError;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// A column-major feature matrix with one numeric label per row.
 ///
 /// Missing feature values are represented as `NaN` (trees route them to the
 /// left child; the target encoder usually eliminates them before this layer).
 /// Labels must be finite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Storage is a single flat feature-major buffer — `data[f * rows + row]` —
+/// so every feature column is one contiguous slice. Histogram building and
+/// split search scan whole columns; keeping each column contiguous (rather
+/// than one heap allocation per column) means those scans walk one
+/// cache-friendly buffer. The serialized form is unchanged from the nested
+/// `Vec<Vec<f64>>` representation: `{feature_names, columns, labels}` with
+/// `columns` as an array of per-feature arrays.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     feature_names: Vec<String>,
-    /// `columns[f][row]`.
-    columns: Vec<Vec<f64>>,
+    rows: usize,
+    /// Flat feature-major values: `data[f * rows + row]`.
+    data: Vec<f64>,
     labels: Vec<f64>,
+}
+
+impl Serialize for Dataset {
+    fn to_value(&self) -> Value {
+        // Mirror the shape the derive produced for the nested layout so
+        // serialized models stay byte-identical across the storage change.
+        let columns: Vec<Value> = (0..self.features())
+            .map(|f| self.column(f).to_value())
+            .collect();
+        Value::Map(vec![
+            ("feature_names".into(), self.feature_names.to_value()),
+            ("columns".into(), Value::Seq(columns)),
+            ("labels".into(), self.labels.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| SerdeError::custom(format!("Dataset: missing field `{name}`")))
+        };
+        let feature_names = Vec::<String>::from_value(field("feature_names")?)?;
+        let columns = Vec::<Vec<f64>>::from_value(field("columns")?)?;
+        let labels = Vec::<f64>::from_value(field("labels")?)?;
+        Dataset::new(feature_names, columns, labels)
+            .map_err(|e| SerdeError::custom(format!("Dataset: {e}")))
+    }
 }
 
 impl Dataset {
@@ -50,9 +88,14 @@ impl Dataset {
         if let Some(bad) = labels.iter().find(|l| !l.is_finite()) {
             return Err(LorentzError::Model(format!("non-finite label {bad}")));
         }
+        let mut data = Vec::with_capacity(columns.len() * rows);
+        for col in &columns {
+            data.extend_from_slice(col);
+        }
         Ok(Self {
             feature_names,
-            columns,
+            rows,
+            data,
             labels,
         })
     }
@@ -89,7 +132,7 @@ impl Dataset {
 
     /// Number of feature columns.
     pub fn features(&self) -> usize {
-        self.columns.len()
+        self.feature_names.len()
     }
 
     /// Whether the dataset has no rows.
@@ -102,9 +145,9 @@ impl Dataset {
         &self.feature_names
     }
 
-    /// Column `f`.
+    /// Column `f` — one contiguous slice of the flat buffer.
     pub fn column(&self, f: usize) -> &[f64] {
-        &self.columns[f]
+        &self.data[f * self.rows..(f + 1) * self.rows]
     }
 
     /// Labels.
@@ -114,12 +157,12 @@ impl Dataset {
 
     /// The feature value at (`row`, `f`).
     pub fn value(&self, row: usize, f: usize) -> f64 {
-        self.columns[f][row]
+        self.data[f * self.rows + row]
     }
 
     /// Extracts row `row` as an owned vector (feature order).
     pub fn row(&self, row: usize) -> Vec<f64> {
-        self.columns.iter().map(|c| c[row]).collect()
+        (0..self.features()).map(|f| self.value(row, f)).collect()
     }
 
     /// Copies row `row` into `buf` without allocating (feature order).
@@ -130,8 +173,8 @@ impl Dataset {
     /// Panics if `buf.len() != self.features()`.
     pub fn fill_row(&self, row: usize, buf: &mut [f64]) {
         assert_eq!(buf.len(), self.features(), "buffer arity mismatch");
-        for (slot, column) in buf.iter_mut().zip(&self.columns) {
-            *slot = column[row];
+        for (f, slot) in buf.iter_mut().enumerate() {
+            *slot = self.data[f * self.rows + row];
         }
     }
 
@@ -145,13 +188,15 @@ impl Dataset {
 
     /// A new dataset containing only `rows` (in the given order).
     pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let mut data = Vec::with_capacity(self.features() * rows.len());
+        for f in 0..self.features() {
+            let col = self.column(f);
+            data.extend(rows.iter().map(|&r| col[r]));
+        }
         Dataset {
             feature_names: self.feature_names.clone(),
-            columns: self
-                .columns
-                .iter()
-                .map(|c| rows.iter().map(|&r| c[r]).collect())
-                .collect(),
+            rows: rows.len(),
+            data,
             labels: rows.iter().map(|&r| self.labels[r]).collect(),
         }
     }
@@ -174,7 +219,8 @@ impl Dataset {
         }
         Ok(Dataset {
             feature_names: self.feature_names.clone(),
-            columns: self.columns.clone(),
+            rows: self.rows,
+            data: self.data.clone(),
             labels,
         })
     }
@@ -246,5 +292,37 @@ mod tests {
     fn nan_features_are_allowed() {
         let d = Dataset::from_rows(names(1), &[vec![f64::NAN], vec![1.0]], vec![0.0, 1.0]);
         assert!(d.is_ok());
+    }
+
+    #[test]
+    fn fill_row_matches_row() {
+        let d = Dataset::from_rows(
+            names(3),
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            vec![0.0, 1.0],
+        )
+        .unwrap();
+        let mut buf = vec![0.0; 3];
+        d.fill_row(1, &mut buf);
+        assert_eq!(buf, d.row(1));
+    }
+
+    #[test]
+    fn serialized_shape_matches_nested_layout() {
+        // The flat storage must serialize exactly like the old
+        // `Vec<Vec<f64>>` column layout: {feature_names, columns, labels}.
+        let d = Dataset::from_rows(
+            names(2),
+            &[vec![1.0, 10.0], vec![2.0, 20.0]],
+            vec![0.5, 1.5],
+        )
+        .unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(
+            json,
+            r#"{"feature_names":["f0","f1"],"columns":[[1,2],[10,20]],"labels":[0.5,1.5]}"#
+        );
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
     }
 }

@@ -98,6 +98,26 @@ impl TargetEncoder {
         missing: MissingPolicy,
         smoothing: f64,
     ) -> Result<Self, LorentzError> {
+        Self::fit_with_threads(table, labels, statistic, missing, smoothing, 0)
+    }
+
+    /// [`TargetEncoder::fit`] with an explicit cap on the per-feature worker
+    /// threads (`0` = one per available core). Features are statistically
+    /// independent — each value→statistic map depends only on its own
+    /// column — so they fit concurrently; workers own contiguous feature
+    /// ranges and are joined in feature order, making the fitted encoder
+    /// identical at every thread cap.
+    ///
+    /// # Errors
+    /// See [`TargetEncoder::fit`].
+    pub fn fit_with_threads(
+        table: &ProfileTable,
+        labels: &[f64],
+        statistic: TargetStatistic,
+        missing: MissingPolicy,
+        smoothing: f64,
+        max_threads: usize,
+    ) -> Result<Self, LorentzError> {
         if table.rows() != labels.len() {
             return Err(LorentzError::Model(format!(
                 "{} profile rows vs {} labels",
@@ -121,15 +141,15 @@ impl TargetEncoder {
         let global = statistic.apply(&sorted_all);
 
         let schema = table.schema();
-        let mut maps = Vec::with_capacity(schema.len());
-        for f in schema.feature_ids() {
+        let n_features = schema.len();
+        let fit_feature = |f: FeatureId| -> HashMap<u32, f64> {
             let mut groups: HashMap<u32, Vec<f64>> = HashMap::new();
             for (row, value) in table.column(f).iter().enumerate() {
                 if let Some(v) = value {
                     groups.entry(*v).or_default().push(labels[row]);
                 }
             }
-            let map: HashMap<u32, f64> = groups
+            groups
                 .into_iter()
                 .map(|(v, mut ls)| {
                     ls.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite labels"));
@@ -142,9 +162,44 @@ impl TargetEncoder {
                     };
                     (v, smoothed)
                 })
-                .collect();
-            maps.push(map);
+                .collect()
+        };
+
+        // Per-feature parallel fit: contiguous feature chunks, one scoped
+        // worker each, joined in chunk order — the concatenation is the
+        // same `Vec` the sequential loop builds, regardless of the cap.
+        let threads = if max_threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            max_threads
         }
+        .min(n_features)
+        .max(1);
+        let chunk = n_features.div_ceil(threads);
+        let maps: Vec<HashMap<u32, f64>> = if threads == 1 {
+            schema.feature_ids().map(fit_feature).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let fit_feature = &fit_feature;
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(n_features);
+                            (lo..hi)
+                                .map(|f| fit_feature(FeatureId(f)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("encoder worker panicked"))
+                    .collect()
+            })
+        };
 
         Ok(Self {
             statistic,
@@ -381,6 +436,37 @@ mod tests {
             -1.0
         )
         .is_err());
+    }
+
+    #[test]
+    fn parallel_fit_is_identical_at_any_thread_cap() {
+        let (t, labels) = table();
+        let serial = TargetEncoder::fit_with_threads(
+            &t,
+            &labels,
+            TargetStatistic::Mean,
+            MissingPolicy::GlobalMean,
+            2.0,
+            1,
+        )
+        .unwrap();
+        for threads in [0, 2, 8] {
+            let parallel = TargetEncoder::fit_with_threads(
+                &t,
+                &labels,
+                TargetStatistic::Mean,
+                MissingPolicy::GlobalMean,
+                2.0,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serde_json::to_string(&serial).unwrap(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! thus avoiding under-provisioning", but alternative aggregators are useful
 //! for ablations (see `exp_ablation_binning`).
 
+use lorentz_types::LorentzError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -36,6 +37,28 @@ impl Aggregator {
             Aggregator::Percentile(p) => percentile(values, p),
         }
     }
+
+    /// [`Self::apply`] with typed-error validation: an empty slice or NaN
+    /// samples return [`LorentzError::InvalidTelemetry`] instead of
+    /// panicking ([`percentile`]'s sort) or silently yielding NaN
+    /// statistics. A single sample aggregates to itself under every
+    /// aggregator.
+    ///
+    /// # Errors
+    /// Returns [`LorentzError::InvalidTelemetry`] for empty or NaN input.
+    pub fn try_apply(self, values: &[f64]) -> Result<f64, LorentzError> {
+        if values.is_empty() {
+            return Err(LorentzError::InvalidTelemetry(
+                "cannot aggregate an empty sample set".into(),
+            ));
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(LorentzError::InvalidTelemetry(
+                "NaN sample in aggregation input".into(),
+            ));
+        }
+        Ok(self.apply(values))
+    }
 }
 
 impl fmt::Display for Aggregator {
@@ -61,6 +84,44 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
     percentile_of_sorted(&sorted, p)
+}
+
+/// [`percentile`] with typed-error validation: empty input and NaN samples
+/// are [`LorentzError::InvalidTelemetry`] instead of a silent NaN / a sort
+/// panic. A single sample is its own percentile for every `p`.
+///
+/// # Errors
+/// Returns [`LorentzError::InvalidTelemetry`] for empty or NaN input.
+pub fn try_percentile(values: &[f64], p: f64) -> Result<f64, LorentzError> {
+    let mut scratch = Vec::new();
+    percentile_into(values, p, &mut scratch)
+}
+
+/// [`try_percentile`] over a reusable scratch buffer — the columnar
+/// quantile kernel: one validation pass, one copy into `scratch`, one sort,
+/// no per-call allocation once `scratch` has grown.
+///
+/// # Errors
+/// Returns [`LorentzError::InvalidTelemetry`] for empty or NaN input.
+pub fn percentile_into(
+    values: &[f64],
+    p: f64,
+    scratch: &mut Vec<f64>,
+) -> Result<f64, LorentzError> {
+    if values.is_empty() {
+        return Err(LorentzError::InvalidTelemetry(
+            "cannot take a percentile of an empty sample set".into(),
+        ));
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(LorentzError::InvalidTelemetry(
+            "NaN sample in percentile input".into(),
+        ));
+    }
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+    Ok(percentile_of_sorted(scratch, p))
 }
 
 /// Percentile of an already-sorted slice (ascending). See [`percentile`].
@@ -128,6 +189,79 @@ mod tests {
         let without = [2.0, 2.0, 2.0, 4.0, 4.0];
         let with = [2.0, 2.0, 2.0, 4.0, 128.0];
         assert_eq!(percentile(&without, 50.0), percentile(&with, 50.0));
+    }
+
+    #[test]
+    fn try_apply_rejects_empty_input() {
+        for agg in [
+            Aggregator::Max,
+            Aggregator::Min,
+            Aggregator::Mean,
+            Aggregator::Percentile(50.0),
+        ] {
+            let err = agg.try_apply(&[]).unwrap_err();
+            assert!(
+                matches!(err, LorentzError::InvalidTelemetry(ref m) if m.contains("empty")),
+                "{agg}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_apply_rejects_nan_samples() {
+        for agg in [
+            Aggregator::Max,
+            Aggregator::Min,
+            Aggregator::Mean,
+            Aggregator::Percentile(50.0),
+        ] {
+            let err = agg.try_apply(&[1.0, f64::NAN, 2.0]).unwrap_err();
+            assert!(
+                matches!(err, LorentzError::InvalidTelemetry(ref m) if m.contains("NaN")),
+                "{agg}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_apply_single_sample_is_identity() {
+        for agg in [
+            Aggregator::Max,
+            Aggregator::Min,
+            Aggregator::Mean,
+            Aggregator::Percentile(99.0),
+        ] {
+            assert_eq!(agg.try_apply(&[7.5]).unwrap(), 7.5, "{agg}");
+        }
+    }
+
+    #[test]
+    fn try_percentile_typed_errors_and_agreement() {
+        assert!(matches!(
+            try_percentile(&[], 50.0).unwrap_err(),
+            LorentzError::InvalidTelemetry(m) if m.contains("empty")
+        ));
+        assert!(matches!(
+            try_percentile(&[f64::NAN], 50.0).unwrap_err(),
+            LorentzError::InvalidTelemetry(m) if m.contains("NaN")
+        ));
+        assert_eq!(try_percentile(&[7.0], 10.0).unwrap(), 7.0);
+        let v = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(try_percentile(&v, 50.0).unwrap(), percentile(&v, 50.0));
+    }
+
+    #[test]
+    fn percentile_into_reuses_scratch() {
+        let mut scratch = Vec::new();
+        assert_eq!(
+            percentile_into(&[5.0, 1.0], 50.0, &mut scratch).unwrap(),
+            3.0
+        );
+        assert_eq!(
+            percentile_into(&[9.0, 9.0, 0.0], 0.0, &mut scratch).unwrap(),
+            0.0
+        );
+        assert_eq!(scratch.len(), 3);
     }
 
     #[test]

@@ -48,24 +48,27 @@ pub fn bin_series(
     let n_bins = ((span / bin_seconds).floor() as usize + 1).max(1);
 
     // Single pass: samples are time-ordered, so bins fill monotonically.
+    // Max/Min/Mean fold each sample into a running accumulator as it
+    // arrives — no per-bin bucket allocation — which is bit-identical to
+    // aggregating a collected bucket because the fold order is the sample
+    // order either way. Only Percentile still needs the bin's samples
+    // materialized (and reuses one bucket across bins).
     let mut values = Vec::with_capacity(n_bins);
-    let mut bucket: Vec<f64> = Vec::new();
+    let mut acc = BinAccumulator::new(aggregator);
     let mut current_bin = 0usize;
     let mut last = 0.0_f64;
 
-    let flush = |bucket: &mut Vec<f64>, last: &mut f64| -> Result<f64, LorentzError> {
-        let v = if bucket.is_empty() {
-            match empty_policy {
+    let flush = |acc: &mut BinAccumulator, last: &mut f64| -> Result<f64, LorentzError> {
+        let v = match acc.finish() {
+            Some(v) => v,
+            None => match empty_policy {
                 EmptyBinPolicy::HoldLast => *last,
                 EmptyBinPolicy::Zero => 0.0,
                 EmptyBinPolicy::Error => {
                     return Err(LorentzError::InvalidTelemetry("empty bin".into()))
                 }
-            }
-        } else {
-            aggregator.apply(bucket)
+            },
         };
-        bucket.clear();
         *last = v;
         Ok(v)
     };
@@ -78,19 +81,98 @@ pub fn bin_series(
             bin = n_bins - 1;
         }
         while current_bin < bin {
-            let fv = flush(&mut bucket, &mut last)?;
+            let fv = flush(&mut acc, &mut last)?;
             values.push(fv);
             current_bin += 1;
         }
-        bucket.push(v);
+        acc.push(v);
     }
     // Flush the bin holding the final samples plus any trailing empties.
     while values.len() < n_bins {
-        let fv = flush(&mut bucket, &mut last)?;
+        let fv = flush(&mut acc, &mut last)?;
         values.push(fv);
     }
 
     RegularSeries::new(bin_seconds, values)
+}
+
+/// Streaming per-bin state for [`bin_series`].
+enum BinAccumulator {
+    /// `Max`/`Min`: the running extreme, `None` while the bin is empty.
+    Extreme { max: bool, value: Option<f64> },
+    /// `Mean`: running sum in sample order plus count.
+    Mean { sum: f64, count: usize },
+    /// `Percentile(p)`: the bin's samples, buffer reused across bins.
+    Quantile { p: f64, bucket: Vec<f64> },
+}
+
+impl BinAccumulator {
+    fn new(aggregator: Aggregator) -> Self {
+        match aggregator {
+            Aggregator::Max => BinAccumulator::Extreme {
+                max: true,
+                value: None,
+            },
+            Aggregator::Min => BinAccumulator::Extreme {
+                max: false,
+                value: None,
+            },
+            Aggregator::Mean => BinAccumulator::Mean { sum: 0.0, count: 0 },
+            Aggregator::Percentile(p) => BinAccumulator::Quantile {
+                p,
+                bucket: Vec::new(),
+            },
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        match self {
+            BinAccumulator::Extreme { max, value } => {
+                // Seeding from ±∞ matches the row path's fold exactly.
+                let seed = value.unwrap_or(if *max {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                });
+                *value = Some(if *max {
+                    f64::max(seed, v)
+                } else {
+                    f64::min(seed, v)
+                });
+            }
+            BinAccumulator::Mean { sum, count } => {
+                *sum += v;
+                *count += 1;
+            }
+            BinAccumulator::Quantile { bucket, .. } => bucket.push(v),
+        }
+    }
+
+    /// Closes the current bin: `None` when it received no samples.
+    fn finish(&mut self) -> Option<f64> {
+        match self {
+            BinAccumulator::Extreme { value, .. } => value.take(),
+            BinAccumulator::Mean { sum, count } => {
+                if *count == 0 {
+                    None
+                } else {
+                    let v = *sum / *count as f64;
+                    *sum = 0.0;
+                    *count = 0;
+                    Some(v)
+                }
+            }
+            BinAccumulator::Quantile { p, bucket } => {
+                if bucket.is_empty() {
+                    None
+                } else {
+                    let v = crate::aggregate::percentile(bucket, *p);
+                    bucket.clear();
+                    Some(v)
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

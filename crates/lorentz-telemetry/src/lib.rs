@@ -24,6 +24,7 @@
 pub mod aggregate;
 pub mod analysis;
 pub mod binning;
+pub mod columns;
 pub mod generators;
 pub mod series;
 pub mod trace;
@@ -31,6 +32,7 @@ pub mod trace;
 pub use aggregate::Aggregator;
 pub use analysis::{classify_shape, TraceSummary, WorkloadShape};
 pub use binning::{bin_series, EmptyBinPolicy};
+pub use columns::{TraceColumns, TraceView};
 pub use generators::{WorkloadGenerator, WorkloadSpec};
 pub use series::{RawSeries, RegularSeries};
 pub use trace::UsageTrace;

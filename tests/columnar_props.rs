@@ -1,0 +1,173 @@
+//! Property-based tests of the columnar training fast path: the SoA
+//! telemetry layout must round-trip row traces losslessly, the columnar
+//! Stage-1 optimizer must be *byte-identical* to the row path on arbitrary
+//! fleets, and the parallel target-encoder fit must be independent of its
+//! thread cap.
+
+use lorentz::core::{Rightsizer, RightsizerConfig, Stage1Scratch};
+use lorentz::ml::{MissingPolicy, TargetEncoder, TargetStatistic};
+use lorentz::telemetry::{RegularSeries, TraceColumns, UsageTrace};
+use lorentz::types::{Capacity, ProfileSchema, ProfileTable, ServerOffering, SkuCatalog};
+use proptest::prelude::*;
+
+fn sizer() -> Rightsizer {
+    Rightsizer::new(&RightsizerConfig::default()).unwrap()
+}
+
+/// Arbitrary single-dimension workload: 1–64 bins of usage in [0, 140).
+fn workload() -> impl Strategy<Value = UsageTrace> {
+    proptest::collection::vec(0.0f64..140.0, 1..64)
+        .prop_map(|values| UsageTrace::single(RegularSeries::new(300.0, values).unwrap()))
+}
+
+/// Arbitrary two-dimension workload (vcores + memory), equal bin counts.
+fn workload_2d() -> impl Strategy<Value = UsageTrace> {
+    proptest::collection::vec((0.0f64..140.0, 0.0f64..512.0), 1..32).prop_map(|pairs| {
+        let (v, m): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        UsageTrace::new(
+            lorentz::types::ResourceSpace::vcores_memory(),
+            vec![
+                RegularSeries::new(300.0, v).unwrap(),
+                RegularSeries::new(300.0, m).unwrap(),
+            ],
+        )
+        .unwrap()
+    })
+}
+
+/// A mixed fleet of single- and two-dimension traces.
+fn fleet() -> impl Strategy<Value = Vec<UsageTrace>> {
+    proptest::collection::vec(prop_oneof![workload(), workload_2d()], 1..12)
+}
+
+/// User capacities off the catalog ladder, to hit censored/uncensored and
+/// every verdict branch.
+fn user_primary() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(1.0),
+        Just(2.0),
+        Just(4.0),
+        Just(16.0),
+        Just(64.0),
+        Just(128.0),
+        0.5f64..140.0,
+    ]
+}
+
+proptest! {
+    /// `TraceColumns` packs and unpacks arbitrary mixed fleets without
+    /// losing a value, a space, or a bin width.
+    #[test]
+    fn trace_columns_round_trip(traces in fleet()) {
+        let cols = TraceColumns::from_traces(&traces);
+        prop_assert_eq!(cols.len(), traces.len());
+        let total: usize = traces.iter().map(|t| t.bins() * t.dims()).sum();
+        prop_assert_eq!(cols.total_values(), total);
+        for (i, t) in traces.iter().enumerate() {
+            prop_assert_eq!(&cols.to_trace(i).unwrap(), t);
+            let view = cols.trace(i);
+            prop_assert_eq!(view.bins(), t.bins());
+            prop_assert_eq!(view.dims(), t.dims());
+            for r in 0..t.dims() {
+                prop_assert_eq!(view.dim(r), t.resource(r).values());
+            }
+        }
+    }
+
+    /// The columnar optimizer returns the *bit-identical* outcome of the
+    /// row optimizer for every trace of an arbitrary fleet — same SKU, same
+    /// censoring, and `f64`s equal down to their bit patterns.
+    #[test]
+    fn columnar_rightsize_matches_row_on_arbitrary_fleets(
+        traces in fleet(),
+        primary in user_primary(),
+    ) {
+        let s = sizer();
+        let cols = TraceColumns::from_traces(&traces);
+        let mut scratch = Stage1Scratch::default();
+        for (i, t) in traces.iter().enumerate() {
+            let user = if t.dims() == 1 {
+                Capacity::scalar(primary)
+            } else {
+                Capacity::new(vec![primary, primary * 4.0]).unwrap()
+            };
+            let catalog = if t.dims() == 1 {
+                SkuCatalog::azure_postgres(ServerOffering::GeneralPurpose)
+            } else {
+                SkuCatalog::azure_postgres_with_memory(ServerOffering::GeneralPurpose)
+            };
+            let row = s.rightsize(t, &user, &catalog);
+            let col = s.rightsize_columns(cols.trace(i), &user, &catalog, &mut scratch);
+            match (row, col) {
+                (Ok(row), Ok(col)) => {
+                    prop_assert_eq!(row.sku_index, col.sku_index);
+                    prop_assert_eq!(row.censored, col.censored);
+                    prop_assert_eq!(
+                        row.throttling_at_user.to_bits(),
+                        col.throttling_at_user.to_bits()
+                    );
+                    prop_assert_eq!(row.slack_at_chosen.len(), col.slack_at_chosen.len());
+                    for (a, b) in row.slack_at_chosen.iter().zip(&col.slack_at_chosen) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    prop_assert_eq!(row.capacity, col.capacity);
+                    prop_assert_eq!(row.verdict, col.verdict);
+                }
+                (Err(row), Err(col)) => {
+                    prop_assert_eq!(row.to_string(), col.to_string());
+                }
+                (row, col) => {
+                    return Err(TestCaseError::fail(format!(
+                        "row/columnar disagree on fallibility: {row:?} vs {col:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The parallel target-encoder fit is exactly the serial fit at every
+    /// thread cap, for arbitrary tables and labels.
+    #[test]
+    fn parallel_target_encoding_matches_serial(
+        rows in proptest::collection::vec(
+            (0u8..6, 0u8..10, 0u8..4, any::<bool>(), 0.5f64..128.0),
+            1..40,
+        ),
+        smoothing in prop_oneof![Just(0.0), 0.1f64..20.0],
+    ) {
+        let schema = ProfileSchema::new(vec!["segment", "customer", "region"]).unwrap();
+        let mut table = ProfileTable::new(schema);
+        let mut labels = Vec::with_capacity(rows.len());
+        for (seg, cust, reg, missing, label) in rows {
+            let seg = format!("s{seg}");
+            let cust = format!("c{cust}");
+            let reg = format!("r{reg}");
+            let seg_cell = if missing { None } else { Some(seg.as_str()) };
+            table
+                .push_row(&[seg_cell, Some(cust.as_str()), Some(reg.as_str())])
+                .unwrap();
+            labels.push(label);
+        }
+        let serial = TargetEncoder::fit_with_threads(
+            &table,
+            &labels,
+            TargetStatistic::Percentile(50.0),
+            MissingPolicy::GlobalMean,
+            smoothing,
+            1,
+        )
+        .unwrap();
+        for threads in [0, 2, 8] {
+            let parallel = TargetEncoder::fit_with_threads(
+                &table,
+                &labels,
+                TargetStatistic::Percentile(50.0),
+                MissingPolicy::GlobalMean,
+                smoothing,
+                threads,
+            )
+            .unwrap();
+            prop_assert_eq!(&parallel, &serial);
+        }
+    }
+}

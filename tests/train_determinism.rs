@@ -4,6 +4,7 @@
 //! typed-key serving engine PR.
 
 use lorentz::core::{LorentzConfig, LorentzPipeline};
+use lorentz::ml::TargetEncoder;
 use lorentz::simdata::fleet::FleetConfig;
 
 fn quick_config() -> LorentzConfig {
@@ -64,6 +65,60 @@ fn training_is_byte_deterministic_across_runs_and_thread_counts() {
             trained.to_json().unwrap(),
             reference_deployment,
             "stage2 thread cap {max_threads} changed the deployment JSON"
+        );
+    }
+
+    // Stage-1 thread counts: the columnar rightsizing sweep partitions the
+    // fleet into contiguous chunks and joins workers in chunk order, so any
+    // cap — sequential (1), capped (2 / 8), uncapped (0) — must reproduce
+    // the reference bytes exactly.
+    for stage1_threads in [1usize, 2, 8, 0] {
+        let trained = LorentzPipeline::new(quick_config())
+            .unwrap()
+            .train_with_threads(&fleet, stage1_threads, 1)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(trained.store()).unwrap(),
+            reference_store,
+            "stage1 thread cap {stage1_threads} changed the store snapshot"
+        );
+        assert_eq!(
+            trained.to_json().unwrap(),
+            reference_deployment,
+            "stage1 thread cap {stage1_threads} changed the deployment JSON"
+        );
+    }
+
+    // Parallel target encoding on the real fleet profiles: fitting the
+    // encoder at any thread cap must reproduce the sequential fit exactly,
+    // so the cap chosen inside the pipeline can never leak into the model.
+    let labels: Vec<f64> = (0..fleet.profiles().rows())
+        .map(|i| 1.0 + (i % 7) as f64)
+        .collect();
+    let config = quick_config();
+    let serial = TargetEncoder::fit_with_threads(
+        fleet.profiles(),
+        &labels,
+        config.target_encoding.statistic,
+        config.target_encoding.missing,
+        config.target_encoding.smoothing,
+        1,
+    )
+    .unwrap();
+    for encoder_threads in [2usize, 8, 0] {
+        let parallel = TargetEncoder::fit_with_threads(
+            fleet.profiles(),
+            &labels,
+            config.target_encoding.statistic,
+            config.target_encoding.missing,
+            config.target_encoding.smoothing,
+            encoder_threads,
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&serial).unwrap(),
+            "encoder thread cap {encoder_threads} changed the fitted encodings"
         );
     }
 }
